@@ -1,0 +1,29 @@
+//! Criterion microbenchmarks of the link-time rewriter: full relinks
+//! (merge, ICFG, chains, layout, relocation) under each layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_core::wp_linker::Layout;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::Workbench;
+
+fn bench_linker(c: &mut Criterion) {
+    let workbench = Workbench::new(Benchmark::Sha).expect("workbench");
+
+    let mut group = c.benchmark_group("relink-sha-large");
+    group.sample_size(20);
+    for layout in [Layout::Natural, Layout::WayPlacement, Layout::Random(7), Layout::Pessimal] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.label()),
+            &layout,
+            |b, &layout| b.iter(|| workbench.link(layout, InputSet::Large).expect("link")),
+        );
+    }
+    group.finish();
+
+    c.bench_function("assemble-sha", |b| {
+        b.iter(|| Benchmark::Sha.modules(InputSet::Small))
+    });
+}
+
+criterion_group!(benches, bench_linker);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation studies (DESIGN.md §10): how much of way-placement's win
+//! comes from each ingredient?
+//!
+//! * `wp-natural-layout` — the hardware without the compiler pass;
+//! * `baseline-optimised-layout` — the compiler pass without the
+//!   hardware (pure locality effect on an unmodified cache);
+//! * `wp-no-elision` — way-placement with the same-line tag elision
+//!   disabled (isolates §4.2's second optimisation);
+//! * random/pessimal layout coverage, to show the chain-sorting pass is
+//!   doing real work.
+
+use wp_bench::{format_table, run_suite};
+use wp_core::wp_linker::Layout;
+use wp_core::wp_mem::{CacheGeometry, ReplacementPolicy};
+use wp_core::wp_sim::{simulate, SimConfig};
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{Scheme, Workbench};
+
+fn main() {
+    let geom = CacheGeometry::xscale_icache();
+    let area = 8 * 1024;
+    println!("== Ablation: {geom}, 8KB way-placement area ==");
+    let schemes = [
+        Scheme::WayPlacement { area_bytes: area },
+        Scheme::WayPlacementNaturalLayout { area_bytes: area },
+        Scheme::BaselineOptimisedLayout,
+        Scheme::WayPlacementNoElision { area_bytes: area },
+        Scheme::WayPrediction,
+    ];
+    let rows = run_suite(&Benchmark::ALL, geom, &schemes);
+    print!("{}", format_table(&rows));
+
+    println!();
+    println!("== Layout-pass coverage of the first 8KB (dynamic fetch fraction) ==");
+    println!(
+        "{:<12} | {:>9} | {:>13} | {:>7} | {:>8}",
+        "benchmark", "natural", "way-placement", "random", "pessimal"
+    );
+    for benchmark in Benchmark::ALL {
+        let workbench = Workbench::new(benchmark).expect("workbench");
+        let coverage = |layout: Layout| {
+            let out = workbench.link(layout, InputSet::Large).expect("link");
+            out.coverage_of_prefix(workbench.profile(), area)
+        };
+        println!(
+            "{:<12} | {:>8.1}% | {:>12.1}% | {:>6.1}% | {:>7.1}%",
+            benchmark.name(),
+            coverage(Layout::Natural) * 100.0,
+            coverage(Layout::WayPlacement) * 100.0,
+            coverage(Layout::Random(1)) * 100.0,
+            coverage(Layout::Pessimal) * 100.0,
+        );
+    }
+
+    println!();
+    println!("== Replacement-policy sensitivity (baseline cache, 8KB, 8-way) ==");
+    println!("(non-way-placed fills only; way-placed fills are policy-free by design)");
+    let small_geom = CacheGeometry::new(8 * 1024, 8, 32);
+    for benchmark in [Benchmark::RijndaelE, Benchmark::Djpeg, Benchmark::Sha] {
+        let workbench = Workbench::new(benchmark).expect("workbench");
+        let output = workbench.link(Layout::Natural, InputSet::Large).expect("link");
+        print!("{:<12}", benchmark.name());
+        for policy in
+            [ReplacementPolicy::RoundRobin, ReplacementPolicy::Lru, ReplacementPolicy::Random]
+        {
+            let mut mem = Scheme::Baseline.memory_config(small_geom);
+            mem.icache.replacement = policy;
+            let run = simulate(&output.image, &SimConfig::new(mem)).expect("run");
+            print!(
+                " | {policy:?}: {:.2}% miss",
+                100.0 * (1.0 - run.fetch.hit_rate())
+            );
+        }
+        println!();
+    }
+}

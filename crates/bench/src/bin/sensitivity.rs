@@ -1,0 +1,106 @@
+//! Energy-model sensitivity: is the paper's conclusion an artefact of
+//! our calibration constants?
+//!
+//! Simulation counters are independent of the energy model, so each
+//! scheme is simulated once and then *re-priced* under perturbed
+//! technology parameters: CAM tag-side energy halved/doubled, data-side
+//! bitline energy halved/doubled, and the CAM size-scaling exponent
+//! swept. The claim "way-placement saves substantial I-cache energy and
+//! beats way-memoization" should survive every perturbation; only the
+//! magnitudes may move.
+
+use wp_core::wp_energy::{EnergyModel, SystemActivity, TechnologyParams};
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::Benchmark;
+use wp_core::{measure, Measurement, Scheme, Workbench};
+
+fn activity(m: &Measurement) -> SystemActivity {
+    SystemActivity {
+        fetch: m.run.fetch,
+        dcache: m.run.dcache,
+        itlb: m.run.itlb,
+        dtlb: m.run.dtlb,
+        cycles: m.run.cycles,
+        instructions: m.run.instructions,
+    }
+}
+
+fn main() {
+    let geom = CacheGeometry::xscale_icache();
+    let benchmarks = [Benchmark::Sha, Benchmark::RijndaelE, Benchmark::Crc];
+    println!("== Energy-model sensitivity ({geom}, 32KB area) ==");
+    println!("normalised I-cache energy under perturbed technology constants\n");
+
+    // Simulate once per (benchmark, scheme).
+    let runs: Vec<(Benchmark, Measurement, Measurement, Measurement)> = benchmarks
+        .iter()
+        .map(|&benchmark| {
+            let wb = Workbench::new(benchmark).expect("workbench");
+            (
+                benchmark,
+                measure(&wb, geom, Scheme::Baseline).expect("baseline"),
+                measure(&wb, geom, Scheme::WayPlacement { area_bytes: 32 * 1024 })
+                    .expect("wp"),
+                measure(&wb, geom, Scheme::WayMemoization).expect("memo"),
+            )
+        })
+        .collect();
+
+    let nominal = TechnologyParams::embedded_180nm();
+    let variants: Vec<(String, TechnologyParams)> = vec![
+        ("nominal".into(), nominal),
+        ("tag energy x0.5".into(), TechnologyParams {
+            cam_bit_pj: nominal.cam_bit_pj * 0.5,
+            matchline_pj: nominal.matchline_pj * 0.5,
+            ..nominal
+        }),
+        ("tag energy x2.0".into(), TechnologyParams {
+            cam_bit_pj: nominal.cam_bit_pj * 2.0,
+            matchline_pj: nominal.matchline_pj * 2.0,
+            ..nominal
+        }),
+        ("data energy x0.5".into(), TechnologyParams {
+            bitline_read_pj: nominal.bitline_read_pj * 0.5,
+            ..nominal
+        }),
+        ("data energy x2.0".into(), TechnologyParams {
+            bitline_read_pj: nominal.bitline_read_pj * 2.0,
+            ..nominal
+        }),
+        ("tag scaling ^0.5".into(), TechnologyParams {
+            tag_scale_exponent: 0.5,
+            ..nominal
+        }),
+        ("tag scaling ^1.0".into(), TechnologyParams {
+            tag_scale_exponent: 1.0,
+            ..nominal
+        }),
+    ];
+
+    println!(
+        "{:<18} | {:<12} | {:>14} | {:>16} | {:>8}",
+        "technology", "benchmark", "way-placement", "way-memoization", "wp wins"
+    );
+    for (label, tech) in &variants {
+        let model = EnergyModel::new().with_technology(*tech);
+        for (benchmark, baseline, wp, memo) in &runs {
+            let price = |m: &Measurement| {
+                model
+                    .price(&m.scheme.memory_config(geom), &activity(m))
+                    .icache_pj()
+            };
+            let base = price(baseline);
+            let wp_ratio = price(wp) / base;
+            let memo_ratio = price(memo) / base;
+            println!(
+                "{label:<18} | {:<12} | {:>13.1}% | {:>15.1}% | {:>8}",
+                benchmark.name(),
+                wp_ratio * 100.0,
+                memo_ratio * 100.0,
+                if wp_ratio < memo_ratio && wp_ratio < 1.0 { "yes" } else { "NO" },
+            );
+        }
+    }
+    println!();
+    println!("claim under test: way-placement < way-memoization < baseline at every point.");
+}

@@ -1,0 +1,37 @@
+//! Table 1 reproduction: the baseline system configuration, printed
+//! from the live defaults so documentation can never drift from code.
+
+use wp_core::wp_mem::{CacheGeometry, MemoryConfig};
+use wp_core::wp_sim::SimConfig;
+
+fn main() {
+    let geom = CacheGeometry::xscale_icache();
+    let mem = MemoryConfig::baseline(geom);
+    let sim = SimConfig::new(mem);
+    println!("== Table 1: baseline system configuration ==");
+    println!("{:<22} 7/8 stages (in-order, scoreboarded)", "Pipeline");
+    println!("{:<22} 1 ALU, 1 MAC, 1 load/store", "Functional units");
+    println!("{:<22} single issue, in order", "Issue");
+    println!("{:<22} out of order (scoreboard)", "Commit");
+    println!("{:<22} {} bit", "Memory bus width", 32);
+    println!("{:<22} {} cycles", "Memory latency", mem.icache.miss_latency);
+    println!(
+        "{:<22} {}-entry fully associative, {} B pages",
+        "I-TLB / D-TLB", mem.itlb.entries, mem.itlb.page_bytes
+    );
+    println!("{:<22} {}", "I-cache", geom);
+    println!("{:<22} {}", "D-cache", mem.dcache.geometry);
+    println!(
+        "{:<22} {}-entry write buffer ({}-cycle drain); read fills folded into the {}-cycle miss latency",
+        "Data buffers", mem.dcache.write_buffer_entries, mem.dcache.writeback_latency,
+        mem.dcache.miss_latency
+    );
+    println!(
+        "{:<22} {} entries, {}-cycle taken-branch penalty",
+        "BTB", sim.btb_entries, sim.branch_penalty
+    );
+    println!(
+        "{:<22} load +{} cycles, multiply +{} cycles",
+        "Result latencies", sim.load_latency, sim.mul_latency
+    );
+}

@@ -1,0 +1,187 @@
+//! # wp-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the way-placement paper (see
+//! DESIGN.md §6 for the experiment index):
+//!
+//! | binary   | reproduces                                        |
+//! |----------|---------------------------------------------------|
+//! | `table1` | Table 1 — the baseline system configuration       |
+//! | `fig1`   | Figure 1 — 12 vs 3 tag comparisons                |
+//! | `fig4`   | Figure 4 — per-benchmark energy and ED, 32 KB/32w |
+//! | `fig5`   | Figure 5 — way-placement area size sweep          |
+//! | `fig6`   | Figure 6 — cache size x associativity grid        |
+//! | `ablation` | DESIGN.md §10 — layout/elision/replacement studies |
+//!
+//! Each binary prints the measured series alongside the paper's
+//! reported values, so EXPERIMENTS.md can be regenerated mechanically.
+
+use std::sync::Mutex;
+
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::Benchmark;
+use wp_core::{measure, CoreError, Measurement, Scheme, Workbench};
+
+/// One benchmark's baseline-normalised results for a set of schemes.
+#[derive(Clone, Debug)]
+pub struct SuiteRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Per scheme: `(label, normalised I-cache energy, ED product)`.
+    pub values: Vec<(String, f64, f64)>,
+}
+
+/// Measures `schemes` (plus the implicit baseline) for one benchmark.
+///
+/// # Errors
+///
+/// Propagates any link/simulation/verification failure.
+pub fn run_benchmark(
+    benchmark: Benchmark,
+    icache: CacheGeometry,
+    schemes: &[Scheme],
+) -> Result<SuiteRow, CoreError> {
+    let workbench = Workbench::new(benchmark)?;
+    let baseline = measure(&workbench, icache, Scheme::Baseline)?;
+    let values = schemes
+        .iter()
+        .map(|&scheme| -> Result<_, CoreError> {
+            let m = measure(&workbench, icache, scheme)?;
+            Ok((
+                scheme.label(),
+                m.normalized_icache_energy(&baseline),
+                m.ed_product(&baseline),
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SuiteRow { benchmark, values })
+}
+
+/// Runs the whole suite in parallel (one thread per benchmark).
+///
+/// # Panics
+///
+/// Panics if any benchmark fails — experiment harnesses fail loudly.
+#[must_use]
+pub fn run_suite(
+    benchmarks: &[Benchmark],
+    icache: CacheGeometry,
+    schemes: &[Scheme],
+) -> Vec<SuiteRow> {
+    let results: Mutex<Vec<SuiteRow>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for &benchmark in benchmarks {
+            let results = &results;
+            scope.spawn(move || {
+                let row = run_benchmark(benchmark, icache, schemes)
+                    .unwrap_or_else(|e| panic!("{benchmark}: {e}"));
+                results.lock().expect("poisoned").push(row);
+            });
+        }
+    });
+    let mut rows = results.into_inner().expect("poisoned");
+    rows.sort_by_key(|row| {
+        Benchmark::ALL.iter().position(|b| *b == row.benchmark).unwrap_or(usize::MAX)
+    });
+    rows
+}
+
+/// Arithmetic mean of the `index`-th scheme's normalised energy across
+/// rows (the paper's "average" bars).
+#[must_use]
+pub fn mean_energy(rows: &[SuiteRow], index: usize) -> f64 {
+    rows.iter().map(|r| r.values[index].1).sum::<f64>() / rows.len() as f64
+}
+
+/// Arithmetic mean of the `index`-th scheme's ED product.
+#[must_use]
+pub fn mean_ed(rows: &[SuiteRow], index: usize) -> f64 {
+    rows.iter().map(|r| r.values[index].2).sum::<f64>() / rows.len() as f64
+}
+
+/// Renders a padded table: per-benchmark rows plus the average, one
+/// column pair (energy, ED) per scheme.
+#[must_use]
+pub fn format_table(rows: &[SuiteRow]) -> String {
+    let mut out = String::new();
+    let labels: Vec<&str> =
+        rows[0].values.iter().map(|(label, _, _)| label.as_str()).collect();
+    out.push_str(&format!("{:<12}", "benchmark"));
+    for label in &labels {
+        out.push_str(&format!(" | {label:>26} (E%, ED)"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<12}", row.benchmark.name()));
+        for (_, energy, ed) in &row.values {
+            out.push_str(&format!(" | {:>26.1}%, {:>5.3}", energy * 100.0, ed));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<12}", "average"));
+    for index in 0..labels.len() {
+        out.push_str(&format!(
+            " | {:>26.1}%, {:>5.3}",
+            mean_energy(rows, index) * 100.0,
+            mean_ed(rows, index)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Extra detail used by the figure binaries: a single measurement's
+/// activity summary line.
+#[must_use]
+pub fn describe(m: &Measurement) -> String {
+    format!(
+        "{}: {} insns, {} cycles (CPI {:.2}), fetch hit {:.2}%, tags/fetch {:.2}",
+        m.scheme.label(),
+        m.run.instructions,
+        m.run.cycles,
+        m.run.cpi(),
+        m.run.fetch.hit_rate() * 100.0,
+        m.run.fetch.tags_per_fetch(),
+    )
+}
+
+/// The paper's evaluation geometries (figure 6 grid).
+#[must_use]
+pub fn figure6_geometries() -> Vec<CacheGeometry> {
+    let mut geometries = Vec::new();
+    for size_kb in [16u32, 32, 64] {
+        for ways in [8u32, 16, 32] {
+            geometries.push(CacheGeometry::new(size_kb * 1024, ways, 32));
+        }
+    }
+    geometries
+}
+
+/// The figure 5 way-placement area sizes, in bytes.
+pub const FIGURE5_AREAS: [u32; 6] =
+    [32 * 1024, 16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024, 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_one_small_benchmark() {
+        let rows = run_suite(
+            &[Benchmark::Crc],
+            CacheGeometry::xscale_icache(),
+            &[Scheme::WayPlacement { area_bytes: 32 * 1024 }],
+        );
+        assert_eq!(rows.len(), 1);
+        let (_, energy, ed) = &rows[0].values[0];
+        assert!(*energy < 1.0);
+        assert!(*ed < 1.0);
+        let table = format_table(&rows);
+        assert!(table.contains("crc"));
+        assert!(table.contains("average"));
+    }
+
+    #[test]
+    fn figure6_grid_is_nine_points() {
+        assert_eq!(figure6_geometries().len(), 9);
+    }
+}

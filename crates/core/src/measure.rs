@@ -1,0 +1,153 @@
+//! Measurement: run a scheme on a workbench, verify the architecture,
+//! price the energy, and compare against a baseline.
+
+use wp_energy::{EnergyModel, EnergyReport, SystemActivity};
+use wp_mem::CacheGeometry;
+use wp_sim::{simulate, RunResult, SimConfig};
+use wp_workloads::InputSet;
+
+use crate::scheme::Scheme;
+use crate::workbench::{verify, CoreError, Workbench};
+
+/// One priced, verified measurement run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The scheme measured.
+    pub scheme: Scheme,
+    /// The cache geometry used.
+    pub icache: CacheGeometry,
+    /// The raw simulation result (counters, cycles, checksum).
+    pub run: RunResult,
+    /// The priced energy report.
+    pub energy: EnergyReport,
+}
+
+impl Measurement {
+    /// Normalised I-cache energy against a baseline measurement
+    /// (figure 4a/5a/6a's metric).
+    #[must_use]
+    pub fn normalized_icache_energy(&self, baseline: &Measurement) -> f64 {
+        self.energy.normalized_icache_energy(&baseline.energy)
+    }
+
+    /// The ED product against a baseline measurement (figure
+    /// 4b/5b/6b's metric).
+    #[must_use]
+    pub fn ed_product(&self, baseline: &Measurement) -> f64 {
+        self.energy.ed_product(&baseline.energy)
+    }
+}
+
+/// Runs `scheme` on `workbench`'s large-input binary over `icache`
+/// geometry, verifying the architectural checksum.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on link or simulation failure, or if the run
+/// produced a wrong checksum (a model bug, never noise).
+pub fn measure(
+    workbench: &Workbench,
+    icache: CacheGeometry,
+    scheme: Scheme,
+) -> Result<Measurement, CoreError> {
+    measure_on(workbench, icache, scheme, InputSet::Large)
+}
+
+/// [`measure`] with an explicit input set (profiling-style studies).
+///
+/// # Errors
+///
+/// As for [`measure`].
+pub fn measure_on(
+    workbench: &Workbench,
+    icache: CacheGeometry,
+    scheme: Scheme,
+    set: InputSet,
+) -> Result<Measurement, CoreError> {
+    let output = workbench.link(scheme.layout(), set)?;
+    let mem = scheme.memory_config(icache);
+    let run = simulate(&output.image, &SimConfig::new(mem))?;
+    verify(workbench.benchmark(), set, run.checksum)?;
+    let activity = SystemActivity {
+        fetch: run.fetch,
+        dcache: run.dcache,
+        itlb: run.itlb,
+        dtlb: run.dtlb,
+        cycles: run.cycles,
+        instructions: run.instructions,
+    };
+    let energy = EnergyModel::new().price(&mem, &activity);
+    Ok(Measurement { scheme, icache, run, energy })
+}
+
+/// A baseline-relative comparison for one benchmark and geometry.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The baseline run.
+    pub baseline: Measurement,
+    /// The runs under test, in the order requested.
+    pub subjects: Vec<Measurement>,
+}
+
+impl Comparison {
+    /// Measures `schemes` against [`Scheme::Baseline`] on one geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure.
+    pub fn run(
+        workbench: &Workbench,
+        icache: CacheGeometry,
+        schemes: &[Scheme],
+    ) -> Result<Comparison, CoreError> {
+        let baseline = measure(workbench, icache, Scheme::Baseline)?;
+        let subjects = schemes
+            .iter()
+            .map(|&scheme| measure(workbench, icache, scheme))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Comparison { baseline, subjects })
+    }
+
+    /// `(label, normalised I-cache energy, ED product)` rows.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(String, f64, f64)> {
+        self.subjects
+            .iter()
+            .map(|m| {
+                (
+                    m.scheme.label(),
+                    m.normalized_icache_energy(&self.baseline),
+                    m.ed_product(&self.baseline),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_workloads::Benchmark;
+
+    #[test]
+    fn way_placement_beats_baseline_and_memoization_on_crc() {
+        let workbench = Workbench::new(Benchmark::Crc).expect("workbench");
+        let geom = CacheGeometry::xscale_icache();
+        let comparison = Comparison::run(
+            &workbench,
+            geom,
+            &[Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization],
+        )
+        .expect("measure");
+        let rows = comparison.rows();
+        let (wp_energy, wp_ed) = (rows[0].1, rows[0].2);
+        let (memo_energy, _memo_ed) = (rows[1].1, rows[1].2);
+        assert!(wp_energy < 0.7, "way-placement energy {wp_energy}");
+        assert!(wp_energy < memo_energy, "{wp_energy} vs {memo_energy}");
+        assert!(wp_ed < 1.0, "ED {wp_ed}");
+        // Performance is essentially unchanged (§6.1).
+        let slowdown = comparison.subjects[0].run.cycles as f64
+            / comparison.baseline.run.cycles as f64;
+        assert!((0.95..1.05).contains(&slowdown), "slowdown {slowdown}");
+    }
+}

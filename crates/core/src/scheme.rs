@@ -1,0 +1,146 @@
+//! The schemes under evaluation: the paper's three main configurations
+//! plus the ablations DESIGN.md calls for.
+
+use wp_isa::Image;
+use wp_linker::Layout;
+use wp_mem::{CacheGeometry, MemoryConfig};
+
+/// A complete hardware + compiler configuration to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// Unmodified CAM cache, natural code layout — the paper's baseline.
+    Baseline,
+    /// The paper's contribution: profile-guided layout plus the
+    /// way-placement hardware, with the given way-placement area size
+    /// in bytes (the OS knob of §4.1).
+    WayPlacement {
+        /// Way-placement area size in bytes (page-aligned).
+        area_bytes: u32,
+    },
+    /// Ma et al.'s way-memoization on the natural layout — the paper's
+    /// state-of-the-art comparison.
+    WayMemoization,
+    /// Ablation: way-placement hardware *without* the compiler pass
+    /// (natural layout). Quantifies the compiler's share of the win.
+    WayPlacementNaturalLayout {
+        /// Way-placement area size in bytes.
+        area_bytes: u32,
+    },
+    /// Ablation: the optimised layout on an unmodified cache.
+    /// Quantifies the pure locality benefit of chain sorting.
+    BaselineOptimisedLayout,
+    /// Ablation: way-placement with the same-line elision disabled.
+    WayPlacementNoElision {
+        /// Way-placement area size in bytes.
+        area_bytes: u32,
+    },
+    /// Extension: MRU way prediction (Inoue et al.) on the natural
+    /// layout — the other hardware alternative the paper's related
+    /// work discusses.
+    WayPrediction,
+}
+
+impl Scheme {
+    /// The code layout this scheme links with.
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        match self {
+            Scheme::Baseline
+            | Scheme::WayMemoization
+            | Scheme::WayPrediction
+            | Scheme::WayPlacementNaturalLayout { .. } => Layout::Natural,
+            Scheme::WayPlacement { .. }
+            | Scheme::BaselineOptimisedLayout
+            | Scheme::WayPlacementNoElision { .. } => Layout::WayPlacement,
+        }
+    }
+
+    /// The memory hierarchy this scheme runs on.
+    #[must_use]
+    pub fn memory_config(&self, icache: CacheGeometry) -> MemoryConfig {
+        match *self {
+            Scheme::Baseline | Scheme::BaselineOptimisedLayout => {
+                MemoryConfig::baseline(icache)
+            }
+            Scheme::WayPlacement { area_bytes }
+            | Scheme::WayPlacementNaturalLayout { area_bytes } => {
+                MemoryConfig::way_placement(icache, Image::TEXT_BASE, area_bytes)
+            }
+            Scheme::WayPlacementNoElision { area_bytes } => {
+                let mut config =
+                    MemoryConfig::way_placement(icache, Image::TEXT_BASE, area_bytes);
+                config.icache.same_line_elision = false;
+                config
+            }
+            Scheme::WayMemoization => MemoryConfig::way_memoization(icache),
+            Scheme::WayPrediction => MemoryConfig::way_prediction(icache),
+        }
+    }
+
+    /// A short label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Baseline => "baseline".into(),
+            Scheme::WayPlacement { area_bytes } => {
+                format!("way-placement/{}KB", area_bytes / 1024)
+            }
+            Scheme::WayMemoization => "way-memoization".into(),
+            Scheme::WayPlacementNaturalLayout { area_bytes } => {
+                format!("wp-natural-layout/{}KB", area_bytes / 1024)
+            }
+            Scheme::BaselineOptimisedLayout => "baseline-optimised-layout".into(),
+            Scheme::WayPlacementNoElision { area_bytes } => {
+                format!("wp-no-elision/{}KB", area_bytes / 1024)
+            }
+            Scheme::WayPrediction => "way-prediction".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_mem::FetchScheme;
+
+    #[test]
+    fn layouts_match_paper_methodology() {
+        assert_eq!(Scheme::Baseline.layout(), Layout::Natural);
+        assert_eq!(Scheme::WayMemoization.layout(), Layout::Natural);
+        assert_eq!(
+            Scheme::WayPlacement { area_bytes: 1024 }.layout(),
+            Layout::WayPlacement
+        );
+    }
+
+    #[test]
+    fn memory_configs_select_the_right_hardware() {
+        let geom = CacheGeometry::xscale_icache();
+        let wp = Scheme::WayPlacement { area_bytes: 32 * 1024 }.memory_config(geom);
+        assert_eq!(wp.icache.scheme, FetchScheme::WayPlacement);
+        assert_eq!(wp.wp_limit, Image::TEXT_BASE + 32 * 1024);
+        let memo = Scheme::WayMemoization.memory_config(geom);
+        assert_eq!(memo.icache.scheme, FetchScheme::WayMemoization);
+        let base = Scheme::Baseline.memory_config(geom);
+        assert_eq!(base.icache.scheme, FetchScheme::Baseline);
+        assert!(!base.icache.same_line_elision);
+        let no_elide =
+            Scheme::WayPlacementNoElision { area_bytes: 1024 }.memory_config(geom);
+        assert!(!no_elide.icache.same_line_elision);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Scheme::Baseline.label(),
+            Scheme::WayPlacement { area_bytes: 8192 }.label(),
+            Scheme::WayMemoization.label(),
+            Scheme::WayPlacementNaturalLayout { area_bytes: 8192 }.label(),
+            Scheme::BaselineOptimisedLayout.label(),
+            Scheme::WayPlacementNoElision { area_bytes: 8192 }.label(),
+            Scheme::WayPrediction.label(),
+        ];
+        let unique: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

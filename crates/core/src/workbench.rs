@@ -1,0 +1,224 @@
+//! The per-benchmark workbench: the full compiler-side flow of the
+//! paper — assemble, link naturally, profile on the *small* input,
+//! then relink under any layout for the *large* measurement runs.
+
+use std::error::Error;
+use std::fmt;
+
+use wp_isa::Image;
+use wp_linker::{Layout, LinkError, LinkOutput, Linker, Profile};
+use wp_mem::{CacheGeometry, MemoryConfig};
+use wp_sim::{simulate, SimConfig, SimError};
+use wp_workloads::{Benchmark, InputSet};
+
+/// Errors raised by the end-to-end flow.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Linking failed.
+    Link(LinkError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// The guest ran but produced the wrong architectural checksum —
+    /// a simulator or cache-model bug, never acceptable noise.
+    ChecksumMismatch {
+        /// The benchmark that failed.
+        benchmark: Benchmark,
+        /// Expected (from the reference implementation).
+        expected: u64,
+        /// What the guest produced.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Link(e) => e.fmt(f),
+            CoreError::Sim(e) => e.fmt(f),
+            CoreError::ChecksumMismatch { benchmark, expected, actual } => write!(
+                f,
+                "{benchmark}: checksum mismatch (expected {expected:#018x}, got {actual:#018x})"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<LinkError> for CoreError {
+    fn from(e: LinkError) -> CoreError {
+        CoreError::Link(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> CoreError {
+        CoreError::Sim(e)
+    }
+}
+
+/// A benchmark with its profile gathered and linkers ready.
+///
+/// Construction performs the paper's §3/§5 training flow once; every
+/// later [`Workbench::link`] call is a pure relink (the "no
+/// recompilation" property — one profile serves every layout and every
+/// way-placement area size).
+#[derive(Debug)]
+pub struct Workbench {
+    benchmark: Benchmark,
+    linkers: [Linker; 2], // indexed by InputSet
+    profile: Profile,
+    profiling_instructions: u64,
+}
+
+fn set_index(set: InputSet) -> usize {
+    match set {
+        InputSet::Small => 0,
+        InputSet::Large => 1,
+    }
+}
+
+impl Workbench {
+    /// Assembles the benchmark and gathers its block profile by running
+    /// the natural-layout binary on the small input set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if linking or the profiling run fails, or
+    /// if the profiling run's checksum does not match the reference.
+    pub fn new(benchmark: Benchmark) -> Result<Workbench, CoreError> {
+        let linkers = [
+            Linker::new().with_modules(benchmark.modules(InputSet::Small)),
+            Linker::new().with_modules(benchmark.modules(InputSet::Large)),
+        ];
+        let natural = linkers[0].link(Layout::Natural, &Profile::empty())?;
+        // The profiling machine's cache geometry is irrelevant to the
+        // counts; use the paper's default.
+        let config = SimConfig::new(MemoryConfig::baseline(CacheGeometry::xscale_icache()))
+            .with_profile();
+        let run = simulate(&natural.image, &config)?;
+        verify(benchmark, InputSet::Small, run.checksum)?;
+        let counts = run.insn_counts.as_deref().unwrap_or(&[]);
+        let profile = natural.profile_from_counts(counts);
+        Ok(Workbench {
+            benchmark,
+            linkers,
+            profile,
+            profiling_instructions: run.instructions,
+        })
+    }
+
+    /// The benchmark.
+    #[must_use]
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The training profile (natural block ids).
+    #[must_use]
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Instructions executed by the profiling run.
+    #[must_use]
+    pub fn profiling_instructions(&self) -> u64 {
+        self.profiling_instructions
+    }
+
+    /// Links the binary for `set` under `layout`, using the training
+    /// profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Link`] on resolution failures.
+    pub fn link(&self, layout: Layout, set: InputSet) -> Result<LinkOutput, CoreError> {
+        Ok(self.linkers[set_index(set)].link(layout, &self.profile)?)
+    }
+
+    /// Convenience: the linked image's text size in bytes (layout
+    /// independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Link`] on resolution failures.
+    pub fn text_bytes(&self) -> Result<u32, CoreError> {
+        let output = self.link(Layout::Natural, InputSet::Large)?;
+        Ok(output.image.text.len() as u32 * 4)
+    }
+}
+
+/// Checks a run's checksum against the benchmark's reference.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ChecksumMismatch`] when they differ.
+pub fn verify(benchmark: Benchmark, set: InputSet, actual: u64) -> Result<(), CoreError> {
+    let expected = wp_sim::checksum_of(benchmark.reference_reports(set));
+    if expected == actual {
+        Ok(())
+    } else {
+        Err(CoreError::ChecksumMismatch { benchmark, expected, actual })
+    }
+}
+
+/// The way-placement area sizes must be multiples of the I-TLB page
+/// size (§4.1); this helper rounds a requested size up.
+#[must_use]
+pub fn align_area(bytes: u32, page_bytes: u32) -> u32 {
+    bytes.div_ceil(page_bytes) * page_bytes
+}
+
+/// Text base re-exported for area arithmetic.
+#[must_use]
+pub fn text_base() -> u32 {
+    Image::TEXT_BASE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_profiles_and_relinks() {
+        let bench = Workbench::new(Benchmark::Crc).expect("workbench");
+        assert!(bench.profiling_instructions() > 10_000);
+        assert!(bench.profile().total() > 0);
+        // Hot code moves to the front under the way-placement layout.
+        let natural = bench.link(Layout::Natural, InputSet::Large).expect("link");
+        let optimised = bench.link(Layout::WayPlacement, InputSet::Large).expect("link");
+        assert_eq!(natural.image.text.len(), optimised.image.text.len());
+        let coverage_natural =
+            natural.coverage_of_prefix(bench.profile(), 2 * 1024);
+        let coverage_optimised =
+            optimised.coverage_of_prefix(bench.profile(), 2 * 1024);
+        assert!(
+            coverage_optimised > coverage_natural,
+            "{coverage_optimised} vs {coverage_natural}"
+        );
+        assert!(coverage_optimised > 0.9, "{coverage_optimised}");
+    }
+
+    #[test]
+    fn verify_rejects_wrong_checksums() {
+        let err = verify(Benchmark::Crc, InputSet::Small, 0xdead_beef).unwrap_err();
+        match err {
+            CoreError::ChecksumMismatch { benchmark, actual, .. } => {
+                assert_eq!(benchmark, Benchmark::Crc);
+                assert_eq!(actual, 0xdead_beef);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(err.to_string().contains("checksum mismatch"));
+        // The happy path accepts the true checksum.
+        let expected = wp_sim::checksum_of(Benchmark::Crc.reference_reports(InputSet::Small));
+        verify(Benchmark::Crc, InputSet::Small, expected).expect("true checksum verifies");
+    }
+
+    #[test]
+    fn align_area_rounds_up() {
+        assert_eq!(align_area(1, 1024), 1024);
+        assert_eq!(align_area(1024, 1024), 1024);
+        assert_eq!(align_area(1025, 1024), 2048);
+    }
+}

@@ -1,0 +1,54 @@
+//! # wp-energy — the analytic energy model
+//!
+//! Prices the micro-events recorded by `wp-mem` into picojoules and
+//! computes the paper's two headline metrics: **normalised instruction
+//! cache energy** and the **energy-delay (ED) product**.
+//!
+//! The model is deliberately analytic (CACTI-style first-order physics)
+//! rather than a table of magic numbers, so the effects that drive the
+//! paper's results fall out structurally:
+//!
+//! * CAM tag-search energy grows with the number of ways armed — the
+//!   energy way-placement recovers by arming exactly one way;
+//! * way-memoization's link fields widen the data array (the 21%
+//!   overhead of §5), taxing *every* data-side access and fill;
+//! * tag energy dominates on big, highly-associative caches and
+//!   dwindles on small, low-associativity ones — which is why
+//!   way-memoization flips from a win to a loss across figure 6 while
+//!   way-placement never does.
+//!
+//! Absolute joules are not claimed; everything the harness reports is
+//! normalised against an equally-configured baseline, exactly as the
+//! paper reports it (see DESIGN.md §4 for the calibration notes).
+//!
+//! ## Example
+//!
+//! ```
+//! use wp_energy::{EnergyModel, SystemActivity};
+//! use wp_mem::{CacheGeometry, FetchStats, DCacheStats, TlbStats, MemoryConfig};
+//!
+//! let geom = CacheGeometry::xscale_icache();
+//! let activity = SystemActivity {
+//!     fetch: FetchStats { fetches: 1000, hits: 1000, data_reads: 1000,
+//!                         tag_comparisons: 32_000, matchline_precharges: 32_000,
+//!                         ..FetchStats::new() },
+//!     dcache: DCacheStats::new(),
+//!     itlb: TlbStats::new(),
+//!     dtlb: TlbStats::new(),
+//!     cycles: 1500,
+//!     instructions: 1000,
+//! };
+//! let report = EnergyModel::new().price(&MemoryConfig::baseline(geom), &activity);
+//! assert!(report.icache_share() > 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod model;
+mod report;
+mod tech;
+
+pub use model::{CacheEnergyModel, FetchEnergy, TlbEnergyModel};
+pub use report::{EnergyModel, EnergyReport, SystemActivity};
+pub use tech::{CoreEnergyParams, TechnologyParams};

@@ -1,0 +1,398 @@
+//! Per-structure energy models: pricing the event counters recorded by
+//! `wp-mem` into picojoules.
+
+use wp_mem::{CacheGeometry, DCacheStats, FetchScheme, FetchStats, TlbStats};
+
+use crate::tech::TechnologyParams;
+
+/// Energy breakdown of the instruction-fetch path, in picojoules.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FetchEnergy {
+    /// CAM tag-side energy (match lines + cell comparisons).
+    pub tag_pj: f64,
+    /// Data-array read energy (including any link-bit widening).
+    pub data_pj: f64,
+    /// Line-fill write energy.
+    pub fill_pj: f64,
+    /// Way-memoization link maintenance (updates + invalidation sweeps).
+    pub link_pj: f64,
+    /// Way-hint bit accesses (way-placement only).
+    pub hint_pj: f64,
+}
+
+impl FetchEnergy {
+    /// Total fetch-path energy.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.tag_pj + self.data_pj + self.fill_pj + self.link_pj + self.hint_pj
+    }
+}
+
+/// Energy model for one instruction cache configuration.
+///
+/// # Examples
+///
+/// ```
+/// use wp_energy::CacheEnergyModel;
+/// use wp_mem::{CacheGeometry, FetchScheme};
+///
+/// let geom = CacheGeometry::xscale_icache();
+/// let model = CacheEnergyModel::for_scheme(geom, FetchScheme::Baseline);
+/// // A full 32-way search costs far more than a single-way probe.
+/// assert!(model.tag_search_pj(32) > 20.0 * model.tag_search_pj(1) * 0.9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CacheEnergyModel {
+    geom: CacheGeometry,
+    tech: TechnologyParams,
+    scheme: FetchScheme,
+    /// Extra bits per line stored in the data array (way-memoization
+    /// links); 0 for the other schemes.
+    extra_line_bits: u32,
+}
+
+impl CacheEnergyModel {
+    /// Builds the model for a fetch scheme on a geometry, with default
+    /// technology parameters.
+    #[must_use]
+    pub fn for_scheme(geom: CacheGeometry, scheme: FetchScheme) -> CacheEnergyModel {
+        CacheEnergyModel::with_technology(geom, scheme, TechnologyParams::default())
+    }
+
+    /// Builds the model with explicit technology parameters.
+    #[must_use]
+    pub fn with_technology(
+        geom: CacheGeometry,
+        scheme: FetchScheme,
+        tech: TechnologyParams,
+    ) -> CacheEnergyModel {
+        let extra_line_bits = if scheme == FetchScheme::WayMemoization {
+            // 9 links per 32 B line, each ceil(log2 ways) + 1 valid bit:
+            // the paper's 21% data-side overhead on the 32-way cache.
+            (geom.words_per_line() + 1) * (Self::way_bits(geom) + 1)
+        } else {
+            0
+        };
+        CacheEnergyModel { geom, tech, scheme, extra_line_bits }
+    }
+
+    fn way_bits(geom: CacheGeometry) -> u32 {
+        geom.ways().trailing_zeros().max(1)
+    }
+
+    /// The geometry the model prices.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Extra data-array bits per line (way-memoization links).
+    #[must_use]
+    pub fn extra_line_bits(&self) -> u32 {
+        self.extra_line_bits
+    }
+
+    /// The data-side widening factor the links impose — 1.21 for the
+    /// paper's 32 KB, 32-way configuration.
+    #[must_use]
+    pub fn data_width_factor(&self) -> f64 {
+        let line_bits = f64::from(self.geom.line_bytes() * 8);
+        (line_bits + f64::from(self.extra_line_bits)) / line_bits
+    }
+
+    fn line_bits_total(&self) -> f64 {
+        f64::from(self.geom.line_bytes() * 8 + self.extra_line_bits)
+    }
+
+    /// Energy of one CAM tag search arming `ways_searched` ways.
+    #[must_use]
+    pub fn tag_search_pj(&self, ways_searched: u64) -> f64 {
+        let scale = self.tech.tag_scale(self.geom);
+        let per_way = self.tech.matchline_pj
+            + f64::from(self.geom.tag_bits()) * self.tech.cam_bit_pj;
+        ways_searched as f64 * per_way * scale
+    }
+
+    /// Energy of one data-array read (one fetch word out of the line,
+    /// whole row precharged).
+    #[must_use]
+    pub fn data_read_pj(&self) -> f64 {
+        let scale = self.tech.data_scale(self.geom);
+        self.tech.decode_pj
+            + self.line_bits_total() * self.tech.bitline_read_pj * scale
+            + 32.0 * self.tech.senseamp_pj
+    }
+
+    /// Energy of one whole-line fill.
+    #[must_use]
+    pub fn line_fill_pj(&self) -> f64 {
+        let scale = self.tech.data_scale(self.geom);
+        self.tech.decode_pj + self.line_bits_total() * self.tech.bitline_write_pj * scale
+    }
+
+    /// Energy of one link-field update: a row activation plus the write
+    /// of the link bits (way-memoization).
+    #[must_use]
+    pub fn link_update_pj(&self) -> f64 {
+        let link_bits = f64::from(Self::way_bits(self.geom) + 1);
+        self.data_read_pj() + link_bits * self.tech.bitline_write_pj
+    }
+
+    /// Energy of one link-invalidation sweep (valid-bit clears across
+    /// the set on an eviction).
+    #[must_use]
+    pub fn link_invalidation_pj(&self) -> f64 {
+        f64::from(self.geom.ways()) * 0.05
+    }
+
+    /// The average energy of one *baseline-style* access (full search +
+    /// one data read) — the figure-of-merit used in reports.
+    #[must_use]
+    pub fn baseline_access_pj(&self) -> f64 {
+        self.tag_search_pj(u64::from(self.geom.ways())) + self.data_read_pj()
+    }
+
+    /// Prices a run's fetch-side counters.
+    #[must_use]
+    pub fn fetch_energy(&self, stats: &FetchStats) -> FetchEnergy {
+        let scale = self.tech.tag_scale(self.geom);
+        let tag_pj = stats.matchline_precharges as f64 * self.tech.matchline_pj * scale
+            + stats.tag_comparisons as f64
+                * f64::from(self.geom.tag_bits())
+                * self.tech.cam_bit_pj
+                * scale;
+        let data_pj = stats.data_reads as f64 * self.data_read_pj();
+        let fill_pj = stats.line_fills as f64 * self.line_fill_pj();
+        let link_pj = stats.link_updates as f64 * self.link_update_pj()
+            + stats.link_invalidations as f64 * self.link_invalidation_pj();
+        let hint_pj = if self.scheme == FetchScheme::WayPlacement {
+            stats.fetches as f64 * self.tech.way_hint_pj
+        } else {
+            0.0
+        };
+        FetchEnergy { tag_pj, data_pj, fill_pj, link_pj, hint_pj }
+    }
+
+    /// Prices a run's data-cache counters (the data cache always does a
+    /// full CAM search).
+    #[must_use]
+    pub fn dcache_energy_pj(&self, stats: &DCacheStats) -> f64 {
+        let scale = self.tech.tag_scale(self.geom);
+        // Each comparison arms one match line and compares one tag.
+        let tag = stats.tag_comparisons as f64
+            * (self.tech.matchline_pj
+                + f64::from(self.geom.tag_bits()) * self.tech.cam_bit_pj)
+            * scale;
+        let data = stats.data_accesses as f64 * self.data_read_pj();
+        let fills = (stats.line_fills + stats.writebacks) as f64 * self.line_fill_pj();
+        tag + data + fills
+    }
+}
+
+/// Energy model of a fully-associative TLB.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TlbEnergyModel {
+    entries: u32,
+    vpn_bits: u32,
+    /// The extra way-placement bit per entry (read on each lookup).
+    wp_bit: bool,
+    tech: TechnologyParams,
+}
+
+impl TlbEnergyModel {
+    /// Builds the model. `page_bytes` sizes the VPN field; `wp_bit`
+    /// adds the way-placement bit's read energy.
+    #[must_use]
+    pub fn new(entries: u32, page_bytes: u32, wp_bit: bool) -> TlbEnergyModel {
+        TlbEnergyModel {
+            entries,
+            vpn_bits: 32 - page_bytes.trailing_zeros(),
+            wp_bit,
+            tech: TechnologyParams::default(),
+        }
+    }
+
+    /// Energy of one lookup.
+    #[must_use]
+    pub fn lookup_pj(&self) -> f64 {
+        let search = f64::from(self.entries)
+            * (self.tech.tlb_matchline_pj
+                + f64::from(self.vpn_bits) * self.tech.tlb_cam_bit_pj);
+        // One extra payload bit read on the hit entry: tiny, but the
+        // paper insists all overheads are accounted.
+        search + if self.wp_bit { 0.02 } else { 0.0 }
+    }
+
+    /// Prices a run's TLB counters (fills cost roughly two lookups'
+    /// worth of write energy).
+    #[must_use]
+    pub fn energy_pj(&self, stats: &TlbStats) -> f64 {
+        stats.lookups as f64 * self.lookup_pj() + stats.misses as f64 * 2.0 * self.lookup_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xscale() -> CacheGeometry {
+        CacheGeometry::xscale_icache()
+    }
+
+    #[test]
+    fn memoization_width_factor_matches_paper() {
+        let model = CacheEnergyModel::for_scheme(xscale(), FetchScheme::WayMemoization);
+        // 9 links x 6 bits = 54 extra bits on a 256-bit line: 21%.
+        assert_eq!(model.extra_line_bits(), 54);
+        assert!((model.data_width_factor() - 1.21).abs() < 0.005);
+        // The other schemes are unwidened.
+        let base = CacheEnergyModel::for_scheme(xscale(), FetchScheme::Baseline);
+        assert_eq!(base.extra_line_bits(), 0);
+        assert_eq!(base.data_width_factor(), 1.0);
+    }
+
+    #[test]
+    fn tag_share_is_majority_at_xscale_point() {
+        // The first-order fact behind the paper's ~50% saving: on the
+        // 32 KB, 32-way CAM cache the full tag search costs about as
+        // much as (or more than) the data read.
+        let model = CacheEnergyModel::for_scheme(xscale(), FetchScheme::Baseline);
+        let tag = model.tag_search_pj(32);
+        let data = model.data_read_pj();
+        let share = tag / (tag + data);
+        assert!(
+            (0.45..0.65).contains(&share),
+            "tag share {share:.2} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn tag_share_is_small_on_low_associativity() {
+        // ...and the reason way-memoization *loses* on a 16 KB, 8-way
+        // cache: there is hardly any tag energy left to recover.
+        let geom = CacheGeometry::new(16 * 1024, 8, 32);
+        let model = CacheEnergyModel::for_scheme(geom, FetchScheme::Baseline);
+        let tag = model.tag_search_pj(8);
+        let data = model.data_read_pj();
+        let share = tag / (tag + data);
+        assert!(share < 0.25, "tag share {share:.2} should be small");
+    }
+
+    #[test]
+    fn fetch_energy_prices_counters() {
+        let model = CacheEnergyModel::for_scheme(xscale(), FetchScheme::Baseline);
+        let stats = FetchStats {
+            fetches: 100,
+            hits: 99,
+            misses: 1,
+            tag_comparisons: 3200,
+            matchline_precharges: 3200,
+            data_reads: 100,
+            line_fills: 1,
+            ..FetchStats::new()
+        };
+        let energy = model.fetch_energy(&stats);
+        assert!(energy.tag_pj > 0.0);
+        assert!(energy.data_pj > 0.0);
+        assert!(energy.fill_pj > 0.0);
+        assert_eq!(energy.link_pj, 0.0);
+        assert_eq!(energy.hint_pj, 0.0, "baseline has no hint bit");
+        let per_access = energy.total_pj() / 100.0;
+        // Sanity band: tens of pJ per access for this class of cache.
+        assert!((20.0..120.0).contains(&per_access), "{per_access}");
+    }
+
+    #[test]
+    fn way_placement_single_probe_is_much_cheaper() {
+        let model = CacheEnergyModel::for_scheme(xscale(), FetchScheme::WayPlacement);
+        let full = model.tag_search_pj(32) + model.data_read_pj();
+        let single = model.tag_search_pj(1) + model.data_read_pj();
+        let saving = 1.0 - single / full;
+        assert!(saving > 0.40, "single-way probe saves {saving:.2}");
+    }
+
+    #[test]
+    fn hint_energy_counted_for_way_placement_only() {
+        let stats = FetchStats { fetches: 1000, ..FetchStats::new() };
+        let wp = CacheEnergyModel::for_scheme(xscale(), FetchScheme::WayPlacement);
+        let base = CacheEnergyModel::for_scheme(xscale(), FetchScheme::Baseline);
+        assert!(wp.fetch_energy(&stats).hint_pj > 0.0);
+        assert_eq!(base.fetch_energy(&stats).hint_pj, 0.0);
+    }
+
+    #[test]
+    fn link_maintenance_costs() {
+        let model = CacheEnergyModel::for_scheme(xscale(), FetchScheme::WayMemoization);
+        let stats = FetchStats {
+            fetches: 10,
+            link_updates: 5,
+            link_invalidations: 2,
+            ..FetchStats::new()
+        };
+        let energy = model.fetch_energy(&stats);
+        assert!(energy.link_pj > 5.0 * model.data_read_pj() * 0.9);
+    }
+
+    #[test]
+    fn tlb_lookup_is_cheap_relative_to_cache() {
+        let tlb = TlbEnergyModel::new(32, 1024, true);
+        let cache = CacheEnergyModel::for_scheme(xscale(), FetchScheme::Baseline);
+        assert!(tlb.lookup_pj() < cache.baseline_access_pj() / 2.0);
+        let stats = TlbStats { lookups: 100, misses: 2, ..TlbStats::new() };
+        assert!(tlb.energy_pj(&stats) > 100.0 * tlb.lookup_pj());
+    }
+
+    #[test]
+    fn fetch_energy_is_monotone_in_events() {
+        // More of any counted event can never cost less energy.
+        let model = CacheEnergyModel::for_scheme(xscale(), FetchScheme::WayMemoization);
+        let base = FetchStats {
+            fetches: 100,
+            tag_comparisons: 50,
+            matchline_precharges: 50,
+            data_reads: 100,
+            line_fills: 3,
+            link_updates: 5,
+            link_invalidations: 2,
+            ..FetchStats::new()
+        };
+        let total = model.fetch_energy(&base).total_pj();
+        for bump in [
+            FetchStats { tag_comparisons: 51, matchline_precharges: 51, ..base },
+            FetchStats { data_reads: 101, ..base },
+            FetchStats { line_fills: 4, ..base },
+            FetchStats { link_updates: 6, ..base },
+            FetchStats { link_invalidations: 3, ..base },
+        ] {
+            assert!(
+                model.fetch_energy(&bump).total_pj() > total,
+                "{bump:?} should cost more"
+            );
+        }
+    }
+
+    #[test]
+    fn more_associativity_means_costlier_full_search() {
+        let mut previous = 0.0;
+        for ways in [4u32, 8, 16, 32] {
+            let geom = CacheGeometry::new(32 * 1024, ways, 32);
+            let model = CacheEnergyModel::for_scheme(geom, FetchScheme::Baseline);
+            let search = model.tag_search_pj(u64::from(ways));
+            assert!(search > previous, "{ways}-way: {search}");
+            previous = search;
+        }
+    }
+
+    #[test]
+    fn bigger_caches_cost_more_per_access() {
+        let small = CacheEnergyModel::for_scheme(
+            CacheGeometry::new(16 * 1024, 32, 32),
+            FetchScheme::Baseline,
+        );
+        let large = CacheEnergyModel::for_scheme(
+            CacheGeometry::new(64 * 1024, 32, 32),
+            FetchScheme::Baseline,
+        );
+        assert!(large.baseline_access_pj() > small.baseline_access_pj() * 1.5);
+    }
+}

@@ -1,0 +1,234 @@
+//! Whole-run energy assembly and the paper's two headline metrics:
+//! normalised instruction-cache energy and the energy-delay product.
+
+use wp_mem::{DCacheStats, FetchScheme, FetchStats, MemoryConfig, TlbStats};
+
+use crate::model::{CacheEnergyModel, FetchEnergy, TlbEnergyModel};
+use crate::tech::{CoreEnergyParams, TechnologyParams};
+
+/// Everything a simulation run produces that the energy model needs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SystemActivity {
+    /// Instruction-fetch counters.
+    pub fetch: FetchStats,
+    /// Data-cache counters.
+    pub dcache: DCacheStats,
+    /// I-TLB counters.
+    pub itlb: TlbStats,
+    /// D-TLB counters.
+    pub dtlb: TlbStats,
+    /// Total cycles executed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instructions: u64,
+}
+
+/// A priced run: per-structure picojoules plus the cycle count.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EnergyReport {
+    /// Instruction-cache energy breakdown.
+    pub icache: FetchEnergy,
+    /// I-TLB energy.
+    pub itlb_pj: f64,
+    /// Data-cache energy.
+    pub dcache_pj: f64,
+    /// D-TLB energy.
+    pub dtlb_pj: f64,
+    /// Rest-of-core energy (per-instruction + per-cycle).
+    pub core_pj: f64,
+    /// Cycles the run took.
+    pub cycles: u64,
+}
+
+impl EnergyReport {
+    /// Total instruction-cache energy (the paper's figure 4a/5a/6a axis).
+    #[must_use]
+    pub fn icache_pj(&self) -> f64 {
+        self.icache.total_pj()
+    }
+
+    /// Total processor energy.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.icache_pj() + self.itlb_pj + self.dcache_pj + self.dtlb_pj + self.core_pj
+    }
+
+    /// The instruction cache's share of total energy.
+    #[must_use]
+    pub fn icache_share(&self) -> f64 {
+        self.icache_pj() / self.total_pj()
+    }
+
+    /// Normalised I-cache energy against a baseline run (1.0 = equal,
+    /// lower is better; the paper's ~0.50 for way-placement).
+    #[must_use]
+    pub fn normalized_icache_energy(&self, baseline: &EnergyReport) -> f64 {
+        self.icache_pj() / baseline.icache_pj()
+    }
+
+    /// The energy-delay product against a baseline run: total energy
+    /// ratio times cycle ratio (lower is better; §5 of the paper).
+    #[must_use]
+    pub fn ed_product(&self, baseline: &EnergyReport) -> f64 {
+        let energy_ratio = self.total_pj() / baseline.total_pj();
+        let delay_ratio = self.cycles as f64 / baseline.cycles as f64;
+        energy_ratio * delay_ratio
+    }
+}
+
+/// The full pricing model: technology + core parameters, applied to a
+/// memory configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EnergyModel {
+    tech: TechnologyParams,
+    core: CoreEnergyParams,
+}
+
+impl EnergyModel {
+    /// The calibrated default model.
+    #[must_use]
+    pub fn new() -> EnergyModel {
+        EnergyModel { tech: TechnologyParams::default(), core: CoreEnergyParams::default() }
+    }
+
+    /// Overrides the technology parameters.
+    #[must_use]
+    pub fn with_technology(mut self, tech: TechnologyParams) -> EnergyModel {
+        self.tech = tech;
+        self
+    }
+
+    /// Overrides the core parameters.
+    #[must_use]
+    pub fn with_core(mut self, core: CoreEnergyParams) -> EnergyModel {
+        self.core = core;
+        self
+    }
+
+    /// Prices one run executed on `config`.
+    #[must_use]
+    pub fn price(&self, config: &MemoryConfig, activity: &SystemActivity) -> EnergyReport {
+        let icache_model = CacheEnergyModel::with_technology(
+            config.icache.geometry,
+            config.icache.scheme,
+            self.tech,
+        );
+        let dcache_model = CacheEnergyModel::with_technology(
+            config.dcache.geometry,
+            FetchScheme::Baseline,
+            self.tech,
+        );
+        let itlb_model = TlbEnergyModel::new(
+            config.itlb.entries,
+            config.itlb.page_bytes,
+            config.icache.scheme == FetchScheme::WayPlacement,
+        );
+        let dtlb_model = TlbEnergyModel::new(config.dtlb.entries, config.dtlb.page_bytes, false);
+        EnergyReport {
+            icache: icache_model.fetch_energy(&activity.fetch),
+            itlb_pj: itlb_model.energy_pj(&activity.itlb),
+            dcache_pj: dcache_model.dcache_energy_pj(&activity.dcache),
+            dtlb_pj: dtlb_model.energy_pj(&activity.dtlb),
+            core_pj: activity.instructions as f64 * self.core.per_instruction_pj
+                + activity.cycles as f64 * self.core.per_cycle_pj,
+            cycles: activity.cycles,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_mem::CacheGeometry;
+
+    fn activity(tags_per_fetch: u64) -> SystemActivity {
+        let fetches = 1_000_000u64;
+        SystemActivity {
+            fetch: FetchStats {
+                fetches,
+                hits: fetches - 100,
+                misses: 100,
+                tag_comparisons: fetches * tags_per_fetch,
+                matchline_precharges: fetches * tags_per_fetch,
+                data_reads: fetches,
+                line_fills: 100,
+                ..FetchStats::new()
+            },
+            dcache: DCacheStats {
+                reads: fetches / 4,
+                writes: fetches / 10,
+                hits: fetches / 4 + fetches / 10 - 50,
+                misses: 50,
+                tag_comparisons: (fetches / 4 + fetches / 10) * 32,
+                data_accesses: fetches / 4 + fetches / 10,
+                line_fills: 50,
+                ..DCacheStats::new()
+            },
+            itlb: TlbStats { lookups: fetches, misses: 30, ..TlbStats::new() },
+            dtlb: TlbStats { lookups: fetches / 3, misses: 30, ..TlbStats::new() },
+            cycles: fetches * 3 / 2,
+            instructions: fetches,
+        }
+    }
+
+    #[test]
+    fn icache_share_in_calibration_band() {
+        let geom = CacheGeometry::xscale_icache();
+        let config = MemoryConfig::baseline(geom);
+        let report = EnergyModel::new().price(&config, &activity(32));
+        let share = report.icache_share();
+        assert!(
+            (0.10..0.22).contains(&share),
+            "32KB/32-way I-cache share {share:.3} outside calibration band"
+        );
+    }
+
+    #[test]
+    fn way_placement_halves_icache_energy() {
+        let geom = CacheGeometry::xscale_icache();
+        let model = EnergyModel::new();
+        let base = model.price(&MemoryConfig::baseline(geom), &activity(32));
+        // Way-placement run: ~1 tag per fetch.
+        let wp_cfg = MemoryConfig::way_placement(geom, 0x8000, 32 * 1024);
+        let wp = model.price(&wp_cfg, &activity(1));
+        let ratio = wp.normalized_icache_energy(&base);
+        assert!(
+            (0.35..0.60).contains(&ratio),
+            "normalised way-placement energy {ratio:.3}"
+        );
+        // ED product improves but by less (I-cache is a slice of total).
+        let ed = wp.ed_product(&base);
+        assert!((0.88..0.99).contains(&ed), "ED {ed:.3}");
+    }
+
+    #[test]
+    fn ed_product_penalises_slowdown() {
+        let geom = CacheGeometry::xscale_icache();
+        let config = MemoryConfig::baseline(geom);
+        let model = EnergyModel::new();
+        let base = model.price(&config, &activity(32));
+        let mut slow = activity(32);
+        slow.cycles = slow.cycles * 11 / 10;
+        let slow_report = model.price(&config, &slow);
+        assert!(slow_report.ed_product(&base) > 1.10);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let geom = CacheGeometry::xscale_icache();
+        let report = EnergyModel::new().price(&MemoryConfig::baseline(geom), &activity(32));
+        let sum = report.icache_pj()
+            + report.itlb_pj
+            + report.dcache_pj
+            + report.dtlb_pj
+            + report.core_pj;
+        assert!((report.total_pj() - sum).abs() < 1e-6);
+        assert!(report.total_pj() > 0.0);
+    }
+}

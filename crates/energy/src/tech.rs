@@ -1,0 +1,138 @@
+//! Technology parameters: per-event energies and their scaling with
+//! cache geometry.
+//!
+//! The constants are calibrated to land in the ranges published for
+//! CAM-tag caches in 180 nm-class embedded processors (Zhang et al.,
+//! "Highly-associative caches for low-power processors"; the XScale and
+//! StrongARM papers cited by the way-placement study). Absolute joules
+//! are *not* the point — every result the harness reports is normalised
+//! to an equally-configured baseline, exactly as the paper reports —
+//! but the relative weights (CAM search vs data array vs fill) are what
+//! make the three schemes order the way the paper's figure 4–6 do.
+
+use wp_mem::CacheGeometry;
+
+/// Per-event energy constants, in picojoules.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TechnologyParams {
+    /// Energy per CAM cell comparison (one tag bit in one way).
+    pub cam_bit_pj: f64,
+    /// Energy to precharge and (mostly) discharge one match line.
+    pub matchline_pj: f64,
+    /// Energy per data-array bit precharged on a read, at the reference
+    /// cache size.
+    pub bitline_read_pj: f64,
+    /// Energy per data-array bit driven on a write/fill.
+    pub bitline_write_pj: f64,
+    /// Fixed decode/wordline energy per data-array activation.
+    pub decode_pj: f64,
+    /// Sense-amp energy per bit actually read out.
+    pub senseamp_pj: f64,
+    /// Match-line energy per TLB entry searched.
+    pub tlb_matchline_pj: f64,
+    /// CAM-bit energy per TLB tag bit.
+    pub tlb_cam_bit_pj: f64,
+    /// Energy to read the global way-hint bit (way-placement only).
+    pub way_hint_pj: f64,
+    /// Reference cache size for the wire-length scaling laws.
+    pub reference_bytes: f64,
+    /// Exponent of the CAM tag-side size scaling (wire load grows with
+    /// bank span; super-linear for highly-associative CAM banks).
+    pub tag_scale_exponent: f64,
+    /// Exponent of the data-array size scaling (classic sqrt law).
+    pub data_scale_exponent: f64,
+}
+
+impl TechnologyParams {
+    /// The calibrated default technology point.
+    #[must_use]
+    pub fn embedded_180nm() -> TechnologyParams {
+        TechnologyParams {
+            cam_bit_pj: 0.015,
+            matchline_pj: 0.50,
+            bitline_read_pj: 0.080,
+            bitline_write_pj: 0.110,
+            decode_pj: 2.0,
+            senseamp_pj: 0.10,
+            tlb_matchline_pj: 0.12,
+            tlb_cam_bit_pj: 0.008,
+            way_hint_pj: 0.01,
+            reference_bytes: 32.0 * 1024.0,
+            tag_scale_exponent: 0.80,
+            data_scale_exponent: 0.50,
+        }
+    }
+
+    /// Wire-load scale factor for the tag side of a cache of this size.
+    #[must_use]
+    pub fn tag_scale(&self, geom: CacheGeometry) -> f64 {
+        (f64::from(geom.size_bytes()) / self.reference_bytes).powf(self.tag_scale_exponent)
+    }
+
+    /// Wire-load scale factor for the data side.
+    #[must_use]
+    pub fn data_scale(&self, geom: CacheGeometry) -> f64 {
+        (f64::from(geom.size_bytes()) / self.reference_bytes).powf(self.data_scale_exponent)
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> TechnologyParams {
+        TechnologyParams::embedded_180nm()
+    }
+}
+
+/// Rest-of-core energy constants (everything that is not a cache or
+/// TLB): these set the instruction cache's share of total processor
+/// energy, which is what the ED product measures.
+///
+/// Calibrated so the 32 KB, 32-way I-cache is ~15% of total energy —
+/// consistent with the StrongARM's 27% for its smaller total budget and
+/// with the paper's average ED product of 0.93 at ~50% I-cache saving.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CoreEnergyParams {
+    /// Picojoules per committed instruction (decode, register file,
+    /// ALU/MAC/LSU mix).
+    pub per_instruction_pj: f64,
+    /// Picojoules per clock cycle (clock tree, leakage, idle units).
+    pub per_cycle_pj: f64,
+}
+
+impl CoreEnergyParams {
+    /// The calibrated default.
+    #[must_use]
+    pub fn xscale_class() -> CoreEnergyParams {
+        CoreEnergyParams { per_instruction_pj: 140.0, per_cycle_pj: 90.0 }
+    }
+}
+
+impl Default for CoreEnergyParams {
+    fn default() -> CoreEnergyParams {
+        CoreEnergyParams::xscale_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_one_at_reference() {
+        let tech = TechnologyParams::default();
+        let geom = CacheGeometry::new(32 * 1024, 32, 32);
+        assert!((tech.tag_scale(geom) - 1.0).abs() < 1e-12);
+        assert!((tech.data_scale(geom) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_monotone_in_size() {
+        let tech = TechnologyParams::default();
+        let small = CacheGeometry::new(16 * 1024, 32, 32);
+        let large = CacheGeometry::new(64 * 1024, 32, 32);
+        assert!(tech.tag_scale(small) < 1.0);
+        assert!(tech.tag_scale(large) > 1.0);
+        assert!(tech.data_scale(small) < tech.data_scale(large));
+        // The tag side scales faster than the data side (CAM banks).
+        assert!(tech.tag_scale(large) > tech.data_scale(large));
+    }
+}

@@ -1,0 +1,1453 @@
+//! A two-pass text assembler for the guest ISA.
+//!
+//! The syntax is a pragmatic subset of GNU ARM assembly:
+//!
+//! ```text
+//!     .text
+//!     .global main
+//! main:
+//!     push {r4, r5, lr}
+//!     mov r4, #0
+//! .Lloop:
+//!     add r4, r4, #1
+//!     cmp r4, #10
+//!     blt .Lloop
+//!     ldr r0, =table          ; pseudo: expands to movw/movt
+//!     ldr r1, [r0, r4, lsl #2]
+//!     pop {r4, r5, pc}
+//!
+//!     .data
+//!     .align 2
+//! table:
+//!     .word 1, 2, 3, handler  ; symbol words become data relocations
+//! buf:
+//!     .space 64
+//!     .asciz "hello"
+//! ```
+//!
+//! Labels starting with `.` are module-local. Branches and address
+//! materialisations stay symbolic in the produced [`Module`] so the
+//! link-time rewriter can reorder basic blocks freely.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{
+    AddrMode, Address, AluOp, Cond, DataReloc, Insn, MemOffset, MemWidth, Module, MulOp, Op,
+    Operand, Reg, RegList, Reloc, RelocKind, ShiftAmount, ShiftKind, Symbol, SymbolSection,
+    TextEntry,
+};
+
+/// An assembly error with source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// Module (file) name.
+    pub module: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.module, self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembles `source` into a relocatable [`Module`] named `name`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pinpointing the first syntax error, duplicate
+/// label, out-of-range operand, or reference to an undefined module-local
+/// symbol.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), wp_isa::AsmError> {
+/// let module = wp_isa::assemble(
+///     "demo",
+///     "
+///     .text
+///     f: mov r0, #42
+///        bx lr
+///     ",
+/// )?;
+/// assert_eq!(module.text.len(), 2);
+/// assert_eq!(module.symbol("f").unwrap().offset, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(name: &str, source: &str) -> Result<Module, AsmError> {
+    Assembler::new(name).run(source)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Section {
+    Text,
+    Data,
+    Bss,
+}
+
+struct Assembler {
+    module: Module,
+    section: Section,
+    equs: HashMap<String, i64>,
+    line: usize,
+}
+
+type Result_<T> = Result<T, String>;
+
+impl Assembler {
+    fn new(name: &str) -> Assembler {
+        Assembler {
+            module: Module::new(name),
+            section: Section::Text,
+            equs: HashMap::new(),
+            line: 0,
+        }
+    }
+
+    fn err(&self, message: String) -> AsmError {
+        AsmError { module: self.module.name.clone(), line: self.line, message }
+    }
+
+    fn run(mut self, source: &str) -> Result<Module, AsmError> {
+        for (idx, raw) in source.lines().enumerate() {
+            self.line = idx + 1;
+            let line = strip_comment(raw);
+            let mut rest = line.trim();
+            // Consume any number of leading `label:` definitions.
+            while let Some((label, after)) = split_label(rest) {
+                self.define_label(label).map_err(|m| self.err(m))?;
+                rest = after.trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            if let Some(directive) = rest.strip_prefix('.') {
+                self.directive(directive).map_err(|m| self.err(m))?;
+            } else {
+                self.instruction(rest).map_err(|m| self.err(m))?;
+            }
+        }
+        self.check_locals()?;
+        Ok(self.module)
+    }
+
+    fn define_label(&mut self, label: &str) -> Result_<()> {
+        if !is_ident(label) {
+            return Err(format!("invalid label `{label}`"));
+        }
+        if self.module.symbols.iter().any(|s| s.name == label) {
+            return Err(format!("duplicate label `{label}`"));
+        }
+        let (section, offset) = match self.section {
+            Section::Text => (SymbolSection::Text, self.module.text.len()),
+            Section::Data => (SymbolSection::Data, self.module.data.len()),
+            Section::Bss => (SymbolSection::Bss, self.module.bss_size),
+        };
+        self.module.symbols.push(Symbol { name: label.to_string(), section, offset });
+        Ok(())
+    }
+
+    fn check_locals(&self) -> Result<(), AsmError> {
+        let defined: Vec<&str> =
+            self.module.symbols.iter().map(|s| s.name.as_str()).collect();
+        let check = |symbol: &str| -> Result<(), AsmError> {
+            if symbol.starts_with('.') && !defined.contains(&symbol) {
+                return Err(AsmError {
+                    module: self.module.name.clone(),
+                    line: 0,
+                    message: format!("undefined local symbol `{symbol}`"),
+                });
+            }
+            Ok(())
+        };
+        for entry in &self.module.text {
+            if let Some(reloc) = &entry.reloc {
+                check(&reloc.symbol)?;
+            }
+        }
+        for reloc in &self.module.data_relocs {
+            check(&reloc.symbol)?;
+        }
+        Ok(())
+    }
+
+    // ----- directives -------------------------------------------------
+
+    fn directive(&mut self, body: &str) -> Result_<()> {
+        let (name, args) = match body.find(char::is_whitespace) {
+            Some(pos) => (&body[..pos], body[pos..].trim()),
+            None => (body, ""),
+        };
+        match name {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "bss" => self.section = Section::Bss,
+            "global" | "globl" => {
+                // All non-dot symbols are already global; validate the name.
+                if !is_ident(args) {
+                    return Err(format!("invalid symbol in .global: `{args}`"));
+                }
+            }
+            "word" | "long" => {
+                for arg in split_args(args) {
+                    self.emit_word(&arg)?;
+                }
+            }
+            "half" | "short" => {
+                for arg in split_args(args) {
+                    let value = self.int_expr(&arg)?;
+                    if !(-0x8000..0x1_0000).contains(&value) {
+                        return Err(format!(".half value {value} out of range"));
+                    }
+                    let bytes = (value as u16).to_le_bytes();
+                    self.emit_bytes(&bytes)?;
+                }
+            }
+            "byte" => {
+                for arg in split_args(args) {
+                    let value = self.int_expr(&arg)?;
+                    if !(-0x80..0x100).contains(&value) {
+                        return Err(format!(".byte value {value} out of range"));
+                    }
+                    self.emit_bytes(&[value as u8])?;
+                }
+            }
+            "space" | "skip" | "zero" => {
+                let size = self.int_expr(args.trim())? as usize;
+                match self.section {
+                    Section::Data => self.module.data.extend(std::iter::repeat_n(0, size)),
+                    Section::Bss => self.module.bss_size += size,
+                    Section::Text => return Err(".space not allowed in .text".into()),
+                }
+            }
+            "align" | "balign" => {
+                let arg = self.int_expr(args.trim())?;
+                let bytes = if name == "align" {
+                    1usize
+                        .checked_shl(arg as u32)
+                        .ok_or_else(|| format!("bad .align {arg}"))?
+                } else {
+                    arg as usize
+                };
+                if bytes == 0 || !bytes.is_power_of_two() {
+                    return Err(format!("alignment {bytes} is not a power of two"));
+                }
+                match self.section {
+                    Section::Data => {
+                        while !self.module.data.len().is_multiple_of(bytes) {
+                            self.module.data.push(0);
+                        }
+                    }
+                    Section::Bss => {
+                        while !self.module.bss_size.is_multiple_of(bytes) {
+                            self.module.bss_size += 1;
+                        }
+                    }
+                    Section::Text => {
+                        while !self.module.text_bytes().is_multiple_of(bytes) {
+                            self.module.text.push(TextEntry::plain(Insn::always(Op::Nop)));
+                        }
+                    }
+                }
+            }
+            "ascii" | "asciz" | "string" => {
+                let bytes = parse_string(args)?;
+                self.emit_bytes(&bytes)?;
+                if name != "ascii" {
+                    self.emit_bytes(&[0])?;
+                }
+            }
+            "equ" | "set" => {
+                let mut parts = split_args(args);
+                if parts.len() != 2 {
+                    return Err(".equ needs `name, value`".into());
+                }
+                let value = self.int_expr(&parts.pop().unwrap())?;
+                let name = parts.pop().unwrap();
+                if !is_ident(&name) {
+                    return Err(format!("invalid .equ name `{name}`"));
+                }
+                self.equs.insert(name, value);
+            }
+            _ => return Err(format!("unknown directive `.{name}`")),
+        }
+        Ok(())
+    }
+
+    fn emit_word(&mut self, arg: &str) -> Result_<()> {
+        if self.section != Section::Data {
+            return Err(".word only allowed in .data".into());
+        }
+        if !self.module.data.len().is_multiple_of(4) {
+            return Err(".word at unaligned offset; add .align 2".into());
+        }
+        // Integer expression, or symbol(+/-addend) => data relocation.
+        if let Ok(value) = self.int_expr(arg) {
+            self.module.data.extend((value as u32).to_le_bytes());
+            return Ok(());
+        }
+        let (symbol, addend) = parse_symbol_expr(arg)?;
+        self.module.data_relocs.push(DataReloc {
+            offset: self.module.data.len(),
+            symbol,
+            addend,
+        });
+        self.module.data.extend(0u32.to_le_bytes());
+        Ok(())
+    }
+
+    fn emit_bytes(&mut self, bytes: &[u8]) -> Result_<()> {
+        match self.section {
+            Section::Data => {
+                self.module.data.extend_from_slice(bytes);
+                Ok(())
+            }
+            _ => Err("data emission only allowed in .data".into()),
+        }
+    }
+
+    // ----- instructions ------------------------------------------------
+
+    fn instruction(&mut self, text: &str) -> Result_<()> {
+        let (mnemonic, operands) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        let args = split_args(operands);
+        self.dispatch(&mnemonic, &args)
+    }
+
+    fn emit(&mut self, insn: Insn) {
+        self.module.text.push(TextEntry::plain(insn));
+    }
+
+    fn emit_reloc(&mut self, insn: Insn, reloc: Reloc) {
+        self.module.text.push(TextEntry { insn, reloc: Some(reloc) });
+    }
+
+    fn dispatch(&mut self, mnemonic: &str, args: &[String]) -> Result_<()> {
+        if self.section != Section::Text {
+            return Err("instructions only allowed in .text".into());
+        }
+        // Branch family first: `b`-prefixed mnemonics collide with cond
+        // suffixes (`blt` = b+lt, `bleq` = bl+eq), so try longest base.
+        if let Some(cond) = strip_cond(mnemonic, "bx") {
+            return self.branch_reg(cond, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "bl") {
+            return self.branch(cond, true, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "b") {
+            return self.branch(cond, false, args);
+        }
+        // ALU family (with optional `s`, cond in either order).
+        for op in AluOp::ALL {
+            if let Some((cond, s)) = strip_cond_s(mnemonic, op.mnemonic()) {
+                return self.alu(op, cond, s || op.is_compare(), args);
+            }
+        }
+        // UAL shift aliases: `lsl rd, rm, #n` == `mov rd, rm, lsl #n`.
+        for kind in ShiftKind::ALL {
+            if let Some((cond, s)) = strip_cond_s(mnemonic, kind.mnemonic()) {
+                return self.shift_alias(kind, cond, s, args);
+            }
+        }
+        for (base, op) in [
+            ("mul", MulOp::Mul),
+            ("mla", MulOp::Mla),
+            ("umull", MulOp::Umull),
+            ("smull", MulOp::Smull),
+        ] {
+            if let Some((cond, s)) = strip_cond_s(mnemonic, base) {
+                return self.mul(op, cond, s, args);
+            }
+        }
+        if let Some(cond) = strip_cond(mnemonic, "movw") {
+            return self.mov16(cond, false, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "movt") {
+            return self.mov16(cond, true, args);
+        }
+        if let Some((cond, load, width, signed)) = strip_mem(mnemonic) {
+            return self.mem(cond, load, width, signed, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "push") {
+            return self.push_pop(cond, false, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "pop") {
+            return self.push_pop(cond, true, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "swi") {
+            return self.swi(cond, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "svc") {
+            return self.swi(cond, args);
+        }
+        if let Some(cond) = strip_cond(mnemonic, "nop") {
+            if !args.is_empty() {
+                return Err("nop takes no operands".into());
+            }
+            self.emit(Insn::new(cond, Op::Nop));
+            return Ok(());
+        }
+        if let Some(cond) = strip_cond(mnemonic, "ret") {
+            if !args.is_empty() {
+                return Err("ret takes no operands".into());
+            }
+            self.emit(Insn::new(cond, Op::BranchReg { rm: Reg::LR }));
+            return Ok(());
+        }
+        if let Some((cond, s)) = strip_cond_s(mnemonic, "neg") {
+            // neg rd, rm => rsb rd, rm, #0
+            if args.len() != 2 {
+                return Err("neg needs `rd, rm`".into());
+            }
+            let rd = self.reg(&args[0])?;
+            let rm = self.reg(&args[1])?;
+            self.emit(Insn::new(
+                cond,
+                Op::Alu { op: AluOp::Rsb, s, rd, rn: rm, op2: Operand::Imm(0) },
+            ));
+            return Ok(());
+        }
+        if let Some(cond) = strip_cond(mnemonic, "adr") {
+            return self.adr(cond, args);
+        }
+        Err(format!("unknown mnemonic `{mnemonic}`"))
+    }
+
+    fn reg(&self, text: &str) -> Result_<Reg> {
+        Reg::parse(text.trim()).ok_or_else(|| format!("expected register, got `{text}`"))
+    }
+
+    fn imm(&self, text: &str) -> Result_<i64> {
+        let body = text.trim().strip_prefix('#').unwrap_or(text.trim());
+        self.int_expr(body)
+    }
+
+    fn int_expr(&self, text: &str) -> Result_<i64> {
+        eval_int_expr(text, &self.equs)
+    }
+
+    fn alu(&mut self, op: AluOp, cond: Cond, s: bool, args: &[String]) -> Result_<()> {
+        // Shapes:
+        //   compares: op rn, op2
+        //   mov/mvn:  op rd, op2
+        //   others:   op rd, rn, op2   (or 2-operand form: op rd, op2 == op rd, rd, op2)
+        let (rd, rn, op2_args): (Reg, Reg, &[String]) = if op.is_compare() {
+            if args.len() < 2 {
+                return Err(format!("{op} needs `rn, op2`"));
+            }
+            (Reg::R0, self.reg(&args[0])?, &args[1..])
+        } else if !op.has_rn() {
+            if args.len() < 2 {
+                return Err(format!("{op} needs `rd, op2`"));
+            }
+            (self.reg(&args[0])?, Reg::R0, &args[1..])
+        } else if args.len() >= 3 && Reg::parse(args[1].trim()).is_some() {
+            (self.reg(&args[0])?, self.reg(&args[1])?, &args[2..])
+        } else {
+            // Two-operand shorthand `add rd, op2`.
+            if args.len() < 2 {
+                return Err(format!("{op} needs `rd, rn, op2`"));
+            }
+            let rd = self.reg(&args[0])?;
+            (rd, rd, &args[1..])
+        };
+        let op2 = self.operand2(op2_args)?;
+        // Immediate fix-ups: negative or oversized constants.
+        if let Operand::Imm(raw) = op2 {
+            return self.alu_imm_fixed(op, cond, s, rd, rn, raw as i64 as i32 as i64, op2_args);
+        }
+        self.emit(Insn::new(cond, Op::Alu { op, s, rd, rn, op2 }));
+        Ok(())
+    }
+
+    /// Emits an ALU-with-immediate instruction, rewriting the opcode when
+    /// the constant is negative (`add` ↔ `sub`, `cmp` ↔ `cmn`,
+    /// `mov` → `mvn`, `and` → `bic`) and materialising genuinely
+    /// unencodable constants through `ip` (`movw`/`movt` + register form).
+    #[allow(clippy::too_many_arguments)] // mirrors the instruction fields
+    fn alu_imm_fixed(
+        &mut self,
+        op: AluOp,
+        cond: Cond,
+        s: bool,
+        rd: Reg,
+        rn: Reg,
+        value: i64,
+        raw_args: &[String],
+    ) -> Result_<()> {
+        // Re-evaluate sign: operand2() already returned bits, recompute from text.
+        let value = if raw_args.len() == 1 { self.imm(&raw_args[0])? } else { value };
+        let fits = |v: i64| (0..=i64::from(Operand::MAX_IMM)).contains(&v);
+        let flipped: Option<(AluOp, i64)> = match op {
+            AluOp::Add => Some((AluOp::Sub, -value)),
+            AluOp::Sub => Some((AluOp::Add, -value)),
+            AluOp::Cmp => Some((AluOp::Cmn, -value)),
+            AluOp::Cmn => Some((AluOp::Cmp, -value)),
+            AluOp::Mov => Some((AluOp::Mvn, !value)),
+            AluOp::Mvn => Some((AluOp::Mov, !value)),
+            AluOp::And => Some((AluOp::Bic, !value)),
+            AluOp::Bic => Some((AluOp::And, !value)),
+            _ => None,
+        };
+        if fits(value) {
+            self.emit(Insn::new(
+                cond,
+                Op::Alu { op, s, rd, rn, op2: Operand::Imm(value as u32) },
+            ));
+            return Ok(());
+        }
+        if let Some((flip_op, flip_value)) = flipped {
+            if fits(flip_value) {
+                self.emit(Insn::new(
+                    cond,
+                    Op::Alu { op: flip_op, s, rd, rn, op2: Operand::Imm(flip_value as u32) },
+                ));
+                return Ok(());
+            }
+        }
+        // Materialise through ip. `mov rd, #big` avoids the scratch.
+        let bits = value as u32;
+        if op == AluOp::Mov && !s {
+            self.load_const(cond, rd, bits);
+            return Ok(());
+        }
+        if rn == Reg::IP || rd == Reg::IP {
+            return Err(format!("constant {value} needs ip as scratch, but ip is an operand"));
+        }
+        self.load_const(cond, Reg::IP, bits);
+        self.emit(Insn::new(cond, Op::Alu { op, s, rd, rn, op2: Operand::reg(Reg::IP) }));
+        Ok(())
+    }
+
+    fn load_const(&mut self, cond: Cond, rd: Reg, bits: u32) {
+        self.emit(Insn::new(cond, Op::Mov16 { top: false, rd, imm: bits as u16 }));
+        if bits >> 16 != 0 {
+            self.emit(Insn::new(cond, Op::Mov16 { top: true, rd, imm: (bits >> 16) as u16 }));
+        }
+    }
+
+    /// Parses a flexible second operand from the trailing argument slots:
+    /// `#imm` | `rm` | `rm, <shift> #amt` | `rm, <shift> rs`.
+    fn operand2(&self, args: &[String]) -> Result_<Operand> {
+        match args {
+            [single] => {
+                let t = single.trim();
+                if t.starts_with('#') || t.starts_with(|c: char| c.is_ascii_digit() || c == '-')
+                {
+                    let value = self.imm(t)?;
+                    // Sign handled by the caller's fix-ups; pass bits through.
+                    Ok(Operand::Imm(value as u32))
+                } else {
+                    Ok(Operand::reg(self.reg(t)?))
+                }
+            }
+            [rm, shift] => {
+                let rm = self.reg(rm)?;
+                let (kind, amount) = self.shift_spec(shift)?;
+                Ok(Operand::Reg { rm, kind, amount })
+            }
+            _ => Err("malformed second operand".into()),
+        }
+    }
+
+    /// Parses `lsl #3`, `asr r4`, etc.
+    fn shift_spec(&self, text: &str) -> Result_<(ShiftKind, ShiftAmount)> {
+        let text = text.trim();
+        let (name, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => return Err(format!("malformed shift `{text}`")),
+        };
+        let kind =
+            ShiftKind::parse(name).ok_or_else(|| format!("unknown shift `{name}`"))?;
+        if let Some(reg) = Reg::parse(rest) {
+            return Ok((kind, ShiftAmount::Reg(reg)));
+        }
+        let amount = self.imm(rest)?;
+        if !(0..32).contains(&amount) {
+            return Err(format!("shift amount {amount} out of range"));
+        }
+        Ok((kind, ShiftAmount::Imm(amount as u8)))
+    }
+
+    fn shift_alias(
+        &mut self,
+        kind: ShiftKind,
+        cond: Cond,
+        s: bool,
+        args: &[String],
+    ) -> Result_<()> {
+        if args.len() != 3 {
+            return Err(format!("{kind} needs `rd, rm, #amt|rs`"));
+        }
+        let rd = self.reg(&args[0])?;
+        let rm = self.reg(&args[1])?;
+        let amount = if let Some(rs) = Reg::parse(args[2].trim()) {
+            ShiftAmount::Reg(rs)
+        } else {
+            let amt = self.imm(&args[2])?;
+            if !(0..32).contains(&amt) {
+                return Err(format!("shift amount {amt} out of range"));
+            }
+            ShiftAmount::Imm(amt as u8)
+        };
+        self.emit(Insn::new(
+            cond,
+            Op::Alu {
+                op: AluOp::Mov,
+                s,
+                rd,
+                rn: Reg::R0,
+                op2: Operand::Reg { rm, kind, amount },
+            },
+        ));
+        Ok(())
+    }
+
+    fn mul(&mut self, op: MulOp, cond: Cond, s: bool, args: &[String]) -> Result_<()> {
+        match op {
+            MulOp::Mul => {
+                if args.len() != 3 {
+                    return Err("mul needs `rd, rm, rs`".into());
+                }
+                let rd = self.reg(&args[0])?;
+                let rm = self.reg(&args[1])?;
+                let rs = self.reg(&args[2])?;
+                self.emit(Insn::new(cond, Op::Mul { op, s, rd, ra: Reg::R0, rm, rs }));
+            }
+            MulOp::Mla => {
+                if args.len() != 4 {
+                    return Err("mla needs `rd, rm, rs, rn`".into());
+                }
+                let rd = self.reg(&args[0])?;
+                let rm = self.reg(&args[1])?;
+                let rs = self.reg(&args[2])?;
+                let ra = self.reg(&args[3])?;
+                self.emit(Insn::new(cond, Op::Mul { op, s, rd, ra, rm, rs }));
+            }
+            MulOp::Umull | MulOp::Smull => {
+                if args.len() != 4 {
+                    return Err("mull needs `rdlo, rdhi, rm, rs`".into());
+                }
+                let rd = self.reg(&args[0])?;
+                let ra = self.reg(&args[1])?;
+                let rm = self.reg(&args[2])?;
+                let rs = self.reg(&args[3])?;
+                if rd == ra {
+                    return Err("mull: rdlo and rdhi must differ".into());
+                }
+                self.emit(Insn::new(cond, Op::Mul { op, s, rd, ra, rm, rs }));
+            }
+        }
+        Ok(())
+    }
+
+    fn mov16(&mut self, cond: Cond, top: bool, args: &[String]) -> Result_<()> {
+        if args.len() != 2 {
+            return Err("movw/movt need `rd, #imm16`".into());
+        }
+        let rd = self.reg(&args[0])?;
+        let value = self.imm(&args[1])?;
+        if !(0..0x1_0000).contains(&value) {
+            return Err(format!("16-bit immediate {value} out of range"));
+        }
+        self.emit(Insn::new(cond, Op::Mov16 { top, rd, imm: value as u16 }));
+        Ok(())
+    }
+
+    fn mem(
+        &mut self,
+        cond: Cond,
+        load: bool,
+        width: MemWidth,
+        signed: bool,
+        args: &[String],
+    ) -> Result_<()> {
+        if args.len() < 2 {
+            return Err("ldr/str need `rd, <address>`".into());
+        }
+        let rd = self.reg(&args[0])?;
+        // `ldr rd, =expr` pseudo-instruction.
+        if load && width == MemWidth::Word && args[1].trim_start().starts_with('=') {
+            if args.len() != 2 {
+                return Err("malformed `ldr rd, =expr`".into());
+            }
+            return self.ldr_const(cond, rd, args[1].trim().strip_prefix('=').unwrap());
+        }
+        let addr = self.address(&args[1..])?;
+        if signed && !load {
+            return Err("signed stores do not exist".into());
+        }
+        self.emit(Insn::new(cond, Op::Mem { load, width, signed, rd, addr }));
+        Ok(())
+    }
+
+    fn ldr_const(&mut self, cond: Cond, rd: Reg, expr: &str) -> Result_<()> {
+        if let Ok(value) = self.int_expr(expr) {
+            self.load_const(cond, rd, value as u32);
+            return Ok(());
+        }
+        let (symbol, addend) = parse_symbol_expr(expr)?;
+        self.emit_reloc(
+            Insn::new(cond, Op::Mov16 { top: false, rd, imm: 0 }),
+            Reloc { kind: RelocKind::Abs16Lo, symbol: symbol.clone(), addend },
+        );
+        self.emit_reloc(
+            Insn::new(cond, Op::Mov16 { top: true, rd, imm: 0 }),
+            Reloc { kind: RelocKind::Abs16Hi, symbol, addend },
+        );
+        Ok(())
+    }
+
+    fn adr(&mut self, cond: Cond, args: &[String]) -> Result_<()> {
+        if args.len() != 2 {
+            return Err("adr needs `rd, label`".into());
+        }
+        let rd = self.reg(&args[0])?;
+        self.ldr_const(cond, rd, args[1].trim())
+    }
+
+    /// Parses the bracketed address syntax. The brackets may have been
+    /// split across comma-separated argument slots.
+    fn address(&self, args: &[String]) -> Result_<Address> {
+        let joined = args.join(",");
+        let text = joined.trim();
+        let open = text.find('[').ok_or_else(|| format!("expected `[` in `{text}`"))?;
+        let close = text.find(']').ok_or_else(|| format!("expected `]` in `{text}`"))?;
+        if open != 0 || close < open {
+            return Err(format!("malformed address `{text}`"));
+        }
+        let inside = &text[open + 1..close];
+        let after = text[close + 1..].trim();
+        let parts: Vec<&str> = inside.split(',').map(str::trim).collect();
+        let base = self.reg(parts[0])?;
+
+        let parse_offset = |spec: &[&str]| -> Result_<MemOffset> {
+            match spec {
+                [] => Ok(MemOffset::Imm(0)),
+                [one] => {
+                    let t = one.trim();
+                    if t.starts_with('#')
+                        || t.starts_with(|c: char| c.is_ascii_digit())
+                        || t.starts_with('-') && t[1..].starts_with(|c: char| c.is_ascii_digit())
+                    {
+                        let value = self.imm(t)?;
+                        if value.unsigned_abs() > MemOffset::MAX_IMM as u64 {
+                            return Err(format!("memory offset {value} out of range"));
+                        }
+                        Ok(MemOffset::Imm(value as i32))
+                    } else {
+                        let (add, name) = match t.strip_prefix('-') {
+                            Some(rest) => (false, rest),
+                            None => (true, t),
+                        };
+                        Ok(MemOffset::Reg {
+                            rm: self.reg(name)?,
+                            kind: ShiftKind::Lsl,
+                            amount: 0,
+                            add,
+                        })
+                    }
+                }
+                [reg, shift] => {
+                    let t = reg.trim();
+                    let (add, name) = match t.strip_prefix('-') {
+                        Some(rest) => (false, rest),
+                        None => (true, t),
+                    };
+                    let rm = self.reg(name)?;
+                    let (kind, amount) = self.shift_spec(shift)?;
+                    let ShiftAmount::Imm(amount) = amount else {
+                        return Err("register-shifted memory offsets must be constant".into());
+                    };
+                    if amount >= 8 {
+                        return Err(format!("memory shift amount {amount} out of range (0..=7)"));
+                    }
+                    Ok(MemOffset::Reg { rm, kind, amount, add })
+                }
+                _ => Err("malformed memory offset".into()),
+            }
+        };
+
+        if after.is_empty() {
+            // [rn] or [rn, off]
+            Ok(Address { base, offset: parse_offset(&parts[1..])?, mode: AddrMode::Offset })
+        } else if after == "!" {
+            let offset = parse_offset(&parts[1..])?;
+            if parts.len() == 1 {
+                return Err("pre-index needs an offset".into());
+            }
+            Ok(Address { base, offset, mode: AddrMode::PreIndex })
+        } else if let Some(post) = after.strip_prefix(',') {
+            if parts.len() != 1 {
+                return Err("post-index puts the offset after the brackets".into());
+            }
+            let post_parts: Vec<&str> = post.split(',').map(str::trim).collect();
+            let offset = parse_offset(&post_parts)?;
+            Ok(Address { base, offset, mode: AddrMode::PostIndex })
+        } else {
+            Err(format!("trailing junk after address: `{after}`"))
+        }
+    }
+
+    fn push_pop(&mut self, cond: Cond, pop: bool, args: &[String]) -> Result_<()> {
+        let joined = args.join(",");
+        let text = joined.trim();
+        let inner = text
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| format!("expected register list, got `{text}`"))?;
+        let mut list = RegList::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((lo, hi)) = part.split_once('-') {
+                let lo = self.reg(lo)?;
+                let hi = self.reg(hi)?;
+                if lo.index() > hi.index() {
+                    return Err(format!("bad register range `{part}`"));
+                }
+                for i in lo.index()..=hi.index() {
+                    list.insert(Reg::new(i as u8));
+                }
+            } else {
+                list.insert(self.reg(part)?);
+            }
+        }
+        if list.is_empty() {
+            return Err("empty register list".into());
+        }
+        if !pop && list.contains(Reg::PC) {
+            return Err("cannot push pc".into());
+        }
+        let op = if pop { Op::Pop { list } } else { Op::Push { list } };
+        self.emit(Insn::new(cond, op));
+        Ok(())
+    }
+
+    fn swi(&mut self, cond: Cond, args: &[String]) -> Result_<()> {
+        if args.len() != 1 {
+            return Err("swi needs `#imm`".into());
+        }
+        let value = self.imm(&args[0])?;
+        if !(0..1 << 24).contains(&value) {
+            return Err(format!("swi number {value} out of range"));
+        }
+        self.emit(Insn::new(cond, Op::Swi { imm: value as u32 }));
+        Ok(())
+    }
+
+    fn branch(&mut self, cond: Cond, link: bool, args: &[String]) -> Result_<()> {
+        if args.len() != 1 {
+            return Err("branch needs a target label".into());
+        }
+        let (symbol, addend) = parse_symbol_expr(args[0].trim())?;
+        self.emit_reloc(
+            Insn::new(cond, Op::Branch { link, offset: 0 }),
+            Reloc { kind: RelocKind::Branch24, symbol, addend },
+        );
+        Ok(())
+    }
+
+    fn branch_reg(&mut self, cond: Cond, args: &[String]) -> Result_<()> {
+        if args.len() != 1 {
+            return Err("bx needs a register".into());
+        }
+        let rm = self.reg(&args[0])?;
+        self.emit(Insn::new(cond, Op::BranchReg { rm }));
+        Ok(())
+    }
+}
+
+// ----- lexical helpers -----------------------------------------------
+
+/// Strips `;`, `@` and `//` comments, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut in_char = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if b == b'\\' {
+                i += 1;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else if in_char {
+            if b == b'\\' {
+                i += 1;
+            } else if b == b'\'' {
+                in_char = false;
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'\'' => in_char = true,
+                b';' | b'@' => return &line[..i],
+                b'/' if bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+/// If the line starts with `label:`, returns `(label, rest)`.
+fn split_label(line: &str) -> Option<(&str, &str)> {
+    let colon = line.find(':')?;
+    let label = line[..colon].trim();
+    if label.is_empty() || !is_ident(label) {
+        return None;
+    }
+    Some((label, &line[colon + 1..]))
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Splits operands on commas that are not inside brackets, braces or
+/// quotes. Returns trimmed, non-empty pieces.
+fn split_args(text: &str) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut in_char = false;
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            current.push(c);
+            if c == '\\' {
+                if let Some(n) = chars.next() {
+                    current.push(n);
+                }
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        if in_char {
+            current.push(c);
+            if c == '\\' {
+                if let Some(n) = chars.next() {
+                    current.push(n);
+                }
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                current.push(c);
+            }
+            '\'' => {
+                in_char = true;
+                current.push(c);
+            }
+            '[' | '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' | '}' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    args.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            // A comma *inside* brackets stays with its argument so the
+            // address parser sees the whole `[rn, rm, lsl #2]` form; the
+            // post-index comma also keeps `[rn], #4` together because the
+            // `]` closed the bracket but the arg is re-joined later.
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        args.push(current.trim().to_string());
+    }
+    args
+}
+
+/// Parses an integer literal: decimal, `0x` hex, `0b` binary, `'c'` char,
+/// with optional leading `-`.
+fn parse_int(text: &str) -> Option<i64> {
+    let text = text.trim();
+    let (negative, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, text),
+    };
+    let magnitude: i64 = if let Some(hex) = body.strip_prefix("0x").or(body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or(body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else if body.starts_with('\'') {
+        let inner = body.strip_prefix('\'')?.strip_suffix('\'')?;
+        let c = match inner {
+            "\\n" => b'\n',
+            "\\t" => b'\t',
+            "\\r" => b'\r',
+            "\\0" => 0,
+            "\\\\" => b'\\',
+            "\\'" => b'\'',
+            s if s.len() == 1 => s.as_bytes()[0],
+            _ => return None,
+        };
+        i64::from(c)
+    } else {
+        body.parse().ok()?
+    };
+    Some(if negative { -magnitude } else { magnitude })
+}
+
+/// Evaluates `a + b - c` style integer expressions over literals and
+/// `.equ` constants.
+fn eval_int_expr(text: &str, equs: &HashMap<String, i64>) -> Result<i64, String> {
+    let mut total = 0i64;
+    for (sign, term) in split_terms(text)? {
+        let value = if let Some(v) = parse_int(&term) {
+            v
+        } else if let Some(v) = equs.get(term.trim()) {
+            *v
+        } else {
+            return Err(format!("cannot evaluate `{term}` as an integer"));
+        };
+        total += sign * value;
+    }
+    Ok(total)
+}
+
+/// Parses `symbol`, `symbol+4`, `symbol-8` into `(symbol, addend)`.
+fn parse_symbol_expr(text: &str) -> Result<(String, i64), String> {
+    let terms = split_terms(text)?;
+    let mut symbol: Option<String> = None;
+    let mut addend = 0i64;
+    for (sign, term) in terms {
+        if let Some(v) = parse_int(&term) {
+            addend += sign * v;
+        } else if is_ident(term.trim()) {
+            if symbol.is_some() {
+                return Err(format!("multiple symbols in expression `{text}`"));
+            }
+            if sign < 0 {
+                return Err(format!("cannot negate a symbol in `{text}`"));
+            }
+            symbol = Some(term.trim().to_string());
+        } else {
+            return Err(format!("malformed expression term `{term}`"));
+        }
+    }
+    match symbol {
+        Some(symbol) => Ok((symbol, addend)),
+        None => Err(format!("expected a symbol in `{text}`")),
+    }
+}
+
+/// Splits an additive expression into signed terms, respecting that `-`
+/// may be a literal sign only at the start.
+fn split_terms(text: &str) -> Result<Vec<(i64, String)>, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("empty expression".into());
+    }
+    let mut terms = Vec::new();
+    let mut sign = 1i64;
+    let mut current = String::new();
+    let mut first = true;
+    for c in text.chars() {
+        match c {
+            '+' | '-' if !first && !current.trim().is_empty() => {
+                terms.push((sign, std::mem::take(&mut current)));
+                sign = if c == '+' { 1 } else { -1 };
+            }
+            '-' if current.trim().is_empty() => {
+                // leading minus binds to the literal
+                current.push(c);
+            }
+            _ => current.push(c),
+        }
+        first = false;
+    }
+    if current.trim().is_empty() {
+        return Err(format!("dangling operator in `{text}`"));
+    }
+    terms.push((sign, current));
+    Ok(terms)
+}
+
+fn parse_string(text: &str) -> Result<Vec<u8>, String> {
+    let text = text.trim();
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected quoted string, got `{text}`"))?;
+    let mut bytes = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => bytes.push(b'\n'),
+                Some('t') => bytes.push(b'\t'),
+                Some('r') => bytes.push(b'\r'),
+                Some('0') => bytes.push(0),
+                Some('\\') => bytes.push(b'\\'),
+                Some('"') => bytes.push(b'"'),
+                other => return Err(format!("bad escape `\\{other:?}`")),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(bytes)
+}
+
+/// Strips a condition suffix off `mnemonic` given its `base`; returns the
+/// condition if the remainder parses.
+fn strip_cond(mnemonic: &str, base: &str) -> Option<Cond> {
+    let rest = mnemonic.strip_prefix(base)?;
+    Cond::parse_suffix(rest)
+}
+
+/// Strips `s` and condition suffixes in either order.
+fn strip_cond_s(mnemonic: &str, base: &str) -> Option<(Cond, bool)> {
+    let rest = mnemonic.strip_prefix(base)?;
+    if let Some(cond) = Cond::parse_suffix(rest) {
+        return Some((cond, false));
+    }
+    if let Some(no_s) = rest.strip_suffix('s') {
+        if let Some(cond) = Cond::parse_suffix(no_s) {
+            return Some((cond, true));
+        }
+    }
+    if let Some(no_s) = rest.strip_prefix('s') {
+        if let Some(cond) = Cond::parse_suffix(no_s) {
+            return Some((cond, true));
+        }
+    }
+    None
+}
+
+/// Parses `ldr`/`str` mnemonics with width and condition suffixes in
+/// either order: `ldrb`, `ldrbne`, `ldrneb`, `strh`, `ldrsh`, ...
+fn strip_mem(mnemonic: &str) -> Option<(Cond, bool, MemWidth, bool)> {
+    let (load, rest) = if let Some(rest) = mnemonic.strip_prefix("ldr") {
+        (true, rest)
+    } else if let Some(rest) = mnemonic.strip_prefix("str") {
+        (false, rest)
+    } else {
+        return None;
+    };
+    let widths: [(&str, MemWidth, bool); 5] = [
+        ("sb", MemWidth::Byte, true),
+        ("sh", MemWidth::Half, true),
+        ("b", MemWidth::Byte, false),
+        ("h", MemWidth::Half, false),
+        ("", MemWidth::Word, false),
+    ];
+    // width then cond
+    for (suffix, width, signed) in widths {
+        if let Some(after) = rest.strip_prefix(suffix) {
+            if let Some(cond) = Cond::parse_suffix(after) {
+                return Some((cond, load, width, signed));
+            }
+        }
+    }
+    // cond then width
+    for (suffix, width, signed) in widths {
+        if let Some(before) = rest.strip_suffix(suffix) {
+            if let Some(cond) = Cond::parse_suffix(before) {
+                return Some((cond, load, width, signed));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asm(src: &str) -> Module {
+        assemble("test", src).expect("assembly failed")
+    }
+
+    fn asm_err(src: &str) -> AsmError {
+        assemble("test", src).expect_err("assembly unexpectedly succeeded")
+    }
+
+    fn text(src: &str) -> Vec<String> {
+        asm(src).text.iter().map(|e| e.insn.to_string()).collect()
+    }
+
+    #[test]
+    fn basic_alu() {
+        assert_eq!(
+            text("add r0, r1, #4\nsubs r2, r2, r3\nmov r4, r5, lsl #3"),
+            vec!["add r0, r1, #4", "subs r2, r2, r3", "mov r4, r5, lsl #3"]
+        );
+    }
+
+    #[test]
+    fn two_operand_shorthand() {
+        assert_eq!(text("add r0, #1"), vec!["add r0, r0, #1"]);
+        assert_eq!(text("orr r3, r4"), vec!["orr r3, r3, r4"]);
+    }
+
+    #[test]
+    fn conditional_mnemonics() {
+        assert_eq!(
+            text("addeq r0, r1, #1\nmovne r2, #0\nsubges r3, r3, #1\nsublts r3, r3, #1"),
+            vec!["addeq r0, r1, #1", "movne r2, #0", "subges r3, r3, #1", "sublts r3, r3, #1"]
+        );
+    }
+
+    #[test]
+    fn branch_mnemonic_disambiguation() {
+        let m = asm("x: b x\n bl x\n blt x\n bleq x\n bls x\n bx lr\n bxne r3");
+        let kinds: Vec<String> = m.text.iter().map(|e| e.insn.to_string()).collect();
+        assert!(kinds[0].starts_with("b "));
+        assert!(kinds[1].starts_with("bl "));
+        assert!(kinds[2].starts_with("blt "));
+        assert!(kinds[3].starts_with("bleq "));
+        assert!(kinds[4].starts_with("bls "));
+        assert_eq!(kinds[5], "bx lr");
+        assert_eq!(kinds[6], "bxne r3");
+        // All direct branches carry Branch24 relocations to `x`.
+        for entry in &m.text[..5] {
+            let reloc = entry.reloc.as_ref().expect("branch reloc");
+            assert_eq!(reloc.kind, RelocKind::Branch24);
+            assert_eq!(reloc.symbol, "x");
+        }
+    }
+
+    #[test]
+    fn negative_immediate_fixups() {
+        assert_eq!(text("add r0, r1, #-4"), vec!["sub r0, r1, #4"]);
+        assert_eq!(text("sub r0, r1, #-4"), vec!["add r0, r1, #4"]);
+        assert_eq!(text("cmp r0, #-1"), vec!["cmn r0, #1"]);
+        assert_eq!(text("mov r0, #-1"), vec!["mvn r0, #0"]);
+        assert_eq!(text("and r0, r1, #-2"), vec!["bic r0, r1, #1"]);
+    }
+
+    #[test]
+    fn large_constants_materialise() {
+        // mov with a large constant becomes movw/movt into rd itself.
+        assert_eq!(
+            text("mov r0, #0x12345678"),
+            vec!["movw r0, #22136", "movt r0, #4660"]
+        );
+        // other ops go through ip.
+        assert_eq!(
+            text("add r0, r1, #0x10000"),
+            vec!["movw r12, #0", "movt r12, #1", "add r0, r1, r12"]
+        );
+        // 16-bit constants skip the movt.
+        assert_eq!(text("mov r0, #0x8000"), vec!["movw r0, #32768"]);
+    }
+
+    #[test]
+    fn ldr_pseudo() {
+        let m = asm(".data\nv: .word 0\n.text\nf: ldr r0, =v\nldr r1, =0x42");
+        assert_eq!(m.text.len(), 3);
+        assert_eq!(m.text[0].reloc.as_ref().unwrap().kind, RelocKind::Abs16Lo);
+        assert_eq!(m.text[1].reloc.as_ref().unwrap().kind, RelocKind::Abs16Hi);
+        assert_eq!(m.text[2].insn.to_string(), "movw r1, #66");
+    }
+
+    #[test]
+    fn memory_operands() {
+        assert_eq!(
+            text(
+                "ldr r0, [r1]\nldr r0, [r1, #8]\nstr r0, [r1, #-8]\n\
+                 ldrb r0, [r1, r2]\nldr r0, [r1, r2, lsl #2]\n\
+                 str r0, [r1, #4]!\nldr r0, [r1], #4\nldrsh r0, [r1, -r2]"
+            ),
+            vec![
+                "ldr r0, [r1]",
+                "ldr r0, [r1, #8]",
+                "str r0, [r1, #-8]",
+                "ldrb r0, [r1, r2]",
+                "ldr r0, [r1, r2, lsl #2]",
+                "str r0, [r1, #4]!",
+                "ldr r0, [r1], #4",
+                "ldrsh r0, [r1, -r2]",
+            ]
+        );
+    }
+
+    #[test]
+    fn push_pop_ranges() {
+        assert_eq!(
+            text("push {r4-r6, lr}\npop {r4-r6, pc}"),
+            vec!["push {r4, r5, r6, lr}", "pop {r4, r5, r6, pc}"]
+        );
+    }
+
+    #[test]
+    fn data_directives() {
+        let m = asm(
+            ".data\n\
+             a: .word 1, 2, 0x10\n\
+             b: .byte 1, 2\n\
+             .align 2\n\
+             c: .half 0x1234\n\
+             s: .asciz \"hi\"\n\
+             .bss\n\
+             buf: .space 32\n",
+        );
+        assert_eq!(&m.data[0..4], &1u32.to_le_bytes());
+        assert_eq!(&m.data[8..12], &0x10u32.to_le_bytes());
+        assert_eq!(m.data[12], 1);
+        assert_eq!(m.data[13], 2);
+        // aligned to 4 before the half
+        assert_eq!(&m.data[16..18], &0x1234u16.to_le_bytes());
+        assert_eq!(&m.data[18..21], b"hi\0");
+        assert_eq!(m.bss_size, 32);
+        assert_eq!(m.symbol("buf").unwrap().section, SymbolSection::Bss);
+        assert_eq!(m.symbol("c").unwrap().offset, 16);
+    }
+
+    #[test]
+    fn word_symbol_relocs() {
+        let m = asm(".text\nf: nop\n.data\ntbl: .word f, f+4, 9");
+        assert_eq!(m.data_relocs.len(), 2);
+        assert_eq!(m.data_relocs[0].offset, 0);
+        assert_eq!(m.data_relocs[0].symbol, "f");
+        assert_eq!(m.data_relocs[1].addend, 4);
+        assert_eq!(&m.data[8..12], &9u32.to_le_bytes());
+    }
+
+    #[test]
+    fn equ_constants() {
+        let m = asm(".equ SIZE, 64\n.text\nf: mov r0, #SIZE\n.data\n.space SIZE");
+        assert_eq!(m.text[0].insn.to_string(), "mov r0, #64");
+        assert_eq!(m.data.len(), 64);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let m = asm(
+            "f: mov r0, #1 ; semicolon\n\
+             mov r1, #2 @ at-sign\n\
+             mov r2, #3 // slashes\n\
+             mov r3, #';'\n",
+        );
+        assert_eq!(m.text.len(), 4);
+        assert_eq!(m.text[3].insn.to_string(), format!("mov r3, #{}", b';'));
+    }
+
+    #[test]
+    fn char_immediates() {
+        assert_eq!(text("mov r0, #'a'"), vec![format!("mov r0, #{}", b'a')]);
+        assert_eq!(text("cmp r0, #'\\n'"), vec![format!("cmp r0, #{}", b'\n')]);
+    }
+
+    #[test]
+    fn mul_forms() {
+        assert_eq!(
+            text("mul r0, r1, r2\nmla r0, r1, r2, r3\numull r0, r1, r2, r3\nsmull r0, r1, r2, r3"),
+            vec![
+                "mul r0, r1, r2",
+                "mla r0, r1, r2, r3",
+                "umull r0, r1, r2, r3",
+                "smull r0, r1, r2, r3",
+            ]
+        );
+    }
+
+    #[test]
+    fn shift_aliases() {
+        assert_eq!(text("lsl r0, r1, #3"), vec!["mov r0, r1, lsl #3"]);
+        assert_eq!(text("lsrs r0, r1, r2"), vec!["movs r0, r1, lsr r2"]);
+        assert_eq!(text("asr r5, r5, #31"), vec!["mov r5, r5, asr #31"]);
+    }
+
+    #[test]
+    fn labels_and_sections() {
+        let m = asm(
+            ".text\nmain: nop\nhelper: nop\n.data\nval: .word 5\n",
+        );
+        assert_eq!(m.symbol("main").unwrap().offset, 0);
+        assert_eq!(m.symbol("helper").unwrap().offset, 1);
+        assert_eq!(m.symbol("val").unwrap().section, SymbolSection::Data);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = asm_err("nop\nbogus r0\n");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(asm_err("mov r0").message.contains("needs"));
+        assert!(asm_err("push {}").message.contains("empty"));
+        assert!(asm_err("push {pc}").message.contains("cannot push pc"));
+        assert!(asm_err("x: nop\nx: nop").message.contains("duplicate"));
+        assert!(asm_err("b .Lmissing").message.contains("undefined local"));
+        assert!(asm_err(".data\n.word 1\n.byte 7\n.word 2").message.contains("unaligned"));
+        assert!(asm_err("ldr r0, [r1, #9999]").message.contains("out of range"));
+        assert!(asm_err("strsb r0, [r1]").message.contains("signed stores"));
+        assert!(asm_err(".weird").message.contains("unknown directive"));
+        assert!(asm_err(".text\n.word 1").message.contains("only allowed in .data"));
+    }
+
+    #[test]
+    fn swi_and_nop() {
+        assert_eq!(text("swi #3\nsvc #4\nnop\nret"), vec![
+            "swi #3",
+            "swi #4",
+            "nop",
+            "bx lr"
+        ]);
+    }
+
+    #[test]
+    fn neg_alias() {
+        assert_eq!(text("neg r0, r1"), vec!["rsb r0, r1, #0"]);
+        assert_eq!(text("negs r0, r1"), vec!["rsbs r0, r1, #0"]);
+    }
+
+    #[test]
+    fn align_in_text_pads_with_nops() {
+        let m = asm("f: nop\n.align 3\ng: nop");
+        assert_eq!(m.symbol("g").unwrap().offset, 2);
+        assert_eq!(m.text[1].insn.op, Op::Nop);
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let m = asm("a: b: nop");
+        assert_eq!(m.symbol("a").unwrap().offset, 0);
+        assert_eq!(m.symbol("b").unwrap().offset, 0);
+    }
+}

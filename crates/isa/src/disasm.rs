@@ -1,0 +1,147 @@
+//! Disassembly of linked images: symbol-annotated listings for
+//! debugging layouts and inspecting what the link-time rewriter emitted.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Image, Insn, Op};
+
+/// One disassembled line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DisasmLine {
+    /// Instruction address.
+    pub addr: u32,
+    /// Labels defined at this address.
+    pub labels: Vec<String>,
+    /// The rendered instruction.
+    pub text: String,
+    /// For direct branches, the resolved target (symbol if known).
+    pub target: Option<String>,
+}
+
+impl Image {
+    /// Disassembles the text section into annotated lines.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wp_isa::{Cond, Image, Insn, Op};
+    ///
+    /// let image = Image {
+    ///     text: vec![Insn::new(Cond::Al, Op::Nop)],
+    ///     data: Vec::new(),
+    ///     bss_size: 0,
+    ///     entry: Image::TEXT_BASE,
+    ///     symbols: [("main".to_string(), Image::TEXT_BASE)].into_iter().collect(),
+    /// };
+    /// let lines = image.disassemble();
+    /// assert_eq!(lines[0].labels, vec!["main"]);
+    /// assert_eq!(lines[0].text, "nop");
+    /// ```
+    #[must_use]
+    pub fn disassemble(&self) -> Vec<DisasmLine> {
+        // Invert the symbol table: address -> names.
+        let mut labels_at: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for (name, &addr) in &self.symbols {
+            labels_at.entry(addr).or_default().push(name.clone());
+        }
+        self.iter_text()
+            .map(|(addr, insn)| {
+                let target = branch_target(addr, insn).map(|t| {
+                    labels_at
+                        .get(&t)
+                        .and_then(|names| names.first().cloned())
+                        .unwrap_or_else(|| format!("{t:#x}"))
+                });
+                DisasmLine {
+                    addr,
+                    labels: labels_at.get(&addr).cloned().unwrap_or_default(),
+                    text: insn.to_string(),
+                    target,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the whole text section as one listing string.
+    #[must_use]
+    pub fn disassembly(&self) -> String {
+        let mut out = String::new();
+        for line in self.disassemble() {
+            for label in &line.labels {
+                let _ = writeln!(out, "{label}:");
+            }
+            match &line.target {
+                Some(target) => {
+                    let _ = writeln!(out, "  {:#010x}  {:<32} ; -> {target}", line.addr, line.text);
+                }
+                None => {
+                    let _ = writeln!(out, "  {:#010x}  {}", line.addr, line.text);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn branch_target(addr: u32, insn: Insn) -> Option<u32> {
+    match insn.op {
+        Op::Branch { offset, .. } => {
+            Some(addr.wrapping_add(4).wrapping_add((offset as u32) << 2))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Insn, Op, Reg};
+
+    fn image() -> Image {
+        // main: b skip / nop / skip: bx lr
+        Image {
+            text: vec![
+                Insn::always(Op::Branch { link: false, offset: 1 }),
+                Insn::new(Cond::Al, Op::Nop),
+                Insn::always(Op::BranchReg { rm: Reg::LR }),
+            ],
+            data: Vec::new(),
+            bss_size: 0,
+            entry: Image::TEXT_BASE,
+            symbols: [
+                ("main".to_string(), Image::TEXT_BASE),
+                ("skip".to_string(), Image::TEXT_BASE + 8),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn branch_targets_resolve_to_symbols() {
+        let lines = image().disassemble();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].labels, vec!["main"]);
+        assert_eq!(lines[0].target.as_deref(), Some("skip"));
+        assert!(lines[1].target.is_none());
+        assert_eq!(lines[2].labels, vec!["skip"]);
+    }
+
+    #[test]
+    fn listing_contains_labels_and_arrows() {
+        let listing = image().disassembly();
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("skip:"));
+        assert!(listing.contains("; -> skip"));
+        assert!(listing.contains("bx lr"));
+    }
+
+    #[test]
+    fn unknown_targets_print_addresses() {
+        let mut img = image();
+        img.symbols.clear();
+        let lines = img.disassemble();
+        assert_eq!(lines[0].target.as_deref(), Some("0x8008"));
+    }
+}

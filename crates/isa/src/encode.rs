@@ -1,0 +1,481 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! Every instruction is one little-endian 32-bit word:
+//!
+//! ```text
+//! bits 31..28  condition code
+//! bits 27..24  class
+//! bits 23..0   class-specific payload
+//! ```
+//!
+//! | class | meaning              | payload layout (msb → lsb)                         |
+//! |-------|----------------------|----------------------------------------------------|
+//! | 0x0   | ALU, immediate       | op:4 s:1 rn:4 rd:4 imm:11                          |
+//! | 0x1   | ALU, reg, imm shift  | op:4 s:1 rn:4 rd:4 rm:4 kind:2 amt:5               |
+//! | 0x2   | multiply family      | sub:2 s:1 rd:4 ra:4 rm:4 rs:4 (pad:5)              |
+//! | 0x3   | movw/movt            | top:1 rd:4 (pad:3) imm:16                          |
+//! | 0x4   | mem, imm offset      | l:1 width:2 signed:1 mode:2 u:1 rn:4 rd:4 imm:9    |
+//! | 0x5   | mem, reg offset      | l:1 width:2 signed:1 mode:2 u:1 rn:4 rd:4 rm:4 kind:2 amt:3 |
+//! | 0x8   | b                    | offset:24 (signed words)                           |
+//! | 0x9   | bl                   | offset:24 (signed words)                           |
+//! | 0xA   | bx                   | (pad:20) rm:4                                      |
+//! | 0xB   | push/pop             | (pad:7) pop:1 mask:16                              |
+//! | 0xC   | swi                  | imm:24                                             |
+//! | 0xD   | nop                  | 0                                                  |
+//! | 0xE   | ALU, reg, reg shift  | op:4 s:1 rn:4 rd:4 rm:4 kind:2 (pad:1) rs:4        |
+//!
+//! Classes 0x6, 0x7 and 0xF are unallocated and decode to an error, which
+//! the simulator raises as an illegal-instruction fault.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{
+    AddrMode, Address, AluOp, Cond, Insn, MemOffset, MemWidth, MulOp, Op, Operand, Reg,
+    RegList, ShiftAmount, ShiftKind,
+};
+
+/// Error produced when a word does not decode to a valid instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl Error for DecodeError {}
+
+const CLASS_ALU_IMM: u32 = 0x0;
+const CLASS_ALU_REG: u32 = 0x1;
+const CLASS_MUL: u32 = 0x2;
+const CLASS_MOV16: u32 = 0x3;
+const CLASS_MEM_IMM: u32 = 0x4;
+const CLASS_MEM_REG: u32 = 0x5;
+const CLASS_B: u32 = 0x8;
+const CLASS_BL: u32 = 0x9;
+const CLASS_BX: u32 = 0xa;
+const CLASS_PUSHPOP: u32 = 0xb;
+const CLASS_SWI: u32 = 0xc;
+const CLASS_NOP: u32 = 0xd;
+const CLASS_ALU_REGSHIFT: u32 = 0xe;
+
+fn addr_mode_field(mode: AddrMode) -> u32 {
+    match mode {
+        AddrMode::Offset => 0,
+        AddrMode::PreIndex => 1,
+        AddrMode::PostIndex => 2,
+    }
+}
+
+fn addr_mode_from_field(bits: u32) -> Option<AddrMode> {
+    match bits & 0b11 {
+        0 => Some(AddrMode::Offset),
+        1 => Some(AddrMode::PreIndex),
+        2 => Some(AddrMode::PostIndex),
+        _ => None,
+    }
+}
+
+impl Insn {
+    /// Encodes the instruction into its 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field is out of its encodable range (an ALU immediate
+    /// above 2047, a memory offset beyond ±511, a shift amount above 31, a
+    /// branch offset beyond ±2²³ words, …). The assembler guarantees the
+    /// ranges; constructing instructions by hand must respect them.
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        let cond = self.cond.field() << 28;
+        let word = match self.op {
+            Op::Alu { op, s, rd, rn, op2 } => {
+                let head =
+                    op.field() << 20 | u32::from(s) << 19 | rn.field() << 15 | rd.field() << 11;
+                match op2 {
+                    Operand::Imm(imm) => {
+                        assert!(imm <= Operand::MAX_IMM, "ALU immediate {imm} out of range");
+                        CLASS_ALU_IMM << 24 | head | imm
+                    }
+                    Operand::Reg { rm, kind, amount } => match amount {
+                        ShiftAmount::Imm(amt) => {
+                            assert!(amt < 32, "shift amount {amt} out of range");
+                            CLASS_ALU_REG << 24
+                                | head
+                                | rm.field() << 7
+                                | kind.field() << 5
+                                | u32::from(amt)
+                        }
+                        ShiftAmount::Reg(rs) => {
+                            CLASS_ALU_REGSHIFT << 24
+                                | head
+                                | rm.field() << 7
+                                | kind.field() << 5
+                                | rs.field()
+                        }
+                    },
+                }
+            }
+            Op::Mul { op, s, rd, ra, rm, rs } => {
+                CLASS_MUL << 24
+                    | op.field() << 22
+                    | u32::from(s) << 21
+                    | rd.field() << 17
+                    | ra.field() << 13
+                    | rm.field() << 9
+                    | rs.field() << 5
+            }
+            Op::Mov16 { top, rd, imm } => {
+                CLASS_MOV16 << 24 | u32::from(top) << 23 | rd.field() << 19 | u32::from(imm)
+            }
+            Op::Mem { load, width, signed, rd, addr } => {
+                let head = u32::from(load) << 23
+                    | width.field() << 21
+                    | u32::from(signed) << 20
+                    | addr_mode_field(addr.mode) << 18
+                    | addr.base.field() << 13
+                    | rd.field() << 9;
+                match addr.offset {
+                    MemOffset::Imm(imm) => {
+                        let mag = imm.unsigned_abs();
+                        assert!(
+                            mag <= MemOffset::MAX_IMM as u32,
+                            "memory offset {imm} out of range"
+                        );
+                        CLASS_MEM_IMM << 24 | head | u32::from(imm >= 0) << 17 | mag
+                    }
+                    MemOffset::Reg { rm, kind, amount, add } => {
+                        assert!(amount < 8, "memory shift amount {amount} out of range");
+                        CLASS_MEM_REG << 24
+                            | head
+                            | u32::from(add) << 17
+                            | rm.field() << 5
+                            | kind.field() << 3
+                            | u32::from(amount)
+                    }
+                }
+            }
+            Op::Push { list } => CLASS_PUSHPOP << 24 | u32::from(list.mask()),
+            Op::Pop { list } => CLASS_PUSHPOP << 24 | 1 << 16 | u32::from(list.mask()),
+            Op::Branch { link, offset } => {
+                assert!(
+                    (-(1 << 23)..1 << 23).contains(&offset),
+                    "branch offset {offset} out of range"
+                );
+                let class = if link { CLASS_BL } else { CLASS_B };
+                class << 24 | (offset as u32 & 0x00ff_ffff)
+            }
+            Op::BranchReg { rm } => CLASS_BX << 24 | rm.field(),
+            Op::Swi { imm } => {
+                assert!(imm < 1 << 24, "swi number {imm} out of range");
+                CLASS_SWI << 24 | imm
+            }
+            Op::Nop => CLASS_NOP << 24,
+        };
+        cond | word
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for unallocated classes, the reserved
+    /// condition field, or unallocated sub-fields.
+    pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+        let cond = Cond::from_field(word >> 28)
+            .ok_or(DecodeError { word, reason: "reserved condition field" })?;
+        let class = word >> 24 & 0xf;
+        let op = match class {
+            CLASS_ALU_IMM | CLASS_ALU_REG | CLASS_ALU_REGSHIFT => {
+                let op = AluOp::from_field(word >> 20)
+                    .ok_or(DecodeError { word, reason: "unallocated ALU opcode" })?;
+                let s = word >> 19 & 1 != 0;
+                let rn = Reg::from_field(word >> 15);
+                let rd = Reg::from_field(word >> 11);
+                let op2 = match class {
+                    CLASS_ALU_IMM => Operand::Imm(word & 0x7ff),
+                    CLASS_ALU_REG => Operand::Reg {
+                        rm: Reg::from_field(word >> 7),
+                        kind: ShiftKind::from_field(word >> 5),
+                        amount: ShiftAmount::Imm((word & 0x1f) as u8),
+                    },
+                    _ => Operand::Reg {
+                        rm: Reg::from_field(word >> 7),
+                        kind: ShiftKind::from_field(word >> 5),
+                        amount: ShiftAmount::Reg(Reg::from_field(word)),
+                    },
+                };
+                Op::Alu { op, s, rd, rn, op2 }
+            }
+            CLASS_MUL => Op::Mul {
+                op: MulOp::from_field(word >> 22),
+                s: word >> 21 & 1 != 0,
+                rd: Reg::from_field(word >> 17),
+                ra: Reg::from_field(word >> 13),
+                rm: Reg::from_field(word >> 9),
+                rs: Reg::from_field(word >> 5),
+            },
+            CLASS_MOV16 => Op::Mov16 {
+                top: word >> 23 & 1 != 0,
+                rd: Reg::from_field(word >> 19),
+                imm: (word & 0xffff) as u16,
+            },
+            CLASS_MEM_IMM | CLASS_MEM_REG => {
+                let load = word >> 23 & 1 != 0;
+                let width = MemWidth::from_field(word >> 21)
+                    .ok_or(DecodeError { word, reason: "unallocated memory width" })?;
+                let signed = word >> 20 & 1 != 0;
+                let mode = addr_mode_from_field(word >> 18)
+                    .ok_or(DecodeError { word, reason: "unallocated addressing mode" })?;
+                let add = word >> 17 & 1 != 0;
+                let base = Reg::from_field(word >> 13);
+                let rd = Reg::from_field(word >> 9);
+                let offset = if class == CLASS_MEM_IMM {
+                    let mag = (word & 0x1ff) as i32;
+                    MemOffset::Imm(if add { mag } else { -mag })
+                } else {
+                    MemOffset::Reg {
+                        rm: Reg::from_field(word >> 5),
+                        kind: ShiftKind::from_field(word >> 3),
+                        amount: (word & 0b111) as u8,
+                        add,
+                    }
+                };
+                Op::Mem { load, width, signed, rd, addr: Address { base, offset, mode } }
+            }
+            CLASS_B | CLASS_BL => {
+                let raw = word & 0x00ff_ffff;
+                // Sign-extend the 24-bit field.
+                let offset = (raw << 8) as i32 >> 8;
+                Op::Branch { link: class == CLASS_BL, offset }
+            }
+            CLASS_BX => Op::BranchReg { rm: Reg::from_field(word) },
+            CLASS_PUSHPOP => {
+                let list = RegList::from_mask((word & 0xffff) as u16);
+                if word >> 16 & 1 != 0 {
+                    Op::Pop { list }
+                } else {
+                    Op::Push { list }
+                }
+            }
+            CLASS_SWI => Op::Swi { imm: word & 0x00ff_ffff },
+            CLASS_NOP => Op::Nop,
+            _ => return Err(DecodeError { word, reason: "unallocated instruction class" }),
+        };
+        Ok(Insn { cond, op })
+    }
+}
+
+/// Normalises an instruction so that don't-care fields (ignored registers,
+/// negative-zero offsets) take their canonical encoded value. Useful for
+/// round-trip testing: `decode(encode(x)) == canonical(x)`.
+#[must_use]
+pub fn canonical(insn: Insn) -> Insn {
+    let op = match insn.op {
+        // Compares always update the flags and have no destination;
+        // `mov`/`mvn` read no first operand. The assembler zeroes the
+        // ignored fields, so the canonical form does too.
+        Op::Alu { op, rd, rn, op2, s } => {
+            let s = s || op.is_compare();
+            let rd = if op.has_rd() { rd } else { Reg::R0 };
+            let rn = if op.has_rn() { rn } else { Reg::R0 };
+            Op::Alu { op, s, rd, rn, op2 }
+        }
+        Op::Mem { load, width, signed, rd, addr } => {
+            let offset = addr.offset;
+            Op::Mem {
+                load,
+                width,
+                // Sign extension is only meaningful for sub-word loads.
+                signed: signed && load && width != MemWidth::Word,
+                rd,
+                addr: Address { offset, ..addr },
+            }
+        }
+        other => other,
+    };
+    Insn { cond: insn.cond, op }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(insn: Insn) {
+        let word = insn.encode();
+        let back = Insn::decode(word).unwrap_or_else(|e| panic!("{insn}: {e}"));
+        assert_eq!(back, insn, "round trip for `{insn}` ({word:#010x})");
+    }
+
+    #[test]
+    fn alu_imm_round_trip() {
+        for op in AluOp::ALL {
+            for imm in [0u32, 1, 255, 2047] {
+                round_trip(Insn::new(
+                    Cond::Ne,
+                    Op::Alu { op, s: true, rd: Reg::R3, rn: Reg::R7, op2: Operand::Imm(imm) },
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn alu_reg_round_trip() {
+        for kind in ShiftKind::ALL {
+            for amt in [0u8, 1, 15, 31] {
+                round_trip(Insn::always(Op::Alu {
+                    op: AluOp::Eor,
+                    s: false,
+                    rd: Reg::R0,
+                    rn: Reg::LR,
+                    op2: Operand::Reg {
+                        rm: Reg::R9,
+                        kind,
+                        amount: ShiftAmount::Imm(amt),
+                    },
+                }));
+                round_trip(Insn::always(Op::Alu {
+                    op: AluOp::Add,
+                    s: true,
+                    rd: Reg::IP,
+                    rn: Reg::R1,
+                    op2: Operand::Reg {
+                        rm: Reg::R2,
+                        kind,
+                        amount: ShiftAmount::Reg(Reg::R3),
+                    },
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_round_trip() {
+        for op in [MulOp::Mul, MulOp::Mla, MulOp::Umull, MulOp::Smull] {
+            round_trip(Insn::always(Op::Mul {
+                op,
+                s: op == MulOp::Mul,
+                rd: Reg::R1,
+                ra: Reg::R2,
+                rm: Reg::R3,
+                rs: Reg::R4,
+            }));
+        }
+    }
+
+    #[test]
+    fn mov16_round_trip() {
+        round_trip(Insn::always(Op::Mov16 { top: false, rd: Reg::R5, imm: 0xbeef }));
+        round_trip(Insn::always(Op::Mov16 { top: true, rd: Reg::R5, imm: 0xdead }));
+    }
+
+    #[test]
+    fn mem_round_trip() {
+        for load in [false, true] {
+            for width in [MemWidth::Word, MemWidth::Byte, MemWidth::Half] {
+                for mode in [AddrMode::Offset, AddrMode::PreIndex, AddrMode::PostIndex] {
+                    for imm in [-511, -1, 1, 0, 511] {
+                        round_trip(Insn::always(Op::Mem {
+                            load,
+                            width,
+                            signed: false,
+                            rd: Reg::R0,
+                            addr: Address {
+                                base: Reg::SP,
+                                offset: MemOffset::Imm(imm),
+                                mode,
+                            },
+                        }));
+                    }
+                }
+            }
+        }
+        round_trip(Insn::always(Op::Mem {
+            load: true,
+            width: MemWidth::Half,
+            signed: true,
+            rd: Reg::R8,
+            addr: Address {
+                base: Reg::R9,
+                offset: MemOffset::Reg {
+                    rm: Reg::R10,
+                    kind: ShiftKind::Lsl,
+                    amount: 1,
+                    add: false,
+                },
+                mode: AddrMode::Offset,
+            },
+        }));
+    }
+
+    #[test]
+    fn branch_round_trip() {
+        for offset in [0, 1, -1, 1000, -1000, (1 << 23) - 1, -(1 << 23)] {
+            round_trip(Insn::always(Op::Branch { link: false, offset }));
+            round_trip(Insn::new(Cond::Lt, Op::Branch { link: true, offset }));
+        }
+    }
+
+    #[test]
+    fn misc_round_trip() {
+        round_trip(Insn::always(Op::BranchReg { rm: Reg::LR }));
+        round_trip(Insn::always(Op::Push {
+            list: [Reg::R4, Reg::R5, Reg::LR].into_iter().collect(),
+        }));
+        round_trip(Insn::always(Op::Pop {
+            list: [Reg::R4, Reg::R5, Reg::PC].into_iter().collect(),
+        }));
+        round_trip(Insn::always(Op::Swi { imm: 0 }));
+        round_trip(Insn::always(Op::Swi { imm: 0x00ff_ffff }));
+        round_trip(Insn::new(Cond::Eq, Op::Nop));
+    }
+
+    #[test]
+    fn decode_rejects_reserved() {
+        // Reserved condition field (0xF).
+        assert!(Insn::decode(0xf000_0000).is_err());
+        // Unallocated classes 0x6, 0x7, 0xF.
+        assert!(Insn::decode(0x0600_0000).is_err());
+        assert!(Insn::decode(0x0700_0000).is_err());
+        assert!(Insn::decode(0x0f00_0000).is_err());
+        // ALU opcode 15 is unallocated.
+        assert!(Insn::decode(0x00f0_0000).is_err());
+        // Memory width 3 is unallocated.
+        assert!(Insn::decode(0x0460_0000).is_err());
+        // Addressing mode 3 is unallocated.
+        assert!(Insn::decode(0x040c_0000).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let err = Insn::decode(0xf000_0000).unwrap_err();
+        assert!(err.to_string().contains("0xf0000000"));
+        assert!(err.to_string().contains("reserved condition"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_panics_on_oversized_imm() {
+        let _ = Insn::always(Op::Alu {
+            op: AluOp::Add,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand::Imm(4096),
+        })
+        .encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_panics_on_oversized_branch() {
+        let _ = Insn::always(Op::Branch { link: false, offset: 1 << 23 }).encode();
+    }
+}

@@ -1,0 +1,699 @@
+//! Instruction definitions: operands, opcodes and disassembly.
+//!
+//! The guest ISA is a clean 32-bit fixed-width RISC in the ARM mould —
+//! predicated execution, a barrel-shifted second operand, load/store with
+//! pre/post indexing, multiply-accumulate, and block push/pop. It is the
+//! target of the [`crate::asm`] assembler and the unit of work for the
+//! `wp-sim` pipeline model.
+
+use std::fmt;
+
+use crate::{Cond, Reg, RegList, ShiftAmount, ShiftKind};
+
+/// Data-processing opcodes (the ALU class).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Bitwise AND.
+    And = 0,
+    /// Bitwise exclusive OR.
+    Eor = 1,
+    /// Subtract.
+    Sub = 2,
+    /// Reverse subtract (`rd = op2 - rn`).
+    Rsb = 3,
+    /// Add.
+    Add = 4,
+    /// Add with carry.
+    Adc = 5,
+    /// Subtract with carry.
+    Sbc = 6,
+    /// Bitwise OR.
+    Orr = 7,
+    /// Move (`rd = op2`; `rn` ignored).
+    Mov = 8,
+    /// Bit clear (`rd = rn & !op2`).
+    Bic = 9,
+    /// Move NOT (`rd = !op2`; `rn` ignored).
+    Mvn = 10,
+    /// Compare: flags from `rn - op2`, no destination.
+    Cmp = 11,
+    /// Compare negative: flags from `rn + op2`, no destination.
+    Cmn = 12,
+    /// Test: flags from `rn & op2`, no destination.
+    Tst = 13,
+    /// Test equivalence: flags from `rn ^ op2`, no destination.
+    Teq = 14,
+}
+
+impl AluOp {
+    /// All ALU opcodes in encoding order.
+    pub const ALL: [AluOp; 15] = [
+        AluOp::And,
+        AluOp::Eor,
+        AluOp::Sub,
+        AluOp::Rsb,
+        AluOp::Add,
+        AluOp::Adc,
+        AluOp::Sbc,
+        AluOp::Orr,
+        AluOp::Mov,
+        AluOp::Bic,
+        AluOp::Mvn,
+        AluOp::Cmp,
+        AluOp::Cmn,
+        AluOp::Tst,
+        AluOp::Teq,
+    ];
+
+    /// The 4-bit encoding field.
+    #[must_use]
+    pub const fn field(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes the 4-bit field; value 15 is unallocated.
+    #[must_use]
+    pub fn from_field(bits: u32) -> Option<AluOp> {
+        AluOp::ALL.get((bits & 0xf) as usize).copied()
+    }
+
+    /// Whether this opcode writes a destination register.
+    #[must_use]
+    pub const fn has_rd(self) -> bool {
+        !matches!(self, AluOp::Cmp | AluOp::Cmn | AluOp::Tst | AluOp::Teq)
+    }
+
+    /// Whether this opcode reads the first source register `rn`.
+    #[must_use]
+    pub const fn has_rn(self) -> bool {
+        !matches!(self, AluOp::Mov | AluOp::Mvn)
+    }
+
+    /// Whether this opcode always updates the flags (the compare family).
+    #[must_use]
+    pub const fn is_compare(self) -> bool {
+        !self.has_rd()
+    }
+
+    /// Whether the flag update is arithmetic (sets C/V from the adder) as
+    /// opposed to logical (C from the shifter, V preserved).
+    #[must_use]
+    pub const fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            AluOp::Sub | AluOp::Rsb | AluOp::Add | AluOp::Adc | AluOp::Sbc | AluOp::Cmp | AluOp::Cmn
+        )
+    }
+
+    /// The assembler mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::And => "and",
+            AluOp::Eor => "eor",
+            AluOp::Sub => "sub",
+            AluOp::Rsb => "rsb",
+            AluOp::Add => "add",
+            AluOp::Adc => "adc",
+            AluOp::Sbc => "sbc",
+            AluOp::Orr => "orr",
+            AluOp::Mov => "mov",
+            AluOp::Bic => "bic",
+            AluOp::Mvn => "mvn",
+            AluOp::Cmp => "cmp",
+            AluOp::Cmn => "cmn",
+            AluOp::Tst => "tst",
+            AluOp::Teq => "teq",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// The flexible second operand of a data-processing instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// An unsigned immediate, encodable in 11 bits (`0..=2047`). The
+    /// assembler synthesizes larger constants with `movw`/`movt` or `mvn`.
+    Imm(u32),
+    /// A register, optionally routed through the barrel shifter.
+    Reg {
+        /// The source register.
+        rm: Reg,
+        /// The shift operation.
+        kind: ShiftKind,
+        /// Constant or register-specified shift amount.
+        amount: ShiftAmount,
+    },
+}
+
+impl Operand {
+    /// Maximum encodable ALU immediate.
+    pub const MAX_IMM: u32 = (1 << 11) - 1;
+
+    /// A plain, unshifted register operand.
+    #[must_use]
+    pub fn reg(rm: Reg) -> Operand {
+        Operand::Reg { rm, kind: ShiftKind::Lsl, amount: ShiftAmount::Imm(0) }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(rm: Reg) -> Operand {
+        Operand::reg(rm)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand::Imm(v) => write!(f, "#{v}"),
+            Operand::Reg { rm, kind, amount } => {
+                if amount == ShiftAmount::Imm(0) && kind == ShiftKind::Lsl {
+                    write!(f, "{rm}")
+                } else {
+                    write!(f, "{rm}, {kind} {amount}")
+                }
+            }
+        }
+    }
+}
+
+/// Width of a memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum MemWidth {
+    /// 32-bit word.
+    Word = 0,
+    /// 8-bit byte.
+    Byte = 1,
+    /// 16-bit halfword.
+    Half = 2,
+}
+
+impl MemWidth {
+    /// The access size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Word => 4,
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+        }
+    }
+
+    /// The 2-bit encoding field.
+    #[must_use]
+    pub const fn field(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes the 2-bit field; value 3 is unallocated.
+    #[must_use]
+    pub const fn from_field(bits: u32) -> Option<MemWidth> {
+        match bits & 0b11 {
+            0 => Some(MemWidth::Word),
+            1 => Some(MemWidth::Byte),
+            2 => Some(MemWidth::Half),
+            _ => None,
+        }
+    }
+}
+
+/// The offset part of a load/store address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemOffset {
+    /// Signed constant offset; magnitude encodable in 9 bits (`-511..=511`).
+    Imm(i32),
+    /// Register offset, shifted left/right by a small constant (`0..=7`).
+    Reg {
+        /// Offset register.
+        rm: Reg,
+        /// Shift applied to `rm`.
+        kind: ShiftKind,
+        /// Constant shift amount, `0..=7`.
+        amount: u8,
+        /// `true` to add the offset, `false` to subtract it.
+        add: bool,
+    },
+}
+
+impl MemOffset {
+    /// Maximum magnitude of an encodable immediate offset.
+    pub const MAX_IMM: i32 = (1 << 9) - 1;
+
+    /// A zero offset.
+    #[must_use]
+    pub const fn none() -> MemOffset {
+        MemOffset::Imm(0)
+    }
+}
+
+/// Indexing mode for a load/store address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum AddrMode {
+    /// `[rn, off]` — offset addressing, base unchanged.
+    #[default]
+    Offset,
+    /// `[rn, off]!` — pre-indexed, base updated before the access.
+    PreIndex,
+    /// `[rn], off` — post-indexed, base updated after the access.
+    PostIndex,
+}
+
+/// A full load/store address: base register, offset and indexing mode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Address {
+    /// Base register.
+    pub base: Reg,
+    /// Offset applied to the base.
+    pub offset: MemOffset,
+    /// Indexing/writeback mode.
+    pub mode: AddrMode,
+}
+
+impl Address {
+    /// A plain `[rn]` address.
+    #[must_use]
+    pub const fn base_only(base: Reg) -> Address {
+        Address { base, offset: MemOffset::Imm(0), mode: AddrMode::Offset }
+    }
+
+    /// A `[rn, #imm]` address.
+    #[must_use]
+    pub const fn base_imm(base: Reg, imm: i32) -> Address {
+        Address { base, offset: MemOffset::Imm(imm), mode: AddrMode::Offset }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let off = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            match self.offset {
+                MemOffset::Imm(v) => write!(f, ", #{v}"),
+                MemOffset::Reg { rm, kind, amount, add } => {
+                    let sign = if add { "" } else { "-" };
+                    if amount == 0 {
+                        write!(f, ", {sign}{rm}")
+                    } else {
+                        write!(f, ", {sign}{rm}, {kind} #{amount}")
+                    }
+                }
+            }
+        };
+        match self.mode {
+            AddrMode::Offset => {
+                if self.offset == MemOffset::Imm(0) {
+                    write!(f, "[{}]", self.base)
+                } else {
+                    write!(f, "[{}", self.base)?;
+                    off(f)?;
+                    write!(f, "]")
+                }
+            }
+            AddrMode::PreIndex => {
+                write!(f, "[{}", self.base)?;
+                off(f)?;
+                write!(f, "]!")
+            }
+            AddrMode::PostIndex => {
+                write!(f, "[{}]", self.base)?;
+                off(f)
+            }
+        }
+    }
+}
+
+/// Multiply-class sub-operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum MulOp {
+    /// `mul rd, rm, rs` — 32x32 → low 32.
+    Mul = 0,
+    /// `mla rd, rm, rs, rn` — multiply-accumulate.
+    Mla = 1,
+    /// `umull rdlo, rdhi, rm, rs` — unsigned 32x32 → 64.
+    Umull = 2,
+    /// `smull rdlo, rdhi, rm, rs` — signed 32x32 → 64.
+    Smull = 3,
+}
+
+impl MulOp {
+    /// The 2-bit encoding field.
+    #[must_use]
+    pub const fn field(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes the 2-bit field.
+    #[must_use]
+    pub const fn from_field(bits: u32) -> MulOp {
+        match bits & 0b11 {
+            0 => MulOp::Mul,
+            1 => MulOp::Mla,
+            2 => MulOp::Umull,
+            _ => MulOp::Smull,
+        }
+    }
+}
+
+/// The operation payload of an instruction (everything except the
+/// condition code).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Data-processing: `op{s} rd, rn, op2`.
+    Alu {
+        /// Opcode.
+        op: AluOp,
+        /// Update the flags.
+        s: bool,
+        /// Destination (ignored for compares).
+        rd: Reg,
+        /// First operand (ignored for `mov`/`mvn`).
+        rn: Reg,
+        /// Flexible second operand.
+        op2: Operand,
+    },
+    /// Multiply family.
+    Mul {
+        /// Which multiply.
+        op: MulOp,
+        /// Update N/Z flags.
+        s: bool,
+        /// Destination (`rdlo` for the long forms).
+        rd: Reg,
+        /// Second destination (`rdhi`; only the long forms) or accumulator
+        /// input (`mla`); ignored for `mul`.
+        ra: Reg,
+        /// First factor.
+        rm: Reg,
+        /// Second factor.
+        rs: Reg,
+    },
+    /// `movw`/`movt`: load a 16-bit immediate into the low or high half.
+    Mov16 {
+        /// `true` for `movt` (high half, preserving the low half).
+        top: bool,
+        /// Destination.
+        rd: Reg,
+        /// Immediate.
+        imm: u16,
+    },
+    /// Load or store.
+    Mem {
+        /// `true` for a load.
+        load: bool,
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend (loads of `Byte`/`Half` only).
+        signed: bool,
+        /// Data register.
+        rd: Reg,
+        /// Address computation.
+        addr: Address,
+    },
+    /// `push {list}` — store multiple, descending before, `sp` writeback.
+    Push {
+        /// Registers to save, ascending order at descending addresses.
+        list: RegList,
+    },
+    /// `pop {list}` — load multiple, ascending after, `sp` writeback.
+    /// Popping `pc` returns.
+    Pop {
+        /// Registers to restore.
+        list: RegList,
+    },
+    /// Branch (optionally linking). `offset` is in words relative to the
+    /// *next* instruction: `target = addr + 4 + 4*offset`.
+    Branch {
+        /// Save the return address in `lr`.
+        link: bool,
+        /// Signed word offset (24-bit encodable).
+        offset: i32,
+    },
+    /// Branch to the address in a register (`bx lr` is the return idiom).
+    BranchReg {
+        /// Target address register.
+        rm: Reg,
+    },
+    /// Software interrupt / system call.
+    Swi {
+        /// 24-bit call number.
+        imm: u32,
+    },
+    /// No operation.
+    Nop,
+}
+
+/// A complete instruction: a condition code plus its operation.
+///
+/// # Examples
+///
+/// ```
+/// use wp_isa::{AluOp, Cond, Insn, Op, Operand, Reg};
+/// let insn = Insn::new(
+///     Cond::Al,
+///     Op::Alu { op: AluOp::Add, s: false, rd: Reg::R0, rn: Reg::R0, op2: Operand::Imm(1) },
+/// );
+/// assert_eq!(insn.to_string(), "add r0, r0, #1");
+/// let word = insn.encode();
+/// assert_eq!(Insn::decode(word), Ok(insn));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Insn {
+    /// Predication condition.
+    pub cond: Cond,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Insn {
+    /// Size of every instruction in bytes.
+    pub const SIZE: u32 = 4;
+
+    /// Creates an instruction.
+    #[must_use]
+    pub const fn new(cond: Cond, op: Op) -> Insn {
+        Insn { cond, op }
+    }
+
+    /// Creates an unconditional instruction.
+    #[must_use]
+    pub const fn always(op: Op) -> Insn {
+        Insn { cond: Cond::Al, op }
+    }
+
+    /// Whether this instruction can redirect control flow (branches,
+    /// `bx`, `pop {.., pc}`, `swi`).
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        match self.op {
+            Op::Branch { .. } | Op::BranchReg { .. } | Op::Swi { .. } => true,
+            Op::Pop { list } => list.contains(Reg::PC),
+            _ => false,
+        }
+    }
+
+    /// Whether execution can fall through to the next sequential
+    /// instruction (i.e. the instruction is not an *unconditional*
+    /// control-flow change; `bl` falls through by returning).
+    #[must_use]
+    pub fn falls_through(&self) -> bool {
+        match self.op {
+            Op::Branch { link: false, .. } | Op::BranchReg { .. } => self.cond != Cond::Al,
+            Op::Pop { list } if list.contains(Reg::PC) => self.cond != Cond::Al,
+            _ => true,
+        }
+    }
+
+    /// For direct branches, the byte distance from this instruction's
+    /// address to the target.
+    #[must_use]
+    pub fn branch_displacement(&self) -> Option<i64> {
+        match self.op {
+            Op::Branch { offset, .. } => Some(4 + 4 * i64::from(offset)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.cond.suffix();
+        match self.op {
+            Op::Alu { op, s, rd, rn, op2 } => {
+                let s = if s && !op.is_compare() { "s" } else { "" };
+                if op.is_compare() {
+                    write!(f, "{op}{c} {rn}, {op2}")
+                } else if !op.has_rn() {
+                    write!(f, "{op}{c}{s} {rd}, {op2}")
+                } else {
+                    write!(f, "{op}{c}{s} {rd}, {rn}, {op2}")
+                }
+            }
+            Op::Mul { op, s, rd, ra, rm, rs } => {
+                let sfx = if s { "s" } else { "" };
+                match op {
+                    MulOp::Mul => write!(f, "mul{c}{sfx} {rd}, {rm}, {rs}"),
+                    MulOp::Mla => write!(f, "mla{c}{sfx} {rd}, {rm}, {rs}, {ra}"),
+                    MulOp::Umull => write!(f, "umull{c}{sfx} {rd}, {ra}, {rm}, {rs}"),
+                    MulOp::Smull => write!(f, "smull{c}{sfx} {rd}, {ra}, {rm}, {rs}"),
+                }
+            }
+            Op::Mov16 { top, rd, imm } => {
+                let m = if top { "movt" } else { "movw" };
+                write!(f, "{m}{c} {rd}, #{imm}")
+            }
+            Op::Mem { load, width, signed, rd, addr } => {
+                let m = if load { "ldr" } else { "str" };
+                let w = match (width, signed) {
+                    (MemWidth::Word, _) => "",
+                    (MemWidth::Byte, false) => "b",
+                    (MemWidth::Byte, true) => "sb",
+                    (MemWidth::Half, false) => "h",
+                    (MemWidth::Half, true) => "sh",
+                };
+                write!(f, "{m}{c}{w} {rd}, {addr}")
+            }
+            Op::Push { list } => write!(f, "push{c} {list}"),
+            Op::Pop { list } => write!(f, "pop{c} {list}"),
+            Op::Branch { link, offset } => {
+                let m = if link { "bl" } else { "b" };
+                write!(f, "{m}{c} .{:+}", 4 + 4 * i64::from(offset))
+            }
+            Op::BranchReg { rm } => write!(f, "bx{c} {rm}"),
+            Op::Swi { imm } => write!(f, "swi{c} #{imm}"),
+            Op::Nop => write!(f, "nop{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_op_properties() {
+        assert!(AluOp::Cmp.is_compare());
+        assert!(!AluOp::Cmp.has_rd());
+        assert!(AluOp::Add.has_rd());
+        assert!(!AluOp::Mov.has_rn());
+        assert!(AluOp::Add.is_arithmetic());
+        assert!(!AluOp::And.is_arithmetic());
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_field(op.field()), Some(op));
+        }
+        assert_eq!(AluOp::from_field(15), None);
+    }
+
+    #[test]
+    fn display_alu() {
+        let add = Insn::always(Op::Alu {
+            op: AluOp::Add,
+            s: true,
+            rd: Reg::R1,
+            rn: Reg::R2,
+            op2: Operand::Reg {
+                rm: Reg::R3,
+                kind: ShiftKind::Lsl,
+                amount: ShiftAmount::Imm(2),
+            },
+        });
+        assert_eq!(add.to_string(), "adds r1, r2, r3, lsl #2");
+        let cmp = Insn::new(
+            Cond::Ne,
+            Op::Alu { op: AluOp::Cmp, s: true, rd: Reg::R0, rn: Reg::R4, op2: Operand::Imm(7) },
+        );
+        assert_eq!(cmp.to_string(), "cmpne r4, #7");
+        let mov = Insn::always(Op::Alu {
+            op: AluOp::Mov,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand::reg(Reg::R9),
+        });
+        assert_eq!(mov.to_string(), "mov r0, r9");
+    }
+
+    #[test]
+    fn display_mem() {
+        let ldr = Insn::always(Op::Mem {
+            load: true,
+            width: MemWidth::Word,
+            signed: false,
+            rd: Reg::R0,
+            addr: Address::base_imm(Reg::SP, 8),
+        });
+        assert_eq!(ldr.to_string(), "ldr r0, [sp, #8]");
+        let strb = Insn::always(Op::Mem {
+            load: false,
+            width: MemWidth::Byte,
+            signed: false,
+            rd: Reg::R1,
+            addr: Address {
+                base: Reg::R2,
+                offset: MemOffset::Imm(1),
+                mode: AddrMode::PostIndex,
+            },
+        });
+        assert_eq!(strb.to_string(), "strb r1, [r2], #1");
+        let ldrsh = Insn::always(Op::Mem {
+            load: true,
+            width: MemWidth::Half,
+            signed: true,
+            rd: Reg::R3,
+            addr: Address {
+                base: Reg::R4,
+                offset: MemOffset::Reg {
+                    rm: Reg::R5,
+                    kind: ShiftKind::Lsl,
+                    amount: 1,
+                    add: true,
+                },
+                mode: AddrMode::Offset,
+            },
+        });
+        assert_eq!(ldrsh.to_string(), "ldrsh r3, [r4, r5, lsl #1]");
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let b = Insn::always(Op::Branch { link: false, offset: -2 });
+        assert!(b.is_control_flow());
+        assert!(!b.falls_through());
+        assert_eq!(b.branch_displacement(), Some(4 - 8));
+
+        let beq = Insn::new(Cond::Eq, Op::Branch { link: false, offset: 10 });
+        assert!(beq.falls_through());
+
+        let bl = Insn::always(Op::Branch { link: true, offset: 0 });
+        assert!(bl.falls_through(), "calls return, so bl falls through");
+
+        let ret = Insn::always(Op::BranchReg { rm: Reg::LR });
+        assert!(!ret.falls_through());
+
+        let pop_pc = Insn::always(Op::Pop {
+            list: [Reg::R4, Reg::PC].into_iter().collect(),
+        });
+        assert!(pop_pc.is_control_flow());
+        assert!(!pop_pc.falls_through());
+
+        let pop = Insn::always(Op::Pop { list: [Reg::R4].into_iter().collect() });
+        assert!(!pop.is_control_flow());
+
+        let add = Insn::always(Op::Alu {
+            op: AluOp::Add,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand::Imm(1),
+        });
+        assert!(!add.is_control_flow());
+        assert!(add.falls_through());
+    }
+}

@@ -1,0 +1,77 @@
+//! # wp-isa — the guest instruction set
+//!
+//! The instruction-set substrate of the *compiler way-placement*
+//! reproduction (Jones et al., DATE 2008). This crate defines a clean
+//! 32-bit, fixed-width, ARM-flavoured embedded ISA together with:
+//!
+//! * typed instruction definitions ([`Insn`], [`Op`], [`Operand`], ...);
+//! * a binary [encoding](Insn::encode) / [decoding](Insn::decode) pair;
+//! * carry-exact [ALU semantics](alu) shared by the simulators;
+//! * a GNU-style [text assembler](assemble) producing relocatable
+//!   [`Module`]s;
+//! * the [object model](Module) and linked [`Image`] consumed by the
+//!   `wp-linker` link-time rewriter and the `wp-sim` cycle simulator.
+//!
+//! The ISA deliberately mirrors the Intel XScale's ARMv5-class ISA in the
+//! ways that matter to the paper — fixed 4-byte instructions (so the
+//! I-cache fetch stream is homogeneous), predication (so basic blocks have
+//! ARM-like shapes), and a link register + `push`/`pop` calling
+//! convention (so call/return chains constrain code layout exactly as
+//! Diablo's did).
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), wp_isa::AsmError> {
+//! use wp_isa::{assemble, Insn};
+//!
+//! let module = assemble(
+//!     "triangle",
+//!     "
+//!     .text
+//! triangle:                   ; r0 = 0+1+...+r0
+//!     mov r1, #0
+//! .Lloop:
+//!     add r1, r1, r0
+//!     subs r0, r0, #1
+//!     bne .Lloop
+//!     mov r0, r1
+//!     bx lr
+//!     ",
+//! )?;
+//! assert_eq!(module.text.len(), 6);
+//!
+//! // Every instruction round-trips through its 32-bit encoding.
+//! for entry in &module.text {
+//!     let word = entry.insn.encode();
+//!     assert_eq!(Insn::decode(word), Ok(entry.insn));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alu;
+mod asm;
+mod disasm;
+mod cond;
+mod encode;
+mod insn;
+mod object;
+mod reg;
+mod shift;
+
+pub use asm::{assemble, AsmError};
+pub use cond::{Cond, Flags};
+pub use disasm::DisasmLine;
+pub use encode::{canonical, DecodeError};
+pub use insn::{
+    AddrMode, Address, AluOp, Insn, MemOffset, MemWidth, MulOp, Op, Operand,
+};
+pub use object::{
+    DataReloc, Image, ImageError, Module, Reloc, RelocKind, Symbol, SymbolSection, TextEntry,
+};
+pub use reg::{Reg, RegList, NUM_REGS};
+pub use shift::{ShiftAmount, ShiftKind};

@@ -1,0 +1,288 @@
+//! Object-file model: the assembler's output and the linker's input.
+//!
+//! A [`Module`] is the moral equivalent of a relocatable `.o` file: a text
+//! section at instruction granularity (so the link-time rewriter can
+//! reorder basic blocks), a data section, a bss size, symbol definitions
+//! and relocations. A linked, loadable program is an [`Image`].
+//!
+//! Symbols whose names start with `.` are module-local (like `.L` labels);
+//! all other symbols are global and must be defined exactly once across
+//! the modules being linked.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::Insn;
+
+/// Kinds of relocation recorded against a text instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RelocKind {
+    /// Patch the 24-bit word offset of a `b`/`bl` with the distance to the
+    /// target symbol.
+    Branch24,
+    /// Patch the 16-bit immediate of a `movw` with the low half of the
+    /// symbol's absolute address.
+    Abs16Lo,
+    /// Patch the 16-bit immediate of a `movt` with the high half of the
+    /// symbol's absolute address.
+    Abs16Hi,
+}
+
+/// A relocation attached to one text instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reloc {
+    /// What to patch.
+    pub kind: RelocKind,
+    /// Target symbol name.
+    pub symbol: String,
+    /// Constant added to the symbol's address.
+    pub addend: i64,
+}
+
+/// A 32-bit absolute relocation inside the data section (e.g. a jump table
+/// or a function-pointer table built with `.word symbol`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataReloc {
+    /// Byte offset within the module's data section.
+    pub offset: usize,
+    /// Target symbol name.
+    pub symbol: String,
+    /// Constant added to the symbol's address.
+    pub addend: i64,
+}
+
+/// One text-section entry: an instruction plus its optional relocation.
+/// Branch instructions carry a placeholder offset of 0 until the linker
+/// resolves their relocation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TextEntry {
+    /// The instruction.
+    pub insn: Insn,
+    /// Pending relocation, if any.
+    pub reloc: Option<Reloc>,
+}
+
+impl TextEntry {
+    /// An entry with no relocation.
+    #[must_use]
+    pub fn plain(insn: Insn) -> TextEntry {
+        TextEntry { insn, reloc: None }
+    }
+}
+
+/// Which section a symbol is defined in.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SymbolSection {
+    /// Text: `offset` is an instruction *index*.
+    Text,
+    /// Data: `offset` is a byte offset.
+    Data,
+    /// Bss: `offset` is a byte offset.
+    Bss,
+}
+
+/// A symbol definition within a module.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Symbol {
+    /// Symbol name. Names beginning with `.` are module-local.
+    pub name: String,
+    /// Defining section.
+    pub section: SymbolSection,
+    /// Instruction index (text) or byte offset (data/bss).
+    pub offset: usize,
+}
+
+impl Symbol {
+    /// Whether this symbol is visible to other modules.
+    #[must_use]
+    pub fn is_global(&self) -> bool {
+        !self.name.starts_with('.')
+    }
+}
+
+/// A relocatable object module — the assembler's output.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// Module name, used in diagnostics and to scope local symbols.
+    pub name: String,
+    /// Text section, one entry per instruction.
+    pub text: Vec<TextEntry>,
+    /// Data section bytes.
+    pub data: Vec<u8>,
+    /// Absolute relocations within `data`.
+    pub data_relocs: Vec<DataReloc>,
+    /// Size of the zero-initialised bss section in bytes.
+    pub bss_size: usize,
+    /// All symbol definitions.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { name: name.into(), ..Module::default() }
+    }
+
+    /// Total text size in bytes.
+    #[must_use]
+    pub fn text_bytes(&self) -> usize {
+        self.text.len() * Insn::SIZE as usize
+    }
+
+    /// Looks up a symbol definition by name.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+}
+
+/// Error raised while loading or interrogating an [`Image`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ImageError {
+    /// A required symbol is not defined.
+    UndefinedSymbol(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::UndefinedSymbol(name) => write!(f, "undefined symbol `{name}`"),
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+/// A fully linked, loadable program image.
+///
+/// The text section starts at [`Image::TEXT_BASE`]; data and bss follow at
+/// fixed, text-layout-independent bases so that reordering code never
+/// moves data. The simulator loads the image verbatim.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Image {
+    /// Linked instructions, in final layout order.
+    pub text: Vec<Insn>,
+    /// Initialised data bytes, loaded at [`Image::DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Zero-initialised bytes following the data section.
+    pub bss_size: usize,
+    /// Entry-point address.
+    pub entry: u32,
+    /// Global symbol addresses (text symbols resolve to instruction
+    /// addresses), for diagnostics and for the profiler's function map.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Image {
+    /// Load address of the text section.
+    pub const TEXT_BASE: u32 = 0x0000_8000;
+    /// Load address of the data section.
+    pub const DATA_BASE: u32 = 0x0010_0000;
+    /// Initial stack pointer (stack grows down).
+    pub const STACK_TOP: u32 = 0x00f0_0000;
+    /// Heap base exposed to guests through the `sbrk` syscall.
+    pub const HEAP_BASE: u32 = 0x0040_0000;
+
+    /// Address of the first byte past the text section.
+    #[must_use]
+    pub fn text_end(&self) -> u32 {
+        Image::TEXT_BASE + (self.text.len() as u32) * Insn::SIZE
+    }
+
+    /// Address of the bss section (immediately after data).
+    #[must_use]
+    pub fn bss_base(&self) -> u32 {
+        Image::DATA_BASE + self.data.len() as u32
+    }
+
+    /// Looks up a symbol address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::UndefinedSymbol`] if the symbol is unknown.
+    pub fn symbol(&self, name: &str) -> Result<u32, ImageError> {
+        self.symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| ImageError::UndefinedSymbol(name.to_string()))
+    }
+
+    /// The address of the instruction at text index `index`.
+    #[must_use]
+    pub fn text_addr(&self, index: usize) -> u32 {
+        Image::TEXT_BASE + (index as u32) * Insn::SIZE
+    }
+
+    /// The text index of the instruction at `addr`, if `addr` is within
+    /// the text section.
+    #[must_use]
+    pub fn text_index(&self, addr: u32) -> Option<usize> {
+        if addr < Image::TEXT_BASE || addr >= self.text_end() || !addr.is_multiple_of(Insn::SIZE) {
+            return None;
+        }
+        Some(((addr - Image::TEXT_BASE) / Insn::SIZE) as usize)
+    }
+
+    /// Iterates `(address, instruction)` pairs over the text section.
+    pub fn iter_text(&self) -> impl Iterator<Item = (u32, Insn)> + '_ {
+        self.text
+            .iter()
+            .enumerate()
+            .map(|(i, insn)| (self.text_addr(i), *insn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Op};
+
+    #[test]
+    fn symbol_scoping() {
+        let local = Symbol { name: ".Lloop".into(), section: SymbolSection::Text, offset: 0 };
+        let global = Symbol { name: "main".into(), section: SymbolSection::Text, offset: 0 };
+        assert!(!local.is_global());
+        assert!(global.is_global());
+    }
+
+    #[test]
+    fn module_accessors() {
+        let mut module = Module::new("m");
+        module.text.push(TextEntry::plain(Insn::new(Cond::Al, Op::Nop)));
+        module.text.push(TextEntry::plain(Insn::new(Cond::Al, Op::Nop)));
+        module.symbols.push(Symbol {
+            name: "f".into(),
+            section: SymbolSection::Text,
+            offset: 1,
+        });
+        assert_eq!(module.text_bytes(), 8);
+        assert_eq!(module.symbol("f").unwrap().offset, 1);
+        assert!(module.symbol("g").is_none());
+    }
+
+    #[test]
+    fn image_addressing() {
+        let image = Image {
+            text: vec![Insn::new(Cond::Al, Op::Nop); 4],
+            data: vec![1, 2, 3],
+            bss_size: 16,
+            entry: Image::TEXT_BASE,
+            symbols: [("main".to_string(), Image::TEXT_BASE)].into_iter().collect(),
+        };
+        assert_eq!(image.text_end(), Image::TEXT_BASE + 16);
+        assert_eq!(image.bss_base(), Image::DATA_BASE + 3);
+        assert_eq!(image.text_addr(2), Image::TEXT_BASE + 8);
+        assert_eq!(image.text_index(Image::TEXT_BASE + 8), Some(2));
+        assert_eq!(image.text_index(Image::TEXT_BASE + 9), None);
+        assert_eq!(image.text_index(Image::TEXT_BASE + 16), None);
+        assert_eq!(image.text_index(Image::TEXT_BASE - 4), None);
+        assert_eq!(image.symbol("main").unwrap(), Image::TEXT_BASE);
+        assert!(matches!(
+            image.symbol("nope"),
+            Err(ImageError::UndefinedSymbol(_))
+        ));
+        assert_eq!(image.iter_text().count(), 4);
+    }
+}

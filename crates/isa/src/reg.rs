@@ -1,0 +1,312 @@
+//! General-purpose register file description for the guest ISA.
+//!
+//! The guest machine follows the classic ARM register convention: sixteen
+//! 32-bit registers, with `r13` doubling as the stack pointer, `r14` as the
+//! link register and `r15` as the program counter. Unlike real ARM, the
+//! program counter is *not* a freely addressable operand in data-processing
+//! instructions; it is only written by branches and by `pop {pc}` /
+//! `bx lr` — this keeps the pipeline model honest without the archaic
+//! `pc+8` visibility rules.
+
+use std::fmt;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// A guest general-purpose register (`r0`..`r15`).
+///
+/// # Examples
+///
+/// ```
+/// use wp_isa::Reg;
+/// let sp = Reg::SP;
+/// assert_eq!(sp.index(), 13);
+/// assert_eq!(sp.to_string(), "sp");
+/// assert_eq!(Reg::new(4).to_string(), "r4");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Register 0, the first argument/return-value register.
+    pub const R0: Reg = Reg(0);
+    /// Register 1.
+    pub const R1: Reg = Reg(1);
+    /// Register 2.
+    pub const R2: Reg = Reg(2);
+    /// Register 3.
+    pub const R3: Reg = Reg(3);
+    /// Register 4 (callee-saved).
+    pub const R4: Reg = Reg(4);
+    /// Register 5 (callee-saved).
+    pub const R5: Reg = Reg(5);
+    /// Register 6 (callee-saved).
+    pub const R6: Reg = Reg(6);
+    /// Register 7 (callee-saved).
+    pub const R7: Reg = Reg(7);
+    /// Register 8 (callee-saved).
+    pub const R8: Reg = Reg(8);
+    /// Register 9 (callee-saved).
+    pub const R9: Reg = Reg(9);
+    /// Register 10 (callee-saved).
+    pub const R10: Reg = Reg(10);
+    /// Register 11, conventionally the frame pointer.
+    pub const FP: Reg = Reg(11);
+    /// Register 12, the intra-procedure scratch register.
+    pub const IP: Reg = Reg(12);
+    /// Register 13, the stack pointer.
+    pub const SP: Reg = Reg(13);
+    /// Register 14, the link register.
+    pub const LR: Reg = Reg(14);
+    /// Register 15, the program counter.
+    pub const PC: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register from its index without bounds checking the
+    /// *architectural* range; out-of-range values are masked to 4 bits.
+    /// Used by the instruction decoder, where the field width already
+    /// guarantees the range.
+    #[must_use]
+    pub const fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0xf) as u8)
+    }
+
+    /// The register's index, `0..16`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register's index as the 4-bit encoding field.
+    #[must_use]
+    pub const fn field(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Whether this register is the program counter.
+    #[must_use]
+    pub const fn is_pc(self) -> bool {
+        self.0 == 15
+    }
+
+    /// Parses a register name (`r0`..`r15`, `fp`, `ip`, `sp`, `lr`, `pc`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Reg> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "fp" => return Some(Reg::FP),
+            "ip" => return Some(Reg::IP),
+            "sp" => return Some(Reg::SP),
+            "lr" => return Some(Reg::LR),
+            "pc" => return Some(Reg::PC),
+            _ => {}
+        }
+        let digits = lower.strip_prefix('r')?;
+        let index: u8 = digits.parse().ok()?;
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => write!(f, "sp"),
+            14 => write!(f, "lr"),
+            15 => write!(f, "pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A set of registers, as used by `push`/`pop` and the load/store-multiple
+/// instructions. Backed by a 16-bit mask, one bit per register.
+///
+/// # Examples
+///
+/// ```
+/// use wp_isa::{Reg, RegList};
+/// let list: RegList = [Reg::R4, Reg::R5, Reg::LR].into_iter().collect();
+/// assert_eq!(list.len(), 3);
+/// assert!(list.contains(Reg::LR));
+/// assert_eq!(list.to_string(), "{r4, r5, lr}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegList(u16);
+
+impl RegList {
+    /// The empty register list.
+    #[must_use]
+    pub const fn new() -> RegList {
+        RegList(0)
+    }
+
+    /// Builds a list directly from its 16-bit mask.
+    #[must_use]
+    pub const fn from_mask(mask: u16) -> RegList {
+        RegList(mask)
+    }
+
+    /// The 16-bit mask, bit *i* set iff `r<i>` is in the list.
+    #[must_use]
+    pub const fn mask(self) -> u16 {
+        self.0
+    }
+
+    /// Inserts a register into the list.
+    pub fn insert(&mut self, reg: Reg) {
+        self.0 |= 1 << reg.index();
+    }
+
+    /// Whether the list contains `reg`.
+    #[must_use]
+    pub const fn contains(self, reg: Reg) -> bool {
+        self.0 & (1 << reg.0) != 0
+    }
+
+    /// Number of registers in the list.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the members in ascending register order (the memory
+    /// order used by the block transfer instructions).
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).filter(move |i| self.0 & (1 << i) != 0).map(Reg)
+    }
+}
+
+impl FromIterator<Reg> for RegList {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegList {
+        let mut list = RegList::new();
+        for reg in iter {
+            list.insert(reg);
+        }
+        list
+    }
+}
+
+impl Extend<Reg> for RegList {
+    fn extend<I: IntoIterator<Item = Reg>>(&mut self, iter: I) {
+        for reg in iter {
+            self.insert(reg);
+        }
+    }
+}
+
+impl fmt::Display for RegList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for reg in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{reg}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for RegList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_round_trip() {
+        for reg in Reg::all() {
+            let name = reg.to_string();
+            assert_eq!(Reg::parse(&name), Some(reg), "{name}");
+        }
+        // Aliases parse to the same architectural registers.
+        assert_eq!(Reg::parse("r13"), Some(Reg::SP));
+        assert_eq!(Reg::parse("r14"), Some(Reg::LR));
+        assert_eq!(Reg::parse("r15"), Some(Reg::PC));
+        assert_eq!(Reg::parse("R3"), Some(Reg::R3));
+        assert_eq!(Reg::parse("fp"), Some(Reg::new(11)));
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x0"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse("r"), None);
+        assert_eq!(Reg::parse("r-1"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn reglist_basics() {
+        let mut list = RegList::new();
+        assert!(list.is_empty());
+        list.insert(Reg::R0);
+        list.insert(Reg::LR);
+        list.insert(Reg::R0); // duplicate insert is idempotent
+        assert_eq!(list.len(), 2);
+        assert!(list.contains(Reg::R0));
+        assert!(!list.contains(Reg::R1));
+        let members: Vec<Reg> = list.iter().collect();
+        assert_eq!(members, vec![Reg::R0, Reg::LR]);
+    }
+
+    #[test]
+    fn reglist_display() {
+        let list: RegList = [Reg::R0, Reg::SP, Reg::PC].into_iter().collect();
+        assert_eq!(list.to_string(), "{r0, sp, pc}");
+        assert_eq!(RegList::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn reglist_mask_round_trip() {
+        let list = RegList::from_mask(0b1010_0000_0000_0101);
+        assert_eq!(list.mask(), 0b1010_0000_0000_0101);
+        assert_eq!(list.len(), 4);
+    }
+}

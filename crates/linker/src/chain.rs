@@ -1,0 +1,190 @@
+//! Chain construction and the layout passes (§3 of the paper).
+//!
+//! Blocks with a predefined ordering — fall-through edges and
+//! call/return site pairs — are linked into *chains*; remaining blocks
+//! are singleton chains. The way-placement pass assigns each chain a
+//! weight (the sum of its blocks' dynamic instruction counts) and
+//! orders chains heaviest-first, so the hottest code lands at the start
+//! of the binary where the way-placement area lives.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::icfg::Icfg;
+use crate::profile::Profile;
+
+/// A chain: a maximal run of blocks glued by layout constraints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chain {
+    /// Natural block ids, in their fixed internal order.
+    pub blocks: Vec<usize>,
+    /// Total dynamic instruction count (0 without a profile).
+    pub weight: u64,
+}
+
+/// Builds the chains of an ICFG, weighting them with `profile` (natural
+/// block id → execution count).
+#[must_use]
+pub fn build_chains(icfg: &Icfg, profile: &Profile) -> Vec<Chain> {
+    let blocks = icfg.blocks();
+    let mut chains = Vec::new();
+    let mut i = 0;
+    while i < blocks.len() {
+        let start = i;
+        // Extend while the current block is glued to its natural
+        // successor (fall-through or call/return).
+        while blocks[i].glue_to_next.is_some() {
+            i += 1;
+        }
+        i += 1;
+        let members: Vec<usize> = (start..i).collect();
+        let weight = members
+            .iter()
+            .map(|&id| profile.count(id) * blocks[id].len as u64)
+            .sum();
+        chains.push(Chain { blocks: members, weight });
+    }
+    chains
+}
+
+/// The code-layout strategies the linker offers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Layout {
+    /// Original (object concatenation) order — what an ordinary linker
+    /// produces, and the layout profiling runs use.
+    #[default]
+    Natural,
+    /// The paper's way-placement pass: chains sorted heaviest-first.
+    WayPlacement,
+    /// Chains shuffled deterministically — a stress baseline for the
+    /// layout ablation.
+    Random(u64),
+    /// Chains sorted lightest-first — the adversarial layout, putting
+    /// the coldest code in the way-placement area.
+    Pessimal,
+}
+
+impl Layout {
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layout::Natural => "natural",
+            Layout::WayPlacement => "way-placement",
+            Layout::Random(_) => "random",
+            Layout::Pessimal => "pessimal",
+        }
+    }
+
+    /// Orders chains according to the strategy, returning the block
+    /// order for the final binary.
+    #[must_use]
+    pub fn order(&self, mut chains: Vec<Chain>) -> Vec<usize> {
+        match self {
+            Layout::Natural => {}
+            Layout::WayPlacement => {
+                // Stable sort: equal-weight chains keep natural order,
+                // making the pass deterministic.
+                chains.sort_by_key(|c| std::cmp::Reverse(c.weight));
+            }
+            Layout::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                chains.shuffle(&mut rng);
+            }
+            Layout::Pessimal => {
+                chains.sort_by_key(|a| a.weight);
+            }
+        }
+        chains.into_iter().flat_map(|c| c.blocks).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icfg::{Block, GlueKind};
+
+    fn block(id: usize, len: usize, glue: Option<GlueKind>) -> Block {
+        Block {
+            natural_id: id,
+            start: 0,
+            len,
+            branch_target: None,
+            glue_to_next: glue,
+            labels: Vec::new(),
+        }
+    }
+
+    fn icfg_of(blocks: Vec<Block>) -> Icfg {
+        // Fix up starts so ranges are consistent.
+        let mut start = 0;
+        let mut blocks = blocks;
+        for b in &mut blocks {
+            b.start = start;
+            start += b.len;
+        }
+        Icfg::from_blocks(blocks)
+    }
+
+    #[test]
+    fn chains_respect_glue() {
+        let g = icfg_of(vec![
+            block(0, 2, Some(GlueKind::FallThrough)),
+            block(1, 3, None),
+            block(2, 1, Some(GlueKind::CallReturn)),
+            block(3, 1, None),
+            block(4, 5, None),
+        ]);
+        let chains = build_chains(&g, &Profile::empty());
+        let members: Vec<Vec<usize>> = chains.iter().map(|c| c.blocks.clone()).collect();
+        assert_eq!(members, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn chain_weight_is_dynamic_instruction_count() {
+        let g = icfg_of(vec![
+            block(0, 2, Some(GlueKind::FallThrough)),
+            block(1, 3, None),
+            block(2, 4, None),
+        ]);
+        let profile = Profile::from_counts(vec![10, 20, 5]);
+        let chains = build_chains(&g, &profile);
+        assert_eq!(chains[0].weight, 10 * 2 + 20 * 3);
+        assert_eq!(chains[1].weight, 5 * 4);
+    }
+
+    #[test]
+    fn way_placement_orders_heaviest_first() {
+        let chains = vec![
+            Chain { blocks: vec![0], weight: 5 },
+            Chain { blocks: vec![1, 2], weight: 100 },
+            Chain { blocks: vec![3], weight: 50 },
+        ];
+        assert_eq!(Layout::WayPlacement.order(chains.clone()), vec![1, 2, 3, 0]);
+        assert_eq!(Layout::Natural.order(chains.clone()), vec![0, 1, 2, 3]);
+        assert_eq!(Layout::Pessimal.order(chains.clone()), vec![0, 3, 1, 2]);
+        // Random is deterministic per seed and preserves chain unity.
+        let a = Layout::Random(9).order(chains.clone());
+        let b = Layout::Random(9).order(chains);
+        assert_eq!(a, b);
+        let pos1 = a.iter().position(|&x| x == 1).unwrap();
+        assert_eq!(a[pos1 + 1], 2, "chain [1,2] stays contiguous");
+    }
+
+    #[test]
+    fn equal_weights_keep_natural_order() {
+        let chains = vec![
+            Chain { blocks: vec![0], weight: 7 },
+            Chain { blocks: vec![1], weight: 7 },
+            Chain { blocks: vec![2], weight: 7 },
+        ];
+        assert_eq!(Layout::WayPlacement.order(chains), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Layout::WayPlacement.label(), "way-placement");
+        assert_eq!(Layout::Random(3).label(), "random");
+    }
+}

@@ -1,0 +1,316 @@
+//! Interprocedural control-flow graph construction (§3 of the paper).
+//!
+//! The linker reads the merged text section, finds basic-block leaders
+//! and builds the ICFG whose nodes the layout passes will reorder.
+//! Blocks are identified by their **natural id** — their index in the
+//! original (concatenation-order) text — which stays stable across
+//! re-layouts, so one profile can drive any number of link-time
+//! layouts without recompilation (the property §4.1 relies on).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wp_isa::{Insn, Op, RelocKind, TextEntry};
+
+/// Why a chain must keep two blocks adjacent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GlueKind {
+    /// The first block falls through into the second (conditional branch
+    /// or straight-line code).
+    FallThrough,
+    /// The first block ends in a call; the second is its return site
+    /// (`bl` links to the physically-next instruction).
+    CallReturn,
+}
+
+/// One basic block of the merged program.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// Stable identifier: index of the block in natural text order.
+    pub natural_id: usize,
+    /// First instruction (index into the merged natural text).
+    pub start: usize,
+    /// Number of instructions.
+    pub len: usize,
+    /// Natural index of the branch-target successor, if the block ends
+    /// in a direct branch.
+    pub branch_target: Option<usize>,
+    /// Constraint gluing this block to the next natural block, if any.
+    pub glue_to_next: Option<GlueKind>,
+    /// Labels defined at the block's first instruction.
+    pub labels: Vec<String>,
+}
+
+impl Block {
+    /// The instruction range of this block in natural text order.
+    #[must_use]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// The interprocedural CFG over the merged text.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Icfg {
+    blocks: Vec<Block>,
+    /// Map from natural instruction index to owning block id.
+    block_of_insn: Vec<usize>,
+}
+
+/// Inputs the ICFG builder needs about one merged text entry.
+pub(crate) struct MergedEntry<'a> {
+    pub entry: &'a TextEntry,
+    /// Natural instruction index of the entry's branch target, if it
+    /// carries a `Branch24` relocation.
+    pub branch_target: Option<usize>,
+}
+
+impl Icfg {
+    /// Builds the graph.
+    ///
+    /// `labels` maps natural instruction indices to the labels defined
+    /// there; every labelled instruction is a leader (it may be reached
+    /// indirectly via `bx` or a function-pointer table).
+    pub(crate) fn build(
+        text: &[MergedEntry<'_>],
+        labels: &BTreeMap<usize, Vec<String>>,
+    ) -> Icfg {
+        let n = text.len();
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0);
+        }
+        for index in labels.keys() {
+            if *index < n {
+                leaders.insert(*index);
+            }
+        }
+        for (i, merged) in text.iter().enumerate() {
+            let insn = merged.entry.insn;
+            if let Some(target) = merged.branch_target {
+                leaders.insert(target);
+            }
+            // Any control-flow instruction ends a block; `bl` also ends
+            // one because its return site must stay adjacent.
+            if insn.is_control_flow() && i + 1 < n {
+                leaders.insert(i + 1);
+            }
+        }
+
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks = Vec::with_capacity(starts.len());
+        let mut block_of_insn = vec![0usize; n];
+        for (id, &start) in starts.iter().enumerate() {
+            let end = starts.get(id + 1).copied().unwrap_or(n);
+            let last = &text[end - 1];
+            let last_insn = last.entry.insn;
+            let glue_to_next = if end == n {
+                None
+            } else if is_call(&last_insn) {
+                Some(GlueKind::CallReturn)
+            } else if last_insn.falls_through() {
+                Some(GlueKind::FallThrough)
+            } else {
+                None
+            };
+            blocks.push(Block {
+                natural_id: id,
+                start,
+                len: end - start,
+                branch_target: last.branch_target,
+                glue_to_next,
+                labels: labels.get(&start).cloned().unwrap_or_default(),
+            });
+            for slot in block_of_insn.iter_mut().take(end).skip(start) {
+                *slot = id;
+            }
+        }
+        // branch_target currently holds instruction indices; convert to
+        // block ids (branch targets are always leaders by construction).
+        let lookup = block_of_insn.clone();
+        for block in &mut blocks {
+            if let Some(target) = block.branch_target {
+                block.branch_target = Some(lookup[target]);
+            }
+        }
+        Icfg { blocks, block_of_insn }
+    }
+
+    /// Builds a graph directly from pre-cut blocks (tests and tools).
+    #[cfg(test)]
+    pub(crate) fn from_blocks(blocks: Vec<Block>) -> Icfg {
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        let mut block_of_insn = vec![0; total];
+        for block in &blocks {
+            for i in block.range() {
+                block_of_insn[i] = block.natural_id;
+            }
+        }
+        Icfg { blocks, block_of_insn }
+    }
+
+    /// All blocks in natural order.
+    #[must_use]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block owning natural instruction `index`.
+    #[must_use]
+    pub fn block_of(&self, index: usize) -> &Block {
+        &self.blocks[self.block_of_insn[index]]
+    }
+}
+
+/// Whether an instruction is a call (its successor is a return site).
+fn is_call(insn: &Insn) -> bool {
+    matches!(insn.op, Op::Branch { link: true, .. })
+}
+
+/// Extracts the branch-target natural index for a text entry, given a
+/// resolver from symbol names to natural instruction indices.
+pub(crate) fn branch_target_index(
+    entry: &TextEntry,
+    resolve: impl Fn(&str) -> Option<usize>,
+) -> Option<usize> {
+    let reloc = entry.reloc.as_ref()?;
+    if reloc.kind != RelocKind::Branch24 {
+        return None;
+    }
+    let base = resolve(&reloc.symbol)?;
+    let addend_insns = reloc.addend / i64::from(Insn::SIZE);
+    Some((base as i64 + addend_insns) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_isa::assemble;
+
+    fn build(src: &str) -> Icfg {
+        let module = assemble("t", src).expect("asm");
+        let mut labels: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for sym in &module.symbols {
+            if sym.section == wp_isa::SymbolSection::Text {
+                labels.entry(sym.offset).or_default().push(sym.name.clone());
+            }
+        }
+        let index_of = |name: &str| {
+            module
+                .symbols
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.offset)
+        };
+        let merged: Vec<MergedEntry<'_>> = module
+            .text
+            .iter()
+            .map(|entry| MergedEntry {
+                entry,
+                branch_target: branch_target_index(entry, index_of),
+            })
+            .collect();
+        Icfg::build(&merged, &labels)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let g = build("f: mov r0, #1\nadd r0, r0, #1\nbx lr");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.blocks()[0].len, 3);
+        assert_eq!(g.blocks()[0].glue_to_next, None);
+        assert_eq!(g.blocks()[0].labels, vec!["f"]);
+    }
+
+    #[test]
+    fn loop_structure() {
+        let g = build(
+            "f: mov r1, #0\n\
+             .Lloop: add r1, r1, #1\n\
+             cmp r1, #10\n\
+             blt .Lloop\n\
+             bx lr",
+        );
+        // Blocks: [f: mov], [.Lloop: add/cmp/blt], [bx lr]
+        assert_eq!(g.len(), 3);
+        let loop_block = &g.blocks()[1];
+        assert_eq!(loop_block.len, 3);
+        assert_eq!(loop_block.branch_target, Some(1), "self loop");
+        assert_eq!(loop_block.glue_to_next, Some(GlueKind::FallThrough));
+        assert_eq!(g.blocks()[0].glue_to_next, Some(GlueKind::FallThrough));
+        assert_eq!(g.blocks()[2].glue_to_next, None);
+    }
+
+    #[test]
+    fn call_glues_return_site() {
+        let g = build(
+            "main: bl helper\n\
+             mov r0, #0\n\
+             bx lr\n\
+             helper: bx lr",
+        );
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.blocks()[0].glue_to_next, Some(GlueKind::CallReturn));
+        assert_eq!(g.blocks()[0].branch_target, Some(2));
+        assert_eq!(g.blocks()[1].glue_to_next, None, "bx ends the chain");
+    }
+
+    #[test]
+    fn unconditional_branch_ends_chain() {
+        let g = build(
+            "a: b c\n\
+             b_: mov r0, #1\n\
+             c: bx lr",
+        );
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.blocks()[0].glue_to_next, None, "b is unconditional");
+        assert_eq!(g.blocks()[0].branch_target, Some(2));
+        assert_eq!(g.blocks()[1].glue_to_next, Some(GlueKind::FallThrough));
+    }
+
+    #[test]
+    fn labels_split_blocks() {
+        let g = build(
+            "f: mov r0, #1\n\
+             g: mov r0, #2\n\
+             bx lr",
+        );
+        assert_eq!(g.len(), 2, "g may be entered indirectly");
+        assert_eq!(g.blocks()[0].glue_to_next, Some(GlueKind::FallThrough));
+    }
+
+    #[test]
+    fn block_of_maps_instructions() {
+        let g = build(
+            "f: mov r0, #1\n\
+             g: mov r0, #2\n\
+             bx lr",
+        );
+        assert_eq!(g.block_of(0).natural_id, 0);
+        assert_eq!(g.block_of(1).natural_id, 1);
+        assert_eq!(g.block_of(2).natural_id, 1);
+    }
+
+    #[test]
+    fn conditional_return_falls_through() {
+        let g = build(
+            "f: cmp r0, #0\n\
+             bxeq lr\n\
+             mov r0, #1\n\
+             bx lr",
+        );
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.blocks()[0].glue_to_next, Some(GlueKind::FallThrough));
+    }
+}

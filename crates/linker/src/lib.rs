@@ -1,0 +1,65 @@
+//! # wp-linker — the Diablo-like link-time rewriter
+//!
+//! The compiler half of the *compiler way-placement* technique (Jones et
+//! al., DATE 2008, §3): a link-time code-layout pass that
+//!
+//! 1. merges relocatable [`wp_isa::Module`]s and rebuilds the
+//!    interprocedural control-flow graph ([`Icfg`]);
+//! 2. annotates basic blocks with [`Profile`] execution counts gathered
+//!    from a training run (the MiBench *small* inputs in the paper);
+//! 3. links blocks into [`Chain`]s wherever a predefined ordering must
+//!    be respected — fall-through edges and call/return site pairs;
+//! 4. orders the chains heaviest-first ([`Layout::WayPlacement`]) and
+//!    emits the final binary, so the most frequently executed code
+//!    occupies the start of the text section — the way-placement area.
+//!
+//! Because the pass only *sorts* whole chains, the emitted binary is
+//! valid for **any** way-placement area size: the OS can pick (or
+//! re-pick) the area at run time without recompilation, the property
+//! §4.1 of the paper builds on.
+//!
+//! [`Layout::Natural`], [`Layout::Random`] and [`Layout::Pessimal`]
+//! baselines are provided for the layout ablation in `wp-bench`.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use wp_linker::{Layout, Linker, Profile};
+//!
+//! let module = wp_isa::assemble(
+//!     "prog",
+//!     "
+//!     _start:
+//!         mov r4, #10
+//!     .Lloop:
+//!         subs r4, r4, #1
+//!         bne .Lloop
+//!         swi #0
+//!     ",
+//! )?;
+//! let linker = Linker::new().with_module(module);
+//!
+//! // Profile-less natural link (what the training run executes).
+//! let natural = linker.link(Layout::Natural, &Profile::empty())?;
+//!
+//! // Re-link with a profile: the loop chain moves to the front.
+//! let profile = natural.profile_from_counts(&vec![1; natural.image.text.len()]);
+//! let optimised = linker.link(Layout::WayPlacement, &profile)?;
+//! assert_eq!(optimised.image.text.len(), natural.image.text.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chain;
+mod icfg;
+mod link;
+mod profile;
+
+pub use chain::{build_chains, Chain, Layout};
+pub use icfg::{Block, GlueKind, Icfg};
+pub use link::{LinkError, LinkOutput, Linker};
+pub use profile::Profile;

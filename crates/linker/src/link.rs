@@ -1,0 +1,606 @@
+//! The link-time rewriter: merges modules, applies a layout pass and
+//! emits a loadable image with all relocations resolved.
+//!
+//! This plays the role Diablo played for the paper: it consumes
+//! relocatable objects, rebuilds the ICFG, chains the blocks, orders
+//! chains by profile weight and writes the final binary — hottest code
+//! first, so the front of the text section *is* the way-placement area.
+
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use wp_isa::{Image, Insn, Module, Op, RelocKind, SymbolSection, TextEntry};
+
+use crate::chain::{build_chains, Chain, Layout};
+use crate::icfg::{branch_target_index, Icfg, MergedEntry};
+use crate::profile::Profile;
+
+/// Errors the linker can raise.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LinkError {
+    /// A global symbol is defined in more than one module.
+    DuplicateSymbol(String),
+    /// A referenced symbol is not defined anywhere.
+    UndefinedSymbol(String),
+    /// A branch targets a non-text symbol.
+    BranchToData(String),
+    /// No `_start` or `main` entry point exists.
+    NoEntryPoint,
+    /// Nothing to link.
+    NoModules,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            LinkError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            LinkError::BranchToData(s) => write!(f, "branch to non-text symbol `{s}`"),
+            LinkError::NoEntryPoint => write!(f, "no `_start` or `main` entry point"),
+            LinkError::NoModules => write!(f, "no modules to link"),
+        }
+    }
+}
+
+impl Error for LinkError {}
+
+/// Where a symbol resolves to after merging.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SymValue {
+    /// Natural text instruction index.
+    Text(usize),
+    /// Absolute address (data/bss).
+    Addr(u32),
+}
+
+/// The linker: collects modules, then links them under a chosen layout.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use wp_linker::{Layout, Linker, Profile};
+///
+/// let module = wp_isa::assemble(
+///     "prog",
+///     "_start: mov r0, #0\n swi #0",
+/// )?;
+/// let output = Linker::new().with_module(module).link(Layout::Natural, &Profile::empty())?;
+/// assert_eq!(output.image.entry, wp_isa::Image::TEXT_BASE);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Linker {
+    modules: Vec<Module>,
+}
+
+/// The result of a link: the image plus the structural maps that the
+/// profiler and the experiment harness need.
+#[derive(Clone, Debug)]
+pub struct LinkOutput {
+    /// The loadable image.
+    pub image: Image,
+    /// The natural-order control-flow graph.
+    pub icfg: Icfg,
+    /// The chains the layout pass ordered.
+    pub chains: Vec<Chain>,
+    /// Final layout: natural block ids in emission order.
+    pub block_order: Vec<usize>,
+    /// Per final instruction index, the natural instruction index.
+    pub natural_of_final: Vec<usize>,
+    /// Per natural instruction index, the final instruction index.
+    pub final_of_natural: Vec<usize>,
+}
+
+impl Linker {
+    /// Creates an empty linker.
+    #[must_use]
+    pub fn new() -> Linker {
+        Linker::default()
+    }
+
+    /// Adds one module (builder style).
+    #[must_use]
+    pub fn with_module(mut self, module: Module) -> Linker {
+        self.modules.push(module);
+        self
+    }
+
+    /// Adds modules from an iterator (builder style).
+    #[must_use]
+    pub fn with_modules(mut self, modules: impl IntoIterator<Item = Module>) -> Linker {
+        self.modules.extend(modules);
+        self
+    }
+
+    /// Links the collected modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] for duplicate or undefined symbols,
+    /// branches into data, or a missing entry point.
+    pub fn link(&self, layout: Layout, profile: &Profile) -> Result<LinkOutput, LinkError> {
+        if self.modules.is_empty() {
+            return Err(LinkError::NoModules);
+        }
+
+        // ---- merge ---------------------------------------------------
+        let mut text: Vec<TextEntry> = Vec::new();
+        let mut data: Vec<u8> = Vec::new();
+        let mut data_relocs: Vec<(usize, String, i64)> = Vec::new();
+        let mut symbols: HashMap<String, SymValue> = HashMap::new();
+        let mut labels: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+
+        let total_data: usize = self.modules.iter().map(|m| {
+            let mut len = m.data.len();
+            len += (4 - len % 4) % 4; // each module's data is word-aligned
+            len
+        }).sum();
+        let bss_base = Image::DATA_BASE + total_data as u32;
+
+        let mut bss_cursor = bss_base;
+        for (index, module) in self.modules.iter().enumerate() {
+            let text_off = text.len();
+            let data_off = data.len();
+            let rename = |name: &str| -> String {
+                if name.starts_with('.') {
+                    format!("{name}@{index}")
+                } else {
+                    name.to_string()
+                }
+            };
+            for entry in &module.text {
+                let mut entry = entry.clone();
+                if let Some(reloc) = &mut entry.reloc {
+                    reloc.symbol = rename(&reloc.symbol);
+                }
+                text.push(entry);
+            }
+            data.extend_from_slice(&module.data);
+            while !data.len().is_multiple_of(4) {
+                data.push(0);
+            }
+            for reloc in &module.data_relocs {
+                data_relocs.push((data_off + reloc.offset, rename(&reloc.symbol), reloc.addend));
+            }
+            for sym in &module.symbols {
+                let name = rename(&sym.name);
+                let value = match sym.section {
+                    SymbolSection::Text => SymValue::Text(text_off + sym.offset),
+                    SymbolSection::Data => {
+                        SymValue::Addr(Image::DATA_BASE + (data_off + sym.offset) as u32)
+                    }
+                    SymbolSection::Bss => SymValue::Addr(bss_cursor + sym.offset as u32),
+                };
+                if symbols.insert(name.clone(), value).is_some() {
+                    return Err(LinkError::DuplicateSymbol(name));
+                }
+                if let SymValue::Text(idx) = value {
+                    labels.entry(idx).or_default().push(name);
+                }
+            }
+            bss_cursor += module.bss_size as u32;
+        }
+        let total_bss = (bss_cursor - bss_base) as usize;
+
+        // ---- verify references & build the ICFG -----------------------
+        for entry in &text {
+            if let Some(reloc) = &entry.reloc {
+                if !symbols.contains_key(&reloc.symbol) {
+                    return Err(LinkError::UndefinedSymbol(reloc.symbol.clone()));
+                }
+                if reloc.kind == RelocKind::Branch24
+                    && !matches!(symbols[&reloc.symbol], SymValue::Text(_))
+                {
+                    return Err(LinkError::BranchToData(reloc.symbol.clone()));
+                }
+            }
+        }
+        for (_, symbol, _) in &data_relocs {
+            if !symbols.contains_key(symbol) {
+                return Err(LinkError::UndefinedSymbol(symbol.clone()));
+            }
+        }
+
+        let resolve_text = |name: &str| match symbols.get(name) {
+            Some(SymValue::Text(idx)) => Some(*idx),
+            _ => None,
+        };
+        let merged: Vec<MergedEntry<'_>> = text
+            .iter()
+            .map(|entry| MergedEntry {
+                entry,
+                branch_target: branch_target_index(entry, resolve_text),
+            })
+            .collect();
+        let icfg = Icfg::build(&merged, &labels);
+
+        // ---- layout ---------------------------------------------------
+        let chains = build_chains(&icfg, profile);
+        let block_order = layout.order(chains.clone());
+
+        let mut natural_of_final = Vec::with_capacity(text.len());
+        for &block_id in &block_order {
+            natural_of_final.extend(icfg.blocks()[block_id].range());
+        }
+        debug_assert_eq!(natural_of_final.len(), text.len());
+        let mut final_of_natural = vec![0usize; text.len()];
+        for (final_idx, &nat_idx) in natural_of_final.iter().enumerate() {
+            final_of_natural[nat_idx] = final_idx;
+        }
+
+        // ---- resolve --------------------------------------------------
+        let symbol_addr = |name: &str| -> u32 {
+            match symbols[name] {
+                SymValue::Text(idx) => Image::TEXT_BASE + 4 * final_of_natural[idx] as u32,
+                SymValue::Addr(addr) => addr,
+            }
+        };
+
+        let mut final_text: Vec<Insn> = Vec::with_capacity(text.len());
+        for (final_idx, &nat_idx) in natural_of_final.iter().enumerate() {
+            let entry = &text[nat_idx];
+            let mut insn = entry.insn;
+            if let Some(reloc) = &entry.reloc {
+                let target = (symbol_addr(&reloc.symbol) as i64 + reloc.addend) as u32;
+                match reloc.kind {
+                    RelocKind::Branch24 => {
+                        let here = Image::TEXT_BASE + 4 * final_idx as u32;
+                        let offset_words =
+                            (i64::from(target) - i64::from(here) - 4) / i64::from(Insn::SIZE);
+                        if let Op::Branch { link, .. } = insn.op {
+                            insn.op = Op::Branch { link, offset: offset_words as i32 };
+                        }
+                    }
+                    RelocKind::Abs16Lo => {
+                        if let Op::Mov16 { top, rd, .. } = insn.op {
+                            insn.op = Op::Mov16 { top, rd, imm: (target & 0xffff) as u16 };
+                        }
+                    }
+                    RelocKind::Abs16Hi => {
+                        if let Op::Mov16 { top, rd, .. } = insn.op {
+                            insn.op = Op::Mov16 { top, rd, imm: (target >> 16) as u16 };
+                        }
+                    }
+                }
+            }
+            final_text.push(insn);
+        }
+
+        for (offset, symbol, addend) in &data_relocs {
+            let value = (symbol_addr(symbol) as i64 + addend) as u32;
+            data[*offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+        }
+
+        let entry = symbols
+            .get("_start")
+            .or_else(|| symbols.get("main"))
+            .copied()
+            .ok_or(LinkError::NoEntryPoint)?;
+        let SymValue::Text(entry_idx) = entry else {
+            return Err(LinkError::NoEntryPoint);
+        };
+        let entry_addr = Image::TEXT_BASE + 4 * final_of_natural[entry_idx] as u32;
+
+        let image_symbols: BTreeMap<String, u32> = symbols
+            .iter()
+            .filter(|(name, _)| !name.contains('@'))
+            .map(|(name, value)| (name.clone(), match value {
+                SymValue::Text(idx) => Image::TEXT_BASE + 4 * final_of_natural[*idx] as u32,
+                SymValue::Addr(addr) => *addr,
+            }))
+            .collect();
+
+        Ok(LinkOutput {
+            image: Image {
+                text: final_text,
+                data,
+                bss_size: total_bss,
+                entry: entry_addr,
+                symbols: image_symbols,
+            },
+            icfg,
+            chains,
+            block_order,
+            natural_of_final,
+            final_of_natural,
+        })
+    }
+}
+
+impl LinkOutput {
+    /// Converts per-final-instruction execution counts (as collected by
+    /// the simulator on *this* layout) into a natural-block [`Profile`]
+    /// usable by any future relink.
+    #[must_use]
+    pub fn profile_from_counts(&self, per_insn: &[u64]) -> Profile {
+        let mut counts = vec![0u64; self.icfg.len()];
+        for block in self.icfg.blocks() {
+            let first_final = self.final_of_natural[block.start];
+            counts[block.natural_id] = per_insn.get(first_final).copied().unwrap_or(0);
+        }
+        Profile::from_counts(counts)
+    }
+
+    /// Final byte address of a natural block's first instruction.
+    #[must_use]
+    pub fn block_final_addr(&self, natural_id: usize) -> u32 {
+        let block = &self.icfg.blocks()[natural_id];
+        Image::TEXT_BASE + 4 * self.final_of_natural[block.start] as u32
+    }
+
+    /// Fraction of dynamic instruction executions that land inside the
+    /// first `area_bytes` of the binary under this layout — the quantity
+    /// the way-placement pass maximises.
+    #[must_use]
+    pub fn coverage_of_prefix(&self, profile: &Profile, area_bytes: u32) -> f64 {
+        let limit_insns = (area_bytes / 4) as usize;
+        let mut inside = 0u128;
+        let mut total = 0u128;
+        for block in self.icfg.blocks() {
+            let weight =
+                u128::from(profile.count(block.natural_id)) * block.len as u128;
+            total += weight;
+            if self.final_of_natural[block.start] < limit_insns {
+                inside += weight;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            inside as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_isa::assemble;
+
+    fn module(name: &str, src: &str) -> Module {
+        assemble(name, src).expect("asm")
+    }
+
+    fn simple_program() -> Module {
+        module(
+            "prog",
+            "
+            _start:
+                mov r4, #0
+            .Lloop:
+                add r4, r4, #1
+                cmp r4, #5
+                blt .Lloop
+                bl helper
+                swi #0
+            cold:
+                mov r0, #9
+                bx lr
+            helper:
+                mov r0, #1
+                bx lr
+            ",
+        )
+    }
+
+    #[test]
+    fn natural_link_resolves_branches() {
+        let out = Linker::new()
+            .with_module(simple_program())
+            .link(Layout::Natural, &Profile::empty())
+            .expect("link");
+        let image = &out.image;
+        assert_eq!(image.entry, Image::TEXT_BASE);
+        // Execute the branch displacement arithmetic: `blt .Lloop`
+        // at index 3 must target index 1.
+        let blt = image.text[3];
+        assert_eq!(blt.branch_displacement(), Some(4 + 4 * (1i64 - 3 - 1)));
+        // `bl helper` at index 4 targets index 8.
+        let bl = image.text[4];
+        assert_eq!(bl.branch_displacement(), Some(4 * (8 - 4)));
+    }
+
+    #[test]
+    fn way_placement_layout_moves_hot_chain_first() {
+        let program = simple_program();
+        let linker = Linker::new().with_module(program);
+        let natural = linker.link(Layout::Natural, &Profile::empty()).expect("link");
+        // Synthesise a profile: the loop ran 1000 times, helper 1,
+        // cold never.
+        let mut counts = vec![0u64; natural.icfg.len()];
+        for block in natural.icfg.blocks() {
+            let label = block.labels.first().map(String::as_str).unwrap_or("");
+            counts[block.natural_id] = match label {
+                "_start" => 1,
+                s if s.starts_with(".Lloop") => 1000,
+                "helper" => 1,
+                _ => 0,
+            };
+        }
+        // Fall-through blocks inherit plausibility: block after blt.
+        let profile = Profile::from_counts(counts);
+        let optimised = linker.link(Layout::WayPlacement, &profile).expect("link");
+        // The loop block must now sit earlier than `cold`.
+        let loop_id = natural
+            .icfg
+            .blocks()
+            .iter()
+            .find(|b| b.labels.iter().any(|l| l.starts_with(".Lloop")))
+            .unwrap()
+            .natural_id;
+        let cold_id = natural
+            .icfg
+            .blocks()
+            .iter()
+            .find(|b| b.labels.iter().any(|l| l == "cold"))
+            .unwrap()
+            .natural_id;
+        assert!(
+            optimised.block_final_addr(loop_id) < optimised.block_final_addr(cold_id),
+            "hot loop before cold code"
+        );
+        // And the branch still works: the rewritten blt targets the
+        // rewritten loop head.
+        let loop_addr = optimised.block_final_addr(loop_id);
+        let blt_idx = optimised.image.text.iter().enumerate().find_map(|(i, insn)| {
+            matches!(insn.op, Op::Branch { link: false, .. }).then_some(i)
+        });
+        let blt_idx = blt_idx.expect("a branch exists");
+        let blt_addr = optimised.image.text_addr(blt_idx);
+        let disp = optimised.image.text[blt_idx].branch_displacement().unwrap();
+        assert_eq!((i64::from(blt_addr) + disp) as u32, loop_addr);
+    }
+
+    #[test]
+    fn every_layout_preserves_instruction_multiset() {
+        let linker = Linker::new().with_module(simple_program());
+        let natural = linker.link(Layout::Natural, &Profile::empty()).unwrap();
+        for layout in [Layout::WayPlacement, Layout::Random(3), Layout::Pessimal] {
+            let out = linker.link(layout, &Profile::from_counts(vec![5; 20])).unwrap();
+            assert_eq!(out.image.text.len(), natural.image.text.len());
+            // The permutation maps are mutually inverse.
+            for (f, &n) in out.natural_of_final.iter().enumerate() {
+                assert_eq!(out.final_of_natural[n], f);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_module_calls_and_data() {
+        let a = module(
+            "a",
+            "
+            _start:
+                ldr r0, =shared
+                ldr r1, [r0]
+                bl lib_fn
+                swi #0
+            ",
+        );
+        let b = module(
+            "b",
+            "
+            lib_fn:
+                add r0, r0, #1
+                bx lr
+            .data
+            shared: .word 41
+            ",
+        );
+        let out = Linker::new()
+            .with_module(a)
+            .with_module(b)
+            .link(Layout::Natural, &Profile::empty())
+            .expect("link");
+        let shared_addr = out.image.symbol("shared").unwrap();
+        assert!(shared_addr >= Image::DATA_BASE);
+        // The movw/movt pair materialises the symbol's address.
+        let movw = out.image.text[0];
+        let movt = out.image.text[1];
+        match (movw.op, movt.op) {
+            (Op::Mov16 { top: false, imm: lo, .. }, Op::Mov16 { top: true, imm: hi, .. }) => {
+                assert_eq!(u32::from(lo) | u32::from(hi) << 16, shared_addr);
+            }
+            other => panic!("expected movw/movt, got {other:?}"),
+        }
+        assert_eq!(&out.image.data[0..4], &41u32.to_le_bytes());
+    }
+
+    #[test]
+    fn data_relocs_point_at_final_text() {
+        let m = module(
+            "m",
+            "
+            _start: swi #0
+            handler: bx lr
+            .data
+            table: .word handler, handler+4
+            ",
+        );
+        let linker = Linker::new().with_module(m);
+        let out = linker.link(Layout::Natural, &Profile::empty()).unwrap();
+        let handler = out.image.symbol("handler").unwrap();
+        assert_eq!(&out.image.data[0..4], &handler.to_le_bytes());
+        assert_eq!(&out.image.data[4..8], &(handler + 4).to_le_bytes());
+    }
+
+    #[test]
+    fn duplicate_and_undefined_symbols() {
+        let a = module("a", "_start: swi #0\nf: bx lr");
+        let b = module("b", "f: bx lr");
+        let err = Linker::new().with_module(a.clone()).with_module(b).link(
+            Layout::Natural,
+            &Profile::empty(),
+        );
+        assert_eq!(err.unwrap_err(), LinkError::DuplicateSymbol("f".into()));
+
+        let c = module("c", "_start: bl ghost\nswi #0");
+        let err = Linker::new().with_module(c).link(Layout::Natural, &Profile::empty());
+        assert_eq!(err.unwrap_err(), LinkError::UndefinedSymbol("ghost".into()));
+    }
+
+    #[test]
+    fn local_symbols_do_not_collide_across_modules() {
+        let a = module("a", "_start: b .Ldone\n.Ldone: swi #0");
+        let b = module("b", "other: b .Ldone\n.Ldone: bx lr");
+        let out = Linker::new()
+            .with_module(a)
+            .with_module(b)
+            .link(Layout::Natural, &Profile::empty());
+        assert!(out.is_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn branch_to_data_is_rejected() {
+        let m = module("m", "_start: b v\nswi #0\n.data\nv: .word 0");
+        let err = Linker::new().with_module(m).link(Layout::Natural, &Profile::empty());
+        assert_eq!(err.unwrap_err(), LinkError::BranchToData("v".into()));
+    }
+
+    #[test]
+    fn entry_point_fallback_and_absence() {
+        let main_only = module("m", "main: swi #0");
+        let out = Linker::new().with_module(main_only).link(Layout::Natural, &Profile::empty());
+        assert!(out.is_ok());
+
+        let neither = module("m", "f: swi #0");
+        let err = Linker::new().with_module(neither).link(Layout::Natural, &Profile::empty());
+        assert_eq!(err.unwrap_err(), LinkError::NoEntryPoint);
+
+        let err = Linker::new().link(Layout::Natural, &Profile::empty());
+        assert_eq!(err.unwrap_err(), LinkError::NoModules);
+    }
+
+    #[test]
+    fn profile_from_counts_maps_layout() {
+        let linker = Linker::new().with_module(simple_program());
+        let out = linker.link(Layout::Natural, &Profile::empty()).unwrap();
+        // Pretend every instruction executed once.
+        let per_insn = vec![1u64; out.image.text.len()];
+        let profile = out.profile_from_counts(&per_insn);
+        assert_eq!(profile.len(), out.icfg.len());
+        assert!(profile.total() >= out.icfg.len() as u64);
+    }
+
+    #[test]
+    fn coverage_of_prefix() {
+        let linker = Linker::new().with_module(simple_program());
+        let natural = linker.link(Layout::Natural, &Profile::empty()).unwrap();
+        let mut counts = vec![0u64; natural.icfg.len()];
+        counts[1] = 100; // make one block hot (the loop body)
+        let profile = Profile::from_counts(counts);
+        let optimised = linker.link(Layout::WayPlacement, &profile).unwrap();
+        // The hot chain fits easily into a 64-byte prefix.
+        assert!(optimised.coverage_of_prefix(&profile, 64) > 0.9);
+        // Under the pessimal layout the cold helper chain hogs the
+        // smallest prefix instead.
+        let pessimal = linker.link(Layout::Pessimal, &profile).unwrap();
+        assert!(
+            pessimal.coverage_of_prefix(&profile, 8)
+                < optimised.coverage_of_prefix(&profile, 8)
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Profile data: dynamic execution counts per basic block.
+//!
+//! Profiles are keyed by **natural block id**, so a profile gathered on
+//! the natural-layout binary (with the *small* input set, per the
+//! paper's methodology) drives the way-placement layout of the binary
+//! that then runs the *large* inputs — no recompilation, only a relink.
+
+/// Execution counts per natural block id.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Profile {
+    counts: Vec<u64>,
+}
+
+impl Profile {
+    /// A profile with no information (all counts zero).
+    #[must_use]
+    pub fn empty() -> Profile {
+        Profile::default()
+    }
+
+    /// Builds a profile from per-block counts indexed by natural id.
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Profile {
+        Profile { counts }
+    }
+
+    /// The execution count of block `natural_id` (0 if unknown).
+    #[must_use]
+    pub fn count(&self, natural_id: usize) -> u64 {
+        self.counts.get(natural_id).copied().unwrap_or(0)
+    }
+
+    /// Number of blocks with recorded counts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the profile carries no data.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total dynamic block entries.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of blocks never executed — a quick skew diagnostic.
+    #[must_use]
+    pub fn cold_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().filter(|&&c| c == 0).count() as f64 / self.counts.len() as f64
+    }
+}
+
+impl FromIterator<u64> for Profile {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Profile {
+        Profile { counts: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_defaults() {
+        let p = Profile::from_counts(vec![3, 0, 7]);
+        assert_eq!(p.count(0), 3);
+        assert_eq!(p.count(1), 0);
+        assert_eq!(p.count(2), 7);
+        assert_eq!(p.count(99), 0, "unknown blocks are cold");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.total(), 10);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = Profile::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.count(0), 0);
+        assert_eq!(p.cold_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cold_fraction() {
+        let p: Profile = [5, 0, 0, 1].into_iter().collect();
+        assert!((p.cold_fraction() - 0.5).abs() < 1e-12);
+    }
+}

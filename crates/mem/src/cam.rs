@@ -1,0 +1,304 @@
+//! The tag array shared by both caches: a CAM-tagged, set-associative
+//! line store with pluggable replacement.
+//!
+//! This models *placement* only — which line lives in which (set, way)
+//! slot. Data contents live in the functional simulator's flat memory;
+//! splitting the two keeps the cache model reusable for timing and
+//! energy studies, which is exactly how XTREM structures its caches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CacheGeometry;
+
+/// Replacement policy for non-way-placed fills.
+///
+/// The XScale uses round-robin; LRU and random are provided for the
+/// sensitivity ablation in `wp-bench`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ReplacementPolicy {
+    /// Per-set rotating counter (the XScale's policy).
+    #[default]
+    RoundRobin,
+    /// Least recently used.
+    Lru,
+    /// Uniformly random victim (deterministically seeded).
+    Random,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LineState {
+    valid: bool,
+    tag: u32,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// The outcome of a fill: which way was used and which line (by base
+/// address) was evicted, if any.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FillOutcome {
+    /// The way the new line was placed in.
+    pub way: u32,
+    /// Base address of the evicted line, if a valid line was displaced.
+    pub evicted: Option<u32>,
+    /// Whether the evicted line was dirty (needs writeback).
+    pub evicted_dirty: bool,
+}
+
+/// A set-associative tag array.
+#[derive(Clone, Debug)]
+pub struct CamArray {
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    lines: Vec<LineState>,
+    round_robin: Vec<u32>,
+    rng: StdRng,
+    tick: u64,
+}
+
+impl CamArray {
+    /// Creates an empty array. `seed` only matters for
+    /// [`ReplacementPolicy::Random`].
+    #[must_use]
+    pub fn new(geom: CacheGeometry, policy: ReplacementPolicy, seed: u64) -> CamArray {
+        let slots = (geom.sets() * geom.ways()) as usize;
+        CamArray {
+            geom,
+            policy,
+            lines: vec![LineState::default(); slots],
+            round_robin: vec![0; geom.sets() as usize],
+            rng: StdRng::seed_from_u64(seed),
+            tick: 0,
+        }
+    }
+
+    /// The geometry this array was built with.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.geom.ways() + way) as usize
+    }
+
+    /// Searches the set for `addr`'s tag; returns the way on a hit.
+    /// Pure lookup — does not touch recency state.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<u32> {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        (0..self.geom.ways()).find(|&way| {
+            let line = &self.lines[self.slot(set, way)];
+            line.valid && line.tag == tag
+        })
+    }
+
+    /// Whether `addr`'s specific way holds `addr`'s line — the one-tag
+    /// probe a way-placement access performs.
+    #[must_use]
+    pub fn probe_way(&self, addr: u32, way: u32) -> bool {
+        let set = self.geom.set_of(addr);
+        let line = &self.lines[self.slot(set, way)];
+        line.valid && line.tag == self.geom.tag_of(addr)
+    }
+
+    /// Records a use of (set, way) for LRU bookkeeping.
+    pub fn touch(&mut self, addr: u32, way: u32) {
+        self.tick += 1;
+        let set = self.geom.set_of(addr);
+        let slot = self.slot(set, way);
+        self.lines[slot].last_use = self.tick;
+    }
+
+    /// Marks the line holding `addr` in `way` dirty (write-back caches).
+    pub fn mark_dirty(&mut self, addr: u32, way: u32) {
+        let set = self.geom.set_of(addr);
+        let slot = self.slot(set, way);
+        self.lines[slot].dirty = true;
+    }
+
+    /// Picks a victim way in `addr`'s set according to the policy,
+    /// preferring invalid ways.
+    pub fn pick_victim(&mut self, addr: u32) -> u32 {
+        let set = self.geom.set_of(addr);
+        let ways = self.geom.ways();
+        if let Some(way) =
+            (0..ways).find(|&w| !self.lines[self.slot(set, w)].valid)
+        {
+            return way;
+        }
+        match self.policy {
+            ReplacementPolicy::RoundRobin => {
+                let way = self.round_robin[set as usize];
+                self.round_robin[set as usize] = (way + 1) % ways;
+                way
+            }
+            ReplacementPolicy::Lru => (0..ways)
+                .min_by_key(|&w| self.lines[self.slot(set, w)].last_use)
+                .expect("at least one way"),
+            ReplacementPolicy::Random => self.rng.gen_range(0..ways),
+        }
+    }
+
+    /// Installs `addr`'s line into `way`, returning what was evicted.
+    pub fn fill(&mut self, addr: u32, way: u32) -> FillOutcome {
+        self.tick += 1;
+        let set = self.geom.set_of(addr);
+        let slot = self.slot(set, way);
+        let old = self.lines[slot];
+        let evicted = old.valid.then(|| self.geom.addr_of(old.tag, set));
+        self.lines[slot] = LineState {
+            valid: true,
+            tag: self.geom.tag_of(addr),
+            dirty: false,
+            last_use: self.tick,
+        };
+        FillOutcome { way, evicted, evicted_dirty: old.valid && old.dirty }
+    }
+
+    /// Invalidates every line (e.g. between benchmark runs).
+    pub fn invalidate_all(&mut self) {
+        for line in &mut self.lines {
+            *line = LineState::default();
+        }
+        self.round_robin.fill(0);
+        self.tick = 0;
+    }
+
+    /// Number of currently valid lines.
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over the base addresses of all resident lines, with
+    /// their (set, way) position — used by invariant checks.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        let geom = self.geom;
+        let ways = geom.ways();
+        self.lines.iter().enumerate().filter(|(_, l)| l.valid).map(move |(i, l)| {
+            let set = i as u32 / ways;
+            let way = i as u32 % ways;
+            (geom.addr_of(l.tag, set), set, way)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheGeometry {
+        // 2 sets, 4 ways, 32 B lines = 256 B (figure 1's example cache).
+        CacheGeometry::new(256, 4, 32)
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        assert_eq!(cam.lookup(0x1000), None);
+        let way = cam.pick_victim(0x1000);
+        cam.fill(0x1000, way);
+        assert_eq!(cam.lookup(0x1000), Some(way));
+        assert_eq!(cam.lookup(0x1004), Some(way), "same line");
+        assert_eq!(cam.lookup(0x1040), None, "other set");
+        assert_eq!(cam.valid_lines(), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_ways() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        // Fill the whole set, then observe the rotation.
+        let set_stride = 64; // 2 sets * 32 B
+        for i in 0..4u32 {
+            let addr = 0x1000 + i * set_stride;
+            let way = cam.pick_victim(addr);
+            assert_eq!(way, i, "invalid ways first");
+            cam.fill(addr, way);
+        }
+        let victims: Vec<u32> =
+            (0..6).map(|_| cam.pick_victim(0x1000)).collect();
+        assert_eq!(victims, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::Lru, 0);
+        let set_stride = 64;
+        for i in 0..4u32 {
+            let addr = 0x1000 + i * set_stride;
+            cam.fill(addr, i);
+        }
+        // Touch ways 0, 2, 3 — way 1 becomes LRU.
+        cam.touch(0x1000, 0);
+        cam.touch(0x1000 + 2 * set_stride, 2);
+        cam.touch(0x1000 + 3 * set_stride, 3);
+        assert_eq!(cam.pick_victim(0x1000), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let picks = |seed| {
+            let mut cam = CamArray::new(tiny(), ReplacementPolicy::Random, seed);
+            for i in 0..4u32 {
+                cam.fill(0x1000 + i * 64, i);
+            }
+            (0..8).map(|_| cam.pick_victim(0x1000)).collect::<Vec<u32>>()
+        };
+        assert_eq!(picks(7), picks(7));
+    }
+
+    #[test]
+    fn fill_reports_eviction() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 2);
+        let out = cam.fill(0x2000, 2);
+        assert_eq!(out.evicted, Some(0x1000));
+        assert!(!out.evicted_dirty);
+        assert_eq!(cam.lookup(0x1000), None);
+        assert_eq!(cam.lookup(0x2000), Some(2));
+    }
+
+    #[test]
+    fn dirty_eviction() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 0);
+        cam.mark_dirty(0x1000, 0);
+        let out = cam.fill(0x2000, 0);
+        assert!(out.evicted_dirty);
+        // A refill of the same address is clean again.
+        cam.fill(0x1000, 0);
+        let out = cam.fill(0x2000, 0);
+        assert!(!out.evicted_dirty);
+    }
+
+    #[test]
+    fn probe_way_is_single_way() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 3);
+        assert!(cam.probe_way(0x1000, 3));
+        assert!(!cam.probe_way(0x1000, 0));
+        assert!(!cam.probe_way(0x2000, 3));
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 0);
+        cam.invalidate_all();
+        assert_eq!(cam.valid_lines(), 0);
+        assert_eq!(cam.lookup(0x1000), None);
+    }
+
+    #[test]
+    fn resident_lines_enumerates() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 1);
+        cam.fill(0x1020, 2); // other set (bit 5 is the index bit)
+        let mut lines: Vec<(u32, u32, u32)> = cam.resident_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![(0x1000, 0, 1), (0x1020, 1, 2)]);
+    }
+}

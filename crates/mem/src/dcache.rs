@@ -1,0 +1,253 @@
+//! The data cache: a write-back, write-allocate CAM cache in the XScale
+//! style, with the write buffer of the paper's Table 1 — dirty evictions
+//! drain to memory in the background and only stall the pipeline when
+//! the buffer is full. (The read-side fill buffer is subsumed by the
+//! fixed miss latency in this blocking model.) The data side is
+//! untouched by way-placement (the technique is I-cache only), but its
+//! accesses contribute to total processor energy and therefore to the
+//! ED product.
+
+use std::collections::VecDeque;
+
+use crate::cam::{CamArray, ReplacementPolicy};
+use crate::{CacheGeometry, DCacheStats};
+
+/// Data cache configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DCacheConfig {
+    /// Geometry of the cache.
+    pub geometry: CacheGeometry,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+    /// Cycles to fill a line from memory on a miss (Table 1: 50).
+    pub miss_latency: u32,
+    /// Extra cycles when the victim is dirty and must be written back
+    /// through the write buffer before the fill completes.
+    pub writeback_latency: u32,
+    /// Write-buffer entries (Table 1); dirty evictions only stall when
+    /// all entries are draining.
+    pub write_buffer_entries: u32,
+}
+
+impl DCacheConfig {
+    /// The XScale's 32 KB, 32-way data cache.
+    #[must_use]
+    pub fn xscale() -> DCacheConfig {
+        DCacheConfig {
+            geometry: CacheGeometry::new(32 * 1024, 32, 32),
+            replacement: ReplacementPolicy::RoundRobin,
+            miss_latency: 50,
+            writeback_latency: 8,
+            write_buffer_entries: 4,
+        }
+    }
+}
+
+/// Outcome of a data access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DataOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Cycles beyond the pipeline's base load-use latency.
+    pub stall_cycles: u32,
+}
+
+/// The data cache model (placement and timing; contents live in the
+/// functional memory).
+#[derive(Clone, Debug)]
+pub struct DataCache {
+    config: DCacheConfig,
+    array: CamArray,
+    stats: DCacheStats,
+    /// Cycle numbers at which in-flight writebacks finish draining.
+    write_buffer: VecDeque<u64>,
+}
+
+impl DataCache {
+    /// Creates an empty data cache.
+    #[must_use]
+    pub fn new(config: DCacheConfig) -> DataCache {
+        DataCache {
+            config,
+            array: CamArray::new(config.geometry, config.replacement, 0xdca4e),
+            stats: DCacheStats::new(),
+            write_buffer: VecDeque::new(),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DCacheConfig {
+        &self.config
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> &DCacheStats {
+        &self.stats
+    }
+
+    /// Resets tags, counters and the write buffer.
+    pub fn reset(&mut self) {
+        self.array.invalidate_all();
+        self.stats = DCacheStats::new();
+        self.write_buffer.clear();
+    }
+
+    /// Enqueues a writeback at cycle `now`; returns the stall, which is
+    /// zero unless every write-buffer entry is still draining.
+    fn enqueue_writeback(&mut self, now: u64) -> u32 {
+        while self.write_buffer.front().is_some_and(|&done| done <= now) {
+            self.write_buffer.pop_front();
+        }
+        let mut stall = 0u32;
+        let mut start = now;
+        if self.write_buffer.len() >= self.config.write_buffer_entries as usize {
+            let front = *self.write_buffer.front().expect("nonempty");
+            stall = (front - now) as u32;
+            start = front;
+            self.write_buffer.pop_front();
+        }
+        let last = self.write_buffer.back().copied().unwrap_or(start).max(start);
+        self.write_buffer.push_back(last + u64::from(self.config.writeback_latency));
+        stall
+    }
+
+    /// [`DataCache::access_at`] with an ever-advancing internal clock —
+    /// for tests and trace tools that have no pipeline clock.
+    pub fn access(&mut self, addr: u32, write: bool) -> DataOutcome {
+        let now = self.stats.miss_stall_cycles + self.stats.accesses();
+        self.access_at(addr, write, now)
+    }
+
+    /// Performs a load (`write == false`) or store (`write == true`) of
+    /// any width at `addr`, at pipeline cycle `now` (which paces the
+    /// write buffer's background drain).
+    pub fn access_at(&mut self, addr: u32, write: bool, now: u64) -> DataOutcome {
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.tag_comparisons += u64::from(self.config.geometry.ways());
+        self.stats.data_accesses += 1;
+        match self.array.lookup(addr) {
+            Some(way) => {
+                self.stats.hits += 1;
+                self.array.touch(addr, way);
+                if write {
+                    self.array.mark_dirty(addr, way);
+                }
+                DataOutcome { hit: true, stall_cycles: 0 }
+            }
+            None => {
+                self.stats.misses += 1;
+                self.stats.line_fills += 1;
+                let way = self.array.pick_victim(addr);
+                let outcome = self.array.fill(addr, way);
+                let mut stall = self.config.miss_latency;
+                if outcome.evicted_dirty {
+                    self.stats.writebacks += 1;
+                    stall += self.enqueue_writeback(now + u64::from(stall));
+                }
+                if write {
+                    // Write-allocate: the line is filled then written.
+                    self.array.mark_dirty(addr, way);
+                }
+                self.stats.miss_stall_cycles += u64::from(stall);
+                DataOutcome { hit: false, stall_cycles: stall }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DCacheConfig {
+        DCacheConfig {
+            geometry: CacheGeometry::new(1024, 4, 32),
+            replacement: ReplacementPolicy::RoundRobin,
+            miss_latency: 50,
+            writeback_latency: 8,
+            write_buffer_entries: 2,
+        }
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut cache = DataCache::new(small());
+        let miss = cache.access(0x2000, false);
+        assert!(!miss.hit);
+        assert_eq!(miss.stall_cycles, 50);
+        let hit = cache.access(0x2000, false);
+        assert!(hit.hit);
+        assert_eq!(hit.stall_cycles, 0);
+        assert_eq!(cache.stats().reads, 2);
+        assert_eq!(cache.stats().line_fills, 1);
+    }
+
+    #[test]
+    fn write_buffer_absorbs_isolated_writebacks() {
+        let mut cache = DataCache::new(small());
+        cache.access_at(0x2000, true, 0);
+        assert_eq!(cache.stats().writebacks, 0);
+        // Evict the dirty line: the buffer has room, so the fill pays
+        // only the miss latency.
+        let stride = 8 * 32; // sets * line = 256 B
+        let mut max_stall = 0;
+        for i in 1..=4u32 {
+            let out = cache.access_at(0x2000 + i * stride, false, 1000 + u64::from(i));
+            max_stall = max_stall.max(out.stall_cycles);
+        }
+        assert_eq!(cache.stats().writebacks, 1);
+        assert_eq!(max_stall, 50, "buffered writeback must not stall");
+        // Clean evictions don't write back.
+        for i in 5..=8u32 {
+            cache.access_at(0x2000 + i * stride, false, 2000 + u64::from(i));
+        }
+        assert_eq!(cache.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_buffer_stalls_when_full() {
+        let mut cache = DataCache::new(small());
+        let stride = 8 * 32;
+        // Dirty many lines in one set (the second four evict the dirty
+        // first four), then evict back-to-back at one instant: two
+        // writebacks buffer for free, later ones must wait.
+        for i in 0..8u32 {
+            cache.access_at(0x2000 + i * stride, true, u64::from(i));
+        }
+        assert_eq!(cache.stats().writebacks, 4);
+        let mut stalls = Vec::new();
+        for i in 8..16u32 {
+            let out = cache.access_at(0x2000 + i * stride, true, 100);
+            stalls.push(out.stall_cycles);
+        }
+        assert_eq!(cache.stats().writebacks, 12);
+        assert!(stalls.iter().take(2).all(|&s| s == 50), "{stalls:?}");
+        assert!(stalls.iter().skip(2).any(|&s| s > 50), "{stalls:?}");
+    }
+
+    #[test]
+    fn stats_track_tag_energy() {
+        let mut cache = DataCache::new(small());
+        cache.access(0x2000, false);
+        cache.access(0x2000, true);
+        assert_eq!(cache.stats().tag_comparisons, 8, "4 ways x 2 accesses");
+        assert_eq!(cache.stats().data_accesses, 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut cache = DataCache::new(small());
+        cache.access(0x2000, true);
+        cache.reset();
+        assert_eq!(cache.stats().accesses(), 0);
+        assert!(!cache.access(0x2000, false).hit);
+        // The re-filled line is clean: no writeback on later eviction.
+        assert_eq!(cache.stats().writebacks, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Cache geometry: sizes, associativity and address slicing.
+//!
+//! The XScale organises its caches as CAM-tagged sub-banks, one per set,
+//! each holding all the ways of that set (Zhang et al., Koolchips 2000).
+//! Way-placement exploits that organisation: for code inside the
+//! way-placement area, the way index is simply the low bits of the
+//! address *tag* (figure 3 of the paper), so one address maps to exactly
+//! one (set, way) slot.
+
+use std::fmt;
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use wp_mem::CacheGeometry;
+/// let geom = CacheGeometry::new(32 * 1024, 32, 32); // the XScale I-cache
+/// assert_eq!(geom.sets(), 32);
+/// assert_eq!(geom.tag_bits(), 32 - 5 - 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheGeometry {
+    size_bytes: u32,
+    ways: u32,
+    line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes`, `ways` and `line_bytes` are powers of
+    /// two with `size_bytes >= ways * line_bytes`.
+    #[must_use]
+    pub fn new(size_bytes: u32, ways: u32, line_bytes: u32) -> CacheGeometry {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(ways.is_power_of_two(), "associativity must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes >= ways * line_bytes,
+            "cache of {size_bytes} B cannot hold {ways} ways of {line_bytes} B lines"
+        );
+        CacheGeometry { size_bytes, ways, line_bytes }
+    }
+
+    /// The XScale's 32 KB, 32-way, 32 B-line instruction cache (Table 1).
+    #[must_use]
+    pub fn xscale_icache() -> CacheGeometry {
+        CacheGeometry::new(32 * 1024, 32, 32)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub const fn size_bytes(self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub const fn ways(self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub const fn line_bytes(self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub const fn sets(self) -> u32 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// log2 of the line size (the byte-offset field width).
+    #[must_use]
+    pub fn offset_bits(self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// log2 of the set count (the index field width).
+    #[must_use]
+    pub fn index_bits(self) -> u32 {
+        self.sets().trailing_zeros()
+    }
+
+    /// Width of the stored tag.
+    #[must_use]
+    pub fn tag_bits(self) -> u32 {
+        32 - self.index_bits() - self.offset_bits()
+    }
+
+    /// The set index of an address.
+    #[must_use]
+    pub fn set_of(self, addr: u32) -> u32 {
+        (addr >> self.offset_bits()) & (self.sets() - 1)
+    }
+
+    /// The tag of an address.
+    #[must_use]
+    pub fn tag_of(self, addr: u32) -> u32 {
+        addr >> (self.offset_bits() + self.index_bits())
+    }
+
+    /// The line-aligned base address.
+    #[must_use]
+    pub fn line_addr(self, addr: u32) -> u32 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// The word slot within the line (instruction fetch granularity).
+    #[must_use]
+    pub fn slot_of(self, addr: u32) -> u32 {
+        (addr & (self.line_bytes - 1)) / 4
+    }
+
+    /// Instructions (32-bit words) per line.
+    #[must_use]
+    pub const fn words_per_line(self) -> u32 {
+        self.line_bytes / 4
+    }
+
+    /// Bytes covered by one way across all sets — the granularity at
+    /// which the way-placement area fills successive ways.
+    #[must_use]
+    pub const fn way_span_bytes(self) -> u32 {
+        self.sets() * self.line_bytes
+    }
+
+    /// The way-placement way of an address: the least significant bits of
+    /// the tag select the way (figure 3 of the paper).
+    #[must_use]
+    pub fn placement_way(self, addr: u32) -> u32 {
+        self.tag_of(addr) & (self.ways - 1)
+    }
+
+    /// Reconstructs the line base address from a (tag, set) pair.
+    #[must_use]
+    pub fn addr_of(self, tag: u32, set: u32) -> u32 {
+        (tag << (self.offset_bits() + self.index_bits())) | (set << self.offset_bits())
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way {}B-line ({} sets)",
+            self.size_bytes / 1024,
+            self.ways,
+            self.line_bytes,
+            self.sets()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xscale_geometry() {
+        let g = CacheGeometry::xscale_icache();
+        assert_eq!(g.sets(), 32);
+        assert_eq!(g.offset_bits(), 5);
+        assert_eq!(g.index_bits(), 5);
+        assert_eq!(g.tag_bits(), 22);
+        assert_eq!(g.words_per_line(), 8);
+        assert_eq!(g.way_span_bytes(), 1024);
+        assert_eq!(g.to_string(), "32KB 32-way 32B-line (32 sets)");
+    }
+
+    #[test]
+    fn address_slicing() {
+        let g = CacheGeometry::new(16 * 1024, 8, 32);
+        assert_eq!(g.sets(), 64);
+        let addr = 0x0001_2345;
+        let rebuilt = g.addr_of(g.tag_of(addr), g.set_of(addr)) + (addr & 31);
+        assert_eq!(rebuilt, addr);
+        assert_eq!(g.line_addr(addr), addr & !31);
+        assert_eq!(g.slot_of(addr), (addr & 31) / 4);
+    }
+
+    #[test]
+    fn placement_way_walks_ways_per_span() {
+        let g = CacheGeometry::xscale_icache();
+        // Addresses 0..1KB map to way 0, 1..2KB to way 1, etc.
+        for way in 0..32u32 {
+            let addr = way * g.way_span_bytes() + 0x10;
+            assert_eq!(g.placement_way(addr), way, "addr {addr:#x}");
+        }
+        // The 33rd kilobyte wraps back to way 0.
+        assert_eq!(g.placement_way(32 * g.way_span_bytes()), 0);
+    }
+
+    #[test]
+    fn placement_way_is_injective_within_cache_sized_area() {
+        let g = CacheGeometry::new(4 * 1024, 4, 32);
+        // Within one cache-sized region every line maps to a distinct
+        // (set, way) pair — the conflict-free property way-placement
+        // relies on for a cache-sized placement area.
+        let mut seen = std::collections::HashSet::new();
+        let mut addr = 0;
+        while addr < g.size_bytes() {
+            assert!(seen.insert((g.set_of(addr), g.placement_way(addr))));
+            addr += g.line_bytes();
+        }
+        assert_eq!(seen.len() as u32, g.sets() * g.ways());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = CacheGeometry::new(3000, 4, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn rejects_undersized_cache() {
+        let _ = CacheGeometry::new(128, 8, 32);
+    }
+}

@@ -1,0 +1,257 @@
+//! The assembled memory hierarchy: I-cache + I-TLB on the fetch side,
+//! D-cache + D-TLB on the data side. This is the component the `wp-sim`
+//! pipeline talks to.
+
+use crate::dcache::{DataCache, DCacheConfig};
+use crate::icache::{FetchScheme, ICacheConfig, InstructionCache};
+use crate::tlb::{Tlb, TlbConfig};
+use crate::{CacheGeometry, DCacheStats, FetchStats, TlbStats};
+
+/// Full memory-hierarchy configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MemoryConfig {
+    /// Instruction cache.
+    pub icache: ICacheConfig,
+    /// Data cache.
+    pub dcache: DCacheConfig,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Upper bound of the way-placement area (`0` disables it). The
+    /// region `[0, wp_limit)` is way-placed; code is linked at
+    /// `wp_isa::Image::TEXT_BASE`, so the effective area is
+    /// `[TEXT_BASE, wp_limit)`.
+    pub wp_limit: u32,
+}
+
+impl MemoryConfig {
+    /// The paper's Table 1 baseline around a given I-cache geometry.
+    #[must_use]
+    pub fn baseline(icache_geometry: CacheGeometry) -> MemoryConfig {
+        MemoryConfig {
+            icache: ICacheConfig::baseline(icache_geometry),
+            dcache: DCacheConfig::xscale(),
+            itlb: TlbConfig::default_itlb(),
+            dtlb: TlbConfig::default_itlb(),
+            wp_limit: 0,
+        }
+    }
+
+    /// A way-placement configuration: `wp_area_bytes` of code starting
+    /// at `text_base` are way-placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting limit is not page-aligned.
+    #[must_use]
+    pub fn way_placement(
+        icache_geometry: CacheGeometry,
+        text_base: u32,
+        wp_area_bytes: u32,
+    ) -> MemoryConfig {
+        MemoryConfig {
+            icache: ICacheConfig::way_placement(icache_geometry),
+            wp_limit: text_base + wp_area_bytes,
+            ..MemoryConfig::baseline(icache_geometry)
+        }
+    }
+
+    /// The way-memoization comparison configuration.
+    #[must_use]
+    pub fn way_memoization(icache_geometry: CacheGeometry) -> MemoryConfig {
+        MemoryConfig {
+            icache: ICacheConfig::way_memoization(icache_geometry),
+            ..MemoryConfig::baseline(icache_geometry)
+        }
+    }
+
+    /// The MRU way-prediction comparison configuration (extension).
+    #[must_use]
+    pub fn way_prediction(icache_geometry: CacheGeometry) -> MemoryConfig {
+        MemoryConfig {
+            icache: ICacheConfig::way_prediction(icache_geometry),
+            ..MemoryConfig::baseline(icache_geometry)
+        }
+    }
+}
+
+/// Combined timing result of a fetch through I-TLB and I-cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FetchTiming {
+    /// Whether the I-cache hit.
+    pub hit: bool,
+    /// Total fetch cycles including TLB fill stalls and hint penalties.
+    pub cycles: u32,
+}
+
+/// The memory system handed to the pipeline model.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    config: MemoryConfig,
+    icache: InstructionCache,
+    dcache: DataCache,
+    itlb: Tlb,
+    dtlb: Tlb,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from a configuration.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> MemorySystem {
+        let wp_limit = if config.icache.scheme == FetchScheme::WayPlacement {
+            config.wp_limit
+        } else {
+            0
+        };
+        MemorySystem {
+            config,
+            icache: InstructionCache::new(config.icache),
+            dcache: DataCache::new(config.dcache),
+            itlb: Tlb::new(config.itlb, wp_limit),
+            dtlb: Tlb::new(config.dtlb, 0),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Fetches the instruction at `addr`: I-TLB and I-cache are accessed
+    /// in parallel (§4.1), so a TLB hit adds no cycles; a TLB miss
+    /// stalls for the fill.
+    pub fn fetch(&mut self, addr: u32) -> FetchTiming {
+        let tlb = self.itlb.lookup(addr);
+        let fetch = self.icache.fetch(addr, tlb.wp);
+        FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }
+    }
+
+    /// A data load at `addr` during pipeline cycle `now`; returns stall
+    /// cycles beyond the pipeline's base load latency.
+    pub fn load(&mut self, addr: u32, now: u64) -> u32 {
+        let tlb = self.dtlb.lookup(addr);
+        let access = self.dcache.access_at(addr, false, now);
+        tlb.stall_cycles + access.stall_cycles
+    }
+
+    /// A data store at `addr` during pipeline cycle `now`; returns stall
+    /// cycles.
+    pub fn store(&mut self, addr: u32, now: u64) -> u32 {
+        let tlb = self.dtlb.lookup(addr);
+        let access = self.dcache.access_at(addr, true, now);
+        tlb.stall_cycles + access.stall_cycles
+    }
+
+    /// Instruction-fetch counters.
+    #[must_use]
+    pub fn fetch_stats(&self) -> &FetchStats {
+        self.icache.stats()
+    }
+
+    /// Data-cache counters.
+    #[must_use]
+    pub fn dcache_stats(&self) -> &DCacheStats {
+        self.dcache.stats()
+    }
+
+    /// I-TLB counters.
+    #[must_use]
+    pub fn itlb_stats(&self) -> &TlbStats {
+        self.itlb.stats()
+    }
+
+    /// D-TLB counters.
+    #[must_use]
+    pub fn dtlb_stats(&self) -> &TlbStats {
+        self.dtlb.stats()
+    }
+
+    /// The instruction cache (diagnostics / invariant checks).
+    #[must_use]
+    pub fn icache(&self) -> &InstructionCache {
+        &self.icache
+    }
+
+    /// Resets all state and counters.
+    pub fn reset(&mut self) {
+        self.icache.reset();
+        self.dcache.reset();
+        self.itlb.reset();
+        self.dtlb.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_charges_tlb_fill_once() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let mut mem = MemorySystem::new(MemoryConfig::baseline(geom));
+        let first = mem.fetch(0x8000);
+        assert!(!first.hit);
+        assert!(first.cycles > 50, "miss fill + TLB fill");
+        let second = mem.fetch(0x8000);
+        assert!(second.hit);
+        assert_eq!(second.cycles, 1);
+        assert_eq!(mem.itlb_stats().misses, 1);
+    }
+
+    #[test]
+    fn wp_limit_only_applies_to_way_placement() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let cfg = MemoryConfig {
+            wp_limit: 0x8000 + 1024,
+            ..MemoryConfig::baseline(geom)
+        };
+        let mem = MemorySystem::new(cfg);
+        assert_eq!(mem.itlb.wp_limit(), 0, "baseline ignores wp_limit");
+
+        let cfg = MemoryConfig::way_placement(geom, 0x8000, 1024);
+        let mem = MemorySystem::new(cfg);
+        assert_eq!(mem.itlb.wp_limit(), 0x8000 + 1024);
+    }
+
+    #[test]
+    fn way_placement_fetches_are_single_tag() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let mut mem = MemorySystem::new(MemoryConfig::way_placement(geom, 0x8000, 2048));
+        // Warm TLB, hint and cache on a two-line loop.
+        for _ in 0..4 {
+            mem.fetch(0x8000);
+            mem.fetch(0x8020);
+        }
+        let tags = mem.fetch_stats().tag_comparisons;
+        for _ in 0..10 {
+            mem.fetch(0x8000);
+            mem.fetch(0x8020);
+        }
+        // 20 fetches, all way-placement hits: 1 tag each.
+        assert_eq!(mem.fetch_stats().tag_comparisons - tags, 20);
+        assert!(mem.icache().way_placement_invariant_holds(0x8000 + 2048));
+    }
+
+    #[test]
+    fn loads_and_stores_hit_dcache() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let mut mem = MemorySystem::new(MemoryConfig::baseline(geom));
+        assert!(mem.load(0x10_0000, 0) > 0, "cold miss stalls");
+        assert_eq!(mem.load(0x10_0000, 60), 0, "warm hit");
+        assert_eq!(mem.store(0x10_0004, 61), 0, "same line");
+        assert_eq!(mem.dcache_stats().writes, 1);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let mut mem = MemorySystem::new(MemoryConfig::baseline(geom));
+        mem.fetch(0x8000);
+        mem.load(0x10_0000, 2);
+        mem.reset();
+        assert_eq!(mem.fetch_stats().fetches, 0);
+        assert!(!mem.fetch(0x8000).hit);
+    }
+}

@@ -1,0 +1,63 @@
+//! # wp-mem — the XScale-style memory hierarchy
+//!
+//! Cache, TLB and way-placement hardware models for the *compiler
+//! way-placement* reproduction (Jones et al., DATE 2008).
+//!
+//! The crate models the energy-relevant microarchitecture of an Intel
+//! XScale-class embedded core:
+//!
+//! * [`CacheGeometry`] — sizes, associativity and the tag-bit way mapping
+//!   of figure 3;
+//! * [`CamArray`] — the CAM-tagged, set-per-sub-bank line store shared by
+//!   both caches, with round-robin / LRU / random replacement;
+//! * [`InstructionCache`] — the fetch engine, switchable between the
+//!   [`FetchScheme::Baseline`] full search, the paper's
+//!   [`FetchScheme::WayPlacement`] (one tag comparison per fetch, global
+//!   way-hint bit, same-line elision) and the
+//!   [`FetchScheme::WayMemoization`] comparison scheme of Ma et al.;
+//! * [`DataCache`] — write-back, write-allocate data side;
+//! * [`Tlb`] — fully-associative TLBs; the I-TLB carries the per-page
+//!   **way-placement bit** that the OS model writes on each fill;
+//! * [`MemorySystem`] — the assembled hierarchy the pipeline simulator
+//!   drives.
+//!
+//! Every energy-relevant micro-event (tag comparisons, match-line
+//! precharges, data reads, line fills, link updates, ...) is counted in
+//! [`FetchStats`] / [`DCacheStats`] / [`TlbStats`]; the `wp-energy` crate
+//! prices those events.
+//!
+//! ## Example
+//!
+//! ```
+//! use wp_mem::{CacheGeometry, MemoryConfig, MemorySystem};
+//!
+//! // The paper's initial evaluation: 32 KB, 32-way cache, 32 KB WP area.
+//! let geom = CacheGeometry::xscale_icache();
+//! let mut mem = MemorySystem::new(MemoryConfig::way_placement(geom, 0x8000, 32 * 1024));
+//! for _ in 0..100 {
+//!     mem.fetch(0x8000);
+//!     mem.fetch(0x8004);
+//! }
+//! // Way-placed, same-line and hinted fetches need far fewer than
+//! // `ways` tag comparisons per fetch.
+//! assert!(mem.fetch_stats().tags_per_fetch() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cam;
+mod dcache;
+mod geometry;
+mod hierarchy;
+mod icache;
+mod stats;
+mod tlb;
+
+pub use cam::{CamArray, FillOutcome, ReplacementPolicy};
+pub use dcache::{DataCache, DataOutcome, DCacheConfig};
+pub use geometry::CacheGeometry;
+pub use hierarchy::{FetchTiming, MemoryConfig, MemorySystem};
+pub use icache::{FetchOutcome, FetchScheme, ICacheConfig, InstructionCache};
+pub use stats::{DCacheStats, FetchStats, TlbStats};
+pub use tlb::{Tlb, TlbConfig, TlbOutcome};

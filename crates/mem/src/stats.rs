@@ -1,0 +1,222 @@
+//! Event counters for the memory hierarchy.
+//!
+//! Every energy-relevant micro-event is counted here; the `wp-energy`
+//! crate turns counts into joules. Keeping raw events (rather than
+//! pre-baked energies) lets the same simulation be re-priced under
+//! different technology assumptions.
+
+/// Instruction-fetch-side event counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FetchStats {
+    /// Total instruction fetch requests.
+    pub fetches: u64,
+    /// Fetches that hit in the I-cache.
+    pub hits: u64,
+    /// Fetches that missed and triggered a line fill.
+    pub misses: u64,
+    /// Individual CAM tag comparisons performed (the headline quantity
+    /// of figure 1: the baseline does `ways` of these per access).
+    pub tag_comparisons: u64,
+    /// CAM match-line precharge events, one per way armed for a search.
+    pub matchline_precharges: u64,
+    /// Data-array word reads.
+    pub data_reads: u64,
+    /// Whole-line fills written into the data array.
+    pub line_fills: u64,
+    /// Fetches satisfied with zero tag checks because they hit the same
+    /// line as the previous fetch (the same-line elision shared with
+    /// way-memoization).
+    pub same_line_elisions: u64,
+    /// Fetches performed as way-placement accesses (one tag comparison).
+    pub wp_accesses: u64,
+    /// Fetches whose way-hint predicted "way-placement" but the I-TLB
+    /// said otherwise: the access is re-issued full-width, costing a
+    /// cycle and the extra energy (§4.1 of the paper).
+    pub hint_false_wp: u64,
+    /// Fetches whose way-hint predicted "normal" for a way-placement
+    /// address: a pure missed saving, no penalty.
+    pub hint_false_normal: u64,
+    /// Way-memoization: fetches satisfied through a valid link (zero tag
+    /// comparisons).
+    pub link_hits: u64,
+    /// Way-memoization: link fields written back into the data array.
+    pub link_updates: u64,
+    /// Way-memoization: link-invalidation sweeps caused by line fills.
+    pub link_invalidations: u64,
+    /// Extra fetch cycles spent on hint mispredictions.
+    pub penalty_cycles: u64,
+    /// Cycles stalled waiting for I-cache miss fills.
+    pub miss_stall_cycles: u64,
+}
+
+impl FetchStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> FetchStats {
+        FetchStats::default()
+    }
+
+    /// Hit rate in `[0, 1]`; 1.0 for an idle cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.fetches == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.fetches as f64
+        }
+    }
+
+    /// Average tag comparisons per fetch — the quantity way-placement
+    /// drives towards 1 and way-memoization towards 0.
+    #[must_use]
+    pub fn tags_per_fetch(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.tag_comparisons as f64 / self.fetches as f64
+        }
+    }
+
+    /// Accumulates another set of counters.
+    pub fn merge(&mut self, other: &FetchStats) {
+        self.fetches += other.fetches;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.tag_comparisons += other.tag_comparisons;
+        self.matchline_precharges += other.matchline_precharges;
+        self.data_reads += other.data_reads;
+        self.line_fills += other.line_fills;
+        self.same_line_elisions += other.same_line_elisions;
+        self.wp_accesses += other.wp_accesses;
+        self.hint_false_wp += other.hint_false_wp;
+        self.hint_false_normal += other.hint_false_normal;
+        self.link_hits += other.link_hits;
+        self.link_updates += other.link_updates;
+        self.link_invalidations += other.link_invalidations;
+        self.penalty_cycles += other.penalty_cycles;
+        self.miss_stall_cycles += other.miss_stall_cycles;
+    }
+}
+
+/// Data-cache event counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DCacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Hits (reads + writes).
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Tag comparisons.
+    pub tag_comparisons: u64,
+    /// Data-array accesses (word granularity).
+    pub data_accesses: u64,
+    /// Line fills from memory.
+    pub line_fills: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+    /// Cycles stalled on misses.
+    pub miss_stall_cycles: u64,
+}
+
+impl DCacheStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> DCacheStats {
+        DCacheStats::default()
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Hit rate in `[0, 1]`; 1.0 for an idle cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// TLB event counters (one instance each for the I- and D-TLB).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TlbStats {
+    /// Lookups.
+    pub lookups: u64,
+    /// Misses (entry filled by the OS model).
+    pub misses: u64,
+    /// Cycles stalled on TLB fills.
+    pub miss_stall_cycles: u64,
+}
+
+impl TlbStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> TlbStats {
+        TlbStats::default()
+    }
+
+    /// Miss rate in `[0, 1]`; 0.0 for an idle TLB.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_rates() {
+        let mut s = FetchStats::new();
+        assert_eq!(s.hit_rate(), 1.0);
+        assert_eq!(s.tags_per_fetch(), 0.0);
+        s.fetches = 10;
+        s.hits = 9;
+        s.tag_comparisons = 320;
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.tags_per_fetch() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FetchStats { fetches: 1, tag_comparisons: 32, ..FetchStats::new() };
+        let b = FetchStats { fetches: 2, tag_comparisons: 1, link_hits: 2, ..FetchStats::new() };
+        a.merge(&b);
+        assert_eq!(a.fetches, 3);
+        assert_eq!(a.tag_comparisons, 33);
+        assert_eq!(a.link_hits, 2);
+    }
+
+    #[test]
+    fn dcache_rates() {
+        let mut s = DCacheStats::new();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.reads = 6;
+        s.writes = 4;
+        s.hits = 5;
+        assert_eq!(s.accesses(), 10);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tlb_rates() {
+        let mut s = TlbStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.lookups = 4;
+        s.misses = 1;
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

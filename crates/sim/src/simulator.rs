@@ -1,0 +1,643 @@
+//! The timing simulator: an XScale-class, single-issue, in-order core
+//! with a scoreboard (out-of-order completion, in-order issue), a
+//! branch target buffer and the `wp-mem` memory hierarchy.
+//!
+//! The model follows XTREM's level of abstraction: architectural
+//! execution is exact; timing is modelled per instruction as
+//! fetch stalls + scoreboard stalls + unit latency + memory stalls +
+//! branch penalties. Way-placement's only timing effect — the
+//! way-hint misprediction cycle — flows in through the I-cache model.
+
+use std::error::Error;
+use std::fmt;
+
+use wp_isa::{Image, Insn, Reg};
+use wp_mem::{DCacheStats, FetchStats, MemoryConfig, MemorySystem, TlbStats};
+
+use crate::exec::{step, Control, ExecError, InsnClass};
+use crate::machine::Machine;
+
+/// Guest system-call numbers.
+pub mod syscall {
+    /// Terminate; `r0` is the exit code.
+    pub const EXIT: u32 = 0;
+    /// Write the low byte of `r0` to the output stream.
+    pub const PUTC: u32 = 1;
+    /// Mix `r0` into the architectural checksum (the workloads'
+    /// result-verification channel).
+    pub const REPORT: u32 = 2;
+}
+
+/// Simulator configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SimConfig {
+    /// The memory hierarchy.
+    pub mem: MemoryConfig,
+    /// Abort after this many instructions (guards runaway guests).
+    pub max_instructions: u64,
+    /// Collect per-instruction execution counts (profiling runs).
+    pub collect_profile: bool,
+    /// Branch target buffer entries (direct-mapped); 0 disables it.
+    pub btb_entries: u32,
+    /// Pipeline refill penalty for a mispredicted/unbuffered taken
+    /// branch (the XScale's ~4-cycle front end).
+    pub branch_penalty: u32,
+    /// Extra result latency of a load (load-use delay).
+    pub load_latency: u32,
+    /// Extra result latency of a multiply.
+    pub mul_latency: u32,
+}
+
+impl SimConfig {
+    /// A configuration around a memory hierarchy, with Table-1-style
+    /// core parameters.
+    #[must_use]
+    pub fn new(mem: MemoryConfig) -> SimConfig {
+        SimConfig {
+            mem,
+            max_instructions: 2_000_000_000,
+            collect_profile: false,
+            btb_entries: 128,
+            branch_penalty: 4,
+            load_latency: 2,
+            mul_latency: 2,
+        }
+    }
+
+    /// Enables per-instruction profiling.
+    #[must_use]
+    pub fn with_profile(mut self) -> SimConfig {
+        self.collect_profile = true;
+        self
+    }
+}
+
+/// Errors a simulation can end with.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The guest executed an architecture violation.
+    Exec(ExecError),
+    /// The instruction budget ran out.
+    InstructionLimit(u64),
+    /// The guest invoked an unknown system call.
+    UnknownSyscall {
+        /// The `swi` immediate.
+        number: u32,
+        /// Where.
+        addr: u32,
+    },
+    /// Fetch left the text section.
+    FetchOutOfText {
+        /// The bad PC.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Exec(e) => e.fmt(f),
+            SimError::InstructionLimit(n) => write!(f, "instruction limit {n} exceeded"),
+            SimError::UnknownSyscall { number, addr } => {
+                write!(f, "unknown syscall {number} at {addr:#010x}")
+            }
+            SimError::FetchOutOfText { pc } => write!(f, "fetch out of text at {pc:#010x}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}
+
+/// Everything one run produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The guest's exit code (`r0` at `swi #EXIT`).
+    pub exit_code: u32,
+    /// Architectural checksum accumulated by `REPORT` syscalls.
+    pub checksum: u64,
+    /// Bytes the guest wrote with `PUTC`.
+    pub output: Vec<u8>,
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Fetch-side counters.
+    pub fetch: FetchStats,
+    /// Data-cache counters.
+    pub dcache: DCacheStats,
+    /// I-TLB counters.
+    pub itlb: TlbStats,
+    /// D-TLB counters.
+    pub dtlb: TlbStats,
+    /// Taken-branch mispredictions (BTB misses and wrong targets).
+    pub branch_mispredicts: u64,
+    /// Per-final-instruction execution counts, when profiling.
+    pub insn_counts: Option<Vec<u64>>,
+}
+
+impl RunResult {
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// A simple direct-mapped branch target buffer.
+#[derive(Clone, Debug)]
+struct Btb {
+    entries: Vec<Option<(u32, u32)>>,
+}
+
+impl Btb {
+    fn new(entries: u32) -> Btb {
+        Btb { entries: vec![None; entries.max(1) as usize] }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        (pc as usize >> 2) % self.entries.len()
+    }
+
+    fn predicts(&self, pc: u32, target: u32) -> bool {
+        self.entries[self.index(pc)] == Some((pc, target))
+    }
+
+    fn learn(&mut self, pc: u32, target: u32) {
+        let index = self.index(pc);
+        self.entries[index] = Some((pc, target));
+    }
+}
+
+/// Runs `image` to completion under `config`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the guest faults, exceeds its instruction
+/// budget, or invokes an unknown system call.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use wp_mem::{CacheGeometry, MemoryConfig};
+/// use wp_sim::{simulate, SimConfig};
+/// use wp_linker::{Layout, Linker, Profile};
+///
+/// let module = wp_isa::assemble(
+///     "p",
+///     "_start: mov r0, #7\n swi #2\n mov r0, #0\n swi #0",
+/// )?;
+/// let image = Linker::new().with_module(module)
+///     .link(Layout::Natural, &Profile::empty())?.image;
+/// let config = SimConfig::new(MemoryConfig::baseline(CacheGeometry::xscale_icache()));
+/// let result = simulate(&image, &config)?;
+/// assert_eq!(result.exit_code, 0);
+/// assert_ne!(result.checksum, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(image: &Image, config: &SimConfig) -> Result<RunResult, SimError> {
+    let mut machine = Machine::boot(image);
+    let mut mem = MemorySystem::new(config.mem);
+    let mut btb = Btb::new(config.btb_entries);
+    let mut insn_counts = config
+        .collect_profile
+        .then(|| vec![0u64; image.text.len()]);
+
+    let text = &image.text;
+    let text_base = Image::TEXT_BASE;
+    let text_len = text.len() as u32;
+
+    let mut cycles: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut checksum: u64 = 0;
+    let mut reports: u64 = 0;
+    let mut output = Vec::new();
+    let mut mispredicts: u64 = 0;
+    // Scoreboard: the cycle at which each register's value is ready.
+    let mut ready = [0u64; 16];
+
+    loop {
+        if instructions >= config.max_instructions {
+            return Err(SimError::InstructionLimit(config.max_instructions));
+        }
+        let pc = machine.pc;
+        let index = pc.wrapping_sub(text_base) / Insn::SIZE;
+        if pc < text_base || index >= text_len || !pc.is_multiple_of(4) {
+            return Err(SimError::FetchOutOfText { pc });
+        }
+        let insn = text[index as usize];
+
+        // Fetch: I-TLB + I-cache (stalls include miss fills and
+        // way-hint penalties).
+        let fetch = mem.fetch(pc);
+        cycles += u64::from(fetch.cycles);
+
+        if let Some(counts) = insn_counts.as_mut() {
+            counts[index as usize] += 1;
+        }
+
+        // Execute architecturally.
+        let outcome = step(&mut machine, insn, pc)?;
+        instructions += 1;
+
+        // Scoreboard: stall issue until the sources are ready. The
+        // model approximates "sources" as every register the decoder
+        // could need — cheap and adequate at this abstraction level:
+        // we track only *slow* results (loads, multiplies), which are
+        // the XScale's visible interlocks.
+        let (uses, stall_limit) = source_ready_bound(&ready, insn);
+        if uses && stall_limit > cycles {
+            cycles = stall_limit;
+        }
+
+        // Issue/execute cycle(s).
+        let issue_cycles: u64 = match outcome.class {
+            InsnClass::AluRegShift => 2,
+            InsnClass::Block(n) => u64::from(n.max(1)),
+            InsnClass::Mul => 1,
+            _ => 1,
+        };
+        // The fetch cycle already accounted one cycle of progress for
+        // this instruction; only extra issue cycles add on.
+        cycles += issue_cycles - 1;
+
+        // Slow results: published later than issue.
+        if let Some(dest) = outcome.slow_dest {
+            let latency = match outcome.class {
+                InsnClass::Load => config.load_latency,
+                InsnClass::Mul => config.mul_latency,
+                _ => 0,
+            };
+            ready[dest.index()] = cycles + u64::from(latency);
+        }
+
+        // Data memory: blocking cache; stalls add directly.
+        for (addr, write) in outcome.mem_accesses() {
+            let stall =
+                if write { mem.store(addr, cycles) } else { mem.load(addr, cycles) };
+            cycles += u64::from(stall);
+        }
+
+        // Control flow + branch prediction.
+        match outcome.control {
+            Control::Next => machine.pc = pc.wrapping_add(4),
+            Control::Branch { taken, target } => {
+                if taken {
+                    if !btb.predicts(pc, target) {
+                        mispredicts += 1;
+                        cycles += u64::from(config.branch_penalty);
+                        btb.learn(pc, target);
+                    }
+                    machine.pc = target;
+                } else {
+                    machine.pc = pc.wrapping_add(4);
+                }
+            }
+            Control::Syscall { number, arg } => {
+                machine.pc = pc.wrapping_add(4);
+                match number {
+                    syscall::EXIT => {
+                        return Ok(RunResult {
+                            exit_code: arg,
+                            checksum,
+                            output,
+                            instructions,
+                            cycles,
+                            fetch: *mem.fetch_stats(),
+                            dcache: *mem.dcache_stats(),
+                            itlb: *mem.itlb_stats(),
+                            dtlb: *mem.dtlb_stats(),
+                            branch_mispredicts: mispredicts,
+                            insn_counts,
+                        });
+                    }
+                    syscall::PUTC => output.push(arg as u8),
+                    syscall::REPORT => {
+                        reports += 1;
+                        checksum = mix(checksum ^ u64::from(arg).wrapping_add(reports));
+                    }
+                    _ => return Err(SimError::UnknownSyscall { number, addr: pc }),
+                }
+            }
+        }
+    }
+}
+
+/// Computes the checksum a guest would accumulate by issuing exactly
+/// these `REPORT` syscall values in order. Reference implementations of
+/// the workloads use this to predict the architectural checksum.
+///
+/// # Examples
+///
+/// ```
+/// let a = wp_sim::checksum_of([1, 2, 3]);
+/// let b = wp_sim::checksum_of([3, 2, 1]);
+/// assert_ne!(a, b, "order-sensitive");
+/// ```
+#[must_use]
+pub fn checksum_of(reports: impl IntoIterator<Item = u32>) -> u64 {
+    let mut checksum = 0u64;
+    let mut count = 0u64;
+    for value in reports {
+        count += 1;
+        checksum = mix(checksum ^ u64::from(value).wrapping_add(count));
+    }
+    checksum
+}
+
+/// A 64-bit finaliser (splitmix-style) so checksums are sensitive to
+/// report order and value.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Returns whether the instruction reads any registers and the latest
+/// ready-cycle among them.
+fn source_ready_bound(ready: &[u64; 16], insn: Insn) -> (bool, u64) {
+    use wp_isa::{MemOffset, Op, Operand, ShiftAmount};
+    let mut max = 0u64;
+    let mut uses = false;
+    let mut use_reg = |r: Reg| {
+        uses = true;
+        max = max.max(ready[r.index()]);
+    };
+    match insn.op {
+        Op::Alu { op, rn, op2, .. } => {
+            if op.has_rn() {
+                use_reg(rn);
+            }
+            if let Operand::Reg { rm, amount, .. } = op2 {
+                use_reg(rm);
+                if let ShiftAmount::Reg(rs) = amount {
+                    use_reg(rs);
+                }
+            }
+        }
+        Op::Mul { op, ra, rm, rs, .. } => {
+            use_reg(rm);
+            use_reg(rs);
+            if op == wp_isa::MulOp::Mla {
+                use_reg(ra);
+            }
+        }
+        Op::Mem { rd, addr, load, .. } => {
+            use_reg(addr.base);
+            if let MemOffset::Reg { rm, .. } = addr.offset {
+                use_reg(rm);
+            }
+            if !load {
+                use_reg(rd);
+            }
+        }
+        Op::Push { list } => {
+            for reg in list.iter() {
+                use_reg(reg);
+            }
+        }
+        Op::BranchReg { rm } => use_reg(rm),
+        _ => {}
+    }
+    (uses, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_linker::{Layout, Linker, Profile};
+    use wp_mem::CacheGeometry;
+
+    fn link(src: &str) -> Image {
+        let module = wp_isa::assemble("t", src).expect("asm");
+        Linker::new()
+            .with_module(module)
+            .link(Layout::Natural, &Profile::empty())
+            .expect("link")
+            .image
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::new(MemoryConfig::baseline(CacheGeometry::new(2048, 4, 32)))
+    }
+
+    #[test]
+    fn exit_code_and_output() {
+        let image = link(
+            "_start:
+                mov r0, #'h'
+                swi #1
+                mov r0, #'i'
+                swi #1
+                mov r0, #3
+                swi #0",
+        );
+        let result = simulate(&image, &config()).expect("run");
+        assert_eq!(result.exit_code, 3);
+        assert_eq!(result.output, b"hi");
+        assert!(result.cycles >= result.instructions);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let ab = link("_start: mov r0, #1\nswi #2\nmov r0, #2\nswi #2\nswi #0");
+        let ba = link("_start: mov r0, #2\nswi #2\nmov r0, #1\nswi #2\nswi #0");
+        let ra = simulate(&ab, &config()).unwrap();
+        let rb = simulate(&ba, &config()).unwrap();
+        assert_ne!(ra.checksum, rb.checksum);
+    }
+
+    #[test]
+    fn instruction_limit() {
+        let image = link("_start: b _start");
+        let mut cfg = config();
+        cfg.max_instructions = 1000;
+        let err = simulate(&image, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::InstructionLimit(1000)));
+    }
+
+    #[test]
+    fn unknown_syscall() {
+        let image = link("_start: swi #99");
+        let err = simulate(&image, &config()).unwrap_err();
+        assert!(matches!(err, SimError::UnknownSyscall { number: 99, .. }));
+    }
+
+    #[test]
+    fn wild_jump_detected() {
+        let image = link("_start: mov r0, #0\nbx r0");
+        let err = simulate(&image, &config()).unwrap_err();
+        assert!(matches!(err, SimError::FetchOutOfText { .. }));
+    }
+
+    #[test]
+    fn btb_reduces_branch_penalty() {
+        // A tight loop: the first iteration mispredicts, the rest hit
+        // the BTB.
+        let image = link(
+            "_start:
+                mov r4, #100
+            .Ll: subs r4, r4, #1
+                bne .Ll
+                swi #0",
+        );
+        let result = simulate(&image, &config()).expect("run");
+        assert!(result.branch_mispredicts <= 3, "{}", result.branch_mispredicts);
+        // CPI should be near 1 for this loop once warm.
+        assert!(result.cpi() < 2.0, "cpi {}", result.cpi());
+    }
+
+    #[test]
+    fn load_use_stall_costs_cycles() {
+        let dependent = link(
+            "_start:
+                ldr r1, =v
+                mov r4, #200
+            .Ll: ldr r0, [r1]
+                add r0, r0, #1     ; immediately uses the load
+                subs r4, r4, #1
+                bne .Ll
+                swi #0
+            .data
+            v: .word 5",
+        );
+        let independent = link(
+            "_start:
+                ldr r1, =v
+                mov r4, #200
+            .Ll: ldr r0, [r1]
+                add r2, r2, #1     ; does not use the load
+                subs r4, r4, #1
+                bne .Ll
+                swi #0
+            .data
+            v: .word 5",
+        );
+        let rd = simulate(&dependent, &config()).unwrap();
+        let ri = simulate(&independent, &config()).unwrap();
+        assert_eq!(rd.instructions, ri.instructions);
+        assert!(rd.cycles > ri.cycles, "{} vs {}", rd.cycles, ri.cycles);
+    }
+
+    #[test]
+    fn profile_counts_match_execution() {
+        let image = link(
+            "_start:
+                mov r4, #10
+            .Ll: subs r4, r4, #1
+                bne .Ll
+                swi #0",
+        );
+        let cfg = config().with_profile();
+        let result = simulate(&image, &cfg).expect("run");
+        let counts = result.insn_counts.expect("profile");
+        assert_eq!(counts[0], 1, "prologue once");
+        assert_eq!(counts[1], 10, "loop body ten times");
+        assert_eq!(counts[2], 10);
+        assert_eq!(counts.iter().sum::<u64>(), result.instructions);
+    }
+
+    #[test]
+    fn register_shifts_cost_an_extra_issue_cycle() {
+        // Two otherwise-identical loops; one shifts by register.
+        let imm = link(
+            "_start:
+                mov r4, #300
+            .Ll: mov r0, r0, lsl #1
+                subs r4, r4, #1
+                bne .Ll
+                swi #0",
+        );
+        let reg = link(
+            "_start:
+                mov r4, #300
+                mov r5, #1
+            .Ll: mov r0, r0, lsl r5
+                subs r4, r4, #1
+                bne .Ll
+                swi #0",
+        );
+        let ri = simulate(&imm, &config()).unwrap();
+        let rr = simulate(&reg, &config()).unwrap();
+        // ~one extra cycle per iteration.
+        assert!(
+            rr.cycles >= ri.cycles + 250,
+            "{} vs {}",
+            rr.cycles,
+            ri.cycles
+        );
+    }
+
+    #[test]
+    fn block_transfers_cost_per_register() {
+        let narrow = link(
+            "_start:
+                mov r4, #200
+            .Ll: push {r5, lr}
+                pop {r5, lr}
+                subs r4, r4, #1
+                bne .Ll
+                swi #0",
+        );
+        let wide = link(
+            "_start:
+                mov r4, #200
+            .Ll: push {r5, r6, r7, r8, r9, lr}
+                pop {r5, r6, r7, r8, r9, lr}
+                subs r4, r4, #1
+                bne .Ll
+                swi #0",
+        );
+        let rn = simulate(&narrow, &config()).unwrap();
+        let rw = simulate(&wide, &config()).unwrap();
+        assert!(rw.cycles > rn.cycles + 200 * 4, "{} vs {}", rw.cycles, rn.cycles);
+    }
+
+    #[test]
+    fn predicated_false_instructions_still_cost_fetch() {
+        // A loop of predicated-false adds costs the same fetches as a
+        // loop of nops: predication squashes work, not fetch.
+        let squashed = link(
+            "_start:
+                mov r4, #500
+                cmp r4, #0      ; never equal inside the loop
+            .Ll: addeq r0, r0, #1
+                addeq r1, r1, #1
+                subs r4, r4, #1
+                bne .Ll
+                swi #0",
+        );
+        let result = simulate(&squashed, &config()).unwrap();
+        assert_eq!(result.fetch.fetches, result.instructions);
+        assert_eq!(result.exit_code, 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let image = link(
+            "_start:
+                ldr r0, =v
+                ldr r1, [r0]
+                swi #0
+            .data
+            v: .word 1",
+        );
+        let result = simulate(&image, &config()).unwrap();
+        assert!(result.fetch.fetches >= result.instructions);
+        assert_eq!(result.dcache.reads, 1);
+        assert!(result.itlb.lookups > 0);
+        assert!(result.dtlb.lookups > 0);
+    }
+}

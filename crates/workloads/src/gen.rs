@@ -1,0 +1,351 @@
+//! Deterministic input generation and binary-bulk synthesis.
+//!
+//! The paper profiles with MiBench's *small* inputs and measures with
+//! the *large* ones. Our substitute generators are deterministic and
+//! seeded per benchmark and per input set, so the two runs see related
+//! but different data and sizes — preserving the train-vs-test split.
+//!
+//! [`cold_text`] synthesises the cold bulk that real embedded binaries
+//! carry (libc, error paths, unused library code). Splicing it between
+//! a kernel's functions reproduces the interleaved hot/cold layout an
+//! ordinary linker emits — exactly the layout pathology the paper's
+//! chain-sorting pass repairs.
+
+use wp_isa::{DataReloc, Module, Symbol, SymbolSection};
+
+/// Which input set a workload runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InputSet {
+    /// Training input (profiling runs, the paper's MiBench `small`).
+    Small,
+    /// Measurement input (the paper's MiBench `large`).
+    Large,
+}
+
+impl InputSet {
+    /// Both input sets.
+    pub const ALL: [InputSet; 2] = [InputSet::Small, InputSet::Large];
+
+    /// A seed component that separates the two sets.
+    #[must_use]
+    pub fn seed(self) -> u64 {
+        match self {
+            InputSet::Small => 0x0005_1a11,
+            InputSet::Large => 0x1a43e,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InputSet::Small => "small",
+            InputSet::Large => "large",
+        }
+    }
+}
+
+/// A small, fast, stable PCG-style generator. Implemented locally (not
+/// via the `rand` crate) so that workload inputs can never change under
+/// a dependency upgrade — checksums in EXPERIMENTS.md depend on them.
+#[derive(Clone, Debug)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Lcg {
+        let mut lcg = Lcg { state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1 };
+        // Decorrelate small seeds.
+        for _ in 0..4 {
+            lcg.next_u32();
+        }
+        lcg
+    }
+
+    /// Next 32 uniform bits.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let xorshifted = (((self.state >> 18) ^ self.state) >> 27) as u32;
+        let rot = (self.state >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling (slightly biased, fine here).
+        ((u64::from(self.next_u32()) * u64::from(bound)) >> 32) as u32
+    }
+
+    /// A uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u32() >> 24) as u8
+    }
+
+    /// `len` uniform bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+}
+
+/// Builds a data-only [`Module`] programmatically — the shape of a
+/// generated input file.
+#[derive(Debug)]
+pub struct DataBuilder {
+    module: Module,
+}
+
+impl DataBuilder {
+    /// Creates an empty data module.
+    #[must_use]
+    pub fn new(name: &str) -> DataBuilder {
+        DataBuilder { module: Module::new(name) }
+    }
+
+    fn align4(&mut self) {
+        while !self.module.data.len().is_multiple_of(4) {
+            self.module.data.push(0);
+        }
+    }
+
+    fn define(&mut self, symbol: &str) {
+        self.module.symbols.push(Symbol {
+            name: symbol.to_string(),
+            section: SymbolSection::Data,
+            offset: self.module.data.len(),
+        });
+    }
+
+    /// Defines `symbol` at a word-aligned offset holding `values`.
+    #[must_use]
+    pub fn words(mut self, symbol: &str, values: &[u32]) -> DataBuilder {
+        self.align4();
+        self.define(symbol);
+        for value in values {
+            self.module.data.extend(value.to_le_bytes());
+        }
+        self
+    }
+
+    /// Defines `symbol` holding one word.
+    #[must_use]
+    pub fn word(self, symbol: &str, value: u32) -> DataBuilder {
+        self.words(symbol, &[value])
+    }
+
+    /// Defines `symbol` holding raw bytes.
+    #[must_use]
+    pub fn bytes(mut self, symbol: &str, values: &[u8]) -> DataBuilder {
+        self.define(symbol);
+        self.module.data.extend_from_slice(values);
+        self
+    }
+
+    /// Defines `symbol` holding 16-bit little-endian values.
+    #[must_use]
+    pub fn halves(mut self, symbol: &str, values: &[i16]) -> DataBuilder {
+        self.align4();
+        self.define(symbol);
+        for value in values {
+            self.module.data.extend(value.to_le_bytes());
+        }
+        self
+    }
+
+    /// Defines `symbol` as a zero-initialised buffer of `len` bytes in
+    /// bss.
+    #[must_use]
+    pub fn buffer(mut self, symbol: &str, len: usize) -> DataBuilder {
+        // bss symbols: align to 4 for word access.
+        while !self.module.bss_size.is_multiple_of(4) {
+            self.module.bss_size += 1;
+        }
+        self.module.symbols.push(Symbol {
+            name: symbol.to_string(),
+            section: SymbolSection::Bss,
+            offset: self.module.bss_size,
+        });
+        self.module.bss_size += len;
+        self
+    }
+
+    /// Defines `symbol` as a word holding the address of `target`
+    /// (a data-to-data or data-to-text pointer).
+    #[must_use]
+    pub fn pointer(mut self, symbol: &str, target: &str) -> DataBuilder {
+        self.align4();
+        self.define(symbol);
+        self.module.data_relocs.push(DataReloc {
+            offset: self.module.data.len(),
+            symbol: target.to_string(),
+            addend: 0,
+        });
+        self.module.data.extend(0u32.to_le_bytes());
+        self
+    }
+
+    /// Finishes the module.
+    #[must_use]
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+/// Synthesises `instructions` worth of never-executed but fully valid
+/// library-like functions (prologue, ALU body, optional self-contained
+/// loop, epilogue), as assembly text. `tag` keeps symbol names unique
+/// per benchmark.
+#[must_use]
+pub fn cold_text(tag: &str, chunk: usize, instructions: usize) -> String {
+    let mut lcg = Lcg::new(0xc01d ^ (chunk as u64) << 32 ^ hash_str(tag));
+    let mut out = String::new();
+    let mut emitted = 0usize;
+    let mut func = 0usize;
+    while emitted < instructions {
+        let body = 8 + lcg.below(24) as usize;
+        out.push_str(&format!("cold_{tag}_{chunk}_{func}:\n"));
+        out.push_str("    push {r4, r5, r6, lr}\n");
+        emitted += 1;
+        // A bounded internal loop in about half the functions.
+        let looped = lcg.below(2) == 0;
+        if looped {
+            out.push_str(&format!("    mov r6, #{}\n", 1 + lcg.below(15)));
+            out.push_str(&format!(".Lcold_{tag}_{chunk}_{func}:\n"));
+            emitted += 1;
+        }
+        for _ in 0..body {
+            let op = ["add", "eor", "orr", "sub", "and", "bic"][lcg.below(6) as usize];
+            let rd = lcg.below(6);
+            let rn = lcg.below(6);
+            match lcg.below(3) {
+                0 => out.push_str(&format!("    {op} r{rd}, r{rn}, #{}\n", lcg.below(255) + 1)),
+                1 => {
+                    let rm = lcg.below(6);
+                    out.push_str(&format!("    {op} r{rd}, r{rn}, r{rm}\n"));
+                }
+                _ => {
+                    let rm = lcg.below(6);
+                    let sh = ["lsl", "lsr", "asr"][lcg.below(3) as usize];
+                    out.push_str(&format!(
+                        "    {op} r{rd}, r{rn}, r{rm}, {sh} #{}\n",
+                        lcg.below(15) + 1
+                    ));
+                }
+            }
+            emitted += 1;
+        }
+        if looped {
+            out.push_str("    subs r6, r6, #1\n");
+            out.push_str(&format!("    bne .Lcold_{tag}_{chunk}_{func}\n"));
+            emitted += 2;
+        }
+        out.push_str("    pop {r4, r5, r6, pc}\n");
+        emitted += 1;
+        func += 1;
+    }
+    out
+}
+
+/// Splices cold filler at every `;;cold;;` marker line of a kernel
+/// source, dividing `total_cold_instructions` evenly across markers.
+#[must_use]
+pub fn splice_cold(source: &str, tag: &str, total_cold_instructions: usize) -> String {
+    let markers = source.matches(";;cold;;").count();
+    if markers == 0 || total_cold_instructions == 0 {
+        return source.replace(";;cold;;", "");
+    }
+    let per_marker = total_cold_instructions / markers;
+    let mut out = String::new();
+    for (i, piece) in source.split(";;cold;;").enumerate() {
+        out.push_str(piece);
+        if i < markers {
+            out.push_str(&cold_text(tag, i, per_marker));
+        }
+    }
+    out
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_varied() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        let xs: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<u32> = xs.iter().copied().collect();
+        assert!(distinct.len() > 12, "low entropy: {xs:?}");
+        let mut c = Lcg::new(43);
+        assert_ne!(xs[0], c.next_u32());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut lcg = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(lcg.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn data_builder_layout() {
+        let module = DataBuilder::new("input")
+            .bytes("raw", &[1, 2, 3])
+            .words("tbl", &[0x11223344, 0x55667788])
+            .word("len", 9)
+            .buffer("out", 64)
+            .build();
+        let raw = module.symbol("raw").unwrap();
+        assert_eq!(raw.offset, 0);
+        let tbl = module.symbol("tbl").unwrap();
+        assert_eq!(tbl.offset, 4, "aligned after 3 bytes");
+        assert_eq!(&module.data[4..8], &0x11223344u32.to_le_bytes());
+        let out = module.symbol("out").unwrap();
+        assert_eq!(out.section, SymbolSection::Bss);
+        assert_eq!(module.bss_size, 64);
+        assert_eq!(module.symbol("len").unwrap().offset, 12);
+    }
+
+    #[test]
+    fn cold_text_assembles() {
+        let src = format!(".text\n{}", cold_text("t", 0, 300));
+        let module = wp_isa::assemble("cold", &src).expect("cold text must assemble");
+        assert!(module.text.len() >= 280, "{} insns", module.text.len());
+    }
+
+    #[test]
+    fn splice_replaces_markers() {
+        let src = "a:\n    bx lr\n;;cold;;\nb:\n    bx lr\n;;cold;;\n";
+        let spliced = splice_cold(src, "x", 100);
+        assert!(!spliced.contains(";;cold;;"));
+        assert!(spliced.contains("cold_x_0_0:"));
+        assert!(spliced.contains("cold_x_1_0:"));
+        let module = wp_isa::assemble("s", &spliced).expect("spliced source assembles");
+        assert!(module.text.len() > 90);
+        // Zero filler leaves the source intact minus markers.
+        let bare = splice_cold(src, "x", 0);
+        assert!(!bare.contains("cold_"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Shared IMA ADPCM machinery for the `rawcaudio` (encode) and
+//! `rawdaudio` (decode) benchmarks (MiBench telecomm/adpcm).
+
+use crate::gen::{InputSet, Lcg};
+
+/// The 89-entry step-size table (Intel/DVI IMA ADPCM).
+pub(crate) const STEP_SIZES: [u32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55,
+    60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411,
+    1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+    20350, 22385, 24623, 27086, 29794, 32767,
+];
+
+/// Index adjustment per 4-bit code.
+pub(crate) const INDEX_ADJUST: [i32; 16] =
+    [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+/// ADPCM coder state.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct State {
+    pub valpred: i32,
+    pub index: i32,
+}
+
+/// Encodes 16-bit PCM to 4-bit codes, two per byte (even sample in the
+/// high nibble) — bit-identical to the guest kernel.
+pub(crate) fn encode(samples: &[i16], state: &mut State) -> Vec<u8> {
+    assert!(samples.len().is_multiple_of(2), "whole output bytes only");
+    let mut out = Vec::with_capacity(samples.len() / 2);
+    let mut step = STEP_SIZES[state.index as usize] as i32;
+    let mut high: u8 = 0;
+    for (n, &sample) in samples.iter().enumerate() {
+        let mut diff = i32::from(sample) - state.valpred;
+        let sign = if diff < 0 { 8u32 } else { 0 };
+        if sign != 0 {
+            diff = -diff;
+        }
+        let mut delta = 0u32;
+        let mut vpdiff = step >> 3;
+        if diff >= step {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        let mut s = step >> 1;
+        if diff >= s {
+            delta |= 2;
+            diff -= s;
+            vpdiff += s;
+        }
+        s >>= 1;
+        if diff >= s {
+            delta |= 1;
+            vpdiff += s;
+        }
+        if sign != 0 {
+            state.valpred -= vpdiff;
+        } else {
+            state.valpred += vpdiff;
+        }
+        state.valpred = state.valpred.clamp(-32768, 32767);
+        delta |= sign;
+        state.index += INDEX_ADJUST[delta as usize];
+        state.index = state.index.clamp(0, 88);
+        step = STEP_SIZES[state.index as usize] as i32;
+        if n % 2 == 0 {
+            high = (delta as u8) << 4;
+        } else {
+            out.push(high | (delta as u8 & 0x0f));
+        }
+    }
+    out
+}
+
+/// Decodes 4-bit codes back to PCM — bit-identical to the guest kernel.
+pub(crate) fn decode(codes: &[u8], count: usize, state: &mut State) -> Vec<i16> {
+    let mut out = Vec::with_capacity(count);
+    let mut step = STEP_SIZES[state.index as usize] as i32;
+    for n in 0..count {
+        let byte = codes[n / 2];
+        let delta = if n % 2 == 0 { byte >> 4 } else { byte & 0x0f } as usize;
+        state.index += INDEX_ADJUST[delta];
+        state.index = state.index.clamp(0, 88);
+        let sign = delta & 8;
+        let magnitude = delta & 7;
+        let mut vpdiff = step >> 3;
+        if magnitude & 4 != 0 {
+            vpdiff += step;
+        }
+        if magnitude & 2 != 0 {
+            vpdiff += step >> 1;
+        }
+        if magnitude & 1 != 0 {
+            vpdiff += step >> 2;
+        }
+        if sign != 0 {
+            state.valpred -= vpdiff;
+        } else {
+            state.valpred += vpdiff;
+        }
+        state.valpred = state.valpred.clamp(-32768, 32767);
+        step = STEP_SIZES[state.index as usize] as i32;
+        out.push(state.valpred as i16);
+    }
+    out
+}
+
+/// Generates audio-like PCM: a bounded random walk (speech-ish
+/// low-frequency content with noise).
+pub(crate) fn pcm(set: InputSet, seed: u64) -> Vec<i16> {
+    let mut lcg = Lcg::new(seed ^ set.seed());
+    let len = match set {
+        InputSet::Small => 6_000,
+        InputSet::Large => 60_000,
+    };
+    let mut value: i32 = 0;
+    let mut drift: i32 = 0;
+    (0..len)
+        .map(|_| {
+            drift += lcg.below(129) as i32 - 64;
+            drift = drift.clamp(-800, 800);
+            value += drift + lcg.below(65) as i32 - 32;
+            value = value.clamp(-30000, 30000);
+            value as i16
+        })
+        .collect()
+}
+
+/// The shared data-section tables as assembly text.
+pub(crate) fn tables_asm() -> String {
+    let steps: Vec<String> = STEP_SIZES.iter().map(u32::to_string).collect();
+    let adjusts: Vec<String> = INDEX_ADJUST.iter().map(i32::to_string).collect();
+    format!(
+        "    .data\n    .align 2\nstep_sizes:\n    .word {}\nindex_adjust:\n    .word {}\n",
+        steps.join(", "),
+        adjusts.join(", ")
+    )
+}
+
+
+/// Emits one inlined encoder-step body (compiler-inlined form): input
+/// `r0` = sample, output `r3` = 4-bit code; clobbers r0-r3, r9, r10, ip;
+/// coder state lives in `adp_state`.
+pub(crate) fn enc_body(tag: &str) -> String {
+    format!(
+        "    ldr r1, =adp_state\n\
+         \x20   ldr r2, [r1, #8]\n\
+         \x20   ldr ip, [r1]\n\
+         \x20   sub r0, r0, ip\n\
+         \x20   mov r9, #0\n\
+         \x20   cmp r0, #0\n\
+         \x20   rsblt r0, r0, #0\n\
+         \x20   movlt r9, #8\n\
+         \x20   mov r10, r2, lsr #3\n\
+         \x20   mov r3, #0\n\
+         \x20   cmp r0, r2\n\
+         \x20   blt .Lq2_{tag}\n\
+         \x20   mov r3, #4\n\
+         \x20   sub r0, r0, r2\n\
+         \x20   add r10, r10, r2\n\
+         .Lq2_{tag}:\n\
+         \x20   mov r2, r2, lsr #1\n\
+         \x20   cmp r0, r2\n\
+         \x20   blt .Lq3_{tag}\n\
+         \x20   orr r3, r3, #2\n\
+         \x20   sub r0, r0, r2\n\
+         \x20   add r10, r10, r2\n\
+         .Lq3_{tag}:\n\
+         \x20   mov r2, r2, lsr #1\n\
+         \x20   cmp r0, r2\n\
+         \x20   blt .Lq4_{tag}\n\
+         \x20   orr r3, r3, #1\n\
+         \x20   add r10, r10, r2\n\
+         .Lq4_{tag}:\n\
+         \x20   ldr r0, [r1]\n\
+         \x20   cmp r9, #0\n\
+         \x20   subne r0, r0, r10\n\
+         \x20   addeq r0, r0, r10\n\
+         \x20   ldr r2, =32767\n\
+         \x20   cmp r0, r2\n\
+         \x20   movgt r0, r2\n\
+         \x20   ldr r2, =-32768\n\
+         \x20   cmp r0, r2\n\
+         \x20   movlt r0, r2\n\
+         \x20   str r0, [r1]\n\
+         \x20   orr r3, r3, r9\n\
+         \x20   ldr r0, [r1, #4]\n\
+         \x20   ldr r2, =index_adjust\n\
+         \x20   ldr r2, [r2, r3, lsl #2]\n\
+         \x20   add r0, r0, r2\n\
+         \x20   cmp r0, #0\n\
+         \x20   movlt r0, #0\n\
+         \x20   cmp r0, #88\n\
+         \x20   movgt r0, #88\n\
+         \x20   str r0, [r1, #4]\n\
+         \x20   ldr r2, =step_sizes\n\
+         \x20   ldr r2, [r2, r0, lsl #2]\n\
+         \x20   str r2, [r1, #8]\n"
+    )
+}
+
+/// Emits one inlined decoder-step body: input `r0` = 4-bit code, output
+/// `r0` = sample; clobbers r1-r3, r9, r10, ip.
+pub(crate) fn dec_body(tag: &str) -> String {
+    let _ = tag; // no internal branches need unique labels
+    "    ldr r1, =adp_state\n\
+     \x20   ldr r2, [r1, #4]\n\
+     \x20   ldr r3, =index_adjust\n\
+     \x20   ldr r3, [r3, r0, lsl #2]\n\
+     \x20   add r2, r2, r3\n\
+     \x20   cmp r2, #0\n\
+     \x20   movlt r2, #0\n\
+     \x20   cmp r2, #88\n\
+     \x20   movgt r2, #88\n\
+     \x20   str r2, [r1, #4]\n\
+     \x20   ldr r2, [r1, #8]\n\
+     \x20   and r9, r0, #8\n\
+     \x20   and r0, r0, #7\n\
+     \x20   mov r10, r2, lsr #3\n\
+     \x20   tst r0, #4\n\
+     \x20   addne r10, r10, r2\n\
+     \x20   tst r0, #2\n\
+     \x20   addne r10, r10, r2, lsr #1\n\
+     \x20   tst r0, #1\n\
+     \x20   addne r10, r10, r2, lsr #2\n\
+     \x20   ldr r0, [r1]\n\
+     \x20   cmp r9, #0\n\
+     \x20   subne r0, r0, r10\n\
+     \x20   addeq r0, r0, r10\n\
+     \x20   ldr r2, =32767\n\
+     \x20   cmp r0, r2\n\
+     \x20   movgt r0, r2\n\
+     \x20   ldr r2, =-32768\n\
+     \x20   cmp r0, r2\n\
+     \x20   movlt r0, r2\n\
+     \x20   str r0, [r1]\n\
+     \x20   ldr r2, =step_sizes\n\
+     \x20   ldr r3, [r1, #4]\n\
+     \x20   ldr r2, [r2, r3, lsl #2]\n\
+     \x20   str r2, [r1, #8]\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_tracks_signal() {
+        let samples = pcm(InputSet::Small, 0xa0d10);
+        let mut enc_state = State::default();
+        let codes = encode(&samples, &mut enc_state);
+        assert_eq!(codes.len(), samples.len() / 2);
+        let mut dec_state = State::default();
+        let decoded = decode(&codes, samples.len(), &mut dec_state);
+        assert_eq!(decoded.len(), samples.len());
+        // ADPCM is lossy, but must track the waveform: mean absolute
+        // error well below the signal amplitude.
+        let mae: f64 = samples
+            .iter()
+            .zip(&decoded)
+            .map(|(&a, &b)| f64::from((i32::from(a) - i32::from(b)).abs()))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(mae < 2000.0, "mae {mae}");
+    }
+
+    #[test]
+    fn tables_emit_as_asm() {
+        let asm = tables_asm();
+        assert!(asm.contains("step_sizes:"));
+        assert!(asm.contains("32767"));
+        let module = wp_isa::assemble("t", &asm).expect("tables assemble");
+        assert_eq!(module.data.len(), (89 + 16) * 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! `bitcount` — five bit-counting algorithms raced over one word array
+//! (MiBench automotive/bitcount).
+//!
+//! Like the original, the program runs several counting strategies over
+//! the same data and reports each total: a naive shift loop,
+//! Kernighan's clear-lowest-bit loop, 4-bit and 8-bit table lookups
+//! (the byte table is built at startup), and the SWAR popcount.
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "bitcount",
+        source: || SOURCE.to_string(),
+        cold_instructions: 6400,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+; Like the original, the strategies are dispatched through a function
+; pointer table — an indirect-call pattern the link-time rewriter must
+; keep working while it reorders every block.
+main:
+    push {r4, r5, r6, lr}
+    bl build_byte_table
+    ldr r4, =count_fns
+    mov r5, #5
+.Ldispatch:
+    ldr r6, [r4], #4
+    adr lr, .Lreturn
+    bx r6                   ; indirect call
+.Lreturn:
+    swi #2                  ; report the strategy's count
+    subs r5, r5, #1
+    bne .Ldispatch
+    mov r0, #0
+    pop {r4, r5, r6, pc}
+
+;;cold;;
+
+; Naive: test each of the 32 bits of every word.
+count_naive:
+    push {r4, r5, r6, r7, lr}
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    mov r0, #0
+.Lnv_word:
+    cmp r5, #0
+    beq .Lnv_done
+    ldr r6, [r4], #4
+    mov r7, #32
+.Lnv_bit:
+    tst r6, #1
+    addne r0, r0, #1
+    mov r6, r6, lsr #1
+    subs r7, r7, #1
+    bne .Lnv_bit
+    sub r5, r5, #1
+    b .Lnv_word
+.Lnv_done:
+    pop {r4, r5, r6, r7, pc}
+
+; Kernighan: x &= x - 1 clears the lowest set bit.
+count_kernighan:
+    push {r4, r5, r6, lr}
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    mov r0, #0
+.Lkn_word:
+    cmp r5, #0
+    beq .Lkn_done
+    ldr r6, [r4], #4
+.Lkn_bit:
+    cmp r6, #0
+    beq .Lkn_next
+    sub r1, r6, #1
+    and r6, r6, r1
+    add r0, r0, #1
+    b .Lkn_bit
+.Lkn_next:
+    sub r5, r5, #1
+    b .Lkn_word
+.Lkn_done:
+    pop {r4, r5, r6, pc}
+
+;;cold;;
+
+; 4-bit table: eight nibble lookups per word.
+count_nibble_table:
+    push {r4, r5, r6, r7, lr}
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    ldr r7, =nibble_counts
+    mov r0, #0
+.Lnt_word:
+    cmp r5, #0
+    beq .Lnt_done
+    ldr r6, [r4], #4
+    mov r2, #8
+.Lnt_nib:
+    and r1, r6, #15
+    ldrb r1, [r7, r1]
+    add r0, r0, r1
+    mov r6, r6, lsr #4
+    subs r2, r2, #1
+    bne .Lnt_nib
+    sub r5, r5, #1
+    b .Lnt_word
+.Lnt_done:
+    pop {r4, r5, r6, r7, pc}
+
+; 8-bit table: four byte lookups per word.
+count_byte_table:
+    push {r4, r5, r6, r7, lr}
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    ldr r7, =byte_counts
+    mov r0, #0
+.Lbt_word:
+    cmp r5, #0
+    beq .Lbt_done
+    ldr r6, [r4], #4
+    and r1, r6, #255
+    ldrb r1, [r7, r1]
+    add r0, r0, r1
+    mov r1, r6, lsr #8
+    and r1, r1, #255
+    ldrb r1, [r7, r1]
+    add r0, r0, r1
+    mov r1, r6, lsr #16
+    and r1, r1, #255
+    ldrb r1, [r7, r1]
+    add r0, r0, r1
+    mov r1, r6, lsr #24
+    ldrb r1, [r7, r1]
+    add r0, r0, r1
+    sub r5, r5, #1
+    b .Lbt_word
+.Lbt_done:
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+
+; SWAR popcount with a final multiply.
+count_swar:
+    push {r4, r5, r6, r7, r8, r9, lr}
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    ldr r6, =0x55555555
+    ldr r7, =0x33333333
+    ldr r8, =0x0F0F0F0F
+    ldr r9, =0x01010101
+    mov r0, #0
+.Lsw_word:
+    cmp r5, #0
+    beq .Lsw_done
+    ldr r1, [r4], #4
+    and r2, r6, r1, lsr #1
+    sub r1, r1, r2
+    and r2, r1, r7
+    and r1, r7, r1, lsr #2
+    add r1, r1, r2
+    add r1, r1, r1, lsr #4
+    and r1, r1, r8
+    mul r1, r1, r9
+    add r0, r0, r1, lsr #24
+    sub r5, r5, #1
+    b .Lsw_word
+.Lsw_done:
+    pop {r4, r5, r6, r7, r8, r9, pc}
+
+; byte_counts[i] = nibble_counts[i & 15] + nibble_counts[i >> 4]
+build_byte_table:
+    push {r4, r5, lr}
+    ldr r4, =nibble_counts
+    ldr r5, =byte_counts
+    mov r0, #0
+.Lbb_loop:
+    and r1, r0, #15
+    ldrb r1, [r4, r1]
+    mov r2, r0, lsr #4
+    ldrb r2, [r4, r2]
+    add r1, r1, r2
+    strb r1, [r5, r0]
+    add r0, r0, #1
+    cmp r0, #256
+    blt .Lbb_loop
+    pop {r4, r5, pc}
+
+    .data
+    .align 2
+count_fns:
+    .word count_naive, count_kernighan, count_nibble_table, count_byte_table, count_swar
+
+nibble_counts:
+    .byte 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+
+    .bss
+byte_counts:
+    .space 256
+"#;
+
+fn payload(set: InputSet) -> Vec<u32> {
+    let mut lcg = Lcg::new(0xb17c ^ set.seed());
+    let len = match set {
+        InputSet::Small => 1500,
+        InputSet::Large => 11000,
+    };
+    (0..len).map(|_| lcg.next_u32()).collect()
+}
+
+fn input(set: InputSet) -> Module {
+    let words = payload(set);
+    DataBuilder::new("bitcount-input")
+        .word("in_len", words.len() as u32)
+        .words("in_data", &words)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let total: u32 = payload(set).iter().map(|w| w.count_ones()).sum();
+    // All five strategies compute the same answer — and reporting it
+    // five times mirrors the guest's five reports.
+    vec![total; 5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts_bits() {
+        let reports = reference(InputSet::Small);
+        assert_eq!(reports.len(), 5);
+        assert!(reports.iter().all(|&r| r == reports[0]));
+        // Expected density: about half the bits set.
+        let words = payload(InputSet::Small).len() as u32;
+        assert!((reports[0] as f64 / f64::from(words * 32) - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,321 @@
+//! Shared Blowfish machinery for `blowfish_e` / `blowfish_d`
+//! (MiBench security/blowfish).
+//!
+//! Structurally identical to Bruce Schneier's cipher: an 18-word P
+//! array and four 256-word S-boxes, a 521-block key schedule, and a
+//! 16-round Feistel network with four S-box lookups per round. One
+//! simplification (documented in DESIGN.md): the initial P/S constants
+//! come from the guest-visible `xorshift32` stream seeded with pi's
+//! leading word instead of pi's hex expansion — the reference and the
+//! guest agree bit-for-bit, and the computational structure (the thing
+//! the cache study measures) is unchanged.
+
+use crate::gen::{InputSet, Lcg};
+use crate::runtime::xorshift32;
+
+/// Blowfish state: P array and flattened S-boxes.
+#[derive(Clone)]
+pub(crate) struct Blowfish {
+    pub p: [u32; 18],
+    pub s: [u32; 1024],
+}
+
+impl Blowfish {
+    /// Key schedule from a 4-word key — mirrors the guest's `bf_init`.
+    pub(crate) fn new(key: &[u32; 4]) -> Blowfish {
+        let mut state = 0x243F_6A88u32; // pi's leading word
+        let mut p = [0u32; 18];
+        let mut s = [0u32; 1024];
+        for slot in &mut p {
+            state = xorshift32(state);
+            *slot = state;
+        }
+        for slot in &mut s {
+            state = xorshift32(state);
+            *slot = state;
+        }
+        for (i, slot) in p.iter_mut().enumerate() {
+            *slot ^= key[i % 4];
+        }
+        let mut bf = Blowfish { p, s };
+        let (mut l, mut r) = (0u32, 0u32);
+        for i in (0..18).step_by(2) {
+            (l, r) = bf.encrypt_block(l, r);
+            bf.p[i] = l;
+            bf.p[i + 1] = r;
+        }
+        for i in (0..1024).step_by(2) {
+            (l, r) = bf.encrypt_block(l, r);
+            bf.s[i] = l;
+            bf.s[i + 1] = r;
+        }
+        bf
+    }
+
+    fn f(&self, x: u32) -> u32 {
+        let a = self.s[(x >> 24) as usize];
+        let b = self.s[256 + (x >> 16 & 0xff) as usize];
+        let c = self.s[512 + (x >> 8 & 0xff) as usize];
+        let d = self.s[768 + (x & 0xff) as usize];
+        // ((S0 + S1) ^ S2) + S3
+        (a.wrapping_add(b) ^ c).wrapping_add(d)
+    }
+
+    /// One block, encrypt direction.
+    pub(crate) fn encrypt_block(&self, mut l: u32, mut r: u32) -> (u32, u32) {
+        for i in 0..16 {
+            l ^= self.p[i];
+            r ^= self.f(l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= self.p[16];
+        l ^= self.p[17];
+        (l, r)
+    }
+
+    /// One block, decrypt direction.
+    pub(crate) fn decrypt_block(&self, mut l: u32, mut r: u32) -> (u32, u32) {
+        for i in (2..18).rev() {
+            l ^= self.p[i];
+            r ^= self.f(l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= self.p[1];
+        l ^= self.p[0];
+        (l, r)
+    }
+
+    /// ECB over a word buffer (pairs of words).
+    pub(crate) fn crypt_buffer(&self, words: &mut [u32], encrypt: bool) {
+        for pair in words.chunks_exact_mut(2) {
+            let (l, r) = if encrypt {
+                self.encrypt_block(pair[0], pair[1])
+            } else {
+                self.decrypt_block(pair[0], pair[1])
+            };
+            pair[0] = l;
+            pair[1] = r;
+        }
+    }
+}
+
+/// The per-set cipher key.
+pub(crate) fn key(set: InputSet) -> [u32; 4] {
+    let mut lcg = Lcg::new(0xb10f ^ set.seed());
+    [lcg.next_u32(), lcg.next_u32(), lcg.next_u32(), lcg.next_u32()]
+}
+
+/// The per-set plaintext (whole 8-byte blocks).
+pub(crate) fn plaintext(set: InputSet) -> Vec<u32> {
+    let mut lcg = Lcg::new(0xb10f_da7a ^ set.seed());
+    let words = match set {
+        InputSet::Small => 256,
+        InputSet::Large => 4096,
+    };
+    (0..words).map(|_| lcg.next_u32()).collect()
+}
+
+/// Summary reports over a processed buffer: wrapping word sum, first
+/// and last words.
+pub(crate) fn summarise(words: &[u32]) -> Vec<u32> {
+    let sum = words.iter().fold(0u32, |a, &w| a.wrapping_add(w));
+    vec![sum, words[0], words[words.len() - 1]]
+}
+
+
+/// One unrolled Feistel round: `l ^= P[i]; r ^= F(l); swap`.
+fn emit_round(out: &mut String, p_offset: usize) {
+    out.push_str(&format!("    ldr r2, [r4, #{p_offset}]\n"));
+    out.push_str(
+        "    eor r0, r0, r2\n\
+         \x20   mov r2, r0, lsr #24\n\
+         \x20   ldr r3, [r5, r2, lsl #2]\n\
+         \x20   mov r2, r0, lsr #16\n\
+         \x20   and r2, r2, #255\n\
+         \x20   add r2, r2, #256\n\
+         \x20   ldr ip, [r5, r2, lsl #2]\n\
+         \x20   add r3, r3, ip\n\
+         \x20   mov r2, r0, lsr #8\n\
+         \x20   and r2, r2, #255\n\
+         \x20   add r2, r2, #512\n\
+         \x20   ldr ip, [r5, r2, lsl #2]\n\
+         \x20   eor r3, r3, ip\n\
+         \x20   and r2, r0, #255\n\
+         \x20   add r2, r2, #768\n\
+         \x20   ldr ip, [r5, r2, lsl #2]\n\
+         \x20   add r3, r3, ip\n\
+         \x20   eor r1, r1, r3\n\
+         \x20   mov r2, r0\n\
+         \x20   mov r0, r1\n\
+         \x20   mov r1, r2\n",
+    );
+}
+
+/// The block functions with all 16 rounds unrolled (a compiler-unrolled
+/// embedded Blowfish: ~1.4 KB of hot code per direction).
+pub(crate) fn blocks_source() -> String {
+    let head = "    push {r4, r5, r6, lr}\n    ldr r4, =bf_p\n    ldr r5, =bf_s\n";
+    let swap = "    mov r2, r0\n    mov r0, r1\n    mov r1, r2\n";
+
+    let mut enc = String::from("; bf_encrypt_block(r0 = l, r1 = r) -> (r0, r1), unrolled\nbf_encrypt_block:\n");
+    enc.push_str(head);
+    for i in 0..16 {
+        emit_round(&mut enc, 4 * i);
+    }
+    enc.push_str(swap);
+    enc.push_str("    ldr r2, [r4, #64]\n    eor r1, r1, r2\n    ldr r2, [r4, #68]\n    eor r0, r0, r2\n    pop {r4, r5, r6, pc}\n");
+
+    let mut dec = String::from("\n; bf_decrypt_block(r0 = l, r1 = r) -> (r0, r1), unrolled\nbf_decrypt_block:\n");
+    dec.push_str(head);
+    for i in (2..18).rev() {
+        emit_round(&mut dec, 4 * i);
+    }
+    dec.push_str(swap);
+    dec.push_str("    ldr r2, [r4, #4]\n    eor r1, r1, r2\n    ldr r2, [r4]\n    eor r0, r0, r2\n    pop {r4, r5, r6, pc}\n");
+
+    format!("{enc}{dec}")
+}
+
+/// The composed guest core (key schedule + unrolled block functions,
+/// spliced in ahead of the bss section).
+pub(crate) fn core_source() -> String {
+    CORE_SOURCE.replace("@ENCRYPT@", &blocks_source()).replace("@DECRYPT@", "")
+}
+
+/// The key schedule, reporting and state, shared by both kernels.
+const CORE_SOURCE: &str = r#"
+; bf_init(r0 = key ptr): builds bf_p / bf_s with the key schedule.
+bf_init:
+    push {r4, r5, r6, r7, r8, lr}
+    mov r7, r0
+    ; fill P and S from the xorshift stream
+    ldr r4, =bf_p
+    ldr r0, =0x243F6A88
+    mov r5, #18
+.Lbi_p:
+    bl xorshift32
+    str r0, [r4], #4
+    subs r5, r5, #1
+    bne .Lbi_p
+    ldr r4, =bf_s
+    ldr r5, =1024
+.Lbi_s:
+    bl xorshift32
+    str r0, [r4], #4
+    subs r5, r5, #1
+    bne .Lbi_s
+    ; P[i] ^= key[i % 4]
+    ldr r4, =bf_p
+    mov r5, #0
+.Lbi_key:
+    and r1, r5, #3
+    ldr r2, [r7, r1, lsl #2]
+    ldr r3, [r4, r5, lsl #2]
+    eor r3, r3, r2
+    str r3, [r4, r5, lsl #2]
+    add r5, r5, #1
+    cmp r5, #18
+    blt .Lbi_key
+    ; run the zero block through, refilling P then S
+    mov r6, #0              ; l
+    mov r8, #0              ; r
+    ldr r4, =bf_p
+    mov r5, #0
+.Lbi_fill_p:
+    mov r0, r6
+    mov r1, r8
+    bl bf_encrypt_block
+    mov r6, r0
+    mov r8, r1
+    str r6, [r4, r5, lsl #2]
+    add r1, r5, #1
+    str r8, [r4, r1, lsl #2]
+    add r5, r5, #2
+    cmp r5, #18
+    blt .Lbi_fill_p
+    ldr r4, =bf_s
+    mov r5, #0
+.Lbi_fill_s:
+    mov r0, r6
+    mov r1, r8
+    bl bf_encrypt_block
+    mov r6, r0
+    mov r8, r1
+    str r6, [r4, r5, lsl #2]
+    add r1, r5, #1
+    str r8, [r4, r1, lsl #2]
+    add r5, r5, #2
+    ldr r1, =1024
+    cmp r5, r1
+    blt .Lbi_fill_s
+    pop {r4, r5, r6, r7, r8, pc}
+
+@ENCRYPT@
+
+@DECRYPT@
+
+; Report sum/first/last of a processed word buffer.
+; bf_report(r0 = buffer, r1 = word count)
+bf_report:
+    push {r4, r5, r6, lr}
+    mov r4, r0
+    mov r5, r1
+    mov r6, #0
+    ldr r0, [r4]
+    mov r2, r4
+.Lbr_sum:
+    ldr r3, [r2], #4
+    add r6, r6, r3
+    subs r5, r5, #1
+    bne .Lbr_sum
+    mov r0, r6
+    swi #2
+    ldr r0, [r4]
+    swi #2
+    sub r2, r2, #4
+    ldr r0, [r2]
+    swi #2
+    pop {r4, r5, r6, pc}
+
+    .bss
+bf_p:
+    .space 72
+bf_s:
+    .space 4096
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let key = key(InputSet::Small);
+        let bf = Blowfish::new(&key);
+        let (l, r) = bf.encrypt_block(0x0123_4567, 0x89ab_cdef);
+        assert_ne!((l, r), (0x0123_4567, 0x89ab_cdef));
+        assert_eq!(bf.decrypt_block(l, r), (0x0123_4567, 0x89ab_cdef));
+    }
+
+    #[test]
+    fn buffer_round_trip() {
+        let bf = Blowfish::new(&key(InputSet::Large));
+        let original = plaintext(InputSet::Small);
+        let mut buf = original.clone();
+        bf.crypt_buffer(&mut buf, true);
+        assert_ne!(buf, original);
+        bf.crypt_buffer(&mut buf, false);
+        assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn avalanche() {
+        let bf = Blowfish::new(&key(InputSet::Small));
+        let (l1, r1) = bf.encrypt_block(0, 0);
+        let (l2, r2) = bf.encrypt_block(1, 0);
+        let diff = (l1 ^ l2).count_ones() + (r1 ^ r2).count_ones();
+        assert!(diff > 16, "weak diffusion: {diff} bits");
+    }
+}

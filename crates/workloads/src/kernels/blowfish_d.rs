@@ -1,0 +1,89 @@
+//! `blowfish_d` — Blowfish ECB decryption (MiBench security/blowfish).
+//!
+//! The input is the reference-encrypted ciphertext of the `blowfish_e`
+//! plaintext; the guest decrypts it and reports the recovered buffer's
+//! summary (which must equal the original plaintext's).
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::blowfish::{self, core_source, Blowfish};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "blowfish_d",
+        source: || format!("{SOURCE}\n{}", core_source()),
+        cold_instructions: 4800,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, lr}
+    ldr r0, =in_key
+    bl bf_init
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    mov r2, r5
+    mov r3, r4
+.Ldec:
+    cmp r2, #0
+    beq .Lreport
+    ldr r0, [r3]
+    ldr r1, [r3, #4]
+    push {r2, r3}
+    bl bf_decrypt_block
+    pop {r2, r3}
+    str r0, [r3], #4
+    str r1, [r3], #4
+    sub r2, r2, #2
+    b .Ldec
+.Lreport:
+    mov r0, r4
+    mov r1, r5
+    bl bf_report
+    mov r0, #0
+    pop {r4, r5, pc}
+
+;;cold;;
+"#;
+
+fn ciphertext(set: InputSet) -> Vec<u32> {
+    let bf = Blowfish::new(&blowfish::key(set));
+    let mut words = blowfish::plaintext(set);
+    bf.crypt_buffer(&mut words, true);
+    words
+}
+
+fn input(set: InputSet) -> Module {
+    let words = ciphertext(set);
+    DataBuilder::new("blowfish-d-input")
+        .words("in_key", &blowfish::key(set))
+        .word("in_len", words.len() as u32)
+        .words("in_data", &words)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    // Decrypting the ciphertext recovers the plaintext exactly.
+    blowfish::summarise(&blowfish::plaintext(set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decrypt_summary_matches_plaintext() {
+        let bf = Blowfish::new(&blowfish::key(InputSet::Small));
+        let mut words = ciphertext(InputSet::Small);
+        bf.crypt_buffer(&mut words, false);
+        assert_eq!(blowfish::summarise(&words), reference(InputSet::Small));
+    }
+}

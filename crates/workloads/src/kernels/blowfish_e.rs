@@ -1,0 +1,77 @@
+//! `blowfish_e` — Blowfish ECB encryption (MiBench security/blowfish).
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::blowfish::{self, core_source, Blowfish};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "blowfish_e",
+        source: || format!("{SOURCE}\n{}", core_source()),
+        cold_instructions: 4800,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, lr}
+    ldr r0, =in_key
+    bl bf_init
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]            ; word count (even)
+    mov r2, r5
+    mov r3, r4
+.Lenc:
+    cmp r2, #0
+    beq .Lreport
+    ldr r0, [r3]
+    ldr r1, [r3, #4]
+    push {r2, r3}
+    bl bf_encrypt_block
+    pop {r2, r3}
+    str r0, [r3], #4
+    str r1, [r3], #4
+    sub r2, r2, #2
+    b .Lenc
+.Lreport:
+    mov r0, r4
+    mov r1, r5
+    bl bf_report
+    mov r0, #0
+    pop {r4, r5, pc}
+
+;;cold;;
+"#;
+
+fn input(set: InputSet) -> Module {
+    let words = blowfish::plaintext(set);
+    DataBuilder::new("blowfish-e-input")
+        .words("in_key", &blowfish::key(set))
+        .word("in_len", words.len() as u32)
+        .words("in_data", &words)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let bf = Blowfish::new(&blowfish::key(set));
+    let mut words = blowfish::plaintext(set);
+    bf.crypt_buffer(&mut words, true);
+    blowfish::summarise(&words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_shape() {
+        assert_eq!(reference(InputSet::Small).len(), 3);
+    }
+}

@@ -1,0 +1,225 @@
+//! `cjpeg` — JPEG-style compression: 8×8 DCT + quantisation over a
+//! photographic image (MiBench consumer/jpeg encode).
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::dct::{self, compress, dims, photo};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "cjpeg",
+        source: || format!("{MAIN}\n{}", core_source()),
+        cold_instructions: 6000,
+        input,
+        reference,
+    }
+}
+
+
+/// Emits one specialised, fully unrolled 1D DCT pass.
+/// `stride` is in bytes (4 = row pass, 32 = column pass).
+fn emit_dct1d(name: &str, stride: usize, inverse: bool) -> String {
+    let mut out = format!("; {name}: unrolled 1D {}DCT, stride {stride}\n{name}:\n", if inverse { "inverse " } else { "" });
+    out.push_str("    push {r6, r7, r8, lr}\n    ldr r7, =dct_cos\n    ldr r8, =dct_tmp\n");
+    for out_i in 0..8usize {
+        if inverse {
+            // acc = -(data[0] << 13), the halved DC term.
+            out.push_str("    ldr r6, [r0]\n    rsb r6, r6, #0\n    mov r6, r6, lsl #13\n");
+        } else {
+            out.push_str("    mov r6, #0\n");
+        }
+        for in_i in 0..8usize {
+            let data_off = in_i * stride;
+            let table_off = if inverse { 4 * (in_i * 8 + out_i) } else { 4 * (out_i * 8 + in_i) };
+            out.push_str(&format!(
+                "    ldr r3, [r0, #{data_off}]\n    ldr r2, [r7, #{table_off}]\n    mla r6, r3, r2, r6\n"
+            ));
+        }
+        out.push_str(&format!("    mov r6, r6, asr #14\n    str r6, [r8, #{}]\n", 4 * out_i));
+    }
+    for out_i in 0..8usize {
+        out.push_str(&format!(
+            "    ldr r3, [r8, #{}]\n    str r3, [r0, #{}]\n",
+            4 * out_i,
+            out_i * stride
+        ));
+    }
+    out.push_str("    pop {r6, r7, r8, pc}\n\n");
+    out
+}
+
+/// The 2D drivers over the four specialised passes.
+fn dct2d_drivers() -> String {
+    let drive = |name: &str, row_fn: &str, col_fn: &str, rows_first: bool| {
+        let (first_fn, first_step, second_fn, second_step) = if rows_first {
+            (row_fn, 32, col_fn, 4)
+        } else {
+            (col_fn, 4, row_fn, 32)
+        };
+        format!(
+            "{name}:\n    push {{r4, r5, lr}}\n    ldr r4, =dct_block\n    mov r5, #8\n.L{name}_a:\n    mov r0, r4\n    bl {first_fn}\n    add r4, r4, #{first_step}\n    subs r5, r5, #1\n    bne .L{name}_a\n    ldr r4, =dct_block\n    mov r5, #8\n.L{name}_b:\n    mov r0, r4\n    bl {second_fn}\n    add r4, r4, #{second_step}\n    subs r5, r5, #1\n    bne .L{name}_b\n    pop {{r4, r5, pc}}\n\n"
+        )
+    };
+    drive("dct2d_fwd", "dct1d_fwd_row", "dct1d_fwd_col", true)
+        + &drive("dct2d_inv", "dct1d_inv_row", "dct1d_inv_col", false)
+}
+
+/// Shared guest DCT core (also linked by `djpeg`): block loading, the
+/// four specialised unrolled 1D passes (the multi-kilobyte hot
+/// footprint of a real JPEG codec), and the tables.
+pub(crate) fn core_source() -> String {
+    let mut dct = String::new();
+    dct.push_str(&emit_dct1d("dct1d_fwd_row", 4, false));
+    dct.push_str(&emit_dct1d("dct1d_fwd_col", 32, false));
+    dct.push_str(&emit_dct1d("dct1d_inv_row", 4, true));
+    dct.push_str(&emit_dct1d("dct1d_inv_col", 32, true));
+    dct.push_str(&dct2d_drivers());
+
+    let words = |table: &[i32]| {
+        table
+            .chunks(8)
+            .map(|row| {
+                format!(
+                    "    .word {}",
+                    row.iter().map(i32::to_string).collect::<Vec<_>>().join(", ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    format!(
+        "{}\n    .data\n    .align 2\ndct_cos:\n{}\nquant_table:\n{}\n",
+        CORE.replace("@DCT@", &dct),
+        words(&dct::cos_basis()),
+        words(&dct::QUANT),
+    )
+}
+
+const MAIN: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, r9, r10, lr}
+    ldr r4, =in_width
+    ldr r4, [r4]
+    ldr r5, =in_height
+    ldr r5, [r5]
+    ldr r6, =in_image
+    mov r7, #0              ; coefficient sum
+    mov r8, #0              ; nonzero count
+    mov r9, #0              ; by
+.Lby:
+    mov r10, #0             ; bx
+.Lbx:
+    mov r0, r6
+    mov r1, r4
+    mov r2, r10
+    mov r3, r9
+    bl jpeg_load_block
+    bl dct2d_fwd
+    bl jpeg_quant
+    add r7, r7, r0
+    add r8, r8, r1
+    add r10, r10, #1
+    mov r0, r4, lsr #3
+    cmp r10, r0
+    blt .Lbx
+    add r9, r9, #1
+    mov r0, r5, lsr #3
+    cmp r9, r0
+    blt .Lby
+    mov r0, r7
+    swi #2                  ; quantised coefficient sum
+    mov r0, r8
+    swi #2                  ; nonzero coefficients (RLE cost proxy)
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, r9, r10, pc}
+
+;;cold;;
+
+; Quantise dct_block by quant_table; returns r0 = sum, r1 = nonzeros.
+jpeg_quant:
+    push {r4, r5, r6, r7, r8, lr}
+    ldr r4, =dct_block
+    ldr r5, =quant_table
+    mov r6, #0
+    mov r7, #0
+    mov r8, #0
+.Ljq:
+    ldr r0, [r4, r6, lsl #2]
+    ldr r1, [r5, r6, lsl #2]
+    bl idiv
+    add r7, r7, r0
+    cmp r0, #0
+    addne r8, r8, #1
+    add r6, r6, #1
+    cmp r6, #64
+    blt .Ljq
+    mov r0, r7
+    mov r1, r8
+    pop {r4, r5, r6, r7, r8, pc}
+"#;
+
+const CORE: &str = r#"
+; jpeg_load_block(r0 = image, r1 = width, r2 = bx, r3 = by):
+; copies the 8x8 block into dct_block, level-shifted by -128.
+jpeg_load_block:
+    push {r4, r5, r6, r7, r8, lr}
+    ldr r4, =dct_block
+    mov r5, #0              ; row
+.Ljl_r:
+    add r6, r5, r3, lsl #3  ; by*8 + r
+    mul r6, r6, r1
+    add r6, r6, r2, lsl #3
+    add r6, r6, r0
+    mov r7, #0              ; col
+.Ljl_c:
+    ldrb r8, [r6, r7]
+    sub r8, r8, #128
+    str r8, [r4], #4
+    add r7, r7, #1
+    cmp r7, #8
+    blt .Ljl_c
+    add r5, r5, #1
+    cmp r5, #8
+    blt .Ljl_r
+    pop {r4, r5, r6, r7, r8, pc}
+
+@DCT@
+
+    .bss
+dct_block:
+    .space 256
+dct_tmp:
+    .space 32
+"#;
+
+fn input(set: InputSet) -> Module {
+    let (w, h) = dims(set);
+    DataBuilder::new("cjpeg-input")
+        .word("in_width", w as u32)
+        .word("in_height", h as u32)
+        .bytes("in_image", &photo(set))
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let coeffs = compress(set);
+    let sum = coeffs.iter().fold(0u32, |a, &c| a.wrapping_add(c as u32));
+    let nonzero = coeffs.iter().filter(|&&c| c != 0).count() as u32;
+    vec![sum, nonzero]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_shape() {
+        let reports = reference(InputSet::Small);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[1] > 0);
+    }
+}

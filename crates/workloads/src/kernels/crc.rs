@@ -1,0 +1,141 @@
+//! `crc` — CRC-32 over a byte stream (MiBench telecomm/CRC32).
+//!
+//! Table-driven, reflected CRC-32 (polynomial `0xEDB88320`). The table
+//! is built at run time by `crc_init` — cold-ish initialisation code,
+//! just like the original's — and the hot loop is one byte per
+//! iteration with a table lookup.
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+/// The kernel registration.
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "crc",
+        source: || SOURCE.to_string(),
+        cold_instructions: 5600,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+; r0 = crc32(in_data, in_len)
+main:
+    push {r4, r5, r6, r7, lr}
+    bl crc_init
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    ldr r6, =crc_table
+    mvn r0, #0              ; crc = 0xffffffff
+.Lmain_loop:
+    cmp r5, #0
+    beq .Lmain_done
+    ldrb r1, [r4], #1
+    eor r1, r1, r0
+    and r1, r1, #0xff
+    ldr r2, [r6, r1, lsl #2]
+    eor r0, r2, r0, lsr #8
+    sub r5, r5, #1
+    b .Lmain_loop
+.Lmain_done:
+    mvn r7, r0
+    mov r0, r7
+    swi #2                  ; report the CRC
+    mov r0, r7
+    bl print_uint
+    mov r0, #'\n'
+    swi #1
+    mov r0, #0
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+
+; Build the 256-entry reflected CRC table.
+crc_init:
+    push {r4, r5, lr}
+    ldr r4, =crc_table
+    ldr r5, =0xEDB88320
+    mov r0, #0              ; i
+.Lci_outer:
+    mov r1, r0              ; c = i
+    mov r2, #8
+.Lci_inner:
+    tst r1, #1
+    mov r3, r1, lsr #1
+    eorne r3, r3, r5
+    mov r1, r3
+    subs r2, r2, #1
+    bne .Lci_inner
+    str r1, [r4, r0, lsl #2]
+    add r0, r0, #1
+    cmp r0, #256
+    blt .Lci_outer
+    pop {r4, r5, pc}
+
+;;cold;;
+
+    .bss
+crc_table:
+    .space 1024
+"#;
+
+fn payload(set: InputSet) -> Vec<u8> {
+    let mut lcg = Lcg::new(0xc4c ^ set.seed());
+    let len = match set {
+        InputSet::Small => 6 * 1024,
+        InputSet::Large => 160 * 1024,
+    };
+    lcg.bytes(len)
+}
+
+fn input(set: InputSet) -> Module {
+    let data = payload(set);
+    DataBuilder::new("crc-input")
+        .word("in_len", data.len() as u32)
+        .bytes("in_data", &data)
+        .build()
+}
+
+/// Host-side CRC-32, bit-identical to the guest kernel.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { (c >> 1) ^ 0xEDB8_8320 } else { c >> 1 };
+        }
+        *slot = c;
+    }
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    vec![crc32(&payload(set))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn inputs_differ_between_sets() {
+        assert_ne!(reference(InputSet::Small), reference(InputSet::Large));
+    }
+}

@@ -1,0 +1,185 @@
+//! Shared 8×8 integer DCT machinery for `cjpeg` / `djpeg` (MiBench
+//! consumer/jpeg).
+//!
+//! A Q14 fixed-point, separable 8×8 DCT (rows then columns) with the
+//! standard JPEG luminance quantisation table. The cosine basis is
+//! generated with the same integer sine used by the FFT kernels, so
+//! inputs are bit-stable everywhere. Normalisation constants are folded
+//! away (we are measuring a cache, not producing a standards-compliant
+//! bitstream); the reference mirrors the guest exactly.
+
+use crate::gen::{InputSet, Lcg};
+use crate::kernels::fft::icos_q14;
+use crate::kernels::image::gray_image;
+
+/// The JPEG annex-K luminance quantisation table.
+pub(crate) const QUANT: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The Q14 cosine basis: `C[u*8 + x] = cos((2x+1)·u·π/16)`.
+pub(crate) fn cos_basis() -> [i32; 64] {
+    let mut basis = [0i32; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            basis[u * 8 + x] = icos_q14((2 * x + 1) * u % 32, 32);
+        }
+    }
+    basis
+}
+
+fn dct_1d(data: &mut [i32], stride: usize, basis: &[i32; 64]) {
+    let mut tmp = [0i32; 8];
+    for (u, slot) in tmp.iter_mut().enumerate() {
+        let mut acc = 0i32;
+        for x in 0..8 {
+            acc += data[x * stride].wrapping_mul(basis[u * 8 + x]);
+        }
+        *slot = acc >> 14;
+    }
+    for (u, value) in tmp.into_iter().enumerate() {
+        data[u * stride] = value;
+    }
+}
+
+fn idct_1d(data: &mut [i32], stride: usize, basis: &[i32; 64]) {
+    let mut tmp = [0i32; 8];
+    for (x, slot) in tmp.iter_mut().enumerate() {
+        // DCT-III with the DC term halved (the exact inverse of the
+        // unnormalised DCT-II up to the N/2 scale).
+        let mut acc = -(data[0] << 13);
+        for u in 0..8 {
+            acc += data[u * stride].wrapping_mul(basis[u * 8 + x]);
+        }
+        *slot = acc >> 14;
+    }
+    for (x, value) in tmp.into_iter().enumerate() {
+        data[x * stride] = value;
+    }
+}
+
+/// Forward 2D DCT in place on a 64-word block.
+pub(crate) fn dct_2d(block: &mut [i32; 64], basis: &[i32; 64]) {
+    for row in 0..8 {
+        dct_1d(&mut block[row * 8..row * 8 + 8], 1, basis);
+    }
+    for col in 0..8 {
+        dct_1d(&mut block[col..], 8, basis);
+    }
+}
+
+/// Inverse 2D DCT in place.
+pub(crate) fn idct_2d(block: &mut [i32; 64], basis: &[i32; 64]) {
+    for col in 0..8 {
+        idct_1d(&mut block[col..], 8, basis);
+    }
+    for row in 0..8 {
+        idct_1d(&mut block[row * 8..row * 8 + 8], 1, basis);
+    }
+}
+
+/// Image dimensions per set (multiples of 8).
+pub(crate) fn dims(set: InputSet) -> (usize, usize) {
+    match set {
+        InputSet::Small => (48, 48),
+        InputSet::Large => (112, 112),
+    }
+}
+
+/// The photographic input image shared by `cjpeg`; `djpeg` receives
+/// its reference-compressed coefficients.
+pub(crate) fn photo(set: InputSet) -> Vec<u8> {
+    let (w, h) = dims(set);
+    let mut lcg = Lcg::new(0x09e6 ^ set.seed());
+    // More detail than the susan image: extra fine noise.
+    gray_image(set, 0x09e6, w, h)
+        .into_iter()
+        .map(|p| {
+            let jitter = lcg.below(17) as i32 - 8;
+            (i32::from(p) + jitter).clamp(0, 255) as u8
+        })
+        .collect()
+}
+
+/// Compresses the photo: per block, level-shift, DCT, quantise.
+/// Returns the quantised coefficients, block-major.
+pub(crate) fn compress(set: InputSet) -> Vec<i32> {
+    let (w, h) = dims(set);
+    let image = photo(set);
+    let basis = cos_basis();
+    let mut coeffs = Vec::with_capacity(w * h);
+    for by in 0..h / 8 {
+        for bx in 0..w / 8 {
+            let mut block = [0i32; 64];
+            for r in 0..8 {
+                for c in 0..8 {
+                    block[r * 8 + c] =
+                        i32::from(image[(by * 8 + r) * w + bx * 8 + c]) - 128;
+                }
+            }
+            dct_2d(&mut block, &basis);
+            for (i, v) in block.iter().enumerate() {
+                coeffs.push(v / QUANT[i]); // truncating division, like the guest's idiv
+            }
+        }
+    }
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_dc_row_is_flat() {
+        let basis = cos_basis();
+        for (x, &value) in basis.iter().take(8).enumerate() {
+            assert_eq!(value, 16384, "cos(0) = 1.0 in Q14 at x={x}");
+        }
+    }
+
+    #[test]
+    fn flat_block_has_dc_only() {
+        let basis = cos_basis();
+        let mut block = [64i32; 64];
+        dct_2d(&mut block, &basis);
+        assert!(block[0] > 0, "DC = {}", block[0]);
+        // Every AC coefficient is (near) zero for a flat block.
+        for (i, &v) in block.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 1, "AC[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_close() {
+        let basis = cos_basis();
+        let mut lcg = Lcg::new(99);
+        let original: Vec<i32> = (0..64).map(|_| lcg.below(256) as i32 - 128).collect();
+        let mut block: [i32; 64] = original.clone().try_into().expect("64");
+        dct_2d(&mut block, &basis);
+        idct_2d(&mut block, &basis);
+        // The unnormalised pair scales by N/2 = 4 per dimension, 16
+        // overall; verify shape within fixed-point noise.
+        for (o, r) in original.iter().zip(&block) {
+            assert!((o * 16 - r).abs() <= 160, "{o} vs {r}");
+        }
+    }
+
+    #[test]
+    fn compression_is_sparse() {
+        let coeffs = compress(InputSet::Small);
+        let zeros = coeffs.iter().filter(|&&c| c == 0).count();
+        assert!(
+            zeros * 10 > coeffs.len() * 5,
+            "expected mostly zeros: {zeros}/{}",
+            coeffs.len()
+        );
+    }
+}

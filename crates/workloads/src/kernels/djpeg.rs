@@ -1,0 +1,140 @@
+//! `djpeg` — JPEG-style decompression: dequantisation + inverse 8×8
+//! DCT (MiBench consumer/jpeg decode).
+//!
+//! The input is the block-major quantised coefficient stream produced
+//! by the reference compressor (what `cjpeg` computes); the guest
+//! reconstructs pixels and reports their sum.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::cjpeg::core_source;
+use crate::kernels::dct::{self, compress, dims};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "djpeg",
+        source: || format!("{MAIN}\n{}", core_source()),
+        cold_instructions: 6000,
+        input,
+        reference,
+    }
+}
+
+const MAIN: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, lr}
+    ldr r4, =in_coeffs
+    ldr r5, =in_block_count
+    ldr r5, [r5]
+    mov r6, #0              ; pixel sum
+    mov r7, #0              ; blocks processed
+.Lblk:
+    cmp r7, r5
+    bhs .Lreport
+    mov r0, r4
+    bl jpeg_dequant
+    bl dct2d_inv
+    bl jpeg_pixels          ; r0 = block pixel sum
+    add r6, r6, r0
+    add r4, r4, #256        ; next block (64 words)
+    add r7, r7, #1
+    b .Lblk
+.Lreport:
+    mov r0, r6
+    swi #2                  ; pixel sum
+    mov r0, r7
+    swi #2                  ; blocks
+    mov r0, #0
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+
+; jpeg_dequant(r0 = coeff ptr): dct_block[i] = coeff[i] * quant[i].
+jpeg_dequant:
+    push {r4, r5, r6, lr}
+    ldr r4, =dct_block
+    ldr r5, =quant_table
+    mov r6, #0
+.Ljd:
+    ldr r1, [r0, r6, lsl #2]
+    ldr r2, [r5, r6, lsl #2]
+    mul r1, r1, r2
+    str r1, [r4, r6, lsl #2]
+    add r6, r6, #1
+    cmp r6, #64
+    blt .Ljd
+    pop {r4, r5, r6, pc}
+
+; jpeg_pixels: clamp((v >> 4) + 128) over dct_block -> r0 = sum.
+jpeg_pixels:
+    push {r4, r5, lr}
+    ldr r4, =dct_block
+    mov r5, #64
+    mov r0, #0
+.Ljp:
+    ldr r1, [r4], #4
+    mov r1, r1, asr #4
+    add r1, r1, #128
+    cmp r1, #0
+    movlt r1, #0
+    cmp r1, #255
+    movgt r1, #255
+    add r0, r0, r1
+    subs r5, r5, #1
+    bne .Ljp
+    pop {r4, r5, pc}
+"#;
+
+fn input(set: InputSet) -> Module {
+    let coeffs = compress(set);
+    let (w, h) = dims(set);
+    let words: Vec<u32> = coeffs.iter().map(|&c| c as u32).collect();
+    DataBuilder::new("djpeg-input")
+        .word("in_block_count", (w / 8 * (h / 8)) as u32)
+        .words("in_coeffs", &words)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let coeffs = compress(set);
+    let basis = dct::cos_basis();
+    let mut sum = 0u32;
+    let mut blocks = 0u32;
+    for chunk in coeffs.chunks_exact(64) {
+        let mut block = [0i32; 64];
+        for (i, (&c, q)) in chunk.iter().zip(dct::QUANT).enumerate() {
+            block[i] = c.wrapping_mul(q);
+        }
+        dct::idct_2d(&mut block, &basis);
+        for v in block {
+            let pixel = ((v >> 4) + 128).clamp(0, 255);
+            sum = sum.wrapping_add(pixel as u32);
+        }
+        blocks += 1;
+    }
+    vec![sum, blocks]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoded_pixels_track_the_photo() {
+        // Lossy, but the average brightness must be close.
+        let reports = reference(InputSet::Small);
+        let (w, h) = dims(InputSet::Small);
+        let decoded_avg = f64::from(reports[0]) / (w * h) as f64;
+        let photo = dct::photo(InputSet::Small);
+        let photo_avg =
+            photo.iter().map(|&p| f64::from(p)).sum::<f64>() / photo.len() as f64;
+        assert!(
+            (decoded_avg - photo_avg).abs() < 24.0,
+            "{decoded_avg} vs {photo_avg}"
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! `fft` — fixed-point radix-2 FFT over several synthesized waves
+//! (MiBench telecomm/FFT), plus the machinery shared with `fft_i`.
+//!
+//! The original uses doubles; the guest ISA has no floating point, so
+//! this is a Q14 fixed-point FFT with per-stage `>> 1` scaling — the
+//! standard embedded formulation (substitution documented in
+//! DESIGN.md). Twiddle factors are generated host-side with a purely
+//! integer Bhaskara-I sine so inputs are bit-stable across platforms;
+//! forward and inverse runs differ only in the sign of the sine table,
+//! letting the guest use a single kernel for both.
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "fft",
+        source: || format!("{MAIN_SOURCE}\n{}", core_source()),
+        cold_instructions: 6400,
+        input,
+        reference,
+    }
+}
+
+/// Q14 sine of `2π·i/n` via the integer Bhaskara I approximation —
+/// deterministic on every host.
+pub(crate) fn isin_q14(i: usize, n: usize) -> i32 {
+    let i = i % n; // periodic
+    // Half-turn parameter t in Q16: angle/π = 2i/n.
+    let t_q16 = ((i as u64) << 17) / n as u64; // 0..131072 (two half-turns)
+    let (sign, t_q16) = if t_q16 >= 65536 { (-1i64, t_q16 - 65536) } else { (1, t_q16) };
+    // sin(πt) ≈ 16t(1−t) / (5 − 4t(1−t)) for t in [0,1].
+    let u = (t_q16 * (65536 - t_q16)) >> 16; // t(1−t) in Q16
+    // num is Q16·2¹⁴ and den is Q16, so the quotient is already Q14.
+    let num = (16 * u as i64) << 14;
+    let den = 5 * 65536 - 4 * u as i64;
+    (sign * (num / den)) as i32
+}
+
+/// Q14 cosine of `2π·i/n`.
+pub(crate) fn icos_q14(i: usize, n: usize) -> i32 {
+    isin_q14(i + n / 4, n)
+}
+
+/// The host-side mirror of the guest FFT: in-place, Q14 twiddles,
+/// `>> 1` per stage. `sin_tbl`/`cos_tbl` are indexed by `j * (n/m)`.
+pub(crate) fn fft_fixed(re: &mut [i32], im: &mut [i32], sin_tbl: &[i32], cos_tbl: &[i32]) {
+    let n = re.len();
+    // Bit-reverse permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut m = 2;
+    let mut step = n / 2;
+    while m <= n {
+        let half = m / 2;
+        let mut k = 0;
+        while k < n {
+            for j in 0..half {
+                let tw = j * step;
+                let c = cos_tbl[tw];
+                let s = sin_tbl[tw];
+                let i1 = k + j;
+                let i2 = i1 + half;
+                let tre = (c.wrapping_mul(re[i2]) - s.wrapping_mul(im[i2])) >> 14;
+                let tim = (c.wrapping_mul(im[i2]) + s.wrapping_mul(re[i2])) >> 14;
+                let (are, aim) = (re[i1], im[i1]);
+                re[i1] = (are + tre) >> 1;
+                im[i1] = (aim + tim) >> 1;
+                re[i2] = (are - tre) >> 1;
+                im[i2] = (aim - tim) >> 1;
+            }
+            k += m;
+        }
+        m <<= 1;
+        step >>= 1;
+    }
+}
+
+/// FFT size and wave count per input set.
+pub(crate) fn shape(set: InputSet) -> (usize, usize) {
+    match set {
+        InputSet::Small => (256, 3),
+        InputSet::Large => (1024, 6),
+    }
+}
+
+/// The synthesized input waves (LCG noise riding on square-ish tones).
+pub(crate) fn waves(set: InputSet) -> Vec<Vec<i32>> {
+    let (n, count) = shape(set);
+    let mut lcg = Lcg::new(0xff7 ^ set.seed());
+    (0..count)
+        .map(|w| {
+            let period = 4 << w;
+            (0..n)
+                .map(|i| {
+                    let tone: i32 = if (i / period) % 2 == 0 { 9000 } else { -9000 };
+                    tone + lcg.below(4001) as i32 - 2000
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Twiddle tables for `n`; forward runs use `-sin`, inverse `+sin`.
+pub(crate) fn twiddles(n: usize, inverse: bool) -> (Vec<i32>, Vec<i32>) {
+    let sin: Vec<i32> = (0..n / 2)
+        .map(|i| if inverse { isin_q14(i, n) } else { -isin_q14(i, n) })
+        .collect();
+    let cos: Vec<i32> = (0..n / 2).map(|i| icos_q14(i, n)).collect();
+    (sin, cos)
+}
+
+/// Summary reports after processing all waves: wrapping sums of both
+/// rails plus two spot values per wave.
+pub(crate) fn summarise(outputs: &[(Vec<i32>, Vec<i32>)]) -> Vec<u32> {
+    let mut reports = Vec::new();
+    let mut sum_re = 0u32;
+    let mut sum_im = 0u32;
+    for (re, im) in outputs {
+        for &v in re {
+            sum_re = sum_re.wrapping_add(v as u32);
+        }
+        for &v in im {
+            sum_im = sum_im.wrapping_add(v as u32);
+        }
+        reports.push(re[1] as u32);
+        reports.push(im[re.len() / 2] as u32);
+    }
+    reports.push(sum_re);
+    reports.push(sum_im);
+    reports
+}
+
+/// The input module layout shared by both kernels: wave data (real
+/// rail; the imaginary rail starts zeroed for `fft`, or holds the
+/// spectrum for `fft_i`), twiddle tables, and the shape words.
+pub(crate) fn data_module(
+    name: &str,
+    set: InputSet,
+    rails: &[(Vec<i32>, Vec<i32>)],
+    inverse: bool,
+) -> Module {
+    let (n, count) = shape(set);
+    let (sin, cos) = twiddles(n, inverse);
+    type Rail = (Vec<i32>, Vec<i32>);
+    let flatten = |pick: fn(&Rail) -> &Vec<i32>| -> Vec<u32> {
+        rails.iter().flat_map(|w| pick(w).iter().map(|&v| v as u32)).collect()
+    };
+    DataBuilder::new(name)
+        .word("in_n", n as u32)
+        .word("in_waves", count as u32)
+        .words("in_re", &flatten(|w| &w.0))
+        .words("in_im", &flatten(|w| &w.1))
+        .words("fft_sin", &sin.iter().map(|&v| v as u32).collect::<Vec<u32>>())
+        .words("fft_cos", &cos.iter().map(|&v| v as u32).collect::<Vec<u32>>())
+        .build()
+}
+
+fn input(set: InputSet) -> Module {
+    let (n, _) = shape(set);
+    let rails: Vec<(Vec<i32>, Vec<i32>)> =
+        waves(set).into_iter().map(|re| (re, vec![0i32; n])).collect();
+    data_module("fft-input", set, &rails, false)
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let (n, _) = shape(set);
+    let (sin, cos) = twiddles(n, false);
+    let outputs: Vec<(Vec<i32>, Vec<i32>)> = waves(set)
+        .into_iter()
+        .map(|mut re| {
+            let mut im = vec![0i32; n];
+            fft_fixed(&mut re, &mut im, &sin, &cos);
+            (re, im)
+        })
+        .collect();
+    summarise(&outputs)
+}
+
+/// `main` for the forward transform.
+const MAIN_SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, lr}
+    ldr r4, =in_n
+    ldr r4, [r4]            ; n
+    ldr r5, =in_waves
+    ldr r5, [r5]            ; wave count
+    ldr r6, =in_re
+    ldr r7, =in_im
+    mov r8, #0              ; wave index
+.Lwave:
+    cmp r8, r5
+    bhs .Lsums
+    mov r0, r6
+    mov r1, r7
+    mov r2, r4
+    bl fft_run
+    ; spot reports: re[1] and im[n/2]
+    ldr r0, [r6, #4]
+    swi #2
+    mov r0, r4, lsr #1
+    ldr r0, [r7, r0, lsl #2]
+    swi #2
+    add r6, r6, r4, lsl #2
+    add r7, r7, r4, lsl #2
+    add r8, r8, #1
+    b .Lwave
+.Lsums:
+    ldr r6, =in_re
+    ldr r7, =in_im
+    mul r5, r5, r4          ; total samples
+    mov r0, #0
+    mov r1, #0
+.Lsum_loop:
+    ldr r2, [r6], #4
+    add r0, r0, r2
+    ldr r2, [r7], #4
+    add r1, r1, r2
+    subs r5, r5, #1
+    bne .Lsum_loop
+    mov r4, r1
+    swi #2                  ; sum re
+    mov r0, r4
+    swi #2                  ; sum im
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+"#;
+
+
+/// The per-stage butterfly body (j-indexed, stack-held k/step).
+const BUTTERFLY: &str = "    ldr r2, [sp, #4]\n    mul r2, r6, r2          ; tw = j * step\n    ldr r8, [r10, r2, lsl #2]   ; c\n    ldr ip, [r9, r2, lsl #2]    ; s\n    ldr r2, [sp, #8]\n    add r3, r2, r6          ; i1\n    add r5, r3, r7          ; i2\n    str r3, [sp, #12]\n    str r5, [sp, #16]\n    ldr r2, [r0, r5, lsl #2]    ; bre\n    ldr fp, [r1, r5, lsl #2]    ; bim\n    mul r3, r2, r8\n    mul r5, fp, ip\n    sub r3, r3, r5\n    mov r3, r3, asr #14         ; tre\n    mul r5, fp, r8\n    mul fp, r2, ip\n    add r5, r5, fp\n    mov r5, r5, asr #14         ; tim\n    ldr r2, [sp, #12]\n    ldr r8, [r0, r2, lsl #2]    ; are\n    ldr ip, [r1, r2, lsl #2]    ; aim\n    add fp, r8, r3\n    mov fp, fp, asr #1\n    str fp, [r0, r2, lsl #2]\n    add fp, ip, r5\n    mov fp, fp, asr #1\n    str fp, [r1, r2, lsl #2]\n    ldr r2, [sp, #16]\n    sub fp, r8, r3\n    mov fp, fp, asr #1\n    str fp, [r0, r2, lsl #2]\n    sub fp, ip, r5\n    mov fp, fp, asr #1\n    str fp, [r1, r2, lsl #2]\n";
+
+/// Emits the FFT kernel with the stage loop peeled into one specialised
+/// copy per power-of-two size (the codelet structure real FFT libraries
+/// compile to, and a realistically multi-kilobyte hot footprint).
+/// Stages larger than the runtime `n` fall through to the end.
+pub(crate) fn core_source() -> String {
+    let mut stages = String::new();
+    for s in 1..=10usize {
+        let m = 1usize << s;
+        stages.push_str(&format!(
+            "    ldr r2, [sp]\n    cmp r2, #{m}\n    blt .Lfr_end\n    mov r2, r2, lsr #{s}\n    str r2, [sp, #4]\n    mov r4, #{m}\n    mov r7, #{half}\n    mov r2, #0\n    str r2, [sp, #8]\n.Lst{s}_k:\n    mov r6, #0\n.Lst{s}_j:\n",
+            half = m / 2
+        ));
+        stages.push_str(BUTTERFLY);
+        stages.push_str(&format!(
+            "    add r6, r6, #1\n    cmp r6, r7\n    blt .Lst{s}_j\n    ldr r2, [sp, #8]\n    add r2, r2, r4\n    str r2, [sp, #8]\n    ldr r3, [sp]\n    cmp r2, r3\n    blt .Lst{s}_k\n"
+        ));
+    }
+    CORE_SOURCE.replace("@STAGES@", &stages)
+}
+
+/// The in-place Q14 FFT kernel template, shared by forward and inverse
+/// (the direction is baked into the sign of `fft_sin`).
+const CORE_SOURCE: &str = r#"
+; fft_run(r0 = re, r1 = im, r2 = n)
+fft_run:
+    push {r4, r5, r6, r7, r8, r9, r10, fp, lr}
+    sub sp, sp, #24
+    str r2, [sp]            ; n
+    ; ---- bit reversal ----
+    ; bits = log2(n)
+    mov r3, #0
+    mov r4, r2
+.Lfr_bits:
+    movs r4, r4, lsr #1
+    beq .Lfr_bits_done
+    add r3, r3, #1
+    b .Lfr_bits
+.Lfr_bits_done:
+    mov r4, #0              ; i
+.Lbr_outer:
+    mov r5, #0              ; j = rev(i)
+    mov r6, r4
+    mov r7, r3
+.Lbr_inner:
+    cmp r7, #0
+    beq .Lbr_check
+    mov r5, r5, lsl #1
+    tst r6, #1
+    orrne r5, r5, #1
+    mov r6, r6, lsr #1
+    sub r7, r7, #1
+    b .Lbr_inner
+.Lbr_check:
+    cmp r4, r5
+    bge .Lbr_next
+    ldr r6, [r0, r4, lsl #2]
+    ldr r7, [r0, r5, lsl #2]
+    str r7, [r0, r4, lsl #2]
+    str r6, [r0, r5, lsl #2]
+    ldr r6, [r1, r4, lsl #2]
+    ldr r7, [r1, r5, lsl #2]
+    str r7, [r1, r4, lsl #2]
+    str r6, [r1, r5, lsl #2]
+.Lbr_next:
+    add r4, r4, #1
+    cmp r4, r2
+    blt .Lbr_outer
+    ; ---- stages (peeled per power of two, like FFT codelets) ----
+    ldr r9, =fft_sin
+    ldr r10, =fft_cos
+@STAGES@
+.Lfr_end:
+    add sp, sp, #24
+    pop {r4, r5, r6, r7, r8, r9, r10, fp, pc}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isin_endpoints_and_symmetry() {
+        let n = 1024;
+        assert_eq!(isin_q14(0, n), 0);
+        // sin(π/2) = 1.0 → 16384 (Bhaskara hits the peak exactly).
+        assert!((isin_q14(n / 4, n) - 16384).abs() <= 16);
+        assert_eq!(isin_q14(n / 2, n), 0);
+        assert!((isin_q14(3 * n / 4, n) + 16384).abs() <= 16);
+        // Odd symmetry.
+        for i in 1..n / 2 {
+            assert_eq!(isin_q14(i, n), -isin_q14(n - i, n), "i={i}");
+        }
+        // Accuracy band vs libm (loose — Bhaskara is ~0.2% off).
+        for i in (0..n).step_by(37) {
+            let exact = (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin() * 16384.0;
+            assert!(
+                (f64::from(isin_q14(i, n)) - exact).abs() < 64.0,
+                "i={i}: {} vs {exact}",
+                isin_q14(i, n)
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_flat() {
+        // FFT of a delta: every output bin equals delta/n (with the
+        // per-stage scaling, exactly amplitude >> log2 n).
+        let n = 64;
+        let (sin, cos) = twiddles(n, false);
+        let mut re = vec![0i32; n];
+        let mut im = vec![0i32; n];
+        re[0] = 16384;
+        fft_fixed(&mut re, &mut im, &sin, &cos);
+        for (i, &v) in re.iter().enumerate() {
+            assert_eq!(v, 16384 >> 6, "bin {i}");
+        }
+        assert!(im.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_signal() {
+        let n = 256;
+        let (fs, fc) = twiddles(n, false);
+        let (is_, ic) = twiddles(n, true);
+        let original: Vec<i32> = (0..n).map(|i| isin_q14(i * 3 % n, n)).collect();
+        let mut re = original.clone();
+        let mut im = vec![0i32; n];
+        fft_fixed(&mut re, &mut im, &fs, &fc);
+        fft_fixed(&mut re, &mut im, &is_, &ic);
+        // Round trip scales by 1/n twice... no: each pass scales 1/n,
+        // so the result is original / n — check correlation instead.
+        let err: i64 = original
+            .iter()
+            .zip(&re)
+            .map(|(&a, &b)| i64::from(a / n as i32 - b).abs())
+            .sum();
+        assert!(err / n as i64 <= 2, "avg err {}", err / n as i64);
+    }
+}

@@ -1,0 +1,130 @@
+//! `fft_i` — inverse fixed-point FFT (MiBench telecomm/FFT inverse
+//! mode).
+//!
+//! The input rails hold the *spectra* of the `fft` waves (computed by
+//! the reference forward transform); the guest runs the same kernel
+//! with the positive-sine twiddle tables, reconstructing the signals.
+
+use crate::gen::InputSet;
+use crate::kernels::fft::{
+    core_source, data_module, fft_fixed, shape, summarise, twiddles, waves,
+};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "fft_i",
+        source: || format!("{MAIN_SOURCE}\n{}", core_source()),
+        cold_instructions: 6400,
+        input,
+        reference,
+    }
+}
+
+/// The spectra the guest receives.
+fn spectra(set: InputSet) -> Vec<(Vec<i32>, Vec<i32>)> {
+    let (n, _) = shape(set);
+    let (sin, cos) = twiddles(n, false);
+    waves(set)
+        .into_iter()
+        .map(|mut re| {
+            let mut im = vec![0i32; n];
+            fft_fixed(&mut re, &mut im, &sin, &cos);
+            (re, im)
+        })
+        .collect()
+}
+
+fn input(set: InputSet) -> Module {
+    data_module("fft-i-input", set, &spectra(set), true)
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let (n, _) = shape(set);
+    let (sin, cos) = twiddles(n, true);
+    let outputs: Vec<(Vec<i32>, Vec<i32>)> = spectra(set)
+        .into_iter()
+        .map(|(mut re, mut im)| {
+            fft_fixed(&mut re, &mut im, &sin, &cos);
+            (re, im)
+        })
+        .collect();
+    summarise(&outputs)
+}
+
+/// Identical driver to `fft`'s — the direction lives in the tables.
+const MAIN_SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, lr}
+    ldr r4, =in_n
+    ldr r4, [r4]
+    ldr r5, =in_waves
+    ldr r5, [r5]
+    ldr r6, =in_re
+    ldr r7, =in_im
+    mov r8, #0
+.Lwave:
+    cmp r8, r5
+    bhs .Lsums
+    mov r0, r6
+    mov r1, r7
+    mov r2, r4
+    bl fft_run
+    ldr r0, [r6, #4]
+    swi #2
+    mov r0, r4, lsr #1
+    ldr r0, [r7, r0, lsl #2]
+    swi #2
+    add r6, r6, r4, lsl #2
+    add r7, r7, r4, lsl #2
+    add r8, r8, #1
+    b .Lwave
+.Lsums:
+    ldr r6, =in_re
+    ldr r7, =in_im
+    mul r5, r5, r4
+    mov r0, #0
+    mov r1, #0
+.Lsum_loop:
+    ldr r2, [r6], #4
+    add r0, r0, r2
+    ldr r2, [r7], #4
+    add r1, r1, r2
+    subs r5, r5, #1
+    bne .Lsum_loop
+    mov r4, r1
+    swi #2
+    mov r0, r4
+    swi #2
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_reconstructs_waveform_shape() {
+        // The inverse of the forward spectrum tracks the original wave
+        // (scaled by 1/n from each pass's per-stage halving).
+        let set = InputSet::Small;
+        let (n, _) = shape(set);
+        let original = &waves(set)[0];
+        let (sin, cos) = twiddles(n, true);
+        let (mut re, mut im) = spectra(set).swap_remove(0);
+        fft_fixed(&mut re, &mut im, &sin, &cos);
+        let err: i64 = original
+            .iter()
+            .zip(&re)
+            .map(|(&a, &b)| i64::from(a / n as i32 - b).abs())
+            .sum();
+        assert!(err / n as i64 <= 3, "avg err {}", err / n as i64);
+    }
+}

@@ -1,0 +1,79 @@
+//! Shared image generation for the vision/consumer benchmarks.
+
+use crate::gen::{InputSet, Lcg};
+
+/// A grayscale image with smooth structure (random soft blobs over a
+/// gradient), so edge/corner detectors and dithering see realistic
+/// spatial correlation rather than white noise.
+pub(crate) fn gray_image(set: InputSet, seed: u64, width: usize, height: usize) -> Vec<u8> {
+    let mut lcg = Lcg::new(seed ^ set.seed());
+    let mut image = vec![0i32; width * height];
+    // Base gradient.
+    for y in 0..height {
+        for x in 0..width {
+            image[y * width + x] = (x * 160 / width + y * 60 / height) as i32;
+        }
+    }
+    // Soft blobs.
+    let blobs = 8 + lcg.below(8) as usize;
+    for _ in 0..blobs {
+        let cx = lcg.below(width as u32) as i32;
+        let cy = lcg.below(height as u32) as i32;
+        let radius = 3 + lcg.below(width as u32 / 4) as i32;
+        let amp = lcg.below(160) as i32 - 80;
+        for y in 0..height as i32 {
+            for x in 0..width as i32 {
+                let d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+                if d2 < radius * radius {
+                    image[(y * width as i32 + x) as usize] +=
+                        amp * (radius * radius - d2) / (radius * radius);
+                }
+            }
+        }
+    }
+    // A little sensor noise.
+    image
+        .into_iter()
+        .map(|v| (v + lcg.below(9) as i32 - 4).clamp(0, 255) as u8)
+        .collect()
+}
+
+/// An RGB image (3 bytes per pixel) built from three offset gray fields.
+pub(crate) fn rgb_image(set: InputSet, seed: u64, width: usize, height: usize) -> Vec<u8> {
+    let r = gray_image(set, seed ^ 0x0072, width, height);
+    let g = gray_image(set, seed ^ 0x6700, width, height);
+    let b = gray_image(set, seed ^ 0xb000, width, height);
+    let mut rgb = Vec::with_capacity(width * height * 3);
+    for i in 0..width * height {
+        rgb.push(r[i]);
+        rgb.push(g[i]);
+        rgb.push(b[i]);
+    }
+    rgb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_deterministic_and_plausible() {
+        let a = gray_image(InputSet::Small, 1, 32, 32);
+        let b = gray_image(InputSet::Small, 1, 32, 32);
+        assert_eq!(a, b);
+        let c = gray_image(InputSet::Large, 1, 32, 32);
+        assert_ne!(a, c);
+        // Spatial correlation: neighbours are usually close.
+        let close = a
+            .windows(2)
+            .filter(|w| (i32::from(w[0]) - i32::from(w[1])).abs() < 32)
+            .count();
+        assert!(close * 10 > a.len() * 8, "too noisy: {close}/{}", a.len());
+    }
+
+    #[test]
+    fn rgb_interleaves() {
+        let rgb = rgb_image(InputSet::Small, 2, 8, 8);
+        assert_eq!(rgb.len(), 8 * 8 * 3);
+    }
+}

@@ -1,0 +1,276 @@
+//! `ispell` — dictionary spell checking (MiBench office/ispell).
+//!
+//! Builds an open-addressing hash set from a dictionary of words
+//! (djb2 hash, linear probing), then streams a text and counts words
+//! missing from the dictionary — hashing, string compares and
+//! data-dependent probing, the original's hot mix.
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "ispell",
+        // Emit the table size from the same constant the reference uses.
+        source: || SOURCE.replace("@SLOTS@", &TABLE_SLOTS.to_string()),
+        cold_instructions: 6000,
+        input,
+        reference,
+    }
+}
+
+/// Hash-table slots (power of two, fixed for both input sets so the
+/// guest needs no runtime sizing).
+const TABLE_SLOTS: usize = 8192;
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+    .equ TABLE_SLOTS, @SLOTS@
+
+main:
+    push {r4, r5, r6, r7, lr}
+    bl dict_build
+    ; stream the text, counting misses
+    ldr r4, =in_text
+    mov r5, #0              ; misses
+    mov r6, #0              ; words
+.Lword:
+    ldrb r0, [r4]
+    cmp r0, #0
+    beq .Lreport
+    mov r0, r4
+    bl dict_lookup          ; r0 = 1 hit / 0 miss, r1 = next word ptr
+    cmp r0, #0
+    addeq r5, r5, #1
+    add r6, r6, #1
+    mov r4, r1
+    b .Lword
+.Lreport:
+    mov r0, r5
+    swi #2                  ; misses
+    mov r0, r6
+    swi #2                  ; total words
+    mov r0, #0
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+
+; djb2 over a newline/nul-terminated word.
+; hash_word(r0 = ptr) -> r0 = hash, r1 = ptr past the terminator (or at
+; the nul).
+hash_word:
+    ldr r2, =5381
+    mov r1, r0
+.Lhw_loop:
+    ldrb r3, [r1]
+    cmp r3, #0
+    beq .Lhw_done
+    cmp r3, #'\n'
+    beq .Lhw_nl
+    add r2, r2, r2, lsl #5  ; h *= 33
+    add r2, r2, r3          ; h += c
+    add r1, r1, #1
+    b .Lhw_loop
+.Lhw_nl:
+    add r1, r1, #1
+.Lhw_done:
+    mov r0, r2
+    bx lr
+
+; word_eq(r0 = word in stream, r1 = dictionary word): both terminated
+; by '\n' or nul. -> r0 = 1 if equal.
+word_eq:
+.Lwe_loop:
+    ldrb r2, [r0], #1
+    ldrb r3, [r1], #1
+    cmp r2, #'\n'
+    moveq r2, #0
+    cmp r3, #'\n'
+    moveq r3, #0
+    cmp r2, r3
+    movne r0, #0
+    bxne lr
+    cmp r2, #0
+    beq .Lwe_yes
+    b .Lwe_loop
+.Lwe_yes:
+    mov r0, #1
+    bx lr
+
+; Insert every dictionary word into the probe table.
+dict_build:
+    push {r4, r5, r6, r7, lr}
+    ldr r4, =in_dict
+.Ldb_word:
+    ldrb r0, [r4]
+    cmp r0, #0
+    beq .Ldb_done
+    mov r0, r4
+    bl hash_word
+    mov r5, r1              ; next word
+    ldr r1, =TABLE_SLOTS-1
+    and r0, r0, r1          ; slot
+    ldr r6, =hash_table
+.Ldb_probe:
+    ldr r2, [r6, r0, lsl #2]
+    cmp r2, #0
+    beq .Ldb_store
+    add r0, r0, #1
+    ldr r1, =TABLE_SLOTS-1
+    and r0, r0, r1
+    b .Ldb_probe
+.Ldb_store:
+    str r4, [r6, r0, lsl #2]
+    mov r4, r5
+    b .Ldb_word
+.Ldb_done:
+    pop {r4, r5, r6, r7, pc}
+
+; dict_lookup(r0 = word ptr) -> r0 = found, r1 = next word ptr.
+dict_lookup:
+    push {r4, r5, r6, r7, lr}
+    mov r7, r0
+    bl hash_word
+    mov r5, r1              ; next word
+    ldr r1, =TABLE_SLOTS-1
+    and r4, r0, r1          ; slot
+    ldr r6, =hash_table
+.Ldl_probe:
+    ldr r2, [r6, r4, lsl #2]
+    cmp r2, #0
+    beq .Ldl_miss
+    mov r0, r7
+    mov r1, r2
+    bl word_eq
+    cmp r0, #0
+    bne .Ldl_hit
+    add r4, r4, #1
+    ldr r1, =TABLE_SLOTS-1
+    and r4, r4, r1
+    b .Ldl_probe
+.Ldl_miss:
+    mov r0, #0
+    mov r1, r5
+    pop {r4, r5, r6, r7, pc}
+.Ldl_hit:
+    mov r0, #1
+    mov r1, r5
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+
+    .bss
+hash_table:
+    .space 32768
+"#;
+
+/// Deterministic lowercase word, 3..=9 letters.
+fn make_word(lcg: &mut Lcg) -> String {
+    let len = 3 + lcg.below(7) as usize;
+    (0..len).map(|_| char::from(b'a' + lcg.below(26) as u8)).collect()
+}
+
+/// The dictionary (unique words).
+fn dictionary(set: InputSet) -> Vec<String> {
+    let mut lcg = Lcg::new(0x15be11 ^ set.seed());
+    let count = match set {
+        InputSet::Small => 400,
+        InputSet::Large => 1500,
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut words = Vec::with_capacity(count);
+    while words.len() < count {
+        let word = make_word(&mut lcg);
+        if seen.insert(word.clone()) {
+            words.push(word);
+        }
+    }
+    words
+}
+
+/// The text: dictionary words with a sprinkling of typos.
+fn text(set: InputSet) -> Vec<String> {
+    let mut lcg = Lcg::new(0x7e87 ^ set.seed());
+    let dict = dictionary(set);
+    let count = match set {
+        InputSet::Small => 2_500,
+        InputSet::Large => 16_000,
+    };
+    (0..count)
+        .map(|_| {
+            let word = dict[lcg.below(dict.len() as u32) as usize].clone();
+            if lcg.below(5) == 0 {
+                // A typo: mutate one letter.
+                let mut bytes = word.into_bytes();
+                let pos = lcg.below(bytes.len() as u32) as usize;
+                bytes[pos] = b'a' + (bytes[pos] - b'a' + 1 + lcg.below(24) as u8) % 26;
+                String::from_utf8(bytes).expect("ascii")
+            } else {
+                word
+            }
+        })
+        .collect()
+}
+
+fn joined(words: &[String]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for word in words {
+        bytes.extend_from_slice(word.as_bytes());
+        bytes.push(b'\n');
+    }
+    bytes.push(0);
+    bytes
+}
+
+fn input(set: InputSet) -> Module {
+    DataBuilder::new("ispell-input")
+        .bytes("in_dict", &joined(&dictionary(set)))
+        .bytes("in_text", &joined(&text(set)))
+        .build()
+}
+
+/// The guest's hash, mirrored for documentation/testing (the checksum
+/// only needs set semantics, but the hash must stay self-consistent).
+#[cfg(test)]
+fn djb2(word: &str) -> u32 {
+    word.bytes().fold(5381u32, |h, c| {
+        h.wrapping_shl(5).wrapping_add(h).wrapping_add(u32::from(c))
+    })
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    // The guest's probing always terminates with the same hit/miss
+    // answer as a set lookup: equal words hash equally (found before
+    // any empty slot on the probe path), and absent words hit an empty
+    // slot. So the reference only needs set semantics.
+    let dict: std::collections::HashSet<String> = dictionary(set).into_iter().collect();
+    let text = text(set);
+    let misses = text.iter().filter(|w| !dict.contains(*w)).count() as u32;
+    vec![misses, text.len() as u32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn djb2_reference_values() {
+        assert_eq!(djb2(""), 5381);
+        // djb2("a") = 5381*33 + 97
+        assert_eq!(djb2("a"), 5381 * 33 + 97);
+    }
+
+    #[test]
+    fn typo_rate_is_about_a_fifth() {
+        let reports = reference(InputSet::Small);
+        let rate = f64::from(reports[0]) / f64::from(reports[1]);
+        assert!((0.12..0.28).contains(&rate), "miss rate {rate}");
+    }
+
+    #[test]
+    fn table_is_roomy_enough() {
+        assert!(dictionary(InputSet::Large).len() * 2 < TABLE_SLOTS);
+    }
+}

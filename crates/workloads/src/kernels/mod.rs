@@ -1,0 +1,60 @@
+//! The benchmark kernels, one module per MiBench-equivalent program.
+//!
+//! Every kernel provides:
+//!
+//! * an assembly source with `;;cold;;` markers where synthetic cold
+//!   library code is spliced (matching the interleaved layout a real
+//!   linker produces);
+//! * an input generator building the `small` and `large` data modules;
+//! * a host-side **reference implementation**, bit-identical to the
+//!   guest code, whose `report` sequence predicts the architectural
+//!   checksum — the workload validation tests compare the two on every
+//!   cache configuration.
+
+pub(crate) mod adpcm;
+pub(crate) mod bitcount;
+pub(crate) mod blowfish;
+pub(crate) mod blowfish_d;
+pub(crate) mod blowfish_e;
+pub(crate) mod cjpeg;
+pub(crate) mod crc;
+pub(crate) mod djpeg;
+pub(crate) mod dct;
+pub(crate) mod fft;
+pub(crate) mod fft_i;
+pub(crate) mod image;
+pub(crate) mod ispell;
+pub(crate) mod patricia;
+pub(crate) mod rawcaudio;
+pub(crate) mod rijndael;
+pub(crate) mod rsynth;
+pub(crate) mod tiff2bw;
+pub(crate) mod tiff2rgba;
+pub(crate) mod tiffdither;
+pub(crate) mod tiffmedian;
+pub(crate) mod rijndael_d;
+pub(crate) mod rijndael_e;
+pub(crate) mod rawdaudio;
+pub(crate) mod sha;
+pub(crate) mod susan;
+pub(crate) mod susan_c;
+pub(crate) mod susan_e;
+pub(crate) mod susan_s;
+
+use crate::gen::InputSet;
+use wp_isa::Module;
+
+/// Registration record of one kernel.
+pub(crate) struct KernelSpec {
+    /// Benchmark name (matching the paper's figure 4 labels).
+    pub name: &'static str,
+    /// Assembly source with `;;cold;;` markers (generated, so tables
+    /// can be emitted from the same constants the references use).
+    pub source: fn() -> String,
+    /// Synthetic cold-code bulk to splice in, in instructions.
+    pub cold_instructions: usize,
+    /// Input data module generator.
+    pub input: fn(InputSet) -> Module,
+    /// Reference `report` sequence.
+    pub reference: fn(InputSet) -> Vec<u32>,
+}

@@ -1,0 +1,339 @@
+//! `patricia` — Patricia trie routing-table lookups (MiBench
+//! network/patricia).
+//!
+//! Sedgewick's classic Patricia trie over 32-bit keys (IPv4-style
+//! addresses): one node per key, bit-indexed from the MSB, with
+//! upward-pointing links terminating the search. The workload inserts
+//! a route set, then streams lookups (half hits, half misses) —
+//! pointer chasing with data-dependent branches, exactly the behaviour
+//! the original stresses.
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "patricia",
+        source: || SOURCE.to_string(),
+        cold_instructions: 6800,
+        input,
+        reference,
+    }
+}
+
+// Node layout (16 bytes): +0 key, +4 bit index, +8 left, +12 right.
+// Links are raw node addresses; the head node has bit = -1 and its
+// left link initially points at itself.
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, lr}
+    bl pat_init
+    ; insert phase
+    ldr r4, =in_routes
+    ldr r5, =in_route_count
+    ldr r5, [r5]
+.Lins:
+    cmp r5, #0
+    beq .Llookups
+    ldr r0, [r4], #4
+    bl pat_insert
+    sub r5, r5, #1
+    b .Lins
+.Llookups:
+    ldr r4, =in_queries
+    ldr r5, =in_query_count
+    ldr r5, [r5]
+    mov r6, #0              ; hit count
+.Llkp:
+    cmp r5, #0
+    beq .Lreport
+    ldr r0, [r4], #4
+    bl pat_lookup
+    add r6, r6, r0
+    sub r5, r5, #1
+    b .Llkp
+.Lreport:
+    mov r0, r6
+    swi #2                  ; hits
+    ldr r0, =pat_count
+    ldr r0, [r0]
+    swi #2                  ; node count
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+
+; Initialise the head node and the bump allocator.
+pat_init:
+    ldr r0, =pat_pool
+    mov r1, #0
+    str r1, [r0]            ; head.key = 0
+    mvn r1, #0
+    str r1, [r0, #4]        ; head.bit = -1
+    str r0, [r0, #8]        ; head.left = head
+    str r0, [r0, #12]       ; head.right = head (unused)
+    ldr r1, =pat_next
+    add r2, r0, #16
+    str r2, [r1]
+    ldr r1, =pat_count
+    mov r2, #0
+    str r2, [r1]
+    bx lr
+
+; pat_search(r0 = key) -> r0 = candidate node address.
+; Descends while the child's bit index increases.
+pat_search:
+    push {r4, r5, lr}
+    ldr r1, =pat_pool       ; p = head
+    ldr r2, [r1, #8]        ; x = head.left
+.Lps_loop:
+    ldr r3, [r2, #4]        ; x.bit
+    ldr ip, [r1, #4]        ; p.bit
+    cmp r3, ip
+    ble .Lps_done
+    mov r1, r2
+    ldr ip, [r2, #4]        ; bit index
+    movs r4, r0, lsl ip     ; N flag = key bit (MSB-first)
+    ldrpl r2, [r2, #8]      ; clear -> left
+    ldrmi r2, [r2, #12]     ; set -> right
+    b .Lps_loop
+.Lps_done:
+    mov r0, r2
+    pop {r4, r5, pc}
+
+; pat_lookup(r0 = key) -> r0 = 1 if present.
+pat_lookup:
+    push {r4, lr}
+    mov r4, r0
+    bl pat_search
+    ldr r0, [r0]            ; candidate key
+    cmp r0, r4
+    moveq r0, #1
+    movne r0, #0
+    pop {r4, pc}
+
+; pat_insert(r0 = key): inserts if absent.
+pat_insert:
+    push {r4, r5, r6, r7, r8, lr}
+    mov r4, r0              ; key
+    bl pat_search
+    ldr r1, [r0]            ; found key
+    cmp r1, r4
+    beq .Lpi_done           ; duplicate
+    ; first differing bit (MSB-first index)
+    eor r5, r1, r4
+    mov r6, #0              ; i
+.Lpi_bit:
+    movs r2, r5, lsl r6
+    bmi .Lpi_found
+    add r6, r6, #1
+    b .Lpi_bit
+.Lpi_found:
+    ; walk again, stopping before bit i
+    ldr r7, =pat_pool       ; p = head
+    ldr r2, [r7, #8]        ; t = head.left
+.Lpi_walk:
+    ldr r3, [r2, #4]        ; t.bit
+    ldr ip, [r7, #4]        ; p.bit
+    cmp r3, ip
+    ble .Lpi_attach
+    cmp r3, r6
+    bge .Lpi_attach
+    mov r7, r2
+    ldr ip, [r2, #4]
+    movs r5, r4, lsl ip
+    ldrpl r2, [r2, #8]
+    ldrmi r2, [r2, #12]
+    b .Lpi_walk
+.Lpi_attach:
+    ; allocate the new node
+    ldr r3, =pat_next
+    ldr r8, [r3]
+    add r5, r8, #16
+    str r5, [r3]
+    ldr r3, =pat_count
+    ldr r5, [r3]
+    add r5, r5, #1
+    str r5, [r3]
+    str r4, [r8]            ; key
+    str r6, [r8, #4]        ; bit = i
+    ; children: the key's bit-i side points back at the new node
+    movs r5, r4, lsl r6
+    strmi r2, [r8, #8]      ; left = t
+    strmi r8, [r8, #12]     ; right = self
+    strpl r8, [r8, #8]      ; left = self
+    strpl r2, [r8, #12]     ; right = t
+    ; attach to the parent on the side the walk would take
+    ldr ip, [r7, #4]        ; p.bit
+    cmp ip, #0
+    blt .Lpi_head
+    movs r5, r4, lsl ip
+    strpl r8, [r7, #8]
+    strmi r8, [r7, #12]
+    b .Lpi_done
+.Lpi_head:
+    str r8, [r7, #8]        ; p == head: always the left link
+.Lpi_done:
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+
+    .bss
+pat_next:
+    .space 4
+pat_count:
+    .space 4
+pat_pool:
+    .space 131072
+"#;
+
+/// The route set to insert (unique, non-zero keys).
+fn routes(set: InputSet) -> Vec<u32> {
+    let mut lcg = Lcg::new(0x9a7 ^ set.seed());
+    let count = match set {
+        InputSet::Small => 700,
+        InputSet::Large => 5000,
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut routes = Vec::with_capacity(count);
+    while routes.len() < count {
+        // Cluster keys like CIDR blocks: a prefix plus low bits.
+        let prefix = lcg.below(64) << 24;
+        let key = prefix | lcg.next_u32() & 0x00ff_ffff;
+        if key != 0 && seen.insert(key) {
+            routes.push(key);
+        }
+    }
+    routes
+}
+
+/// The query stream: alternating present and (mostly) absent keys.
+fn queries(set: InputSet) -> Vec<u32> {
+    let mut lcg = Lcg::new(0x9a7_caff ^ set.seed());
+    let routes = routes(set);
+    let count = match set {
+        InputSet::Small => 4_000,
+        InputSet::Large => 26_000,
+    };
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                routes[lcg.below(routes.len() as u32) as usize]
+            } else {
+                lcg.next_u32() | 1
+            }
+        })
+        .collect()
+}
+
+fn input(set: InputSet) -> Module {
+    let routes = routes(set);
+    let queries = queries(set);
+    DataBuilder::new("patricia-input")
+        .word("in_route_count", routes.len() as u32)
+        .word("in_query_count", queries.len() as u32)
+        .words("in_routes", &routes)
+        .words("in_queries", &queries)
+        .build()
+}
+
+/// Host-side Patricia trie, mirroring the guest structure.
+struct Pat {
+    // (key, bit, left, right); index 0 is the head.
+    nodes: Vec<(u32, i32, usize, usize)>,
+}
+
+impl Pat {
+    fn new() -> Pat {
+        Pat { nodes: vec![(0, -1, 0, 0)] }
+    }
+
+    fn bit(key: u32, i: i32) -> bool {
+        key << i & 0x8000_0000 != 0
+    }
+
+    fn search(&self, key: u32) -> usize {
+        let mut p = 0;
+        let mut x = self.nodes[0].2;
+        while self.nodes[x].1 > self.nodes[p].1 {
+            p = x;
+            let b = self.nodes[x].1;
+            x = if Pat::bit(key, b) { self.nodes[x].3 } else { self.nodes[x].2 };
+        }
+        x
+    }
+
+    fn lookup(&self, key: u32) -> bool {
+        self.nodes[self.search(key)].0 == key
+    }
+
+    fn insert(&mut self, key: u32) {
+        let found = self.nodes[self.search(key)].0;
+        if found == key {
+            return;
+        }
+        let diff = found ^ key;
+        let i = diff.leading_zeros() as i32;
+        let mut p = 0;
+        let mut t = self.nodes[0].2;
+        while self.nodes[t].1 > self.nodes[p].1 && self.nodes[t].1 < i {
+            p = t;
+            let b = self.nodes[t].1;
+            t = if Pat::bit(key, b) { self.nodes[t].3 } else { self.nodes[t].2 };
+        }
+        let new = self.nodes.len();
+        let (left, right) = if Pat::bit(key, i) { (t, new) } else { (new, t) };
+        self.nodes.push((key, i, left, right));
+        let pbit = self.nodes[p].1;
+        if pbit < 0 {
+            self.nodes[p].2 = new;
+        } else if Pat::bit(key, pbit) {
+            self.nodes[p].3 = new;
+        } else {
+            self.nodes[p].2 = new;
+        }
+    }
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let mut pat = Pat::new();
+    for key in routes(set) {
+        pat.insert(key);
+    }
+    let hits = queries(set).iter().filter(|&&q| pat.lookup(q)).count() as u32;
+    vec![hits, pat.nodes.len() as u32 - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trie_finds_inserted_keys() {
+        let mut pat = Pat::new();
+        let keys = [0x8000_0001u32, 0x8000_0002, 0x4000_0000, 0xdead_beef, 3];
+        for &k in &keys {
+            pat.insert(k);
+        }
+        for &k in &keys {
+            assert!(pat.lookup(k), "{k:#x}");
+        }
+        assert!(!pat.lookup(0x1234_5678));
+        assert_eq!(pat.nodes.len() - 1, keys.len());
+        // Duplicate insert is a no-op.
+        pat.insert(3);
+        assert_eq!(pat.nodes.len() - 1, keys.len());
+    }
+
+    #[test]
+    fn reference_hits_at_least_half() {
+        let reports = reference(InputSet::Small);
+        let total = queries(InputSet::Small).len() as u32;
+        assert!(reports[0] >= total / 2, "{} of {total}", reports[0]);
+        assert_eq!(reports[1], routes(InputSet::Small).len() as u32);
+    }
+}

@@ -1,0 +1,124 @@
+//! `rawcaudio` — IMA ADPCM speech encoding (MiBench telecomm/adpcm).
+//!
+//! Encodes 16-bit PCM to 4-bit codes. The coder state (predictor,
+//! step index, current step) lives in memory and is updated by an
+//! `enc_sample` helper, mirroring the original's function structure.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::adpcm::{self, State};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "rawcaudio",
+        source: || {
+            // Four compiler-inlined coder steps per iteration: the hot
+            // footprint of an unrolled embedded encoder.
+            let body = SOURCE
+                .replace("@BODY_A@", &adpcm::enc_body("a"))
+                .replace("@BODY_B@", &adpcm::enc_body("b"))
+                .replace("@BODY_C@", &adpcm::enc_body("c"))
+                .replace("@BODY_D@", &adpcm::enc_body("d"));
+            format!("{body}\n{}", adpcm::tables_asm())
+        },
+        cold_instructions: 6000,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, lr}
+    bl adp_init
+    ldr r4, =in_data        ; PCM samples (halfwords)
+    ldr r5, =in_len         ; sample count (even)
+    ldr r5, [r5]
+    ldr r6, =out_data
+    mov r7, #0              ; sum of output bytes
+.Lenc:
+    cmp r5, #0
+    beq .Ldone
+    ldrsh r0, [r4], #2
+@BODY_A@
+    mov r8, r3, lsl #4
+    ldrsh r0, [r4], #2
+@BODY_B@
+    and r3, r3, #15
+    orr r3, r3, r8
+    strb r3, [r6], #1
+    add r7, r7, r3
+    ldrsh r0, [r4], #2
+@BODY_C@
+    mov r8, r3, lsl #4
+    ldrsh r0, [r4], #2
+@BODY_D@
+    and r3, r3, #15
+    orr r3, r3, r8
+    strb r3, [r6], #1
+    add r7, r7, r3
+    sub r5, r5, #4
+    b .Lenc
+.Ldone:
+    mov r0, r7
+    swi #2                  ; sum of code bytes
+    ldr r4, =adp_state
+    ldr r0, [r4]
+    swi #2                  ; final predictor
+    ldr r0, [r4, #4]
+    swi #2                  ; final index
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+
+adp_init:
+    ldr r0, =adp_state
+    mov r1, #0
+    str r1, [r0]            ; valpred = 0
+    str r1, [r0, #4]        ; index = 0
+    ldr r2, =step_sizes
+    ldr r2, [r2]
+    str r2, [r0, #8]        ; step = step_sizes[0]
+    bx lr
+
+;;cold;;
+
+    .bss
+adp_state:
+    .space 12
+out_data:
+    .space 32768
+"#;
+
+fn input(set: InputSet) -> Module {
+    let samples = adpcm::pcm(set, 0xa0d10);
+    DataBuilder::new("rawcaudio-input")
+        .word("in_len", samples.len() as u32)
+        .halves("in_data", &samples)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let samples = adpcm::pcm(set, 0xa0d10);
+    let mut state = State::default();
+    let codes = adpcm::encode(&samples, &mut state);
+    let sum: u32 = codes.iter().fold(0u32, |acc, &b| acc.wrapping_add(u32::from(b)));
+    vec![sum, state.valpred as u32, state.index as u32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_shape() {
+        let reports = reference(InputSet::Small);
+        assert_eq!(reports.len(), 3);
+        assert!(reports[2] <= 88, "index clamp");
+    }
+}

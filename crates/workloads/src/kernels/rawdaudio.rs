@@ -1,0 +1,124 @@
+//! `rawdaudio` — IMA ADPCM speech decoding (MiBench telecomm/adpcm).
+//!
+//! Decodes the 4-bit stream produced by the reference encoder back to
+//! PCM, reporting a wrapping sample sum and the final coder state.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::adpcm::{self, State};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "rawdaudio",
+        source: || {
+            let body = SOURCE
+                .replace("@BODY_A@", &adpcm::dec_body("a"))
+                .replace("@BODY_B@", &adpcm::dec_body("b"))
+                .replace("@BODY_C@", &adpcm::dec_body("c"))
+                .replace("@BODY_D@", &adpcm::dec_body("d"));
+            format!("{body}\n{}", adpcm::tables_asm())
+        },
+        cold_instructions: 6000,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, lr}
+    bl adp_init
+    ldr r4, =in_data        ; packed code bytes
+    ldr r5, =in_len         ; sample count (even)
+    ldr r5, [r5]
+    mov r7, #0              ; wrapping sample sum
+.Ldec:
+    cmp r5, #0
+    beq .Ldone
+    ldrb r8, [r4], #1
+    mov r0, r8, lsr #4
+@BODY_A@
+    add r7, r7, r0
+    and r0, r8, #15
+@BODY_B@
+    add r7, r7, r0
+    ldrb r8, [r4], #1
+    mov r0, r8, lsr #4
+@BODY_C@
+    add r7, r7, r0
+    and r0, r8, #15
+@BODY_D@
+    add r7, r7, r0
+    sub r5, r5, #4
+    b .Ldec
+.Ldone:
+    mov r0, r7
+    swi #2                  ; sample sum
+    ldr r4, =adp_state
+    ldr r0, [r4]
+    swi #2                  ; final predictor
+    ldr r0, [r4, #4]
+    swi #2                  ; final index
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+
+adp_init:
+    ldr r0, =adp_state
+    mov r1, #0
+    str r1, [r0]
+    str r1, [r0, #4]
+    ldr r2, =step_sizes
+    ldr r2, [r2]
+    str r2, [r0, #8]
+    bx lr
+
+;;cold;;
+
+    .bss
+adp_state:
+    .space 12
+"#;
+
+fn codes(set: InputSet) -> (Vec<u8>, usize) {
+    // Same PCM stream as rawcaudio, pre-encoded by the reference coder
+    // (the paper feeds rawdaudio the adpcm-compressed audio file).
+    let samples = adpcm::pcm(set, 0xa0d10);
+    let mut state = State::default();
+    (adpcm::encode(&samples, &mut state), samples.len())
+}
+
+fn input(set: InputSet) -> Module {
+    let (bytes, count) = codes(set);
+    DataBuilder::new("rawdaudio-input")
+        .word("in_len", count as u32)
+        .bytes("in_data", &bytes)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let (bytes, count) = codes(set);
+    let mut state = State::default();
+    let samples = adpcm::decode(&bytes, count, &mut state);
+    let sum = samples
+        .iter()
+        .fold(0u32, |acc, &s| acc.wrapping_add(i32::from(s) as u32));
+    vec![sum, state.valpred as u32, state.index as u32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_shape() {
+        let reports = reference(InputSet::Small);
+        assert_eq!(reports.len(), 3);
+        assert!(reports[2] <= 88);
+    }
+}

@@ -1,0 +1,495 @@
+//! Shared AES-128 (Rijndael) machinery for `rijndael_e` / `rijndael_d`
+//! (MiBench security/rijndael).
+//!
+//! A byte-oriented implementation: S-box substitution, ShiftRows,
+//! MixColumns via `xtime`, and the standard key expansion. The inverse
+//! cipher reuses the forward MixColumns through the classic
+//! pre-transform (`u = xtime²(a0^a2)`, `v = xtime²(a1^a3)`).
+
+use crate::gen::{InputSet, Lcg};
+
+/// Builds the AES S-box from GF(2⁸) arithmetic (no magic table).
+pub(crate) fn sbox() -> [u8; 256] {
+    let mut p: u8 = 1;
+    let mut q: u8 = 1;
+    let mut sbox = [0u8; 256];
+    sbox[0] = 0x63;
+    loop {
+        // p *= 3 in GF(2^8)
+        p = p ^ (p << 1) ^ if p & 0x80 != 0 { 0x1B } else { 0 };
+        // q /= 3
+        q ^= q << 1;
+        q ^= q << 2;
+        q ^= q << 4;
+        if q & 0x80 != 0 {
+            q ^= 0x09;
+        }
+        let x = q ^ q.rotate_left(1) ^ q.rotate_left(2) ^ q.rotate_left(3) ^ q.rotate_left(4);
+        sbox[p as usize] = x ^ 0x63;
+        if p == 1 {
+            break;
+        }
+    }
+    sbox
+}
+
+/// The inverse S-box.
+pub(crate) fn inv_sbox() -> [u8; 256] {
+    let forward = sbox();
+    let mut inverse = [0u8; 256];
+    for (i, &s) in forward.iter().enumerate() {
+        inverse[s as usize] = i as u8;
+    }
+    inverse
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ if x & 0x80 != 0 { 0x1B } else { 0 }
+}
+
+/// Expands a 16-byte key into 176 round-key bytes.
+pub(crate) fn expand_key(key: &[u8; 16]) -> [u8; 176] {
+    let sbox = sbox();
+    let mut rk = [0u8; 176];
+    rk[..16].copy_from_slice(key);
+    let mut rcon: u8 = 1;
+    for i in 4..44 {
+        let mut temp = [
+            rk[4 * (i - 1)],
+            rk[4 * (i - 1) + 1],
+            rk[4 * (i - 1) + 2],
+            rk[4 * (i - 1) + 3],
+        ];
+        if i % 4 == 0 {
+            temp = [
+                sbox[temp[1] as usize] ^ rcon,
+                sbox[temp[2] as usize],
+                sbox[temp[3] as usize],
+                sbox[temp[0] as usize],
+            ];
+            rcon = xtime(rcon);
+        }
+        for j in 0..4 {
+            rk[4 * i + j] = rk[4 * (i - 4) + j] ^ temp[j];
+        }
+    }
+    rk
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 176], round: usize) {
+    for (s, k) in state.iter_mut().zip(&rk[16 * round..16 * round + 16]) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16], table: &[u8; 256]) {
+    for s in state.iter_mut() {
+        *s = table[*s as usize];
+    }
+}
+
+/// Row `r` rotates left by `r` (state is column-major: `s[r + 4c]`).
+fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = old[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        let t = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = a0 ^ t ^ xtime(a0 ^ a1);
+        col[1] = a1 ^ t ^ xtime(a1 ^ a2);
+        col[2] = a2 ^ t ^ xtime(a2 ^ a3);
+        col[3] = a3 ^ t ^ xtime(a3 ^ a0);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let u = xtime(xtime(col[0] ^ col[2]));
+        let v = xtime(xtime(col[1] ^ col[3]));
+        col[0] ^= u;
+        col[2] ^= u;
+        col[1] ^= v;
+        col[3] ^= v;
+    }
+    mix_columns(state);
+}
+
+/// Encrypts one 16-byte block.
+pub(crate) fn encrypt_block(block: &[u8; 16], rk: &[u8; 176]) -> [u8; 16] {
+    let sbox = sbox();
+    let mut state = *block;
+    add_round_key(&mut state, rk, 0);
+    for round in 1..10 {
+        sub_bytes(&mut state, &sbox);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, rk, round);
+    }
+    sub_bytes(&mut state, &sbox);
+    shift_rows(&mut state);
+    add_round_key(&mut state, rk, 10);
+    state
+}
+
+/// Decrypts one 16-byte block.
+pub(crate) fn decrypt_block(block: &[u8; 16], rk: &[u8; 176]) -> [u8; 16] {
+    let inv = inv_sbox();
+    let mut state = *block;
+    add_round_key(&mut state, rk, 10);
+    for round in (1..10).rev() {
+        inv_shift_rows(&mut state);
+        sub_bytes(&mut state, &inv);
+        add_round_key(&mut state, rk, round);
+        inv_mix_columns(&mut state);
+    }
+    inv_shift_rows(&mut state);
+    sub_bytes(&mut state, &inv);
+    add_round_key(&mut state, rk, 0);
+    state
+}
+
+/// ECB over a byte buffer (whole blocks).
+pub(crate) fn crypt_buffer(data: &mut [u8], key: &[u8; 16], encrypt: bool) {
+    let rk = expand_key(key);
+    for block in data.chunks_exact_mut(16) {
+        let array: [u8; 16] = block.try_into().expect("16 bytes");
+        let out = if encrypt { encrypt_block(&array, &rk) } else { decrypt_block(&array, &rk) };
+        block.copy_from_slice(&out);
+    }
+}
+
+/// The per-set key.
+pub(crate) fn key(set: InputSet) -> [u8; 16] {
+    let mut lcg = Lcg::new(0xae5 ^ set.seed());
+    let mut key = [0u8; 16];
+    for byte in &mut key {
+        *byte = lcg.byte();
+    }
+    key
+}
+
+/// The per-set plaintext (whole blocks).
+pub(crate) fn plaintext(set: InputSet) -> Vec<u8> {
+    let mut lcg = Lcg::new(0xae5_da7a ^ set.seed());
+    let blocks = match set {
+        InputSet::Small => 36,
+        InputSet::Large => 440,
+    };
+    lcg.bytes(blocks * 16)
+}
+
+/// Reports: wrapping byte sum, first word (LE), last word (LE).
+pub(crate) fn summarise(data: &[u8]) -> Vec<u32> {
+    let sum = data.iter().fold(0u32, |a, &b| a.wrapping_add(u32::from(b)));
+    let first = u32::from_le_bytes(data[..4].try_into().expect("4 bytes"));
+    let last = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+    vec![sum, first, last]
+}
+
+/// The S-box tables as assembly text.
+pub(crate) fn tables_asm() -> String {
+    let fmt = |table: [u8; 256]| {
+        table
+            .chunks(16)
+            .map(|row| {
+                format!(
+                    "    .byte {}",
+                    row.iter().map(u8::to_string).collect::<Vec<_>>().join(", ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    format!(
+        "    .data\naes_sbox:\n{}\naes_inv_sbox:\n{}\n",
+        fmt(sbox()),
+        fmt(inv_sbox())
+    )
+}
+
+
+/// Emits one `xtime` on `reg` (in place, byte-valued).
+fn emit_xtime(out: &mut String, reg: &str) {
+    out.push_str(&format!(
+        "    lsl {reg}, {reg}, #1\n    tst {reg}, #0x100\n    eorne {reg}, {reg}, #0x1B\n    and {reg}, {reg}, #255\n"
+    ));
+}
+
+/// AddRoundKey for round `round` (r9 = state, r10 = round keys).
+fn emit_ark(out: &mut String, round: usize) {
+    for word in 0..4 {
+        out.push_str(&format!(
+            "    ldr r0, [r9, #{o}]\n    ldr r1, [r10, #{k}]\n    eor r0, r0, r1\n    str r0, [r9, #{o}]\n",
+            o = 4 * word,
+            k = 16 * round + 4 * word
+        ));
+    }
+}
+
+/// SubBytes through the table in r6.
+fn emit_sub_bytes(out: &mut String) {
+    for i in 0..16 {
+        out.push_str(&format!(
+            "    ldrb r0, [r9, #{i}]\n    ldrb r0, [r6, r0]\n    strb r0, [r9, #{i}]\n"
+        ));
+    }
+}
+
+/// (Inv)ShiftRows via the 16-byte scratch in r8.
+fn emit_shift_rows(out: &mut String, inverse: bool) {
+    for word in 0..4 {
+        out.push_str(&format!(
+            "    ldr r0, [r9, #{o}]\n    str r0, [r8, #{o}]\n",
+            o = 4 * word
+        ));
+    }
+    for r in 1..4usize {
+        for c in 0..4usize {
+            let (src, dst) = if inverse {
+                (r + 4 * c, r + 4 * ((c + r) % 4))
+            } else {
+                (r + 4 * ((c + r) % 4), r + 4 * c)
+            };
+            out.push_str(&format!(
+                "    ldrb r0, [r8, #{src}]\n    strb r0, [r9, #{dst}]\n"
+            ));
+        }
+    }
+}
+
+/// MixColumns over the four columns.
+fn emit_mix_columns(out: &mut String) {
+    for c in 0..4usize {
+        let base = 4 * c;
+        out.push_str(&format!(
+            "    ldrb r0, [r9, #{}]\n    ldrb r1, [r9, #{}]\n    ldrb r2, [r9, #{}]\n    ldrb r3, [r9, #{}]\n",
+            base, base + 1, base + 2, base + 3
+        ));
+        out.push_str("    eor r4, r0, r1\n    eor r4, r4, r2\n    eor r4, r4, r3\n");
+        for (i, (a, b)) in [("r0", "r1"), ("r1", "r2"), ("r2", "r3"), ("r3", "r0")]
+            .iter()
+            .enumerate()
+        {
+            out.push_str(&format!("    eor r5, {a}, {b}\n"));
+            emit_xtime(out, "r5");
+            out.push_str(&format!(
+                "    eor r5, r5, r4\n    eor r5, r5, {a}\n    strb r5, [r9, #{}]\n",
+                base + i
+            ));
+        }
+    }
+}
+
+/// The InvMixColumns pre-transform.
+fn emit_inv_mix_prep(out: &mut String) {
+    for c in 0..4usize {
+        let base = 4 * c;
+        out.push_str(&format!(
+            "    ldrb r0, [r9, #{}]\n    ldrb r1, [r9, #{}]\n    ldrb r2, [r9, #{}]\n    ldrb r3, [r9, #{}]\n",
+            base, base + 1, base + 2, base + 3
+        ));
+        out.push_str("    eor r5, r0, r2\n");
+        emit_xtime(out, "r5");
+        emit_xtime(out, "r5");
+        out.push_str("    eor r0, r0, r5\n    eor r2, r2, r5\n");
+        out.push_str("    eor r5, r1, r3\n");
+        emit_xtime(out, "r5");
+        emit_xtime(out, "r5");
+        out.push_str("    eor r1, r1, r5\n    eor r3, r3, r5\n");
+        out.push_str(&format!(
+            "    strb r0, [r9, #{}]\n    strb r1, [r9, #{}]\n    strb r2, [r9, #{}]\n    strb r3, [r9, #{}]\n",
+            base, base + 1, base + 2, base + 3
+        ));
+    }
+}
+
+/// The guest core with all ten rounds inlined and unrolled — the hot
+/// footprint of an aggressively compiled embedded AES (~11 KB each
+/// direction), which is what makes the way-placement area sweeps bite.
+pub(crate) fn core_source() -> String {
+    let prologue = "    push {r4, r5, r6, r7, r8, r9, r10, lr}\n    mov r7, r1\n    mov r1, r0\n    ldr r0, =aes_state\n    mov r2, #16\n    bl memcpy\n    ldr r9, =aes_state\n    ldr r10, =aes_rk\n    ldr r8, =aes_tmp\n";
+    let epilogue = "    mov r0, r7\n    ldr r1, =aes_state\n    mov r2, #16\n    bl memcpy\n    pop {r4, r5, r6, r7, r8, r9, r10, pc}\n";
+
+    let mut enc = String::from("; aes_encrypt_block(r0 = src, r1 = dst), fully unrolled\naes_encrypt_block:\n");
+    enc.push_str(prologue);
+    emit_ark(&mut enc, 0);
+    for round in 1..=9 {
+        enc.push_str("    ldr r6, =aes_sbox\n");
+        emit_sub_bytes(&mut enc);
+        emit_shift_rows(&mut enc, false);
+        emit_mix_columns(&mut enc);
+        emit_ark(&mut enc, round);
+    }
+    enc.push_str("    ldr r6, =aes_sbox\n");
+    emit_sub_bytes(&mut enc);
+    emit_shift_rows(&mut enc, false);
+    emit_ark(&mut enc, 10);
+    enc.push_str(epilogue);
+
+    let mut dec = String::from("\n; aes_decrypt_block(r0 = src, r1 = dst), fully unrolled\naes_decrypt_block:\n");
+    dec.push_str(prologue);
+    emit_ark(&mut dec, 10);
+    for round in (1..=9).rev() {
+        dec.push_str("    ldr r6, =aes_inv_sbox\n");
+        emit_shift_rows(&mut dec, true);
+        emit_sub_bytes(&mut dec);
+        emit_ark(&mut dec, round);
+        emit_inv_mix_prep(&mut dec);
+        emit_mix_columns(&mut dec);
+    }
+    dec.push_str("    ldr r6, =aes_inv_sbox\n");
+    emit_shift_rows(&mut dec, true);
+    emit_sub_bytes(&mut dec);
+    emit_ark(&mut dec, 0);
+    dec.push_str(epilogue);
+
+    CORE_SOURCE.replace("@BLOCKS@", &format!("{enc}{dec}"))
+}
+
+/// The static part of the guest AES core: key expansion and reporting.
+const CORE_SOURCE: &str = r#"
+; aes_expand_key(r0 = 16-byte key): fills aes_rk (44 words).
+aes_expand_key:
+    push {r4, r5, r6, r7, lr}
+    ldr r4, =aes_rk
+    mov r1, r0
+    mov r0, r4
+    mov r2, #16
+    bl memcpy
+    ldr r6, =aes_sbox
+    mov r5, #4              ; word index
+    mov r7, #1              ; rcon
+.Lke_loop:
+    sub r1, r5, #1
+    ldr r0, [r4, r1, lsl #2]
+    tst r5, #3
+    bne .Lke_mix
+    mov r0, r0, ror #8      ; RotWord (bytes are LE in the word)
+    and r1, r0, #255
+    ldrb r2, [r6, r1]
+    mov r1, r0, lsr #8
+    and r1, r1, #255
+    ldrb r3, [r6, r1]
+    orr r2, r2, r3, lsl #8
+    mov r1, r0, lsr #16
+    and r1, r1, #255
+    ldrb r3, [r6, r1]
+    orr r2, r2, r3, lsl #16
+    mov r1, r0, lsr #24
+    ldrb r3, [r6, r1]
+    orr r2, r2, r3, lsl #24
+    eor r0, r2, r7          ; ^= rcon in the low byte
+    lsl r7, r7, #1
+    tst r7, #0x100
+    eorne r7, r7, #0x1B
+    and r7, r7, #255
+.Lke_mix:
+    sub r1, r5, #4
+    ldr r2, [r4, r1, lsl #2]
+    eor r0, r0, r2
+    str r0, [r4, r5, lsl #2]
+    add r5, r5, #1
+    cmp r5, #44
+    blt .Lke_loop
+    pop {r4, r5, r6, r7, pc}
+
+@BLOCKS@
+
+; aes_report(r0 = buffer, r1 = byte count): sum, first word, last word.
+aes_report:
+    push {r4, r5, r6, lr}
+    mov r4, r0
+    mov r5, r1
+    mov r6, #0
+    mov r2, r4
+.Lar_sum:
+    ldrb r3, [r2], #1
+    add r6, r6, r3
+    subs r5, r5, #1
+    bne .Lar_sum
+    mov r0, r6
+    swi #2
+    ldr r0, [r4]
+    swi #2
+    sub r2, r2, #4
+    ldr r0, [r2]
+    swi #2
+    pop {r4, r5, r6, pc}
+
+    .bss
+aes_rk:
+    .space 176
+aes_state:
+    .space 16
+aes_tmp:
+    .space 16
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+        let inv = inv_sbox();
+        for i in 0..256 {
+            assert_eq!(inv[s[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn fips197_vector() {
+        // FIPS-197 appendix C.1.
+        let key: [u8; 16] =
+            (0..16u8).collect::<Vec<u8>>().try_into().expect("16 bytes");
+        let plain: [u8; 16] = (0..16u8)
+            .map(|i| i * 0x11)
+            .collect::<Vec<u8>>()
+            .try_into()
+            .expect("16 bytes");
+        let rk = expand_key(&key);
+        let cipher = encrypt_block(&plain, &rk);
+        assert_eq!(
+            cipher,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                0x70, 0xb4, 0xc5, 0x5a
+            ]
+        );
+        assert_eq!(decrypt_block(&cipher, &rk), plain);
+    }
+
+    #[test]
+    fn buffer_round_trip() {
+        let key = key(InputSet::Small);
+        let original = plaintext(InputSet::Small);
+        let mut buf = original.clone();
+        crypt_buffer(&mut buf, &key, true);
+        assert_ne!(buf, original);
+        crypt_buffer(&mut buf, &key, false);
+        assert_eq!(buf, original);
+    }
+}

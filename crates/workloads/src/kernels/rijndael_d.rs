@@ -1,0 +1,82 @@
+//! `rijndael_d` — AES-128 ECB decryption (MiBench security/rijndael).
+//!
+//! The input is the reference-encrypted ciphertext of the `rijndael_e`
+//! plaintext; the guest decrypts it in place and reports the recovered
+//! buffer's summary.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::rijndael::{self, core_source};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "rijndael_d",
+        source: || format!("{SOURCE}\n{}\n{}", core_source(), rijndael::tables_asm()),
+        cold_instructions: 4800,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, lr}
+    ldr r0, =in_key
+    bl aes_expand_key
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    mov r6, r4
+    add r7, r4, r5
+.Ldec:
+    cmp r6, r7
+    bhs .Lreport
+    mov r0, r6
+    mov r1, r6
+    bl aes_decrypt_block
+    add r6, r6, #16
+    b .Ldec
+.Lreport:
+    mov r0, r4
+    mov r1, r5
+    bl aes_report
+    mov r0, #0
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+"#;
+
+fn ciphertext(set: InputSet) -> Vec<u8> {
+    let mut data = rijndael::plaintext(set);
+    rijndael::crypt_buffer(&mut data, &rijndael::key(set), true);
+    data
+}
+
+fn input(set: InputSet) -> Module {
+    let data = ciphertext(set);
+    DataBuilder::new("rijndael-d-input")
+        .bytes("in_key", &rijndael::key(set))
+        .word("in_len", data.len() as u32)
+        .bytes("in_data", &data)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    rijndael::summarise(&rijndael::plaintext(set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decrypt_recovers_plaintext() {
+        let mut data = ciphertext(InputSet::Small);
+        rijndael::crypt_buffer(&mut data, &rijndael::key(InputSet::Small), false);
+        assert_eq!(rijndael::summarise(&data), reference(InputSet::Small));
+    }
+}

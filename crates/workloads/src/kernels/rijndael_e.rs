@@ -1,0 +1,72 @@
+//! `rijndael_e` — AES-128 ECB encryption (MiBench security/rijndael).
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::rijndael::{self, core_source};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "rijndael_e",
+        source: || format!("{SOURCE}\n{}\n{}", core_source(), rijndael::tables_asm()),
+        cold_instructions: 4800,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, lr}
+    ldr r0, =in_key
+    bl aes_expand_key
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]            ; byte count (multiple of 16)
+    mov r6, r4
+    add r7, r4, r5
+.Lenc:
+    cmp r6, r7
+    bhs .Lreport
+    mov r0, r6
+    mov r1, r6              ; in place
+    bl aes_encrypt_block
+    add r6, r6, #16
+    b .Lenc
+.Lreport:
+    mov r0, r4
+    mov r1, r5
+    bl aes_report
+    mov r0, #0
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+"#;
+
+fn input(set: InputSet) -> Module {
+    let data = rijndael::plaintext(set);
+    DataBuilder::new("rijndael-e-input")
+        .bytes("in_key", &rijndael::key(set))
+        .word("in_len", data.len() as u32)
+        .bytes("in_data", &data)
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let mut data = rijndael::plaintext(set);
+    rijndael::crypt_buffer(&mut data, &rijndael::key(set), true);
+    rijndael::summarise(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_shape() {
+        assert_eq!(reference(InputSet::Small).len(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! `rsynth` — formant-style speech synthesis (MiBench office/rsynth).
+//!
+//! A phoneme stream drives three table-lookup oscillators (formants)
+//! plus a noise source, shaped by an attack/release envelope — the
+//! original's per-sample mix of table lookups, multiplies and state
+//! updates, in Q14 fixed point (the ISA has no floating point; see
+//! DESIGN.md).
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::fft::isin_q14;
+use crate::kernels::KernelSpec;
+use crate::runtime::xorshift32;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "rsynth",
+        source: || {
+            // Four samples per loop iteration (durations are multiples
+            // of four): the unrolled form of the synthesis inner loop.
+            let one = SAMPLE_BODY.to_string() + "    add r9, r9, #1\n";
+            SOURCE.replace("@SAMPLE@", &one.repeat(4))
+        },
+        cold_instructions: 6000,
+        input,
+        reference,
+    }
+}
+
+const SAMPLE_BODY: &str = r#"
+    ; envelope e = min(s + 1, dur - s, 64)
+    add r0, r9, #1
+    sub r1, r8, r9
+    cmp r0, r1
+    movgt r0, r1
+    cmp r0, #64
+    movgt r0, #64
+    mul r3, r0, r7          ; gain = e * amp
+    ; v = sin(p1) + sin(p2)/2 + sin(p3)/4
+    ldr r1, =sin_table
+    mov r2, fp, lsr #22
+    ldr r0, [r1, r2, lsl #2]
+    ldr r2, [sp]
+    mov r2, r2, lsr #22
+    ldr r2, [r1, r2, lsl #2]
+    add r0, r0, r2, asr #1
+    ldr r2, [sp, #4]
+    mov r2, r2, lsr #22
+    ldr r2, [r1, r2, lsl #2]
+    add r0, r0, r2, asr #2
+    ; breathy noise: xorshift32, centred 12-bit, quartered
+    ldr r1, =syn_noise
+    ldr r2, [r1]
+    eor r2, r2, r2, lsl #13
+    eor r2, r2, r2, lsr #17
+    eor r2, r2, r2, lsl #5
+    str r2, [r1]
+    ldr ip, =4095
+    and ip, r2, ip
+    sub ip, ip, #1024
+    sub ip, ip, #1024
+    add r0, r0, ip, asr #2
+    ; sample = (v * gain) >> 16
+    mul r0, r0, r3
+    mov r0, r0, asr #16
+    add r10, r10, r0
+    ; advance phases
+    add fp, fp, r4
+    ldr r2, [sp]
+    add r2, r2, r5
+    str r2, [sp]
+    ldr r2, [sp, #4]
+    add r2, r2, r6
+    str r2, [sp, #4]
+"#;
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, lr}
+    ldr r0, =syn_noise
+    ldr r1, =12345
+    str r1, [r0]
+    ldr r4, =in_phonemes
+    ldr r5, =in_phoneme_count
+    ldr r5, [r5]
+    mov r6, #0              ; sample sum
+    mov r7, #0              ; sample count
+.Lph:
+    cmp r5, #0
+    beq .Lreport
+    mov r0, r4
+    bl synth_phoneme        ; r0 = sum, r1 = samples
+    add r6, r6, r0
+    add r7, r7, r1
+    add r4, r4, #20         ; five words per phoneme
+    sub r5, r5, #1
+    b .Lph
+.Lreport:
+    mov r0, r6
+    swi #2                  ; sample sum
+    mov r0, r7
+    swi #2                  ; samples rendered
+    ldr r0, =syn_noise
+    ldr r0, [r0]
+    swi #2                  ; final noise state
+    mov r0, #0
+    pop {r4, r5, r6, r7, pc}
+
+;;cold;;
+
+; synth_phoneme(r0 = {f1, f2, f3, amp, dur}) -> r0 = sum, r1 = samples.
+synth_phoneme:
+    push {r4, r5, r6, r7, r8, r9, r10, fp, lr}
+    sub sp, sp, #8
+    ldr r4, [r0]            ; f1 (phase increment)
+    ldr r5, [r0, #4]        ; f2
+    ldr r6, [r0, #8]        ; f3
+    ldr r7, [r0, #12]       ; amp
+    ldr r8, [r0, #16]       ; dur
+    mov r9, #0              ; s
+    mov r10, #0             ; sum
+    mov fp, #0              ; phase 1
+    mov r0, #0
+    str r0, [sp]            ; phase 2
+    str r0, [sp, #4]        ; phase 3
+.Lsy_s:
+    cmp r9, r8
+    bhs .Lsy_done
+@SAMPLE@
+    b .Lsy_s
+.Lsy_done:
+    mov r0, r10
+    mov r1, r9
+    add sp, sp, #8
+    pop {r4, r5, r6, r7, r8, r9, r10, fp, pc}
+
+;;cold;;
+
+    .bss
+syn_noise:
+    .space 4
+"#;
+
+/// Phoneme stream: `(f1, f2, f3, amp, dur)` per entry.
+fn phonemes(set: InputSet) -> Vec<[u32; 5]> {
+    let mut lcg = Lcg::new(0x4275 ^ set.seed());
+    let count = match set {
+        InputSet::Small => 8,
+        InputSet::Large => 42,
+    };
+    (0..count)
+        .map(|_| {
+            let f1 = 0x0020_0000 + lcg.below(0x0100_0000);
+            [
+                f1,
+                f1.wrapping_mul(2) + lcg.below(0x0080_0000),
+                f1.wrapping_mul(3) + lcg.below(0x0080_0000),
+                200 + lcg.below(800),
+                900 + 4 * lcg.below(175),
+            ]
+        })
+        .collect()
+}
+
+fn input(set: InputSet) -> Module {
+    let flat: Vec<u32> = phonemes(set).into_iter().flatten().collect();
+    DataBuilder::new("rsynth-input")
+        .word("in_phoneme_count", (flat.len() / 5) as u32)
+        .words("in_phonemes", &flat)
+        .words(
+            "sin_table",
+            &(0..1024)
+                .map(|i| isin_q14(i, 1024) as u32)
+                .collect::<Vec<u32>>(),
+        )
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let sin: Vec<i32> = (0..1024).map(|i| isin_q14(i, 1024)).collect();
+    let mut noise = 12345u32;
+    let mut sum = 0u32;
+    let mut samples = 0u32;
+    for [f1, f2, f3, amp, dur] in phonemes(set) {
+        let (mut p1, mut p2, mut p3) = (0u32, 0u32, 0u32);
+        for s in 0..dur {
+            let e = (s + 1).min(dur - s).min(64) as i32;
+            let gain = e.wrapping_mul(amp as i32);
+            let mut v = sin[(p1 >> 22) as usize]
+                + (sin[(p2 >> 22) as usize] >> 1)
+                + (sin[(p3 >> 22) as usize] >> 2);
+            noise = xorshift32(noise);
+            v += (((noise & 4095) as i32) - 2048) >> 2;
+            let sample = v.wrapping_mul(gain) >> 16;
+            sum = sum.wrapping_add(sample as u32);
+            samples += 1;
+            p1 = p1.wrapping_add(f1);
+            p2 = p2.wrapping_add(f2);
+            p3 = p3.wrapping_add(f3);
+        }
+    }
+    vec![sum, samples, noise]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_shape() {
+        let reports = reference(InputSet::Small);
+        assert_eq!(reports.len(), 3);
+        let total: u32 = phonemes(InputSet::Small).iter().map(|p| p[4]).sum();
+        assert_eq!(reports[1], total);
+    }
+
+    #[test]
+    fn gain_never_overflows() {
+        // |v| <= 16384*1.75 + 512 and gain <= 64*1000: the product
+        // stays under 2^31.
+        let v_max = 16384i64 * 7 / 4 + 512;
+        let gain_max = 64i64 * 1000;
+        assert!(v_max * gain_max < i64::from(i32::MAX));
+    }
+}

@@ -1,0 +1,284 @@
+//! `sha` — SHA-1 message digest (MiBench security/sha).
+//!
+//! Full SHA-1 with length padding; inputs are generated as whole
+//! 64-byte blocks (padding then always adds exactly one block, keeping
+//! the guest's pad routine simple while remaining bit-identical to
+//! textbook SHA-1 for these lengths). The hot code is the 80-round
+//! compression, split into its four phases — four distinct loop bodies
+//! for the layout pass to rank.
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "sha",
+        source,
+        cold_instructions: 7200,
+        input,
+        reference,
+    }
+}
+
+/// Emits the kernel with the W expansion and all 80 rounds unrolled
+/// (the hot footprint of a compiler-unrolled embedded SHA-1: ~4.5 KB).
+fn source() -> String {
+    let mut w = String::new();
+    for i in 16..80 {
+        w.push_str(&format!(
+            "    ldr r4, [r9, #{}]\n    ldr r5, [r9, #{}]\n    eor r4, r4, r5\n    ldr r5, [r9, #{}]\n    eor r4, r4, r5\n    ldr r5, [r9, #{}]\n    eor r4, r4, r5\n    mov r4, r4, ror #31\n    str r4, [r9, #{}]\n",
+            4 * (i - 3), 4 * (i - 8), 4 * (i - 14), 4 * (i - 16), 4 * i
+        ));
+    }
+    let mut rounds = String::new();
+    for i in 0..80usize {
+        let (f, k) = match i {
+            0..=19 => ("    and r0, r5, r6\n    bic r1, r7, r5\n    orr r0, r0, r1\n", 0x5A82_7999u32),
+            20..=39 => ("    eor r0, r5, r6\n    eor r0, r0, r7\n", 0x6ED9_EBA1),
+            40..=59 => (
+                "    and r0, r5, r6\n    and r1, r5, r7\n    orr r0, r0, r1\n    and r1, r6, r7\n    orr r0, r0, r1\n",
+                0x8F1B_BCDC,
+            ),
+            _ => ("    eor r0, r5, r6\n    eor r0, r0, r7\n", 0xCA62_C1D6),
+        };
+        if i % 20 == 0 {
+            rounds.push_str(&format!("    ldr fp, =0x{k:08X}\n"));
+        }
+        rounds.push_str(f);
+        rounds.push_str(&format!(
+            "    add r0, r0, r8\n    add r0, r0, fp\n    ldr r1, [r9, #{}]\n    add r0, r0, r1\n    add r0, r0, r4, ror #27\n    mov r8, r7\n    mov r7, r6\n    mov r6, r5, ror #2\n    mov r5, r4\n    mov r4, r0\n",
+            4 * i
+        ));
+    }
+    SOURCE.replace("@W_EXPANSION@", &w).replace("@ROUNDS@", &rounds)
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, lr}
+    bl sha_init
+    ldr r4, =in_data
+    ldr r5, =in_len
+    ldr r5, [r5]
+    add r5, r4, r5
+.Lblocks:
+    cmp r4, r5
+    bhs .Lpad
+    mov r0, r4
+    bl sha_block
+    add r4, r4, #64
+    b .Lblocks
+.Lpad:
+    bl sha_pad
+    ; report h0..h4
+    ldr r4, =sha_h
+    mov r5, #5
+.Lreport:
+    ldr r0, [r4], #4
+    swi #2
+    subs r5, r5, #1
+    bne .Lreport
+    mov r0, #0
+    pop {r4, r5, r6, pc}
+
+;;cold;;
+
+sha_init:
+    ldr r0, =sha_h
+    ldr r1, =0x67452301
+    str r1, [r0]
+    ldr r1, =0xEFCDAB89
+    str r1, [r0, #4]
+    ldr r1, =0x98BADCFE
+    str r1, [r0, #8]
+    ldr r1, =0x10325476
+    str r1, [r0, #12]
+    ldr r1, =0xC3D2E1F0
+    str r1, [r0, #16]
+    bx lr
+
+; Compress one 64-byte block at r0 into sha_h.
+sha_block:
+    push {r4, r5, r6, r7, r8, r9, r10, fp, lr}
+    ldr r9, =sha_w
+    ; W[0..16): big-endian words from the byte stream
+    mov r2, #0
+.Lw16:
+    ldrb r3, [r0], #1
+    ldrb r4, [r0], #1
+    ldrb r5, [r0], #1
+    ldrb r6, [r0], #1
+    lsl r3, r3, #24
+    orr r3, r3, r4, lsl #16
+    orr r3, r3, r5, lsl #8
+    orr r3, r3, r6
+    str r3, [r9, r2, lsl #2]
+    add r2, r2, #1
+    cmp r2, #16
+    blt .Lw16
+    ; W[16..80): rol1 of the xor of four earlier words (unrolled)
+@W_EXPANSION@
+    ; a..e = r4..r8
+    ldr r0, =sha_h
+    ldr r4, [r0]
+    ldr r5, [r0, #4]
+    ldr r6, [r0, #8]
+    ldr r7, [r0, #12]
+    ldr r8, [r0, #16]
+@ROUNDS@
+    ; h += state
+    ldr r0, =sha_h
+    ldr r1, [r0]
+    add r1, r1, r4
+    str r1, [r0]
+    ldr r1, [r0, #4]
+    add r1, r1, r5
+    str r1, [r0, #4]
+    ldr r1, [r0, #8]
+    add r1, r1, r6
+    str r1, [r0, #8]
+    ldr r1, [r0, #12]
+    add r1, r1, r7
+    str r1, [r0, #12]
+    ldr r1, [r0, #16]
+    add r1, r1, r8
+    str r1, [r0, #16]
+    pop {r4, r5, r6, r7, r8, r9, r10, fp, pc}
+
+;;cold;;
+
+; Build and compress the padding block (in_len is a whole number of
+; blocks, so the pad is always exactly one extra block).
+sha_pad:
+    push {r4, lr}
+    ldr r0, =sha_buf
+    mov r1, #0
+    mov r2, #64
+    bl memset
+    ldr r0, =sha_buf
+    mov r1, #0x80
+    strb r1, [r0]
+    ldr r2, =in_len
+    ldr r2, [r2]
+    ; 64-bit big-endian bit count at offset 56
+    mov r3, r2, lsr #29
+    mov r1, r3, lsr #24
+    strb r1, [r0, #56]
+    mov r1, r3, lsr #16
+    strb r1, [r0, #57]
+    mov r1, r3, lsr #8
+    strb r1, [r0, #58]
+    strb r3, [r0, #59]
+    mov r3, r2, lsl #3
+    mov r1, r3, lsr #24
+    strb r1, [r0, #60]
+    mov r1, r3, lsr #16
+    strb r1, [r0, #61]
+    mov r1, r3, lsr #8
+    strb r1, [r0, #62]
+    strb r3, [r0, #63]
+    ldr r0, =sha_buf
+    bl sha_block
+    pop {r4, pc}
+
+    .bss
+sha_h:
+    .space 20
+sha_w:
+    .space 320
+sha_buf:
+    .space 64
+"#;
+
+fn payload(set: InputSet) -> Vec<u8> {
+    let mut lcg = Lcg::new(0x54a1 ^ set.seed());
+    let blocks = match set {
+        InputSet::Small => 48,
+        InputSet::Large => 640,
+    };
+    lcg.bytes(blocks * 64)
+}
+
+fn input(set: InputSet) -> Module {
+    let data = payload(set);
+    DataBuilder::new("sha-input")
+        .word("in_len", data.len() as u32)
+        .bytes("in_data", &data)
+        .build()
+}
+
+/// Textbook SHA-1 (valid for any input, exercised here on whole-block
+/// inputs).
+pub(crate) fn sha1(message: &[u8]) -> [u32; 5] {
+    let mut h: [u32; 5] =
+        [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut data = message.to_vec();
+    let bit_len = (message.len() as u64) * 8;
+    data.push(0x80);
+    while data.len() % 64 != 56 {
+        data.push(0);
+    }
+    data.extend(bit_len.to_be_bytes());
+    for block in data.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    h
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    sha1(&payload(set)).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha1_known_vectors() {
+        // "abc" -> a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d
+        assert_eq!(
+            sha1(b"abc"),
+            [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]
+        );
+        // Empty string.
+        assert_eq!(
+            sha1(b""),
+            [0xda39_a3ee, 0x5e6b_4b0d, 0x3255_bfef, 0x9560_1890, 0xafd8_0709]
+        );
+    }
+}

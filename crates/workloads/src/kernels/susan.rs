@@ -1,0 +1,308 @@
+//! Shared SUSAN machinery for `susan_s` / `susan_e` / `susan_c`
+//! (MiBench automotive/susan).
+//!
+//! The SUSAN principle: for each pixel, sum a brightness-similarity
+//! score over a circular mask (the USAN). Smoothing divides the
+//! similarity-weighted brightness sum by the similarity sum; edges and
+//! corners subtract the USAN area from a geometric threshold. The
+//! original's `exp(-(d/t)⁶)` similarity is replaced by the integer
+//! falloff `max(0, 255 − d²/t)` (documented in DESIGN.md) — same
+//! structure: a 256-entry LUT built at startup, indexed by |ΔI|.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::image::gray_image;
+use wp_isa::Module;
+
+/// The 21-entry circular mask (5×5 minus corners), as (dx, dy).
+pub(crate) const MASK: [(i32, i32); 21] = [
+    (-1, -2), (0, -2), (1, -2),
+    (-2, -1), (-1, -1), (0, -1), (1, -1), (2, -1),
+    (-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0),
+    (-2, 1), (-1, 1), (0, 1), (1, 1), (2, 1),
+    (-1, 2), (0, 2), (1, 2),
+];
+
+/// Which SUSAN pass a kernel runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Pass {
+    /// Brightness-preserving smoothing.
+    Smooth,
+    /// Edge response.
+    Edges,
+    /// Corner response.
+    Corners,
+}
+
+impl Pass {
+    /// Brightness-difference scale `t`: similarity reaches zero at
+    /// `|ΔI| = t` (bigger = more tolerant).
+    pub(crate) fn threshold(self) -> i32 {
+        match self {
+            Pass::Smooth => 60,
+            Pass::Edges => 25,
+            Pass::Corners => 12,
+        }
+    }
+
+    /// The geometric USAN threshold `g` (scaled by 21·255), or 0 for
+    /// smoothing.
+    pub(crate) fn geometric(self) -> i32 {
+        match self {
+            Pass::Smooth => 0,
+            Pass::Edges => 21 * 255 * 3 / 4,
+            Pass::Corners => 21 * 255 / 2,
+        }
+    }
+}
+
+/// Image dimensions per input set.
+pub(crate) fn dims(set: InputSet) -> (usize, usize) {
+    match set {
+        InputSet::Small => (40, 40),
+        InputSet::Large => (96, 96),
+    }
+}
+
+/// The input image shared by all three kernels.
+pub(crate) fn image(set: InputSet) -> Vec<u8> {
+    let (w, h) = dims(set);
+    gray_image(set, 0x5a5a, w, h)
+}
+
+/// The similarity LUT: `sim[d] = max(0, 255 − 255·d²/t²)`.
+pub(crate) fn sim_table(t: i32) -> [i32; 256] {
+    let mut table = [0i32; 256];
+    for (d, slot) in table.iter_mut().enumerate() {
+        *slot = (255 - (d * d * 255) as i32 / (t * t)).max(0);
+    }
+    table
+}
+
+/// Host-side mirror of one SUSAN pass. Border pixels (2-wide margin)
+/// are left untouched (zero).
+pub(crate) fn run_pass(image: &[u8], width: usize, height: usize, pass: Pass) -> Vec<u32> {
+    let sim = sim_table(pass.threshold());
+    let g = pass.geometric();
+    let mut out = vec![0u32; width * height];
+    for y in 2..height - 2 {
+        for x in 2..width - 2 {
+            let center = i32::from(image[y * width + x]);
+            let mut weight_sum = 0i32;
+            let mut value_sum = 0i32;
+            for &(dx, dy) in &MASK {
+                let p = i32::from(
+                    image[(y as i32 + dy) as usize * width + (x as i32 + dx) as usize],
+                );
+                let w = sim[(p - center).unsigned_abs() as usize & 0xff];
+                weight_sum += w;
+                value_sum += w * p;
+            }
+            out[y * width + x] = match pass {
+                Pass::Smooth => (value_sum as u32) / (weight_sum as u32),
+                _ => (g - weight_sum).max(0) as u32,
+            };
+        }
+    }
+    out
+}
+
+/// Reports: wrapping output sum and the centre pixel's value.
+pub(crate) fn summarise(out: &[u32], width: usize, height: usize) -> Vec<u32> {
+    let sum = out.iter().fold(0u32, |a, &v| a.wrapping_add(v));
+    vec![sum, out[(height / 2) * width + width / 2]]
+}
+
+/// The shared input module.
+pub(crate) fn input(name: &str, set: InputSet) -> Module {
+    let (w, h) = dims(set);
+    DataBuilder::new(name)
+        .word("in_width", w as u32)
+        .word("in_height", h as u32)
+        .bytes("in_image", &image(set))
+        .buffer("out_image", 96 * 96 * 4)
+        .build()
+}
+
+/// The mask table as assembly data.
+pub(crate) fn mask_asm() -> String {
+    let pairs: Vec<String> =
+        MASK.iter().map(|&(dx, dy)| format!("{dx}, {dy}")).collect();
+    format!("    .data\n    .align 2\nsusan_mask:\n    .word {}\n", pairs.join(", "))
+}
+
+/// The guest core shared by all three kernels. The per-kernel `main`
+/// sets `r0 = t`, `r1 = g` and calls `susan_pass`; g = 0 selects the
+/// smoothing output.
+pub(crate) fn core_source() -> String {
+    let mut mask = String::new();
+    for &(dx, dy) in &MASK {
+        mask.push_str("    ldr r0, [sp]\n");
+        match dy {
+            -2 => mask.push_str("    sub r0, r0, r4, lsl #1\n"),
+            -1 => mask.push_str("    sub r0, r0, r4\n"),
+            0 => {}
+            1 => mask.push_str("    add r0, r0, r4\n"),
+            _ => mask.push_str("    add r0, r0, r4, lsl #1\n"),
+        }
+        match dx {
+            -2 => mask.push_str("    sub r0, r0, #2\n"),
+            -1 => mask.push_str("    sub r0, r0, #1\n"),
+            0 => {}
+            1 => mask.push_str("    add r0, r0, #1\n"),
+            _ => mask.push_str("    add r0, r0, #2\n"),
+        }
+        mask.push_str(
+            "    ldrb r0, [r8, r0]\n    subs r1, r0, fp\n    rsblt r1, r1, #0\n    ldr r1, [r10, r1, lsl #2]\n    add r2, r2, r1\n    mla r3, r1, r0, r3\n",
+        );
+    }
+    format!("{}\n{}", CORE.replace("@MASK@", &mask), mask_asm())
+}
+
+const CORE: &str = r#"
+; Build sim[d] = max(0, 255 - 255*d*d/(t*t)).  susan_build_sim(r0 = t)
+susan_build_sim:
+    push {r4, r5, lr}
+    ldr r4, =susan_sim
+    mul r5, r0, r0          ; t*t
+    mov r2, #0
+.Lsb_loop:
+    mul r0, r2, r2
+    mov r1, #255
+    mul r0, r0, r1
+    mov r1, r5
+    push {r2, r3}
+    bl udiv
+    pop {r2, r3}
+    rsb r0, r0, #255
+    cmp r0, #0
+    movlt r0, #0
+    str r0, [r4, r2, lsl #2]
+    add r2, r2, #1
+    cmp r2, #256
+    blt .Lsb_loop
+    pop {r4, r5, pc}
+
+; susan_pass(r0 = t, r1 = g): runs the pass over in_image into
+; out_image (words), then reports sum and the centre value.
+susan_pass:
+    push {r4, r5, r6, r7, r8, r9, r10, fp, lr}
+    sub sp, sp, #24
+    str r1, [sp, #20]       ; g
+    bl susan_build_sim
+    ldr r4, =in_width
+    ldr r4, [r4]
+    ldr r5, =in_height
+    ldr r5, [r5]
+    ; zero the output
+    ldr r0, =out_image
+    mov r1, #0
+    mul r2, r4, r5
+    mov r2, r2, lsl #2
+    bl memset
+    ldr r8, =in_image
+    ldr r9, =out_image
+    ldr r10, =susan_sim
+    mov r6, #2              ; y
+.Lsp_y:
+    sub r0, r5, #2
+    cmp r6, r0
+    bge .Lsp_report
+    mov r7, #2              ; x
+.Lsp_x:
+    sub r0, r4, #2
+    cmp r7, r0
+    bge .Lsp_ynext
+    ; centre brightness
+    mla r0, r6, r4, r7      ; y*w + x
+    str r0, [sp]            ; base index
+    ldrb fp, [r8, r0]       ; centre
+    mov r2, #0              ; weight sum
+    mov r3, #0              ; value sum
+@MASK@
+    ; output
+    ldr r1, [sp, #20]       ; g
+    cmp r1, #0
+    bne .Lsp_geo
+    ; smoothing: value / weight
+    mov r0, r3
+    mov r1, r2
+    push {r2, r3}
+    bl udiv
+    pop {r2, r3}
+    b .Lsp_store
+.Lsp_geo:
+    subs r0, r1, r2         ; g - usan
+    movlt r0, #0
+.Lsp_store:
+    mla r1, r6, r4, r7
+    str r0, [r9, r1, lsl #2]
+    add r7, r7, #1
+    b .Lsp_x
+.Lsp_ynext:
+    add r6, r6, #1
+    b .Lsp_y
+.Lsp_report:
+    ; wrapping sum and centre value
+    mul r5, r5, r4
+    mov r0, #0
+    mov r2, r9
+.Lsp_sum:
+    ldr r3, [r2], #4
+    add r0, r0, r3
+    subs r5, r5, #1
+    bne .Lsp_sum
+    swi #2
+    ldr r4, =in_width
+    ldr r4, [r4]
+    ldr r5, =in_height
+    ldr r5, [r5]
+    mov r0, r5, lsr #1
+    mul r0, r0, r4
+    add r0, r0, r4, lsr #1
+    ldr r0, [r9, r0, lsl #2]
+    swi #2
+    add sp, sp, #24
+    pop {r4, r5, r6, r7, r8, r9, r10, fp, pc}
+
+    .bss
+susan_sim:
+    .space 1024
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_table_shape() {
+        let table = sim_table(25);
+        assert_eq!(table[0], 255);
+        assert!(table[10] < 255);
+        assert_eq!(table[25], 0, "zero at the threshold");
+        assert_eq!(table[255], 0);
+        for w in table.windows(2) {
+            assert!(w[0] >= w[1], "monotone");
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_flat_regions() {
+        let flat = vec![100u8; 16 * 16];
+        let out = run_pass(&flat, 16, 16, Pass::Smooth);
+        assert_eq!(out[8 * 16 + 8], 100);
+    }
+
+    #[test]
+    fn edges_fire_on_step() {
+        let mut img = vec![0u8; 32 * 32];
+        for y in 0..32 {
+            for x in 16..32 {
+                img[y * 32 + x] = 200;
+            }
+        }
+        let out = run_pass(&img, 32, 32, Pass::Edges);
+        // Strong response at the step, none in the flat field.
+        assert!(out[16 * 32 + 16] > 0);
+        assert_eq!(out[16 * 32 + 5], 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! `susan_c` — SUSAN corner detection (MiBench automotive/susan, `-c`).
+
+use crate::gen::InputSet;
+use crate::kernels::susan::{self, Pass};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "susan_c",
+        source: || format!("{MAIN}\n{}", susan::core_source()),
+        cold_instructions: 5600,
+        input,
+        reference,
+    }
+}
+
+const MAIN: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, lr}
+    mov r0, #12            ; t
+    ldr r1, =2677           ; g = 21*255/2
+    bl susan_pass
+    mov r0, #0
+    pop {r4, pc}
+
+;;cold;;
+"#;
+
+fn input(set: InputSet) -> Module {
+    susan::input("susan-c-input", set)
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let (w, h) = susan::dims(set);
+    susan::summarise(&susan::run_pass(&susan::image(set), w, h, Pass::Corners), w, h)
+}

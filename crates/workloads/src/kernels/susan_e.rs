@@ -1,0 +1,52 @@
+//! `susan_e` — SUSAN edge detection (MiBench automotive/susan, `-e`).
+
+use crate::gen::InputSet;
+use crate::kernels::susan::{self, Pass};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "susan_e",
+        source: || format!("{MAIN}\n{}", susan::core_source()),
+        cold_instructions: 5600,
+        input,
+        reference,
+    }
+}
+
+const MAIN: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, lr}
+    mov r0, #25            ; t
+    ldr r1, =4016           ; g = 21*255*3/4
+    bl susan_pass
+    mov r0, #0
+    pop {r4, pc}
+
+;;cold;;
+"#;
+
+fn input(set: InputSet) -> Module {
+    susan::input("susan-e-input", set)
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let (w, h) = susan::dims(set);
+    susan::summarise(&susan::run_pass(&susan::image(set), w, h, Pass::Edges), w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::kernels::susan::Pass;
+
+    #[test]
+    fn g_constant_matches_pass() {
+        assert_eq!(Pass::Edges.geometric(), 4016);
+        assert_eq!(Pass::Corners.geometric(), 2677);
+    }
+}

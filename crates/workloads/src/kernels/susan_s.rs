@@ -1,0 +1,41 @@
+//! `susan_s` — SUSAN brightness-preserving smoothing (MiBench
+//! automotive/susan, `-s` mode).
+
+use crate::gen::InputSet;
+use crate::kernels::susan::{self, Pass};
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "susan_s",
+        source: || format!("{MAIN}\n{}", susan::core_source()),
+        cold_instructions: 5600,
+        input,
+        reference,
+    }
+}
+
+const MAIN: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, lr}
+    mov r0, #60            ; t
+    mov r1, #0              ; g = 0 selects the smoothing output
+    bl susan_pass
+    mov r0, #0
+    pop {r4, pc}
+
+;;cold;;
+"#;
+
+fn input(set: InputSet) -> Module {
+    susan::input("susan-s-input", set)
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let (w, h) = susan::dims(set);
+    susan::summarise(&susan::run_pass(&susan::image(set), w, h, Pass::Smooth), w, h)
+}

@@ -1,0 +1,110 @@
+//! `tiff2bw` — RGB to grayscale conversion (MiBench consumer/tiff2bw):
+//! the classic `(77R + 150G + 29B) >> 8` luminance transform.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::image::rgb_image;
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "tiff2bw",
+        source: || SOURCE.to_string(),
+        cold_instructions: 5200,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, r9, lr}
+    ldr r4, =in_rgb
+    ldr r5, =in_pixels
+    ldr r5, [r5]
+    ldr r9, =out_gray
+    mov r6, #0              ; sum
+    mov r7, #0              ; first gray
+    mov r8, #0              ; index
+.Lpx:
+    cmp r8, r5
+    bhs .Ldone
+    ldrb r0, [r4], #1       ; r
+    ldrb r1, [r4], #1       ; g
+    ldrb r2, [r4], #1       ; b
+    mov r3, #77
+    mul r0, r0, r3
+    mov r3, #150
+    mla r0, r1, r3, r0
+    mov r3, #29
+    mla r0, r2, r3, r0
+    mov r0, r0, lsr #8
+    strb r0, [r9, r8]
+    add r6, r6, r0
+    cmp r8, #0
+    moveq r7, r0
+    add r8, r8, #1
+    b .Lpx
+.Ldone:
+    mov r4, r0              ; last gray
+    mov r0, r6
+    swi #2                  ; gray sum
+    mov r0, r7
+    swi #2                  ; first pixel
+    mov r0, r4
+    swi #2                  ; last pixel
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, r9, pc}
+
+;;cold;;
+
+    .bss
+out_gray:
+    .space 25600
+"#;
+
+fn dims(set: InputSet) -> (usize, usize) {
+    match set {
+        InputSet::Small => (56, 56),
+        InputSet::Large => (156, 156),
+    }
+}
+
+fn rgb(set: InputSet) -> Vec<u8> {
+    let (w, h) = dims(set);
+    rgb_image(set, 0x2b3, w, h)
+}
+
+fn input(set: InputSet) -> Module {
+    let (w, h) = dims(set);
+    DataBuilder::new("tiff2bw-input")
+        .word("in_pixels", (w * h) as u32)
+        .bytes("in_rgb", &rgb(set))
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let rgb = rgb(set);
+    let grays: Vec<u32> = rgb
+        .chunks_exact(3)
+        .map(|p| (77 * u32::from(p[0]) + 150 * u32::from(p[1]) + 29 * u32::from(p[2])) >> 8)
+        .collect();
+    let sum = grays.iter().fold(0u32, |a, &g| a.wrapping_add(g));
+    vec![sum, grays[0], *grays.last().expect("nonempty")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_unity() {
+        // 77 + 150 + 29 = 256: white maps to 255.
+        let white = (77u32 * 255 + 150 * 255 + 29 * 255) >> 8;
+        assert_eq!(white, 255);
+        assert!(reference(InputSet::Small)[0] > 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! `tiff2rgba` — palette image expansion to RGBA (MiBench
+//! consumer/tiff2rgba): one palette lookup and word store per pixel.
+
+use crate::gen::{DataBuilder, InputSet, Lcg};
+use crate::kernels::image::gray_image;
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "tiff2rgba",
+        source: || SOURCE.to_string(),
+        cold_instructions: 5200,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, lr}
+    ldr r4, =in_indices
+    ldr r5, =in_pixels
+    ldr r5, [r5]
+    ldr r6, =in_palette
+    ldr r7, =out_rgba
+    mov r8, #0              ; wrapping word sum
+.Lpx:
+    cmp r5, #0
+    beq .Ldone
+    ldrb r0, [r4], #1
+    ldr r0, [r6, r0, lsl #2]
+    str r0, [r7], #4
+    add r8, r8, r0
+    sub r5, r5, #1
+    b .Lpx
+.Ldone:
+    mov r0, r8
+    swi #2                  ; RGBA word sum
+    ldr r0, =out_rgba
+    ldr r0, [r0]
+    swi #2                  ; first pixel
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+
+    .bss
+out_rgba:
+    .space 102400
+"#;
+
+fn dims(set: InputSet) -> (usize, usize) {
+    match set {
+        InputSet::Small => (56, 56),
+        InputSet::Large => (144, 144),
+    }
+}
+
+fn indices(set: InputSet) -> Vec<u8> {
+    let (w, h) = dims(set);
+    gray_image(set, 0x26ba, w, h)
+}
+
+fn palette(set: InputSet) -> Vec<u32> {
+    let mut lcg = Lcg::new(0x9a1e77e ^ set.seed());
+    (0..256).map(|_| lcg.next_u32() | 0xff00_0000).collect()
+}
+
+fn input(set: InputSet) -> Module {
+    let (w, h) = dims(set);
+    DataBuilder::new("tiff2rgba-input")
+        .word("in_pixels", (w * h) as u32)
+        .words("in_palette", &palette(set))
+        .bytes("in_indices", &indices(set))
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let palette = palette(set);
+    let indices = indices(set);
+    let sum = indices
+        .iter()
+        .fold(0u32, |a, &i| a.wrapping_add(palette[i as usize]));
+    vec![sum, palette[indices[0] as usize]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_is_opaque() {
+        assert!(palette(InputSet::Small).iter().all(|&p| p >> 24 == 0xff));
+        assert_eq!(reference(InputSet::Small).len(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! `tiffdither` — Floyd–Steinberg dithering of a grayscale image to
+//! one bit per pixel (MiBench consumer/tiffdither).
+//!
+//! Error diffusion with the classic 7/16, 3/16, 5/16, 1/16 weights,
+//! realised as `(e*k) >> 4` arithmetic shifts (documented in
+//! DESIGN.md; the reference mirrors the guest exactly). Error rows are
+//! padded by one slot on each side, so no branch guards the borders —
+//! the layout keeps the hot loop branch-lean, like the original's.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::image::gray_image;
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "tiffdither",
+        source: || SOURCE.to_string(),
+        cold_instructions: 5600,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, r6, r7, r8, r9, r10, fp, lr}
+    ldr r4, =in_width
+    ldr r4, [r4]
+    ldr r5, =in_height
+    ldr r5, [r5]
+    ldr r6, =in_image
+    ldr r9, =err_a
+    ldr r10, =err_b
+    ; clear the first error row
+    mov r0, r9
+    mov r1, #0
+    add r2, r4, #2
+    mov r2, r2, lsl #2
+    bl memset
+    mov r7, #0              ; total ones
+    mov r8, #0              ; row-weighted checksum
+    mov fp, #0              ; y
+.Lrow:
+    cmp fp, r5
+    bhs .Lreport
+    ; clear the next-row error buffer
+    mov r0, r10
+    mov r1, #0
+    add r2, r4, #2
+    mov r2, r2, lsl #2
+    bl memset
+    mla r0, fp, r4, r6      ; row pointer: image + y*w
+    mov r1, r4
+    mov r2, r9
+    mov r3, r10
+    bl dither_row
+    add r7, r7, r0
+    add r1, fp, #1
+    mla r8, r0, r1, r8      ; weighted += ones * (y+1)
+    ; swap error rows
+    mov r0, r9
+    mov r9, r10
+    mov r10, r0
+    add fp, fp, #1
+    b .Lrow
+.Lreport:
+    mov r0, r7
+    swi #2                  ; ones
+    mov r0, r8
+    swi #2                  ; row-weighted checksum
+    mov r0, #0
+    pop {r4, r5, r6, r7, r8, r9, r10, fp, pc}
+
+;;cold;;
+
+; dither_row(r0 = image row, r1 = width, r2 = curr errors,
+;            r3 = next errors) -> r0 = ones in the row.
+; Error arrays have one pad slot on each side: logical x lives at
+; word slot x+1.
+dither_row:
+    push {r4, r5, r6, r7, r8, r9, lr}
+    mov r4, r0
+    mov r5, r1
+    mov r6, r2
+    mov r7, r3
+    mov r8, #0              ; ones
+    mov r9, #0              ; x
+.Ldr_x:
+    cmp r9, r5
+    bhs .Ldr_done
+    ldrb r0, [r4, r9]
+    add r1, r9, #1
+    ldr r2, [r6, r1, lsl #2]
+    add r0, r0, r2          ; v = pixel + err
+    cmp r0, #128
+    bge .Ldr_one
+    mov r2, r0              ; e = v (output 0)
+    b .Ldr_diffuse
+.Ldr_one:
+    add r8, r8, #1
+    sub r2, r0, #255        ; e = v - 255 (output 1)
+.Ldr_diffuse:
+    ; curr[x+1] += 7e/16
+    mov r3, #7
+    mul r3, r2, r3
+    mov r3, r3, asr #4
+    add r0, r9, #2
+    ldr ip, [r6, r0, lsl #2]
+    add ip, ip, r3
+    str ip, [r6, r0, lsl #2]
+    ; next[x-1] += 3e/16
+    mov r3, #3
+    mul r3, r2, r3
+    mov r3, r3, asr #4
+    ldr ip, [r7, r9, lsl #2]
+    add ip, ip, r3
+    str ip, [r7, r9, lsl #2]
+    ; next[x] += 5e/16
+    mov r3, #5
+    mul r3, r2, r3
+    mov r3, r3, asr #4
+    add r0, r9, #1
+    ldr ip, [r7, r0, lsl #2]
+    add ip, ip, r3
+    str ip, [r7, r0, lsl #2]
+    ; next[x+1] += e/16
+    mov r3, r2, asr #4
+    add r0, r9, #2
+    ldr ip, [r7, r0, lsl #2]
+    add ip, ip, r3
+    str ip, [r7, r0, lsl #2]
+    add r9, r9, #1
+    b .Ldr_x
+.Ldr_done:
+    mov r0, r8
+    pop {r4, r5, r6, r7, r8, r9, pc}
+
+;;cold;;
+
+    .bss
+err_a:
+    .space 1024
+err_b:
+    .space 1024
+"#;
+
+fn dims(set: InputSet) -> (usize, usize) {
+    match set {
+        InputSet::Small => (64, 64),
+        InputSet::Large => (160, 160),
+    }
+}
+
+fn image(set: InputSet) -> Vec<u8> {
+    let (w, h) = dims(set);
+    gray_image(set, 0xd17e, w, h)
+}
+
+fn input(set: InputSet) -> Module {
+    let (w, h) = dims(set);
+    DataBuilder::new("tiffdither-input")
+        .word("in_width", w as u32)
+        .word("in_height", h as u32)
+        .bytes("in_image", &image(set))
+        .build()
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let (w, h) = dims(set);
+    let image = image(set);
+    let mut curr = vec![0i32; w + 2];
+    let mut ones = 0u32;
+    let mut weighted = 0u32;
+    for y in 0..h {
+        let mut next = vec![0i32; w + 2];
+        let mut row_ones = 0u32;
+        for x in 0..w {
+            let v = i32::from(image[y * w + x]) + curr[x + 1];
+            let e = if v >= 128 {
+                row_ones += 1;
+                v - 255
+            } else {
+                v
+            };
+            curr[x + 2] += (e * 7) >> 4;
+            next[x] += (e * 3) >> 4;
+            next[x + 1] += (e * 5) >> 4;
+            next[x + 2] += e >> 4;
+        }
+        ones = ones.wrapping_add(row_ones);
+        weighted = weighted.wrapping_add(row_ones.wrapping_mul(y as u32 + 1));
+        curr = next;
+    }
+    vec![ones, weighted]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_density_tracks_brightness() {
+        let (w, h) = dims(InputSet::Small);
+        let avg: f64 = image(InputSet::Small).iter().map(|&p| f64::from(p)).sum::<f64>()
+            / (w * h) as f64;
+        let reports = reference(InputSet::Small);
+        let density = f64::from(reports[0]) / (w * h) as f64;
+        // Dithering preserves average brightness.
+        assert!(
+            (density - avg / 255.0).abs() < 0.05,
+            "density {density}, brightness {}",
+            avg / 255.0
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! `tiffmedian` — popularity-based colour quantisation (MiBench
+//! consumer/tiffmedian).
+//!
+//! Three phases, like the original: build a 4-bit-per-channel colour
+//! histogram, pick the 16 most popular bins as the palette, then remap
+//! every pixel to the nearest palette colour (squared distance in the
+//! quantised space). The original's median-cut box splitting is
+//! simplified to popularity selection (documented in DESIGN.md); the
+//! phase structure — histogram, selection scans, remap — is preserved.
+
+use crate::gen::{DataBuilder, InputSet};
+use crate::kernels::image::rgb_image;
+use crate::kernels::KernelSpec;
+use wp_isa::Module;
+
+pub(crate) fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "tiffmedian",
+        source: || {
+            // The 16-entry nearest-palette scan, fully unrolled (the
+            // compiler-unrolled form of the original's inner loop).
+            let mut scan = String::new();
+            for k in 0..16 {
+                scan.push_str(&format!(
+                    "    ldr r3, [r6, #{off}]\n\
+                     \x20   mov ip, r3, lsr #8\n\
+                     \x20   sub ip, r0, ip\n\
+                     \x20   mul ip, ip, ip\n\
+                     \x20   mov fp, r3, lsr #4\n\
+                     \x20   and fp, fp, #15\n\
+                     \x20   sub fp, r1, fp\n\
+                     \x20   mla ip, fp, fp, ip\n\
+                     \x20   and r3, r3, #15\n\
+                     \x20   sub r3, r2, r3\n\
+                     \x20   mla ip, r3, r3, ip\n\
+                     \x20   cmp ip, r10\n\
+                     \x20   movlt r10, ip\n\
+                     \x20   movlt r9, #{k}\n",
+                    off = 4 * k
+                ));
+            }
+            SOURCE.replace("@PALETTE@", &scan)
+        },
+        cold_instructions: 5600,
+        input,
+        reference,
+    }
+}
+
+const SOURCE: &str = r#"
+    .text
+    .global main
+
+main:
+    push {r4, r5, lr}
+    bl med_histogram
+    bl med_select
+    bl med_remap            ; r0 = palette-index sum, r1 = exact hits
+    mov r4, r1
+    swi #2                  ; index sum
+    mov r0, r4
+    swi #2                  ; exact-bin hits
+    ldr r0, =med_bins
+    ldr r0, [r0]
+    swi #2                  ; most popular bin
+    mov r0, #0
+    pop {r4, r5, pc}
+
+;;cold;;
+
+; Build the 4096-bin histogram of 4-bit RGB triples.
+med_histogram:
+    push {r4, r5, r6, r7, lr}
+    ldr r4, =in_rgb
+    ldr r5, =in_pixels
+    ldr r5, [r5]
+    ldr r6, =med_hist
+.Lmh_px:
+    cmp r5, #0
+    beq .Lmh_done
+    ldrb r0, [r4], #1
+    ldrb r1, [r4], #1
+    ldrb r2, [r4], #1
+    mov r0, r0, lsr #4
+    mov r1, r1, lsr #4
+    mov r2, r2, lsr #4
+    orr r0, r2, r0, lsl #8
+    orr r0, r0, r1, lsl #4  ; idx = r<<8 | g<<4 | b
+    ldr r1, [r6, r0, lsl #2]
+    add r1, r1, #1
+    str r1, [r6, r0, lsl #2]
+    sub r5, r5, #1
+    b .Lmh_px
+.Lmh_done:
+    pop {r4, r5, r6, r7, pc}
+
+; Pick the 16 most popular bins (first-wins ties), zeroing each.
+med_select:
+    push {r4, r5, r6, r7, r8, lr}
+    ldr r4, =med_hist
+    ldr r5, =med_bins
+    mov r6, #0              ; k
+.Lms_k:
+    mov r7, #0              ; best bin
+    mov r8, #0              ; best count
+    mov r1, #0              ; scan index
+.Lms_scan:
+    ldr r2, [r4, r1, lsl #2]
+    cmp r2, r8
+    movhi r8, r2
+    movhi r7, r1
+    add r1, r1, #1
+    ldr r3, =4096
+    cmp r1, r3
+    blt .Lms_scan
+    str r7, [r5, r6, lsl #2]
+    mov r2, #0
+    str r2, [r4, r7, lsl #2]
+    add r6, r6, #1
+    cmp r6, #16
+    blt .Lms_k
+    pop {r4, r5, r6, r7, r8, pc}
+
+;;cold;;
+
+; Remap every pixel to the nearest palette bin.
+; -> r0 = sum of chosen indices, r1 = exact-bin matches.
+med_remap:
+    push {r4, r5, r6, r7, r8, r9, r10, fp, lr}
+    sub sp, sp, #8
+    ldr r4, =in_rgb
+    ldr r5, =in_pixels
+    ldr r5, [r5]
+    ldr r6, =med_bins
+    mov r7, #0              ; index sum
+    mov r8, #0              ; exact hits
+.Lmr_px:
+    cmp r5, #0
+    beq .Lmr_done
+    ldrb r0, [r4], #1
+    ldrb r1, [r4], #1
+    ldrb r2, [r4], #1
+    mov r0, r0, lsr #4      ; r4bit
+    mov r1, r1, lsr #4
+    mov r2, r2, lsr #4
+    orr r3, r2, r0, lsl #8
+    orr r3, r3, r1, lsl #4  ; pixel bin
+    str r3, [sp]            ; for the exact-hit test
+    mov r9, #0              ; best k
+    ldr r10, =10000         ; best distance
+@PALETTE@
+    add r7, r7, r9
+    ; exact hit when the distance is zero
+    cmp r10, #0
+    addeq r8, r8, #1
+    sub r5, r5, #1
+    b .Lmr_px
+.Lmr_done:
+    mov r0, r7
+    mov r1, r8
+    add sp, sp, #8
+    pop {r4, r5, r6, r7, r8, r9, r10, fp, pc}
+
+    .bss
+med_hist:
+    .space 16384
+med_bins:
+    .space 64
+"#;
+
+fn dims(set: InputSet) -> (usize, usize) {
+    match set {
+        InputSet::Small => (40, 40),
+        InputSet::Large => (104, 104),
+    }
+}
+
+fn rgb(set: InputSet) -> Vec<u8> {
+    let (w, h) = dims(set);
+    rgb_image(set, 0x3ed1a, w, h)
+}
+
+fn reference(set: InputSet) -> Vec<u32> {
+    let rgb = rgb(set);
+    let mut hist = vec![0u32; 4096];
+    let bins: Vec<usize> = rgb
+        .chunks_exact(3)
+        .map(|p| {
+            ((p[0] as usize >> 4) << 8) | ((p[1] as usize >> 4) << 4) | (p[2] as usize >> 4)
+        })
+        .collect();
+    for &bin in &bins {
+        hist[bin] += 1;
+    }
+    let mut palette = [0usize; 16];
+    for slot in &mut palette {
+        let best = (0..4096).max_by_key(|&i| (hist[i], usize::MAX - i)).expect("bins");
+        *slot = best;
+        hist[best] = 0;
+    }
+    let mut index_sum = 0u32;
+    let mut exact = 0u32;
+    for &bin in &bins {
+        let (r, g, b) =
+            ((bin >> 8) as i32, (bin >> 4 & 15) as i32, (bin & 15) as i32);
+        let mut best_k = 0u32;
+        let mut best_d = 10_000i32;
+        for (k, &p) in palette.iter().enumerate() {
+            let (pr, pg, pb) =
+                ((p >> 8) as i32, (p >> 4 & 15) as i32, (p & 15) as i32);
+            let d = (r - pr) * (r - pr) + (g - pg) * (g - pg) + (b - pb) * (b - pb);
+            if d < best_d {
+                best_d = d;
+                best_k = k as u32;
+            }
+        }
+        index_sum = index_sum.wrapping_add(best_k);
+        if best_d == 0 {
+            exact += 1;
+        }
+    }
+    vec![index_sum, exact, palette[0] as u32]
+}
+
+fn input(set: InputSet) -> Module {
+    let (w, h) = dims(set);
+    DataBuilder::new("tiffmedian-input")
+        .word("in_pixels", (w * h) as u32)
+        .bytes("in_rgb", &rgb(set))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popular_colors_cover_many_pixels() {
+        let reports = reference(InputSet::Small);
+        let (w, h) = dims(InputSet::Small);
+        // The 16 most popular bins exactly cover a non-trivial share of
+        // a smooth image, and everything else maps somewhere.
+        assert!(
+            reports[1] * 20 > (w * h) as u32,
+            "exact hits {} of {}",
+            reports[1],
+            w * h
+        );
+        assert!(reports[0] > 0, "index sum");
+    }
+}

@@ -1,0 +1,182 @@
+//! # wp-workloads — the MiBench-like guest benchmark suite
+//!
+//! Twenty-three benchmark programs for the *compiler way-placement*
+//! reproduction (Jones et al., DATE 2008), standing in for the MiBench
+//! programs the paper evaluates (§5): the same algorithms (CRC-32,
+//! SHA-1, Blowfish, Rijndael, ADPCM, FFT, Patricia tries, SUSAN image
+//! filters, JPEG DCT pipelines, TIFF conversions, ...), written for the
+//! `wp-isa` guest ISA and linked against a shared runtime library.
+//!
+//! Design decisions that matter to the experiments:
+//!
+//! * **Hot/cold structure.** Each program interleaves its kernel
+//!   functions with synthetic never-executed library code (the cold
+//!   bulk real binaries carry), so the natural layout spreads hot
+//!   blocks over a multi-kilobyte footprint — the pathology the
+//!   paper's layout pass repairs.
+//! * **Train vs test inputs.** [`InputSet::Small`] (profiling) and
+//!   [`InputSet::Large`] (measurement) are generated from different
+//!   seeds and sizes, preserving the paper's methodology.
+//! * **Architectural validation.** Every benchmark has a host-side
+//!   reference implementation; its [`Benchmark::reference_reports`]
+//!   sequence predicts the guest's `report`-syscall checksum, so any
+//!   simulator or cache-model bug that corrupts execution is caught on
+//!   every configuration.
+//!
+//! ## Example
+//!
+//! ```
+//! use wp_workloads::{Benchmark, InputSet};
+//!
+//! let modules = Benchmark::Crc.modules(InputSet::Small);
+//! assert!(modules.len() >= 3, "runtime + kernel + input");
+//! assert!(!Benchmark::Crc.reference_reports(InputSet::Small).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gen;
+mod kernels;
+mod runtime;
+
+pub use gen::{cold_text, splice_cold, DataBuilder, InputSet, Lcg};
+pub use runtime::{runtime_module, xorshift32, RUNTIME_SOURCE};
+
+use kernels::KernelSpec;
+use wp_isa::Module;
+
+macro_rules! benchmarks {
+    ($( $variant:ident => $module:ident ),+ $(,)?) => {
+        /// The benchmark programs (the paper's figure 4 x-axis).
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+        pub enum Benchmark {
+            $(
+                #[doc = concat!("The `", stringify!($module), "` benchmark.")]
+                $variant,
+            )+
+        }
+
+        impl Benchmark {
+            /// All benchmarks, in the paper's presentation order.
+            pub const ALL: [Benchmark; benchmarks!(@count $($variant)+)] = [
+                $(Benchmark::$variant,)+
+            ];
+
+            fn spec(self) -> KernelSpec {
+                match self {
+                    $(Benchmark::$variant => kernels::$module::spec(),)+
+                }
+            }
+        }
+    };
+    (@count $($x:ident)+) => { 0usize $(+ benchmarks!(@one $x))+ };
+    (@one $x:ident) => { 1usize };
+}
+
+benchmarks! {
+    Bitcount => bitcount,
+    SusanC => susan_c,
+    SusanE => susan_e,
+    SusanS => susan_s,
+    Cjpeg => cjpeg,
+    Djpeg => djpeg,
+    Tiff2bw => tiff2bw,
+    Tiff2rgba => tiff2rgba,
+    Tiffdither => tiffdither,
+    Tiffmedian => tiffmedian,
+    Sha => sha,
+    Patricia => patricia,
+    Ispell => ispell,
+    Rsynth => rsynth,
+    BlowfishD => blowfish_d,
+    BlowfishE => blowfish_e,
+    Rawcaudio => rawcaudio,
+    Rawdaudio => rawdaudio,
+    RijndaelD => rijndael_d,
+    RijndaelE => rijndael_e,
+    Crc => crc,
+    Fft => fft,
+    FftI => fft_i,
+}
+
+impl Benchmark {
+    /// The benchmark's name, as printed in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Looks a benchmark up by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Builds the modules to link: runtime library, the kernel (with
+    /// its cold bulk spliced in), and the generated input data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded kernel source fails to assemble — a
+    /// build-time bug, covered by tests over every benchmark.
+    #[must_use]
+    pub fn modules(self, input: InputSet) -> Vec<Module> {
+        let spec = self.spec();
+        let source =
+            gen::splice_cold(&(spec.source)(), spec.name, spec.cold_instructions);
+        let kernel = wp_isa::assemble(spec.name, &source)
+            .unwrap_or_else(|e| panic!("kernel `{}` must assemble: {e}", spec.name));
+        vec![runtime::runtime_module(), kernel, (spec.input)(input)]
+    }
+
+    /// The reference `report` sequence the guest must reproduce.
+    #[must_use]
+    pub fn reference_reports(self, input: InputSet) -> Vec<u32> {
+        (self.spec().reference)(input)
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_assembles() {
+        for bench in Benchmark::ALL {
+            for set in InputSet::ALL {
+                let modules = bench.modules(set);
+                assert!(modules.len() >= 3, "{bench}: {} modules", modules.len());
+                let text: usize = modules.iter().map(|m| m.text.len()).sum();
+                assert!(text > 300, "{bench} is suspiciously small: {text} insns");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for bench in Benchmark::ALL {
+            assert!(seen.insert(bench.name()), "duplicate name {bench}");
+            assert_eq!(Benchmark::by_name(bench.name()), Some(bench));
+        }
+        assert_eq!(Benchmark::by_name("nope"), None);
+    }
+
+    #[test]
+    fn references_are_nonempty_and_set_sensitive() {
+        for bench in Benchmark::ALL {
+            let small = bench.reference_reports(InputSet::Small);
+            let large = bench.reference_reports(InputSet::Large);
+            assert!(!small.is_empty(), "{bench}");
+            assert!(!large.is_empty(), "{bench}");
+            assert_ne!(small, large, "{bench}: small and large must differ");
+        }
+    }
+}

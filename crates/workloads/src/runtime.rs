@@ -1,0 +1,231 @@
+//! The shared guest runtime library: startup, software division,
+//! memory and string helpers, and decimal output.
+//!
+//! Every benchmark links against this module, exactly as MiBench
+//! programs link against a C library. The helpers follow the usual
+//! AAPCS-flavoured convention: `r0`-`r3` are arguments/scratch,
+//! `r4`-`r11` are callee-saved, results return in `r0` (and `r1` for
+//! division remainders).
+
+use wp_isa::Module;
+
+/// The runtime library's assembly source.
+pub const RUNTIME_SOURCE: &str = r#"
+    .text
+    .global _start
+
+; Program entry: call main, exit with its return value.
+_start:
+    bl main
+    swi #0
+
+; ---------------------------------------------------------------
+; udiv: unsigned division.
+;   in:  r0 = dividend, r1 = divisor
+;   out: r0 = quotient, r1 = remainder
+;   clobbers r2, r3, ip
+; Classic restoring shift-subtract; divide-by-zero yields q=0, rem=r0.
+; ---------------------------------------------------------------
+udiv:
+    push {r4, lr}
+    mov r4, #0
+    cmp r1, #0
+    beq .Ludiv_end
+    mov r2, r1
+    mov r3, #1
+    mov ip, #1
+    lsl ip, ip, #31
+.Lualign:
+    cmp r2, r0
+    bhs .Luloop
+    tst r2, ip
+    bne .Luloop
+    lsl r2, r2, #1
+    lsl r3, r3, #1
+    b .Lualign
+.Luloop:
+    cmp r0, r2
+    subhs r0, r0, r2
+    orrhs r4, r4, r3
+    lsr r2, r2, #1
+    lsrs r3, r3, #1
+    bne .Luloop
+.Ludiv_end:
+    mov r1, r0
+    mov r0, r4
+    pop {r4, pc}
+
+; ---------------------------------------------------------------
+; idiv: signed division (truncating, like C).
+;   in:  r0 = dividend, r1 = divisor
+;   out: r0 = quotient, r1 = remainder (sign of dividend)
+; ---------------------------------------------------------------
+idiv:
+    push {r4, r5, lr}
+    mov r4, #0              ; r4 bit0: negate quotient, bit1: negate rem
+    cmp r0, #0
+    bge .Lid_a
+    rsb r0, r0, #0
+    eor r4, r4, #3
+.Lid_a:
+    cmp r1, #0
+    bge .Lid_b
+    rsb r1, r1, #0
+    eor r4, r4, #1
+.Lid_b:
+    bl udiv
+    tst r4, #1
+    rsbne r0, r0, #0
+    tst r4, #2
+    rsbne r1, r1, #0
+    pop {r4, r5, pc}
+
+; ---------------------------------------------------------------
+; memcpy(r0 dst, r1 src, r2 len) -> r0 dst; clobbers r1-r3, ip
+; ---------------------------------------------------------------
+memcpy:
+    mov ip, r0
+    orr r3, r0, r1
+    tst r3, #3
+    bne .Lmc_byte
+.Lmc_word:
+    cmp r2, #4
+    blo .Lmc_byte
+    ldr r3, [r1], #4
+    str r3, [r0], #4
+    sub r2, r2, #4
+    b .Lmc_word
+.Lmc_byte:
+    cmp r2, #0
+    beq .Lmc_done
+    ldrb r3, [r1], #1
+    strb r3, [r0], #1
+    sub r2, r2, #1
+    b .Lmc_byte
+.Lmc_done:
+    mov r0, ip
+    bx lr
+
+; ---------------------------------------------------------------
+; memset(r0 dst, r1 byte, r2 len) -> r0 dst; clobbers r2, r3, ip
+; ---------------------------------------------------------------
+memset:
+    mov ip, r0
+.Lms_loop:
+    cmp r2, #0
+    beq .Lms_done
+    strb r1, [r0], #1
+    sub r2, r2, #1
+    b .Lms_loop
+.Lms_done:
+    mov r0, ip
+    bx lr
+
+; ---------------------------------------------------------------
+; strlen(r0 s) -> r0; clobbers r1, r2
+; ---------------------------------------------------------------
+strlen:
+    mov r1, r0
+.Lsl_loop:
+    ldrb r2, [r1], #1
+    cmp r2, #0
+    bne .Lsl_loop
+    sub r0, r1, r0
+    sub r0, r0, #1
+    bx lr
+
+; ---------------------------------------------------------------
+; strcmp(r0 a, r1 b) -> r0 (<0, 0, >0); clobbers r2, r3
+; ---------------------------------------------------------------
+strcmp:
+.Lsc_loop:
+    ldrb r2, [r0], #1
+    ldrb r3, [r1], #1
+    cmp r2, #0
+    beq .Lsc_end
+    cmp r2, r3
+    beq .Lsc_loop
+.Lsc_end:
+    sub r0, r2, r3
+    bx lr
+
+; ---------------------------------------------------------------
+; print_uint(r0 value): writes decimal digits with the putc syscall.
+; ---------------------------------------------------------------
+print_uint:
+    push {r4, r5, lr}
+    sub sp, sp, #16
+    mov r4, #0
+.Lpu_div:
+    mov r1, #10
+    bl udiv
+    add r1, r1, #'0'
+    strb r1, [sp, r4]
+    add r4, r4, #1
+    cmp r0, #0
+    bne .Lpu_div
+.Lpu_out:
+    sub r4, r4, #1
+    ldrb r0, [sp, r4]
+    swi #1
+    cmp r4, #0
+    bne .Lpu_out
+    add sp, sp, #16
+    pop {r4, r5, pc}
+
+; ---------------------------------------------------------------
+; xorshift32(r0 state) -> r0: the guests' own PRNG for workloads
+; that generate data on the fly (distinct from the host-side input
+; generators).
+; ---------------------------------------------------------------
+xorshift32:
+    eor r0, r0, r0, lsl #13
+    eor r0, r0, r0, lsr #17
+    eor r0, r0, r0, lsl #5
+    bx lr
+"#;
+
+/// Assembles the runtime library module.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble — a build-time bug,
+/// covered by unit tests.
+#[must_use]
+pub fn runtime_module() -> Module {
+    wp_isa::assemble("runtime", RUNTIME_SOURCE).expect("runtime library must assemble")
+}
+
+/// Host-side mirror of the guest `xorshift32` helper, for reference
+/// implementations.
+#[must_use]
+pub fn xorshift32(mut state: u32) -> u32 {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_assembles() {
+        let module = runtime_module();
+        assert!(module.symbol("_start").is_some());
+        for name in ["udiv", "idiv", "memcpy", "memset", "strlen", "strcmp", "print_uint"] {
+            assert!(module.symbol(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn xorshift_reference_steps() {
+        // Known xorshift32 trajectory from the literature (seed 1).
+        let mut s = 1u32;
+        s = xorshift32(s);
+        assert_eq!(s, 270_369);
+        s = xorshift32(s);
+        assert_eq!(s, 67_634_689);
+    }
+}

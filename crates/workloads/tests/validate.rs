@@ -1,0 +1,72 @@
+//! Architectural validation: every benchmark, on both input sets, must
+//! reproduce its reference checksum when simulated — and must keep
+//! reproducing it under every fetch scheme, since none of the cache
+//! mechanisms may change architectural behaviour.
+
+use wp_linker::{Layout, Linker, Profile};
+use wp_mem::{CacheGeometry, MemoryConfig};
+use wp_sim::{checksum_of, simulate, SimConfig};
+use wp_workloads::{Benchmark, InputSet};
+
+fn run(bench: Benchmark, set: InputSet, mem: MemoryConfig) -> wp_sim::RunResult {
+    let out = Linker::new()
+        .with_modules(bench.modules(set))
+        .link(Layout::Natural, &Profile::empty())
+        .unwrap_or_else(|e| panic!("{bench}: link failed: {e}"));
+    simulate(&out.image, &SimConfig::new(mem))
+        .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
+}
+
+#[test]
+fn small_inputs_match_reference() {
+    let geom = CacheGeometry::xscale_icache();
+    for bench in Benchmark::ALL {
+        let result = run(bench, InputSet::Small, MemoryConfig::baseline(geom));
+        let expected = checksum_of(bench.reference_reports(InputSet::Small));
+        assert_eq!(
+            result.checksum, expected,
+            "{bench}: architectural checksum mismatch (exit={}, insns={})",
+            result.exit_code, result.instructions
+        );
+        assert_eq!(result.exit_code, 0, "{bench}");
+    }
+}
+
+#[test]
+fn schemes_do_not_change_architecture() {
+    // A small cache stresses every miss/fill path of each scheme.
+    let geom = CacheGeometry::new(4 * 1024, 8, 32);
+    let bench = Benchmark::Crc;
+    let expected = checksum_of(bench.reference_reports(InputSet::Small));
+    for mem in [
+        MemoryConfig::baseline(geom),
+        MemoryConfig::way_placement(geom, wp_isa::Image::TEXT_BASE, 4 * 1024),
+        MemoryConfig::way_memoization(geom),
+    ] {
+        let result = run(bench, InputSet::Small, mem);
+        assert_eq!(result.checksum, expected, "{:?}", mem.icache.scheme);
+    }
+}
+
+#[test]
+#[ignore = "slow: run with --ignored for the full large-input sweep"]
+fn large_inputs_match_reference() {
+    let geom = CacheGeometry::xscale_icache();
+    for bench in Benchmark::ALL {
+        let result = run(bench, InputSet::Large, MemoryConfig::baseline(geom));
+        let expected = checksum_of(bench.reference_reports(InputSet::Large));
+        assert_eq!(result.checksum, expected, "{bench}");
+    }
+}
+
+#[test]
+fn crc_prints_its_checksum_in_decimal() {
+    // The crc guest ends by printing the CRC through the runtime's
+    // print_uint (software division): the emitted characters must be
+    // the decimal form of the reported value.
+    let geom = CacheGeometry::xscale_icache();
+    let result = run(Benchmark::Crc, InputSet::Small, MemoryConfig::baseline(geom));
+    let expected_crc = Benchmark::Crc.reference_reports(InputSet::Small)[0];
+    let printed = String::from_utf8(result.output).expect("ascii digits");
+    assert_eq!(printed.trim_end(), expected_crc.to_string());
+}

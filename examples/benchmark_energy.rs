@@ -1,0 +1,59 @@
+//! Per-structure energy breakdown for one benchmark under each scheme.
+//!
+//! ```text
+//! cargo run --release --example benchmark_energy [benchmark]
+//! ```
+//!
+//! Shows *where* the joules go — CAM tag searches vs data array vs
+//! fills vs link maintenance — which is the mechanism behind every
+//! figure in the paper: way-placement removes tag energy; way-
+//! memoization removes tag energy but widens the data array.
+
+use wp_core::{measure, Measurement, Scheme, Workbench};
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::Benchmark;
+
+fn breakdown(m: &Measurement) {
+    let e = &m.energy.icache;
+    println!("{:<24}", m.scheme.label());
+    println!("    tag (CAM search)   {:>10.2} uJ", e.tag_pj / 1e6);
+    println!("    data array reads   {:>10.2} uJ", e.data_pj / 1e6);
+    println!("    line fills         {:>10.2} uJ", e.fill_pj / 1e6);
+    if e.link_pj > 0.0 {
+        println!("    link maintenance   {:>10.2} uJ", e.link_pj / 1e6);
+    }
+    if e.hint_pj > 0.0 {
+        println!("    way-hint bit       {:>10.2} uJ", e.hint_pj / 1e6);
+    }
+    println!("    I-cache total      {:>10.2} uJ", m.energy.icache_pj() / 1e6);
+    println!(
+        "    whole processor    {:>10.2} uJ ({:.1}% I-cache)",
+        m.energy.total_pj() / 1e6,
+        m.energy.icache_share() * 100.0,
+    );
+    println!(
+        "    fetch events: {} fetches, {:.2} tags/fetch, {} same-line elisions, {} link hits",
+        m.run.fetch.fetches,
+        m.run.fetch.tags_per_fetch(),
+        m.run.fetch.same_line_elisions,
+        m.run.fetch.link_hits,
+    );
+}
+
+fn main() -> Result<(), wp_core::CoreError> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "rijndael_e".into());
+    let benchmark = Benchmark::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`; see `Benchmark::ALL`"));
+    let workbench = Workbench::new(benchmark)?;
+    let geom = CacheGeometry::xscale_icache();
+    println!("== {benchmark} on {geom} ==\n");
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::WayMemoization,
+        Scheme::WayPlacement { area_bytes: 32 * 1024 },
+    ] {
+        breakdown(&measure(&workbench, geom, scheme)?);
+        println!();
+    }
+    Ok(())
+}

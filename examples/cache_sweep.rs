@@ -1,0 +1,58 @@
+//! Sweep cache geometry and way-placement area size for one benchmark.
+//!
+//! ```text
+//! cargo run --release --example cache_sweep [benchmark]
+//! ```
+//!
+//! The per-benchmark version of figures 5 and 6: how the savings move
+//! with cache size, associativity and the OS's choice of area size —
+//! all from one profile and one relink (the paper's "no recompilation"
+//! property).
+
+use wp_core::{measure, Scheme, Workbench};
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::Benchmark;
+
+fn main() -> Result<(), wp_core::CoreError> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cjpeg".into());
+    let benchmark = Benchmark::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let workbench = Workbench::new(benchmark)?;
+    println!(
+        "== {benchmark}: text {} KB, profile {} blocks ==\n",
+        workbench.text_bytes()? / 1024,
+        workbench.profile().len()
+    );
+
+    println!("-- way-placement area sweep on the 32KB, 32-way cache --");
+    let geom = CacheGeometry::xscale_icache();
+    let baseline = measure(&workbench, geom, Scheme::Baseline)?;
+    for area_kb in [32u32, 16, 8, 4, 2, 1] {
+        let m = measure(&workbench, geom, Scheme::WayPlacement { area_bytes: area_kb * 1024 })?;
+        println!(
+            "  area {:>2} KB: energy x{:.3}, ED {:.3}",
+            area_kb,
+            m.normalized_icache_energy(&baseline),
+            m.ed_product(&baseline),
+        );
+    }
+
+    println!("\n-- geometry grid (8KB area) --");
+    for size_kb in [16u32, 32, 64] {
+        for ways in [8u32, 16, 32] {
+            let geom = CacheGeometry::new(size_kb * 1024, ways, 32);
+            let baseline = measure(&workbench, geom, Scheme::Baseline)?;
+            let wp = measure(&workbench, geom, Scheme::WayPlacement { area_bytes: 8 * 1024 })?;
+            let memo = measure(&workbench, geom, Scheme::WayMemoization)?;
+            println!(
+                "  {:<32} wp x{:.3} (ED {:.3}) | memo x{:.3} (ED {:.3})",
+                geom.to_string(),
+                wp.normalized_icache_energy(&baseline),
+                wp.ed_product(&baseline),
+                memo.normalized_icache_energy(&baseline),
+                memo.ed_product(&baseline),
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Inspect what the way-placement layout pass actually does to a
+//! binary: chains, weights, the final order, and dynamic coverage.
+//!
+//! ```text
+//! cargo run --release --example layout_explorer [benchmark]
+//! ```
+
+use wp_core::wp_linker::Layout;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::Workbench;
+
+fn main() -> Result<(), wp_core::CoreError> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crc".into());
+    let benchmark = Benchmark::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let workbench = Workbench::new(benchmark)?;
+    let profile = workbench.profile();
+
+    let natural = workbench.link(Layout::Natural, InputSet::Large)?;
+    let optimised = workbench.link(Layout::WayPlacement, InputSet::Large)?;
+
+    println!("== {benchmark} ==");
+    println!(
+        "text: {} instructions in {} basic blocks, {} chains",
+        natural.image.text.len(),
+        natural.icfg.len(),
+        natural.chains.len()
+    );
+    println!(
+        "cold blocks (never executed in training): {:.1}%\n",
+        profile.cold_fraction() * 100.0
+    );
+
+    println!("-- ten heaviest chains (weight = dynamic instructions) --");
+    let mut chains = natural.chains.clone();
+    chains.sort_by_key(|c| std::cmp::Reverse(c.weight));
+    for (rank, chain) in chains.iter().take(10).enumerate() {
+        let head = &natural.icfg.blocks()[chain.blocks[0]];
+        let label = head
+            .labels
+            .first()
+            .map(String::as_str)
+            .unwrap_or("(anonymous)");
+        let insns: usize = chain
+            .blocks
+            .iter()
+            .map(|&b| natural.icfg.blocks()[b].len)
+            .sum();
+        println!(
+            "  #{rank:<2} weight {:>10}  {:>4} blocks {:>5} insns  head `{label}` @ {:#x} -> {:#x}",
+            chain.weight,
+            chain.blocks.len(),
+            insns,
+            natural.block_final_addr(head.natural_id),
+            optimised.block_final_addr(head.natural_id),
+        );
+    }
+
+    println!("\n-- start of the way-placement area (optimised layout) --");
+    for line in optimised.image.disassemble().iter().take(12) {
+        for label in &line.labels {
+            println!("{label}:");
+        }
+        match &line.target {
+            Some(target) => println!("  {:#010x}  {:<28} ; -> {target}", line.addr, line.text),
+            None => println!("  {:#010x}  {}", line.addr, line.text),
+        }
+    }
+
+    println!("\n-- dynamic-fetch coverage of a prefix of the binary --");
+    println!("{:>8} | {:>8} | {:>13} | {:>8}", "prefix", "natural", "way-placement", "pessimal");
+    let pessimal = workbench.link(Layout::Pessimal, InputSet::Large)?;
+    for kb in [1u32, 2, 4, 8, 16, 32] {
+        println!(
+            "{:>6}KB | {:>7.1}% | {:>12.1}% | {:>7.1}%",
+            kb,
+            natural.coverage_of_prefix(profile, kb * 1024) * 100.0,
+            optimised.coverage_of_prefix(profile, kb * 1024) * 100.0,
+            pessimal.coverage_of_prefix(profile, kb * 1024) * 100.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: reproduce the paper's headline claim on one benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Profiles `sha` on its training input, relinks it hottest-chain-first,
+//! and compares the three schemes of the paper's initial evaluation on
+//! the XScale's 32 KB, 32-way instruction cache.
+
+use wp_core::{measure, Scheme, Workbench};
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::Benchmark;
+
+fn main() -> Result<(), wp_core::CoreError> {
+    let benchmark = Benchmark::Sha;
+    println!("profiling `{benchmark}` on the small input set...");
+    let workbench = Workbench::new(benchmark)?;
+    println!(
+        "  {} training instructions, {} basic blocks profiled\n",
+        workbench.profiling_instructions(),
+        workbench.profile().len(),
+    );
+
+    let geom = CacheGeometry::xscale_icache();
+    let baseline = measure(&workbench, geom, Scheme::Baseline)?;
+    println!("running the large-input measurement on {geom}:");
+    println!(
+        "  {:<24} {:>12} cycles | I-cache {:>7.1} uJ",
+        "baseline",
+        baseline.run.cycles,
+        baseline.energy.icache_pj() / 1e6,
+    );
+    for scheme in [
+        Scheme::WayMemoization,
+        Scheme::WayPlacement { area_bytes: 32 * 1024 },
+    ] {
+        let m = measure(&workbench, geom, scheme)?;
+        println!(
+            "  {:<24} {:>12} cycles | I-cache {:>7.1} uJ | energy x{:.3} | ED {:.3}",
+            m.scheme.label(),
+            m.run.cycles,
+            m.energy.icache_pj() / 1e6,
+            m.normalized_icache_energy(&baseline),
+            m.ed_product(&baseline),
+        );
+    }
+    println!();
+    println!("paper (figure 4 averages): way-memoization ~0.68x, way-placement ~0.50x, ED ~0.93");
+    Ok(())
+}

@@ -1,0 +1,353 @@
+//! Property-based tests of the core data-structure invariants, driven
+//! by proptest.
+
+use proptest::prelude::*;
+
+use wp_core::wp_isa::{
+    canonical, AddrMode, Address, AluOp, Cond, Insn, MemOffset, MemWidth, Op, Operand, Reg,
+    RegList, ShiftAmount, ShiftKind,
+};
+use wp_core::wp_mem::{
+    CacheGeometry, FetchScheme, ICacheConfig, InstructionCache, MemoryConfig, Tlb, TlbConfig,
+};
+
+// ---------- strategies ------------------------------------------------
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn any_shift_kind() -> impl Strategy<Value = ShiftKind> {
+    prop::sample::select(ShiftKind::ALL.to_vec())
+}
+
+fn any_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u32..=Operand::MAX_IMM).prop_map(Operand::Imm),
+        (any_reg(), any_shift_kind(), 0u8..32).prop_map(|(rm, kind, amt)| Operand::Reg {
+            rm,
+            kind,
+            amount: ShiftAmount::Imm(amt),
+        }),
+        (any_reg(), any_shift_kind(), any_reg()).prop_map(|(rm, kind, rs)| Operand::Reg {
+            rm,
+            kind,
+            amount: ShiftAmount::Reg(rs),
+        }),
+    ]
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            prop::sample::select(AluOp::ALL.to_vec()),
+            any::<bool>(),
+            any_reg(),
+            any_reg(),
+            any_operand()
+        )
+            .prop_map(|(op, s, rd, rn, op2)| Op::Alu { op, s, rd, rn, op2 }),
+        (any::<bool>(), any_reg(), any::<u16>())
+            .prop_map(|(top, rd, imm)| Op::Mov16 { top, rd, imm }),
+        (
+            any::<bool>(),
+            prop::sample::select(vec![MemWidth::Word, MemWidth::Byte, MemWidth::Half]),
+            any::<bool>(),
+            any_reg(),
+            any_reg(),
+            -511i32..=511,
+            prop::sample::select(vec![AddrMode::Offset, AddrMode::PreIndex, AddrMode::PostIndex]),
+        )
+            .prop_map(|(load, width, signed, rd, base, imm, mode)| Op::Mem {
+                load,
+                width,
+                signed: signed && load && width != MemWidth::Word,
+                rd,
+                addr: Address { base, offset: MemOffset::Imm(imm), mode },
+            }),
+        (-(1 << 23)..(1 << 23), any::<bool>())
+            .prop_map(|(offset, link)| Op::Branch { link, offset }),
+        any_reg().prop_map(|rm| Op::BranchReg { rm }),
+        (1u16..=0xffff).prop_map(|mask| Op::Push {
+            list: RegList::from_mask(mask & 0x7fff) // pc cannot be pushed
+        }),
+        (1u16..=0xffff).prop_map(|mask| Op::Pop { list: RegList::from_mask(mask) }),
+        (0u32..1 << 24).prop_map(|imm| Op::Swi { imm }),
+        Just(Op::Nop),
+    ]
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    (any_cond(), any_op()).prop_map(|(cond, op)| Insn { cond, op })
+}
+
+// ---------- ISA properties --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every encodable instruction round-trips through its word,
+    /// modulo canonicalisation of don't-care fields.
+    #[test]
+    fn encode_decode_round_trip(insn in any_insn()) {
+        let expected = canonical(insn);
+        let word = expected.encode();
+        let decoded = Insn::decode(word).expect("generated instructions decode");
+        prop_assert_eq!(decoded, expected);
+    }
+
+    /// The barrel shifter never panics and zero-amount shifts are
+    /// identity with carry pass-through.
+    #[test]
+    fn shifter_total(value in any::<u32>(), amount in 0u32..256, carry in any::<bool>()) {
+        for kind in ShiftKind::ALL {
+            let (result, _c) = kind.apply(value, amount, carry);
+            if amount == 0 {
+                prop_assert_eq!(result, value);
+            }
+            // Shifts of 32+ collapse to fills for non-rotates.
+            if amount >= 32 && kind == ShiftKind::Lsl {
+                prop_assert_eq!(result, 0);
+            }
+        }
+    }
+
+    /// Condition codes and their inverses partition the flag space.
+    #[test]
+    fn cond_inverse_partitions(bits in 0u8..16) {
+        let flags = wp_core::wp_isa::Flags {
+            n: bits & 8 != 0,
+            z: bits & 4 != 0,
+            c: bits & 2 != 0,
+            v: bits & 1 != 0,
+        };
+        for cond in Cond::ALL {
+            if cond != Cond::Al {
+                prop_assert_ne!(cond.holds(flags), cond.inverse().holds(flags));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The assembler parses everything the disassembler prints (for the
+    /// non-branch instruction classes — branch displacements print as
+    /// relative annotations, not as parseable labels).
+    #[test]
+    fn display_is_assemblable(insn in any_insn()) {
+        let insn = canonical(insn);
+        prop_assume!(!matches!(insn.op, Op::Branch { .. }));
+        // `swi` with condition suffixes collides with nothing; `push`
+        // never contains pc (guaranteed by the strategy).
+        let source = format!("    .text\n    {insn}\n");
+        let module = wp_core::wp_isa::assemble("roundtrip", &source)
+            .map_err(|e| TestCaseError::fail(format!("{insn}: {e}")))?;
+        prop_assert_eq!(module.text.len(), 1, "{} should be one instruction", insn);
+        prop_assert_eq!(module.text[0].insn, insn, "{}", insn);
+    }
+}
+
+// ---------- cache properties -------------------------------------------
+
+/// A reference set model: a cache of capacity sets*ways must never
+/// report a hit for a line it has not admitted.
+#[derive(Default)]
+struct SetModel {
+    admitted: std::collections::HashSet<u32>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Way-placement invariant: lines from the WP region only ever
+    /// reside in their mapped way, for arbitrary interleavings of WP
+    /// and normal fetches.
+    #[test]
+    fn way_placed_lines_stay_in_their_way(
+        accesses in prop::collection::vec((any::<u16>(), any::<bool>()), 1..600)
+    ) {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let wp_limit = 2048u32;
+        let mut cache = InstructionCache::new(ICacheConfig::way_placement(geom));
+        for (raw, in_wp) in accesses {
+            // WP accesses land below the limit, normal ones above it.
+            let addr = if in_wp {
+                u32::from(raw) % wp_limit
+            } else {
+                wp_limit + u32::from(raw)
+            };
+            cache.fetch(addr & !3, in_wp);
+            prop_assert!(cache.way_placement_invariant_holds(wp_limit));
+        }
+    }
+
+    /// Cache hits are sound: a hit implies the line was fetched before
+    /// (no line materialises from nowhere), under every scheme.
+    #[test]
+    fn hits_are_sound(
+        addrs in prop::collection::vec(any::<u16>(), 1..400),
+        scheme_pick in 0u8..3
+    ) {
+        let geom = CacheGeometry::new(1024, 4, 32);
+        let config = match scheme_pick {
+            0 => ICacheConfig::baseline(geom),
+            1 => ICacheConfig::way_placement(geom),
+            _ => ICacheConfig::way_memoization(geom),
+        };
+        let mut cache = InstructionCache::new(config);
+        let mut model = SetModel::default();
+        for raw in addrs {
+            let addr = u32::from(raw) & !3;
+            let line = geom.line_addr(addr);
+            let outcome = cache.fetch(addr, addr < 512);
+            if outcome.hit {
+                prop_assert!(
+                    model.admitted.contains(&line),
+                    "hit on never-fetched line {line:#x}"
+                );
+            }
+            model.admitted.insert(line);
+        }
+    }
+
+    /// The TLB's way-placement bit is exactly `page entirely below the
+    /// limit`, across random lookups and page sizes.
+    #[test]
+    fn tlb_wp_bit_matches_limit(
+        addrs in prop::collection::vec(any::<u32>(), 1..200),
+        pages in 1u32..16,
+        page_shift in 10u32..13
+    ) {
+        let page_bytes = 1 << page_shift;
+        let limit = pages * page_bytes;
+        let mut tlb = Tlb::new(
+            TlbConfig { entries: 8, page_bytes, miss_penalty: 10 },
+            limit,
+        );
+        for addr in addrs {
+            let outcome = tlb.lookup(addr);
+            let page_base = addr & !(page_bytes - 1);
+            let expected = page_base.saturating_add(page_bytes) <= limit;
+            prop_assert_eq!(outcome.wp, expected, "addr {:#x}", addr);
+        }
+    }
+
+    /// Fetch stats identities hold for arbitrary access streams:
+    /// fetches = hits + misses, and data reads cover every fetch.
+    #[test]
+    fn fetch_stats_identities(
+        addrs in prop::collection::vec(any::<u16>(), 1..500),
+        scheme_pick in 0u8..3
+    ) {
+        let geom = CacheGeometry::new(1024, 4, 32);
+        let config = match scheme_pick {
+            0 => ICacheConfig::baseline(geom),
+            1 => ICacheConfig::way_placement(geom),
+            _ => ICacheConfig::way_memoization(geom),
+        };
+        let mut cache = InstructionCache::new(config);
+        for raw in &addrs {
+            let addr = u32::from(*raw) & !3;
+            cache.fetch(addr, addr < 512);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.fetches, addrs.len() as u64);
+        prop_assert_eq!(s.hits + s.misses, s.fetches);
+        // Every fetch reads the data array at least once; hint
+        // mispredictions re-read.
+        prop_assert!(s.data_reads >= s.fetches);
+        prop_assert_eq!(s.matchline_precharges, s.tag_comparisons);
+    }
+}
+
+// ---------- layout properties ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any profile drives a valid relink: the permutation maps are
+    /// mutually inverse, chains stay contiguous, and the entry point
+    /// still exists.
+    #[test]
+    fn relink_is_a_permutation(counts in prop::collection::vec(0u64..1000, 64)) {
+        use wp_core::wp_linker::{Layout, Linker, Profile};
+        let module = wp_core::wp_isa::assemble(
+            "p",
+            "
+            _start:
+                mov r4, #3
+            .La: subs r4, r4, #1
+                bne .La
+                bl f
+                bl g
+                swi #0
+            f:  mov r0, #1
+                bx lr
+            g:  cmp r0, #2
+                beq .Lg1
+                mov r0, #2
+            .Lg1:
+                bx lr
+            h:  mov r0, #9
+                bx lr
+            ",
+        ).expect("asm");
+        let linker = Linker::new().with_module(module);
+        let natural = linker.link(Layout::Natural, &Profile::empty()).expect("link");
+        let profile = Profile::from_counts(
+            counts[..natural.icfg.len().min(counts.len())].to_vec(),
+        );
+        for layout in [Layout::WayPlacement, Layout::Random(9), Layout::Pessimal] {
+            let out = linker.link(layout, &profile).expect("relink");
+            prop_assert_eq!(out.image.text.len(), natural.image.text.len());
+            for (final_idx, &nat) in out.natural_of_final.iter().enumerate() {
+                prop_assert_eq!(out.final_of_natural[nat], final_idx);
+            }
+            // Blocks of one chain remain contiguous in the final order.
+            for chain in &out.chains {
+                for pair in chain.blocks.windows(2) {
+                    let a = &out.icfg.blocks()[pair[0]];
+                    let b = &out.icfg.blocks()[pair[1]];
+                    prop_assert_eq!(
+                        out.final_of_natural[a.start] + a.len,
+                        out.final_of_natural[b.start]
+                    );
+                }
+            }
+            prop_assert!(out.image.symbol("_start").is_ok());
+        }
+    }
+}
+
+// ---------- memory-config properties ------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Memory configs are constructible for every legal geometry and the
+    /// fetch scheme matches the constructor.
+    #[test]
+    fn memory_config_constructors(size_log in 12u32..17, ways_log in 1u32..6) {
+        let size = 1u32 << size_log;
+        let ways = 1u32 << ways_log;
+        prop_assume!(size >= ways * 32);
+        let geom = CacheGeometry::new(size, ways, 32);
+        prop_assert_eq!(
+            MemoryConfig::baseline(geom).icache.scheme,
+            FetchScheme::Baseline
+        );
+        prop_assert_eq!(
+            MemoryConfig::way_memoization(geom).icache.scheme,
+            FetchScheme::WayMemoization
+        );
+        let wp = MemoryConfig::way_placement(geom, 0x8000, 4096);
+        prop_assert_eq!(wp.icache.scheme, FetchScheme::WayPlacement);
+        prop_assert_eq!(wp.wp_limit, 0x8000 + 4096);
+    }
+}

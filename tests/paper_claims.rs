@@ -1,0 +1,162 @@
+//! The paper's claims, as executable assertions (a fast per-commit
+//! subset; the full tables come from the `wp-bench` binaries).
+//!
+//! Each test names the paper section it guards. "Shape" targets per
+//! DESIGN.md §6: who wins, by roughly what factor, where crossovers
+//! fall — not the authors' absolute testbed numbers.
+
+use wp_core::wp_mem::{CacheGeometry, ICacheConfig, InstructionCache};
+use wp_core::wp_workloads::Benchmark;
+use wp_core::{measure, Comparison, Scheme, Workbench};
+
+fn workbench(benchmark: Benchmark) -> Workbench {
+    Workbench::new(benchmark).expect("workbench")
+}
+
+/// §2 / figure 1: the 12-vs-3 tag comparison example, exactly.
+#[test]
+fn figure1_tag_comparisons() {
+    let geom = CacheGeometry::new(256, 4, 32);
+    let mut baseline = InstructionCache::new(ICacheConfig::baseline(geom));
+    let mut wp = InstructionCache::new(ICacheConfig {
+        same_line_elision: false,
+        ..ICacheConfig::way_placement(geom)
+    });
+    for addr in [0x04u32, 0x08, 0x20] {
+        baseline.fetch(addr, false);
+        wp.fetch(addr, true);
+    }
+    let (b0, w0) = (baseline.stats().tag_comparisons, wp.stats().tag_comparisons);
+    for addr in [0x04u32, 0x08, 0x20] {
+        baseline.fetch(addr, false);
+        wp.fetch(addr, true);
+    }
+    assert_eq!(baseline.stats().tag_comparisons - b0, 12);
+    assert_eq!(wp.stats().tag_comparisons - w0, 3);
+}
+
+/// §6.1: on the 32 KB, 32-way cache with a 32 KB area, way-placement
+/// saves dramatically more I-cache energy than way-memoization, with
+/// no performance change.
+#[test]
+fn section_6_1_initial_evaluation() {
+    let geom = CacheGeometry::xscale_icache();
+    for benchmark in [Benchmark::Sha, Benchmark::RijndaelE, Benchmark::Tiffdither] {
+        let wb = workbench(benchmark);
+        let comparison = Comparison::run(
+            &wb,
+            geom,
+            &[Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization],
+        )
+        .expect("measure");
+        let rows = comparison.rows();
+        let (wp_e, wp_ed) = (rows[0].1, rows[0].2);
+        let memo_e = rows[1].1;
+        assert!(
+            (0.40..0.60).contains(&wp_e),
+            "{benchmark}: way-placement energy {wp_e:.3} (paper ~0.50)"
+        );
+        assert!(wp_e < memo_e, "{benchmark}: {wp_e:.3} !< {memo_e:.3}");
+        assert!(
+            (0.85..0.97).contains(&wp_ed),
+            "{benchmark}: ED {wp_ed:.3} (paper ~0.93)"
+        );
+        // "There is no change in performance" (§6.1).
+        let slowdown = comparison.subjects[0].run.cycles as f64
+            / comparison.baseline.run.cycles as f64;
+        assert!((0.99..1.01).contains(&slowdown), "{benchmark}: slowdown {slowdown}");
+    }
+}
+
+/// §6.2: shrinking the way-placement area degrades the savings
+/// gracefully and never below profitability.
+#[test]
+fn section_6_2_area_sweep_degrades_gracefully() {
+    let geom = CacheGeometry::xscale_icache();
+    // rijndael_e has the biggest hot footprint — the clearest sweep.
+    let wb = workbench(Benchmark::RijndaelE);
+    let baseline = measure(&wb, geom, Scheme::Baseline).expect("baseline");
+    let energy = |area_kb: u32| {
+        measure(&wb, geom, Scheme::WayPlacement { area_bytes: area_kb * 1024 })
+            .expect("wp")
+            .normalized_icache_energy(&baseline)
+    };
+    let e32 = energy(32);
+    let e4 = energy(4);
+    let e1 = energy(1);
+    assert!(e32 < e4 && e4 < e1, "not graceful: {e32:.3} {e4:.3} {e1:.3}");
+    assert!(e1 < 1.0, "1KB area must still save energy: {e1:.3}");
+}
+
+/// §4.1: the OS can change the area size with no relink — the same
+/// image must run (and verify) under every area size.
+#[test]
+fn section_4_1_no_recompilation() {
+    let wb = workbench(Benchmark::Crc);
+    let geom = CacheGeometry::xscale_icache();
+    let image_32 = wb
+        .link(wp_core::wp_linker::Layout::WayPlacement, wp_core::wp_workloads::InputSet::Large)
+        .expect("link")
+        .image;
+    for area in [32 * 1024, 8 * 1024, 1024] {
+        let output = wb
+            .link(
+                wp_core::wp_linker::Layout::WayPlacement,
+                wp_core::wp_workloads::InputSet::Large,
+            )
+            .expect("link");
+        // Identical binary regardless of the area choice.
+        assert_eq!(output.image.text, image_32.text);
+        let m = measure(&wb, geom, Scheme::WayPlacement { area_bytes: area }).expect("run");
+        assert_eq!(m.run.exit_code, 0);
+    }
+}
+
+/// §6.3: associativity scaling — way-placement's savings grow with
+/// ways (more tag energy to recover), and it wins at every point
+/// including where way-memoization's advantage collapses.
+#[test]
+fn section_6_3_associativity_scaling() {
+    let wb = workbench(Benchmark::BlowfishE);
+    let area = Scheme::WayPlacement { area_bytes: 8 * 1024 };
+    let mut previous = f64::INFINITY;
+    for ways in [8u32, 16, 32] {
+        let geom = CacheGeometry::new(16 * 1024, ways, 32);
+        let baseline = measure(&wb, geom, Scheme::Baseline).expect("baseline");
+        let wp = measure(&wb, geom, area).expect("wp");
+        let memo = measure(&wb, geom, Scheme::WayMemoization).expect("memo");
+        let wp_e = wp.normalized_icache_energy(&baseline);
+        let memo_e = memo.normalized_icache_energy(&baseline);
+        assert!(wp_e < 1.0, "{ways}-way: wp must save ({wp_e:.3})");
+        assert!(wp_e < memo_e, "{ways}-way: wp {wp_e:.3} !< memo {memo_e:.3}");
+        assert!(wp_e < previous, "{ways}-way: savings must grow with ways");
+        previous = wp_e;
+    }
+}
+
+/// Ablation (DESIGN.md §10): both halves of the technique matter —
+/// hardware-without-compiler and compiler-without-hardware each do
+/// worse than the combination.
+#[test]
+fn ablation_both_halves_matter() {
+    let wb = workbench(Benchmark::Sha);
+    let geom = CacheGeometry::xscale_icache();
+    let baseline = measure(&wb, geom, Scheme::Baseline).expect("baseline");
+    let combined = measure(&wb, geom, Scheme::WayPlacement { area_bytes: 4096 })
+        .expect("wp")
+        .normalized_icache_energy(&baseline);
+    let hw_only = measure(&wb, geom, Scheme::WayPlacementNaturalLayout { area_bytes: 4096 })
+        .expect("hw")
+        .normalized_icache_energy(&baseline);
+    let sw_only = measure(&wb, geom, Scheme::BaselineOptimisedLayout)
+        .expect("sw")
+        .normalized_icache_energy(&baseline);
+    assert!(
+        combined < hw_only,
+        "layout pass must add value: {combined:.3} !< {hw_only:.3}"
+    );
+    assert!(
+        combined < sw_only,
+        "hardware must add value: {combined:.3} !< {sw_only:.3}"
+    );
+}
