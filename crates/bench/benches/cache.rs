@@ -1,38 +1,30 @@
-//! Criterion microbenchmarks of the raw cache models: per-fetch cost
-//! of each scheme's access path.
+//! Microbenchmarks of the raw cache models: per-fetch cost of each
+//! scheme's access path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wp_bench::timing::bench_throughput;
 use wp_core::wp_mem::{CacheGeometry, ICacheConfig, InstructionCache};
 
-fn bench_fetch_paths(c: &mut Criterion) {
+fn main() {
     let geom = CacheGeometry::xscale_icache();
     // A synthetic fetch trace: a loop over 4 KB of code with a call out
     // to a second region every 16 fetches.
     let trace: Vec<u32> = (0..4096u32)
         .map(|i| if i % 16 == 15 { 0x2_0000 + (i % 64) * 4 } else { 0x8000 + (i * 4) % 4096 })
         .collect();
-    let mut group = c.benchmark_group("icache-fetch");
-    group.throughput(Throughput::Elements(trace.len() as u64));
     for (label, config, wp) in [
         ("baseline", ICacheConfig::baseline(geom), false),
         ("way-placement", ICacheConfig::way_placement(geom), true),
         ("way-memoization", ICacheConfig::way_memoization(geom), false),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
-            b.iter(|| {
-                let mut cache = InstructionCache::new(*config);
-                let mut hits = 0u64;
-                for &addr in &trace {
-                    if cache.fetch(addr, wp && addr < 0x8000 + 32 * 1024).hit {
-                        hits += 1;
-                    }
+        bench_throughput(&format!("icache-fetch/{label}"), 3, 30, trace.len() as u64, || {
+            let mut cache = InstructionCache::new(config);
+            let mut hits = 0u64;
+            for &addr in &trace {
+                if cache.fetch(addr, wp && addr < 0x8000 + 32 * 1024).hit {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fetch_paths);
-criterion_main!(benches);

@@ -1,29 +1,19 @@
-//! Criterion microbenchmarks of the link-time rewriter: full relinks
-//! (merge, ICFG, chains, layout, relocation) under each layout.
+//! Microbenchmarks of the link-time rewriter: full relinks (merge,
+//! ICFG, chains, layout, relocation) under each layout.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_bench::timing::bench_loop;
 use wp_core::wp_linker::Layout;
 use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::Workbench;
 
-fn bench_linker(c: &mut Criterion) {
+fn main() {
     let workbench = Workbench::new(Benchmark::Sha).expect("workbench");
 
-    let mut group = c.benchmark_group("relink-sha-large");
-    group.sample_size(20);
     for layout in [Layout::Natural, Layout::WayPlacement, Layout::Random(7), Layout::Pessimal] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(layout.label()),
-            &layout,
-            |b, &layout| b.iter(|| workbench.link(layout, InputSet::Large).expect("link")),
-        );
+        bench_loop(&format!("relink-sha-large/{}", layout.label()), 3, 20, || {
+            workbench.link(layout, InputSet::Large).expect("link")
+        });
     }
-    group.finish();
 
-    c.bench_function("assemble-sha", |b| {
-        b.iter(|| Benchmark::Sha.modules(InputSet::Small))
-    });
+    bench_loop("assemble-sha", 1, 10, || Benchmark::Sha.modules(InputSet::Small));
 }
-
-criterion_group!(benches, bench_linker);
-criterion_main!(benches);

@@ -1,41 +1,35 @@
-//! Criterion microbenchmarks of the simulator itself: how fast the
-//! substrate executes guest instructions under each fetch scheme.
-//! (Simulator throughput, not guest performance — the experiment
-//! binaries measure the latter.)
+//! Microbenchmarks of the simulator itself: how fast the substrate
+//! executes guest instructions under each fetch scheme. (Simulator
+//! throughput, not guest performance — the experiment binaries measure
+//! the latter.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wp_bench::timing::bench_throughput;
 use wp_core::wp_linker::{Layout, Linker, Profile};
 use wp_core::wp_mem::{CacheGeometry, MemoryConfig};
 use wp_core::wp_sim::{simulate, SimConfig};
 use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::Scheme;
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
     let image = Linker::new()
         .with_modules(Benchmark::Crc.modules(InputSet::Small))
         .link(Layout::Natural, &Profile::empty())
         .expect("link")
         .image;
     let geom = CacheGeometry::xscale_icache();
-    let baseline = simulate(&image, &SimConfig::new(MemoryConfig::baseline(geom)))
-        .expect("baseline run");
-    let mut group = c.benchmark_group("simulate-crc-small");
-    group.throughput(Throughput::Elements(baseline.instructions));
-    group.sample_size(10);
-    for scheme in [
-        Scheme::Baseline,
-        Scheme::WayPlacement { area_bytes: 32 * 1024 },
-        Scheme::WayMemoization,
-    ] {
+    let baseline =
+        simulate(&image, &SimConfig::new(MemoryConfig::baseline(geom))).expect("baseline run");
+    println!("simulate-crc-small ({} guest instructions per iteration)", baseline.instructions);
+    for scheme in
+        [Scheme::Baseline, Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization]
+    {
         let config = SimConfig::new(scheme.memory_config(geom));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &config,
-            |b, config| b.iter(|| simulate(&image, config).expect("run")),
+        bench_throughput(
+            &format!("simulate-crc-small/{}", scheme.label()),
+            2,
+            10,
+            baseline.instructions,
+            || simulate(&image, &config).expect("run"),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

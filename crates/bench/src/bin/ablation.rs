@@ -8,13 +8,16 @@
 //!   disabled (isolates §4.2's second optimisation);
 //! * random/pessimal layout coverage, to show the chain-sorting pass is
 //!   doing real work.
+//!
+//! The coverage and replacement studies reuse the engine's memoised
+//! workbenches — no benchmark is re-profiled after the main suite.
 
-use wp_bench::{format_table, run_suite};
+use wp_bench::{finish, run_suite, Engine, Json};
 use wp_core::wp_linker::Layout;
 use wp_core::wp_mem::{CacheGeometry, ReplacementPolicy};
 use wp_core::wp_sim::{simulate, SimConfig};
 use wp_core::wp_workloads::{Benchmark, InputSet};
-use wp_core::{Scheme, Workbench};
+use wp_core::Scheme;
 
 fn main() {
     let geom = CacheGeometry::xscale_icache();
@@ -27,8 +30,9 @@ fn main() {
         Scheme::WayPlacementNoElision { area_bytes: area },
         Scheme::WayPrediction,
     ];
-    let rows = run_suite(&Benchmark::ALL, geom, &schemes);
-    print!("{}", format_table(&rows));
+    let report = run_suite(&Benchmark::ALL, geom, &schemes);
+    print!("{}", report.table_for(geom));
+    let engine = Engine::global();
 
     println!();
     println!("== Layout-pass coverage of the first 8KB (dynamic fetch fraction) ==");
@@ -36,41 +40,80 @@ fn main() {
         "{:<12} | {:>9} | {:>13} | {:>7} | {:>8}",
         "benchmark", "natural", "way-placement", "random", "pessimal"
     );
+    let mut coverage_rows = Vec::new();
     for benchmark in Benchmark::ALL {
-        let workbench = Workbench::new(benchmark).expect("workbench");
-        let coverage = |layout: Layout| {
-            let out = workbench.link(layout, InputSet::Large).expect("link");
-            out.coverage_of_prefix(workbench.profile(), area)
+        let Ok(workbench) = engine.workbench(benchmark) else {
+            println!("{:<12} | (workbench failed)", benchmark.name());
+            continue;
         };
+        let coverage = |layout: Layout| -> Option<f64> {
+            let out = workbench.link(layout, InputSet::Large).ok()?;
+            Some(out.coverage_of_prefix(workbench.profile(), area))
+        };
+        let cells: Vec<Option<f64>> =
+            [Layout::Natural, Layout::WayPlacement, Layout::Random(1), Layout::Pessimal]
+                .into_iter()
+                .map(coverage)
+                .collect();
+        let pct =
+            |c: &Option<f64>| c.map_or_else(|| "err".into(), |c| format!("{:.1}%", c * 100.0));
         println!(
-            "{:<12} | {:>8.1}% | {:>12.1}% | {:>6.1}% | {:>7.1}%",
+            "{:<12} | {:>9} | {:>13} | {:>7} | {:>8}",
             benchmark.name(),
-            coverage(Layout::Natural) * 100.0,
-            coverage(Layout::WayPlacement) * 100.0,
-            coverage(Layout::Random(1)) * 100.0,
-            coverage(Layout::Pessimal) * 100.0,
+            pct(&cells[0]),
+            pct(&cells[1]),
+            pct(&cells[2]),
+            pct(&cells[3]),
         );
+        coverage_rows.push(Json::obj([
+            ("benchmark", Json::from(benchmark.name())),
+            ("natural", cells[0].map_or(Json::Null, Json::Num)),
+            ("way_placement", cells[1].map_or(Json::Null, Json::Num)),
+            ("random", cells[2].map_or(Json::Null, Json::Num)),
+            ("pessimal", cells[3].map_or(Json::Null, Json::Num)),
+        ]));
     }
 
     println!();
     println!("== Replacement-policy sensitivity (baseline cache, 8KB, 8-way) ==");
     println!("(non-way-placed fills only; way-placed fills are policy-free by design)");
     let small_geom = CacheGeometry::new(8 * 1024, 8, 32);
+    let mut replacement_rows = Vec::new();
     for benchmark in [Benchmark::RijndaelE, Benchmark::Djpeg, Benchmark::Sha] {
-        let workbench = Workbench::new(benchmark).expect("workbench");
-        let output = workbench.link(Layout::Natural, InputSet::Large).expect("link");
+        let Ok(workbench) = engine.workbench(benchmark) else {
+            println!("{:<12} (workbench failed)", benchmark.name());
+            continue;
+        };
+        let Ok(output) = workbench.link(Layout::Natural, InputSet::Large) else {
+            println!("{:<12} (link failed)", benchmark.name());
+            continue;
+        };
         print!("{:<12}", benchmark.name());
+        let mut row = Json::obj([("benchmark", Json::from(benchmark.name()))]);
         for policy in
             [ReplacementPolicy::RoundRobin, ReplacementPolicy::Lru, ReplacementPolicy::Random]
         {
             let mut mem = Scheme::Baseline.memory_config(small_geom);
             mem.icache.replacement = policy;
-            let run = simulate(&output.image, &SimConfig::new(mem)).expect("run");
-            print!(
-                " | {policy:?}: {:.2}% miss",
-                100.0 * (1.0 - run.fetch.hit_rate())
-            );
+            match simulate(&output.image, &SimConfig::new(mem)) {
+                Ok(run) => {
+                    let miss = 1.0 - run.fetch.hit_rate();
+                    print!(" | {policy:?}: {:.2}% miss", 100.0 * miss);
+                    row.push(format!("{policy:?}"), Json::Num(miss));
+                }
+                Err(e) => {
+                    print!(" | {policy:?}: error ({e})");
+                    row.push(format!("{policy:?}"), Json::Null);
+                }
+            }
         }
         println!();
+        replacement_rows.push(row);
     }
+
+    let mut manifest = Json::obj([("figure", Json::from("ablation"))]);
+    manifest.push("suite", report.json());
+    manifest.push("coverage_8kb_prefix", Json::Arr(coverage_rows));
+    manifest.push("replacement_miss_rates", Json::Arr(replacement_rows));
+    std::process::exit(finish("ablation", &report, &manifest));
 }

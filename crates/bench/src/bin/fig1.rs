@@ -1,7 +1,9 @@
 //! Figure 1 reproduction: three instruction fetches (`add`, `br`,
 //! `mul`) on a 2-set, 4-way cache cost 12 tag comparisons under the
-//! baseline and 3 under way-placement.
+//! baseline and 3 under way-placement. The counts also land in
+//! `BENCH_fig1.json`.
 
+use wp_bench::{write_manifest, Json};
 use wp_core::wp_mem::{CacheGeometry, FetchStats, ICacheConfig, InstructionCache};
 
 fn warm_and_count(cache: &mut InstructionCache, wp: bool) -> FetchStats {
@@ -44,4 +46,20 @@ fn main() {
     );
     let saving = 100.0 * (1.0 - w.tag_comparisons as f64 / b.tag_comparisons as f64);
     println!("tag-comparison saving: {saving:.0}% (paper: 75%)");
+
+    let manifest = Json::obj([
+        ("figure", Json::from("fig1")),
+        ("geometry", Json::from(geom.to_string())),
+        ("baseline_fetches", Json::from(b.fetches)),
+        ("baseline_tag_comparisons", Json::from(b.tag_comparisons)),
+        ("way_placement_fetches", Json::from(w.fetches)),
+        ("way_placement_tag_comparisons", Json::from(w.tag_comparisons)),
+        ("tag_saving_fraction", Json::from(saving / 100.0)),
+        ("paper_baseline_tag_comparisons", Json::from(12u32)),
+        ("paper_way_placement_tag_comparisons", Json::from(3u32)),
+    ]);
+    match write_manifest("fig1", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: failed to write BENCH_fig1.json: {e}"),
+    }
 }

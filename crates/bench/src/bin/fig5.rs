@@ -5,9 +5,11 @@
 //! Paper shape targets: graceful degradation; even the 1 KB area keeps
 //! energy at ~56% — still beating way-memoization's ~68%; ED ~0.94 at
 //! 1 KB. No relink is needed between area sizes (§4.1): the same
-//! binary serves every row.
+//! binary serves every row — and on the engine, neither is a second
+//! profile: every area size shares one memoised workbench and one
+//! baseline measurement per benchmark.
 
-use wp_bench::{mean_ed, mean_energy, run_suite, FIGURE5_AREAS};
+use wp_bench::{finish, mean_ed, mean_energy, run_suite, Json, FIGURE5_AREAS};
 use wp_core::wp_mem::CacheGeometry;
 use wp_core::wp_workloads::Benchmark;
 use wp_core::Scheme;
@@ -17,27 +19,36 @@ fn main() {
     println!("== Figure 5: {geom}, way-placement area sweep ==");
     println!("{:<18} | {:>10} | {:>6}", "configuration", "energy", "ED");
 
-    let memo = run_suite(&Benchmark::ALL, geom, &[Scheme::WayMemoization]);
-    println!(
-        "{:<18} | {:>9.1}% | {:>6.3}   (paper: ~68%)",
-        "way-memoization",
-        mean_energy(&memo, 0) * 100.0,
-        mean_ed(&memo, 0)
-    );
-
-    let schemes: Vec<Scheme> = FIGURE5_AREAS
-        .iter()
-        .map(|&area_bytes| Scheme::WayPlacement { area_bytes })
+    // One experiment: way-memoization plus every area size, so the
+    // whole sweep is a single engine run over shared caches.
+    let schemes: Vec<Scheme> = std::iter::once(Scheme::WayMemoization)
+        .chain(FIGURE5_AREAS.iter().map(|&area_bytes| Scheme::WayPlacement { area_bytes }))
         .collect();
-    let rows = run_suite(&Benchmark::ALL, geom, &schemes);
-    for (index, area) in FIGURE5_AREAS.iter().enumerate() {
+    let report = run_suite(&Benchmark::ALL, geom, &schemes);
+    let rows = report.rows_for(geom);
+    if !rows.is_empty() {
         println!(
-            "{:<18} | {:>9.1}% | {:>6.3}",
-            format!("way-placement {}KB", area / 1024),
-            mean_energy(&rows, index) * 100.0,
-            mean_ed(&rows, index)
+            "{:<18} | {:>9.1}% | {:>6.3}   (paper: ~68%)",
+            "way-memoization",
+            mean_energy(&rows, 0) * 100.0,
+            mean_ed(&rows, 0)
         );
+        for (index, area) in FIGURE5_AREAS.iter().enumerate() {
+            println!(
+                "{:<18} | {:>9.1}% | {:>6.3}",
+                format!("way-placement {}KB", area / 1024),
+                mean_energy(&rows, index + 1) * 100.0,
+                mean_ed(&rows, index + 1)
+            );
+        }
     }
     println!();
     println!("paper: 32KB area ~50% energy ... 1KB area ~56% energy, ED ~0.94");
+
+    let mut manifest = Json::obj([
+        ("figure", Json::from("fig5")),
+        ("areas_bytes", Json::arr(FIGURE5_AREAS.iter().map(|&a| Json::from(a)))),
+    ]);
+    manifest.push("suite", report.json());
+    std::process::exit(finish("fig5", &report, &manifest));
 }

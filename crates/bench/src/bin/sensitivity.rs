@@ -2,17 +2,21 @@
 //! our calibration constants?
 //!
 //! Simulation counters are independent of the energy model, so each
-//! scheme is simulated once and then *re-priced* under perturbed
+//! scheme is simulated once — through the engine's caches, on its
+//! bounded worker pool — and then *re-priced* under perturbed
 //! technology parameters: CAM tag-side energy halved/doubled, data-side
 //! bitline energy halved/doubled, and the CAM size-scaling exponent
 //! swept. The claim "way-placement saves substantial I-cache energy and
 //! beats way-memoization" should survive every perturbation; only the
 //! magnitudes may move.
 
+use std::sync::Arc;
+
+use wp_bench::{write_manifest, Engine, Json, SharedError};
 use wp_core::wp_energy::{EnergyModel, SystemActivity, TechnologyParams};
 use wp_core::wp_mem::CacheGeometry;
-use wp_core::wp_workloads::Benchmark;
-use wp_core::{measure, Measurement, Scheme, Workbench};
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{Measurement, Scheme};
 
 fn activity(m: &Measurement) -> SystemActivity {
     SystemActivity {
@@ -25,82 +29,116 @@ fn activity(m: &Measurement) -> SystemActivity {
     }
 }
 
+type Runs = (Benchmark, Arc<Measurement>, Arc<Measurement>, Arc<Measurement>);
+
 fn main() {
     let geom = CacheGeometry::xscale_icache();
     let benchmarks = [Benchmark::Sha, Benchmark::RijndaelE, Benchmark::Crc];
     println!("== Energy-model sensitivity ({geom}, 32KB area) ==");
     println!("normalised I-cache energy under perturbed technology constants\n");
 
-    // Simulate once per (benchmark, scheme).
-    let runs: Vec<(Benchmark, Measurement, Measurement, Measurement)> = benchmarks
-        .iter()
-        .map(|&benchmark| {
-            let wb = Workbench::new(benchmark).expect("workbench");
-            (
-                benchmark,
-                measure(&wb, geom, Scheme::Baseline).expect("baseline"),
-                measure(&wb, geom, Scheme::WayPlacement { area_bytes: 32 * 1024 })
-                    .expect("wp"),
-                measure(&wb, geom, Scheme::WayMemoization).expect("memo"),
-            )
-        })
-        .collect();
+    // Simulate once per (benchmark, scheme), in parallel on the engine
+    // pool; failures surface per benchmark instead of aborting the run.
+    let engine = Engine::global();
+    let outcomes = engine.execute(&benchmarks, |&benchmark| -> Result<Runs, SharedError> {
+        let baseline = engine.measure(benchmark, geom, Scheme::Baseline, InputSet::Large)?;
+        let wp = engine.measure(
+            benchmark,
+            geom,
+            Scheme::WayPlacement { area_bytes: 32 * 1024 },
+            InputSet::Large,
+        )?;
+        let memo = engine.measure(benchmark, geom, Scheme::WayMemoization, InputSet::Large)?;
+        Ok((benchmark, baseline, wp, memo))
+    });
+    let mut failed = 0usize;
+    let mut runs: Vec<Runs> = Vec::new();
+    for (benchmark, outcome) in benchmarks.iter().zip(outcomes) {
+        match outcome {
+            Ok(run) => runs.push(run),
+            Err(e) => {
+                eprintln!("FAILED: {benchmark}: {e}");
+                failed += 1;
+            }
+        }
+    }
 
     let nominal = TechnologyParams::embedded_180nm();
     let variants: Vec<(String, TechnologyParams)> = vec![
         ("nominal".into(), nominal),
-        ("tag energy x0.5".into(), TechnologyParams {
-            cam_bit_pj: nominal.cam_bit_pj * 0.5,
-            matchline_pj: nominal.matchline_pj * 0.5,
-            ..nominal
-        }),
-        ("tag energy x2.0".into(), TechnologyParams {
-            cam_bit_pj: nominal.cam_bit_pj * 2.0,
-            matchline_pj: nominal.matchline_pj * 2.0,
-            ..nominal
-        }),
-        ("data energy x0.5".into(), TechnologyParams {
-            bitline_read_pj: nominal.bitline_read_pj * 0.5,
-            ..nominal
-        }),
-        ("data energy x2.0".into(), TechnologyParams {
-            bitline_read_pj: nominal.bitline_read_pj * 2.0,
-            ..nominal
-        }),
-        ("tag scaling ^0.5".into(), TechnologyParams {
-            tag_scale_exponent: 0.5,
-            ..nominal
-        }),
-        ("tag scaling ^1.0".into(), TechnologyParams {
-            tag_scale_exponent: 1.0,
-            ..nominal
-        }),
+        (
+            "tag energy x0.5".into(),
+            TechnologyParams {
+                cam_bit_pj: nominal.cam_bit_pj * 0.5,
+                matchline_pj: nominal.matchline_pj * 0.5,
+                ..nominal
+            },
+        ),
+        (
+            "tag energy x2.0".into(),
+            TechnologyParams {
+                cam_bit_pj: nominal.cam_bit_pj * 2.0,
+                matchline_pj: nominal.matchline_pj * 2.0,
+                ..nominal
+            },
+        ),
+        (
+            "data energy x0.5".into(),
+            TechnologyParams { bitline_read_pj: nominal.bitline_read_pj * 0.5, ..nominal },
+        ),
+        (
+            "data energy x2.0".into(),
+            TechnologyParams { bitline_read_pj: nominal.bitline_read_pj * 2.0, ..nominal },
+        ),
+        ("tag scaling ^0.5".into(), TechnologyParams { tag_scale_exponent: 0.5, ..nominal }),
+        ("tag scaling ^1.0".into(), TechnologyParams { tag_scale_exponent: 1.0, ..nominal }),
     ];
 
     println!(
         "{:<18} | {:<12} | {:>14} | {:>16} | {:>8}",
         "technology", "benchmark", "way-placement", "way-memoization", "wp wins"
     );
+    let mut manifest_rows = Vec::new();
     for (label, tech) in &variants {
         let model = EnergyModel::new().with_technology(*tech);
         for (benchmark, baseline, wp, memo) in &runs {
             let price = |m: &Measurement| {
-                model
-                    .price(&m.scheme.memory_config(geom), &activity(m))
-                    .icache_pj()
+                model.price(&m.scheme.memory_config(geom), &activity(m)).icache_pj()
             };
             let base = price(baseline);
             let wp_ratio = price(wp) / base;
             let memo_ratio = price(memo) / base;
+            let wins = wp_ratio < memo_ratio && wp_ratio < 1.0;
             println!(
                 "{label:<18} | {:<12} | {:>13.1}% | {:>15.1}% | {:>8}",
                 benchmark.name(),
                 wp_ratio * 100.0,
                 memo_ratio * 100.0,
-                if wp_ratio < memo_ratio && wp_ratio < 1.0 { "yes" } else { "NO" },
+                if wins { "yes" } else { "NO" },
             );
+            manifest_rows.push(Json::obj([
+                ("technology", Json::from(label.clone())),
+                ("benchmark", Json::from(benchmark.name())),
+                ("way_placement", Json::from(wp_ratio)),
+                ("way_memoization", Json::from(memo_ratio)),
+                ("wp_wins", Json::from(wins)),
+            ]));
         }
     }
     println!();
     println!("claim under test: way-placement < way-memoization < baseline at every point.");
+
+    let manifest = Json::obj([
+        ("figure", Json::from("sensitivity")),
+        ("geometry", Json::from(geom.to_string())),
+        ("rows", Json::Arr(manifest_rows)),
+        ("failed_benchmarks", Json::from(failed)),
+        ("stats", engine.stats().json()),
+    ]);
+    match write_manifest("sensitivity", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: failed to write BENCH_sensitivity.json: {e}"),
+    }
+    eprintln!("{}", engine.stats());
+    std::process::exit(i32::from(failed > 0));
 }

@@ -1,0 +1,717 @@
+//! The shared experiment engine.
+//!
+//! Every figure binary used to rebuild and re-profile each benchmark at
+//! every sweep point and `run_suite` spawned one unbounded thread per
+//! benchmark, panicking on the first failure. The engine replaces both
+//! patterns with one substrate:
+//!
+//! * **Memoised workbenches** — [`Engine::workbench`] assembles and
+//!   profiles each [`Benchmark`] exactly once per engine (and, through
+//!   [`Engine::global`], exactly once per process), no matter how many
+//!   geometries, area sizes or schemes sweep over it. Baseline
+//!   [`Measurement`]s are likewise shared per `(benchmark, geometry,
+//!   input-set)` across every scheme normalised against them.
+//! * **Bounded, deterministic parallelism** — [`Engine::run`] flattens
+//!   an [`Experiment`] into `(benchmark × geometry × scheme)` jobs and
+//!   executes them on a worker pool sized from
+//!   `std::thread::available_parallelism`. Results are ordered by job
+//!   index, never by completion order, so output is reproducible on any
+//!   machine at any parallelism.
+//! * **Structured failures** — a failing job surfaces as a
+//!   [`JobFailure`] inside [`SuiteReport::failures`] while every other
+//!   job still completes; nothing panics and no result is lost.
+//! * **Observability** — per-phase wall-clock totals
+//!   (assemble/profile/link/simulate/price), cache hit/miss counters,
+//!   and JSON manifests via [`SuiteReport::json`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{measure_on_timed, CoreError, MeasureTiming, Measurement, Scheme, Workbench};
+
+use crate::json::Json;
+use crate::SuiteRow;
+
+/// Errors shared between the cache and every job that hit it.
+pub type SharedError = Arc<CoreError>;
+
+/// A declarative experiment: the full cross product of benchmarks,
+/// cache geometries and schemes, measured on one input set.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Benchmarks to measure.
+    pub benchmarks: Vec<Benchmark>,
+    /// Cache geometries to measure on.
+    pub geometries: Vec<CacheGeometry>,
+    /// Schemes to measure (the baseline is always measured implicitly
+    /// for normalisation; list it explicitly to get a 1.0 row).
+    pub schemes: Vec<Scheme>,
+    /// The input set jobs run on (profiling always uses `Small`).
+    pub input_set: InputSet,
+}
+
+impl Experiment {
+    /// An experiment on the large (measurement) input set.
+    #[must_use]
+    pub fn new(
+        benchmarks: impl Into<Vec<Benchmark>>,
+        geometries: impl Into<Vec<CacheGeometry>>,
+        schemes: impl Into<Vec<Scheme>>,
+    ) -> Experiment {
+        Experiment {
+            benchmarks: benchmarks.into(),
+            geometries: geometries.into(),
+            schemes: schemes.into(),
+            input_set: InputSet::Large,
+        }
+    }
+
+    /// Overrides the input set (e.g. `Small` for quick regression runs).
+    #[must_use]
+    pub fn with_input_set(mut self, set: InputSet) -> Experiment {
+        self.input_set = set;
+        self
+    }
+
+    /// Number of jobs this experiment flattens into.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.benchmarks.len() * self.geometries.len() * self.schemes.len()
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("benchmarks", Json::arr(self.benchmarks.iter().map(|b| Json::from(b.name())))),
+            ("geometries", Json::arr(self.geometries.iter().map(|g| Json::from(g.to_string())))),
+            ("schemes", Json::arr(self.schemes.iter().map(|s| Json::from(s.label())))),
+            (
+                "input_set",
+                Json::from(match self.input_set {
+                    InputSet::Small => "small",
+                    InputSet::Large => "large",
+                }),
+            ),
+        ])
+    }
+}
+
+/// One completed `(benchmark, geometry, scheme)` job, normalised
+/// against the shared baseline of its `(benchmark, geometry)`.
+#[derive(Clone, Debug)]
+pub struct JobRow {
+    /// The benchmark measured.
+    pub benchmark: Benchmark,
+    /// The cache geometry measured on.
+    pub geometry: CacheGeometry,
+    /// The scheme measured.
+    pub scheme: Scheme,
+    /// The scheme's report label.
+    pub label: String,
+    /// Normalised I-cache energy (1.0 = baseline).
+    pub energy: f64,
+    /// Energy-delay product against the baseline.
+    pub ed: f64,
+    /// Cycles the run took.
+    pub cycles: u64,
+    /// Instructions the run committed.
+    pub instructions: u64,
+}
+
+impl JobRow {
+    fn json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::from(self.benchmark.name())),
+            ("geometry", Json::from(self.geometry.to_string())),
+            ("scheme", Json::from(self.label.clone())),
+            ("energy", Json::from(self.energy)),
+            ("ed", Json::from(self.ed)),
+            ("cycles", Json::from(self.cycles)),
+            ("instructions", Json::from(self.instructions)),
+        ])
+    }
+}
+
+/// Which phase of a job failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobPhase {
+    /// Assembling/profiling the benchmark's workbench.
+    Workbench,
+    /// Measuring the shared baseline.
+    Baseline,
+    /// Measuring the scheme itself.
+    Measure,
+}
+
+impl JobPhase {
+    fn name(self) -> &'static str {
+        match self {
+            JobPhase::Workbench => "workbench",
+            JobPhase::Baseline => "baseline",
+            JobPhase::Measure => "measure",
+        }
+    }
+}
+
+/// A structured per-job failure: the job's identity plus the error,
+/// reported instead of a panic so sibling jobs keep their results.
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// The benchmark of the failing job.
+    pub benchmark: Benchmark,
+    /// The geometry of the failing job.
+    pub geometry: CacheGeometry,
+    /// The scheme of the failing job.
+    pub scheme: Scheme,
+    /// Which phase failed.
+    pub phase: JobPhase,
+    /// The underlying error (shared when a cached phase failed).
+    pub error: SharedError,
+}
+
+impl JobFailure {
+    fn json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::from(self.benchmark.name())),
+            ("geometry", Json::from(self.geometry.to_string())),
+            ("scheme", Json::from(self.scheme.label())),
+            ("phase", Json::from(self.phase.name())),
+            ("error", Json::from(self.error.to_string())),
+        ])
+    }
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {} under {} failed in {}: {}",
+            self.benchmark,
+            self.geometry,
+            self.scheme.label(),
+            self.phase.name(),
+            self.error
+        )
+    }
+}
+
+/// A snapshot of the engine's counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineStats {
+    /// Workbenches assembled and profiled (cache misses) — the
+    /// "profiled exactly once per process" counter.
+    pub workbench_builds: u64,
+    /// Workbench cache hits.
+    pub workbench_hits: u64,
+    /// Baseline measurements run (cache misses).
+    pub baseline_builds: u64,
+    /// Baseline cache hits.
+    pub baseline_hits: u64,
+    /// Jobs that produced a row.
+    pub jobs_ok: u64,
+    /// Jobs that produced a failure.
+    pub jobs_failed: u64,
+    /// Wall-clock nanoseconds assembling + naturally linking modules.
+    pub assemble_ns: u64,
+    /// Wall-clock nanoseconds in profiling runs.
+    pub profiling_ns: u64,
+    /// Wall-clock nanoseconds relinking under scheme layouts.
+    pub link_ns: u64,
+    /// Wall-clock nanoseconds simulating measurement runs.
+    pub simulate_ns: u64,
+    /// Wall-clock nanoseconds pricing energy.
+    pub price_ns: u64,
+    /// Worker threads the pool uses.
+    pub workers: u64,
+}
+
+impl EngineStats {
+    /// JSON rendering. Wall-clock phase totals are genuinely
+    /// nondeterministic, so [`SuiteReport::results_json`] (the
+    /// determinism-checked subset) excludes this object.
+    #[must_use]
+    pub fn json(&self) -> Json {
+        Json::obj([
+            ("workbench_builds", Json::from(self.workbench_builds)),
+            ("workbench_hits", Json::from(self.workbench_hits)),
+            ("baseline_builds", Json::from(self.baseline_builds)),
+            ("baseline_hits", Json::from(self.baseline_hits)),
+            ("jobs_ok", Json::from(self.jobs_ok)),
+            ("jobs_failed", Json::from(self.jobs_failed)),
+            ("assemble_ns", Json::from(self.assemble_ns)),
+            ("profiling_ns", Json::from(self.profiling_ns)),
+            ("link_ns", Json::from(self.link_ns)),
+            ("simulate_ns", Json::from(self.simulate_ns)),
+            ("price_ns", Json::from(self.price_ns)),
+            ("workers", Json::from(self.workers)),
+        ])
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine: {} jobs ok, {} failed on {} workers | workbenches {} built / {} reused, \
+             baselines {} built / {} reused | assemble {:.2}s, profile {:.2}s, link {:.2}s, \
+             simulate {:.2}s, price {:.2}s",
+            self.jobs_ok,
+            self.jobs_failed,
+            self.workers,
+            self.workbench_builds,
+            self.workbench_hits,
+            self.baseline_builds,
+            self.baseline_hits,
+            self.assemble_ns as f64 / 1e9,
+            self.profiling_ns as f64 / 1e9,
+            self.link_ns as f64 / 1e9,
+            self.simulate_ns as f64 / 1e9,
+            self.price_ns as f64 / 1e9,
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    workbench_builds: AtomicU64,
+    workbench_hits: AtomicU64,
+    baseline_builds: AtomicU64,
+    baseline_hits: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    assemble_ns: AtomicU64,
+    profiling_ns: AtomicU64,
+    link_ns: AtomicU64,
+    simulate_ns: AtomicU64,
+    price_ns: AtomicU64,
+}
+
+/// The whole-suite result: partial rows plus structured failures plus
+/// the engine counters at completion.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// The experiment that ran.
+    pub experiment: Experiment,
+    /// Completed rows, in deterministic `benchmarks × geometries ×
+    /// schemes` order (independent of completion order).
+    pub rows: Vec<JobRow>,
+    /// Failed jobs, in the same deterministic order.
+    pub failures: Vec<JobFailure>,
+    /// Engine counters snapshotted after the run.
+    pub stats: EngineStats,
+}
+
+impl SuiteReport {
+    /// Whether every job completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Per-benchmark [`SuiteRow`]s for one geometry (the shape
+    /// [`crate::format_table`] renders). Benchmarks with any failed
+    /// scheme at this geometry are omitted — partial results, ragged
+    /// rows never.
+    #[must_use]
+    pub fn rows_for(&self, geometry: CacheGeometry) -> Vec<SuiteRow> {
+        self.experiment
+            .benchmarks
+            .iter()
+            .filter_map(|&benchmark| {
+                let values: Vec<(String, f64, f64)> = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.benchmark == benchmark && r.geometry == geometry)
+                    .map(|r| (r.label.clone(), r.energy, r.ed))
+                    .collect();
+                (values.len() == self.experiment.schemes.len())
+                    .then_some(SuiteRow { benchmark, values })
+            })
+            .collect()
+    }
+
+    /// Renders the per-benchmark table for one geometry, or a placeholder
+    /// when every benchmark failed there.
+    #[must_use]
+    pub fn table_for(&self, geometry: CacheGeometry) -> String {
+        let rows = self.rows_for(geometry);
+        if rows.is_empty() {
+            return format!("(no completed rows for {geometry})\n");
+        }
+        crate::format_table(&rows)
+    }
+
+    /// The deterministic manifest subset: experiment + rows + failures.
+    /// Byte-identical across reruns of the same experiment (asserted by
+    /// the determinism regression test); excludes wall-clock stats.
+    #[must_use]
+    pub fn results_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from("wp-bench/suite-v1")),
+            ("experiment", self.experiment.json()),
+            ("rows", Json::arr(self.rows.iter().map(JobRow::json))),
+            ("failures", Json::arr(self.failures.iter().map(JobFailure::json))),
+        ])
+    }
+
+    /// The full manifest: [`SuiteReport::results_json`] plus the engine
+    /// stats (cache counters and phase timings).
+    #[must_use]
+    pub fn json(&self) -> Json {
+        let mut manifest = self.results_json();
+        manifest.push("stats", self.stats.json());
+        manifest
+    }
+
+    /// Prints every failure to stderr; returns how many there were.
+    pub fn print_failures(&self) -> usize {
+        for failure in &self.failures {
+            eprintln!("FAILED: {failure}");
+        }
+        self.failures.len()
+    }
+}
+
+type Cached<T> = Arc<OnceLock<Result<Arc<T>, SharedError>>>;
+
+/// Fault-injection hook: inspects a job before it is measured and may
+/// force a [`CoreError`]. Test-support for exercising the structured
+/// failure path (e.g. checksum-mismatch surfacing) without corrupting a
+/// real benchmark.
+pub type FaultHook = dyn Fn(Benchmark, CacheGeometry, Scheme) -> Option<CoreError> + Send + Sync;
+
+/// The shared experiment engine. See the module docs for the contract.
+pub struct Engine {
+    workers: usize,
+    workbenches: Mutex<HashMap<Benchmark, Cached<Workbench>>>,
+    baselines: Mutex<HashMap<(Benchmark, CacheGeometry, InputSet), Cached<Measurement>>>,
+    counters: Counters,
+    fault: Option<Box<FaultHook>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("stats", &self.stats())
+            .field("fault", &self.fault.is_some())
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine sized from `std::thread::available_parallelism`.
+    #[must_use]
+    pub fn new() -> Engine {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Engine::with_workers(workers)
+    }
+
+    /// An engine with an explicit worker-pool bound (≥ 1).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            workbenches: Mutex::new(HashMap::new()),
+            baselines: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            fault: None,
+        }
+    }
+
+    /// Installs a fault-injection hook (test support; see [`FaultHook`]).
+    #[must_use]
+    pub fn with_fault(
+        mut self,
+        hook: impl Fn(Benchmark, CacheGeometry, Scheme) -> Option<CoreError> + Send + Sync + 'static,
+    ) -> Engine {
+        self.fault = Some(Box::new(hook));
+        self
+    }
+
+    /// The process-wide engine: every binary and `run_suite` call in
+    /// this process shares its workbench and baseline caches, which is
+    /// what makes "each benchmark is profiled exactly once per process"
+    /// literal.
+    pub fn global() -> &'static Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        GLOBAL.get_or_init(Engine::new)
+    }
+
+    /// The worker-pool bound.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshots the counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        EngineStats {
+            workbench_builds: load(&c.workbench_builds),
+            workbench_hits: load(&c.workbench_hits),
+            baseline_builds: load(&c.baseline_builds),
+            baseline_hits: load(&c.baseline_hits),
+            jobs_ok: load(&c.jobs_ok),
+            jobs_failed: load(&c.jobs_failed),
+            assemble_ns: load(&c.assemble_ns),
+            profiling_ns: load(&c.profiling_ns),
+            link_ns: load(&c.link_ns),
+            simulate_ns: load(&c.simulate_ns),
+            price_ns: load(&c.price_ns),
+            workers: self.workers as u64,
+        }
+    }
+
+    fn add_measure_timing(&self, timing: &MeasureTiming) {
+        let add = |a: &AtomicU64, d: std::time::Duration| {
+            a.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        };
+        add(&self.counters.link_ns, timing.link);
+        add(&self.counters.simulate_ns, timing.simulate);
+        add(&self.counters.price_ns, timing.price);
+    }
+
+    /// The memoised workbench for `benchmark`: assembled and profiled
+    /// exactly once per engine, shared by every caller thereafter.
+    /// Failures are memoised too — a broken benchmark is not rebuilt
+    /// per sweep point.
+    ///
+    /// # Errors
+    ///
+    /// The (shared) construction error.
+    pub fn workbench(&self, benchmark: Benchmark) -> Result<Arc<Workbench>, SharedError> {
+        let cell = {
+            let mut map = self.workbenches.lock().expect("workbench cache poisoned");
+            Arc::clone(map.entry(benchmark).or_default())
+        };
+        let mut built = false;
+        let result = cell.get_or_init(|| {
+            built = true;
+            self.counters.workbench_builds.fetch_add(1, Ordering::Relaxed);
+            match Workbench::new_timed(benchmark) {
+                Ok((workbench, timing)) => {
+                    self.counters
+                        .assemble_ns
+                        .fetch_add(timing.assemble.as_nanos() as u64, Ordering::Relaxed);
+                    self.counters
+                        .profiling_ns
+                        .fetch_add(timing.profiling.as_nanos() as u64, Ordering::Relaxed);
+                    Ok(Arc::new(workbench))
+                }
+                Err(e) => Err(Arc::new(e)),
+            }
+        });
+        if !built {
+            self.counters.workbench_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// The memoised baseline measurement for `(benchmark, geometry,
+    /// set)`, shared across every scheme normalised against it.
+    ///
+    /// # Errors
+    ///
+    /// The (shared) workbench or measurement error.
+    pub fn baseline(
+        &self,
+        benchmark: Benchmark,
+        geometry: CacheGeometry,
+        set: InputSet,
+    ) -> Result<Arc<Measurement>, SharedError> {
+        let cell = {
+            let mut map = self.baselines.lock().expect("baseline cache poisoned");
+            Arc::clone(map.entry((benchmark, geometry, set)).or_default())
+        };
+        let mut built = false;
+        let result = cell.get_or_init(|| {
+            built = true;
+            self.counters.baseline_builds.fetch_add(1, Ordering::Relaxed);
+            let workbench = self.workbench(benchmark)?;
+            match measure_on_timed(&workbench, geometry, Scheme::Baseline, set) {
+                Ok((measurement, timing)) => {
+                    self.add_measure_timing(&timing);
+                    Ok(Arc::new(measurement))
+                }
+                Err(e) => Err(Arc::new(e)),
+            }
+        });
+        if !built {
+            self.counters.baseline_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Measures one scheme through the caches: the workbench is
+    /// memoised, and `Scheme::Baseline` resolves to the shared baseline
+    /// measurement.
+    ///
+    /// # Errors
+    ///
+    /// The (possibly shared) failure of any phase.
+    pub fn measure(
+        &self,
+        benchmark: Benchmark,
+        geometry: CacheGeometry,
+        scheme: Scheme,
+        set: InputSet,
+    ) -> Result<Arc<Measurement>, SharedError> {
+        if scheme == Scheme::Baseline {
+            return self.baseline(benchmark, geometry, set);
+        }
+        let workbench = self.workbench(benchmark)?;
+        match measure_on_timed(&workbench, geometry, scheme, set) {
+            Ok((measurement, timing)) => {
+                self.add_measure_timing(&timing);
+                Ok(Arc::new(measurement))
+            }
+            Err(e) => Err(Arc::new(e)),
+        }
+    }
+
+    /// Runs `experiment` to completion on the bounded pool and returns
+    /// the structured report. Never panics on job failure.
+    #[must_use]
+    pub fn run(&self, experiment: &Experiment) -> SuiteReport {
+        // Flattened deterministic job order: benchmark-major, then
+        // geometry, then scheme — the order rows are reported in.
+        let jobs: Vec<(Benchmark, CacheGeometry, Scheme)> = experiment
+            .benchmarks
+            .iter()
+            .flat_map(|&b| {
+                experiment
+                    .geometries
+                    .iter()
+                    .flat_map(move |&g| experiment.schemes.iter().map(move |&s| (b, g, s)))
+            })
+            .collect();
+
+        let outcomes = self.execute(&jobs, |&(benchmark, geometry, scheme)| {
+            self.run_job(benchmark, geometry, scheme, experiment.input_set)
+        });
+
+        let mut rows = Vec::new();
+        let mut failures = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(row) => {
+                    self.counters.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                    rows.push(row);
+                }
+                Err(failure) => {
+                    self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    failures.push(failure);
+                }
+            }
+        }
+        SuiteReport { experiment: experiment.clone(), rows, failures, stats: self.stats() }
+    }
+
+    fn run_job(
+        &self,
+        benchmark: Benchmark,
+        geometry: CacheGeometry,
+        scheme: Scheme,
+        set: InputSet,
+    ) -> Result<JobRow, JobFailure> {
+        let fail = |phase, error| JobFailure { benchmark, geometry, scheme, phase, error };
+        // Workbench first: its failure is the most specific phase.
+        self.workbench(benchmark).map_err(|e| fail(JobPhase::Workbench, e))?;
+        let baseline = self
+            .baseline(benchmark, geometry, set)
+            .map_err(|e| fail(JobPhase::Baseline, e))?;
+        if let Some(hook) = &self.fault {
+            if let Some(error) = hook(benchmark, geometry, scheme) {
+                return Err(fail(JobPhase::Measure, Arc::new(error)));
+            }
+        }
+        let measurement = self
+            .measure(benchmark, geometry, scheme, set)
+            .map_err(|e| fail(JobPhase::Measure, e))?;
+        Ok(JobRow {
+            benchmark,
+            geometry,
+            scheme,
+            label: scheme.label(),
+            energy: measurement.normalized_icache_energy(&baseline),
+            ed: measurement.ed_product(&baseline),
+            cycles: measurement.run.cycles,
+            instructions: measurement.run.instructions,
+        })
+    }
+
+    /// Runs `job` over every element of `jobs` on the bounded worker
+    /// pool, returning results **in input order** regardless of which
+    /// worker finished first.
+    pub fn execute<T, R, F>(&self, jobs: &[T], job: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+        slots.resize_with(jobs.len(), || None);
+        let slots = Mutex::new(slots);
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(jobs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(input) = jobs.get(index) else { break };
+                    let result = job(input);
+                    slots.lock().expect("result slots poisoned")[index] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every job index filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_preserves_input_order() {
+        let engine = Engine::with_workers(8);
+        let jobs: Vec<u64> = (0..64).collect();
+        // Reverse sleep makes later jobs finish first without the pool.
+        let results = engine.execute(&jobs, |&n| {
+            std::thread::sleep(std::time::Duration::from_micros(64 - n));
+            n * 2
+        });
+        assert_eq!(results, (0..64).map(|n| n * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn workers_never_zero() {
+        assert_eq!(Engine::with_workers(0).workers(), 1);
+    }
+
+    #[test]
+    fn experiment_job_count() {
+        let exp = Experiment::new(
+            vec![Benchmark::Crc, Benchmark::Sha],
+            vec![CacheGeometry::xscale_icache()],
+            vec![Scheme::WayMemoization, Scheme::Baseline],
+        );
+        assert_eq!(exp.job_count(), 4);
+    }
+}

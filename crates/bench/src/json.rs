@@ -1,0 +1,255 @@
+//! A minimal, dependency-free JSON value and emitter.
+//!
+//! The offline build cannot fetch `serde`, so the experiment manifests
+//! (`BENCH_<fig>.json`) are emitted through this hand-rolled tree. Two
+//! properties matter more than features here:
+//!
+//! * **Determinism** — object members keep insertion order and floats
+//!   print via Rust's shortest-round-trip formatter, so equal inputs
+//!   produce byte-identical text (the suite's determinism regression
+//!   test diffs emitter output directly).
+//! * **Validity** — strings are escaped per RFC 8259 and non-finite
+//!   floats (which JSON cannot represent) are emitted as `null`.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float. Non-finite values print as `null`.
+    Num(f64),
+    /// An unsigned integer (cycles, counters).
+    Uint(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order (deterministic output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    #[must_use]
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a member to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`Json::Obj`].
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(members) => members.push((key.into(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Compact single-line rendering.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing
+    /// newline — the format the `BENCH_<fig>.json` manifests use.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) if !x.is_finite() => out.push_str("null"),
+            Json::Num(x) => {
+                // Rust's shortest-roundtrip Display is deterministic but
+                // prints integral floats without a point; keep them
+                // recognisable as floats.
+                let text = format!("{x}");
+                out.push_str(&text);
+                if !text.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Json::Uint(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                render_seq(out, indent, depth, '[', ']', items.len(), |out, i, depth| {
+                    items[i].render(out, indent, depth);
+                });
+            }
+            Json::Obj(members) => {
+                render_seq(out, indent, depth, '{', '}', members.len(), |out, i, depth| {
+                    let (key, value) = &members[i];
+                    escape_into(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.render(out, indent, depth);
+                });
+            }
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Uint(n)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Uint(u64::from(n))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Uint(n as u64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let value = Json::obj([
+            ("name", Json::from("crc")),
+            ("energy", Json::from(0.5)),
+            ("cycles", Json::from(123u64)),
+            ("ok", Json::from(true)),
+            ("tags", Json::arr([Json::from(1u64), Json::Null])),
+            ("empty", Json::obj::<String>([])),
+        ]);
+        assert_eq!(
+            value.to_compact(),
+            r#"{"name":"crc","energy":0.5,"cycles":123,"ok":true,"tags":[1,null],"empty":{}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let value = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(value.to_compact(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_point() {
+        assert_eq!(Json::Num(1.0).to_compact(), "1.0");
+        assert_eq!(Json::Num(-3.0).to_compact(), "-3.0");
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let value = Json::obj([("a", Json::from(1u64)), ("b", Json::arr([Json::from("x")]))]);
+        assert_eq!(value.to_pretty(), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}\n");
+    }
+}

@@ -11,15 +11,29 @@
 //! | `fig5`   | Figure 5 — way-placement area size sweep          |
 //! | `fig6`   | Figure 6 — cache size x associativity grid        |
 //! | `ablation` | DESIGN.md §10 — layout/elision/replacement studies |
+//! | `sensitivity` | energy-model perturbation study              |
 //!
-//! Each binary prints the measured series alongside the paper's
-//! reported values, so EXPERIMENTS.md can be regenerated mechanically.
+//! Every binary runs on the shared [`engine`]: workbenches are
+//! assembled and profiled exactly once per process, baselines are
+//! shared across schemes, jobs run on a bounded deterministic worker
+//! pool, failures are reported structurally instead of panicking, and
+//! each binary writes a `BENCH_<fig>.json` manifest (see
+//! [`write_manifest`]) alongside its human-readable output.
 
-use std::sync::Mutex;
+pub mod engine;
+pub mod json;
+pub mod timing;
+
+use std::path::PathBuf;
 
 use wp_core::wp_mem::CacheGeometry;
-use wp_core::wp_workloads::Benchmark;
-use wp_core::{measure, CoreError, Measurement, Scheme, Workbench};
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{Measurement, Scheme};
+
+pub use engine::{
+    Engine, EngineStats, Experiment, JobFailure, JobPhase, JobRow, SharedError, SuiteReport,
+};
+pub use json::Json;
 
 /// One benchmark's baseline-normalised results for a set of schemes.
 #[derive(Clone, Debug)]
@@ -30,59 +44,40 @@ pub struct SuiteRow {
     pub values: Vec<(String, f64, f64)>,
 }
 
-/// Measures `schemes` (plus the implicit baseline) for one benchmark.
+/// Measures `schemes` (plus the implicit shared baseline) for one
+/// benchmark, through the process-wide [`Engine`] caches.
 ///
 /// # Errors
 ///
-/// Propagates any link/simulation/verification failure.
+/// Propagates any (shared) link/simulation/verification failure.
 pub fn run_benchmark(
     benchmark: Benchmark,
     icache: CacheGeometry,
     schemes: &[Scheme],
-) -> Result<SuiteRow, CoreError> {
-    let workbench = Workbench::new(benchmark)?;
-    let baseline = measure(&workbench, icache, Scheme::Baseline)?;
+) -> Result<SuiteRow, SharedError> {
+    let engine = Engine::global();
+    let baseline = engine.baseline(benchmark, icache, InputSet::Large)?;
     let values = schemes
         .iter()
-        .map(|&scheme| -> Result<_, CoreError> {
-            let m = measure(&workbench, icache, scheme)?;
-            Ok((
-                scheme.label(),
-                m.normalized_icache_energy(&baseline),
-                m.ed_product(&baseline),
-            ))
+        .map(|&scheme| -> Result<_, SharedError> {
+            let m = engine.measure(benchmark, icache, scheme, InputSet::Large)?;
+            Ok((scheme.label(), m.normalized_icache_energy(&baseline), m.ed_product(&baseline)))
         })
         .collect::<Result<Vec<_>, _>>()?;
     Ok(SuiteRow { benchmark, values })
 }
 
-/// Runs the whole suite in parallel (one thread per benchmark).
-///
-/// # Panics
-///
-/// Panics if any benchmark fails — experiment harnesses fail loudly.
+/// Runs the whole suite on the process-wide [`Engine`]: bounded
+/// parallelism, memoised workbenches and baselines, deterministic row
+/// order, and structured (panic-free) failure reporting via
+/// [`SuiteReport::failures`].
 #[must_use]
 pub fn run_suite(
     benchmarks: &[Benchmark],
     icache: CacheGeometry,
     schemes: &[Scheme],
-) -> Vec<SuiteRow> {
-    let results: Mutex<Vec<SuiteRow>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for &benchmark in benchmarks {
-            let results = &results;
-            scope.spawn(move || {
-                let row = run_benchmark(benchmark, icache, schemes)
-                    .unwrap_or_else(|e| panic!("{benchmark}: {e}"));
-                results.lock().expect("poisoned").push(row);
-            });
-        }
-    });
-    let mut rows = results.into_inner().expect("poisoned");
-    rows.sort_by_key(|row| {
-        Benchmark::ALL.iter().position(|b| *b == row.benchmark).unwrap_or(usize::MAX)
-    });
-    rows
+) -> SuiteReport {
+    Engine::global().run(&Experiment::new(benchmarks, [icache], schemes))
 }
 
 /// Arithmetic mean of the `index`-th scheme's normalised energy across
@@ -103,8 +98,7 @@ pub fn mean_ed(rows: &[SuiteRow], index: usize) -> f64 {
 #[must_use]
 pub fn format_table(rows: &[SuiteRow]) -> String {
     let mut out = String::new();
-    let labels: Vec<&str> =
-        rows[0].values.iter().map(|(label, _, _)| label.as_str()).collect();
+    let labels: Vec<&str> = rows[0].values.iter().map(|(label, _, _)| label.as_str()).collect();
     out.push_str(&format!("{:<12}", "benchmark"));
     for label in &labels {
         out.push_str(&format!(" | {label:>26} (E%, ED)"));
@@ -157,8 +151,49 @@ pub fn figure6_geometries() -> Vec<CacheGeometry> {
 }
 
 /// The figure 5 way-placement area sizes, in bytes.
-pub const FIGURE5_AREAS: [u32; 6] =
-    [32 * 1024, 16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024, 1024];
+pub const FIGURE5_AREAS: [u32; 6] = [32 * 1024, 16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024, 1024];
+
+/// Where `BENCH_<fig>.json` manifests go: `$WP_BENCH_DIR` when set
+/// (created if missing by [`write_manifest`]), else the working
+/// directory.
+#[must_use]
+pub fn manifest_path(fig: &str) -> PathBuf {
+    let dir = std::env::var_os("WP_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    dir.join(format!("BENCH_{fig}.json"))
+}
+
+/// Writes a pretty-printed manifest to [`manifest_path`] and returns
+/// the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_manifest(fig: &str, manifest: &Json) -> std::io::Result<PathBuf> {
+    let path = manifest_path(fig);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, manifest.to_pretty())?;
+    Ok(path)
+}
+
+/// End-of-binary bookkeeping shared by the figure binaries: writes the
+/// `BENCH_<fig>.json` manifest, prints the engine stats line and every
+/// structured failure to stderr, and returns the process exit code
+/// (`1` when any job failed, else `0`).
+#[must_use = "pass the exit code to std::process::exit"]
+pub fn finish(fig: &str, report: &SuiteReport, manifest: &Json) -> i32 {
+    match write_manifest(fig, manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: failed to write BENCH_{fig}.json: {e}"),
+    }
+    eprintln!("{}", report.stats);
+    if report.print_failures() > 0 {
+        1
+    } else {
+        0
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -166,11 +201,11 @@ mod tests {
 
     #[test]
     fn suite_runs_one_small_benchmark() {
-        let rows = run_suite(
-            &[Benchmark::Crc],
-            CacheGeometry::xscale_icache(),
-            &[Scheme::WayPlacement { area_bytes: 32 * 1024 }],
-        );
+        let geom = CacheGeometry::xscale_icache();
+        let report =
+            run_suite(&[Benchmark::Crc], geom, &[Scheme::WayPlacement { area_bytes: 32 * 1024 }]);
+        assert!(report.is_complete(), "failures: {:?}", report.failures);
+        let rows = report.rows_for(geom);
         assert_eq!(rows.len(), 1);
         let (_, energy, ed) = &rows[0].values[0];
         assert!(*energy < 1.0);
@@ -178,10 +213,20 @@ mod tests {
         let table = format_table(&rows);
         assert!(table.contains("crc"));
         assert!(table.contains("average"));
+        assert!(report.stats.workbench_builds >= 1);
     }
 
     #[test]
     fn figure6_grid_is_nine_points() {
         assert_eq!(figure6_geometries().len(), 9);
+    }
+
+    #[test]
+    fn manifest_path_defaults_to_cwd() {
+        // Mutating the process env would race other tests; only the
+        // default is asserted here.
+        if std::env::var_os("WP_BENCH_DIR").is_none() {
+            assert_eq!(manifest_path("fig4"), PathBuf::from("./BENCH_fig4.json"));
+        }
     }
 }

@@ -1,0 +1,141 @@
+//! Golden-output tests: exact-string assertions over `format_table`,
+//! `describe`, and the JSON emitter, on fixed synthetic inputs. Any
+//! formatting drift — padding, precision, separators, escaping — fails
+//! here before it silently changes EXPERIMENTS.md or a manifest.
+
+use wp_bench::{describe, format_table, Json, SuiteRow};
+use wp_core::wp_energy::EnergyReport;
+use wp_core::wp_mem::{CacheGeometry, FetchStats};
+use wp_core::wp_sim::RunResult;
+use wp_core::wp_workloads::Benchmark;
+use wp_core::{Measurement, Scheme};
+
+fn fixed_rows() -> Vec<SuiteRow> {
+    vec![
+        SuiteRow {
+            benchmark: Benchmark::Crc,
+            values: vec![
+                ("way-memoization".to_string(), 0.68, 0.97),
+                ("way-placement/32KB".to_string(), 0.50, 0.93),
+            ],
+        },
+        SuiteRow {
+            benchmark: Benchmark::Sha,
+            values: vec![
+                ("way-memoization".to_string(), 0.70, 1.01),
+                ("way-placement/32KB".to_string(), 0.48, 0.89),
+            ],
+        },
+    ]
+}
+
+#[test]
+fn format_table_golden() {
+    let expected = "\
+benchmark    |            way-memoization (E%, ED) |         way-placement/32KB (E%, ED)
+crc          |                       68.0%, 0.970 |                       50.0%, 0.930
+sha          |                       70.0%, 1.010 |                       48.0%, 0.890
+average      |                       69.0%, 0.990 |                       49.0%, 0.910
+";
+    assert_eq!(format_table(&fixed_rows()), expected);
+}
+
+#[test]
+fn describe_golden() {
+    let m = Measurement {
+        scheme: Scheme::WayMemoization,
+        icache: CacheGeometry::xscale_icache(),
+        run: RunResult {
+            exit_code: 0,
+            checksum: 0,
+            output: Vec::new(),
+            instructions: 1000,
+            cycles: 1500,
+            fetch: FetchStats {
+                fetches: 1000,
+                hits: 990,
+                misses: 10,
+                tag_comparisons: 3200,
+                ..Default::default()
+            },
+            dcache: Default::default(),
+            itlb: Default::default(),
+            dtlb: Default::default(),
+            branch_mispredicts: 0,
+            insn_counts: None,
+        },
+        energy: EnergyReport {
+            icache: Default::default(),
+            itlb_pj: 0.0,
+            dcache_pj: 0.0,
+            dtlb_pj: 0.0,
+            core_pj: 0.0,
+            cycles: 1500,
+        },
+    };
+    assert_eq!(
+        describe(&m),
+        "way-memoization: 1000 insns, 1500 cycles (CPI 1.50), fetch hit 99.00%, tags/fetch 3.20"
+    );
+}
+
+fn fixed_manifest() -> Json {
+    Json::obj([
+        ("schema", Json::from("wp-bench/suite-v1")),
+        (
+            "experiment",
+            Json::obj([
+                ("benchmarks", Json::arr([Json::from("crc"), Json::from("sha")])),
+                ("geometries", Json::arr([Json::from("32KB, 32-way, 32B lines")])),
+                ("input_set", Json::from("small")),
+            ]),
+        ),
+        (
+            "rows",
+            Json::arr([Json::obj([
+                ("benchmark", Json::from("crc")),
+                ("energy", Json::from(0.5)),
+                ("ed", Json::from(1.0)),
+                ("cycles", Json::from(123_456u64)),
+            ])]),
+        ),
+        ("failures", Json::arr([])),
+        ("note", Json::from("tabs\tand \"quotes\" survive\n")),
+    ])
+}
+
+#[test]
+fn json_compact_golden() {
+    assert_eq!(
+        fixed_manifest().to_compact(),
+        "{\"schema\":\"wp-bench/suite-v1\",\
+         \"experiment\":{\"benchmarks\":[\"crc\",\"sha\"],\
+         \"geometries\":[\"32KB, 32-way, 32B lines\"],\"input_set\":\"small\"},\
+         \"rows\":[{\"benchmark\":\"crc\",\"energy\":0.5,\"ed\":1.0,\"cycles\":123456}],\
+         \"failures\":[],\
+         \"note\":\"tabs\\tand \\\"quotes\\\" survive\\n\"}"
+    );
+}
+
+#[test]
+fn json_pretty_golden() {
+    let expected = "{\n  \"schema\": \"wp-bench/suite-v1\",\n  \"experiment\": {\n    \
+\"benchmarks\": [\n      \"crc\",\n      \"sha\"\n    ],\n    \"geometries\": [\n      \
+\"32KB, 32-way, 32B lines\"\n    ],\n    \"input_set\": \"small\"\n  },\n  \"rows\": [\n    \
+{\n      \"benchmark\": \"crc\",\n      \"energy\": 0.5,\n      \"ed\": 1.0,\n      \
+\"cycles\": 123456\n    }\n  ],\n  \"failures\": [],\n  \
+\"note\": \"tabs\\tand \\\"quotes\\\" survive\\n\"\n}\n";
+    assert_eq!(fixed_manifest().to_pretty(), expected);
+}
+
+#[test]
+fn json_edge_cases_golden() {
+    // Non-finite floats cannot appear in manifests: they become null.
+    assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+    // Integral floats stay visibly floats; shortest-round-trip keeps
+    // the rest deterministic.
+    assert_eq!(Json::Num(2.0).to_compact(), "2.0");
+    assert_eq!(Json::Num(0.1 + 0.2).to_compact(), "0.30000000000000004");
+    // Control characters escape as \u00XX.
+    assert_eq!(Json::from("a\u{2}b").to_compact(), "\"a\\u0002b\"");
+}

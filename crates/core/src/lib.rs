@@ -51,9 +51,9 @@ mod measure;
 mod scheme;
 mod workbench;
 
-pub use measure::{measure, measure_on, Comparison, Measurement};
+pub use measure::{measure, measure_on, measure_on_timed, Comparison, MeasureTiming, Measurement};
 pub use scheme::Scheme;
-pub use workbench::{align_area, text_base, verify, CoreError, Workbench};
+pub use workbench::{align_area, text_base, verify, BuildTiming, CoreError, Workbench};
 
 // Re-export the crates downstream binaries need, so `wp-bench` and the
 // examples depend on one crate.

@@ -1,6 +1,8 @@
 //! Measurement: run a scheme on a workbench, verify the architecture,
 //! price the energy, and compare against a baseline.
 
+use std::time::{Duration, Instant};
+
 use wp_energy::{EnergyModel, EnergyReport, SystemActivity};
 use wp_mem::CacheGeometry;
 use wp_sim::{simulate, RunResult, SimConfig};
@@ -64,10 +66,46 @@ pub fn measure_on(
     scheme: Scheme,
     set: InputSet,
 ) -> Result<Measurement, CoreError> {
+    measure_on_timed(workbench, icache, scheme, set).map(|(m, _)| m)
+}
+
+/// Wall-clock breakdown of one [`measure_on_timed`] call, by phase.
+///
+/// Observability hook for suite harnesses (`wp-bench`'s engine sums
+/// these across jobs); the durations are host time, not guest time,
+/// and carry no experimental meaning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MeasureTiming {
+    /// Relinking the binary under the scheme's layout.
+    pub link: Duration,
+    /// Simulating the run (includes checksum verification).
+    pub simulate: Duration,
+    /// Pricing the counters through the energy model.
+    pub price: Duration,
+}
+
+/// [`measure_on`] with a per-phase wall-clock breakdown.
+///
+/// # Errors
+///
+/// As for [`measure`].
+pub fn measure_on_timed(
+    workbench: &Workbench,
+    icache: CacheGeometry,
+    scheme: Scheme,
+    set: InputSet,
+) -> Result<(Measurement, MeasureTiming), CoreError> {
+    let start = Instant::now();
     let output = workbench.link(scheme.layout(), set)?;
+    let link = start.elapsed();
+
+    let start = Instant::now();
     let mem = scheme.memory_config(icache);
     let run = simulate(&output.image, &SimConfig::new(mem))?;
     verify(workbench.benchmark(), set, run.checksum)?;
+    let simulate = start.elapsed();
+
+    let start = Instant::now();
     let activity = SystemActivity {
         fetch: run.fetch,
         dcache: run.dcache,
@@ -77,7 +115,9 @@ pub fn measure_on(
         instructions: run.instructions,
     };
     let energy = EnergyModel::new().price(&mem, &activity);
-    Ok(Measurement { scheme, icache, run, energy })
+    let price = start.elapsed();
+
+    Ok((Measurement { scheme, icache, run, energy }, MeasureTiming { link, simulate, price }))
 }
 
 /// A baseline-relative comparison for one benchmark and geometry.
@@ -146,8 +186,8 @@ mod tests {
         assert!(wp_energy < memo_energy, "{wp_energy} vs {memo_energy}");
         assert!(wp_ed < 1.0, "ED {wp_ed}");
         // Performance is essentially unchanged (§6.1).
-        let slowdown = comparison.subjects[0].run.cycles as f64
-            / comparison.baseline.run.cycles as f64;
+        let slowdown =
+            comparison.subjects[0].run.cycles as f64 / comparison.baseline.run.cycles as f64;
         assert!((0.95..1.05).contains(&slowdown), "slowdown {slowdown}");
     }
 }

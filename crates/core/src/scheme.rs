@@ -59,16 +59,13 @@ impl Scheme {
     #[must_use]
     pub fn memory_config(&self, icache: CacheGeometry) -> MemoryConfig {
         match *self {
-            Scheme::Baseline | Scheme::BaselineOptimisedLayout => {
-                MemoryConfig::baseline(icache)
-            }
+            Scheme::Baseline | Scheme::BaselineOptimisedLayout => MemoryConfig::baseline(icache),
             Scheme::WayPlacement { area_bytes }
             | Scheme::WayPlacementNaturalLayout { area_bytes } => {
                 MemoryConfig::way_placement(icache, Image::TEXT_BASE, area_bytes)
             }
             Scheme::WayPlacementNoElision { area_bytes } => {
-                let mut config =
-                    MemoryConfig::way_placement(icache, Image::TEXT_BASE, area_bytes);
+                let mut config = MemoryConfig::way_placement(icache, Image::TEXT_BASE, area_bytes);
                 config.icache.same_line_elision = false;
                 config
             }
@@ -107,10 +104,7 @@ mod tests {
     fn layouts_match_paper_methodology() {
         assert_eq!(Scheme::Baseline.layout(), Layout::Natural);
         assert_eq!(Scheme::WayMemoization.layout(), Layout::Natural);
-        assert_eq!(
-            Scheme::WayPlacement { area_bytes: 1024 }.layout(),
-            Layout::WayPlacement
-        );
+        assert_eq!(Scheme::WayPlacement { area_bytes: 1024 }.layout(), Layout::WayPlacement);
     }
 
     #[test]
@@ -124,8 +118,7 @@ mod tests {
         let base = Scheme::Baseline.memory_config(geom);
         assert_eq!(base.icache.scheme, FetchScheme::Baseline);
         assert!(!base.icache.same_line_elision);
-        let no_elide =
-            Scheme::WayPlacementNoElision { area_bytes: 1024 }.memory_config(geom);
+        let no_elide = Scheme::WayPlacementNoElision { area_bytes: 1024 }.memory_config(geom);
         assert!(!no_elide.icache.same_line_elision);
     }
 

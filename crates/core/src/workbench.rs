@@ -4,6 +4,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use wp_isa::Image;
 use wp_linker::{Layout, LinkError, LinkOutput, Linker, Profile};
@@ -87,25 +88,39 @@ impl Workbench {
     /// Returns [`CoreError`] if linking or the profiling run fails, or
     /// if the profiling run's checksum does not match the reference.
     pub fn new(benchmark: Benchmark) -> Result<Workbench, CoreError> {
+        Workbench::new_timed(benchmark).map(|(workbench, _)| workbench)
+    }
+
+    /// [`Workbench::new`] with a wall-clock breakdown of the two
+    /// construction phases (assembly+link vs the profiling run) — the
+    /// observability hook `wp-bench`'s engine aggregates.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Workbench::new`].
+    pub fn new_timed(benchmark: Benchmark) -> Result<(Workbench, BuildTiming), CoreError> {
+        let start = Instant::now();
         let linkers = [
             Linker::new().with_modules(benchmark.modules(InputSet::Small)),
             Linker::new().with_modules(benchmark.modules(InputSet::Large)),
         ];
         let natural = linkers[0].link(Layout::Natural, &Profile::empty())?;
+        let assemble = start.elapsed();
+
         // The profiling machine's cache geometry is irrelevant to the
         // counts; use the paper's default.
-        let config = SimConfig::new(MemoryConfig::baseline(CacheGeometry::xscale_icache()))
-            .with_profile();
+        let start = Instant::now();
+        let config =
+            SimConfig::new(MemoryConfig::baseline(CacheGeometry::xscale_icache())).with_profile();
         let run = simulate(&natural.image, &config)?;
         verify(benchmark, InputSet::Small, run.checksum)?;
         let counts = run.insn_counts.as_deref().unwrap_or(&[]);
         let profile = natural.profile_from_counts(counts);
-        Ok(Workbench {
-            benchmark,
-            linkers,
-            profile,
-            profiling_instructions: run.instructions,
-        })
+        let profiling = start.elapsed();
+
+        let workbench =
+            Workbench { benchmark, linkers, profile, profiling_instructions: run.instructions };
+        Ok((workbench, BuildTiming { assemble, profiling }))
     }
 
     /// The benchmark.
@@ -148,6 +163,16 @@ impl Workbench {
     }
 }
 
+/// Wall-clock breakdown of one [`Workbench::new_timed`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BuildTiming {
+    /// Assembling the benchmark's modules and linking them naturally.
+    pub assemble: Duration,
+    /// The profiling run on the small input set (includes checksum
+    /// verification and profile extraction).
+    pub profiling: Duration,
+}
+
 /// Checks a run's checksum against the benchmark's reference.
 ///
 /// # Errors
@@ -188,10 +213,8 @@ mod tests {
         let natural = bench.link(Layout::Natural, InputSet::Large).expect("link");
         let optimised = bench.link(Layout::WayPlacement, InputSet::Large).expect("link");
         assert_eq!(natural.image.text.len(), optimised.image.text.len());
-        let coverage_natural =
-            natural.coverage_of_prefix(bench.profile(), 2 * 1024);
-        let coverage_optimised =
-            optimised.coverage_of_prefix(bench.profile(), 2 * 1024);
+        let coverage_natural = natural.coverage_of_prefix(bench.profile(), 2 * 1024);
+        let coverage_optimised = optimised.coverage_of_prefix(bench.profile(), 2 * 1024);
         assert!(
             coverage_optimised > coverage_natural,
             "{coverage_optimised} vs {coverage_natural}"

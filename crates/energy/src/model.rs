@@ -108,8 +108,8 @@ impl CacheEnergyModel {
     #[must_use]
     pub fn tag_search_pj(&self, ways_searched: u64) -> f64 {
         let scale = self.tech.tag_scale(self.geom);
-        let per_way = self.tech.matchline_pj
-            + f64::from(self.geom.tag_bits()) * self.tech.cam_bit_pj;
+        let per_way =
+            self.tech.matchline_pj + f64::from(self.geom.tag_bits()) * self.tech.cam_bit_pj;
         ways_searched as f64 * per_way * scale
     }
 
@@ -180,8 +180,7 @@ impl CacheEnergyModel {
         let scale = self.tech.tag_scale(self.geom);
         // Each comparison arms one match line and compares one tag.
         let tag = stats.tag_comparisons as f64
-            * (self.tech.matchline_pj
-                + f64::from(self.geom.tag_bits()) * self.tech.cam_bit_pj)
+            * (self.tech.matchline_pj + f64::from(self.geom.tag_bits()) * self.tech.cam_bit_pj)
             * scale;
         let data = stats.data_accesses as f64 * self.data_read_pj();
         let fills = (stats.line_fills + stats.writebacks) as f64 * self.line_fill_pj();
@@ -216,8 +215,7 @@ impl TlbEnergyModel {
     #[must_use]
     pub fn lookup_pj(&self) -> f64 {
         let search = f64::from(self.entries)
-            * (self.tech.tlb_matchline_pj
-                + f64::from(self.vpn_bits) * self.tech.tlb_cam_bit_pj);
+            * (self.tech.tlb_matchline_pj + f64::from(self.vpn_bits) * self.tech.tlb_cam_bit_pj);
         // One extra payload bit read on the hit entry: tiny, but the
         // paper insists all overheads are accounted.
         search + if self.wp_bit { 0.02 } else { 0.0 }
@@ -260,10 +258,7 @@ mod tests {
         let tag = model.tag_search_pj(32);
         let data = model.data_read_pj();
         let share = tag / (tag + data);
-        assert!(
-            (0.45..0.65).contains(&share),
-            "tag share {share:.2} out of calibration band"
-        );
+        assert!((0.45..0.65).contains(&share), "tag share {share:.2} out of calibration band");
     }
 
     #[test]
@@ -323,12 +318,8 @@ mod tests {
     #[test]
     fn link_maintenance_costs() {
         let model = CacheEnergyModel::for_scheme(xscale(), FetchScheme::WayMemoization);
-        let stats = FetchStats {
-            fetches: 10,
-            link_updates: 5,
-            link_invalidations: 2,
-            ..FetchStats::new()
-        };
+        let stats =
+            FetchStats { fetches: 10, link_updates: 5, link_invalidations: 2, ..FetchStats::new() };
         let energy = model.fetch_energy(&stats);
         assert!(energy.link_pj > 5.0 * model.data_read_pj() * 0.9);
     }
@@ -364,10 +355,7 @@ mod tests {
             FetchStats { link_updates: 6, ..base },
             FetchStats { link_invalidations: 3, ..base },
         ] {
-            assert!(
-                model.fetch_energy(&bump).total_pj() > total,
-                "{bump:?} should cost more"
-            );
+            assert!(model.fetch_energy(&bump).total_pj() > total, "{bump:?} should cost more");
         }
     }
 

@@ -198,10 +198,7 @@ mod tests {
         let wp_cfg = MemoryConfig::way_placement(geom, 0x8000, 32 * 1024);
         let wp = model.price(&wp_cfg, &activity(1));
         let ratio = wp.normalized_icache_energy(&base);
-        assert!(
-            (0.35..0.60).contains(&ratio),
-            "normalised way-placement energy {ratio:.3}"
-        );
+        assert!((0.35..0.60).contains(&ratio), "normalised way-placement energy {ratio:.3}");
         // ED product improves but by less (I-cache is a slice of total).
         let ed = wp.ed_product(&base);
         assert!((0.88..0.99).contains(&ed), "ED {ed:.3}");

@@ -157,8 +157,7 @@ impl Assembler {
     }
 
     fn check_locals(&self) -> Result<(), AsmError> {
-        let defined: Vec<&str> =
-            self.module.symbols.iter().map(|s| s.name.as_str()).collect();
+        let defined: Vec<&str> = self.module.symbols.iter().map(|s| s.name.as_str()).collect();
         let check = |symbol: &str| -> Result<(), AsmError> {
             if symbol.starts_with('.') && !defined.contains(&symbol) {
                 return Err(AsmError {
@@ -232,9 +231,7 @@ impl Assembler {
             "align" | "balign" => {
                 let arg = self.int_expr(args.trim())?;
                 let bytes = if name == "align" {
-                    1usize
-                        .checked_shl(arg as u32)
-                        .ok_or_else(|| format!("bad .align {arg}"))?
+                    1usize.checked_shl(arg as u32).ok_or_else(|| format!("bad .align {arg}"))?
                 } else {
                     arg as usize
                 };
@@ -296,11 +293,9 @@ impl Assembler {
             return Ok(());
         }
         let (symbol, addend) = parse_symbol_expr(arg)?;
-        self.module.data_relocs.push(DataReloc {
-            offset: self.module.data.len(),
-            symbol,
-            addend,
-        });
+        self.module
+            .data_relocs
+            .push(DataReloc { offset: self.module.data.len(), symbol, addend });
         self.module.data.extend(0u32.to_le_bytes());
         Ok(())
     }
@@ -503,10 +498,7 @@ impl Assembler {
             _ => None,
         };
         if fits(value) {
-            self.emit(Insn::new(
-                cond,
-                Op::Alu { op, s, rd, rn, op2: Operand::Imm(value as u32) },
-            ));
+            self.emit(Insn::new(cond, Op::Alu { op, s, rd, rn, op2: Operand::Imm(value as u32) }));
             return Ok(());
         }
         if let Some((flip_op, flip_value)) = flipped {
@@ -545,8 +537,7 @@ impl Assembler {
         match args {
             [single] => {
                 let t = single.trim();
-                if t.starts_with('#') || t.starts_with(|c: char| c.is_ascii_digit() || c == '-')
-                {
+                if t.starts_with('#') || t.starts_with(|c: char| c.is_ascii_digit() || c == '-') {
                     let value = self.imm(t)?;
                     // Sign handled by the caller's fix-ups; pass bits through.
                     Ok(Operand::Imm(value as u32))
@@ -570,8 +561,7 @@ impl Assembler {
             Some(pos) => (&text[..pos], text[pos..].trim()),
             None => return Err(format!("malformed shift `{text}`")),
         };
-        let kind =
-            ShiftKind::parse(name).ok_or_else(|| format!("unknown shift `{name}`"))?;
+        let kind = ShiftKind::parse(name).ok_or_else(|| format!("unknown shift `{name}`"))?;
         if let Some(reg) = Reg::parse(rest) {
             return Ok((kind, ShiftAmount::Reg(reg)));
         }
@@ -605,13 +595,7 @@ impl Assembler {
         };
         self.emit(Insn::new(
             cond,
-            Op::Alu {
-                op: AluOp::Mov,
-                s,
-                rd,
-                rn: Reg::R0,
-                op2: Operand::Reg { rm, kind, amount },
-            },
+            Op::Alu { op: AluOp::Mov, s, rd, rn: Reg::R0, op2: Operand::Reg { rm, kind, amount } },
         ));
         Ok(())
     }
@@ -1260,10 +1244,7 @@ mod tests {
     #[test]
     fn large_constants_materialise() {
         // mov with a large constant becomes movw/movt into rd itself.
-        assert_eq!(
-            text("mov r0, #0x12345678"),
-            vec!["movw r0, #22136", "movt r0, #4660"]
-        );
+        assert_eq!(text("mov r0, #0x12345678"), vec!["movw r0, #22136", "movt r0, #4660"]);
         // other ops go through ip.
         assert_eq!(
             text("add r0, r1, #0x10000"),
@@ -1313,16 +1294,14 @@ mod tests {
 
     #[test]
     fn data_directives() {
-        let m = asm(
-            ".data\n\
+        let m = asm(".data\n\
              a: .word 1, 2, 0x10\n\
              b: .byte 1, 2\n\
              .align 2\n\
              c: .half 0x1234\n\
              s: .asciz \"hi\"\n\
              .bss\n\
-             buf: .space 32\n",
-        );
+             buf: .space 32\n");
         assert_eq!(&m.data[0..4], &1u32.to_le_bytes());
         assert_eq!(&m.data[8..12], &0x10u32.to_le_bytes());
         assert_eq!(m.data[12], 1);
@@ -1354,12 +1333,10 @@ mod tests {
 
     #[test]
     fn comments_are_stripped() {
-        let m = asm(
-            "f: mov r0, #1 ; semicolon\n\
+        let m = asm("f: mov r0, #1 ; semicolon\n\
              mov r1, #2 @ at-sign\n\
              mov r2, #3 // slashes\n\
-             mov r3, #';'\n",
-        );
+             mov r3, #';'\n");
         assert_eq!(m.text.len(), 4);
         assert_eq!(m.text[3].insn.to_string(), format!("mov r3, #{}", b';'));
     }
@@ -1392,9 +1369,7 @@ mod tests {
 
     #[test]
     fn labels_and_sections() {
-        let m = asm(
-            ".text\nmain: nop\nhelper: nop\n.data\nval: .word 5\n",
-        );
+        let m = asm(".text\nmain: nop\nhelper: nop\n.data\nval: .word 5\n");
         assert_eq!(m.symbol("main").unwrap().offset, 0);
         assert_eq!(m.symbol("helper").unwrap().offset, 1);
         assert_eq!(m.symbol("val").unwrap().section, SymbolSection::Data);
@@ -1423,12 +1398,7 @@ mod tests {
 
     #[test]
     fn swi_and_nop() {
-        assert_eq!(text("swi #3\nsvc #4\nnop\nret"), vec![
-            "swi #3",
-            "swi #4",
-            "nop",
-            "bx lr"
-        ]);
+        assert_eq!(text("swi #3\nsvc #4\nnop\nret"), vec!["swi #3", "swi #4", "nop", "bx lr"]);
     }
 
     #[test]

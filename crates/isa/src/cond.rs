@@ -33,24 +33,14 @@ impl Flags {
     /// Flags from an arithmetic result plus explicit carry/overflow.
     #[must_use]
     pub fn from_result(result: u32, carry: bool, overflow: bool) -> Flags {
-        Flags {
-            n: (result as i32) < 0,
-            z: result == 0,
-            c: carry,
-            v: overflow,
-        }
+        Flags { n: (result as i32) < 0, z: result == 0, c: carry, v: overflow }
     }
 
     /// Flags for a logical (non-arithmetic) result: C comes from the barrel
     /// shifter, V is preserved.
     #[must_use]
     pub fn from_logical(result: u32, shifter_carry: bool, old: Flags) -> Flags {
-        Flags {
-            n: (result as i32) < 0,
-            z: result == 0,
-            c: shifter_carry,
-            v: old.v,
-        }
+        Flags { n: (result as i32) < 0, z: result == 0, c: shifter_carry, v: old.v }
     }
 }
 
@@ -285,8 +275,7 @@ mod tests {
                 continue;
             }
             for bits in 0..16u8 {
-                let f =
-                    flags(bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+                let f = flags(bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
                 assert_ne!(
                     cond.holds(f),
                     cond.inverse().holds(f),

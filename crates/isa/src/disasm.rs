@@ -86,9 +86,7 @@ impl Image {
 
 fn branch_target(addr: u32, insn: Insn) -> Option<u32> {
     match insn.op {
-        Op::Branch { offset, .. } => {
-            Some(addr.wrapping_add(4).wrapping_add((offset as u32) << 2))
-        }
+        Op::Branch { offset, .. } => Some(addr.wrapping_add(4).wrapping_add((offset as u32) << 2)),
         _ => None,
     }
 }

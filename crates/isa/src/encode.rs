@@ -31,8 +31,8 @@ use std::error::Error;
 use std::fmt;
 
 use crate::{
-    AddrMode, Address, AluOp, Cond, Insn, MemOffset, MemWidth, MulOp, Op, Operand, Reg,
-    RegList, ShiftAmount, ShiftKind,
+    AddrMode, Address, AluOp, Cond, Insn, MemOffset, MemWidth, MulOp, Op, Operand, Reg, RegList,
+    ShiftAmount, ShiftKind,
 };
 
 /// Error produced when a word does not decode to a valid instruction.
@@ -335,22 +335,14 @@ mod tests {
                     s: false,
                     rd: Reg::R0,
                     rn: Reg::LR,
-                    op2: Operand::Reg {
-                        rm: Reg::R9,
-                        kind,
-                        amount: ShiftAmount::Imm(amt),
-                    },
+                    op2: Operand::Reg { rm: Reg::R9, kind, amount: ShiftAmount::Imm(amt) },
                 }));
                 round_trip(Insn::always(Op::Alu {
                     op: AluOp::Add,
                     s: true,
                     rd: Reg::IP,
                     rn: Reg::R1,
-                    op2: Operand::Reg {
-                        rm: Reg::R2,
-                        kind,
-                        amount: ShiftAmount::Reg(Reg::R3),
-                    },
+                    op2: Operand::Reg { rm: Reg::R2, kind, amount: ShiftAmount::Reg(Reg::R3) },
                 }));
             }
         }
@@ -387,11 +379,7 @@ mod tests {
                             width,
                             signed: false,
                             rd: Reg::R0,
-                            addr: Address {
-                                base: Reg::SP,
-                                offset: MemOffset::Imm(imm),
-                                mode,
-                            },
+                            addr: Address { base: Reg::SP, offset: MemOffset::Imm(imm), mode },
                         }));
                     }
                 }

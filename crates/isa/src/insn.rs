@@ -102,7 +102,13 @@ impl AluOp {
     pub const fn is_arithmetic(self) -> bool {
         matches!(
             self,
-            AluOp::Sub | AluOp::Rsb | AluOp::Add | AluOp::Adc | AluOp::Sbc | AluOp::Cmp | AluOp::Cmn
+            AluOp::Sub
+                | AluOp::Rsb
+                | AluOp::Add
+                | AluOp::Adc
+                | AluOp::Sbc
+                | AluOp::Cmp
+                | AluOp::Cmn
         )
     }
 
@@ -598,11 +604,7 @@ mod tests {
             s: true,
             rd: Reg::R1,
             rn: Reg::R2,
-            op2: Operand::Reg {
-                rm: Reg::R3,
-                kind: ShiftKind::Lsl,
-                amount: ShiftAmount::Imm(2),
-            },
+            op2: Operand::Reg { rm: Reg::R3, kind: ShiftKind::Lsl, amount: ShiftAmount::Imm(2) },
         });
         assert_eq!(add.to_string(), "adds r1, r2, r3, lsl #2");
         let cmp = Insn::new(
@@ -635,11 +637,7 @@ mod tests {
             width: MemWidth::Byte,
             signed: false,
             rd: Reg::R1,
-            addr: Address {
-                base: Reg::R2,
-                offset: MemOffset::Imm(1),
-                mode: AddrMode::PostIndex,
-            },
+            addr: Address { base: Reg::R2, offset: MemOffset::Imm(1), mode: AddrMode::PostIndex },
         });
         assert_eq!(strb.to_string(), "strb r1, [r2], #1");
         let ldrsh = Insn::always(Op::Mem {
@@ -649,12 +647,7 @@ mod tests {
             rd: Reg::R3,
             addr: Address {
                 base: Reg::R4,
-                offset: MemOffset::Reg {
-                    rm: Reg::R5,
-                    kind: ShiftKind::Lsl,
-                    amount: 1,
-                    add: true,
-                },
+                offset: MemOffset::Reg { rm: Reg::R5, kind: ShiftKind::Lsl, amount: 1, add: true },
                 mode: AddrMode::Offset,
             },
         });
@@ -677,9 +670,7 @@ mod tests {
         let ret = Insn::always(Op::BranchReg { rm: Reg::LR });
         assert!(!ret.falls_through());
 
-        let pop_pc = Insn::always(Op::Pop {
-            list: [Reg::R4, Reg::PC].into_iter().collect(),
-        });
+        let pop_pc = Insn::always(Op::Pop { list: [Reg::R4, Reg::PC].into_iter().collect() });
         assert!(pop_pc.is_control_flow());
         assert!(!pop_pc.falls_through());
 

@@ -55,8 +55,8 @@
 
 pub mod alu;
 mod asm;
-mod disasm;
 mod cond;
+mod disasm;
 mod encode;
 mod insn;
 mod object;
@@ -67,9 +67,7 @@ pub use asm::{assemble, AsmError};
 pub use cond::{Cond, Flags};
 pub use disasm::DisasmLine;
 pub use encode::{canonical, DecodeError};
-pub use insn::{
-    AddrMode, Address, AluOp, Insn, MemOffset, MemWidth, MulOp, Op, Operand,
-};
+pub use insn::{AddrMode, Address, AluOp, Insn, MemOffset, MemWidth, MulOp, Op, Operand};
 pub use object::{
     DataReloc, Image, ImageError, Module, Reloc, RelocKind, Symbol, SymbolSection, TextEntry,
 };

@@ -227,10 +227,7 @@ impl Image {
 
     /// Iterates `(address, instruction)` pairs over the text section.
     pub fn iter_text(&self) -> impl Iterator<Item = (u32, Insn)> + '_ {
-        self.text
-            .iter()
-            .enumerate()
-            .map(|(i, insn)| (self.text_addr(i), *insn))
+        self.text.iter().enumerate().map(|(i, insn)| (self.text_addr(i), *insn))
     }
 }
 
@@ -252,11 +249,9 @@ mod tests {
         let mut module = Module::new("m");
         module.text.push(TextEntry::plain(Insn::new(Cond::Al, Op::Nop)));
         module.text.push(TextEntry::plain(Insn::new(Cond::Al, Op::Nop)));
-        module.symbols.push(Symbol {
-            name: "f".into(),
-            section: SymbolSection::Text,
-            offset: 1,
-        });
+        module
+            .symbols
+            .push(Symbol { name: "f".into(), section: SymbolSection::Text, offset: 1 });
         assert_eq!(module.text_bytes(), 8);
         assert_eq!(module.symbol("f").unwrap().offset, 1);
         assert!(module.symbol("g").is_none());
@@ -279,10 +274,7 @@ mod tests {
         assert_eq!(image.text_index(Image::TEXT_BASE + 16), None);
         assert_eq!(image.text_index(Image::TEXT_BASE - 4), None);
         assert_eq!(image.symbol("main").unwrap(), Image::TEXT_BASE);
-        assert!(matches!(
-            image.symbol("nope"),
-            Err(ImageError::UndefinedSymbol(_))
-        ));
+        assert!(matches!(image.symbol("nope"), Err(ImageError::UndefinedSymbol(_))));
         assert_eq!(image.iter_text().count(), 4);
     }
 }

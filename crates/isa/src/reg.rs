@@ -68,10 +68,7 @@ impl Reg {
     /// Panics if `index >= 16`.
     #[must_use]
     pub fn new(index: u8) -> Reg {
-        assert!(
-            (index as usize) < NUM_REGS,
-            "register index {index} out of range"
-        );
+        assert!((index as usize) < NUM_REGS, "register index {index} out of range");
         Reg(index)
     }
 

@@ -103,10 +103,9 @@ impl ShiftKind {
                 _ => (0, false),
             },
             ShiftKind::Asr => match amount {
-                1..=31 => (
-                    ((value as i32) >> amount) as u32,
-                    (value as i32) >> (amount - 1) & 1 != 0,
-                ),
+                1..=31 => {
+                    (((value as i32) >> amount) as u32, (value as i32) >> (amount - 1) & 1 != 0)
+                }
                 _ => {
                     let fill = ((value as i32) >> 31) as u32;
                     (fill, fill & 1 != 0)
@@ -181,10 +180,7 @@ mod tests {
     #[test]
     fn asr_semantics() {
         assert_eq!(ShiftKind::Asr.apply(0x8000_0000, 4, false), (0xf800_0000, false));
-        assert_eq!(
-            ShiftKind::Asr.apply(0xffff_ffff, 40, false),
-            (0xffff_ffff, true)
-        );
+        assert_eq!(ShiftKind::Asr.apply(0xffff_ffff, 40, false), (0xffff_ffff, true));
         assert_eq!(ShiftKind::Asr.apply(0x7fff_ffff, 40, true), (0, false));
         assert_eq!(ShiftKind::Asr.apply(5, 1, false), (2, true));
     }
@@ -194,10 +190,7 @@ mod tests {
         assert_eq!(ShiftKind::Ror.apply(1, 1, false), (0x8000_0000, true));
         assert_eq!(ShiftKind::Ror.apply(0xf0, 4, false), (0xf, false));
         // amount 32 leaves value intact, carry = bit 31
-        assert_eq!(
-            ShiftKind::Ror.apply(0x8000_0000, 32, false),
-            (0x8000_0000, true)
-        );
+        assert_eq!(ShiftKind::Ror.apply(0x8000_0000, 32, false), (0x8000_0000, true));
         assert_eq!(ShiftKind::Ror.apply(0x1234_5678, 36, false), {
             let v = 0x1234_5678u32.rotate_right(4);
             (v, v >> 31 != 0)

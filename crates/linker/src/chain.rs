@@ -7,12 +7,29 @@
 //! orders chains heaviest-first, so the hottest code lands at the start
 //! of the binary where the way-placement area lives.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use crate::icfg::Icfg;
 use crate::profile::Profile;
+
+/// Deterministic SplitMix64 stream for the [`Layout::Random`] shuffle
+/// (the repo is offline, so the external `rand` crate is unavailable;
+/// `wp_mem::rng` holds the shared copy, but `wp-linker` deliberately
+/// depends only on `wp-isa`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher–Yates shuffle.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed;
+    for i in (1..items.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
 
 /// A chain: a maximal run of blocks glued by layout constraints.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -39,10 +56,7 @@ pub fn build_chains(icfg: &Icfg, profile: &Profile) -> Vec<Chain> {
         }
         i += 1;
         let members: Vec<usize> = (start..i).collect();
-        let weight = members
-            .iter()
-            .map(|&id| profile.count(id) * blocks[id].len as u64)
-            .sum();
+        let weight = members.iter().map(|&id| profile.count(id) * blocks[id].len as u64).sum();
         chains.push(Chain { blocks: members, weight });
     }
     chains
@@ -89,8 +103,7 @@ impl Layout {
                 chains.sort_by_key(|c| std::cmp::Reverse(c.weight));
             }
             Layout::Random(seed) => {
-                let mut rng = StdRng::seed_from_u64(*seed);
-                chains.shuffle(&mut rng);
+                shuffle(&mut chains, *seed);
             }
             Layout::Pessimal => {
                 chains.sort_by_key(|a| a.weight);

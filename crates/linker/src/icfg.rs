@@ -70,10 +70,7 @@ impl Icfg {
     /// `labels` maps natural instruction indices to the labels defined
     /// there; every labelled instruction is a leader (it may be reached
     /// indirectly via `bx` or a function-pointer table).
-    pub(crate) fn build(
-        text: &[MergedEntry<'_>],
-        labels: &BTreeMap<usize, Vec<String>>,
-    ) -> Icfg {
+    pub(crate) fn build(text: &[MergedEntry<'_>], labels: &BTreeMap<usize, Vec<String>>) -> Icfg {
         let n = text.len();
         let mut leaders: BTreeSet<usize> = BTreeSet::new();
         if n > 0 {
@@ -206,20 +203,12 @@ mod tests {
                 labels.entry(sym.offset).or_default().push(sym.name.clone());
             }
         }
-        let index_of = |name: &str| {
-            module
-                .symbols
-                .iter()
-                .find(|s| s.name == name)
-                .map(|s| s.offset)
-        };
+        let index_of =
+            |name: &str| module.symbols.iter().find(|s| s.name == name).map(|s| s.offset);
         let merged: Vec<MergedEntry<'_>> = module
             .text
             .iter()
-            .map(|entry| MergedEntry {
-                entry,
-                branch_target: branch_target_index(entry, index_of),
-            })
+            .map(|entry| MergedEntry { entry, branch_target: branch_target_index(entry, index_of) })
             .collect();
         Icfg::build(&merged, &labels)
     }

@@ -133,11 +133,15 @@ impl Linker {
         let mut symbols: HashMap<String, SymValue> = HashMap::new();
         let mut labels: BTreeMap<usize, Vec<String>> = BTreeMap::new();
 
-        let total_data: usize = self.modules.iter().map(|m| {
-            let mut len = m.data.len();
-            len += (4 - len % 4) % 4; // each module's data is word-aligned
-            len
-        }).sum();
+        let total_data: usize = self
+            .modules
+            .iter()
+            .map(|m| {
+                let mut len = m.data.len();
+                len += (4 - len % 4) % 4; // each module's data is word-aligned
+                len
+            })
+            .sum();
         let bss_base = Image::DATA_BASE + total_data as u32;
 
         let mut bss_cursor = bss_base;
@@ -287,10 +291,15 @@ impl Linker {
         let image_symbols: BTreeMap<String, u32> = symbols
             .iter()
             .filter(|(name, _)| !name.contains('@'))
-            .map(|(name, value)| (name.clone(), match value {
-                SymValue::Text(idx) => Image::TEXT_BASE + 4 * final_of_natural[*idx] as u32,
-                SymValue::Addr(addr) => *addr,
-            }))
+            .map(|(name, value)| {
+                (
+                    name.clone(),
+                    match value {
+                        SymValue::Text(idx) => Image::TEXT_BASE + 4 * final_of_natural[*idx] as u32,
+                        SymValue::Addr(addr) => *addr,
+                    },
+                )
+            })
             .collect();
 
         Ok(LinkOutput {
@@ -340,8 +349,7 @@ impl LinkOutput {
         let mut inside = 0u128;
         let mut total = 0u128;
         for block in self.icfg.blocks() {
-            let weight =
-                u128::from(profile.count(block.natural_id)) * block.len as u128;
+            let weight = u128::from(profile.count(block.natural_id)) * block.len as u128;
             total += weight;
             if self.final_of_natural[block.start] < limit_insns {
                 inside += weight;
@@ -445,9 +453,10 @@ mod tests {
         // And the branch still works: the rewritten blt targets the
         // rewritten loop head.
         let loop_addr = optimised.block_final_addr(loop_id);
-        let blt_idx = optimised.image.text.iter().enumerate().find_map(|(i, insn)| {
-            matches!(insn.op, Op::Branch { link: false, .. }).then_some(i)
-        });
+        let blt_idx =
+            optimised.image.text.iter().enumerate().find_map(|(i, insn)| {
+                matches!(insn.op, Op::Branch { link: false, .. }).then_some(i)
+            });
         let blt_idx = blt_idx.expect("a branch exists");
         let blt_addr = optimised.image.text_addr(blt_idx);
         let disp = optimised.image.text[blt_idx].branch_displacement().unwrap();
@@ -531,10 +540,10 @@ mod tests {
     fn duplicate_and_undefined_symbols() {
         let a = module("a", "_start: swi #0\nf: bx lr");
         let b = module("b", "f: bx lr");
-        let err = Linker::new().with_module(a.clone()).with_module(b).link(
-            Layout::Natural,
-            &Profile::empty(),
-        );
+        let err = Linker::new()
+            .with_module(a.clone())
+            .with_module(b)
+            .link(Layout::Natural, &Profile::empty());
         assert_eq!(err.unwrap_err(), LinkError::DuplicateSymbol("f".into()));
 
         let c = module("c", "_start: bl ghost\nswi #0");
@@ -599,8 +608,7 @@ mod tests {
         // smallest prefix instead.
         let pessimal = linker.link(Layout::Pessimal, &profile).unwrap();
         assert!(
-            pessimal.coverage_of_prefix(&profile, 8)
-                < optimised.coverage_of_prefix(&profile, 8)
+            pessimal.coverage_of_prefix(&profile, 8) < optimised.coverage_of_prefix(&profile, 8)
         );
     }
 }

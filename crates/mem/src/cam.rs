@@ -6,9 +6,7 @@
 //! splitting the two keeps the cache model reusable for timing and
 //! energy studies, which is exactly how XTREM structures its caches.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SplitMix64;
 use crate::CacheGeometry;
 
 /// Replacement policy for non-way-placed fills.
@@ -53,7 +51,7 @@ pub struct CamArray {
     policy: ReplacementPolicy,
     lines: Vec<LineState>,
     round_robin: Vec<u32>,
-    rng: StdRng,
+    rng: SplitMix64,
     tick: u64,
 }
 
@@ -68,7 +66,7 @@ impl CamArray {
             policy,
             lines: vec![LineState::default(); slots],
             round_robin: vec![0; geom.sets() as usize],
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             tick: 0,
         }
     }
@@ -124,9 +122,7 @@ impl CamArray {
     pub fn pick_victim(&mut self, addr: u32) -> u32 {
         let set = self.geom.set_of(addr);
         let ways = self.geom.ways();
-        if let Some(way) =
-            (0..ways).find(|&w| !self.lines[self.slot(set, w)].valid)
-        {
+        if let Some(way) = (0..ways).find(|&w| !self.lines[self.slot(set, w)].valid) {
             return way;
         }
         match self.policy {
@@ -138,7 +134,7 @@ impl CamArray {
             ReplacementPolicy::Lru => (0..ways)
                 .min_by_key(|&w| self.lines[self.slot(set, w)].last_use)
                 .expect("at least one way"),
-            ReplacementPolicy::Random => self.rng.gen_range(0..ways),
+            ReplacementPolicy::Random => self.rng.below(u64::from(ways)) as u32,
         }
     }
 
@@ -218,8 +214,7 @@ mod tests {
             assert_eq!(way, i, "invalid ways first");
             cam.fill(addr, way);
         }
-        let victims: Vec<u32> =
-            (0..6).map(|_| cam.pick_victim(0x1000)).collect();
+        let victims: Vec<u32> = (0..6).map(|_| cam.pick_victim(0x1000)).collect();
         assert_eq!(victims, vec![0, 1, 2, 3, 0, 1]);
     }
 

@@ -2,7 +2,7 @@
 //! D-cache + D-TLB on the data side. This is the component the `wp-sim`
 //! pipeline talks to.
 
-use crate::dcache::{DataCache, DCacheConfig};
+use crate::dcache::{DCacheConfig, DataCache};
 use crate::icache::{FetchScheme, ICacheConfig, InstructionCache};
 use crate::tlb::{Tlb, TlbConfig};
 use crate::{CacheGeometry, DCacheStats, FetchStats, TlbStats};
@@ -99,11 +99,8 @@ impl MemorySystem {
     /// Builds the hierarchy from a configuration.
     #[must_use]
     pub fn new(config: MemoryConfig) -> MemorySystem {
-        let wp_limit = if config.icache.scheme == FetchScheme::WayPlacement {
-            config.wp_limit
-        } else {
-            0
-        };
+        let wp_limit =
+            if config.icache.scheme == FetchScheme::WayPlacement { config.wp_limit } else { 0 };
         MemorySystem {
             config,
             icache: InstructionCache::new(config.icache),
@@ -203,10 +200,7 @@ mod tests {
     #[test]
     fn wp_limit_only_applies_to_way_placement() {
         let geom = CacheGeometry::new(2048, 4, 32);
-        let cfg = MemoryConfig {
-            wp_limit: 0x8000 + 1024,
-            ..MemoryConfig::baseline(geom)
-        };
+        let cfg = MemoryConfig { wp_limit: 0x8000 + 1024, ..MemoryConfig::baseline(geom) };
         let mem = MemorySystem::new(cfg);
         assert_eq!(mem.itlb.wp_limit(), 0, "baseline ignores wp_limit");
 

@@ -253,12 +253,8 @@ impl InstructionCache {
         }
         let geom = self.config.geometry;
         let way = self.array.lookup(addr).unwrap_or(0);
-        self.prev_fetch = Some(PrevFetch {
-            addr,
-            set: geom.set_of(addr),
-            way,
-            slot: geom.slot_of(addr),
-        });
+        self.prev_fetch =
+            Some(PrevFetch { addr, set: geom.set_of(addr), way, slot: geom.slot_of(addr) });
     }
 
     // ----- baseline ---------------------------------------------------
@@ -300,8 +296,8 @@ impl InstructionCache {
         // links that pointed at the evicted line (the invalidation cost
         // way-memoization pays; see DESIGN.md §4).
         if self.config.scheme == FetchScheme::WayMemoization {
-            let slot = (self.config.geometry.set_of(addr) * self.config.geometry.ways()
-                + way) as usize;
+            let slot =
+                (self.config.geometry.set_of(addr) * self.config.geometry.ways() + way) as usize;
             self.links[slot].fill(None);
             if outcome.evicted.is_some() {
                 self.stats.link_invalidations += 1;

@@ -51,11 +51,12 @@ mod dcache;
 mod geometry;
 mod hierarchy;
 mod icache;
+pub mod rng;
 mod stats;
 mod tlb;
 
 pub use cam::{CamArray, FillOutcome, ReplacementPolicy};
-pub use dcache::{DataCache, DataOutcome, DCacheConfig};
+pub use dcache::{DCacheConfig, DataCache, DataOutcome};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{FetchTiming, MemoryConfig, MemorySystem};
 pub use icache::{FetchOutcome, FetchScheme, ICacheConfig, InstructionCache};

@@ -1,0 +1,153 @@
+//! A tiny, deterministic, dependency-free PRNG.
+//!
+//! The repository runs fully offline, so the external `rand` crate is
+//! unavailable; every stochastic component (random replacement, random
+//! layout shuffles, property-test sampling) draws from this generator
+//! instead. It is **not** cryptographic — it exists purely to make
+//! randomised behaviour reproducible from a `u64` seed.
+//!
+//! The core is SplitMix64 (Steele, Lea & Flood, *Fast Splittable
+//! Pseudorandom Number Generators*): a 64-bit counter hashed through a
+//! finalising mixer. Every seed, including 0, yields a full-period,
+//! well-distributed stream.
+
+/// A SplitMix64 pseudorandom number generator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw from `0..bound` (`bound > 0`), via rejection
+    /// sampling so small bounds are exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Rejection zone keeps the draw unbiased.
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let draw = self.next_u64();
+            if draw < zone {
+                return draw % bound;
+            }
+        }
+    }
+
+    /// A uniform draw from the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range {lo}..={hi}");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A uniform `usize` draw from `0..bound` (`bound > 0`).
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle, deterministic in the generator state.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values for seed 1234567 from the published
+        // SplitMix64 algorithm (as used by e.g. the xoshiro seeders).
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut rng = SplitMix64::new(9);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..500 {
+            let v = rng.range_u64(3, 6);
+            assert!((3..=6).contains(&v));
+            hit_lo |= v == 3;
+            hit_hi |= v == 6;
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(11);
+        let mut items: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+        // And deterministic per seed.
+        let mut again: Vec<u32> = (0..32).collect();
+        SplitMix64::new(11).shuffle(&mut again);
+        assert_eq!(items, again);
+    }
+}

@@ -4,9 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use wp_isa::alu::alu_compute;
-use wp_isa::{
-    AddrMode, Flags, Insn, MemOffset, MemWidth, MulOp, Op, Operand, Reg, ShiftAmount,
-};
+use wp_isa::{AddrMode, Flags, Insn, MemOffset, MemWidth, MulOp, Op, Operand, Reg, ShiftAmount};
 
 use crate::machine::{Machine, MemFault};
 
@@ -213,8 +211,7 @@ pub fn step(machine: &mut Machine, insn: Insn, addr: u32) -> Result<Step, ExecEr
                     flags.z = result == 0;
                 }
                 MulOp::Smull => {
-                    let result =
-                        i64::from(rm_value as i32) * i64::from(rs_value as i32);
+                    let result = i64::from(rm_value as i32) * i64::from(rs_value as i32);
                     machine.set_reg(rd, result as u32);
                     machine.set_reg(ra, (result >> 32) as u32);
                     flags.n = result < 0;
@@ -250,7 +247,11 @@ pub fn step(machine: &mut Machine, insn: Insn, addr: u32) -> Result<Step, ExecEr
                 MemOffset::Reg { rm, kind, amount, add } => {
                     let raw = reg_value(machine, rm, addr)?;
                     let (value, _) = kind.apply(raw, u32::from(amount), machine.flags.c);
-                    if add { i64::from(value) } else { -i64::from(value) }
+                    if add {
+                        i64::from(value)
+                    } else {
+                        -i64::from(value)
+                    }
                 }
             };
             let indexed = (i64::from(base) + offset_value) as u32;

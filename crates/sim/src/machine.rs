@@ -59,12 +59,8 @@ impl Machine {
         }
         let data_base = Image::DATA_BASE as usize;
         memory[data_base..data_base + image.data.len()].copy_from_slice(&image.data);
-        let mut machine = Machine {
-            regs: [0; 16],
-            flags: Flags::default(),
-            pc: image.entry,
-            memory,
-        };
+        let mut machine =
+            Machine { regs: [0; 16], flags: Flags::default(), pc: image.entry, memory };
         machine.regs[Reg::SP.index()] = Image::STACK_TOP;
         machine
     }

@@ -210,9 +210,7 @@ pub fn simulate(image: &Image, config: &SimConfig) -> Result<RunResult, SimError
     let mut machine = Machine::boot(image);
     let mut mem = MemorySystem::new(config.mem);
     let mut btb = Btb::new(config.btb_entries);
-    let mut insn_counts = config
-        .collect_profile
-        .then(|| vec![0u64; image.text.len()]);
+    let mut insn_counts = config.collect_profile.then(|| vec![0u64; image.text.len()]);
 
     let text = &image.text;
     let text_base = Image::TEXT_BASE;
@@ -284,8 +282,7 @@ pub fn simulate(image: &Image, config: &SimConfig) -> Result<RunResult, SimError
 
         // Data memory: blocking cache; stalls add directly.
         for (addr, write) in outcome.mem_accesses() {
-            let stall =
-                if write { mem.store(addr, cycles) } else { mem.load(addr, cycles) };
+            let stall = if write { mem.store(addr, cycles) } else { mem.load(addr, cycles) };
             cycles += u64::from(stall);
         }
 
@@ -572,12 +569,7 @@ mod tests {
         let ri = simulate(&imm, &config()).unwrap();
         let rr = simulate(&reg, &config()).unwrap();
         // ~one extra cycle per iteration.
-        assert!(
-            rr.cycles >= ri.cycles + 250,
-            "{} vs {}",
-            rr.cycles,
-            ri.cycles
-        );
+        assert!(rr.cycles >= ri.cycles + 250, "{} vs {}", rr.cycles, ri.cycles);
     }
 
     #[test]

@@ -67,10 +67,7 @@ impl Lcg {
 
     /// Next 32 uniform bits.
     pub fn next_u32(&mut self) -> u32 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let xorshifted = (((self.state >> 18) ^ self.state) >> 27) as u32;
         let rot = (self.state >> 59) as u32;
         xorshifted.rotate_right(rot)

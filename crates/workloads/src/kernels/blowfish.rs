@@ -124,7 +124,6 @@ pub(crate) fn summarise(words: &[u32]) -> Vec<u32> {
     vec![sum, words[0], words[words.len() - 1]]
 }
 
-
 /// One unrolled Feistel round: `l ^= P[i]; r ^= F(l); swap`.
 fn emit_round(out: &mut String, p_offset: usize) {
     out.push_str(&format!("    ldr r2, [r4, #{p_offset}]\n"));
@@ -159,7 +158,9 @@ pub(crate) fn blocks_source() -> String {
     let head = "    push {r4, r5, r6, lr}\n    ldr r4, =bf_p\n    ldr r5, =bf_s\n";
     let swap = "    mov r2, r0\n    mov r0, r1\n    mov r1, r2\n";
 
-    let mut enc = String::from("; bf_encrypt_block(r0 = l, r1 = r) -> (r0, r1), unrolled\nbf_encrypt_block:\n");
+    let mut enc = String::from(
+        "; bf_encrypt_block(r0 = l, r1 = r) -> (r0, r1), unrolled\nbf_encrypt_block:\n",
+    );
     enc.push_str(head);
     for i in 0..16 {
         emit_round(&mut enc, 4 * i);
@@ -167,7 +168,9 @@ pub(crate) fn blocks_source() -> String {
     enc.push_str(swap);
     enc.push_str("    ldr r2, [r4, #64]\n    eor r1, r1, r2\n    ldr r2, [r4, #68]\n    eor r0, r0, r2\n    pop {r4, r5, r6, pc}\n");
 
-    let mut dec = String::from("\n; bf_decrypt_block(r0 = l, r1 = r) -> (r0, r1), unrolled\nbf_decrypt_block:\n");
+    let mut dec = String::from(
+        "\n; bf_decrypt_block(r0 = l, r1 = r) -> (r0, r1), unrolled\nbf_decrypt_block:\n",
+    );
     dec.push_str(head);
     for i in (2..18).rev() {
         emit_round(&mut dec, 4 * i);

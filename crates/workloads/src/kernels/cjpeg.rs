@@ -16,11 +16,13 @@ pub(crate) fn spec() -> KernelSpec {
     }
 }
 
-
 /// Emits one specialised, fully unrolled 1D DCT pass.
 /// `stride` is in bytes (4 = row pass, 32 = column pass).
 fn emit_dct1d(name: &str, stride: usize, inverse: bool) -> String {
-    let mut out = format!("; {name}: unrolled 1D {}DCT, stride {stride}\n{name}:\n", if inverse { "inverse " } else { "" });
+    let mut out = format!(
+        "; {name}: unrolled 1D {}DCT, stride {stride}\n{name}:\n",
+        if inverse { "inverse " } else { "" }
+    );
     out.push_str("    push {r6, r7, r8, lr}\n    ldr r7, =dct_cos\n    ldr r8, =dct_tmp\n");
     for out_i in 0..8usize {
         if inverse {
@@ -52,11 +54,8 @@ fn emit_dct1d(name: &str, stride: usize, inverse: bool) -> String {
 /// The 2D drivers over the four specialised passes.
 fn dct2d_drivers() -> String {
     let drive = |name: &str, row_fn: &str, col_fn: &str, rows_first: bool| {
-        let (first_fn, first_step, second_fn, second_step) = if rows_first {
-            (row_fn, 32, col_fn, 4)
-        } else {
-            (col_fn, 4, row_fn, 32)
-        };
+        let (first_fn, first_step, second_fn, second_step) =
+            if rows_first { (row_fn, 32, col_fn, 4) } else { (col_fn, 4, row_fn, 32) };
         format!(
             "{name}:\n    push {{r4, r5, lr}}\n    ldr r4, =dct_block\n    mov r5, #8\n.L{name}_a:\n    mov r0, r4\n    bl {first_fn}\n    add r4, r4, #{first_step}\n    subs r5, r5, #1\n    bne .L{name}_a\n    ldr r4, =dct_block\n    mov r5, #8\n.L{name}_b:\n    mov r0, r4\n    bl {second_fn}\n    add r4, r4, #{second_step}\n    subs r5, r5, #1\n    bne .L{name}_b\n    pop {{r4, r5, pc}}\n\n"
         )

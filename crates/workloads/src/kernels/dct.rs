@@ -14,14 +14,9 @@ use crate::kernels::image::gray_image;
 
 /// The JPEG annex-K luminance quantisation table.
 pub(crate) const QUANT: [i32; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61,
-    12, 12, 14, 19, 26, 58, 60, 55,
-    14, 13, 16, 24, 40, 57, 69, 56,
-    14, 17, 22, 29, 51, 87, 80, 62,
-    18, 22, 37, 56, 68, 109, 103, 77,
-    24, 35, 55, 64, 81, 104, 113, 92,
-    49, 64, 78, 87, 103, 121, 120, 101,
-    72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// The Q14 cosine basis: `C[u*8 + x] = cos((2x+1)·u·π/16)`.
@@ -120,8 +115,7 @@ pub(crate) fn compress(set: InputSet) -> Vec<i32> {
             let mut block = [0i32; 64];
             for r in 0..8 {
                 for c in 0..8 {
-                    block[r * 8 + c] =
-                        i32::from(image[(by * 8 + r) * w + bx * 8 + c]) - 128;
+                    block[r * 8 + c] = i32::from(image[(by * 8 + r) * w + bx * 8 + c]) - 128;
                 }
             }
             dct_2d(&mut block, &basis);
@@ -176,10 +170,6 @@ mod tests {
     fn compression_is_sparse() {
         let coeffs = compress(InputSet::Small);
         let zeros = coeffs.iter().filter(|&&c| c == 0).count();
-        assert!(
-            zeros * 10 > coeffs.len() * 5,
-            "expected mostly zeros: {zeros}/{}",
-            coeffs.len()
-        );
+        assert!(zeros * 10 > coeffs.len() * 5, "expected mostly zeros: {zeros}/{}", coeffs.len());
     }
 }

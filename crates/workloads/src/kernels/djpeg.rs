@@ -130,11 +130,7 @@ mod tests {
         let (w, h) = dims(InputSet::Small);
         let decoded_avg = f64::from(reports[0]) / (w * h) as f64;
         let photo = dct::photo(InputSet::Small);
-        let photo_avg =
-            photo.iter().map(|&p| f64::from(p)).sum::<f64>() / photo.len() as f64;
-        assert!(
-            (decoded_avg - photo_avg).abs() < 24.0,
-            "{decoded_avg} vs {photo_avg}"
-        );
+        let photo_avg = photo.iter().map(|&p| f64::from(p)).sum::<f64>() / photo.len() as f64;
+        assert!((decoded_avg - photo_avg).abs() < 24.0, "{decoded_avg} vs {photo_avg}");
     }
 }

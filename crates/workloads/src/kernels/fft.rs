@@ -27,12 +27,12 @@ pub(crate) fn spec() -> KernelSpec {
 /// deterministic on every host.
 pub(crate) fn isin_q14(i: usize, n: usize) -> i32 {
     let i = i % n; // periodic
-    // Half-turn parameter t in Q16: angle/π = 2i/n.
+                   // Half-turn parameter t in Q16: angle/π = 2i/n.
     let t_q16 = ((i as u64) << 17) / n as u64; // 0..131072 (two half-turns)
     let (sign, t_q16) = if t_q16 >= 65536 { (-1i64, t_q16 - 65536) } else { (1, t_q16) };
     // sin(πt) ≈ 16t(1−t) / (5 − 4t(1−t)) for t in [0,1].
     let u = (t_q16 * (65536 - t_q16)) >> 16; // t(1−t) in Q16
-    // num is Q16·2¹⁴ and den is Q16, so the quotient is already Q14.
+                                             // num is Q16·2¹⁴ and den is Q16, so the quotient is already Q14.
     let num = (16 * u as i64) << 14;
     let den = 5 * 65536 - 4 * u as i64;
     (sign * (num / den)) as i32
@@ -239,7 +239,6 @@ main:
 ;;cold;;
 "#;
 
-
 /// The per-stage butterfly body (j-indexed, stack-held k/step).
 const BUTTERFLY: &str = "    ldr r2, [sp, #4]\n    mul r2, r6, r2          ; tw = j * step\n    ldr r8, [r10, r2, lsl #2]   ; c\n    ldr ip, [r9, r2, lsl #2]    ; s\n    ldr r2, [sp, #8]\n    add r3, r2, r6          ; i1\n    add r5, r3, r7          ; i2\n    str r3, [sp, #12]\n    str r5, [sp, #16]\n    ldr r2, [r0, r5, lsl #2]    ; bre\n    ldr fp, [r1, r5, lsl #2]    ; bim\n    mul r3, r2, r8\n    mul r5, fp, ip\n    sub r3, r3, r5\n    mov r3, r3, asr #14         ; tre\n    mul r5, fp, r8\n    mul fp, r2, ip\n    add r5, r5, fp\n    mov r5, r5, asr #14         ; tim\n    ldr r2, [sp, #12]\n    ldr r8, [r0, r2, lsl #2]    ; are\n    ldr ip, [r1, r2, lsl #2]    ; aim\n    add fp, r8, r3\n    mov fp, fp, asr #1\n    str fp, [r0, r2, lsl #2]\n    add fp, ip, r5\n    mov fp, fp, asr #1\n    str fp, [r1, r2, lsl #2]\n    ldr r2, [sp, #16]\n    sub fp, r8, r3\n    mov fp, fp, asr #1\n    str fp, [r0, r2, lsl #2]\n    sub fp, ip, r5\n    mov fp, fp, asr #1\n    str fp, [r1, r2, lsl #2]\n";
 
@@ -374,11 +373,8 @@ mod tests {
         fft_fixed(&mut re, &mut im, &is_, &ic);
         // Round trip scales by 1/n twice... no: each pass scales 1/n,
         // so the result is original / n — check correlation instead.
-        let err: i64 = original
-            .iter()
-            .zip(&re)
-            .map(|(&a, &b)| i64::from(a / n as i32 - b).abs())
-            .sum();
+        let err: i64 =
+            original.iter().zip(&re).map(|(&a, &b)| i64::from(a / n as i32 - b).abs()).sum();
         assert!(err / n as i64 <= 2, "avg err {}", err / n as i64);
     }
 }

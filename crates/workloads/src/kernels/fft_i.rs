@@ -6,9 +6,7 @@
 //! with the positive-sine twiddle tables, reconstructing the signals.
 
 use crate::gen::InputSet;
-use crate::kernels::fft::{
-    core_source, data_module, fft_fixed, shape, summarise, twiddles, waves,
-};
+use crate::kernels::fft::{core_source, data_module, fft_fixed, shape, summarise, twiddles, waves};
 use crate::kernels::KernelSpec;
 use wp_isa::Module;
 
@@ -120,11 +118,8 @@ mod tests {
         let (sin, cos) = twiddles(n, true);
         let (mut re, mut im) = spectra(set).swap_remove(0);
         fft_fixed(&mut re, &mut im, &sin, &cos);
-        let err: i64 = original
-            .iter()
-            .zip(&re)
-            .map(|(&a, &b)| i64::from(a / n as i32 - b).abs())
-            .sum();
+        let err: i64 =
+            original.iter().zip(&re).map(|(&a, &b)| i64::from(a / n as i32 - b).abs()).sum();
         assert!(err / n as i64 <= 3, "avg err {}", err / n as i64);
     }
 }

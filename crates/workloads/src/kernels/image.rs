@@ -64,10 +64,7 @@ mod tests {
         let c = gray_image(InputSet::Large, 1, 32, 32);
         assert_ne!(a, c);
         // Spatial correlation: neighbours are usually close.
-        let close = a
-            .windows(2)
-            .filter(|w| (i32::from(w[0]) - i32::from(w[1])).abs() < 32)
-            .count();
+        let close = a.windows(2).filter(|w| (i32::from(w[0]) - i32::from(w[1])).abs() < 32).count();
         assert!(close * 10 > a.len() * 8, "too noisy: {close}/{}", a.len());
     }
 

@@ -235,9 +235,8 @@ fn input(set: InputSet) -> Module {
 /// only needs set semantics, but the hash must stay self-consistent).
 #[cfg(test)]
 fn djb2(word: &str) -> u32 {
-    word.bytes().fold(5381u32, |h, c| {
-        h.wrapping_shl(5).wrapping_add(h).wrapping_add(u32::from(c))
-    })
+    word.bytes()
+        .fold(5381u32, |h, c| h.wrapping_shl(5).wrapping_add(h).wrapping_add(u32::from(c)))
 }
 
 fn reference(set: InputSet) -> Vec<u32> {

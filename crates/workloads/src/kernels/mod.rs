@@ -18,28 +18,28 @@ pub(crate) mod blowfish_d;
 pub(crate) mod blowfish_e;
 pub(crate) mod cjpeg;
 pub(crate) mod crc;
-pub(crate) mod djpeg;
 pub(crate) mod dct;
+pub(crate) mod djpeg;
 pub(crate) mod fft;
 pub(crate) mod fft_i;
 pub(crate) mod image;
 pub(crate) mod ispell;
 pub(crate) mod patricia;
 pub(crate) mod rawcaudio;
+pub(crate) mod rawdaudio;
 pub(crate) mod rijndael;
-pub(crate) mod rsynth;
-pub(crate) mod tiff2bw;
-pub(crate) mod tiff2rgba;
-pub(crate) mod tiffdither;
-pub(crate) mod tiffmedian;
 pub(crate) mod rijndael_d;
 pub(crate) mod rijndael_e;
-pub(crate) mod rawdaudio;
+pub(crate) mod rsynth;
 pub(crate) mod sha;
 pub(crate) mod susan;
 pub(crate) mod susan_c;
 pub(crate) mod susan_e;
 pub(crate) mod susan_s;
+pub(crate) mod tiff2bw;
+pub(crate) mod tiff2rgba;
+pub(crate) mod tiffdither;
+pub(crate) mod tiffmedian;
 
 use crate::gen::InputSet;
 use wp_isa::Module;

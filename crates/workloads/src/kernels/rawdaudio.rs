@@ -105,9 +105,7 @@ fn reference(set: InputSet) -> Vec<u32> {
     let (bytes, count) = codes(set);
     let mut state = State::default();
     let samples = adpcm::decode(&bytes, count, &mut state);
-    let sum = samples
-        .iter()
-        .fold(0u32, |acc, &s| acc.wrapping_add(i32::from(s) as u32));
+    let sum = samples.iter().fold(0u32, |acc, &s| acc.wrapping_add(i32::from(s) as u32));
     vec![sum, state.valpred as u32, state.index as u32]
 }
 

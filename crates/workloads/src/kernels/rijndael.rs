@@ -54,12 +54,8 @@ pub(crate) fn expand_key(key: &[u8; 16]) -> [u8; 176] {
     rk[..16].copy_from_slice(key);
     let mut rcon: u8 = 1;
     for i in 4..44 {
-        let mut temp = [
-            rk[4 * (i - 1)],
-            rk[4 * (i - 1) + 1],
-            rk[4 * (i - 1) + 2],
-            rk[4 * (i - 1) + 3],
-        ];
+        let mut temp =
+            [rk[4 * (i - 1)], rk[4 * (i - 1) + 1], rk[4 * (i - 1) + 2], rk[4 * (i - 1) + 3]];
         if i % 4 == 0 {
             temp = [
                 sbox[temp[1] as usize] ^ rcon,
@@ -218,13 +214,8 @@ pub(crate) fn tables_asm() -> String {
             .collect::<Vec<_>>()
             .join("\n")
     };
-    format!(
-        "    .data\naes_sbox:\n{}\naes_inv_sbox:\n{}\n",
-        fmt(sbox()),
-        fmt(inv_sbox())
-    )
+    format!("    .data\naes_sbox:\n{}\naes_inv_sbox:\n{}\n", fmt(sbox()), fmt(inv_sbox()))
 }
-
 
 /// Emits one `xtime` on `reg` (in place, byte-valued).
 fn emit_xtime(out: &mut String, reg: &str) {
@@ -256,10 +247,7 @@ fn emit_sub_bytes(out: &mut String) {
 /// (Inv)ShiftRows via the 16-byte scratch in r8.
 fn emit_shift_rows(out: &mut String, inverse: bool) {
     for word in 0..4 {
-        out.push_str(&format!(
-            "    ldr r0, [r9, #{o}]\n    str r0, [r8, #{o}]\n",
-            o = 4 * word
-        ));
+        out.push_str(&format!("    ldr r0, [r9, #{o}]\n    str r0, [r8, #{o}]\n", o = 4 * word));
     }
     for r in 1..4usize {
         for c in 0..4usize {
@@ -268,9 +256,7 @@ fn emit_shift_rows(out: &mut String, inverse: bool) {
             } else {
                 (r + 4 * ((c + r) % 4), r + 4 * c)
             };
-            out.push_str(&format!(
-                "    ldrb r0, [r8, #{src}]\n    strb r0, [r9, #{dst}]\n"
-            ));
+            out.push_str(&format!("    ldrb r0, [r8, #{src}]\n    strb r0, [r9, #{dst}]\n"));
         }
     }
 }
@@ -284,9 +270,8 @@ fn emit_mix_columns(out: &mut String) {
             base, base + 1, base + 2, base + 3
         ));
         out.push_str("    eor r4, r0, r1\n    eor r4, r4, r2\n    eor r4, r4, r3\n");
-        for (i, (a, b)) in [("r0", "r1"), ("r1", "r2"), ("r2", "r3"), ("r3", "r0")]
-            .iter()
-            .enumerate()
+        for (i, (a, b)) in
+            [("r0", "r1"), ("r1", "r2"), ("r2", "r3"), ("r3", "r0")].iter().enumerate()
         {
             out.push_str(&format!("    eor r5, {a}, {b}\n"));
             emit_xtime(out, "r5");
@@ -328,7 +313,9 @@ pub(crate) fn core_source() -> String {
     let prologue = "    push {r4, r5, r6, r7, r8, r9, r10, lr}\n    mov r7, r1\n    mov r1, r0\n    ldr r0, =aes_state\n    mov r2, #16\n    bl memcpy\n    ldr r9, =aes_state\n    ldr r10, =aes_rk\n    ldr r8, =aes_tmp\n";
     let epilogue = "    mov r0, r7\n    ldr r1, =aes_state\n    mov r2, #16\n    bl memcpy\n    pop {r4, r5, r6, r7, r8, r9, r10, pc}\n";
 
-    let mut enc = String::from("; aes_encrypt_block(r0 = src, r1 = dst), fully unrolled\naes_encrypt_block:\n");
+    let mut enc = String::from(
+        "; aes_encrypt_block(r0 = src, r1 = dst), fully unrolled\naes_encrypt_block:\n",
+    );
     enc.push_str(prologue);
     emit_ark(&mut enc, 0);
     for round in 1..=9 {
@@ -344,7 +331,9 @@ pub(crate) fn core_source() -> String {
     emit_ark(&mut enc, 10);
     enc.push_str(epilogue);
 
-    let mut dec = String::from("\n; aes_decrypt_block(r0 = src, r1 = dst), fully unrolled\naes_decrypt_block:\n");
+    let mut dec = String::from(
+        "\n; aes_decrypt_block(r0 = src, r1 = dst), fully unrolled\naes_decrypt_block:\n",
+    );
     dec.push_str(prologue);
     emit_ark(&mut dec, 10);
     for round in (1..=9).rev() {
@@ -463,20 +452,16 @@ mod tests {
     #[test]
     fn fips197_vector() {
         // FIPS-197 appendix C.1.
-        let key: [u8; 16] =
-            (0..16u8).collect::<Vec<u8>>().try_into().expect("16 bytes");
-        let plain: [u8; 16] = (0..16u8)
-            .map(|i| i * 0x11)
-            .collect::<Vec<u8>>()
-            .try_into()
-            .expect("16 bytes");
+        let key: [u8; 16] = (0..16u8).collect::<Vec<u8>>().try_into().expect("16 bytes");
+        let plain: [u8; 16] =
+            (0..16u8).map(|i| i * 0x11).collect::<Vec<u8>>().try_into().expect("16 bytes");
         let rk = expand_key(&key);
         let cipher = encrypt_block(&plain, &rk);
         assert_eq!(
             cipher,
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
-                0x70, 0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
         assert_eq!(decrypt_block(&cipher, &rk), plain);

@@ -170,12 +170,7 @@ fn input(set: InputSet) -> Module {
     DataBuilder::new("rsynth-input")
         .word("in_phoneme_count", (flat.len() / 5) as u32)
         .words("in_phonemes", &flat)
-        .words(
-            "sin_table",
-            &(0..1024)
-                .map(|i| isin_q14(i, 1024) as u32)
-                .collect::<Vec<u32>>(),
-        )
+        .words("sin_table", &(0..1024).map(|i| isin_q14(i, 1024) as u32).collect::<Vec<u32>>())
         .build()
 }
 

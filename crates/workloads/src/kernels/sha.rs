@@ -12,13 +12,7 @@ use crate::kernels::KernelSpec;
 use wp_isa::Module;
 
 pub(crate) fn spec() -> KernelSpec {
-    KernelSpec {
-        name: "sha",
-        source,
-        cold_instructions: 7200,
-        input,
-        reference,
-    }
+    KernelSpec { name: "sha", source, cold_instructions: 7200, input, reference }
 }
 
 /// Emits the kernel with the W expansion and all 80 rounds unrolled
@@ -214,8 +208,7 @@ fn input(set: InputSet) -> Module {
 /// Textbook SHA-1 (valid for any input, exercised here on whole-block
 /// inputs).
 pub(crate) fn sha1(message: &[u8]) -> [u32; 5] {
-    let mut h: [u32; 5] =
-        [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
     let mut data = message.to_vec();
     let bit_len = (message.len() as u64) * 8;
     data.push(0x80);
@@ -271,14 +264,8 @@ mod tests {
     #[test]
     fn sha1_known_vectors() {
         // "abc" -> a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d
-        assert_eq!(
-            sha1(b"abc"),
-            [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]
-        );
+        assert_eq!(sha1(b"abc"), [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]);
         // Empty string.
-        assert_eq!(
-            sha1(b""),
-            [0xda39_a3ee, 0x5e6b_4b0d, 0x3255_bfef, 0x9560_1890, 0xafd8_0709]
-        );
+        assert_eq!(sha1(b""), [0xda39_a3ee, 0x5e6b_4b0d, 0x3255_bfef, 0x9560_1890, 0xafd8_0709]);
     }
 }

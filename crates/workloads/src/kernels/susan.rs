@@ -15,11 +15,27 @@ use wp_isa::Module;
 
 /// The 21-entry circular mask (5×5 minus corners), as (dx, dy).
 pub(crate) const MASK: [(i32, i32); 21] = [
-    (-1, -2), (0, -2), (1, -2),
-    (-2, -1), (-1, -1), (0, -1), (1, -1), (2, -1),
-    (-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0),
-    (-2, 1), (-1, 1), (0, 1), (1, 1), (2, 1),
-    (-1, 2), (0, 2), (1, 2),
+    (-1, -2),
+    (0, -2),
+    (1, -2),
+    (-2, -1),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (2, -1),
+    (-2, 0),
+    (-1, 0),
+    (0, 0),
+    (1, 0),
+    (2, 0),
+    (-2, 1),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+    (2, 1),
+    (-1, 2),
+    (0, 2),
+    (1, 2),
 ];
 
 /// Which SUSAN pass a kernel runs.
@@ -90,9 +106,8 @@ pub(crate) fn run_pass(image: &[u8], width: usize, height: usize, pass: Pass) ->
             let mut weight_sum = 0i32;
             let mut value_sum = 0i32;
             for &(dx, dy) in &MASK {
-                let p = i32::from(
-                    image[(y as i32 + dy) as usize * width + (x as i32 + dx) as usize],
-                );
+                let p =
+                    i32::from(image[(y as i32 + dy) as usize * width + (x as i32 + dx) as usize]);
                 let w = sim[(p - center).unsigned_abs() as usize & 0xff];
                 weight_sum += w;
                 value_sum += w * p;
@@ -125,8 +140,7 @@ pub(crate) fn input(name: &str, set: InputSet) -> Module {
 
 /// The mask table as assembly data.
 pub(crate) fn mask_asm() -> String {
-    let pairs: Vec<String> =
-        MASK.iter().map(|&(dx, dy)| format!("{dx}, {dy}")).collect();
+    let pairs: Vec<String> = MASK.iter().map(|&(dx, dy)| format!("{dx}, {dy}")).collect();
     format!("    .data\n    .align 2\nsusan_mask:\n    .word {}\n", pairs.join(", "))
 }
 

@@ -41,7 +41,7 @@ fn reference(set: InputSet) -> Vec<u32> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::kernels::susan::Pass;
 
     #[test]

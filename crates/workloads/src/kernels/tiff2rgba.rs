@@ -82,9 +82,7 @@ fn input(set: InputSet) -> Module {
 fn reference(set: InputSet) -> Vec<u32> {
     let palette = palette(set);
     let indices = indices(set);
-    let sum = indices
-        .iter()
-        .fold(0u32, |a, &i| a.wrapping_add(palette[i as usize]));
+    let sum = indices.iter().fold(0u32, |a, &i| a.wrapping_add(palette[i as usize]));
     vec![sum, palette[indices[0] as usize]]
 }
 

@@ -205,8 +205,8 @@ mod tests {
     #[test]
     fn ones_density_tracks_brightness() {
         let (w, h) = dims(InputSet::Small);
-        let avg: f64 = image(InputSet::Small).iter().map(|&p| f64::from(p)).sum::<f64>()
-            / (w * h) as f64;
+        let avg: f64 =
+            image(InputSet::Small).iter().map(|&p| f64::from(p)).sum::<f64>() / (w * h) as f64;
         let reports = reference(InputSet::Small);
         let density = f64::from(reports[0]) / (w * h) as f64;
         // Dithering preserves average brightness.

@@ -185,9 +185,7 @@ fn reference(set: InputSet) -> Vec<u32> {
     let mut hist = vec![0u32; 4096];
     let bins: Vec<usize> = rgb
         .chunks_exact(3)
-        .map(|p| {
-            ((p[0] as usize >> 4) << 8) | ((p[1] as usize >> 4) << 4) | (p[2] as usize >> 4)
-        })
+        .map(|p| ((p[0] as usize >> 4) << 8) | ((p[1] as usize >> 4) << 4) | (p[2] as usize >> 4))
         .collect();
     for &bin in &bins {
         hist[bin] += 1;
@@ -201,13 +199,11 @@ fn reference(set: InputSet) -> Vec<u32> {
     let mut index_sum = 0u32;
     let mut exact = 0u32;
     for &bin in &bins {
-        let (r, g, b) =
-            ((bin >> 8) as i32, (bin >> 4 & 15) as i32, (bin & 15) as i32);
+        let (r, g, b) = ((bin >> 8) as i32, (bin >> 4 & 15) as i32, (bin & 15) as i32);
         let mut best_k = 0u32;
         let mut best_d = 10_000i32;
         for (k, &p) in palette.iter().enumerate() {
-            let (pr, pg, pb) =
-                ((p >> 8) as i32, (p >> 4 & 15) as i32, (p & 15) as i32);
+            let (pr, pg, pb) = ((p >> 8) as i32, (p >> 4 & 15) as i32, (p & 15) as i32);
             let d = (r - pr) * (r - pr) + (g - pg) * (g - pg) + (b - pb) * (b - pb);
             if d < best_d {
                 best_d = d;
@@ -240,12 +236,7 @@ mod tests {
         let (w, h) = dims(InputSet::Small);
         // The 16 most popular bins exactly cover a non-trivial share of
         // a smooth image, and everything else maps somewhere.
-        assert!(
-            reports[1] * 20 > (w * h) as u32,
-            "exact hits {} of {}",
-            reports[1],
-            w * h
-        );
+        assert!(reports[1] * 20 > (w * h) as u32, "exact hits {} of {}", reports[1], w * h);
         assert!(reports[0] > 0, "index sum");
     }
 }

@@ -123,8 +123,7 @@ impl Benchmark {
     #[must_use]
     pub fn modules(self, input: InputSet) -> Vec<Module> {
         let spec = self.spec();
-        let source =
-            gen::splice_cold(&(spec.source)(), spec.name, spec.cold_instructions);
+        let source = gen::splice_cold(&(spec.source)(), spec.name, spec.cold_instructions);
         let kernel = wp_isa::assemble(spec.name, &source)
             .unwrap_or_else(|e| panic!("kernel `{}` must assemble: {e}", spec.name));
         vec![runtime::runtime_module(), kernel, (spec.input)(input)]

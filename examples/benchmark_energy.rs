@@ -9,9 +9,10 @@
 //! figure in the paper: way-placement removes tag energy; way-
 //! memoization removes tag energy but widens the data array.
 
-use wp_core::{measure, Measurement, Scheme, Workbench};
+use wp_bench::{Engine, SharedError};
 use wp_core::wp_mem::CacheGeometry;
-use wp_core::wp_workloads::Benchmark;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{Measurement, Scheme};
 
 fn breakdown(m: &Measurement) {
     let e = &m.energy.icache;
@@ -40,19 +41,18 @@ fn breakdown(m: &Measurement) {
     );
 }
 
-fn main() -> Result<(), wp_core::CoreError> {
+fn main() -> Result<(), SharedError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "rijndael_e".into());
     let benchmark = Benchmark::by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`; see `Benchmark::ALL`"));
-    let workbench = Workbench::new(benchmark)?;
+    let engine = Engine::global();
     let geom = CacheGeometry::xscale_icache();
     println!("== {benchmark} on {geom} ==\n");
-    for scheme in [
-        Scheme::Baseline,
-        Scheme::WayMemoization,
-        Scheme::WayPlacement { area_bytes: 32 * 1024 },
-    ] {
-        breakdown(&measure(&workbench, geom, scheme)?);
+    for scheme in
+        [Scheme::Baseline, Scheme::WayMemoization, Scheme::WayPlacement { area_bytes: 32 * 1024 }]
+    {
+        let m = engine.measure(benchmark, geom, scheme, InputSet::Large)?;
+        breakdown(&m);
         println!();
     }
     Ok(())

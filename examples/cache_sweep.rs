@@ -7,17 +7,21 @@
 //! The per-benchmark version of figures 5 and 6: how the savings move
 //! with cache size, associativity and the OS's choice of area size —
 //! all from one profile and one relink (the paper's "no recompilation"
-//! property).
+//! property). On the engine, that property is enforced by the caches:
+//! the final stats line proves one workbench build served the whole
+//! sweep.
 
-use wp_core::{measure, Scheme, Workbench};
+use wp_bench::{Engine, SharedError};
 use wp_core::wp_mem::CacheGeometry;
-use wp_core::wp_workloads::Benchmark;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::Scheme;
 
-fn main() -> Result<(), wp_core::CoreError> {
+fn main() -> Result<(), SharedError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "cjpeg".into());
-    let benchmark = Benchmark::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-    let workbench = Workbench::new(benchmark)?;
+    let benchmark =
+        Benchmark::by_name(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let engine = Engine::global();
+    let workbench = engine.workbench(benchmark)?;
     println!(
         "== {benchmark}: text {} KB, profile {} blocks ==\n",
         workbench.text_bytes()? / 1024,
@@ -26,9 +30,10 @@ fn main() -> Result<(), wp_core::CoreError> {
 
     println!("-- way-placement area sweep on the 32KB, 32-way cache --");
     let geom = CacheGeometry::xscale_icache();
-    let baseline = measure(&workbench, geom, Scheme::Baseline)?;
+    let baseline = engine.baseline(benchmark, geom, InputSet::Large)?;
     for area_kb in [32u32, 16, 8, 4, 2, 1] {
-        let m = measure(&workbench, geom, Scheme::WayPlacement { area_bytes: area_kb * 1024 })?;
+        let scheme = Scheme::WayPlacement { area_bytes: area_kb * 1024 };
+        let m = engine.measure(benchmark, geom, scheme, InputSet::Large)?;
         println!(
             "  area {:>2} KB: energy x{:.3}, ED {:.3}",
             area_kb,
@@ -41,9 +46,14 @@ fn main() -> Result<(), wp_core::CoreError> {
     for size_kb in [16u32, 32, 64] {
         for ways in [8u32, 16, 32] {
             let geom = CacheGeometry::new(size_kb * 1024, ways, 32);
-            let baseline = measure(&workbench, geom, Scheme::Baseline)?;
-            let wp = measure(&workbench, geom, Scheme::WayPlacement { area_bytes: 8 * 1024 })?;
-            let memo = measure(&workbench, geom, Scheme::WayMemoization)?;
+            let baseline = engine.baseline(benchmark, geom, InputSet::Large)?;
+            let wp = engine.measure(
+                benchmark,
+                geom,
+                Scheme::WayPlacement { area_bytes: 8 * 1024 },
+                InputSet::Large,
+            )?;
+            let memo = engine.measure(benchmark, geom, Scheme::WayMemoization, InputSet::Large)?;
             println!(
                 "  {:<32} wp x{:.3} (ED {:.3}) | memo x{:.3} (ED {:.3})",
                 geom.to_string(),
@@ -54,5 +64,6 @@ fn main() -> Result<(), wp_core::CoreError> {
             );
         }
     }
+    eprintln!("{}", engine.stats());
     Ok(())
 }

@@ -4,11 +4,11 @@
 //! cargo run --release --example disassemble [benchmark] [natural|way-placement|pessimal]
 //! ```
 
+use wp_bench::{Engine, SharedError};
 use wp_core::wp_linker::Layout;
 use wp_core::wp_workloads::{Benchmark, InputSet};
-use wp_core::Workbench;
 
-fn main() -> Result<(), wp_core::CoreError> {
+fn main() -> Result<(), SharedError> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "bitcount".into());
     let layout = match args.next().as_deref() {
@@ -17,9 +17,9 @@ fn main() -> Result<(), wp_core::CoreError> {
         Some("pessimal") => Layout::Pessimal,
         Some(other) => panic!("unknown layout `{other}`"),
     };
-    let benchmark = Benchmark::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-    let workbench = Workbench::new(benchmark)?;
+    let benchmark =
+        Benchmark::by_name(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let workbench = Engine::global().workbench(benchmark)?;
     let output = workbench.link(layout, InputSet::Small)?;
     print!("{}", output.image.disassembly());
     Ok(())

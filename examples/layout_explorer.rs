@@ -5,15 +5,15 @@
 //! cargo run --release --example layout_explorer [benchmark]
 //! ```
 
+use wp_bench::{Engine, SharedError};
 use wp_core::wp_linker::Layout;
 use wp_core::wp_workloads::{Benchmark, InputSet};
-use wp_core::Workbench;
 
-fn main() -> Result<(), wp_core::CoreError> {
+fn main() -> Result<(), SharedError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "crc".into());
-    let benchmark = Benchmark::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-    let workbench = Workbench::new(benchmark)?;
+    let benchmark =
+        Benchmark::by_name(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let workbench = Engine::global().workbench(benchmark)?;
     let profile = workbench.profile();
 
     let natural = workbench.link(Layout::Natural, InputSet::Large)?;
@@ -26,26 +26,15 @@ fn main() -> Result<(), wp_core::CoreError> {
         natural.icfg.len(),
         natural.chains.len()
     );
-    println!(
-        "cold blocks (never executed in training): {:.1}%\n",
-        profile.cold_fraction() * 100.0
-    );
+    println!("cold blocks (never executed in training): {:.1}%\n", profile.cold_fraction() * 100.0);
 
     println!("-- ten heaviest chains (weight = dynamic instructions) --");
     let mut chains = natural.chains.clone();
     chains.sort_by_key(|c| std::cmp::Reverse(c.weight));
     for (rank, chain) in chains.iter().take(10).enumerate() {
         let head = &natural.icfg.blocks()[chain.blocks[0]];
-        let label = head
-            .labels
-            .first()
-            .map(String::as_str)
-            .unwrap_or("(anonymous)");
-        let insns: usize = chain
-            .blocks
-            .iter()
-            .map(|&b| natural.icfg.blocks()[b].len)
-            .sum();
+        let label = head.labels.first().map(String::as_str).unwrap_or("(anonymous)");
+        let insns: usize = chain.blocks.iter().map(|&b| natural.icfg.blocks()[b].len).sum();
         println!(
             "  #{rank:<2} weight {:>10}  {:>4} blocks {:>5} insns  head `{label}` @ {:#x} -> {:#x}",
             chain.weight,

@@ -6,16 +6,20 @@
 //!
 //! Profiles `sha` on its training input, relinks it hottest-chain-first,
 //! and compares the three schemes of the paper's initial evaluation on
-//! the XScale's 32 KB, 32-way instruction cache.
+//! the XScale's 32 KB, 32-way instruction cache — all through the
+//! shared experiment engine, so the profile is gathered exactly once
+//! and the baseline measurement is shared by both comparisons.
 
-use wp_core::{measure, Scheme, Workbench};
+use wp_bench::{Engine, SharedError};
 use wp_core::wp_mem::CacheGeometry;
-use wp_core::wp_workloads::Benchmark;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::Scheme;
 
-fn main() -> Result<(), wp_core::CoreError> {
+fn main() -> Result<(), SharedError> {
+    let engine = Engine::global();
     let benchmark = Benchmark::Sha;
     println!("profiling `{benchmark}` on the small input set...");
-    let workbench = Workbench::new(benchmark)?;
+    let workbench = engine.workbench(benchmark)?;
     println!(
         "  {} training instructions, {} basic blocks profiled\n",
         workbench.profiling_instructions(),
@@ -23,7 +27,7 @@ fn main() -> Result<(), wp_core::CoreError> {
     );
 
     let geom = CacheGeometry::xscale_icache();
-    let baseline = measure(&workbench, geom, Scheme::Baseline)?;
+    let baseline = engine.baseline(benchmark, geom, InputSet::Large)?;
     println!("running the large-input measurement on {geom}:");
     println!(
         "  {:<24} {:>12} cycles | I-cache {:>7.1} uJ",
@@ -31,11 +35,8 @@ fn main() -> Result<(), wp_core::CoreError> {
         baseline.run.cycles,
         baseline.energy.icache_pj() / 1e6,
     );
-    for scheme in [
-        Scheme::WayMemoization,
-        Scheme::WayPlacement { area_bytes: 32 * 1024 },
-    ] {
-        let m = measure(&workbench, geom, scheme)?;
+    for scheme in [Scheme::WayMemoization, Scheme::WayPlacement { area_bytes: 32 * 1024 }] {
+        let m = engine.measure(benchmark, geom, scheme, InputSet::Large)?;
         println!(
             "  {:<24} {:>12} cycles | I-cache {:>7.1} uJ | energy x{:.3} | ED {:.3}",
             m.scheme.label(),
@@ -47,5 +48,6 @@ fn main() -> Result<(), wp_core::CoreError> {
     }
     println!();
     println!("paper (figure 4 averages): way-memoization ~0.68x, way-placement ~0.50x, ED ~0.93");
+    eprintln!("{}", engine.stats());
     Ok(())
 }

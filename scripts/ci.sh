@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI gate for the way-placement reproduction.
+#
+#   scripts/ci.sh          # full gate: fmt, clippy, build, tests, smoke
+#   scripts/ci.sh --quick  # skip the release build + full test suite
+#
+# Everything runs offline: the workspace has no external dependencies.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== fmt check =="
+cargo fmt --all -- --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "== tier-1 gate: release build =="
+    cargo build --release
+
+    echo "== tier-1 gate: full test suite =="
+    cargo test -q
+
+    echo "== manifest smoke test =="
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin table1 >/dev/null
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin fig1 >/dev/null
+    for manifest in BENCH_table1.json BENCH_fig1.json; do
+        if [[ ! -s "$smoke_dir/$manifest" ]]; then
+            echo "missing manifest: $manifest" >&2
+            exit 1
+        fi
+    done
+    echo "manifests OK: $(ls "$smoke_dir")"
+fi
+
+echo "== CI gate passed =="

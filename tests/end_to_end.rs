@@ -9,13 +9,8 @@ use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::{measure, measure_on, Scheme, Workbench};
 
 /// A fast, representative slice of the suite for per-commit testing.
-const SAMPLE: [Benchmark; 5] = [
-    Benchmark::Crc,
-    Benchmark::Sha,
-    Benchmark::Patricia,
-    Benchmark::Rawdaudio,
-    Benchmark::SusanE,
-];
+const SAMPLE: [Benchmark; 5] =
+    [Benchmark::Crc, Benchmark::Sha, Benchmark::Patricia, Benchmark::Rawdaudio, Benchmark::SusanE];
 
 #[test]
 fn every_scheme_preserves_architecture() {
@@ -59,11 +54,8 @@ fn layouts_do_not_change_architecture_only_timing() {
     let mut cycle_counts = Vec::new();
     for layout in [Layout::Natural, Layout::WayPlacement, Layout::Random(3), Layout::Pessimal] {
         let output = workbench.link(layout, InputSet::Small).expect("link");
-        let run = simulate(
-            &output.image,
-            &SimConfig::new(Scheme::Baseline.memory_config(geom)),
-        )
-        .expect("run");
+        let run = simulate(&output.image, &SimConfig::new(Scheme::Baseline.memory_config(geom)))
+            .expect("run");
         wp_core::verify(Benchmark::Bitcount, InputSet::Small, run.checksum)
             .unwrap_or_else(|e| panic!("{layout:?}: {e}"));
         cycle_counts.push((layout, run.cycles));
@@ -71,8 +63,7 @@ fn layouts_do_not_change_architecture_only_timing() {
     // Same instruction multiset, same work — but layout changes timing
     // through the cache. (Not asserting an order here, just recording
     // that the pipeline noticed the difference on a small cache.)
-    let distinct: std::collections::HashSet<u64> =
-        cycle_counts.iter().map(|&(_, c)| c).collect();
+    let distinct: std::collections::HashSet<u64> = cycle_counts.iter().map(|&(_, c)| c).collect();
     assert!(distinct.len() > 1, "layouts should differ in timing: {cycle_counts:?}");
 }
 
@@ -83,8 +74,8 @@ fn profile_reuse_across_geometries() {
     let workbench = Workbench::new(Benchmark::Tiffdither).expect("workbench");
     for (size_kb, ways) in [(16u32, 8u32), (32, 32), (64, 16)] {
         let geom = CacheGeometry::new(size_kb * 1024, ways, 32);
-        let baseline = measure_on(&workbench, geom, Scheme::Baseline, InputSet::Small)
-            .expect("baseline");
+        let baseline =
+            measure_on(&workbench, geom, Scheme::Baseline, InputSet::Small).expect("baseline");
         let wp = measure_on(
             &workbench,
             geom,
@@ -112,18 +103,13 @@ fn hint_penalty_shows_up_in_cycles_not_correctness() {
         InputSet::Small,
     )
     .expect("full");
-    let tiny = measure_on(
-        &workbench,
-        geom,
-        Scheme::WayPlacement { area_bytes: 1024 },
-        InputSet::Small,
-    )
-    .expect("tiny");
+    let tiny =
+        measure_on(&workbench, geom, Scheme::WayPlacement { area_bytes: 1024 }, InputSet::Small)
+            .expect("tiny");
     assert_eq!(full.run.instructions, tiny.run.instructions);
     assert!(tiny.run.fetch.hint_false_wp >= full.run.fetch.hint_false_wp);
     // The penalty is bounded: §4.1 says the hint is very accurate.
-    let penalty_rate =
-        tiny.run.fetch.penalty_cycles as f64 / tiny.run.fetch.fetches as f64;
+    let penalty_rate = tiny.run.fetch.penalty_cycles as f64 / tiny.run.fetch.fetches as f64;
     assert!(penalty_rate < 0.02, "penalty rate {penalty_rate}");
 }
 

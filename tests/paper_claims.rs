@@ -57,13 +57,10 @@ fn section_6_1_initial_evaluation() {
             "{benchmark}: way-placement energy {wp_e:.3} (paper ~0.50)"
         );
         assert!(wp_e < memo_e, "{benchmark}: {wp_e:.3} !< {memo_e:.3}");
-        assert!(
-            (0.85..0.97).contains(&wp_ed),
-            "{benchmark}: ED {wp_ed:.3} (paper ~0.93)"
-        );
+        assert!((0.85..0.97).contains(&wp_ed), "{benchmark}: ED {wp_ed:.3} (paper ~0.93)");
         // "There is no change in performance" (§6.1).
-        let slowdown = comparison.subjects[0].run.cycles as f64
-            / comparison.baseline.run.cycles as f64;
+        let slowdown =
+            comparison.subjects[0].run.cycles as f64 / comparison.baseline.run.cycles as f64;
         assert!((0.99..1.01).contains(&slowdown), "{benchmark}: slowdown {slowdown}");
     }
 }
@@ -100,10 +97,7 @@ fn section_4_1_no_recompilation() {
         .image;
     for area in [32 * 1024, 8 * 1024, 1024] {
         let output = wb
-            .link(
-                wp_core::wp_linker::Layout::WayPlacement,
-                wp_core::wp_workloads::InputSet::Large,
-            )
+            .link(wp_core::wp_linker::Layout::WayPlacement, wp_core::wp_workloads::InputSet::Large)
             .expect("link");
         // Identical binary regardless of the area choice.
         assert_eq!(output.image.text, image_32.text);
@@ -151,12 +145,6 @@ fn ablation_both_halves_matter() {
     let sw_only = measure(&wb, geom, Scheme::BaselineOptimisedLayout)
         .expect("sw")
         .normalized_icache_energy(&baseline);
-    assert!(
-        combined < hw_only,
-        "layout pass must add value: {combined:.3} !< {hw_only:.3}"
-    );
-    assert!(
-        combined < sw_only,
-        "hardware must add value: {combined:.3} !< {sw_only:.3}"
-    );
+    assert!(combined < hw_only, "layout pass must add value: {combined:.3} !< {hw_only:.3}");
+    assert!(combined < sw_only, "hardware must add value: {combined:.3} !< {sw_only:.3}");
 }

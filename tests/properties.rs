@@ -1,0 +1,80 @@
+//! Property tests for the end-to-end API surface: `align_area`
+//! arithmetic and the layout-invariance of `Workbench::link`.
+//!
+//! Runs on the dependency-free seeded sampler (`wp_mem::rng`) because
+//! `proptest` is unavailable offline; the seeds are fixed so every run
+//! exercises identical cases.
+
+use wp_core::wp_linker::Layout;
+use wp_core::wp_mem::rng::SplitMix64;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{align_area, Workbench};
+
+/// `align_area` is idempotent: aligning an aligned size is a no-op.
+#[test]
+fn align_area_is_idempotent() {
+    let mut rng = SplitMix64::new(0xa11e_0001);
+    for _ in 0..512 {
+        let page = 1u32 << rng.range_u64(4, 16);
+        let bytes = rng.next_u32() >> rng.below(16);
+        let once = align_area(bytes, page);
+        assert_eq!(align_area(once, page), once, "align({bytes}, {page})");
+        // The result is aligned, covers the request, and overshoots by
+        // less than one page.
+        assert_eq!(once % page, 0, "align({bytes}, {page}) = {once}");
+        assert!(once >= bytes);
+        assert!(u64::from(once) < u64::from(bytes) + u64::from(page));
+    }
+}
+
+/// `align_area` is monotone in the requested size.
+#[test]
+fn align_area_is_monotone() {
+    let mut rng = SplitMix64::new(0xa11e_0002);
+    for _ in 0..512 {
+        let page = 1u32 << rng.range_u64(4, 16);
+        let a = (rng.next_u32() >> 8).min(1 << 22);
+        let b = (rng.next_u32() >> 8).min(1 << 22);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        assert!(
+            align_area(lo, page) <= align_area(hi, page),
+            "align({lo}, {page}) > align({hi}, {page})"
+        );
+    }
+}
+
+/// Relinking never changes the text size: every layout of every
+/// benchmark emits exactly as many instructions as the natural link —
+/// layout moves code, it must not add or drop any.
+#[test]
+fn link_preserves_text_length_across_layouts() {
+    // Three PRNG-sampled benchmarks keep the test fast while still
+    // rotating real programs through the property.
+    let mut rng = SplitMix64::new(0xa11e_0003);
+    let mut sampled = Vec::new();
+    while sampled.len() < 3 {
+        let candidate = Benchmark::ALL[rng.index(Benchmark::ALL.len())];
+        if !sampled.contains(&candidate) {
+            sampled.push(candidate);
+        }
+    }
+    for benchmark in sampled {
+        let workbench = Workbench::new(benchmark).expect("workbench");
+        for set in [InputSet::Small, InputSet::Large] {
+            let natural = workbench.link(Layout::Natural, set).expect("natural link");
+            for layout in [
+                Layout::WayPlacement,
+                Layout::Pessimal,
+                Layout::Random(rng.next_u64()),
+                Layout::Random(rng.next_u64()),
+            ] {
+                let relinked = workbench.link(layout, set).expect("relink");
+                assert_eq!(
+                    relinked.image.text.len(),
+                    natural.image.text.len(),
+                    "{benchmark} {set:?} under {layout:?}"
+                );
+            }
+        }
+    }
+}
