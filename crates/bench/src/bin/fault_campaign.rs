@@ -1,0 +1,215 @@
+//! Fault-injection campaign over the simulated hardware.
+//!
+//! The paper's §4 safety argument is that way-placement's speculation
+//! machinery sits entirely outside the architectural state: a wrong
+//! WP bit, a stale way hint, even a corrupted CAM tag can only cost
+//! cycles and I-cache energy, never correctness. This campaign turns
+//! that claim into a falsifiable experiment: sweep seeded hardware
+//! fault rates (plus the compiler-side trust boundary — corrupted
+//! profiles and permuted chain layouts) across benchmarks and schemes,
+//! classify every run against its clean twin, and **fail (exit 1) on
+//! any silent corruption** — a run that completed with a wrong
+//! architectural checksum.
+//!
+//!   fault_campaign [--quick]
+//!
+//! `--quick` restricts to three benchmarks (the CI smoke
+//! configuration). Writes `BENCH_fault_campaign.json` with every
+//! classified trial plus per-rate cycle/energy degradation summaries.
+
+use wp_bench::{write_manifest, Engine, Json};
+use wp_core::wp_mem::{CacheGeometry, FaultConfig};
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{fault_trial, FaultOutcome, FaultSpec, FaultTrial, Scheme};
+
+/// Hardware fault rates swept, in faults per million fetches.
+const RATES_PPM: [u32; 3] = [1_000, 10_000, 100_000];
+
+/// The faults injected for one (benchmark, scheme) pair: every
+/// hardware rate with all fault kinds enabled, plus the two
+/// compiler-side faults.
+fn specs(seed: u64) -> Vec<FaultSpec> {
+    let mut specs: Vec<FaultSpec> = RATES_PPM
+        .iter()
+        .map(|&rate| FaultSpec::Hardware(FaultConfig::all(seed, rate)))
+        .collect();
+    specs.push(FaultSpec::CorruptProfile { seed, flips: 64 });
+    specs.push(FaultSpec::PermuteChains { seed });
+    specs
+}
+
+fn trial_json(benchmark: Benchmark, scheme: Scheme, trial: &FaultTrial) -> Json {
+    let mut json = Json::obj([
+        ("benchmark", Json::from(benchmark.name())),
+        ("scheme", Json::from(scheme.label())),
+        ("fault", Json::from(trial.spec.label())),
+        ("rate_ppm", Json::from(trial.spec.rate_ppm())),
+        ("outcome", Json::from(trial.outcome.label())),
+    ]);
+    match &trial.outcome {
+        FaultOutcome::Graceful { cycle_ratio, energy_ratio, faults_injected } => {
+            json.push("cycle_ratio", Json::from(*cycle_ratio));
+            json.push("energy_ratio", Json::from(*energy_ratio));
+            json.push("faults_injected", Json::from(*faults_injected));
+        }
+        FaultOutcome::Detected { error } => json.push("error", Json::from(error.clone())),
+        FaultOutcome::SilentCorruption { expected, actual } => {
+            json.push("expected", Json::from(format!("{expected:#018x}")));
+            json.push("actual", Json::from(format!("{actual:#018x}")));
+        }
+    }
+    json
+}
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let benchmarks: &[Benchmark] = if quick {
+        &[Benchmark::Crc, Benchmark::Sha, Benchmark::Bitcount]
+    } else {
+        &Benchmark::ALL
+    };
+    let geometry = CacheGeometry::xscale_icache();
+    let schemes = [Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization];
+    let set = InputSet::Small;
+    let engine = Engine::global();
+
+    let jobs: Vec<(usize, Benchmark, Scheme)> = benchmarks
+        .iter()
+        .flat_map(|&b| schemes.iter().map(move |&s| (b, s)))
+        .enumerate()
+        .map(|(i, (b, s))| (i, b, s))
+        .collect();
+    println!(
+        "== Fault campaign: {} benchmarks x {} schemes x {} faults on {geometry}, small inputs ==",
+        benchmarks.len(),
+        schemes.len(),
+        specs(0).len(),
+    );
+
+    // One pool job per (benchmark, scheme): build/reuse the workbench,
+    // measure the clean twin, then classify every fault against it.
+    let results = engine.execute(&jobs, |&(index, benchmark, scheme)| {
+        let workbench = match engine.workbench(benchmark) {
+            Ok(workbench) => workbench,
+            Err(e) => return Err(format!("{benchmark}: workbench failed: {e}")),
+        };
+        let clean = match engine.measure(benchmark, geometry, scheme, set) {
+            Ok(clean) => clean,
+            Err(e) => return Err(format!("{benchmark}: clean measurement failed: {e}")),
+        };
+        // Deterministic per-job seed: the campaign is byte-identical
+        // across reruns and worker counts.
+        let seed = (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        Ok(specs(seed)
+            .into_iter()
+            .map(|spec| {
+                let trial = fault_trial(&workbench, geometry, scheme, set, spec, &clean);
+                (benchmark, scheme, trial)
+            })
+            .collect::<Vec<_>>())
+    });
+
+    let mut trials = Vec::new();
+    let mut infrastructure_errors = 0u64;
+    for result in results {
+        match result {
+            Ok(batch) => trials.extend(batch),
+            Err(message) => {
+                infrastructure_errors += 1;
+                eprintln!("CAMPAIGN ERROR: {message}");
+            }
+        }
+    }
+
+    let graceful = trials.iter().filter(|(_, _, t)| t.outcome.label() == "graceful").count();
+    let detected = trials.iter().filter(|(_, _, t)| t.outcome.label() == "detected").count();
+    let silent: Vec<_> =
+        trials.iter().filter(|(_, _, t)| t.outcome.is_silent_corruption()).collect();
+
+    // Per-rate degradation: mean/max cycle and energy ratios of the
+    // graceful hardware trials at that injection rate.
+    let mut degradation = Vec::new();
+    println!(
+        "{:>10} | {:>6} | {:>16} | {:>16}",
+        "rate (ppm)", "trials", "cycles (avg/max)", "energy (avg/max)"
+    );
+    for &rate in &RATES_PPM {
+        let graceful_at_rate: Vec<(f64, f64)> = trials
+            .iter()
+            .filter(|(_, _, t)| {
+                matches!(t.spec, FaultSpec::Hardware(_)) && t.spec.rate_ppm() == rate
+            })
+            .filter_map(|(_, _, t)| match t.outcome {
+                FaultOutcome::Graceful { cycle_ratio, energy_ratio, .. } => {
+                    Some((cycle_ratio, energy_ratio))
+                }
+                _ => None,
+            })
+            .collect();
+        let count = graceful_at_rate.len();
+        let mean = |f: fn(&(f64, f64)) -> f64| {
+            if count == 0 {
+                1.0
+            } else {
+                graceful_at_rate.iter().map(f).sum::<f64>() / count as f64
+            }
+        };
+        let max = |f: fn(&(f64, f64)) -> f64| graceful_at_rate.iter().map(f).fold(1.0f64, f64::max);
+        let (mc, xc) = (mean(|p| p.0), max(|p| p.0));
+        let (me, xe) = (mean(|p| p.1), max(|p| p.1));
+        println!("{rate:>10} | {count:>6} | {mc:>7.4} / {xc:>6.4} | {me:>7.4} / {xe:>6.4}");
+        degradation.push(Json::obj([
+            ("rate_ppm", Json::from(rate)),
+            ("graceful_trials", Json::from(count)),
+            ("mean_cycle_ratio", Json::from(mc)),
+            ("max_cycle_ratio", Json::from(xc)),
+            ("mean_energy_ratio", Json::from(me)),
+            ("max_energy_ratio", Json::from(xe)),
+        ]));
+    }
+
+    println!();
+    println!(
+        "{} trials: {graceful} graceful, {detected} detected, {} silent corruptions",
+        trials.len(),
+        silent.len(),
+    );
+    for (benchmark, scheme, trial) in &silent {
+        eprintln!(
+            "SILENT CORRUPTION: {benchmark} under {} with {} fault",
+            scheme.label(),
+            trial.spec.label(),
+        );
+    }
+    if silent.is_empty() && infrastructure_errors == 0 {
+        println!("invariant holds: faults inside the way-placement trust boundary never corrupt");
+        println!("architectural state (paper §4) — they only cost cycles and energy.");
+    }
+
+    let manifest = Json::obj([
+        ("schema", Json::from("wp-bench/fault-campaign-v1")),
+        ("geometry", Json::from(geometry.to_string())),
+        ("input_set", Json::from("small")),
+        ("quick", Json::from(quick)),
+        ("rates_ppm", Json::arr(RATES_PPM.iter().map(|&r| Json::from(r)))),
+        ("trials", Json::arr(trials.iter().map(|(b, s, t)| trial_json(*b, *s, t)))),
+        ("degradation_by_rate", Json::arr(degradation)),
+        (
+            "summary",
+            Json::obj([
+                ("trials", Json::from(trials.len())),
+                ("graceful", Json::from(graceful)),
+                ("detected", Json::from(detected)),
+                ("silent_corruptions", Json::from(silent.len())),
+                ("infrastructure_errors", Json::from(infrastructure_errors)),
+            ]),
+        ),
+    ]);
+    match write_manifest("fault_campaign", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: failed to write BENCH_fault_campaign.json: {e}"),
+    }
+    eprintln!("{}", engine.stats());
+    let failed = !silent.is_empty() || infrastructure_errors > 0;
+    std::process::exit(i32::from(failed));
+}

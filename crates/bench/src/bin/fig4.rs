@@ -8,7 +8,7 @@
 //! ≈ 68% for way-memoization), way-placement wins on every benchmark,
 //! average ED ≈ 0.93 with a couple of benchmarks below 0.9.
 
-use wp_bench::{finish, mean_ed, mean_energy, run_suite, Json};
+use wp_bench::{finish, mean_ed, mean_energy, run_suite_checkpointed, Json};
 use wp_core::wp_mem::CacheGeometry;
 use wp_core::wp_workloads::Benchmark;
 use wp_core::Scheme;
@@ -17,7 +17,9 @@ fn main() {
     let geom = CacheGeometry::xscale_icache();
     let schemes = [Scheme::WayMemoization, Scheme::WayPlacement { area_bytes: 32 * 1024 }];
     println!("== Figure 4: {geom}, 32KB way-placement area ==");
-    let report = run_suite(&Benchmark::ALL, geom, &schemes);
+    // Checkpointed: an interrupted run resumes from
+    // BENCH_fig4.checkpoint.jsonl, skipping completed jobs.
+    let report = run_suite_checkpointed("fig4", &Benchmark::ALL, geom, &schemes);
     print!("{}", report.table_for(geom));
     println!();
     println!("paper:   way-memoization ~68.0% energy | way-placement ~50.0% energy, ED ~0.93");

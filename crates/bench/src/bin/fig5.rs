@@ -9,7 +9,7 @@
 //! profile: every area size shares one memoised workbench and one
 //! baseline measurement per benchmark.
 
-use wp_bench::{finish, mean_ed, mean_energy, run_suite, Json, FIGURE5_AREAS};
+use wp_bench::{finish, mean_ed, mean_energy, run_suite_checkpointed, Json, FIGURE5_AREAS};
 use wp_core::wp_mem::CacheGeometry;
 use wp_core::wp_workloads::Benchmark;
 use wp_core::Scheme;
@@ -24,7 +24,9 @@ fn main() {
     let schemes: Vec<Scheme> = std::iter::once(Scheme::WayMemoization)
         .chain(FIGURE5_AREAS.iter().map(|&area_bytes| Scheme::WayPlacement { area_bytes }))
         .collect();
-    let report = run_suite(&Benchmark::ALL, geom, &schemes);
+    // Checkpointed: an interrupted sweep resumes from
+    // BENCH_fig5.checkpoint.jsonl, skipping completed jobs.
+    let report = run_suite_checkpointed("fig5", &Benchmark::ALL, geom, &schemes);
     let rows = report.rows_for(geom);
     if !rows.is_empty() {
         println!(

@@ -12,7 +12,9 @@
 //! all benchmarks): each benchmark is assembled and profiled exactly
 //! once for all nine cache points.
 
-use wp_bench::{figure6_geometries, finish, mean_ed, mean_energy, Engine, Experiment, Json};
+use wp_bench::{
+    checkpoint_path, figure6_geometries, finish, mean_ed, mean_energy, Engine, Experiment, Json,
+};
 use wp_core::wp_workloads::Benchmark;
 use wp_core::Scheme;
 
@@ -28,7 +30,9 @@ fn main() {
         "cache", "way-memo (E%,ED)", "wp 8KB (E%,ED)", "wp 2KB (E%,ED)"
     );
     let experiment = Experiment::new(Benchmark::ALL, figure6_geometries(), schemes);
-    let report = Engine::global().run(&experiment);
+    // The grid is the longest campaign; checkpoint it so an
+    // interrupted run resumes from BENCH_fig6.checkpoint.jsonl.
+    let report = Engine::global().run_checkpointed(&experiment, &checkpoint_path("fig6"));
 
     let mut best_ed = (f64::INFINITY, String::new());
     for geom in figure6_geometries() {

@@ -19,24 +19,65 @@
 //!   machine at any parallelism.
 //! * **Structured failures** — a failing job surfaces as a
 //!   [`JobFailure`] inside [`SuiteReport::failures`] while every other
-//!   job still completes; nothing panics and no result is lost.
+//!   job still completes; nothing panics and no result is lost. Panics
+//!   are caught at the job boundary and converted into
+//!   [`CoreError::Panic`] failures, so one poisoned job cannot take the
+//!   suite (or the process) down.
+//! * **Bounded retry** — a [`RetryPolicy`] re-runs jobs whose error is
+//!   *transient* ([`CoreError::is_transient`]: host I/O hiccups and
+//!   wall-clock watchdog timeouts), with deterministic exponential
+//!   backoff. Memoised failure cells are evicted before each retry so a
+//!   cached `Err` cannot permanently poison a benchmark.
+//! * **Watchdog** — [`Engine::with_job_time_limit`] arms
+//!   `wp-sim`'s wall-clock watchdog for every profiling and measurement
+//!   run, converting hung jobs into typed
+//!   [`wp_core::wp_sim::SimError::Timeout`] failures.
+//! * **Checkpoint / resume** — [`Engine::run_checkpointed`] appends
+//!   each completed row to a JSONL checkpoint as it finishes; rerunning
+//!   the same experiment against the same file replays completed jobs
+//!   from disk ([`EngineStats::checkpoint_hits`]) and only executes the
+//!   remainder. The file is removed once every job has succeeded.
 //! * **Observability** — per-phase wall-clock totals
 //!   (assemble/profile/link/simulate/price), cache hit/miss counters,
-//!   and JSON manifests via [`SuiteReport::json`].
+//!   retry/panic/timeout counters, and JSON manifests via
+//!   [`SuiteReport::json`].
 
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_sim::SimError;
 use wp_core::wp_workloads::{Benchmark, InputSet};
-use wp_core::{measure_on_timed, CoreError, MeasureTiming, Measurement, Scheme, Workbench};
+use wp_core::{
+    measure_with, CoreError, MeasureOptions, MeasureTiming, Measurement, Scheme, Workbench,
+};
 
 use crate::json::Json;
 use crate::SuiteRow;
 
 /// Errors shared between the cache and every job that hit it.
 pub type SharedError = Arc<CoreError>;
+
+/// Locks a mutex, recovering the guard from a poisoned lock. All
+/// engine state behind mutexes (cache maps, result slots, checkpoint
+/// writer) stays structurally valid across a panic — panics are caught
+/// at the job boundary anyway — so the poison flag carries no
+/// information here.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn set_name(set: InputSet) -> &'static str {
+    match set {
+        InputSet::Small => "small",
+        InputSet::Large => "large",
+    }
+}
 
 /// A declarative experiment: the full cross product of benchmarks,
 /// cache geometries and schemes, measured on one input set.
@@ -87,14 +128,50 @@ impl Experiment {
             ("benchmarks", Json::arr(self.benchmarks.iter().map(|b| Json::from(b.name())))),
             ("geometries", Json::arr(self.geometries.iter().map(|g| Json::from(g.to_string())))),
             ("schemes", Json::arr(self.schemes.iter().map(|s| Json::from(s.label())))),
-            (
-                "input_set",
-                Json::from(match self.input_set {
-                    InputSet::Small => "small",
-                    InputSet::Large => "large",
-                }),
-            ),
+            ("input_set", Json::from(set_name(self.input_set))),
         ])
+    }
+}
+
+/// Bounded retry for *transient* job failures
+/// ([`CoreError::is_transient`] — host I/O errors and watchdog
+/// timeouts; deterministic failures are never retried). Backoff is
+/// deterministic exponential: attempt `n` sleeps `backoff * 2^(n-1)`
+/// before re-running.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff slept before the first retry.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, the engine's default.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO }
+    }
+
+    /// A policy with `max_attempts` total attempts (clamped to ≥ 1) and
+    /// `backoff` base delay.
+    #[must_use]
+    pub fn new(max_attempts: u32, backoff: Duration) -> RetryPolicy {
+        RetryPolicy { max_attempts: max_attempts.max(1), backoff }
+    }
+
+    /// The deterministic delay before the retry following attempt
+    /// number `attempt` (1-based): `backoff * 2^(attempt-1)`, saturating.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exponent = attempt.saturating_sub(1).min(20);
+        self.backoff.saturating_mul(1 << exponent)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
     }
 }
 
@@ -169,6 +246,9 @@ pub struct JobFailure {
     pub phase: JobPhase,
     /// The underlying error (shared when a cached phase failed).
     pub error: SharedError,
+    /// How many attempts the job made before giving up (> 1 only when a
+    /// [`RetryPolicy`] retried a transient error).
+    pub attempts: u32,
 }
 
 impl JobFailure {
@@ -179,6 +259,7 @@ impl JobFailure {
             ("scheme", Json::from(self.scheme.label())),
             ("phase", Json::from(self.phase.name())),
             ("error", Json::from(self.error.to_string())),
+            ("attempts", Json::from(self.attempts)),
         ])
     }
 }
@@ -187,11 +268,13 @@ impl std::fmt::Display for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} on {} under {} failed in {}: {}",
+            "{} on {} under {} failed in {} after {} attempt{}: {}",
             self.benchmark,
             self.geometry,
             self.scheme.label(),
             self.phase.name(),
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
             self.error
         )
     }
@@ -213,6 +296,14 @@ pub struct EngineStats {
     pub jobs_ok: u64,
     /// Jobs that produced a failure.
     pub jobs_failed: u64,
+    /// Job attempts re-run after a transient failure.
+    pub retries: u64,
+    /// Panics caught at the job boundary.
+    pub panics: u64,
+    /// Wall-clock watchdog timeouts observed (per failing attempt).
+    pub timeouts: u64,
+    /// Jobs replayed from a checkpoint instead of executed.
+    pub checkpoint_hits: u64,
     /// Wall-clock nanoseconds assembling + naturally linking modules.
     pub assemble_ns: u64,
     /// Wall-clock nanoseconds in profiling runs.
@@ -240,6 +331,10 @@ impl EngineStats {
             ("baseline_hits", Json::from(self.baseline_hits)),
             ("jobs_ok", Json::from(self.jobs_ok)),
             ("jobs_failed", Json::from(self.jobs_failed)),
+            ("retries", Json::from(self.retries)),
+            ("panics", Json::from(self.panics)),
+            ("timeouts", Json::from(self.timeouts)),
+            ("checkpoint_hits", Json::from(self.checkpoint_hits)),
             ("assemble_ns", Json::from(self.assemble_ns)),
             ("profiling_ns", Json::from(self.profiling_ns)),
             ("link_ns", Json::from(self.link_ns)),
@@ -255,8 +350,8 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "engine: {} jobs ok, {} failed on {} workers | workbenches {} built / {} reused, \
-             baselines {} built / {} reused | assemble {:.2}s, profile {:.2}s, link {:.2}s, \
-             simulate {:.2}s, price {:.2}s",
+             baselines {} built / {} reused | retries {}, panics {}, timeouts {}, checkpoint \
+             hits {} | assemble {:.2}s, profile {:.2}s, link {:.2}s, simulate {:.2}s, price {:.2}s",
             self.jobs_ok,
             self.jobs_failed,
             self.workers,
@@ -264,6 +359,10 @@ impl std::fmt::Display for EngineStats {
             self.workbench_hits,
             self.baseline_builds,
             self.baseline_hits,
+            self.retries,
+            self.panics,
+            self.timeouts,
+            self.checkpoint_hits,
             self.assemble_ns as f64 / 1e9,
             self.profiling_ns as f64 / 1e9,
             self.link_ns as f64 / 1e9,
@@ -281,6 +380,10 @@ struct Counters {
     baseline_hits: AtomicU64,
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
+    retries: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    checkpoint_hits: AtomicU64,
     assemble_ns: AtomicU64,
     profiling_ns: AtomicU64,
     link_ns: AtomicU64,
@@ -382,21 +485,107 @@ type Cached<T> = Arc<OnceLock<Result<Arc<T>, SharedError>>>;
 /// real benchmark.
 pub type FaultHook = dyn Fn(Benchmark, CacheGeometry, Scheme) -> Option<CoreError> + Send + Sync;
 
+/// Build-fault hook: called at the top of every workbench construction
+/// with the benchmark and the 1-based attempt number for that
+/// benchmark; returning `Some` fails the build with that error.
+/// Test-support for the retry and panic-isolation paths (a transient
+/// error on attempt 1 exercises retry; panicking in the hook exercises
+/// panic isolation).
+pub type BuildFaultHook = dyn Fn(Benchmark, u32) -> Option<CoreError> + Send + Sync;
+
+/// One already-completed row loaded from a checkpoint file.
+struct CheckpointRow {
+    energy: f64,
+    ed: f64,
+    cycles: u64,
+    instructions: u64,
+}
+
+fn checkpoint_key(
+    benchmark: Benchmark,
+    geometry: CacheGeometry,
+    scheme: Scheme,
+    set: InputSet,
+) -> String {
+    format!("{}|{}|{}|{}", benchmark.name(), geometry, scheme.label(), set_name(set))
+}
+
+/// Parses a JSONL checkpoint into `key → row`. Corrupt or
+/// wrong-schema lines are skipped with a warning — a torn final write
+/// from an interrupted run must never block resuming.
+fn load_checkpoint(path: &Path) -> HashMap<String, CheckpointRow> {
+    let mut completed = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return completed;
+    };
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(line).ok();
+        let row = parsed.as_ref().and_then(|json| {
+            Some((
+                json.get("key")?.as_str()?.to_string(),
+                CheckpointRow {
+                    energy: json.get("energy")?.as_f64()?,
+                    ed: json.get("ed")?.as_f64()?,
+                    cycles: json.get("cycles")?.as_u64()?,
+                    instructions: json.get("instructions")?.as_u64()?,
+                },
+            ))
+        });
+        match row {
+            Some((key, row)) => {
+                completed.insert(key, row);
+            }
+            None => eprintln!("checkpoint {}: skipping corrupt line {}", path.display(), index + 1),
+        }
+    }
+    completed
+}
+
+fn checkpoint_line(key: &str, row: &JobRow) -> String {
+    Json::obj([
+        ("key", Json::from(key)),
+        ("energy", Json::from(row.energy)),
+        ("ed", Json::from(row.ed)),
+        ("cycles", Json::from(row.cycles)),
+        ("instructions", Json::from(row.instructions)),
+    ])
+    .to_compact()
+}
+
+enum JobOutcome {
+    /// Replayed from the checkpoint without executing.
+    Cached(JobRow),
+    /// Executed this run.
+    Fresh(JobRow),
+    /// Failed (after any retries).
+    Failed(JobFailure),
+}
+
 /// The shared experiment engine. See the module docs for the contract.
 pub struct Engine {
     workers: usize,
     workbenches: Mutex<HashMap<Benchmark, Cached<Workbench>>>,
     baselines: Mutex<HashMap<(Benchmark, CacheGeometry, InputSet), Cached<Measurement>>>,
     counters: Counters,
+    retry: RetryPolicy,
+    job_time_limit: Option<Duration>,
     fault: Option<Box<FaultHook>>,
+    build_fault: Option<Box<BuildFaultHook>>,
+    build_attempts: Mutex<HashMap<Benchmark, u32>>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("workers", &self.workers)
+            .field("retry", &self.retry)
+            .field("job_time_limit", &self.job_time_limit)
             .field("stats", &self.stats())
             .field("fault", &self.fault.is_some())
+            .field("build_fault", &self.build_fault.is_some())
             .finish()
     }
 }
@@ -423,8 +612,29 @@ impl Engine {
             workbenches: Mutex::new(HashMap::new()),
             baselines: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            retry: RetryPolicy::none(),
+            job_time_limit: None,
             fault: None,
+            build_fault: None,
+            build_attempts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Installs a retry policy for transient job failures.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Engine {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms a wall-clock watchdog on every profiling and measurement
+    /// simulation: a job exceeding `limit` fails with
+    /// [`wp_core::wp_sim::SimError::Timeout`] (a transient error, so it
+    /// combines with [`Engine::with_retry`]).
+    #[must_use]
+    pub fn with_job_time_limit(mut self, limit: Duration) -> Engine {
+        self.job_time_limit = Some(limit);
+        self
     }
 
     /// Installs a fault-injection hook (test support; see [`FaultHook`]).
@@ -434,6 +644,17 @@ impl Engine {
         hook: impl Fn(Benchmark, CacheGeometry, Scheme) -> Option<CoreError> + Send + Sync + 'static,
     ) -> Engine {
         self.fault = Some(Box::new(hook));
+        self
+    }
+
+    /// Installs a workbench build-fault hook (test support; see
+    /// [`BuildFaultHook`]).
+    #[must_use]
+    pub fn with_build_fault(
+        mut self,
+        hook: impl Fn(Benchmark, u32) -> Option<CoreError> + Send + Sync + 'static,
+    ) -> Engine {
+        self.build_fault = Some(Box::new(hook));
         self
     }
 
@@ -464,6 +685,10 @@ impl Engine {
             baseline_hits: load(&c.baseline_hits),
             jobs_ok: load(&c.jobs_ok),
             jobs_failed: load(&c.jobs_failed),
+            retries: load(&c.retries),
+            panics: load(&c.panics),
+            timeouts: load(&c.timeouts),
+            checkpoint_hits: load(&c.checkpoint_hits),
             assemble_ns: load(&c.assemble_ns),
             profiling_ns: load(&c.profiling_ns),
             link_ns: load(&c.link_ns),
@@ -482,24 +707,60 @@ impl Engine {
         add(&self.counters.price_ns, timing.price);
     }
 
+    fn measure_options(&self, set: InputSet) -> MeasureOptions {
+        let options = MeasureOptions::new(set);
+        match self.job_time_limit {
+            Some(limit) => options.with_time_limit(limit),
+            None => options,
+        }
+    }
+
+    /// Runs `f`, converting a panic into a shared
+    /// [`CoreError::Panic`] — the engine's panic-isolation boundary.
+    fn catch_panic<T>(&self, f: impl FnOnce() -> Result<T, SharedError>) -> Result<T, SharedError> {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(Arc::new(CoreError::Panic { message }))
+            }
+        }
+    }
+
     /// The memoised workbench for `benchmark`: assembled and profiled
     /// exactly once per engine, shared by every caller thereafter.
     /// Failures are memoised too — a broken benchmark is not rebuilt
-    /// per sweep point.
+    /// per sweep point (until a retry evicts the failed cell).
     ///
     /// # Errors
     ///
     /// The (shared) construction error.
     pub fn workbench(&self, benchmark: Benchmark) -> Result<Arc<Workbench>, SharedError> {
         let cell = {
-            let mut map = self.workbenches.lock().expect("workbench cache poisoned");
+            let mut map = lock(&self.workbenches);
             Arc::clone(map.entry(benchmark).or_default())
         };
         let mut built = false;
         let result = cell.get_or_init(|| {
             built = true;
             self.counters.workbench_builds.fetch_add(1, Ordering::Relaxed);
-            match Workbench::new_timed(benchmark) {
+            let attempt = {
+                let mut attempts = lock(&self.build_attempts);
+                let n = attempts.entry(benchmark).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if let Some(hook) = &self.build_fault {
+                if let Some(error) = hook(benchmark, attempt) {
+                    return Err(Arc::new(error));
+                }
+            }
+            match Workbench::build(benchmark, self.job_time_limit) {
                 Ok((workbench, timing)) => {
                     self.counters
                         .assemble_ns
@@ -531,7 +792,7 @@ impl Engine {
         set: InputSet,
     ) -> Result<Arc<Measurement>, SharedError> {
         let cell = {
-            let mut map = self.baselines.lock().expect("baseline cache poisoned");
+            let mut map = lock(&self.baselines);
             Arc::clone(map.entry((benchmark, geometry, set)).or_default())
         };
         let mut built = false;
@@ -539,7 +800,7 @@ impl Engine {
             built = true;
             self.counters.baseline_builds.fetch_add(1, Ordering::Relaxed);
             let workbench = self.workbench(benchmark)?;
-            match measure_on_timed(&workbench, geometry, Scheme::Baseline, set) {
+            match measure_with(&workbench, geometry, Scheme::Baseline, self.measure_options(set)) {
                 Ok((measurement, timing)) => {
                     self.add_measure_timing(&timing);
                     Ok(Arc::new(measurement))
@@ -551,6 +812,26 @@ impl Engine {
             self.counters.baseline_hits.fetch_add(1, Ordering::Relaxed);
         }
         result.clone()
+    }
+
+    /// Evicts cache cells that currently hold an `Err` for this job's
+    /// benchmark/baseline, so a retry re-runs the failed phase instead
+    /// of replaying the memoised failure. Successful cells are never
+    /// evicted.
+    fn evict_failed(&self, benchmark: Benchmark, geometry: CacheGeometry, set: InputSet) {
+        {
+            let mut map = lock(&self.workbenches);
+            if map.get(&benchmark).is_some_and(|cell| matches!(cell.get(), Some(Err(_)))) {
+                map.remove(&benchmark);
+            }
+        }
+        {
+            let mut map = lock(&self.baselines);
+            let key = (benchmark, geometry, set);
+            if map.get(&key).is_some_and(|cell| matches!(cell.get(), Some(Err(_)))) {
+                map.remove(&key);
+            }
+        }
     }
 
     /// Measures one scheme through the caches: the workbench is
@@ -571,7 +852,7 @@ impl Engine {
             return self.baseline(benchmark, geometry, set);
         }
         let workbench = self.workbench(benchmark)?;
-        match measure_on_timed(&workbench, geometry, scheme, set) {
+        match measure_with(&workbench, geometry, scheme, self.measure_options(set)) {
             Ok((measurement, timing)) => {
                 self.add_measure_timing(&timing);
                 Ok(Arc::new(measurement))
@@ -584,6 +865,25 @@ impl Engine {
     /// the structured report. Never panics on job failure.
     #[must_use]
     pub fn run(&self, experiment: &Experiment) -> SuiteReport {
+        self.run_with_checkpoint(experiment, None)
+    }
+
+    /// [`Engine::run`] with incremental checkpointing: every completed
+    /// row is appended to the JSONL file at `path` as it finishes, and
+    /// jobs whose `(benchmark, geometry, scheme, input-set)` already
+    /// appear there are replayed from disk instead of executed
+    /// (counted in [`EngineStats::checkpoint_hits`]). When every job of
+    /// the experiment has succeeded the checkpoint is removed; after a
+    /// partial run it remains, so rerunning the same call resumes.
+    ///
+    /// Checkpoint I/O failures are reported to stderr and never fail
+    /// the run — the checkpoint is an accelerator, not a dependency.
+    #[must_use]
+    pub fn run_checkpointed(&self, experiment: &Experiment, path: &Path) -> SuiteReport {
+        self.run_with_checkpoint(experiment, Some(path))
+    }
+
+    fn run_with_checkpoint(&self, experiment: &Experiment, path: Option<&Path>) -> SuiteReport {
         // Flattened deterministic job order: benchmark-major, then
         // geometry, then scheme — the order rows are reported in.
         let jobs: Vec<(Benchmark, CacheGeometry, Scheme)> = experiment
@@ -597,27 +897,83 @@ impl Engine {
             })
             .collect();
 
+        let completed = path.map(load_checkpoint).unwrap_or_default();
+        let writer = path.and_then(|path| {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                Ok(file) => Some(Mutex::new(file)),
+                Err(e) => {
+                    eprintln!("checkpoint {}: cannot open for append: {e}", path.display());
+                    None
+                }
+            }
+        });
+
+        let set = experiment.input_set;
         let outcomes = self.execute(&jobs, |&(benchmark, geometry, scheme)| {
-            self.run_job(benchmark, geometry, scheme, experiment.input_set)
+            let key = checkpoint_key(benchmark, geometry, scheme, set);
+            if let Some(saved) = completed.get(&key) {
+                self.counters.checkpoint_hits.fetch_add(1, Ordering::Relaxed);
+                return JobOutcome::Cached(JobRow {
+                    benchmark,
+                    geometry,
+                    scheme,
+                    label: scheme.label(),
+                    energy: saved.energy,
+                    ed: saved.ed,
+                    cycles: saved.cycles,
+                    instructions: saved.instructions,
+                });
+            }
+            match self.run_job(benchmark, geometry, scheme, set) {
+                Ok(row) => {
+                    if let Some(writer) = &writer {
+                        let line = checkpoint_line(&key, &row);
+                        let mut file = lock(writer);
+                        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+                            eprintln!("checkpoint write failed (continuing): {e}");
+                        }
+                    }
+                    JobOutcome::Fresh(row)
+                }
+                Err(failure) => JobOutcome::Failed(failure),
+            }
         });
 
         let mut rows = Vec::new();
         let mut failures = Vec::new();
         for outcome in outcomes {
             match outcome {
-                Ok(row) => {
+                JobOutcome::Cached(row) => rows.push(row),
+                JobOutcome::Fresh(row) => {
                     self.counters.jobs_ok.fetch_add(1, Ordering::Relaxed);
                     rows.push(row);
                 }
-                Err(failure) => {
+                JobOutcome::Failed(failure) => {
                     self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
                     failures.push(failure);
+                }
+            }
+        }
+        if let Some(path) = path {
+            if failures.is_empty() {
+                if let Err(e) = std::fs::remove_file(path) {
+                    if e.kind() != std::io::ErrorKind::NotFound {
+                        eprintln!("checkpoint {}: cannot remove: {e}", path.display());
+                    }
                 }
             }
         }
         SuiteReport { experiment: experiment.clone(), rows, failures, stats: self.stats() }
     }
 
+    /// One job with the retry policy applied: transient failures
+    /// ([`CoreError::is_transient`]) are re-attempted up to
+    /// [`RetryPolicy::max_attempts`] with deterministic backoff,
+    /// evicting memoised failure cells first; deterministic failures
+    /// return immediately.
     fn run_job(
         &self,
         benchmark: Benchmark,
@@ -625,19 +981,58 @@ impl Engine {
         scheme: Scheme,
         set: InputSet,
     ) -> Result<JobRow, JobFailure> {
-        let fail = |phase, error| JobFailure { benchmark, geometry, scheme, phase, error };
-        // Workbench first: its failure is the most specific phase.
-        self.workbench(benchmark).map_err(|e| fail(JobPhase::Workbench, e))?;
-        let baseline = self
-            .baseline(benchmark, geometry, set)
-            .map_err(|e| fail(JobPhase::Baseline, e))?;
-        if let Some(hook) = &self.fault {
-            if let Some(error) = hook(benchmark, geometry, scheme) {
-                return Err(fail(JobPhase::Measure, Arc::new(error)));
+        let mut attempt = 1;
+        loop {
+            match self.run_job_once(benchmark, geometry, scheme, set, attempt) {
+                Ok(row) => return Ok(row),
+                Err(failure) => {
+                    if matches!(&*failure.error, CoreError::Sim(SimError::Timeout { .. })) {
+                        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if attempt < self.retry.max_attempts && failure.error.is_transient() {
+                        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        self.evict_failed(benchmark, geometry, set);
+                        std::thread::sleep(self.retry.delay(attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(failure);
+                }
             }
         }
+    }
+
+    fn run_job_once(
+        &self,
+        benchmark: Benchmark,
+        geometry: CacheGeometry,
+        scheme: Scheme,
+        set: InputSet,
+        attempt: u32,
+    ) -> Result<JobRow, JobFailure> {
+        let fail = |phase, error| JobFailure {
+            benchmark,
+            geometry,
+            scheme,
+            phase,
+            error,
+            attempts: attempt,
+        };
+        // Workbench first: its failure is the most specific phase.
+        self.catch_panic(|| self.workbench(benchmark))
+            .map_err(|e| fail(JobPhase::Workbench, e))?;
+        let baseline = self
+            .catch_panic(|| self.baseline(benchmark, geometry, set))
+            .map_err(|e| fail(JobPhase::Baseline, e))?;
         let measurement = self
-            .measure(benchmark, geometry, scheme, set)
+            .catch_panic(|| {
+                if let Some(hook) = &self.fault {
+                    if let Some(error) = hook(benchmark, geometry, scheme) {
+                        return Err(Arc::new(error));
+                    }
+                }
+                self.measure(benchmark, geometry, scheme, set)
+            })
             .map_err(|e| fail(JobPhase::Measure, e))?;
         Ok(JobRow {
             benchmark,
@@ -671,16 +1066,15 @@ impl Engine {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(input) = jobs.get(index) else { break };
                     let result = job(input);
-                    slots.lock().expect("result slots poisoned")[index] = Some(result);
+                    lock(&slots)[index] = Some(result);
                 });
             }
         });
-        slots
-            .into_inner()
-            .expect("result slots poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("every job index filled"))
-            .collect()
+        let results = lock(&slots)
+            .drain(..)
+            .map(|slot| slot.unwrap_or_else(|| unreachable!("every job index filled")))
+            .collect();
+        results
     }
 }
 
@@ -713,5 +1107,50 @@ mod tests {
             vec![Scheme::WayMemoization, Scheme::Baseline],
         );
         assert_eq!(exp.job_count(), 4);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_exponential() {
+        let policy = RetryPolicy::new(4, Duration::from_millis(10));
+        assert_eq!(policy.delay(1), Duration::from_millis(10));
+        assert_eq!(policy.delay(2), Duration::from_millis(20));
+        assert_eq!(policy.delay(3), Duration::from_millis(40));
+        // Clamped attempts never overflow the multiplier.
+        assert!(policy.delay(100) >= policy.delay(3));
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::new(0, Duration::ZERO).max_attempts, 1);
+    }
+
+    #[test]
+    fn checkpoint_lines_round_trip() {
+        let row = JobRow {
+            benchmark: Benchmark::Crc,
+            geometry: CacheGeometry::xscale_icache(),
+            scheme: Scheme::WayMemoization,
+            label: Scheme::WayMemoization.label(),
+            energy: 0.625,
+            ed: 0.93,
+            cycles: 123_456,
+            instructions: 654_321,
+        };
+        let key = checkpoint_key(row.benchmark, row.geometry, row.scheme, InputSet::Small);
+        let line = checkpoint_line(&key, &row);
+        let parsed = Json::parse(&line).expect("parses");
+        assert_eq!(parsed.get("key").and_then(Json::as_str), Some(key.as_str()));
+        assert_eq!(parsed.get("energy").and_then(Json::as_f64), Some(0.625));
+        assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(123_456));
+    }
+
+    #[test]
+    fn panic_payloads_are_stringified() {
+        let engine = Engine::with_workers(1);
+        let r: Result<(), SharedError> = engine.catch_panic(|| panic!("boom {}", 7));
+        match r {
+            Err(e) => {
+                assert!(matches!(&*e, CoreError::Panic { message } if message == "boom 7"));
+            }
+            Ok(()) => panic!("expected panic to be caught"),
+        }
+        assert_eq!(engine.stats().panics, 1);
     }
 }

@@ -57,6 +57,74 @@ impl Json {
         }
     }
 
+    /// Parses JSON text into a [`Json`] tree (the inverse of the
+    /// emitter — used to resume checkpoints and re-read manifests).
+    /// Unsigned integer literals parse as [`Json::Uint`] so `u64`
+    /// counters (cycles, instructions) round-trip exactly; everything
+    /// else numeric parses as [`Json::Num`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message with the byte offset of the
+    /// first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object (`None` for other variants or a
+    /// missing key).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is [`Json::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` ([`Json::Num`] or [`Json::Uint`]).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Uint(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is [`Json::Uint`].
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Uint(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is [`Json::Arr`].
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Compact single-line rendering.
     #[must_use]
     pub fn to_compact(&self) -> String {
@@ -141,6 +209,202 @@ fn render_seq(
         out.push_str(&" ".repeat(width * depth));
     }
     out.push(close);
+}
+
+/// Recursive-descent JSON parser over raw bytes (JSON syntax is
+/// ASCII; string contents pass through as UTF-8).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                None => return Err("unterminated string".to_string()),
+                _ => unreachable!("loop stops only on quote, backslash or end"),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), String> {
+        let code = self.peek().ok_or_else(|| "unterminated escape".to_string())?;
+        self.pos += 1;
+        match code {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let high = self.hex4()?;
+                let scalar = if (0xD800..0xDC00).contains(&high) {
+                    // Surrogate pair: a second \uXXXX must follow.
+                    if !self.eat_literal("\\u") {
+                        return Err(format!("lone surrogate at byte {}", self.pos));
+                    }
+                    let low = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(format!("invalid low surrogate at byte {}", self.pos));
+                    }
+                    0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                } else {
+                    high
+                };
+                out.push(
+                    char::from_u32(scalar)
+                        .ok_or_else(|| format!("invalid codepoint at byte {}", self.pos))?,
+                );
+            }
+            other => return Err(format!("invalid escape '\\{}'", other as char)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let value = u32::from_str_radix(digits, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Uint(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
 }
 
 fn escape_into(s: &str, out: &mut String) {
@@ -251,5 +515,65 @@ mod tests {
     fn pretty_rendering_is_stable() {
         let value = Json::obj([("a", Json::from(1u64)), ("b", Json::arr([Json::from("x")]))]);
         assert_eq!(value.to_pretty(), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}\n");
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty() {
+        let value = Json::obj([
+            ("name", Json::from("crc\n\"x\"")),
+            ("energy", Json::from(0.5)),
+            ("neg", Json::from(-3.25)),
+            ("cycles", Json::from(u64::MAX)),
+            ("ok", Json::from(true)),
+            ("missing", Json::Null),
+            ("tags", Json::arr([Json::from(1u64), Json::Null, Json::from("y")])),
+            ("empty_obj", Json::obj::<String>([])),
+            ("empty_arr", Json::arr([])),
+        ]);
+        assert_eq!(Json::parse(&value.to_compact()).expect("compact parses"), value);
+        assert_eq!(Json::parse(&value.to_pretty()).expect("pretty parses"), value);
+    }
+
+    #[test]
+    fn parse_distinguishes_uint_from_float() {
+        assert_eq!(Json::parse("42").expect("u64"), Json::Uint(42));
+        assert_eq!(Json::parse("42.0").expect("f64"), Json::Num(42.0));
+        assert_eq!(Json::parse("-1").expect("negative"), Json::Num(-1.0));
+        assert_eq!(Json::parse("1e3").expect("exponent"), Json::Num(1000.0));
+        assert_eq!(Json::parse("18446744073709551615").expect("u64::MAX"), Json::Uint(u64::MAX));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("+5").is_err());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_surrogates() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\u0001é😀""#).expect("escapes"),
+            Json::Str("a\"b\\c\nd\u{1}é😀".to_string())
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let value =
+            Json::parse(r#"{"key":"crc|32","energy":0.5,"cycles":9,"arr":[1]}"#).expect("parses");
+        assert_eq!(value.get("key").and_then(Json::as_str), Some("crc|32"));
+        assert_eq!(value.get("energy").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(value.get("cycles").and_then(Json::as_u64), Some(9));
+        assert_eq!(value.get("cycles").and_then(Json::as_f64), Some(9.0));
+        assert_eq!(value.get("arr").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert_eq!(value.get("nope"), None);
+        assert_eq!(Json::Null.get("x"), None);
+        assert_eq!(Json::Null.as_u64(), None);
     }
 }

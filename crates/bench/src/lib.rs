@@ -20,6 +20,8 @@
 //! each binary writes a `BENCH_<fig>.json` manifest (see
 //! [`write_manifest`]) alongside its human-readable output.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
 pub mod json;
 pub mod timing;
@@ -31,7 +33,8 @@ use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::{Measurement, Scheme};
 
 pub use engine::{
-    Engine, EngineStats, Experiment, JobFailure, JobPhase, JobRow, SharedError, SuiteReport,
+    Engine, EngineStats, Experiment, JobFailure, JobPhase, JobRow, RetryPolicy, SharedError,
+    SuiteReport,
 };
 pub use json::Json;
 
@@ -160,6 +163,31 @@ pub const FIGURE5_AREAS: [u32; 6] = [32 * 1024, 16 * 1024, 8 * 1024, 4 * 1024, 2
 pub fn manifest_path(fig: &str) -> PathBuf {
     let dir = std::env::var_os("WP_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
     dir.join(format!("BENCH_{fig}.json"))
+}
+
+/// Where a figure's JSONL checkpoint lives (next to its manifest):
+/// `BENCH_<fig>.checkpoint.jsonl` under `$WP_BENCH_DIR` or the working
+/// directory. Present only while a [`run_suite_checkpointed`] run is
+/// incomplete; removed once every job has succeeded.
+#[must_use]
+pub fn checkpoint_path(fig: &str) -> PathBuf {
+    let dir = std::env::var_os("WP_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    dir.join(format!("BENCH_{fig}.checkpoint.jsonl"))
+}
+
+/// [`run_suite`] with checkpoint/resume: completed rows stream to
+/// [`checkpoint_path`]`(fig)` as they finish, and a rerun after an
+/// interrupted or partially-failed campaign replays them from disk,
+/// executing only the remainder (see [`Engine::run_checkpointed`]).
+#[must_use]
+pub fn run_suite_checkpointed(
+    fig: &str,
+    benchmarks: &[Benchmark],
+    icache: CacheGeometry,
+    schemes: &[Scheme],
+) -> SuiteReport {
+    Engine::global()
+        .run_checkpointed(&Experiment::new(benchmarks, [icache], schemes), &checkpoint_path(fig))
 }
 
 /// Writes a pretty-printed manifest to [`manifest_path`] and returns

@@ -63,6 +63,7 @@ fn describe_golden() {
             dtlb: Default::default(),
             branch_mispredicts: 0,
             insn_counts: None,
+            faults: Default::default(),
         },
         energy: EnergyReport {
             icache: Default::default(),

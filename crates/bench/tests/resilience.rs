@@ -1,0 +1,200 @@
+//! Engine resilience integration tests: panic isolation, bounded
+//! retry of transient failures, watchdog timeouts, and
+//! checkpoint/resume.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use wp_bench::{Engine, Experiment, JobPhase, RetryPolicy};
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_sim::SimError;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{CoreError, Scheme};
+
+const AREA: u32 = 8 * 1024;
+
+fn scratch_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wp-resilience-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn experiment(benchmarks: impl Into<Vec<Benchmark>>) -> Experiment {
+    Experiment::new(
+        benchmarks,
+        [CacheGeometry::xscale_icache()],
+        [Scheme::WayMemoization, Scheme::WayPlacement { area_bytes: AREA }],
+    )
+    .with_input_set(InputSet::Small)
+}
+
+/// A job that panics during workbench construction is converted into a
+/// structured `CoreError::Panic` failure while every sibling job —
+/// including siblings running concurrently on the same pool —
+/// completes with real results.
+#[test]
+fn panicking_build_is_isolated_and_siblings_complete() {
+    let engine = Engine::with_workers(4).with_build_fault(|benchmark, _attempt| {
+        if benchmark == Benchmark::Sha {
+            panic!("injected build panic for {benchmark}");
+        }
+        None
+    });
+    let report = engine.run(&experiment([Benchmark::Crc, Benchmark::Sha]));
+
+    // Both Sha jobs fail (the memoised build failure is shared)...
+    assert_eq!(report.failures.len(), 2, "failures: {:?}", report.failures);
+    for failure in &report.failures {
+        assert_eq!(failure.benchmark, Benchmark::Sha);
+        assert_eq!(failure.phase, JobPhase::Workbench);
+        assert_eq!(failure.attempts, 1, "panics are not transient, so no retry");
+        assert!(
+            matches!(&*failure.error, CoreError::Panic { message }
+                if message.contains("injected build panic")),
+            "unexpected error {:?}",
+            failure.error
+        );
+    }
+    // ...while both Crc jobs produced rows.
+    assert_eq!(report.rows.len(), 2);
+    assert!(report.rows.iter().all(|r| r.benchmark == Benchmark::Crc));
+    assert!(report.stats.panics >= 1, "{:?}", report.stats);
+    // The failure renders into the manifest (exercises JobFailure::json).
+    assert!(report.results_json().to_compact().contains("job panicked"));
+}
+
+/// A transient (I/O) failure on the first build attempt is retried
+/// after the failed cache cell is evicted, and the second attempt
+/// succeeds — the workbench really is built twice.
+#[test]
+fn transient_build_failure_is_retried_and_succeeds() {
+    let engine = Engine::with_workers(2)
+        .with_retry(RetryPolicy::new(3, Duration::ZERO))
+        .with_build_fault(|_benchmark, attempt| {
+            (attempt == 1).then(|| CoreError::Io {
+                context: "injected transient fault".to_string(),
+                message: "simulated EIO".to_string(),
+            })
+        });
+    let report = engine.run(&experiment([Benchmark::Crc]));
+
+    assert!(report.is_complete(), "failures: {:?}", report.failures);
+    assert_eq!(report.rows.len(), 2);
+    assert_eq!(report.stats.retries, 1, "{:?}", report.stats);
+    // Attempt 1 hit the injected fault; attempt 2 built for real.
+    assert_eq!(report.stats.workbench_builds, 2, "{:?}", report.stats);
+}
+
+/// Deterministic failures (wrong checksum) are not retried even under
+/// a generous retry policy: the failure reports exactly one attempt.
+#[test]
+fn permanent_failure_is_not_retried() {
+    let attempts = AtomicU32::new(0);
+    let engine = Engine::with_workers(2)
+        .with_retry(RetryPolicy::new(5, Duration::ZERO))
+        .with_fault(move |benchmark, _geometry, scheme| {
+            (benchmark == Benchmark::Crc && scheme == Scheme::WayMemoization).then(|| {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                CoreError::ChecksumMismatch { benchmark, expected: 1, actual: 2 }
+            })
+        });
+    let report = engine.run(&experiment([Benchmark::Crc]));
+
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].attempts, 1);
+    assert_eq!(report.stats.retries, 0, "{:?}", report.stats);
+    assert_eq!(report.rows.len(), 1, "the sibling scheme still completed");
+}
+
+/// An immediate watchdog limit times out the profiling run; the
+/// timeout is transient, so the policy retries it (uselessly here —
+/// the limit still applies) and the final failure records every
+/// attempt.
+#[test]
+fn watchdog_timeout_is_typed_transient_and_retried() {
+    let engine = Engine::with_workers(1)
+        .with_job_time_limit(Duration::ZERO)
+        .with_retry(RetryPolicy::new(2, Duration::ZERO));
+    let report = engine.run(&Experiment::new(
+        [Benchmark::Crc],
+        [CacheGeometry::xscale_icache()],
+        [Scheme::WayMemoization],
+    ));
+
+    assert_eq!(report.failures.len(), 1);
+    let failure = &report.failures[0];
+    assert!(
+        matches!(&*failure.error, CoreError::Sim(SimError::Timeout { .. })),
+        "unexpected error {:?}",
+        failure.error
+    );
+    assert!(failure.error.is_transient());
+    assert_eq!(failure.attempts, 2, "retried once, then gave up");
+    assert_eq!(report.stats.retries, 1, "{:?}", report.stats);
+    assert!(report.stats.timeouts >= 2, "{:?}", report.stats);
+}
+
+/// Checkpoint/resume round trip: a partially-failed run leaves its
+/// completed rows in the checkpoint; resuming replays them from disk
+/// (zero re-execution), runs only the missing job, produces
+/// byte-identical results to an uninterrupted run, and removes the
+/// checkpoint once complete.
+#[test]
+fn checkpoint_resume_replays_completed_jobs_from_disk() {
+    let path = scratch_path("resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let experiment = experiment([Benchmark::Crc, Benchmark::Sha]);
+
+    // First run: the last job (Sha / way-placement) fails.
+    let broken = Engine::with_workers(2).with_fault(|benchmark, _geometry, scheme| {
+        (benchmark == Benchmark::Sha && !matches!(scheme, Scheme::WayMemoization))
+            .then_some(CoreError::ChecksumMismatch { benchmark, expected: 0xa, actual: 0xb })
+    });
+    let first = broken.run_checkpointed(&experiment, &path);
+    assert_eq!(first.rows.len(), 3);
+    assert_eq!(first.failures.len(), 1);
+    let saved = std::fs::read_to_string(&path).expect("checkpoint persists after failure");
+    assert_eq!(saved.lines().count(), 3, "one JSONL line per completed row:\n{saved}");
+
+    // Resume on a fresh engine with the fault gone: the three
+    // completed jobs replay from the checkpoint, only Sha/WP executes.
+    let healthy = Engine::with_workers(2);
+    let second = healthy.run_checkpointed(&experiment, &path);
+    assert!(second.is_complete(), "failures: {:?}", second.failures);
+    assert_eq!(second.stats.checkpoint_hits, 3, "{:?}", second.stats);
+    assert_eq!(second.stats.jobs_ok, 1, "only the failed job re-ran");
+    // Crc was never rebuilt: all its jobs came from the checkpoint.
+    assert_eq!(second.stats.workbench_builds, 1, "{:?}", second.stats);
+    assert!(!path.exists(), "checkpoint removed after a fully-complete run");
+
+    // The resumed report is byte-identical to an uninterrupted run.
+    let reference = Engine::with_workers(2).run(&experiment);
+    assert_eq!(
+        second.results_json().to_pretty(),
+        reference.results_json().to_pretty(),
+        "resumed rows must match a clean run exactly"
+    );
+}
+
+/// Corrupt checkpoint lines (torn writes, wrong schema) are skipped:
+/// the run executes everything fresh and still completes.
+#[test]
+fn corrupt_checkpoint_lines_are_tolerated() {
+    let path = scratch_path("corrupt.jsonl");
+    std::fs::write(
+        &path,
+        "{\"key\":\"crc|truncated...\n\
+         not json at all\n\
+         {\"valid\":\"json\",\"but\":\"wrong schema\"}\n",
+    )
+    .expect("seed corrupt checkpoint");
+
+    let engine = Engine::with_workers(2);
+    let experiment = experiment([Benchmark::Crc]);
+    let report = engine.run_checkpointed(&experiment, &path);
+    assert!(report.is_complete(), "failures: {:?}", report.failures);
+    assert_eq!(report.stats.checkpoint_hits, 0, "no corrupt line may replay as a row");
+    assert_eq!(report.stats.jobs_ok, 2);
+    assert!(!path.exists(), "checkpoint removed after the complete run");
+}

@@ -1,0 +1,220 @@
+//! Fault specification and outcome classification — the campaign layer
+//! over `wp-mem`'s hardware injector.
+//!
+//! The paper's §4 safety argument says the way-placement machinery can
+//! only ever cost time and energy, never correctness. This module
+//! turns that claim into a testable trichotomy: inject a fault, run
+//! the measurement, and classify the result as
+//!
+//! * [`FaultOutcome::Graceful`] — the run completed and the
+//!   architectural checksum matched the host-side reference; only
+//!   cycles/energy may have degraded (the paper's prediction);
+//! * [`FaultOutcome::Detected`] — the harness surfaced a typed error
+//!   (watchdog, link failure, instruction-budget overrun): noisy but
+//!   safe;
+//! * [`FaultOutcome::SilentCorruption`] — the run completed with a
+//!   *wrong* checksum. This is a real bug in the model or the claim,
+//!   and the campaign treats any occurrence as a failure.
+
+use wp_linker::Profile;
+use wp_mem::rng::SplitMix64;
+use wp_mem::{CacheGeometry, FaultConfig};
+use wp_workloads::InputSet;
+
+use crate::measure::{measure_with, MeasureOptions, Measurement};
+use crate::scheme::Scheme;
+use crate::workbench::{CoreError, Workbench};
+
+/// One fault to inject into a measurement run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultSpec {
+    /// Seeded hardware faults in the memory system (stale WP bits,
+    /// way-hint inversions, CAM tag flips), per [`FaultConfig`].
+    Hardware(FaultConfig),
+    /// Corrupt `flips` entries of the training profile before linking —
+    /// the compiler-side trust boundary: a bad profile may only cost
+    /// energy (hot code mislaid), never correctness.
+    CorruptProfile {
+        /// PRNG seed for picking and rewriting counts.
+        seed: u64,
+        /// How many profile entries to overwrite.
+        flips: u32,
+    },
+    /// Link under a random chain permutation instead of the scheme's
+    /// layout — the "wrong layout shipped" fault.
+    PermuteChains {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Short label used in manifests.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultSpec::Hardware(_) => "hardware",
+            FaultSpec::CorruptProfile { .. } => "corrupt-profile",
+            FaultSpec::PermuteChains { .. } => "permute-chains",
+        }
+    }
+
+    /// The hardware injection rate in ppm (0 for compiler-side faults).
+    #[must_use]
+    pub fn rate_ppm(&self) -> u32 {
+        match self {
+            FaultSpec::Hardware(config) => config.rate_ppm,
+            _ => 0,
+        }
+    }
+}
+
+/// Returns a copy of `profile` with `flips` entries overwritten by
+/// seeded pseudorandom counts (deterministic per seed).
+#[must_use]
+pub fn corrupt_profile(profile: &Profile, seed: u64, flips: u32) -> Profile {
+    let mut counts: Vec<u64> = (0..profile.len()).map(|i| profile.count(i)).collect();
+    if counts.is_empty() {
+        return Profile::empty();
+    }
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..flips {
+        let index = rng.index(counts.len());
+        counts[index] = rng.next_u64() >> 32;
+    }
+    Profile::from_counts(counts)
+}
+
+/// How one faulted run ended.
+#[derive(Clone, Debug)]
+pub enum FaultOutcome {
+    /// Checksum intact; timing/energy degradation relative to the
+    /// clean run of the same (benchmark, geometry, scheme, set).
+    Graceful {
+        /// Faulted cycles / clean cycles.
+        cycle_ratio: f64,
+        /// Faulted I-cache energy / clean I-cache energy.
+        energy_ratio: f64,
+        /// Hardware faults that actually landed (0 for compiler-side
+        /// faults, which perturb the binary rather than the machine).
+        faults_injected: u64,
+    },
+    /// A typed error surfaced — the fault was *detected*, not silent.
+    Detected {
+        /// The error, stringified for reporting.
+        error: String,
+    },
+    /// The run completed with a wrong architectural checksum: the
+    /// fault corrupted execution without tripping any check. A real
+    /// bug; campaigns fail on any occurrence.
+    SilentCorruption {
+        /// Reference checksum.
+        expected: u64,
+        /// What the faulted run produced.
+        actual: u64,
+    },
+}
+
+impl FaultOutcome {
+    /// Short label used in manifests.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultOutcome::Graceful { .. } => "graceful",
+            FaultOutcome::Detected { .. } => "detected",
+            FaultOutcome::SilentCorruption { .. } => "silent-corruption",
+        }
+    }
+
+    /// Whether this outcome is the campaign-failing one.
+    #[must_use]
+    pub fn is_silent_corruption(&self) -> bool {
+        matches!(self, FaultOutcome::SilentCorruption { .. })
+    }
+}
+
+/// One classified fault-injection trial.
+#[derive(Clone, Debug)]
+pub struct FaultTrial {
+    /// The fault that was injected.
+    pub spec: FaultSpec,
+    /// How the run ended.
+    pub outcome: FaultOutcome,
+}
+
+/// Runs `scheme` on `workbench` with `spec` injected and classifies
+/// the outcome against `clean` (the fault-free measurement of the same
+/// configuration).
+#[must_use]
+pub fn fault_trial(
+    workbench: &Workbench,
+    icache: CacheGeometry,
+    scheme: Scheme,
+    set: InputSet,
+    spec: FaultSpec,
+    clean: &Measurement,
+) -> FaultTrial {
+    let options = MeasureOptions::new(set).with_fault(spec);
+    let outcome = match measure_with(workbench, icache, scheme, options) {
+        Ok((faulted, _)) => FaultOutcome::Graceful {
+            cycle_ratio: if clean.run.cycles == 0 {
+                1.0
+            } else {
+                faulted.run.cycles as f64 / clean.run.cycles as f64
+            },
+            energy_ratio: faulted.normalized_icache_energy(clean),
+            faults_injected: faulted.run.faults.total(),
+        },
+        Err(CoreError::ChecksumMismatch { expected, actual, .. }) => {
+            FaultOutcome::SilentCorruption { expected, actual }
+        }
+        Err(error) => FaultOutcome::Detected { error: error.to_string() },
+    };
+    FaultTrial { spec, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_profile_is_deterministic_and_bounded() {
+        let profile = Profile::from_counts((0..64).map(|i| i * 10).collect());
+        let a = corrupt_profile(&profile, 42, 8);
+        let b = corrupt_profile(&profile, 42, 8);
+        assert_eq!(a.len(), profile.len());
+        let differs = (0..a.len()).filter(|&i| a.count(i) != profile.count(i)).count();
+        assert!((1..=8).contains(&differs), "{differs} entries changed");
+        assert_eq!(
+            (0..a.len()).map(|i| a.count(i)).collect::<Vec<_>>(),
+            (0..b.len()).map(|i| b.count(i)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn corrupt_profile_of_empty_is_empty() {
+        let empty = corrupt_profile(&Profile::empty(), 1, 10);
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn outcome_labels_and_predicates() {
+        let graceful =
+            FaultOutcome::Graceful { cycle_ratio: 1.0, energy_ratio: 1.0, faults_injected: 3 };
+        assert_eq!(graceful.label(), "graceful");
+        assert!(!graceful.is_silent_corruption());
+        let silent = FaultOutcome::SilentCorruption { expected: 1, actual: 2 };
+        assert_eq!(silent.label(), "silent-corruption");
+        assert!(silent.is_silent_corruption());
+        assert_eq!(FaultOutcome::Detected { error: "x".into() }.label(), "detected");
+    }
+
+    #[test]
+    fn spec_labels() {
+        assert_eq!(FaultSpec::Hardware(FaultConfig::all(0, 100)).label(), "hardware");
+        assert_eq!(FaultSpec::Hardware(FaultConfig::all(0, 100)).rate_ppm(), 100);
+        assert_eq!(FaultSpec::CorruptProfile { seed: 0, flips: 1 }.label(), "corrupt-profile");
+        assert_eq!(FaultSpec::PermuteChains { seed: 0 }.label(), "permute-chains");
+        assert_eq!(FaultSpec::PermuteChains { seed: 0 }.rate_ppm(), 0);
+    }
+}

@@ -46,12 +46,18 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod fault;
 mod measure;
 mod scheme;
 mod workbench;
 
-pub use measure::{measure, measure_on, measure_on_timed, Comparison, MeasureTiming, Measurement};
+pub use fault::{corrupt_profile, fault_trial, FaultOutcome, FaultSpec, FaultTrial};
+pub use measure::{
+    measure, measure_on, measure_on_timed, measure_with, Comparison, MeasureOptions, MeasureTiming,
+    Measurement,
+};
 pub use scheme::Scheme;
 pub use workbench::{align_area, text_base, verify, BuildTiming, CoreError, Workbench};
 

@@ -8,8 +8,10 @@ use wp_mem::CacheGeometry;
 use wp_sim::{simulate, RunResult, SimConfig};
 use wp_workloads::InputSet;
 
+use crate::fault::{corrupt_profile, FaultSpec};
 use crate::scheme::Scheme;
 use crate::workbench::{verify, CoreError, Workbench};
+use wp_linker::Layout;
 
 /// One priced, verified measurement run.
 #[derive(Clone, Debug)]
@@ -84,6 +86,40 @@ pub struct MeasureTiming {
     pub price: Duration,
 }
 
+/// Options modifying a measurement run: input set, wall-clock
+/// watchdog, and fault injection.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureOptions {
+    /// Which input set to run.
+    pub set: InputSet,
+    /// Wall-clock watchdog for the simulation (`None` disables it).
+    pub time_limit: Option<Duration>,
+    /// Fault to inject (`None` = clean run).
+    pub fault: Option<FaultSpec>,
+}
+
+impl MeasureOptions {
+    /// Clean, unlimited options for `set`.
+    #[must_use]
+    pub fn new(set: InputSet) -> MeasureOptions {
+        MeasureOptions { set, time_limit: None, fault: None }
+    }
+
+    /// The same options with `fault` injected.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> MeasureOptions {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The same options with a wall-clock watchdog armed.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> MeasureOptions {
+        self.time_limit = Some(limit);
+        self
+    }
+}
+
 /// [`measure_on`] with a per-phase wall-clock breakdown.
 ///
 /// # Errors
@@ -95,13 +131,49 @@ pub fn measure_on_timed(
     scheme: Scheme,
     set: InputSet,
 ) -> Result<(Measurement, MeasureTiming), CoreError> {
+    measure_with(workbench, icache, scheme, MeasureOptions::new(set))
+}
+
+/// The fully-general measurement entry point: [`measure_on_timed`]
+/// plus a watchdog and fault injection, per [`MeasureOptions`].
+///
+/// Compiler-side faults ([`FaultSpec::CorruptProfile`],
+/// [`FaultSpec::PermuteChains`]) perturb the link step; hardware
+/// faults ([`FaultSpec::Hardware`]) arm the memory system's injector.
+/// The architectural checksum is verified in every case, so a fault
+/// that corrupts execution surfaces as
+/// [`CoreError::ChecksumMismatch`] rather than passing silently.
+///
+/// # Errors
+///
+/// As for [`measure`]; additionally [`wp_sim::SimError::Timeout`]
+/// when the watchdog fires.
+pub fn measure_with(
+    workbench: &Workbench,
+    icache: CacheGeometry,
+    scheme: Scheme,
+    options: MeasureOptions,
+) -> Result<(Measurement, MeasureTiming), CoreError> {
+    let set = options.set;
     let start = Instant::now();
-    let output = workbench.link(scheme.layout(), set)?;
+    let output = match options.fault {
+        Some(FaultSpec::CorruptProfile { seed, flips }) => {
+            let corrupted = corrupt_profile(workbench.profile(), seed, flips);
+            workbench.link_with(scheme.layout(), set, &corrupted)?
+        }
+        Some(FaultSpec::PermuteChains { seed }) => workbench.link(Layout::Random(seed), set)?,
+        Some(FaultSpec::Hardware(_)) | None => workbench.link(scheme.layout(), set)?,
+    };
     let link = start.elapsed();
 
     let start = Instant::now();
-    let mem = scheme.memory_config(icache);
-    let run = simulate(&output.image, &SimConfig::new(mem))?;
+    let mut mem = scheme.memory_config(icache);
+    if let Some(FaultSpec::Hardware(config)) = options.fault {
+        mem.fault = Some(config);
+    }
+    let mut sim_config = SimConfig::new(mem);
+    sim_config.time_limit = options.time_limit;
+    let run = simulate(&output.image, &sim_config)?;
     verify(workbench.benchmark(), set, run.checksum)?;
     let simulate = start.elapsed();
 

@@ -29,6 +29,39 @@ pub enum CoreError {
         /// What the guest produced.
         actual: u64,
     },
+    /// A job panicked; the panic was caught at the job boundary and
+    /// converted into this structured error (engine panic isolation).
+    Panic {
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
+    /// A host-side I/O failure (checkpoint files, manifests) — the one
+    /// error family that is genuinely transient and worth retrying.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying OS error.
+        message: String,
+    },
+}
+
+impl CoreError {
+    /// Whether the error is *transient*: caused by host-side conditions
+    /// (I/O hiccups, a loaded machine tripping the wall-clock watchdog)
+    /// rather than by the guest, the model or the experiment itself.
+    /// Retry policies key off this — deterministic failures (link
+    /// errors, architecture violations, checksum mismatches, panics)
+    /// would only fail again identically.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CoreError::Io { .. } => true,
+            CoreError::Sim(e) => e.is_transient(),
+            CoreError::Link(_) | CoreError::ChecksumMismatch { .. } | CoreError::Panic { .. } => {
+                false
+            }
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +73,8 @@ impl fmt::Display for CoreError {
                 f,
                 "{benchmark}: checksum mismatch (expected {expected:#018x}, got {actual:#018x})"
             ),
+            CoreError::Panic { message } => write!(f, "job panicked: {message}"),
+            CoreError::Io { context, message } => write!(f, "{context}: {message}"),
         }
     }
 }
@@ -99,6 +134,20 @@ impl Workbench {
     ///
     /// As for [`Workbench::new`].
     pub fn new_timed(benchmark: Benchmark) -> Result<(Workbench, BuildTiming), CoreError> {
+        Workbench::build(benchmark, None)
+    }
+
+    /// [`Workbench::new_timed`] with an optional wall-clock watchdog
+    /// covering the profiling run (the engine's job time limit).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Workbench::new`]; additionally
+    /// [`wp_sim::SimError::Timeout`] if the watchdog fires.
+    pub fn build(
+        benchmark: Benchmark,
+        time_limit: Option<Duration>,
+    ) -> Result<(Workbench, BuildTiming), CoreError> {
         let start = Instant::now();
         let linkers = [
             Linker::new().with_modules(benchmark.modules(InputSet::Small)),
@@ -110,8 +159,9 @@ impl Workbench {
         // The profiling machine's cache geometry is irrelevant to the
         // counts; use the paper's default.
         let start = Instant::now();
-        let config =
+        let mut config =
             SimConfig::new(MemoryConfig::baseline(CacheGeometry::xscale_icache())).with_profile();
+        config.time_limit = time_limit;
         let run = simulate(&natural.image, &config)?;
         verify(benchmark, InputSet::Small, run.checksum)?;
         let counts = run.insn_counts.as_deref().unwrap_or(&[]);
@@ -148,7 +198,23 @@ impl Workbench {
     ///
     /// Returns [`CoreError::Link`] on resolution failures.
     pub fn link(&self, layout: Layout, set: InputSet) -> Result<LinkOutput, CoreError> {
-        Ok(self.linkers[set_index(set)].link(layout, &self.profile)?)
+        self.link_with(layout, set, &self.profile)
+    }
+
+    /// [`Workbench::link`] with an explicit profile instead of the
+    /// trained one — the hook the fault campaign uses to link under a
+    /// deliberately corrupted profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Link`] on resolution failures.
+    pub fn link_with(
+        &self,
+        layout: Layout,
+        set: InputSet,
+        profile: &Profile,
+    ) -> Result<LinkOutput, CoreError> {
+        Ok(self.linkers[set_index(set)].link(layout, profile)?)
     }
 
     /// Convenience: the linked image's text size in bytes (layout

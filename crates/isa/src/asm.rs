@@ -264,12 +264,12 @@ impl Assembler {
                 }
             }
             "equ" | "set" => {
-                let mut parts = split_args(args);
-                if parts.len() != 2 {
+                let parts = split_args(args);
+                let [name, value_text] = parts.as_slice() else {
                     return Err(".equ needs `name, value`".into());
-                }
-                let value = self.int_expr(&parts.pop().unwrap())?;
-                let name = parts.pop().unwrap();
+                };
+                let value = self.int_expr(value_text)?;
+                let name = name.clone();
                 if !is_ident(&name) {
                     return Err(format!("invalid .equ name `{name}`"));
                 }
@@ -664,11 +664,13 @@ impl Assembler {
         }
         let rd = self.reg(&args[0])?;
         // `ldr rd, =expr` pseudo-instruction.
-        if load && width == MemWidth::Word && args[1].trim_start().starts_with('=') {
-            if args.len() != 2 {
-                return Err("malformed `ldr rd, =expr`".into());
+        if load && width == MemWidth::Word {
+            if let Some(expr) = args[1].trim().strip_prefix('=') {
+                if args.len() != 2 {
+                    return Err("malformed `ldr rd, =expr`".into());
+                }
+                return self.ldr_const(cond, rd, expr);
             }
-            return self.ldr_const(cond, rd, args[1].trim().strip_prefix('=').unwrap());
         }
         let addr = self.address(&args[1..])?;
         if signed && !load {

@@ -29,6 +29,10 @@ pub enum LinkError {
     NoEntryPoint,
     /// Nothing to link.
     NoModules,
+    /// A module is structurally invalid: a symbol or relocation points
+    /// outside its section. Hand-built [`Module`]s can contain these;
+    /// the linker reports them instead of panicking.
+    MalformedModule(String),
 }
 
 impl fmt::Display for LinkError {
@@ -39,6 +43,7 @@ impl fmt::Display for LinkError {
             LinkError::BranchToData(s) => write!(f, "branch to non-text symbol `{s}`"),
             LinkError::NoEntryPoint => write!(f, "no `_start` or `main` entry point"),
             LinkError::NoModules => write!(f, "no modules to link"),
+            LinkError::MalformedModule(detail) => write!(f, "malformed module: {detail}"),
         }
     }
 }
@@ -146,6 +151,33 @@ impl Linker {
 
         let mut bss_cursor = bss_base;
         for (index, module) in self.modules.iter().enumerate() {
+            // Structural validation first: hand-built modules may carry
+            // out-of-section symbols or relocations, and those must
+            // become typed errors, never index panics.
+            for sym in &module.symbols {
+                let (bound, unit) = match sym.section {
+                    SymbolSection::Text => (module.text.len(), "instructions"),
+                    SymbolSection::Data => (module.data.len(), "bytes"),
+                    SymbolSection::Bss => (module.bss_size, "bytes"),
+                };
+                if sym.offset > bound {
+                    return Err(LinkError::MalformedModule(format!(
+                        "`{}`: symbol `{}` offset {} exceeds its section ({bound} {unit})",
+                        module.name, sym.name, sym.offset
+                    )));
+                }
+            }
+            for reloc in &module.data_relocs {
+                if reloc.offset.saturating_add(4) > module.data.len() {
+                    return Err(LinkError::MalformedModule(format!(
+                        "`{}`: data relocation at offset {} overruns the data section ({} bytes)",
+                        module.name,
+                        reloc.offset,
+                        module.data.len()
+                    )));
+                }
+            }
+
             let text_off = text.len();
             let data_off = data.len();
             let rename = |name: &str| -> String {
@@ -182,7 +214,12 @@ impl Linker {
                     return Err(LinkError::DuplicateSymbol(name));
                 }
                 if let SymValue::Text(idx) = value {
-                    labels.entry(idx).or_default().push(name);
+                    // A trailing label (offset == text length) names the
+                    // end of the module, not a block head; it cannot
+                    // start a block.
+                    if idx < text.len() {
+                        labels.entry(idx).or_default().push(name);
+                    }
                 }
             }
             bss_cursor += module.bss_size as u32;
@@ -192,13 +229,22 @@ impl Linker {
         // ---- verify references & build the ICFG -----------------------
         for entry in &text {
             if let Some(reloc) = &entry.reloc {
-                if !symbols.contains_key(&reloc.symbol) {
+                let Some(value) = symbols.get(&reloc.symbol) else {
                     return Err(LinkError::UndefinedSymbol(reloc.symbol.clone()));
-                }
-                if reloc.kind == RelocKind::Branch24
-                    && !matches!(symbols[&reloc.symbol], SymValue::Text(_))
-                {
-                    return Err(LinkError::BranchToData(reloc.symbol.clone()));
+                };
+                if reloc.kind == RelocKind::Branch24 {
+                    match value {
+                        SymValue::Text(idx) if *idx < text.len() => {}
+                        SymValue::Text(_) => {
+                            return Err(LinkError::MalformedModule(format!(
+                                "branch to out-of-range text symbol `{}`",
+                                reloc.symbol
+                            )));
+                        }
+                        SymValue::Addr(_) => {
+                            return Err(LinkError::BranchToData(reloc.symbol.clone()));
+                        }
+                    }
                 }
             }
         }
@@ -236,10 +282,18 @@ impl Linker {
         }
 
         // ---- resolve --------------------------------------------------
-        let symbol_addr = |name: &str| -> u32 {
-            match symbols[name] {
-                SymValue::Text(idx) => Image::TEXT_BASE + 4 * final_of_natural[idx] as u32,
-                SymValue::Addr(addr) => addr,
+        let text_addr = |idx: usize| -> Option<u32> {
+            final_of_natural.get(idx).map(|&f| Image::TEXT_BASE + 4 * f as u32)
+        };
+        let symbol_addr = |name: &str| -> Result<u32, LinkError> {
+            match symbols.get(name) {
+                Some(SymValue::Text(idx)) => text_addr(*idx).ok_or_else(|| {
+                    LinkError::MalformedModule(format!(
+                        "text symbol `{name}` points past the end of the text section"
+                    ))
+                }),
+                Some(SymValue::Addr(addr)) => Ok(*addr),
+                None => Err(LinkError::UndefinedSymbol(name.to_string())),
             }
         };
 
@@ -248,7 +302,7 @@ impl Linker {
             let entry = &text[nat_idx];
             let mut insn = entry.insn;
             if let Some(reloc) = &entry.reloc {
-                let target = (symbol_addr(&reloc.symbol) as i64 + reloc.addend) as u32;
+                let target = (symbol_addr(&reloc.symbol)? as i64 + reloc.addend) as u32;
                 match reloc.kind {
                     RelocKind::Branch24 => {
                         let here = Image::TEXT_BASE + 4 * final_idx as u32;
@@ -274,8 +328,13 @@ impl Linker {
         }
 
         for (offset, symbol, addend) in &data_relocs {
-            let value = (symbol_addr(symbol) as i64 + addend) as u32;
-            data[*offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+            let value = (symbol_addr(symbol)? as i64 + addend) as u32;
+            let Some(window) = data.get_mut(*offset..offset + 4) else {
+                return Err(LinkError::MalformedModule(format!(
+                    "data relocation at offset {offset} overruns the merged data section"
+                )));
+            };
+            window.copy_from_slice(&value.to_le_bytes());
         }
 
         let entry = symbols
@@ -286,21 +345,23 @@ impl Linker {
         let SymValue::Text(entry_idx) = entry else {
             return Err(LinkError::NoEntryPoint);
         };
-        let entry_addr = Image::TEXT_BASE + 4 * final_of_natural[entry_idx] as u32;
+        let entry_addr = text_addr(entry_idx).ok_or_else(|| {
+            LinkError::MalformedModule(
+                "entry symbol points past the end of the text section".into(),
+            )
+        })?;
 
-        let image_symbols: BTreeMap<String, u32> = symbols
-            .iter()
-            .filter(|(name, _)| !name.contains('@'))
-            .map(|(name, value)| {
-                (
-                    name.clone(),
-                    match value {
-                        SymValue::Text(idx) => Image::TEXT_BASE + 4 * final_of_natural[*idx] as u32,
-                        SymValue::Addr(addr) => *addr,
-                    },
-                )
-            })
-            .collect();
+        let mut image_symbols: BTreeMap<String, u32> = BTreeMap::new();
+        for (name, value) in &symbols {
+            if name.contains('@') {
+                continue;
+            }
+            let addr = match value {
+                SymValue::Text(_) => symbol_addr(name)?,
+                SymValue::Addr(addr) => *addr,
+            };
+            image_symbols.insert(name.clone(), addr);
+        }
 
         Ok(LinkOutput {
             image: Image {
@@ -581,6 +642,63 @@ mod tests {
 
         let err = Linker::new().link(Layout::Natural, &Profile::empty());
         assert_eq!(err.unwrap_err(), LinkError::NoModules);
+    }
+
+    #[test]
+    fn malformed_symbol_offset_is_a_typed_error() {
+        use wp_isa::Symbol;
+        // A hand-built module whose text symbol points past the end of
+        // its text section must produce a typed error, not a panic.
+        let mut m = module("m", "_start: swi #0");
+        m.symbols
+            .push(Symbol { name: "ghost".into(), section: SymbolSection::Text, offset: 99 });
+        let err = Linker::new().with_module(m).link(Layout::Natural, &Profile::empty());
+        match err.unwrap_err() {
+            LinkError::MalformedModule(detail) => {
+                assert!(detail.contains("ghost"), "{detail}");
+            }
+            other => panic!("expected MalformedModule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_data_reloc_is_a_typed_error() {
+        use wp_isa::DataReloc;
+        // A data relocation overrunning the (empty) data section.
+        let mut m = module("m", "_start: swi #0");
+        m.data_relocs.push(DataReloc { offset: 0, symbol: "_start".into(), addend: 0 });
+        let err = Linker::new().with_module(m).link(Layout::Natural, &Profile::empty());
+        match err.unwrap_err() {
+            LinkError::MalformedModule(detail) => {
+                assert!(detail.contains("data relocation"), "{detail}");
+            }
+            other => panic!("expected MalformedModule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bss_symbol_is_a_typed_error() {
+        use wp_isa::Symbol;
+        let mut m = module("m", "_start: swi #0");
+        m.symbols
+            .push(Symbol { name: "big".into(), section: SymbolSection::Bss, offset: 8 });
+        // bss_size is 0, so offset 8 overruns it.
+        let err = Linker::new().with_module(m).link(Layout::Natural, &Profile::empty());
+        assert!(matches!(err.unwrap_err(), LinkError::MalformedModule(_)));
+    }
+
+    #[test]
+    fn trailing_text_label_is_rejected_not_panicked() {
+        use wp_isa::Symbol;
+        // A label at exactly the end of the text section has no final
+        // address under a permuted layout; resolving it must surface a
+        // typed error, not an index panic.
+        let mut m = module("m", "_start: swi #0");
+        let end = m.text.len();
+        m.symbols
+            .push(Symbol { name: "end".into(), section: SymbolSection::Text, offset: end });
+        let out = Linker::new().with_module(m).link(Layout::Natural, &Profile::empty());
+        assert!(matches!(out.unwrap_err(), LinkError::MalformedModule(_)));
     }
 
     #[test]

@@ -131,9 +131,9 @@ impl CamArray {
                 self.round_robin[set as usize] = (way + 1) % ways;
                 way
             }
-            ReplacementPolicy::Lru => (0..ways)
-                .min_by_key(|&w| self.lines[self.slot(set, w)].last_use)
-                .expect("at least one way"),
+            ReplacementPolicy::Lru => {
+                (0..ways).min_by_key(|&w| self.lines[self.slot(set, w)].last_use).unwrap_or(0)
+            }
             ReplacementPolicy::Random => self.rng.below(u64::from(ways)) as u32,
         }
     }
@@ -152,6 +152,20 @@ impl CamArray {
             last_use: self.tick,
         };
         FillOutcome { way, evicted, evicted_dirty: old.valid && old.dirty }
+    }
+
+    /// Flips one bit of the tag stored at (`set`, `way`) — the fault
+    /// injector's soft-error model. Returns `true` when a valid line
+    /// was actually corrupted; invalid slots are left untouched (there
+    /// is no tag to corrupt).
+    pub fn flip_tag_bit(&mut self, set: u32, way: u32, bit: u32) -> bool {
+        let slot = self.slot(set % self.geom.sets(), way % self.geom.ways());
+        let line = &mut self.lines[slot];
+        if !line.valid {
+            return false;
+        }
+        line.tag ^= 1 << (bit % self.geom.tag_bits());
+        true
     }
 
     /// Invalidates every line (e.g. between benchmark runs).

@@ -103,10 +103,10 @@ impl DataCache {
         let mut stall = 0u32;
         let mut start = now;
         if self.write_buffer.len() >= self.config.write_buffer_entries as usize {
-            let front = *self.write_buffer.front().expect("nonempty");
-            stall = (front - now) as u32;
-            start = front;
-            self.write_buffer.pop_front();
+            if let Some(front) = self.write_buffer.pop_front() {
+                stall = (front - now) as u32;
+                start = front;
+            }
         }
         let last = self.write_buffer.back().copied().unwrap_or(start).max(start);
         self.write_buffer.push_back(last + u64::from(self.config.writeback_latency));

@@ -3,6 +3,7 @@
 //! pipeline talks to.
 
 use crate::dcache::{DCacheConfig, DataCache};
+use crate::fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 use crate::icache::{FetchScheme, ICacheConfig, InstructionCache};
 use crate::tlb::{Tlb, TlbConfig};
 use crate::{CacheGeometry, DCacheStats, FetchStats, TlbStats};
@@ -23,6 +24,8 @@ pub struct MemoryConfig {
     /// `wp_isa::Image::TEXT_BASE`, so the effective area is
     /// `[TEXT_BASE, wp_limit)`.
     pub wp_limit: u32,
+    /// Optional hardware fault injection (`None` = fault-free machine).
+    pub fault: Option<FaultConfig>,
 }
 
 impl MemoryConfig {
@@ -35,7 +38,14 @@ impl MemoryConfig {
             itlb: TlbConfig::default_itlb(),
             dtlb: TlbConfig::default_itlb(),
             wp_limit: 0,
+            fault: None,
         }
+    }
+
+    /// The same configuration with hardware fault injection enabled.
+    #[must_use]
+    pub fn with_fault(self, fault: FaultConfig) -> MemoryConfig {
+        MemoryConfig { fault: Some(fault), ..self }
     }
 
     /// A way-placement configuration: `wp_area_bytes` of code starting
@@ -93,6 +103,7 @@ pub struct MemorySystem {
     dcache: DataCache,
     itlb: Tlb,
     dtlb: Tlb,
+    fault: Option<FaultInjector>,
 }
 
 impl MemorySystem {
@@ -107,6 +118,7 @@ impl MemorySystem {
             dcache: DataCache::new(config.dcache),
             itlb: Tlb::new(config.itlb, wp_limit),
             dtlb: Tlb::new(config.dtlb, 0),
+            fault: config.fault.map(FaultInjector::new),
         }
     }
 
@@ -120,7 +132,31 @@ impl MemorySystem {
     /// in parallel (§4.1), so a TLB hit adds no cycles; a TLB miss
     /// stalls for the fill.
     pub fn fetch(&mut self, addr: u32) -> FetchTiming {
-        let tlb = self.itlb.lookup(addr);
+        // Hardware fault injection happens at the trust boundaries the
+        // paper's §4 argues are timing-only: the tag array, the global
+        // way-hint bit, and the I-TLB's per-page WP bit.
+        if let Some(injector) = self.fault.as_mut() {
+            if injector.fires(FaultKind::TagBitFlip) {
+                let geom = self.icache.config().geometry;
+                let set = injector.draw(geom.sets());
+                let way = injector.draw(geom.ways());
+                let bit = injector.draw(geom.tag_bits());
+                if self.icache.corrupt_tag_bit(set, way, bit) {
+                    injector.note_tag_bit_flip();
+                }
+            }
+            if injector.fires(FaultKind::HintInversion) {
+                self.icache.invert_way_hint();
+                injector.note_hint_inversion();
+            }
+        }
+        let mut tlb = self.itlb.lookup(addr);
+        if let Some(injector) = self.fault.as_mut() {
+            if injector.fires(FaultKind::StaleWpBit) {
+                tlb.wp = !tlb.wp;
+                injector.note_wp_bit_flip();
+            }
+        }
         let fetch = self.icache.fetch(addr, tlb.wp);
         FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }
     }
@@ -165,18 +201,26 @@ impl MemorySystem {
         self.dtlb.stats()
     }
 
+    /// Injected-fault counters (all zero when injection is disabled).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| *f.stats()).unwrap_or_default()
+    }
+
     /// The instruction cache (diagnostics / invariant checks).
     #[must_use]
     pub fn icache(&self) -> &InstructionCache {
         &self.icache
     }
 
-    /// Resets all state and counters.
+    /// Resets all state and counters, including the fault injector's
+    /// PRNG stream.
     pub fn reset(&mut self) {
         self.icache.reset();
         self.dcache.reset();
         self.itlb.reset();
         self.dtlb.reset();
+        self.fault = self.config.fault.map(FaultInjector::new);
     }
 }
 
@@ -236,6 +280,51 @@ mod tests {
         assert_eq!(mem.load(0x10_0000, 60), 0, "warm hit");
         assert_eq!(mem.store(0x10_0004, 61), 0, "same line");
         assert_eq!(mem.dcache_stats().writes, 1);
+    }
+
+    #[test]
+    fn fault_injection_perturbs_timing_deterministically() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let run = |fault: Option<FaultConfig>| {
+            let mut cfg = MemoryConfig::way_placement(geom, 0x8000, 2048);
+            cfg.fault = fault;
+            let mut mem = MemorySystem::new(cfg);
+            let mut cycles = 0u64;
+            for i in 0..4000u32 {
+                cycles += u64::from(mem.fetch(0x8000 + (i % 64) * 4).cycles);
+            }
+            (cycles, mem.fault_stats())
+        };
+
+        let (clean_cycles, clean_faults) = run(None);
+        assert_eq!(clean_faults.total(), 0);
+
+        let faulty = FaultConfig::all(0xF00D, 50_000); // 5% per kind
+        let (faulty_cycles, faults) = run(Some(faulty));
+        assert!(faults.total() > 0, "faults must land: {faults:?}");
+        assert!(faults.opportunities >= 3 * 4000);
+        // Graceful degradation: fetch timing worsens (or at worst is
+        // unchanged), and the run is reproducible bit-for-bit.
+        assert!(faulty_cycles >= clean_cycles, "{faulty_cycles} vs {clean_cycles}");
+        assert_eq!(run(Some(faulty)), (faulty_cycles, faults));
+    }
+
+    #[test]
+    fn reset_restores_fault_stream() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let cfg = MemoryConfig::way_placement(geom, 0x8000, 2048)
+            .with_fault(FaultConfig::all(7, 100_000));
+        let mut mem = MemorySystem::new(cfg);
+        for i in 0..500u32 {
+            mem.fetch(0x8000 + (i % 32) * 4);
+        }
+        let first = mem.fault_stats();
+        mem.reset();
+        assert_eq!(mem.fault_stats().total(), 0);
+        for i in 0..500u32 {
+            mem.fetch(0x8000 + (i % 32) * 4);
+        }
+        assert_eq!(mem.fault_stats(), first, "reset replays the same stream");
     }
 
     #[test]

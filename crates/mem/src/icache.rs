@@ -496,6 +496,28 @@ impl InstructionCache {
     pub fn array(&self) -> &CamArray {
         &self.array
     }
+
+    /// Toggles the global way-hint bit (fault injection: an upset of
+    /// the §4.1 single-bit predictor).
+    pub fn invert_way_hint(&mut self) {
+        self.way_hint = !self.way_hint;
+    }
+
+    /// Flips one stored tag bit (fault injection). Returns `true` when
+    /// a valid line was corrupted. Also forgets the same-line shortcut
+    /// and the memoization anchor: the corrupted slot may be the very
+    /// line they vouch for, and a real tag upset gives the elision
+    /// logic no notice either — but those shortcuts bypass the tag
+    /// array entirely, so modelling them as unaffected would just hide
+    /// the fault rather than exercise it.
+    pub fn corrupt_tag_bit(&mut self, set: u32, way: u32, bit: u32) -> bool {
+        let corrupted = self.array.flip_tag_bit(set, way, bit);
+        if corrupted {
+            self.last_line = None;
+            self.prev_fetch = None;
+        }
+        corrupted
+    }
 }
 
 #[cfg(test)]

@@ -45,9 +45,11 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod cam;
 mod dcache;
+mod fault;
 mod geometry;
 mod hierarchy;
 mod icache;
@@ -57,6 +59,7 @@ mod tlb;
 
 pub use cam::{CamArray, FillOutcome, ReplacementPolicy};
 pub use dcache::{DCacheConfig, DataCache, DataOutcome};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{FetchTiming, MemoryConfig, MemorySystem};
 pub use icache::{FetchOutcome, FetchScheme, ICacheConfig, InstructionCache};

@@ -81,7 +81,8 @@ impl Machine {
     /// Returns [`MemFault`] if the access is out of range.
     pub fn read_word(&self, addr: u32) -> Result<u32, MemFault> {
         let base = self.check(addr & !3, 4, false)?;
-        Ok(u32::from_le_bytes(self.memory[base..base + 4].try_into().expect("4 bytes")))
+        let m = &self.memory;
+        Ok(u32::from_le_bytes([m[base], m[base + 1], m[base + 2], m[base + 3]]))
     }
 
     /// Reads a 16-bit halfword.
@@ -91,7 +92,7 @@ impl Machine {
     /// Returns [`MemFault`] if the access is out of range.
     pub fn read_half(&self, addr: u32) -> Result<u16, MemFault> {
         let base = self.check(addr & !1, 2, false)?;
-        Ok(u16::from_le_bytes(self.memory[base..base + 2].try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes([self.memory[base], self.memory[base + 1]]))
     }
 
     /// Reads one byte.

@@ -206,7 +206,7 @@ fn text(set: InputSet) -> Vec<String> {
                 let mut bytes = word.into_bytes();
                 let pos = lcg.below(bytes.len() as u32) as usize;
                 bytes[pos] = b'a' + (bytes[pos] - b'a' + 1 + lcg.below(24) as u8) % 26;
-                String::from_utf8(bytes).expect("ascii")
+                String::from_utf8_lossy(&bytes).into_owned()
             } else {
                 word
             }

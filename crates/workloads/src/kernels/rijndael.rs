@@ -166,7 +166,8 @@ pub(crate) fn decrypt_block(block: &[u8; 16], rk: &[u8; 176]) -> [u8; 16] {
 pub(crate) fn crypt_buffer(data: &mut [u8], key: &[u8; 16], encrypt: bool) {
     let rk = expand_key(key);
     for block in data.chunks_exact_mut(16) {
-        let array: [u8; 16] = block.try_into().expect("16 bytes");
+        let mut array = [0u8; 16];
+        array.copy_from_slice(block);
         let out = if encrypt { encrypt_block(&array, &rk) } else { decrypt_block(&array, &rk) };
         block.copy_from_slice(&out);
     }
@@ -195,8 +196,9 @@ pub(crate) fn plaintext(set: InputSet) -> Vec<u8> {
 /// Reports: wrapping byte sum, first word (LE), last word (LE).
 pub(crate) fn summarise(data: &[u8]) -> Vec<u32> {
     let sum = data.iter().fold(0u32, |a, &b| a.wrapping_add(u32::from(b)));
-    let first = u32::from_le_bytes(data[..4].try_into().expect("4 bytes"));
-    let last = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+    let first = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    let n = data.len();
+    let last = u32::from_le_bytes([data[n - 4], data[n - 3], data[n - 2], data[n - 1]]);
     vec![sum, first, last]
 }
 

@@ -219,7 +219,7 @@ pub(crate) fn sha1(message: &[u8]) -> [u32; 5] {
     for block in data.chunks_exact(64) {
         let mut w = [0u32; 80];
         for (i, word) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);

@@ -192,7 +192,7 @@ fn reference(set: InputSet) -> Vec<u32> {
     }
     let mut palette = [0usize; 16];
     for slot in &mut palette {
-        let best = (0..4096).max_by_key(|&i| (hist[i], usize::MAX - i)).expect("bins");
+        let best = (0..4096).max_by_key(|&i| (hist[i], usize::MAX - i)).unwrap_or(0);
         *slot = best;
         hist[best] = 0;
     }

@@ -193,7 +193,8 @@ xorshift32:
 /// covered by unit tests.
 #[must_use]
 pub fn runtime_module() -> Module {
-    wp_isa::assemble("runtime", RUNTIME_SOURCE).expect("runtime library must assemble")
+    wp_isa::assemble("runtime", RUNTIME_SOURCE)
+        .unwrap_or_else(|e| panic!("runtime library must assemble: {e}"))
 }
 
 /// Host-side mirror of the guest `xorshift32` helper, for reference

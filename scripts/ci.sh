@@ -37,6 +37,16 @@ if [[ "$quick" -eq 0 ]]; then
         fi
     done
     echo "manifests OK: $(ls "$smoke_dir")"
+
+    echo "== fault-campaign smoke (exit 1 on silent corruption) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin fault_campaign -- --quick
+    if [[ ! -s "$smoke_dir/BENCH_fault_campaign.json" ]]; then
+        echo "missing manifest: BENCH_fault_campaign.json" >&2
+        exit 1
+    fi
+
+    echo "== checkpoint/resume round trip =="
+    cargo test -q -p wp-bench --test resilience checkpoint
 fi
 
 echo "== CI gate passed =="

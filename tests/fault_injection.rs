@@ -1,0 +1,114 @@
+//! End-to-end fault-injection invariants.
+//!
+//! The paper's §4 trust boundary: everything the way-placement
+//! machinery adds — per-page WP bits in the I-TLB, the global way
+//! hint, the tag CAM, the training profile, the chain layout — is
+//! *performance speculation*, not architectural state. A fault in any
+//! of it may cost cycles and energy; it must never change what the
+//! program computes. These tests drive the seeded injector through
+//! the full measure path and assert the trichotomy: graceful
+//! degradation or a typed error, never silent corruption.
+
+use wp_core::wp_linker::LinkError;
+use wp_core::wp_mem::{CacheGeometry, FaultConfig};
+use wp_core::wp_sim::SimError;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{
+    fault_trial, measure_on, CoreError, FaultOutcome, FaultSpec, Measurement, Scheme, Workbench,
+};
+
+fn clean(workbench: &Workbench, scheme: Scheme) -> Measurement {
+    measure_on(workbench, CacheGeometry::xscale_icache(), scheme, InputSet::Small)
+        .expect("clean measurement")
+}
+
+/// Aggressive hardware fault rates (10% of fetches have a fault
+/// opportunity per kind) degrade both way-aware schemes gracefully:
+/// faults demonstrably land, cycles/energy may rise, and the
+/// architectural checksum always survives.
+#[test]
+fn hardware_faults_degrade_gracefully_on_both_schemes() {
+    let workbench = Workbench::new(Benchmark::Crc).expect("workbench");
+    let geometry = CacheGeometry::xscale_icache();
+    for scheme in [Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization] {
+        let clean = clean(&workbench, scheme);
+        let spec = FaultSpec::Hardware(FaultConfig::all(7, 100_000));
+        let trial = fault_trial(&workbench, geometry, scheme, InputSet::Small, spec, &clean);
+        assert!(!trial.outcome.is_silent_corruption(), "{:?}", trial.outcome);
+        match trial.outcome {
+            FaultOutcome::Graceful { cycle_ratio, energy_ratio, faults_injected } => {
+                assert!(faults_injected > 0, "faults must actually land at 10%/kind");
+                assert!(cycle_ratio.is_finite() && cycle_ratio > 0.5, "{cycle_ratio}");
+                assert!(energy_ratio.is_finite() && energy_ratio > 0.5, "{energy_ratio}");
+            }
+            other => panic!("{}: expected graceful degradation, got {other:?}", scheme.label()),
+        }
+    }
+}
+
+/// The compiler-side trust boundary: a corrupted training profile and
+/// a randomly permuted chain layout both still compute the right
+/// answer — a bad layout can only cost energy.
+#[test]
+fn compiler_side_faults_are_graceful() {
+    let workbench = Workbench::new(Benchmark::Sha).expect("workbench");
+    let geometry = CacheGeometry::xscale_icache();
+    let scheme = Scheme::WayPlacement { area_bytes: 32 * 1024 };
+    let clean = clean(&workbench, scheme);
+    for spec in
+        [FaultSpec::CorruptProfile { seed: 11, flips: 64 }, FaultSpec::PermuteChains { seed: 13 }]
+    {
+        let trial = fault_trial(&workbench, geometry, scheme, InputSet::Small, spec, &clean);
+        match trial.outcome {
+            FaultOutcome::Graceful { cycle_ratio, energy_ratio, faults_injected } => {
+                assert_eq!(faults_injected, 0, "compiler faults inject no hardware faults");
+                assert!(cycle_ratio.is_finite() && cycle_ratio > 0.0);
+                assert!(energy_ratio.is_finite() && energy_ratio > 0.0);
+            }
+            other => panic!("{}: expected graceful, got {other:?}", spec.label()),
+        }
+    }
+}
+
+/// The same seed reproduces the same faulted run bit-for-bit: fault
+/// campaigns are deterministic, so any corruption they ever find is
+/// replayable.
+#[test]
+fn fault_trials_are_deterministic_per_seed() {
+    let workbench = Workbench::new(Benchmark::Crc).expect("workbench");
+    let geometry = CacheGeometry::xscale_icache();
+    let scheme = Scheme::WayPlacement { area_bytes: 32 * 1024 };
+    let clean = clean(&workbench, scheme);
+    let spec = FaultSpec::Hardware(FaultConfig::all(42, 50_000));
+    let run = || fault_trial(&workbench, geometry, scheme, InputSet::Small, spec, &clean);
+    match (run().outcome, run().outcome) {
+        (
+            FaultOutcome::Graceful { cycle_ratio: c1, energy_ratio: e1, faults_injected: f1 },
+            FaultOutcome::Graceful { cycle_ratio: c2, energy_ratio: e2, faults_injected: f2 },
+        ) => {
+            assert_eq!(f1, f2);
+            assert_eq!(c1.to_bits(), c2.to_bits());
+            assert_eq!(e1.to_bits(), e2.to_bits());
+        }
+        (a, b) => panic!("expected two graceful runs, got {a:?} / {b:?}"),
+    }
+}
+
+/// The transiency taxonomy retry policies key off: host-side I/O and
+/// watchdog timeouts retry; deterministic failures never do.
+#[test]
+fn error_transiency_taxonomy() {
+    let io = CoreError::Io { context: "checkpoint".to_string(), message: "EIO".to_string() };
+    assert!(io.is_transient());
+    let timeout = CoreError::Sim(SimError::Timeout { limit: std::time::Duration::from_secs(1) });
+    assert!(timeout.is_transient());
+    assert!(timeout.to_string().contains("watchdog"));
+
+    let panic = CoreError::Panic { message: "boom".to_string() };
+    assert!(!panic.is_transient());
+    let checksum =
+        CoreError::ChecksumMismatch { benchmark: Benchmark::Crc, expected: 1, actual: 2 };
+    assert!(!checksum.is_transient());
+    let link = CoreError::Link(LinkError::MalformedModule("bad symbol".to_string()));
+    assert!(!link.is_transient());
+}
