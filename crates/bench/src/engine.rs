@@ -48,7 +48,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use wp_trace::SpanCollector;
 
 use wp_core::wp_mem::CacheGeometry;
 use wp_core::wp_sim::SimError;
@@ -575,6 +577,10 @@ pub struct Engine {
     fault: Option<Box<FaultHook>>,
     build_fault: Option<Box<BuildFaultHook>>,
     build_attempts: Mutex<HashMap<Benchmark, u32>>,
+    /// Wall-clock span telemetry, armed by `$WP_TRACE` at construction
+    /// (see [`SpanCollector::from_env`]); `None` costs one branch per
+    /// recording site.
+    spans: Option<Arc<SpanCollector>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -617,7 +623,15 @@ impl Engine {
             fault: None,
             build_fault: None,
             build_attempts: Mutex::new(HashMap::new()),
+            spans: SpanCollector::from_env(),
         }
+    }
+
+    /// The span collector, when `$WP_TRACE` armed one at construction.
+    /// Binaries drain it into the Chrome `trace_event` export.
+    #[must_use]
+    pub fn span_collector(&self) -> Option<&Arc<SpanCollector>> {
+        self.spans.as_ref()
     }
 
     /// Installs a retry policy for transient job failures.
@@ -727,6 +741,9 @@ impl Engine {
                     .map(|s| (*s).to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                if let Some(spans) = &self.spans {
+                    spans.instant("panic", "panic", vec![("message".into(), message.clone())]);
+                }
                 Err(Arc::new(CoreError::Panic { message }))
             }
         }
@@ -760,7 +777,17 @@ impl Engine {
                     return Err(Arc::new(error));
                 }
             }
-            match Workbench::build(benchmark, self.job_time_limit) {
+            let started = Instant::now();
+            let built = Workbench::build(benchmark, self.job_time_limit);
+            if let Some(spans) = &self.spans {
+                spans.record(
+                    format!("workbench:{}", benchmark.name()),
+                    "build",
+                    started,
+                    vec![("ok".into(), built.is_ok().to_string())],
+                );
+            }
+            match built {
                 Ok((workbench, timing)) => {
                     self.counters
                         .assemble_ns
@@ -800,7 +827,21 @@ impl Engine {
             built = true;
             self.counters.baseline_builds.fetch_add(1, Ordering::Relaxed);
             let workbench = self.workbench(benchmark)?;
-            match measure_with(&workbench, geometry, Scheme::Baseline, self.measure_options(set)) {
+            let started = Instant::now();
+            let measured =
+                measure_with(&workbench, geometry, Scheme::Baseline, self.measure_options(set));
+            if let Some(spans) = &self.spans {
+                spans.record(
+                    format!("baseline:{}", benchmark.name()),
+                    "measure",
+                    started,
+                    vec![
+                        ("geometry".into(), geometry.to_string()),
+                        ("ok".into(), measured.is_ok().to_string()),
+                    ],
+                );
+            }
+            match measured {
                 Ok((measurement, timing)) => {
                     self.add_measure_timing(&timing);
                     Ok(Arc::new(measurement))
@@ -852,7 +893,20 @@ impl Engine {
             return self.baseline(benchmark, geometry, set);
         }
         let workbench = self.workbench(benchmark)?;
-        match measure_with(&workbench, geometry, scheme, self.measure_options(set)) {
+        let started = Instant::now();
+        let measured = measure_with(&workbench, geometry, scheme, self.measure_options(set));
+        if let Some(spans) = &self.spans {
+            spans.record(
+                format!("measure:{}/{}", benchmark.name(), scheme.label()),
+                "measure",
+                started,
+                vec![
+                    ("geometry".into(), geometry.to_string()),
+                    ("ok".into(), measured.is_ok().to_string()),
+                ],
+            );
+        }
+        match measured {
             Ok((measurement, timing)) => {
                 self.add_measure_timing(&timing);
                 Ok(Arc::new(measurement))
@@ -916,6 +970,9 @@ impl Engine {
             let key = checkpoint_key(benchmark, geometry, scheme, set);
             if let Some(saved) = completed.get(&key) {
                 self.counters.checkpoint_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(spans) = &self.spans {
+                    spans.instant(format!("checkpoint:{key}"), "checkpoint", Vec::new());
+                }
                 return JobOutcome::Cached(JobRow {
                     benchmark,
                     geometry,
@@ -988,9 +1045,26 @@ impl Engine {
                 Err(failure) => {
                     if matches!(&*failure.error, CoreError::Sim(SimError::Timeout { .. })) {
                         self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(spans) = &self.spans {
+                            spans.instant(
+                                format!("timeout:{}", benchmark.name()),
+                                "timeout",
+                                vec![("scheme".into(), scheme.label())],
+                            );
+                        }
                     }
                     if attempt < self.retry.max_attempts && failure.error.is_transient() {
                         self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(spans) = &self.spans {
+                            spans.instant(
+                                format!("retry:{}", benchmark.name()),
+                                "retry",
+                                vec![
+                                    ("attempt".into(), attempt.to_string()),
+                                    ("error".into(), failure.error.to_string()),
+                                ],
+                            );
+                        }
                         self.evict_failed(benchmark, geometry, set);
                         std::thread::sleep(self.retry.delay(attempt));
                         attempt += 1;

@@ -23,8 +23,12 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
-pub mod json;
 pub mod timing;
+
+/// The serde-free JSON module now lives in `wp-trace` (telemetry needs
+/// it below the harness); re-exported here so `wp_bench::json::Json`
+/// keeps working.
+pub use wp_trace::json;
 
 use std::path::PathBuf;
 

@@ -55,8 +55,8 @@ mod workbench;
 
 pub use fault::{corrupt_profile, fault_trial, FaultOutcome, FaultSpec, FaultTrial};
 pub use measure::{
-    measure, measure_on, measure_on_timed, measure_with, Comparison, MeasureOptions, MeasureTiming,
-    Measurement,
+    measure, measure_on, measure_on_timed, measure_traced, measure_with, Comparison,
+    MeasureOptions, MeasureTiming, Measurement,
 };
 pub use scheme::Scheme;
 pub use workbench::{align_area, text_base, verify, BuildTiming, CoreError, Workbench};
@@ -68,4 +68,5 @@ pub use wp_isa;
 pub use wp_linker;
 pub use wp_mem;
 pub use wp_sim;
+pub use wp_trace;
 pub use wp_workloads;

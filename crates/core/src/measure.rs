@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use wp_energy::{EnergyModel, EnergyReport, SystemActivity};
 use wp_mem::CacheGeometry;
-use wp_sim::{simulate, RunResult, SimConfig};
+use wp_sim::{simulate_traced, NullSink, RunResult, SimConfig, TraceSink};
 use wp_workloads::InputSet;
 
 use crate::fault::{corrupt_profile, FaultSpec};
@@ -154,6 +154,51 @@ pub fn measure_with(
     scheme: Scheme,
     options: MeasureOptions,
 ) -> Result<(Measurement, MeasureTiming), CoreError> {
+    measure_traced(workbench, icache, scheme, options, &mut NullSink)
+}
+
+/// [`measure_with`] streaming telemetry into `sink` (see
+/// [`wp_sim::simulate_traced`]).
+///
+/// To attribute fetches per chain, pre-build the layout map from an
+/// identically parameterised link — linking is deterministic, so
+/// `workbench.link(scheme.layout(), set)?.layout_map()` indexes
+/// exactly the binary this function measures:
+///
+/// ```no_run
+/// # fn main() -> Result<(), wp_core::CoreError> {
+/// use wp_core::{measure_traced, MeasureOptions, Scheme, Workbench};
+/// use wp_mem::CacheGeometry;
+/// use wp_trace::TraceRecorder;
+/// use wp_workloads::{Benchmark, InputSet};
+///
+/// let workbench = Workbench::new(Benchmark::Crc)?;
+/// let scheme = Scheme::WayPlacement { area_bytes: 32 * 1024 };
+/// let map = workbench.link(scheme.layout(), InputSet::Large)?.layout_map();
+/// let mut recorder = TraceRecorder::new().with_layout(map);
+/// let (m, _) = measure_traced(
+///     &workbench,
+///     CacheGeometry::xscale_icache(),
+///     scheme,
+///     MeasureOptions::new(InputSet::Large),
+///     &mut recorder,
+/// )?;
+/// let attribution = recorder.attribution().unwrap();
+/// assert_eq!(attribution.total().fetches, m.run.fetch.fetches);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// As for [`measure_with`].
+pub fn measure_traced<S: TraceSink>(
+    workbench: &Workbench,
+    icache: CacheGeometry,
+    scheme: Scheme,
+    options: MeasureOptions,
+    sink: &mut S,
+) -> Result<(Measurement, MeasureTiming), CoreError> {
     let set = options.set;
     let start = Instant::now();
     let output = match options.fault {
@@ -173,7 +218,7 @@ pub fn measure_with(
     }
     let mut sim_config = SimConfig::new(mem);
     sim_config.time_limit = options.time_limit;
-    let run = simulate(&output.image, &sim_config)?;
+    let run = simulate_traced(&output.image, &sim_config, sink)?;
     verify(workbench.benchmark(), set, run.checksum)?;
     let simulate = start.elapsed();
 

@@ -53,26 +53,52 @@ impl EnergyReport {
         self.icache_pj() + self.itlb_pj + self.dcache_pj + self.dtlb_pj + self.core_pj
     }
 
-    /// The instruction cache's share of total energy.
+    /// The instruction cache's share of total energy; `0.0` for an
+    /// idle (zero-energy) run rather than `NaN`.
     #[must_use]
     pub fn icache_share(&self) -> f64 {
-        self.icache_pj() / self.total_pj()
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.icache_pj() / total
+        }
     }
 
     /// Normalised I-cache energy against a baseline run (1.0 = equal,
-    /// lower is better; the paper's ~0.50 for way-placement).
+    /// lower is better; the paper's ~0.50 for way-placement). An idle
+    /// baseline compares as equal (`1.0`) when this run is idle too,
+    /// and as infinitely worse (`+∞`) otherwise — never `NaN`.
     #[must_use]
     pub fn normalized_icache_energy(&self, baseline: &EnergyReport) -> f64 {
-        self.icache_pj() / baseline.icache_pj()
+        ratio(self.icache_pj(), baseline.icache_pj())
     }
 
     /// The energy-delay product against a baseline run: total energy
     /// ratio times cycle ratio (lower is better; §5 of the paper).
+    /// Zero-energy or zero-cycle baselines follow the same idle-run
+    /// convention as [`EnergyReport::normalized_icache_energy`].
     #[must_use]
     pub fn ed_product(&self, baseline: &EnergyReport) -> f64 {
-        let energy_ratio = self.total_pj() / baseline.total_pj();
-        let delay_ratio = self.cycles as f64 / baseline.cycles as f64;
+        let energy_ratio = ratio(self.total_pj(), baseline.total_pj());
+        let delay_ratio = ratio(self.cycles as f64, baseline.cycles as f64);
         energy_ratio * delay_ratio
+    }
+}
+
+/// Baseline-relative ratio with idle-run semantics: `0 / 0` is `1.0`
+/// (an idle run equals an idle baseline), `x / 0` for positive `x` is
+/// `+∞` (strictly worse than any finite ratio, and it propagates
+/// through comparisons instead of poisoning them the way `NaN` would).
+fn ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator == 0.0 {
+        if numerator == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        numerator / denominator
     }
 }
 
@@ -214,6 +240,32 @@ mod tests {
         slow.cycles = slow.cycles * 11 / 10;
         let slow_report = model.price(&config, &slow);
         assert!(slow_report.ed_product(&base) > 1.10);
+    }
+
+    #[test]
+    fn idle_runs_never_produce_nan() {
+        let idle = EnergyReport {
+            icache: FetchEnergy::default(),
+            itlb_pj: 0.0,
+            dcache_pj: 0.0,
+            dtlb_pj: 0.0,
+            core_pj: 0.0,
+            cycles: 0,
+        };
+        // An idle run against an idle baseline: equal, not NaN.
+        assert_eq!(idle.icache_share(), 0.0);
+        assert_eq!(idle.normalized_icache_energy(&idle), 1.0);
+        assert_eq!(idle.ed_product(&idle), 1.0);
+        // A real run against an idle baseline: infinitely worse, and
+        // the ordering against finite ratios still works.
+        let geom = CacheGeometry::xscale_icache();
+        let busy = EnergyModel::new().price(&MemoryConfig::baseline(geom), &activity(32));
+        assert_eq!(busy.normalized_icache_energy(&idle), f64::INFINITY);
+        assert_eq!(busy.ed_product(&idle), f64::INFINITY);
+        assert!(busy.normalized_icache_energy(&idle) > 1.0);
+        // And the idle run against a real baseline is a perfect 0.
+        assert_eq!(idle.normalized_icache_energy(&busy), 0.0);
+        assert!(!idle.ed_product(&busy).is_nan());
     }
 
     #[test]

@@ -64,3 +64,5 @@ pub use chain::{build_chains, Chain, Layout};
 pub use icfg::{Block, GlueKind, Icfg};
 pub use link::{LinkError, LinkOutput, Linker};
 pub use profile::Profile;
+// Telemetry join types produced by [`LinkOutput::layout_map`].
+pub use wp_trace::{ChainInfo, LayoutMap};

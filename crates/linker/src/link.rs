@@ -401,6 +401,71 @@ impl LinkOutput {
         Image::TEXT_BASE + 4 * self.final_of_natural[block.start] as u32
     }
 
+    /// Exports the pc-range → chain/block index telemetry needs to
+    /// attribute fetch events back to the layout decision.
+    ///
+    /// Chain ids follow *emission order* — chain 0 starts the text
+    /// section, so under [`Layout::WayPlacement`] the ids run
+    /// hottest-first. Every text pc resolves, so attribution over a
+    /// well-formed run is total.
+    #[must_use]
+    pub fn layout_map(&self) -> wp_trace::LayoutMap {
+        let insns = self.image.text.len();
+        // Summarise each natural chain, remembering where the layout
+        // pass emitted it.
+        struct Summary {
+            natural: usize,
+            first_final: usize,
+        }
+        let mut summaries: Vec<Summary> = self
+            .chains
+            .iter()
+            .enumerate()
+            .map(|(natural, chain)| Summary {
+                natural,
+                first_final: chain
+                    .blocks
+                    .iter()
+                    .flat_map(|&b| self.icfg.blocks()[b].range())
+                    .map(|nat_idx| self.final_of_natural[nat_idx])
+                    .min()
+                    .unwrap_or(insns),
+            })
+            .collect();
+        summaries.sort_by_key(|s| s.first_final);
+
+        let mut chain_of_insn = vec![0u32; insns];
+        let mut block_of_insn = vec![0u32; insns];
+        let mut infos = Vec::with_capacity(summaries.len());
+        for (chain_id, summary) in summaries.iter().enumerate() {
+            let chain = &self.chains[summary.natural];
+            let mut chain_insns = 0u32;
+            let mut label = String::new();
+            for &block_id in &chain.blocks {
+                let block = &self.icfg.blocks()[block_id];
+                if label.is_empty() {
+                    if let Some(first) = block.labels.first() {
+                        label = first.clone();
+                    }
+                }
+                for nat_idx in block.range() {
+                    let final_idx = self.final_of_natural[nat_idx];
+                    chain_of_insn[final_idx] = chain_id as u32;
+                    block_of_insn[final_idx] = block_id as u32;
+                    chain_insns += 1;
+                }
+            }
+            infos.push(wp_trace::ChainInfo {
+                weight: chain.weight,
+                first_pc: Image::TEXT_BASE + 4 * summary.first_final as u32,
+                insns: chain_insns,
+                blocks: chain.blocks.len() as u32,
+                label,
+            });
+        }
+        wp_trace::LayoutMap::new(Image::TEXT_BASE, chain_of_insn, block_of_insn, infos)
+    }
+
     /// Fraction of dynamic instruction executions that land inside the
     /// first `area_bytes` of the binary under this layout — the quantity
     /// the way-placement pass maximises.
@@ -710,6 +775,40 @@ mod tests {
         let profile = out.profile_from_counts(&per_insn);
         assert_eq!(profile.len(), out.icfg.len());
         assert!(profile.total() >= out.icfg.len() as u64);
+    }
+
+    #[test]
+    fn layout_map_covers_every_pc_and_ranks_hot_chain_first() {
+        let linker = Linker::new().with_module(simple_program());
+        let natural = linker.link(Layout::Natural, &Profile::empty()).unwrap();
+        let mut counts = vec![0u64; natural.icfg.len()];
+        for block in natural.icfg.blocks() {
+            let label = block.labels.first().map(String::as_str).unwrap_or("");
+            counts[block.natural_id] = if label.starts_with(".Lloop") { 1000 } else { 1 };
+        }
+        let profile = Profile::from_counts(counts);
+        let out = linker.link(Layout::WayPlacement, &profile).unwrap();
+        let map = out.layout_map();
+        assert_eq!(map.insns(), out.image.text.len());
+        // Every text pc resolves to some chain; per-chain instruction
+        // counts partition the text section.
+        let mut insns_by_chain = vec![0u32; map.chains().len()];
+        for idx in 0..out.image.text.len() {
+            let pc = Image::TEXT_BASE + 4 * idx as u32;
+            let chain = map.chain_of_pc(pc).expect("text pc resolves");
+            insns_by_chain[chain as usize] += 1;
+            assert!(map.block_of_pc(pc).is_some());
+        }
+        for (chain, info) in map.chains().iter().enumerate() {
+            assert_eq!(insns_by_chain[chain], info.insns, "partition");
+        }
+        // Under way-placement the chains are emitted heaviest-first, so
+        // chain 0 starts the text section and carries the top weight.
+        assert_eq!(map.chains()[0].first_pc, Image::TEXT_BASE);
+        let weights: Vec<u64> = map.chains().iter().map(|c| c.weight).collect();
+        let mut sorted = weights.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(weights, sorted, "hottest-first chain order");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 use crate::icache::{FetchScheme, ICacheConfig, InstructionCache};
 use crate::tlb::{Tlb, TlbConfig};
 use crate::{CacheGeometry, DCacheStats, FetchStats, TlbStats};
+use wp_trace::FetchEvent;
 
 /// Full memory-hierarchy configuration.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -128,10 +129,9 @@ impl MemorySystem {
         &self.config
     }
 
-    /// Fetches the instruction at `addr`: I-TLB and I-cache are accessed
-    /// in parallel (§4.1), so a TLB hit adds no cycles; a TLB miss
-    /// stalls for the fill.
-    pub fn fetch(&mut self, addr: u32) -> FetchTiming {
+    /// The fault-injection and I-TLB half of a fetch, shared by the
+    /// traced and untraced paths.
+    fn pre_fetch(&mut self, addr: u32) -> crate::TlbOutcome {
         // Hardware fault injection happens at the trust boundaries the
         // paper's §4 argues are timing-only: the tag array, the global
         // way-hint bit, and the I-TLB's per-page WP bit.
@@ -157,8 +157,25 @@ impl MemorySystem {
                 injector.note_wp_bit_flip();
             }
         }
+        tlb
+    }
+
+    /// Fetches the instruction at `addr`: I-TLB and I-cache are accessed
+    /// in parallel (§4.1), so a TLB hit adds no cycles; a TLB miss
+    /// stalls for the fill.
+    pub fn fetch(&mut self, addr: u32) -> FetchTiming {
+        let tlb = self.pre_fetch(addr);
         let fetch = self.icache.fetch(addr, tlb.wp);
         FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }
+    }
+
+    /// [`fetch`](MemorySystem::fetch) plus a classified telemetry
+    /// event. Behaviour and counters are identical to `fetch`; the
+    /// event's `cycle` field is left 0 for the simulator to stamp.
+    pub fn fetch_traced(&mut self, addr: u32) -> (FetchTiming, FetchEvent) {
+        let tlb = self.pre_fetch(addr);
+        let (fetch, event) = self.icache.fetch_traced(addr, tlb.wp);
+        (FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }, event)
     }
 
     /// A data load at `addr` during pipeline cycle `now`; returns stall

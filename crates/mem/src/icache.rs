@@ -10,6 +10,7 @@
 
 use crate::cam::{CamArray, ReplacementPolicy};
 use crate::{CacheGeometry, FetchStats};
+use wp_trace::{AccessKind, FetchEvent};
 
 /// Which fetch-energy scheme the instruction cache runs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -243,6 +244,40 @@ impl InstructionCache {
         self.last_line = Some(line);
         self.record_prev(addr);
         outcome
+    }
+
+    /// [`fetch`](InstructionCache::fetch) plus a fully-classified
+    /// telemetry event for the access.
+    ///
+    /// Identical cache behaviour and counter accounting to `fetch` —
+    /// the event is derived from the counter delta the fetch produced,
+    /// so the traced path cannot drift from the untraced one. The
+    /// event's `cycle` is left 0 for the simulator to stamp.
+    pub fn fetch_traced(&mut self, addr: u32, wp_page: bool) -> (FetchOutcome, FetchEvent) {
+        let before = self.stats;
+        let outcome = self.fetch(addr, wp_page);
+        let delta = self.stats.delta(&before);
+        let event = FetchEvent {
+            pc: addr,
+            cycle: 0,
+            kind: access_kind_of(&delta),
+            way: self.resolved_way(addr),
+            hit: outcome.hit,
+            tags: delta.tag_comparisons.min(u64::from(u16::MAX)) as u16,
+            fill: delta.line_fills > 0,
+            link_update: delta.link_updates > 0,
+            link_invalidation: delta.link_invalidations > 0,
+        };
+        (outcome, event)
+    }
+
+    /// The way `addr`'s line currently resides in, if resident. Pure
+    /// CAM lookup with no counter or replacement side effects; right
+    /// after a fetch of `addr` this is the way the access resolved to
+    /// (hits find the line, misses just filled it).
+    #[must_use]
+    pub fn resolved_way(&self, addr: u32) -> Option<u8> {
+        self.array.lookup(addr).map(|way| way.min(u32::from(u8::MAX)) as u8)
     }
 
     fn record_prev(&mut self, addr: u32) {
@@ -520,6 +555,25 @@ impl InstructionCache {
     }
 }
 
+/// Classifies one fetch from the counter delta it produced. Exactly
+/// one of the special counters can tick per fetch (same-line elisions
+/// and link hits short-circuit; a hint mispredict subsumes the full
+/// re-issue that follows it), so the order below is a priority, not a
+/// heuristic.
+fn access_kind_of(delta: &FetchStats) -> AccessKind {
+    if delta.same_line_elisions > 0 {
+        AccessKind::SameLine
+    } else if delta.link_hits > 0 {
+        AccessKind::LinkHit
+    } else if delta.hint_false_wp > 0 {
+        AccessKind::HintMispredict
+    } else if delta.wp_accesses > 0 {
+        AccessKind::Wp
+    } else {
+        AccessKind::Full
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,6 +585,46 @@ mod tests {
 
     fn baseline_cache() -> InstructionCache {
         InstructionCache::new(ICacheConfig::baseline(small_geom()))
+    }
+
+    #[test]
+    fn traced_fetch_matches_untraced_and_classifies() {
+        // Two caches, same stream: one traced, one not. Counters must
+        // stay identical and the events must classify each access.
+        let mut plain = InstructionCache::new(ICacheConfig::way_placement(small_geom()));
+        let mut traced = InstructionCache::new(ICacheConfig::way_placement(small_geom()));
+        let stream = [(0x1000u32, true), (0x1004, true), (0x1040, true), (0x1000, false)];
+        let mut kinds = Vec::new();
+        for &(addr, wp) in &stream {
+            let untraced = plain.fetch(addr, wp);
+            let (outcome, event) = traced.fetch_traced(addr, wp);
+            assert_eq!(outcome, untraced);
+            assert_eq!(event.pc, addr);
+            assert_eq!(event.hit, outcome.hit);
+            assert!(event.way.is_some(), "line resident after fetch");
+            kinds.push(event.kind);
+        }
+        assert_eq!(plain.stats(), traced.stats(), "tracing is observation-only");
+        // The cold fetch goes full-width (the way-hint starts
+        // "normal"); the next fetch elides (same line); a new line
+        // with the hint now set is a wp access; the final fetch hits a
+        // non-WP page with the hint still set: mispredict.
+        assert_eq!(
+            kinds,
+            vec![
+                AccessKind::Full,
+                AccessKind::SameLine,
+                AccessKind::Wp,
+                AccessKind::HintMispredict
+            ]
+        );
+        // The event's tag count carries the energy-relevant quantity:
+        // once the hint re-learns "wp", a wp access arms one tag.
+        let (_, warm) = traced.fetch_traced(0x1080, true);
+        assert_eq!(warm.kind, AccessKind::Full, "hint still says normal");
+        let (_, event) = traced.fetch_traced(0x10C0, true);
+        assert_eq!(event.kind, AccessKind::Wp);
+        assert_eq!(event.tags, 1, "wp access arms one tag");
     }
 
     #[test]

@@ -65,3 +65,6 @@ pub use hierarchy::{FetchTiming, MemoryConfig, MemorySystem};
 pub use icache::{FetchOutcome, FetchScheme, ICacheConfig, InstructionCache};
 pub use stats::{DCacheStats, FetchStats, TlbStats};
 pub use tlb::{Tlb, TlbConfig, TlbOutcome};
+// Telemetry vocabulary (re-exported so cache users need not name
+// `wp-trace` directly for the common case).
+pub use wp_trace::{AccessKind, FetchEvent};

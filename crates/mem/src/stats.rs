@@ -5,6 +5,8 @@
 //! pre-baked energies) lets the same simulation be re-priced under
 //! different technology assumptions.
 
+use wp_trace::FetchCounters;
+
 /// Instruction-fetch-side event counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct FetchStats {
@@ -77,6 +79,33 @@ impl FetchStats {
         }
     }
 
+    /// Counter deltas since `earlier`, an older snapshot of the same
+    /// monotone stream (interval sampling). Saturating, so a stale or
+    /// mismatched snapshot yields zeros rather than wrapping.
+    #[must_use]
+    pub fn delta(&self, earlier: &FetchStats) -> FetchStats {
+        FetchStats {
+            fetches: self.fetches.saturating_sub(earlier.fetches),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            tag_comparisons: self.tag_comparisons.saturating_sub(earlier.tag_comparisons),
+            matchline_precharges: self
+                .matchline_precharges
+                .saturating_sub(earlier.matchline_precharges),
+            data_reads: self.data_reads.saturating_sub(earlier.data_reads),
+            line_fills: self.line_fills.saturating_sub(earlier.line_fills),
+            same_line_elisions: self.same_line_elisions.saturating_sub(earlier.same_line_elisions),
+            wp_accesses: self.wp_accesses.saturating_sub(earlier.wp_accesses),
+            hint_false_wp: self.hint_false_wp.saturating_sub(earlier.hint_false_wp),
+            hint_false_normal: self.hint_false_normal.saturating_sub(earlier.hint_false_normal),
+            link_hits: self.link_hits.saturating_sub(earlier.link_hits),
+            link_updates: self.link_updates.saturating_sub(earlier.link_updates),
+            link_invalidations: self.link_invalidations.saturating_sub(earlier.link_invalidations),
+            penalty_cycles: self.penalty_cycles.saturating_sub(earlier.penalty_cycles),
+            miss_stall_cycles: self.miss_stall_cycles.saturating_sub(earlier.miss_stall_cycles),
+        }
+    }
+
     /// Accumulates another set of counters.
     pub fn merge(&mut self, other: &FetchStats) {
         self.fetches += other.fetches;
@@ -95,6 +124,55 @@ impl FetchStats {
         self.link_invalidations += other.link_invalidations;
         self.penalty_cycles += other.penalty_cycles;
         self.miss_stall_cycles += other.miss_stall_cycles;
+    }
+}
+
+/// `wp-trace`'s counter mirror is field-for-field identical; the
+/// conversions are lossless in both directions so interval deltas and
+/// per-chain roll-ups can be re-priced through the energy model.
+impl From<&FetchStats> for FetchCounters {
+    fn from(s: &FetchStats) -> FetchCounters {
+        FetchCounters {
+            fetches: s.fetches,
+            hits: s.hits,
+            misses: s.misses,
+            tag_comparisons: s.tag_comparisons,
+            matchline_precharges: s.matchline_precharges,
+            data_reads: s.data_reads,
+            line_fills: s.line_fills,
+            same_line_elisions: s.same_line_elisions,
+            wp_accesses: s.wp_accesses,
+            hint_false_wp: s.hint_false_wp,
+            hint_false_normal: s.hint_false_normal,
+            link_hits: s.link_hits,
+            link_updates: s.link_updates,
+            link_invalidations: s.link_invalidations,
+            penalty_cycles: s.penalty_cycles,
+            miss_stall_cycles: s.miss_stall_cycles,
+        }
+    }
+}
+
+impl From<&FetchCounters> for FetchStats {
+    fn from(c: &FetchCounters) -> FetchStats {
+        FetchStats {
+            fetches: c.fetches,
+            hits: c.hits,
+            misses: c.misses,
+            tag_comparisons: c.tag_comparisons,
+            matchline_precharges: c.matchline_precharges,
+            data_reads: c.data_reads,
+            line_fills: c.line_fills,
+            same_line_elisions: c.same_line_elisions,
+            wp_accesses: c.wp_accesses,
+            hint_false_wp: c.hint_false_wp,
+            hint_false_normal: c.hint_false_normal,
+            link_hits: c.link_hits,
+            link_updates: c.link_updates,
+            link_invalidations: c.link_invalidations,
+            penalty_cycles: c.penalty_cycles,
+            miss_stall_cycles: c.miss_stall_cycles,
+        }
     }
 }
 
@@ -198,6 +276,42 @@ mod tests {
         assert_eq!(a.fetches, 3);
         assert_eq!(a.tag_comparisons, 33);
         assert_eq!(a.link_hits, 2);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let earlier = FetchStats { fetches: 10, tag_comparisons: 320, ..FetchStats::new() };
+        let later = FetchStats { fetches: 15, tag_comparisons: 325, hits: 4, ..FetchStats::new() };
+        let delta = later.delta(&earlier);
+        assert_eq!(delta.fetches, 5);
+        assert_eq!(delta.tag_comparisons, 5);
+        assert_eq!(delta.hits, 4);
+        // A mismatched (newer) snapshot saturates to zero, never wraps.
+        assert_eq!(earlier.delta(&later).fetches, 0);
+    }
+
+    #[test]
+    fn trace_counter_conversions_round_trip() {
+        let stats = FetchStats {
+            fetches: 7,
+            hits: 6,
+            misses: 1,
+            tag_comparisons: 64,
+            matchline_precharges: 64,
+            data_reads: 7,
+            line_fills: 1,
+            same_line_elisions: 2,
+            wp_accesses: 3,
+            hint_false_wp: 1,
+            hint_false_normal: 1,
+            link_hits: 1,
+            link_updates: 1,
+            link_invalidations: 1,
+            penalty_cycles: 1,
+            miss_stall_cycles: 50,
+        };
+        let counters = FetchCounters::from(&stats);
+        assert_eq!(FetchStats::from(&counters), stats, "lossless both ways");
     }
 
     #[test]

@@ -69,4 +69,8 @@ mod simulator;
 
 pub use exec::{Control, ExecError, InsnClass, Step};
 pub use machine::{Machine, MemFault, MEMORY_BYTES};
-pub use simulator::{checksum_of, simulate, syscall, RunResult, SimConfig, SimError};
+pub use simulator::{
+    checksum_of, simulate, simulate_traced, syscall, RunResult, SimConfig, SimError,
+};
+// Sink vocabulary for `simulate_traced` callers.
+pub use wp_trace::{NullSink, TraceSink};

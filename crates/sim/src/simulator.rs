@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use wp_isa::{Image, Insn, Reg};
 use wp_mem::{DCacheStats, FaultStats, FetchStats, MemoryConfig, MemorySystem, TlbStats};
+use wp_trace::{FetchCounters, IntervalSample, NullSink, TraceSink};
 
 use crate::exec::{step, Control, ExecError, InsnClass};
 use crate::machine::Machine;
@@ -241,6 +242,31 @@ impl Btb {
 /// # }
 /// ```
 pub fn simulate(image: &Image, config: &SimConfig) -> Result<RunResult, SimError> {
+    // `NullSink::enabled()` is a compile-time `false`: the traced
+    // branches fold away and this path costs nothing over a dedicated
+    // untraced loop.
+    simulate_traced(image, config, &mut NullSink)
+}
+
+/// Runs `image` to completion under `config`, streaming telemetry into
+/// `sink`.
+///
+/// Per fetch, the sink receives a [`wp_trace::FetchEvent`] classifying
+/// the access (way-placement, full search, same-line, link hit, hint
+/// mispredict) stamped with the fetch-time cycle count. When
+/// [`TraceSink::interval_cycles`] is `Some(n)`, the sink also receives
+/// delta [`IntervalSample`]s roughly every `n` cycles, plus one final
+/// partial interval at exit. The sink never changes architectural
+/// execution, timing or the counters in the returned [`RunResult`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] exactly as [`simulate`] does.
+pub fn simulate_traced<S: TraceSink>(
+    image: &Image,
+    config: &SimConfig,
+    sink: &mut S,
+) -> Result<RunResult, SimError> {
     let mut machine = Machine::boot(image);
     let mut mem = MemorySystem::new(config.mem);
     let mut btb = Btb::new(config.btb_entries);
@@ -261,6 +287,11 @@ pub fn simulate(image: &Image, config: &SimConfig) -> Result<RunResult, SimError
     // Wall-clock watchdog, sampled every 16 K instructions so the
     // `Instant` syscall stays off the hot path.
     let watchdog = config.time_limit.map(|limit| (Instant::now(), limit));
+    // Interval sampling: re-queried after each sample, because adaptive
+    // sinks stretch their period as the series compacts.
+    let mut sample_period = sink.interval_cycles();
+    let mut sample_start: u64 = 0;
+    let mut sample_snapshot = FetchStats::new();
 
     loop {
         if instructions >= config.max_instructions {
@@ -282,8 +313,29 @@ pub fn simulate(image: &Image, config: &SimConfig) -> Result<RunResult, SimError
 
         // Fetch: I-TLB + I-cache (stalls include miss fills and
         // way-hint penalties).
-        let fetch = mem.fetch(pc);
+        let fetch = if sink.enabled() {
+            let (timing, mut event) = mem.fetch_traced(pc);
+            event.cycle = cycles;
+            sink.record_fetch(&event);
+            timing
+        } else {
+            mem.fetch(pc)
+        };
         cycles += u64::from(fetch.cycles);
+
+        if let Some(period) = sample_period {
+            if cycles - sample_start >= period {
+                let now = *mem.fetch_stats();
+                sink.record_interval(IntervalSample {
+                    start_cycle: sample_start,
+                    end_cycle: cycles,
+                    counters: FetchCounters::from(&now.delta(&sample_snapshot)),
+                });
+                sample_start = cycles;
+                sample_snapshot = now;
+                sample_period = sink.interval_cycles();
+            }
+        }
 
         if let Some(counts) = insn_counts.as_mut() {
             counts[index as usize] += 1;
@@ -349,6 +401,19 @@ pub fn simulate(image: &Image, config: &SimConfig) -> Result<RunResult, SimError
                 machine.pc = pc.wrapping_add(4);
                 match number {
                     syscall::EXIT => {
+                        if sample_period.is_some() {
+                            // Flush the final partial interval so the
+                            // series sums to the aggregate counters.
+                            let now = *mem.fetch_stats();
+                            let tail = now.delta(&sample_snapshot);
+                            if tail.fetches > 0 {
+                                sink.record_interval(IntervalSample {
+                                    start_cycle: sample_start,
+                                    end_cycle: cycles,
+                                    counters: FetchCounters::from(&tail),
+                                });
+                            }
+                        }
                         return Ok(RunResult {
                             exit_code: arg,
                             checksum,
@@ -696,6 +761,38 @@ mod tests {
         let result = simulate(&squashed, &config()).unwrap();
         assert_eq!(result.fetch.fetches, result.instructions);
         assert_eq!(result.exit_code, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reconciles() {
+        let image = link(
+            "_start:
+                mov r4, #500
+                mov r0, #0
+            .Ll: add r0, r0, r4
+                subs r4, r4, #1
+                bne .Ll
+                swi #2
+                mov r0, #0
+                swi #0",
+        );
+        let cfg = config();
+        let plain = simulate(&image, &cfg).expect("untraced");
+        let mut recorder =
+            wp_trace::TraceRecorder::new().with_capacity(8192).with_interval_cycles(64);
+        let traced = simulate_traced(&image, &cfg, &mut recorder).expect("traced");
+        // Telemetry is an observer: identical architecture and timing.
+        assert_eq!(traced.checksum, plain.checksum);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert_eq!(traced.fetch, plain.fetch);
+        // One event per fetch, and the interval series sums back to the
+        // aggregate fetch counter.
+        assert_eq!(recorder.events().len() as u64, plain.fetch.fetches);
+        assert_eq!(recorder.dropped(), 0);
+        let sampled: u64 = recorder.intervals().iter().map(|s| s.counters.fetches).sum();
+        assert_eq!(sampled, plain.fetch.fetches, "intervals cover the whole run");
+        let last = recorder.intervals().last().expect("samples exist");
+        assert_eq!(last.end_cycle, plain.cycles, "final flush reaches exit");
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Per-chain attribution: folding fetch events against a [`LayoutMap`]
+//! into per-chain counter roll-ups.
+//!
+//! Attribution is accumulated online from *every* fetch event the
+//! simulator emits — independently of the bounded ring buffer, which
+//! may drop raw events — so the per-chain totals always reconcile
+//! exactly with the aggregate hardware counters.
+
+use crate::event::{AccessKind, FetchCounters, FetchEvent};
+use crate::layout::LayoutMap;
+
+/// The per-fetch micro-events accumulated for one chain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChainCounters {
+    /// Fetches landing in the chain.
+    pub fetches: u64,
+    /// Of those, hits.
+    pub hits: u64,
+    /// Tag comparisons (= match-line precharges) armed by the chain's
+    /// fetches.
+    pub tag_comparisons: u64,
+    /// Line fills the chain's fetches triggered.
+    pub line_fills: u64,
+    /// Same-line elisions.
+    pub same_line_elisions: u64,
+    /// Way-placement single-tag accesses.
+    pub wp_accesses: u64,
+    /// Way-memoization link hits.
+    pub link_hits: u64,
+    /// Way-hint (or way-prediction) mispredicts.
+    pub hint_mispredicts: u64,
+    /// Way-memoization link writebacks.
+    pub link_updates: u64,
+    /// Way-memoization link-invalidation sweeps.
+    pub link_invalidations: u64,
+}
+
+impl ChainCounters {
+    fn absorb(&mut self, event: &FetchEvent) {
+        self.fetches += 1;
+        self.hits += u64::from(event.hit);
+        self.tag_comparisons += u64::from(event.tags);
+        self.line_fills += u64::from(event.fill);
+        self.link_updates += u64::from(event.link_update);
+        self.link_invalidations += u64::from(event.link_invalidation);
+        match event.kind {
+            AccessKind::Wp => self.wp_accesses += 1,
+            AccessKind::SameLine => self.same_line_elisions += 1,
+            AccessKind::LinkHit => self.link_hits += 1,
+            AccessKind::HintMispredict => self.hint_mispredicts += 1,
+            AccessKind::Full => {}
+        }
+    }
+
+    /// Accumulates another roll-up.
+    pub fn merge(&mut self, other: &ChainCounters) {
+        self.fetches += other.fetches;
+        self.hits += other.hits;
+        self.tag_comparisons += other.tag_comparisons;
+        self.line_fills += other.line_fills;
+        self.same_line_elisions += other.same_line_elisions;
+        self.wp_accesses += other.wp_accesses;
+        self.link_hits += other.link_hits;
+        self.hint_mispredicts += other.hint_mispredicts;
+        self.link_updates += other.link_updates;
+        self.link_invalidations += other.link_invalidations;
+    }
+
+    /// Expands the roll-up into a full [`FetchCounters`] block so the
+    /// energy model can price the chain exactly like a whole run.
+    ///
+    /// Every fetch performs exactly one data read, and every armed tag
+    /// comparison precharges one match line, so `data_reads` and
+    /// `matchline_precharges` are derived. The cycle counters
+    /// (`penalty_cycles`, `miss_stall_cycles`) and `hint_false_normal`
+    /// are not observable per fetch and stay zero; the energy model
+    /// prices none of them, so per-chain energies still sum to the
+    /// aggregate.
+    #[must_use]
+    pub fn to_counters(&self) -> FetchCounters {
+        FetchCounters {
+            fetches: self.fetches,
+            hits: self.hits,
+            misses: self.fetches - self.hits,
+            tag_comparisons: self.tag_comparisons,
+            matchline_precharges: self.tag_comparisons,
+            data_reads: self.fetches,
+            line_fills: self.line_fills,
+            same_line_elisions: self.same_line_elisions,
+            wp_accesses: self.wp_accesses,
+            hint_false_wp: self.hint_mispredicts,
+            link_hits: self.link_hits,
+            link_updates: self.link_updates,
+            link_invalidations: self.link_invalidations,
+            ..FetchCounters::new()
+        }
+    }
+}
+
+/// Online per-chain attribution over one run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChainAttribution {
+    map: LayoutMap,
+    rows: Vec<ChainCounters>,
+    unattributed: ChainCounters,
+}
+
+impl ChainAttribution {
+    /// An empty attribution over `map`.
+    #[must_use]
+    pub fn new(map: LayoutMap) -> ChainAttribution {
+        let rows = vec![ChainCounters::default(); map.chains().len()];
+        ChainAttribution { map, rows, unattributed: ChainCounters::default() }
+    }
+
+    /// Folds one fetch event in.
+    pub fn record(&mut self, event: &FetchEvent) {
+        match self.map.chain_of_pc(event.pc) {
+            Some(chain) => self.rows[chain as usize].absorb(event),
+            None => self.unattributed.absorb(event),
+        }
+    }
+
+    /// The layout map this attribution joins against.
+    #[must_use]
+    pub fn map(&self) -> &LayoutMap {
+        &self.map
+    }
+
+    /// Per-chain roll-ups, indexed by chain id.
+    #[must_use]
+    pub fn rows(&self) -> &[ChainCounters] {
+        &self.rows
+    }
+
+    /// Fetches whose pc fell outside the layout map (zero on any
+    /// well-formed run: every fetched pc lies in the text section).
+    #[must_use]
+    pub fn unattributed(&self) -> &ChainCounters {
+        &self.unattributed
+    }
+
+    /// The sum of every row plus the unattributed bucket — must equal
+    /// the run's aggregate counters.
+    #[must_use]
+    pub fn total(&self) -> ChainCounters {
+        let mut total = self.unattributed;
+        for row in &self.rows {
+            total.merge(row);
+        }
+        total
+    }
+
+    /// Chain ids ranked hottest-first by attributed fetches (ties
+    /// broken by chain id, so the ranking is deterministic).
+    #[must_use]
+    pub fn ranked(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.rows.len() as u32).collect();
+        ids.sort_by_key(|&id| (std::cmp::Reverse(self.rows[id as usize].fetches), id));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChainInfo;
+
+    fn event(pc: u32, kind: AccessKind, tags: u16) -> FetchEvent {
+        FetchEvent {
+            pc,
+            cycle: 0,
+            kind,
+            way: Some(0),
+            hit: true,
+            tags,
+            fill: false,
+            link_update: false,
+            link_invalidation: false,
+        }
+    }
+
+    fn map() -> LayoutMap {
+        LayoutMap::new(
+            0x8000,
+            vec![0, 1, 1],
+            vec![0, 1, 1],
+            vec![
+                ChainInfo { weight: 9, first_pc: 0x8000, insns: 1, blocks: 1, label: "a".into() },
+                ChainInfo { weight: 1, first_pc: 0x8004, insns: 2, blocks: 1, label: "b".into() },
+            ],
+        )
+    }
+
+    #[test]
+    fn records_rank_and_reconcile() {
+        let mut attr = ChainAttribution::new(map());
+        attr.record(&event(0x8000, AccessKind::Wp, 1));
+        attr.record(&event(0x8004, AccessKind::Full, 32));
+        attr.record(&event(0x8004, AccessKind::SameLine, 0));
+        attr.record(&event(0x9999, AccessKind::Full, 32)); // out of map
+        assert_eq!(attr.rows()[0].fetches, 1);
+        assert_eq!(attr.rows()[0].wp_accesses, 1);
+        assert_eq!(attr.rows()[1].fetches, 2);
+        assert_eq!(attr.rows()[1].same_line_elisions, 1);
+        assert_eq!(attr.unattributed().fetches, 1);
+        let total = attr.total();
+        assert_eq!(total.fetches, 4);
+        assert_eq!(total.tag_comparisons, 65);
+        assert_eq!(attr.ranked(), vec![1, 0]);
+    }
+
+    #[test]
+    fn to_counters_derives_duals() {
+        let mut row = ChainCounters::default();
+        row.absorb(&event(0x8000, AccessKind::Full, 32));
+        let counters = row.to_counters();
+        assert_eq!(counters.data_reads, 1);
+        assert_eq!(counters.matchline_precharges, 32);
+        assert_eq!(counters.misses, 0);
+    }
+}

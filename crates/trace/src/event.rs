@@ -1,0 +1,200 @@
+//! The telemetry vocabulary: fetch events, counter snapshots and
+//! interval samples.
+//!
+//! `wp-trace` sits below every other crate in the workspace, so the
+//! types here are deliberately self-contained mirrors of the hardware
+//! counters: `wp-mem` converts its `FetchStats` into [`FetchCounters`]
+//! and classifies each fetch into a [`FetchEvent`]; nothing in this
+//! crate depends on the cache models themselves.
+
+/// How a single instruction fetch was resolved by the I-cache front
+/// end (the paper's §4 access taxonomy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A way-placement (or MRU way-prediction) access: a single tag
+    /// probe on the placement way.
+    Wp,
+    /// A full-width CAM search (the baseline access, `ways` tag
+    /// comparisons).
+    Full,
+    /// Satisfied with zero tag checks because it hit the same line as
+    /// the previous fetch (§4.2 same-line elision).
+    SameLine,
+    /// Way-memoization: followed a valid intra-line link, zero tag
+    /// comparisons.
+    LinkHit,
+    /// The global way-hint mispredicted "way-placement" for a normal
+    /// page (or the MRU prediction missed): the speculative probe was
+    /// thrown away and the access re-issued full-width, costing a
+    /// cycle (§4.1).
+    HintMispredict,
+}
+
+impl AccessKind {
+    /// Every kind, in a stable presentation order.
+    pub const ALL: [AccessKind; 5] = [
+        AccessKind::Wp,
+        AccessKind::Full,
+        AccessKind::SameLine,
+        AccessKind::LinkHit,
+        AccessKind::HintMispredict,
+    ];
+
+    /// Short stable label used in JSONL output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessKind::Wp => "wp",
+            AccessKind::Full => "full",
+            AccessKind::SameLine => "same-line",
+            AccessKind::LinkHit => "link-hit",
+            AccessKind::HintMispredict => "hint-mispredict",
+        }
+    }
+}
+
+/// One instruction fetch, fully resolved.
+///
+/// Emitted by `wp-mem`'s traced fetch path and stamped with the guest
+/// cycle by the simulator. The per-fetch micro-event flags carry
+/// exactly the quantities the energy model prices, so any roll-up of
+/// events (per chain, per interval) reconciles with the aggregate
+/// counters by construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FetchEvent {
+    /// The fetched program counter.
+    pub pc: u32,
+    /// Guest cycle at which the fetch issued.
+    pub cycle: u64,
+    /// How the access resolved.
+    pub kind: AccessKind,
+    /// The way the line was found in (or filled into), when resident.
+    pub way: Option<u8>,
+    /// Whether the fetch hit.
+    pub hit: bool,
+    /// Tag comparisons this fetch armed (equals the match-line
+    /// precharges; the baseline arms `ways`, way-placement arms 1,
+    /// link hits and same-line elisions arm 0).
+    pub tags: u16,
+    /// Whether the fetch triggered a line fill.
+    pub fill: bool,
+    /// Way-memoization: whether a link field was written back.
+    pub link_update: bool,
+    /// Way-memoization: whether the fill swept links invalid.
+    pub link_invalidation: bool,
+}
+
+/// A self-contained mirror of `wp-mem`'s `FetchStats` counters.
+///
+/// Field-for-field identical to the hardware counter block; `wp-mem`
+/// provides lossless conversions in both directions so interval deltas
+/// can be re-priced through the energy model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FetchCounters {
+    /// Total instruction fetch requests.
+    pub fetches: u64,
+    /// Fetches that hit in the I-cache.
+    pub hits: u64,
+    /// Fetches that missed and triggered a line fill.
+    pub misses: u64,
+    /// Individual CAM tag comparisons performed.
+    pub tag_comparisons: u64,
+    /// CAM match-line precharge events.
+    pub matchline_precharges: u64,
+    /// Data-array word reads.
+    pub data_reads: u64,
+    /// Whole-line fills written into the data array.
+    pub line_fills: u64,
+    /// Same-line elisions (zero-tag fetches).
+    pub same_line_elisions: u64,
+    /// Way-placement single-tag accesses.
+    pub wp_accesses: u64,
+    /// Way-hint mispredicted "way-placement" (penalised re-issues).
+    pub hint_false_wp: u64,
+    /// Way-hint mispredicted "normal" (pure missed savings).
+    pub hint_false_normal: u64,
+    /// Way-memoization link hits.
+    pub link_hits: u64,
+    /// Way-memoization link writebacks.
+    pub link_updates: u64,
+    /// Way-memoization link-invalidation sweeps.
+    pub link_invalidations: u64,
+    /// Extra fetch cycles spent on hint mispredictions.
+    pub penalty_cycles: u64,
+    /// Cycles stalled waiting for I-cache miss fills.
+    pub miss_stall_cycles: u64,
+}
+
+impl FetchCounters {
+    /// Zeroed counters.
+    #[must_use]
+    pub fn new() -> FetchCounters {
+        FetchCounters::default()
+    }
+
+    /// Accumulates another snapshot.
+    pub fn merge(&mut self, other: &FetchCounters) {
+        self.fetches += other.fetches;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.tag_comparisons += other.tag_comparisons;
+        self.matchline_precharges += other.matchline_precharges;
+        self.data_reads += other.data_reads;
+        self.line_fills += other.line_fills;
+        self.same_line_elisions += other.same_line_elisions;
+        self.wp_accesses += other.wp_accesses;
+        self.hint_false_wp += other.hint_false_wp;
+        self.hint_false_normal += other.hint_false_normal;
+        self.link_hits += other.link_hits;
+        self.link_updates += other.link_updates;
+        self.link_invalidations += other.link_invalidations;
+        self.penalty_cycles += other.penalty_cycles;
+        self.miss_stall_cycles += other.miss_stall_cycles;
+    }
+}
+
+/// One interval sample: the fetch counters accumulated over
+/// `[start_cycle, end_cycle)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IntervalSample {
+    /// First guest cycle covered by the sample.
+    pub start_cycle: u64,
+    /// One past the last guest cycle covered.
+    pub end_cycle: u64,
+    /// Counter deltas over the interval.
+    pub counters: FetchCounters,
+}
+
+impl IntervalSample {
+    /// Merges a later, adjacent sample into this one (interval-series
+    /// compaction).
+    pub fn absorb(&mut self, later: &IntervalSample) {
+        self.end_cycle = later.end_cycle;
+        self.counters.merge(&later.counters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = AccessKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), AccessKind::ALL.len());
+    }
+
+    #[test]
+    fn merge_and_absorb_accumulate() {
+        let a = FetchCounters { fetches: 3, tag_comparisons: 96, ..FetchCounters::new() };
+        let b = FetchCounters { fetches: 2, link_hits: 1, ..FetchCounters::new() };
+        let mut sample = IntervalSample { start_cycle: 0, end_cycle: 10, counters: a };
+        sample.absorb(&IntervalSample { start_cycle: 10, end_cycle: 25, counters: b });
+        assert_eq!(sample.end_cycle, 25);
+        assert_eq!(sample.counters.fetches, 5);
+        assert_eq!(sample.counters.tag_comparisons, 96);
+        assert_eq!(sample.counters.link_hits, 1);
+    }
+}

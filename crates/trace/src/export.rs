@@ -1,0 +1,255 @@
+//! Trace serialisation: deterministic JSONL and a Chrome
+//! `trace_event`-compatible file.
+//!
+//! The JSONL stream contains only guest-deterministic data (events,
+//! intervals, per-chain roll-ups): two runs of the same binary under
+//! the same configuration produce byte-identical output, a property
+//! `crates/trace/tests/determinism.rs` pins. Host wall-clock spans are
+//! excluded from it and only appear in the Chrome export.
+
+use crate::attr::{ChainAttribution, ChainCounters};
+use crate::event::{FetchEvent, IntervalSample};
+use crate::json::Json;
+use crate::recorder::TraceRecorder;
+use crate::span::SpanEvent;
+
+fn counters_json(sample: &IntervalSample) -> Vec<(&'static str, Json)> {
+    let c = &sample.counters;
+    vec![
+        ("start", Json::Uint(sample.start_cycle)),
+        ("end", Json::Uint(sample.end_cycle)),
+        ("fetches", Json::Uint(c.fetches)),
+        ("hits", Json::Uint(c.hits)),
+        ("misses", Json::Uint(c.misses)),
+        ("tag_comparisons", Json::Uint(c.tag_comparisons)),
+        ("line_fills", Json::Uint(c.line_fills)),
+        ("same_line_elisions", Json::Uint(c.same_line_elisions)),
+        ("wp_accesses", Json::Uint(c.wp_accesses)),
+        ("hint_false_wp", Json::Uint(c.hint_false_wp)),
+        ("link_hits", Json::Uint(c.link_hits)),
+        ("penalty_cycles", Json::Uint(c.penalty_cycles)),
+        ("miss_stall_cycles", Json::Uint(c.miss_stall_cycles)),
+    ]
+}
+
+fn chain_json(id: u32, attribution: &ChainAttribution, row: &ChainCounters) -> Json {
+    let info = &attribution.map().chains()[id as usize];
+    Json::obj([
+        ("type", Json::from("chain")),
+        ("chain", Json::from(id)),
+        ("label", Json::from(info.label.as_str())),
+        ("weight", Json::Uint(info.weight)),
+        ("first_pc", Json::Uint(u64::from(info.first_pc))),
+        ("insns", Json::from(info.insns)),
+        ("blocks", Json::from(info.blocks)),
+        ("fetches", Json::Uint(row.fetches)),
+        ("hits", Json::Uint(row.hits)),
+        ("tag_comparisons", Json::Uint(row.tag_comparisons)),
+        ("line_fills", Json::Uint(row.line_fills)),
+        ("same_line_elisions", Json::Uint(row.same_line_elisions)),
+        ("wp_accesses", Json::Uint(row.wp_accesses)),
+        ("link_hits", Json::Uint(row.link_hits)),
+        ("hint_mispredicts", Json::Uint(row.hint_mispredicts)),
+    ])
+}
+
+fn fetch_json(event: &FetchEvent) -> Json {
+    let mut members = vec![
+        ("type", Json::from("fetch")),
+        ("pc", Json::Uint(u64::from(event.pc))),
+        ("cycle", Json::Uint(event.cycle)),
+        ("kind", Json::from(event.kind.label())),
+        ("hit", Json::from(event.hit)),
+        ("tags", Json::Uint(u64::from(event.tags))),
+    ];
+    if let Some(way) = event.way {
+        members.push(("way", Json::Uint(u64::from(way))));
+    }
+    if event.fill {
+        members.push(("fill", Json::from(true)));
+    }
+    if event.link_update {
+        members.push(("link_update", Json::from(true)));
+    }
+    if event.link_invalidation {
+        members.push(("link_invalidation", Json::from(true)));
+    }
+    Json::obj(members)
+}
+
+/// Renders a recorder's deterministic contents as JSONL: one `meta`
+/// header line, then `interval`, `chain` (hottest-first) and `fetch`
+/// lines, each a compact single-line JSON object.
+#[must_use]
+pub fn to_jsonl(recorder: &TraceRecorder) -> String {
+    let mut out = String::new();
+    let meta = Json::obj([
+        ("type", Json::from("meta")),
+        ("events_recorded", Json::Uint(recorder.recorded())),
+        ("events_dropped", Json::Uint(recorder.dropped())),
+        ("interval_cycles", Json::Uint(recorder.current_interval_cycles())),
+        ("intervals", Json::from(recorder.intervals().len())),
+        ("chains", Json::from(recorder.attribution().map_or(0, |a| a.rows().len()))),
+    ]);
+    out.push_str(&meta.to_compact());
+    out.push('\n');
+    for sample in recorder.intervals() {
+        let mut members = vec![("type", Json::from("interval"))];
+        members.extend(counters_json(sample));
+        out.push_str(&Json::obj(members).to_compact());
+        out.push('\n');
+    }
+    if let Some(attribution) = recorder.attribution() {
+        for id in attribution.ranked() {
+            out.push_str(
+                &chain_json(id, attribution, &attribution.rows()[id as usize]).to_compact(),
+            );
+            out.push('\n');
+        }
+        let unattributed = attribution.unattributed();
+        if unattributed.fetches > 0 {
+            let row = Json::obj([
+                ("type", Json::from("unattributed")),
+                ("fetches", Json::Uint(unattributed.fetches)),
+                ("tag_comparisons", Json::Uint(unattributed.tag_comparisons)),
+            ]);
+            out.push_str(&row.to_compact());
+            out.push('\n');
+        }
+    }
+    for event in recorder.events() {
+        out.push_str(&fetch_json(&event).to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+fn span_json(span: &SpanEvent, pid: u64) -> Json {
+    let args = Json::obj(
+        span.args
+            .iter()
+            .map(|(k, v)| (k.as_str(), Json::from(v.as_str())))
+            .collect::<Vec<_>>(),
+    );
+    Json::obj([
+        ("name", Json::from(span.name.as_str())),
+        ("cat", Json::from(span.category)),
+        ("ph", Json::from(if span.duration_us == 0 { "i" } else { "X" })),
+        ("ts", Json::Uint(span.start_us)),
+        ("dur", Json::Uint(span.duration_us)),
+        ("pid", Json::Uint(pid)),
+        ("tid", Json::Uint(1)),
+        ("args", args),
+    ])
+}
+
+fn process_name(pid: u64, name: &str) -> Json {
+    Json::obj([
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::Uint(pid)),
+        ("args", Json::obj([("name", Json::from(name))])),
+    ])
+}
+
+/// Builds a Chrome `trace_event` JSON document (the object form, with
+/// a `traceEvents` array) from host spans plus any number of named
+/// guest counter tracks.
+///
+/// Spans land in pid 1 with wall-clock microsecond timestamps; each
+/// counter track gets its own pid (2, 3, ...) whose "microseconds" are
+/// guest cycles — the two time bases are kept in separate processes so
+/// `chrome://tracing` / Perfetto renders them as distinct lanes.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanEvent], tracks: &[(String, Vec<IntervalSample>)]) -> Json {
+    let mut events = Vec::new();
+    events.push(process_name(1, "harness (wall-clock us)"));
+    for span in spans {
+        events.push(span_json(span, 1));
+    }
+    for (index, (name, samples)) in tracks.iter().enumerate() {
+        let pid = index as u64 + 2;
+        events.push(process_name(pid, &format!("guest {name} (cycles)")));
+        for sample in samples {
+            let c = &sample.counters;
+            events.push(Json::obj([
+                ("name", Json::from("fetch")),
+                ("ph", Json::from("C")),
+                ("ts", Json::Uint(sample.start_cycle)),
+                ("pid", Json::Uint(pid)),
+                (
+                    "args",
+                    Json::obj([
+                        ("fetches", Json::Uint(c.fetches)),
+                        ("misses", Json::Uint(c.misses)),
+                        ("tag_comparisons", Json::Uint(c.tag_comparisons)),
+                        ("hint_false_wp", Json::Uint(c.hint_false_wp)),
+                    ]),
+                ),
+            ]));
+        }
+    }
+    Json::obj([("traceEvents", Json::Arr(events)), ("displayTimeUnit", Json::from("ms"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, FetchCounters};
+    use crate::sink::TraceSink;
+
+    fn sample(start: u64) -> IntervalSample {
+        IntervalSample {
+            start_cycle: start,
+            end_cycle: start + 100,
+            counters: FetchCounters { fetches: 7, hits: 7, ..FetchCounters::new() },
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let mut recorder = TraceRecorder::new().with_capacity(8);
+        recorder.record_fetch(&FetchEvent {
+            pc: 0x8000,
+            cycle: 3,
+            kind: AccessKind::Wp,
+            way: Some(2),
+            hit: true,
+            tags: 1,
+            fill: false,
+            link_update: false,
+            link_invalidation: false,
+        });
+        recorder.record_interval(sample(0));
+        let jsonl = to_jsonl(&recorder);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3, "meta + interval + fetch");
+        for line in &lines {
+            let parsed = Json::parse(line).expect("line parses");
+            assert!(parsed.get("type").is_some(), "{line}");
+        }
+        assert_eq!(Json::parse(lines[2]).unwrap().get("kind").and_then(Json::as_str), Some("wp"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let spans = vec![SpanEvent {
+            name: "measure:crc".into(),
+            category: "measure",
+            start_us: 5,
+            duration_us: 10,
+            args: vec![("scheme".into(), "way-placement".into())],
+        }];
+        let tracks = vec![("crc/way-placement".to_string(), vec![sample(0), sample(100)])];
+        let trace = chrome_trace(&spans, &tracks);
+        let events = trace.get("traceEvents").and_then(Json::as_array).expect("array");
+        // 2 process_name metadata + 1 span + 2 counter events.
+        assert_eq!(events.len(), 5);
+        let span = events.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("X"));
+        assert_eq!(span.and_then(|s| s.get("dur")).and_then(Json::as_u64), Some(10));
+        let counters = events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"));
+        assert_eq!(counters.count(), 2);
+        // Round-trips through the parser.
+        assert!(Json::parse(&trace.to_pretty()).is_ok());
+    }
+}

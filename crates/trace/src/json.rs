@@ -116,6 +116,15 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is [`Json::Bool`].
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The elements, if this is [`Json::Arr`].
     #[must_use]
     pub fn as_array(&self) -> Option<&[Json]> {

@@ -1,0 +1,143 @@
+//! The linker-exported layout map: pc → chain / basic block.
+//!
+//! `wp-linker` builds a [`LayoutMap`] from a `LinkOutput`; the
+//! recorder joins fetch pcs against it to roll energy and
+//! tag-comparison counts up per chain — the unit the way-placement
+//! pass sorts, so a hottest-first ranking directly validates the
+//! placement decision.
+
+/// Per-chain metadata carried alongside the instruction index.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChainInfo {
+    /// Profile weight the layout pass sorted by (total dynamic
+    /// instruction count of the chain's blocks in the training run).
+    pub weight: u64,
+    /// Final byte address of the chain's first instruction.
+    pub first_pc: u32,
+    /// Instructions in the chain.
+    pub insns: u32,
+    /// Basic blocks in the chain.
+    pub blocks: u32,
+    /// A human label: the first symbol attached to any of the chain's
+    /// blocks (empty when anonymous).
+    pub label: String,
+}
+
+/// An immutable pc-range → chain/block index over one linked image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayoutMap {
+    text_base: u32,
+    /// Per final instruction index, the owning chain id.
+    chain_of_insn: Vec<u32>,
+    /// Per final instruction index, the natural block id.
+    block_of_insn: Vec<u32>,
+    chains: Vec<ChainInfo>,
+}
+
+impl LayoutMap {
+    /// Builds a map from flat per-instruction tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables disagree in length or a chain id is
+    /// out of range — both indicate a linker bug, not bad input.
+    #[must_use]
+    pub fn new(
+        text_base: u32,
+        chain_of_insn: Vec<u32>,
+        block_of_insn: Vec<u32>,
+        chains: Vec<ChainInfo>,
+    ) -> LayoutMap {
+        assert_eq!(chain_of_insn.len(), block_of_insn.len(), "parallel tables");
+        assert!(chain_of_insn.iter().all(|&c| (c as usize) < chains.len()), "chain ids in range");
+        LayoutMap { text_base, chain_of_insn, block_of_insn, chains }
+    }
+
+    /// First byte of the text section.
+    #[must_use]
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Instructions covered by the map.
+    #[must_use]
+    pub fn insns(&self) -> usize {
+        self.chain_of_insn.len()
+    }
+
+    /// The chains, indexed by chain id (layout-pass order).
+    #[must_use]
+    pub fn chains(&self) -> &[ChainInfo] {
+        &self.chains
+    }
+
+    /// The instruction index of a text pc, when in range and aligned.
+    fn index_of(&self, pc: u32) -> Option<usize> {
+        let offset = pc.checked_sub(self.text_base)?;
+        if offset % 4 != 0 {
+            return None;
+        }
+        let index = (offset / 4) as usize;
+        (index < self.chain_of_insn.len()).then_some(index)
+    }
+
+    /// The chain id owning `pc`, when `pc` lies in the text section.
+    #[must_use]
+    pub fn chain_of_pc(&self, pc: u32) -> Option<u32> {
+        self.index_of(pc).map(|i| self.chain_of_insn[i])
+    }
+
+    /// The natural block id owning `pc`.
+    #[must_use]
+    pub fn block_of_pc(&self, pc: u32) -> Option<u32> {
+        self.index_of(pc).map(|i| self.block_of_insn[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_chain_map() -> LayoutMap {
+        LayoutMap::new(
+            0x8000,
+            vec![0, 0, 1, 1, 1],
+            vec![2, 2, 0, 0, 1],
+            vec![
+                ChainInfo {
+                    weight: 50,
+                    first_pc: 0x8000,
+                    insns: 2,
+                    blocks: 1,
+                    label: "hot".into(),
+                },
+                ChainInfo {
+                    weight: 1,
+                    first_pc: 0x8008,
+                    insns: 3,
+                    blocks: 2,
+                    label: String::new(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn lookups_resolve_and_bound_check() {
+        let map = two_chain_map();
+        assert_eq!(map.chain_of_pc(0x8000), Some(0));
+        assert_eq!(map.chain_of_pc(0x8004), Some(0));
+        assert_eq!(map.chain_of_pc(0x8008), Some(1));
+        assert_eq!(map.block_of_pc(0x8010), Some(1));
+        assert_eq!(map.chain_of_pc(0x7FFC), None, "below text");
+        assert_eq!(map.chain_of_pc(0x8014), None, "past text");
+        assert_eq!(map.chain_of_pc(0x8002), None, "misaligned");
+        assert_eq!(map.insns(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel tables")]
+    fn mismatched_tables_panic() {
+        let _ = LayoutMap::new(0x8000, vec![0], vec![0, 0], vec![]);
+    }
+}

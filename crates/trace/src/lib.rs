@@ -1,0 +1,81 @@
+//! # wp-trace — deterministic simulation telemetry
+//!
+//! The observability layer of the *compiler way-placement*
+//! reproduction (Jones et al., DATE 2008). Everything the stack knows
+//! about *where* fetch energy goes flows through here:
+//!
+//! * [`TraceSink`] — the event-sink trait the simulator is generic
+//!   over; the default [`NullSink`] monomorphises to nothing, so the
+//!   untraced path pays no cost;
+//! * [`FetchEvent`] / [`AccessKind`] — one record per instruction
+//!   fetch: pc, resolved way and how the access was satisfied (way-
+//!   placement probe, full CAM search, same-line elision, memoization
+//!   link hit, hint mispredict);
+//! * [`IntervalSample`] / [`FetchCounters`] — periodic delta-counter
+//!   snapshots exposing phase behaviour (warm-up vs steady state,
+//!   hint-misprediction bursts), with a bounded merge-and-double
+//!   series so runs of any length stay in memory;
+//! * [`LayoutMap`] / [`ChainAttribution`] — the linker-exported
+//!   pc-range → chain/block index and the per-chain roll-up joining
+//!   fetches against it, ranked hottest-first;
+//! * [`SpanCollector`] / [`SpanEvent`] — wall-clock phase spans and
+//!   instant events from the experiment engine;
+//! * [`Json`] and the [`export`] module — the workspace's serde-free
+//!   JSON tree (shared with `wp-bench`'s manifests) plus JSONL and
+//!   Chrome `trace_event` writers.
+//!
+//! Tracing is opt-in: the stack gates recording behind [`trace_enabled`]
+//! (`$WP_TRACE`), and every store is bounded with overflow *counted*,
+//! never silent.
+//!
+//! ## Example
+//!
+//! ```
+//! use wp_trace::{AccessKind, FetchEvent, TraceRecorder, TraceSink};
+//!
+//! let mut recorder = TraceRecorder::new().with_capacity(2);
+//! for cycle in 0..3 {
+//!     recorder.record_fetch(&FetchEvent {
+//!         pc: 0x8000,
+//!         cycle,
+//!         kind: AccessKind::Wp,
+//!         way: Some(0),
+//!         hit: true,
+//!         tags: 1,
+//!         fill: false,
+//!         link_update: false,
+//!         link_invalidation: false,
+//!     });
+//! }
+//! assert_eq!(recorder.recorded(), 3);
+//! assert_eq!(recorder.dropped(), 1, "overflow is counted, never silent");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+mod attr;
+mod event;
+pub mod export;
+pub mod json;
+mod layout;
+mod recorder;
+mod sink;
+mod span;
+
+pub use attr::{ChainAttribution, ChainCounters};
+pub use event::{AccessKind, FetchCounters, FetchEvent, IntervalSample};
+pub use json::Json;
+pub use layout::{ChainInfo, LayoutMap};
+pub use recorder::TraceRecorder;
+pub use sink::{NullSink, TraceSink};
+pub use span::{SpanCollector, SpanEvent};
+
+/// Whether `$WP_TRACE` requests tracing: set and neither empty nor
+/// `"0"`. The construction-time gate the harness uses; the simulator
+/// itself is gated by the sink type, not the environment.
+#[must_use]
+pub fn trace_enabled() -> bool {
+    std::env::var_os("WP_TRACE").is_some_and(|v| !v.is_empty() && v != *"0")
+}

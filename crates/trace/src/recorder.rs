@@ -1,0 +1,238 @@
+//! The bounded, deterministic trace recorder.
+//!
+//! Three independent stores, each with a hard memory bound:
+//!
+//! * a **ring buffer** of raw [`FetchEvent`]s — once full, the oldest
+//!   event is overwritten and the drop *counted* (never silent);
+//! * an **interval series** of counter deltas — when the series would
+//!   exceed its cap, adjacent samples are merged pairwise and the
+//!   sampling period doubles (so a run of any length ends with between
+//!   `max_intervals / 2` and `max_intervals` samples, deterministically);
+//! * an optional **per-chain attribution** fed from every event before
+//!   ring admission, so attribution totals are exact even when the
+//!   ring drops.
+
+use crate::attr::ChainAttribution;
+use crate::event::{FetchEvent, IntervalSample};
+use crate::layout::LayoutMap;
+use crate::sink::TraceSink;
+
+/// A bounded in-memory recorder implementing [`TraceSink`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceRecorder {
+    ring: Vec<FetchEvent>,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+    intervals: Vec<IntervalSample>,
+    interval_cycles: u64,
+    max_intervals: usize,
+    attribution: Option<ChainAttribution>,
+}
+
+impl TraceRecorder {
+    /// Default ring capacity (events).
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+    /// Default initial sampling period (guest cycles).
+    pub const DEFAULT_INTERVAL_CYCLES: u64 = 2_048;
+    /// Default interval-series cap (samples).
+    pub const DEFAULT_MAX_INTERVALS: usize = 512;
+
+    /// A recorder with default bounds and no attribution.
+    #[must_use]
+    pub fn new() -> TraceRecorder {
+        TraceRecorder {
+            ring: Vec::new(),
+            head: 0,
+            capacity: TraceRecorder::DEFAULT_CAPACITY,
+            recorded: 0,
+            dropped: 0,
+            intervals: Vec::new(),
+            interval_cycles: TraceRecorder::DEFAULT_INTERVAL_CYCLES,
+            max_intervals: TraceRecorder::DEFAULT_MAX_INTERVALS,
+            attribution: None,
+        }
+    }
+
+    /// Overrides the ring capacity (minimum 1).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> TraceRecorder {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the initial sampling period (minimum 1 cycle).
+    #[must_use]
+    pub fn with_interval_cycles(mut self, cycles: u64) -> TraceRecorder {
+        self.interval_cycles = cycles.max(1);
+        self
+    }
+
+    /// Overrides the interval-series cap (minimum 2, rounded to even
+    /// so pairwise merging halves it exactly).
+    #[must_use]
+    pub fn with_max_intervals(mut self, max: usize) -> TraceRecorder {
+        self.max_intervals = max.max(2) & !1;
+        self
+    }
+
+    /// Enables per-chain attribution against `map`.
+    #[must_use]
+    pub fn with_layout(mut self, map: LayoutMap) -> TraceRecorder {
+        self.attribution = Some(ChainAttribution::new(map));
+        self
+    }
+
+    /// Events currently held, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<FetchEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+
+    /// Total events offered to the ring.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by ring overflow. `recorded() - dropped()` events
+    /// are retrievable via [`events`](TraceRecorder::events).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The interval series, in time order.
+    #[must_use]
+    pub fn intervals(&self) -> &[IntervalSample] {
+        &self.intervals
+    }
+
+    /// The current (possibly doubled) sampling period.
+    #[must_use]
+    pub fn current_interval_cycles(&self) -> u64 {
+        self.interval_cycles
+    }
+
+    /// The per-chain attribution, when a layout map was attached.
+    #[must_use]
+    pub fn attribution(&self) -> Option<&ChainAttribution> {
+        self.attribution.as_ref()
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> TraceRecorder {
+        TraceRecorder::new()
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn interval_cycles(&self) -> Option<u64> {
+        Some(self.interval_cycles)
+    }
+
+    fn record_fetch(&mut self, event: &FetchEvent) {
+        if let Some(attribution) = self.attribution.as_mut() {
+            attribution.record(event);
+        }
+        self.recorded += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(*event);
+        } else {
+            self.ring[self.head] = *event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn record_interval(&mut self, sample: IntervalSample) {
+        self.intervals.push(sample);
+        if self.intervals.len() >= self.max_intervals {
+            // Compact: merge adjacent pairs and double the period. The
+            // series length halves, the covered time span is preserved.
+            let mut compacted = Vec::with_capacity(self.intervals.len() / 2 + 1);
+            let mut iter = self.intervals.chunks_exact(2);
+            for pair in &mut iter {
+                let mut merged = pair[0];
+                merged.absorb(&pair[1]);
+                compacted.push(merged);
+            }
+            compacted.extend_from_slice(iter.remainder());
+            self.intervals = compacted;
+            self.interval_cycles *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, FetchCounters};
+
+    fn event(pc: u32, cycle: u64) -> FetchEvent {
+        FetchEvent {
+            pc,
+            cycle,
+            kind: AccessKind::Full,
+            way: None,
+            hit: true,
+            tags: 32,
+            fill: false,
+            link_update: false,
+            link_invalidation: false,
+        }
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops_and_keeps_latest() {
+        let mut recorder = TraceRecorder::new().with_capacity(4);
+        for i in 0..10u64 {
+            recorder.record_fetch(&event(0x8000 + i as u32 * 4, i));
+        }
+        assert_eq!(recorder.recorded(), 10);
+        assert_eq!(recorder.dropped(), 6);
+        let events = recorder.events();
+        assert_eq!(events.len(), 4);
+        // Oldest-first, and the newest events survived.
+        let cycles: Vec<u64> = events.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn interval_series_merges_and_doubles() {
+        let mut recorder = TraceRecorder::new().with_interval_cycles(100).with_max_intervals(4);
+        for i in 0..8u64 {
+            recorder.record_interval(IntervalSample {
+                start_cycle: i * 100,
+                end_cycle: (i + 1) * 100,
+                counters: FetchCounters { fetches: 10, ..FetchCounters::new() },
+            });
+        }
+        // The series compacts every time it refills to the cap: three
+        // halvings over eight pushes, doubling the period each time.
+        assert_eq!(recorder.current_interval_cycles(), 800);
+        let intervals = recorder.intervals();
+        assert!(intervals.len() < 4);
+        // Time span and counter mass are preserved.
+        assert_eq!(intervals.first().map(|s| s.start_cycle), Some(0));
+        assert_eq!(intervals.last().map(|s| s.end_cycle), Some(800));
+        assert_eq!(intervals.iter().map(|s| s.counters.fetches).sum::<u64>(), 80);
+    }
+
+    #[test]
+    fn recorder_reports_enabled_and_period() {
+        let recorder = TraceRecorder::new().with_interval_cycles(7);
+        assert!(recorder.enabled());
+        assert_eq!(TraceSink::interval_cycles(&recorder), Some(7));
+    }
+}

@@ -1,0 +1,52 @@
+//! The event-sink trait the simulator is generic over.
+//!
+//! The hot path is monomorphised per sink type: with [`NullSink`]
+//! every `enabled()` check is a compile-time `false`, so the default
+//! (untraced) simulation carries no tracing cost beyond dead branches
+//! the optimiser removes.
+
+use crate::event::{FetchEvent, IntervalSample};
+
+/// A consumer of simulation telemetry.
+///
+/// All methods have no-op defaults, so a sink only implements what it
+/// cares about. `enabled()` gates the per-fetch work in the simulator:
+/// a sink returning `false` never sees `record_fetch`.
+pub trait TraceSink {
+    /// Whether per-fetch events should be produced at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// The current interval-sampling period in guest cycles (`None`
+    /// disables sampling). Re-queried after every sample, so a sink
+    /// may adapt the period mid-run (see the recorder's
+    /// merge-and-double compaction).
+    fn interval_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// One resolved instruction fetch.
+    fn record_fetch(&mut self, _event: &FetchEvent) {}
+
+    /// One interval sample of counter deltas.
+    fn record_interval(&mut self, _sample: IntervalSample) {}
+}
+
+/// The do-nothing sink the default simulation path uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        assert_eq!(sink.interval_cycles(), None);
+    }
+}

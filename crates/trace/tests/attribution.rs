@@ -1,0 +1,51 @@
+//! Attribution soundness: the per-chain roll-ups, folded online from
+//! every fetch event, must reconcile *exactly* with the aggregate
+//! hardware counters — across benchmarks and both way-aware schemes,
+//! with no fetch left unattributed.
+
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{measure_traced, MeasureOptions, Scheme, Workbench};
+use wp_trace::TraceRecorder;
+
+#[test]
+fn chain_sums_reconcile_with_aggregate_counters() {
+    let icache = CacheGeometry::xscale_icache();
+    let schemes = [Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization];
+    for benchmark in [Benchmark::Crc, Benchmark::Sha, Benchmark::Bitcount] {
+        let workbench = Workbench::new(benchmark).expect("workbench");
+        for scheme in schemes {
+            let tag = format!("{}/{}", benchmark.name(), scheme.label());
+            let map = workbench.link(scheme.layout(), InputSet::Small).expect("link").layout_map();
+            let mut recorder = TraceRecorder::new().with_layout(map);
+            let (m, _) = measure_traced(
+                &workbench,
+                icache,
+                scheme,
+                MeasureOptions::new(InputSet::Small),
+                &mut recorder,
+            )
+            .expect("measure");
+
+            let attribution = recorder.attribution().expect("layout attached");
+            // Every fetched pc lies in the text section, so every
+            // event lands in some chain.
+            assert_eq!(attribution.unattributed().fetches, 0, "{tag}: unattributed fetches");
+            // The roll-ups partition the aggregate counters exactly.
+            let total = attribution.total();
+            let aggregate = m.run.fetch;
+            assert_eq!(total.fetches, aggregate.fetches, "{tag}: fetches");
+            assert_eq!(total.hits, aggregate.hits, "{tag}: hits");
+            assert_eq!(total.tag_comparisons, aggregate.tag_comparisons, "{tag}: tags");
+            assert_eq!(total.line_fills, aggregate.line_fills, "{tag}: fills");
+            assert_eq!(total.same_line_elisions, aggregate.same_line_elisions, "{tag}: elisions");
+            // Row-wise sum agrees with the precomputed total.
+            let row_fetches: u64 = attribution.rows().iter().map(|r| r.fetches).sum();
+            assert_eq!(row_fetches, aggregate.fetches, "{tag}: row sum");
+            // The hottest chain is a real one and carries real work.
+            let ranked = attribution.ranked();
+            let hottest = &attribution.rows()[ranked[0] as usize];
+            assert!(hottest.fetches > 0, "{tag}: empty hottest chain");
+        }
+    }
+}

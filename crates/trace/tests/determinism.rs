@@ -1,0 +1,65 @@
+//! The telemetry layer's determinism contract: the JSONL stream
+//! contains only guest-deterministic data, so two runs of the same
+//! benchmark under the same configuration must serialise to the same
+//! bytes — and ring overflow is always *counted*, never silent.
+
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{measure_traced, MeasureOptions, Scheme, Workbench};
+use wp_trace::{export, Json, TraceRecorder};
+
+fn traced_jsonl(capacity: usize) -> (TraceRecorder, u64) {
+    let workbench = Workbench::new(Benchmark::Crc).expect("workbench");
+    let scheme = Scheme::WayPlacement { area_bytes: 32 * 1024 };
+    let map = workbench.link(scheme.layout(), InputSet::Small).expect("link").layout_map();
+    let mut recorder = TraceRecorder::new().with_capacity(capacity).with_layout(map);
+    let (m, _) = measure_traced(
+        &workbench,
+        CacheGeometry::xscale_icache(),
+        scheme,
+        MeasureOptions::new(InputSet::Small),
+        &mut recorder,
+    )
+    .expect("measure");
+    (recorder, m.run.fetch.fetches)
+}
+
+#[test]
+fn same_benchmark_and_config_yields_byte_identical_jsonl() {
+    // Two fully independent pipelines: separate workbenches, separate
+    // links, separate recorders. Everything in the JSONL stream is
+    // guest-deterministic, so the bytes must match exactly.
+    let (first, _) = traced_jsonl(4096);
+    let (second, _) = traced_jsonl(4096);
+    let a = export::to_jsonl(&first);
+    let b = export::to_jsonl(&second);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "telemetry export is not deterministic");
+}
+
+#[test]
+fn ring_overflow_drops_are_counted_never_silent() {
+    let capacity = 64;
+    let (recorder, fetches) = traced_jsonl(capacity);
+    assert!(fetches > capacity as u64, "smoke run must overflow the ring");
+    // Every fetch was offered; the overflow is accounted event by event.
+    assert_eq!(recorder.recorded(), fetches);
+    assert_eq!(recorder.dropped(), fetches - capacity as u64);
+    assert_eq!(recorder.events().len(), capacity);
+    // And the drop count is serialised in the stream's meta header, so
+    // no consumer can mistake a truncated ring for a complete run.
+    let jsonl = export::to_jsonl(&recorder);
+    let meta = Json::parse(jsonl.lines().next().expect("meta line")).expect("meta parses");
+    assert_eq!(meta.get("events_dropped").and_then(Json::as_u64), Some(recorder.dropped()));
+    assert_eq!(meta.get("events_recorded").and_then(Json::as_u64), Some(fetches));
+}
+
+#[test]
+fn attribution_is_exact_despite_ring_drops() {
+    // The attribution is fed before ring admission, so a tiny ring
+    // loses raw events but none of the per-chain totals.
+    let (tiny, fetches) = traced_jsonl(16);
+    let attribution = tiny.attribution().expect("layout attached");
+    assert!(tiny.dropped() > 0);
+    assert_eq!(attribution.total().fetches, fetches);
+}

@@ -45,6 +45,14 @@ if [[ "$quick" -eq 0 ]]; then
         exit 1
     fi
 
+    echo "== trace telemetry smoke (reconcile + manifest re-check) =="
+    WP_TRACE=1 WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin trace_report -- --quick
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin trace_report -- --check
+    if [[ ! -s "$smoke_dir/BENCH_trace_report.json" ]]; then
+        echo "missing manifest: BENCH_trace_report.json" >&2
+        exit 1
+    fi
+
     echo "== checkpoint/resume round trip =="
     cargo test -q -p wp-bench --test resilience checkpoint
 fi
