@@ -22,6 +22,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod autotune;
 pub mod engine;
 pub mod timing;
 

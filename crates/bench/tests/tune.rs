@@ -1,0 +1,86 @@
+//! Integration tests for the autotuning pipeline: determinism of the
+//! tuned-areas manifest, agreement between the tuner's choice and the
+//! sweep-optimal area, and schema round-tripping into the validator.
+
+use wp_bench::autotune::tune_suite;
+use wp_bench::engine::Engine;
+use wp_bench::FIGURE5_AREAS;
+use wp_core::wp_mem::CacheGeometry;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::Scheme;
+use wp_tune::{knee_index, TunedManifest, DEFAULT_TOLERANCE};
+
+#[test]
+fn tuned_manifests_are_byte_identical() {
+    let geom = CacheGeometry::xscale_icache();
+    let run = || {
+        let (_, manifest) =
+            tune_suite(&[Benchmark::Crc], geom, &FIGURE5_AREAS, DEFAULT_TOLERANCE, InputSet::Small)
+                .expect("tune_suite");
+        manifest.to_pretty()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "two independent tune runs must render identical manifests");
+    assert!(first.contains("tuned_areas/v1"));
+}
+
+#[test]
+fn tuned_area_is_within_one_grid_step_of_sweep_optimal() {
+    let geom = CacheGeometry::xscale_icache();
+    let set = InputSet::Small;
+    let engine = Engine::global();
+    let (tunings, _) = tune_suite(
+        &[Benchmark::Crc, Benchmark::Sha, Benchmark::Bitcount],
+        geom,
+        &FIGURE5_AREAS,
+        DEFAULT_TOLERANCE,
+        set,
+    )
+    .expect("tune_suite");
+    for tuning in &tunings {
+        // The exhaustive sweep the tuner is meant to replace.
+        let energies: Vec<f64> = FIGURE5_AREAS
+            .iter()
+            .map(|&area_bytes| {
+                engine
+                    .measure(tuning.benchmark, geom, Scheme::WayPlacement { area_bytes }, set)
+                    .expect("sweep measurement")
+                    .energy
+                    .icache
+                    .total_pj()
+            })
+            .collect();
+        let optimal = knee_index(&energies, DEFAULT_TOLERANCE).expect("sweep knee");
+        let chosen = tuning.refinement.chosen_index;
+        assert!(
+            chosen.abs_diff(optimal) <= 1,
+            "{}: tuned index {chosen} ({} B) vs sweep-optimal {optimal} ({} B); curve {energies:?}",
+            tuning.benchmark.name(),
+            FIGURE5_AREAS[chosen],
+            FIGURE5_AREAS[optimal],
+        );
+        // The search must have measured strictly fewer points than the
+        // sweep it replaces (that is its reason to exist).
+        assert!(tuning.refinement.steps.len() < FIGURE5_AREAS.len());
+        // The prediction at the chosen area should be close to the
+        // measurement — the covered/uncovered split is the only model.
+        let ratio = tuning.predicted_measured_ratio();
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "{}: predicted/measured {ratio}",
+            tuning.benchmark.name()
+        );
+    }
+}
+
+#[test]
+fn emitted_manifest_round_trips_into_the_validator() {
+    let geom = CacheGeometry::xscale_icache();
+    let (tunings, manifest) =
+        tune_suite(&[Benchmark::Crc], geom, &FIGURE5_AREAS, DEFAULT_TOLERANCE, InputSet::Small)
+            .expect("tune_suite");
+    let parsed = TunedManifest::parse(&manifest.to_pretty(), "in-memory").expect("parses");
+    assert_eq!(parsed.tolerance, DEFAULT_TOLERANCE);
+    assert_eq!(parsed.area_for("crc"), Some(tunings[0].chosen_area_bytes));
+}

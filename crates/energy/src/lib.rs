@@ -51,5 +51,5 @@ mod report;
 mod tech;
 
 pub use model::{CacheEnergyModel, FetchEnergy, TlbEnergyModel};
-pub use report::{EnergyModel, EnergyReport, SystemActivity};
+pub use report::{ratio, EnergyModel, EnergyReport, SystemActivity};
 pub use tech::{CoreEnergyParams, TechnologyParams};

@@ -90,7 +90,12 @@ impl EnergyReport {
 /// (an idle run equals an idle baseline), `x / 0` for positive `x` is
 /// `+∞` (strictly worse than any finite ratio, and it propagates
 /// through comparisons instead of poisoning them the way `NaN` would).
-fn ratio(numerator: f64, denominator: f64) -> f64 {
+///
+/// Public because the same semantics matter anywhere two measurements
+/// are compared — `wp-tune`'s trace differ uses it so zero-energy runs
+/// diff clean instead of producing `NaN` shifts.
+#[must_use]
+pub fn ratio(numerator: f64, denominator: f64) -> f64 {
     if denominator == 0.0 {
         if numerator == 0.0 {
             1.0

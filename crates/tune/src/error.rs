@@ -1,0 +1,100 @@
+//! The subsystem's typed error: every user-supplied input (manifest
+//! files, JSONL streams, area lists, thresholds) fails through
+//! [`TuneError`] instead of a panic, per the workspace's
+//! `clippy::unwrap_used` discipline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the autotuner and the trace differ.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TuneError {
+    /// The candidate area grid is empty.
+    EmptyGrid,
+    /// The attribution carries no chains or no fetches — there is
+    /// nothing to locate a knee on.
+    EmptyAttribution,
+    /// An area argument (CSV list or manifest field) did not parse.
+    BadArea {
+        /// The offending token.
+        token: String,
+    },
+    /// A threshold or tolerance argument did not parse or is not a
+    /// finite non-negative number.
+    BadThreshold {
+        /// The offending token.
+        token: String,
+    },
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        message: String,
+    },
+    /// A manifest or JSONL line is not valid JSON.
+    Json {
+        /// Where the text came from.
+        source: String,
+        /// The parser's message.
+        message: String,
+    },
+    /// A manifest parsed but lacks a required field (wrong schema or
+    /// truncated file).
+    MissingField {
+        /// Where the manifest came from.
+        source: String,
+        /// The field that was expected.
+        field: String,
+    },
+    /// A measurement callback failed during the refinement search.
+    Measure {
+        /// The underlying failure, stringified by the caller.
+        message: String,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::EmptyGrid => write!(f, "candidate area grid is empty"),
+            TuneError::EmptyAttribution => {
+                write!(f, "attribution has no chains or no fetches to tune on")
+            }
+            TuneError::BadArea { token } => write!(f, "bad area size '{token}'"),
+            TuneError::BadThreshold { token } => write!(f, "bad threshold '{token}'"),
+            TuneError::Io { path, message } => write!(f, "{path}: {message}"),
+            TuneError::Json { source, message } => write!(f, "{source}: invalid JSON: {message}"),
+            TuneError::MissingField { source, field } => {
+                write!(f, "{source}: missing field '{field}'")
+            }
+            TuneError::Measure { message } => write!(f, "measurement failed: {message}"),
+        }
+    }
+}
+
+impl Error for TuneError {}
+
+impl TuneError {
+    /// Wraps an I/O error with its path.
+    #[must_use]
+    pub fn io(path: &std::path::Path, error: &std::io::Error) -> TuneError {
+        TuneError::Io { path: path.display().to_string(), message: error.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        assert!(TuneError::EmptyGrid.to_string().contains("grid"));
+        assert!(TuneError::BadArea { token: "12q".into() }.to_string().contains("12q"));
+        let io = TuneError::io(std::path::Path::new("/nope"), &std::io::Error::other("denied"));
+        assert!(io.to_string().contains("/nope") && io.to_string().contains("denied"));
+        assert!(TuneError::MissingField { source: "m.json".into(), field: "runs".into() }
+            .to_string()
+            .contains("runs"));
+    }
+}

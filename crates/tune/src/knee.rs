@@ -1,0 +1,475 @@
+//! Locating the figure-5 knee: the smallest way-placement area that
+//! still delivers (almost) all of the energy saving.
+//!
+//! The paper finds the knee by sweeping a fixed area grid and
+//! eyeballing the curve. The autotuner replaces the eyeball with the
+//! telemetry the stack already produces: a traced run at full coverage
+//! yields per-chain fetch/tag roll-ups ([`ChainAttribution`]) joined
+//! against the linker's emission-order [`LayoutMap`], and because the
+//! way-placement layout emits chains hottest-first, shrinking the area
+//! simply un-covers a suffix of the chain list. That makes the energy
+//! of *every* candidate area predictable from one measured run:
+//! covered fetches keep their measured (single-tag) cost, uncovered
+//! fetches fall back to a full `ways`-wide CAM search, and the
+//! [`CacheEnergyModel`] prices the difference.
+//!
+//! The predicted knee then seeds a *bounded measured refinement*
+//! ([`refine`]): walk the grid around the prediction, measuring only
+//! as many points as it takes to bracket the knee, instead of sweeping
+//! the whole grid per benchmark.
+
+use wp_energy::CacheEnergyModel;
+use wp_mem::{CacheGeometry, FetchScheme, FetchStats};
+use wp_trace::{ChainAttribution, FetchCounters, LayoutMap};
+
+use crate::error::TuneError;
+
+/// Default knee tolerance: an area counts as "at the knee" when its
+/// I-cache energy is within this relative margin of the best area's.
+pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// One candidate area's model output.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AreaPrediction {
+    /// The candidate way-placement area, bytes.
+    pub area_bytes: u32,
+    /// Fraction of all fetches landing in chains the area covers.
+    pub covered_fetch_share: f64,
+    /// Predicted I-cache energy for the run at this area, picojoules.
+    pub energy_pj: f64,
+}
+
+/// The model sweep over a grid plus the knee it implies.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Prediction {
+    /// Per-area predictions, in the grid's order (largest area first).
+    pub candidates: Vec<AreaPrediction>,
+    /// Index into `candidates` of the predicted knee.
+    pub knee_index: usize,
+    /// The tolerance the knee was selected with.
+    pub tolerance: f64,
+}
+
+/// Validates a tolerance: finite and non-negative.
+fn check_tolerance(tolerance: f64) -> Result<(), TuneError> {
+    if tolerance.is_finite() && tolerance >= 0.0 {
+        Ok(())
+    } else {
+        Err(TuneError::BadThreshold { token: format!("{tolerance}") })
+    }
+}
+
+/// The knee of an energy-vs-area curve: the index of the *smallest*
+/// area whose energy stays within `tolerance` (relative) of the best
+/// energy on the curve. `energies` follows the grid order, largest
+/// area first, so this is the highest qualifying index. Non-finite
+/// energies never qualify.
+///
+/// This is the single knee criterion shared by the predicted sweep,
+/// the measured refinement and `fig5`'s sweep-optimal validation — if
+/// the definitions diverged, "within one grid step" would be
+/// meaningless.
+///
+/// # Errors
+///
+/// [`TuneError::EmptyGrid`] when `energies` is empty or has no finite
+/// entry; [`TuneError::BadThreshold`] for a negative or non-finite
+/// tolerance.
+pub fn knee_index(energies: &[f64], tolerance: f64) -> Result<usize, TuneError> {
+    check_tolerance(tolerance)?;
+    let best = energies.iter().copied().filter(|e| e.is_finite()).fold(f64::INFINITY, f64::min);
+    if !best.is_finite() {
+        return Err(TuneError::EmptyGrid);
+    }
+    let limit = best * (1.0 + tolerance);
+    energies
+        .iter()
+        .rposition(|&e| e.is_finite() && e <= limit)
+        .ok_or(TuneError::EmptyGrid)
+}
+
+/// Builds the predicted fetch-counter block for one candidate area.
+///
+/// Counters that do not depend on the area (fetches, hits, fills,
+/// same-line elisions) carry over from the measured run unchanged; tag
+/// traffic is re-apportioned chain by chain. A chain straddling the
+/// area boundary contributes fractionally by instruction count.
+fn counters_for_area(
+    map: &LayoutMap,
+    attribution: &ChainAttribution,
+    ways: u64,
+    area_bytes: u32,
+) -> (FetchCounters, f64) {
+    let limit_pc = i64::from(map.text_base()) + i64::from(area_bytes);
+    let mut counters = FetchCounters::new();
+    let mut tags = 0.0f64;
+    let mut wp_accesses = 0.0f64;
+    let mut covered_fetches = 0.0f64;
+    let mut total_fetches = 0u64;
+
+    let rows = attribution.rows();
+    for (info, row) in map.chains().iter().zip(rows) {
+        let span = i64::from(info.insns) * 4;
+        let covered = if span == 0 {
+            1.0
+        } else {
+            ((limit_pc - i64::from(info.first_pc)).clamp(0, span)) as f64 / span as f64
+        };
+        let probing = (row.fetches - row.same_line_elisions) as f64;
+        tags += covered * row.tag_comparisons as f64 + (1.0 - covered) * probing * ways as f64;
+        wp_accesses += covered * row.wp_accesses as f64;
+        covered_fetches += covered * row.fetches as f64;
+        total_fetches += row.fetches;
+
+        counters.fetches += row.fetches;
+        counters.hits += row.hits;
+        counters.misses += row.fetches - row.hits;
+        counters.line_fills += row.line_fills;
+        counters.same_line_elisions += row.same_line_elisions;
+        counters.hint_false_wp += row.hint_mispredicts;
+    }
+    // Fetches outside the layout map (zero on well-formed runs) can
+    // never sit inside the way-placement area: full-width cost.
+    let stray = attribution.unattributed();
+    let stray_probing = (stray.fetches - stray.same_line_elisions) as f64;
+    tags += stray_probing * ways as f64;
+    total_fetches += stray.fetches;
+    counters.fetches += stray.fetches;
+    counters.hits += stray.hits;
+    counters.misses += stray.fetches - stray.hits;
+    counters.line_fills += stray.line_fills;
+    counters.same_line_elisions += stray.same_line_elisions;
+
+    counters.tag_comparisons = tags.round() as u64;
+    counters.matchline_precharges = counters.tag_comparisons;
+    counters.data_reads = counters.fetches;
+    counters.wp_accesses = wp_accesses.round() as u64;
+
+    let share = if total_fetches == 0 { 0.0 } else { covered_fetches / total_fetches as f64 };
+    (counters, share)
+}
+
+/// Predicts the energy of every candidate area from one traced
+/// full-coverage run and locates the knee.
+///
+/// `attribution` must come from a run whose way-placement area covered
+/// the whole text section (the largest grid point), so that each
+/// chain's measured tag cost is its *covered* cost.
+///
+/// # Errors
+///
+/// [`TuneError::EmptyGrid`] for an empty grid,
+/// [`TuneError::EmptyAttribution`] when the attribution has no chains
+/// or recorded no fetches, [`TuneError::BadThreshold`] for a bad
+/// tolerance.
+pub fn predict(
+    map: &LayoutMap,
+    attribution: &ChainAttribution,
+    geometry: CacheGeometry,
+    grid: &[u32],
+    tolerance: f64,
+) -> Result<Prediction, TuneError> {
+    check_tolerance(tolerance)?;
+    if grid.is_empty() {
+        return Err(TuneError::EmptyGrid);
+    }
+    if map.chains().is_empty() || attribution.total().fetches == 0 {
+        return Err(TuneError::EmptyAttribution);
+    }
+    let model = CacheEnergyModel::for_scheme(geometry, FetchScheme::WayPlacement);
+    let ways = u64::from(geometry.ways());
+    let candidates: Vec<AreaPrediction> = grid
+        .iter()
+        .map(|&area_bytes| {
+            let (counters, covered_fetch_share) =
+                counters_for_area(map, attribution, ways, area_bytes);
+            let energy_pj = model.fetch_energy(&FetchStats::from(&counters)).total_pj();
+            AreaPrediction { area_bytes, covered_fetch_share, energy_pj }
+        })
+        .collect();
+    let energies: Vec<f64> = candidates.iter().map(|c| c.energy_pj).collect();
+    let knee = knee_index(&energies, tolerance)?;
+    Ok(Prediction { candidates, knee_index: knee, tolerance })
+}
+
+/// One measurement taken by the refinement search.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RefineStep {
+    /// Index into the grid.
+    pub index: usize,
+    /// The area measured, bytes.
+    pub area_bytes: u32,
+    /// The measured energy (any consistent unit; the search only
+    /// compares values against each other).
+    pub energy: f64,
+}
+
+/// The outcome of a bounded refinement search.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Refinement {
+    /// Every measurement taken, in the order it was taken — the
+    /// manifest's search trace.
+    pub steps: Vec<RefineStep>,
+    /// Index into the grid of the chosen (measured-knee) area.
+    pub chosen_index: usize,
+    /// The measured energy at the chosen area.
+    pub chosen_energy: f64,
+}
+
+/// Bounded measured refinement around a predicted knee.
+///
+/// Measures the largest area (the reference best) and the predicted
+/// knee, then walks the grid one step at a time — towards smaller
+/// areas while the knee criterion holds, towards larger areas when it
+/// does not — so the number of measurements is proportional to the
+/// prediction error, not the grid size. The chosen index is the knee
+/// ([`knee_index`]) over exactly the points measured.
+///
+/// # Errors
+///
+/// [`TuneError::EmptyGrid`] / [`TuneError::BadThreshold`] on bad
+/// inputs; any error returned by `measure` aborts the search
+/// unchanged.
+pub fn refine(
+    grid: &[u32],
+    start_index: usize,
+    tolerance: f64,
+    mut measure: impl FnMut(u32) -> Result<f64, TuneError>,
+) -> Result<Refinement, TuneError> {
+    check_tolerance(tolerance)?;
+    if grid.is_empty() {
+        return Err(TuneError::EmptyGrid);
+    }
+    let mut energies: Vec<Option<f64>> = vec![None; grid.len()];
+    let mut steps: Vec<RefineStep> = Vec::new();
+    let mut probe = |index: usize,
+                     energies: &mut Vec<Option<f64>>,
+                     steps: &mut Vec<RefineStep>|
+     -> Result<f64, TuneError> {
+        if let Some(energy) = energies[index] {
+            return Ok(energy);
+        }
+        let energy = measure(grid[index])?;
+        energies[index] = Some(energy);
+        steps.push(RefineStep { index, area_bytes: grid[index], energy });
+        Ok(energy)
+    };
+
+    let start = start_index.min(grid.len() - 1);
+    let reference = probe(0, &mut energies, &mut steps)?;
+    let mut best = reference;
+    let at_knee = |energy: f64, best: f64| energy.is_finite() && energy <= best * (1.0 + tolerance);
+
+    let started = probe(start, &mut energies, &mut steps)?;
+    best = best.min(started);
+    if at_knee(started, best) {
+        // Prediction holds here; try to push the area smaller.
+        let mut index = start;
+        while index + 1 < grid.len() {
+            let energy = probe(index + 1, &mut energies, &mut steps)?;
+            best = best.min(energy);
+            if at_knee(energy, best) {
+                index += 1;
+            } else {
+                break;
+            }
+        }
+    } else {
+        // Prediction was too aggressive; back off towards larger areas.
+        let mut index = start;
+        while index > 0 {
+            index -= 1;
+            let energy = probe(index, &mut energies, &mut steps)?;
+            best = best.min(energy);
+            if at_knee(energy, best) {
+                break;
+            }
+        }
+    }
+
+    // Final decision: the shared knee criterion over the measured set.
+    let chosen_index = energies
+        .iter()
+        .rposition(|slot| slot.is_some_and(|e| at_knee(e, best)))
+        .unwrap_or(0);
+    let chosen_energy = energies[chosen_index].unwrap_or(reference);
+    Ok(Refinement { steps, chosen_index, chosen_energy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_trace::{AccessKind, ChainInfo, FetchEvent};
+
+    /// A synthetic map: `shares` gives each chain's dynamic fetch
+    /// count; chains are emitted contiguously, 64 instructions
+    /// (256 bytes) each, hottest-first like the way-placement layout.
+    fn synthetic(shares: &[u64]) -> (LayoutMap, ChainAttribution) {
+        const INSNS: u32 = 64;
+        let base = 0x8000;
+        let chains: Vec<ChainInfo> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, &weight)| ChainInfo {
+                weight,
+                first_pc: base + i as u32 * INSNS * 4,
+                insns: INSNS,
+                blocks: 1,
+                label: format!("chain{i}"),
+            })
+            .collect();
+        let per_insn: Vec<u32> = (0..shares.len() as u32).flat_map(|c| [c; 64]).collect();
+        let map = LayoutMap::new(base, per_insn.clone(), per_insn, chains);
+        let mut attribution = ChainAttribution::new(map.clone());
+        for (i, &count) in shares.iter().enumerate() {
+            let pc = base + i as u32 * INSNS * 4;
+            for _ in 0..count {
+                attribution.record(&FetchEvent {
+                    pc,
+                    cycle: 0,
+                    kind: AccessKind::Wp,
+                    way: Some(0),
+                    hit: true,
+                    tags: 1,
+                    fill: false,
+                    link_update: false,
+                    link_invalidation: false,
+                });
+            }
+        }
+        (map, attribution)
+    }
+
+    fn grid() -> Vec<u32> {
+        // 4 chains * 256 bytes = 1 KB of text; grid from full coverage
+        // down to a single chain.
+        vec![1024, 768, 512, 256]
+    }
+
+    #[test]
+    fn single_dominant_chain_knees_at_smallest_covering_area() {
+        let (map, attribution) = synthetic(&[10_000, 1, 1, 1]);
+        let p = predict(&map, &attribution, CacheGeometry::xscale_icache(), &grid(), 0.02)
+            .expect("predict");
+        // The smallest area still covers the dominant chain entirely.
+        assert_eq!(p.candidates[p.knee_index].area_bytes, 256);
+        assert!(p.candidates[3].covered_fetch_share > 0.99);
+        // Energies grow as coverage shrinks.
+        assert!(p.candidates[0].energy_pj <= p.candidates[3].energy_pj);
+    }
+
+    #[test]
+    fn flat_profile_knees_only_once_cost_is_flat() {
+        let (map, attribution) = synthetic(&[100, 100, 100, 100]);
+        let p = predict(&map, &attribution, CacheGeometry::xscale_icache(), &grid(), 0.02)
+            .expect("predict");
+        // Every un-covered chain costs real energy, so the knee stays
+        // at full coverage.
+        assert_eq!(p.knee_index, 0);
+        // A tolerance wide enough to absorb the whole curve pushes the
+        // knee to the smallest area.
+        let loose = predict(&map, &attribution, CacheGeometry::xscale_icache(), &grid(), 1e6)
+            .expect("predict");
+        assert_eq!(loose.knee_index, 3);
+    }
+
+    #[test]
+    fn strictly_monotone_shares_knee_moves_with_tolerance() {
+        let (map, attribution) = synthetic(&[100_000, 10_000, 1_000, 100]);
+        let geometry = CacheGeometry::xscale_icache();
+        let tight = predict(&map, &attribution, geometry, &grid(), 0.0).expect("predict");
+        let loose = predict(&map, &attribution, geometry, &grid(), 0.5).expect("predict");
+        assert!(loose.knee_index >= tight.knee_index);
+        // Shares are strictly decreasing, so coverage is strictly
+        // increasing in area.
+        for pair in loose.candidates.windows(2) {
+            assert!(pair[0].covered_fetch_share > pair[1].covered_fetch_share);
+        }
+    }
+
+    #[test]
+    fn empty_attribution_is_a_typed_error() {
+        let (map, attribution) = synthetic(&[0, 0, 0, 0]);
+        let err =
+            predict(&map, &attribution, CacheGeometry::xscale_icache(), &grid(), 0.02).unwrap_err();
+        assert_eq!(err, TuneError::EmptyAttribution);
+        let (map, _) = synthetic(&[1]);
+        let empty = ChainAttribution::new(LayoutMap::new(0x8000, vec![], vec![], vec![]));
+        let err = predict(
+            &LayoutMap::new(0x8000, vec![], vec![], vec![]),
+            &empty,
+            CacheGeometry::xscale_icache(),
+            &grid(),
+            0.02,
+        )
+        .unwrap_err();
+        assert_eq!(err, TuneError::EmptyAttribution);
+        drop(map);
+    }
+
+    #[test]
+    fn empty_grid_and_bad_tolerance_are_typed_errors() {
+        let (map, attribution) = synthetic(&[10, 1]);
+        let geometry = CacheGeometry::xscale_icache();
+        assert_eq!(predict(&map, &attribution, geometry, &[], 0.02), Err(TuneError::EmptyGrid));
+        assert!(matches!(
+            predict(&map, &attribution, geometry, &grid(), -0.5),
+            Err(TuneError::BadThreshold { .. })
+        ));
+        assert_eq!(knee_index(&[], 0.02), Err(TuneError::EmptyGrid));
+        assert_eq!(knee_index(&[f64::NAN, f64::INFINITY], 0.02), Err(TuneError::EmptyGrid));
+    }
+
+    #[test]
+    fn knee_index_picks_smallest_qualifying_area() {
+        // Grid order is largest-area first; the knee is the rightmost
+        // index within tolerance of the minimum.
+        assert_eq!(knee_index(&[10.0, 10.1, 10.15, 12.0], 0.02).expect("knee"), 2);
+        assert_eq!(knee_index(&[10.0, 10.0, 10.0], 0.0).expect("knee"), 2);
+        // Non-monotone curves still pick the smallest qualifying area.
+        assert_eq!(knee_index(&[10.0, 12.0, 10.05], 0.01).expect("knee"), 2);
+        // NaN entries never qualify.
+        assert_eq!(knee_index(&[10.0, f64::NAN], 0.5).expect("knee"), 0);
+    }
+
+    #[test]
+    fn refine_walks_down_from_a_correct_prediction() {
+        let curve = [10.0, 10.05, 10.1, 13.0];
+        let mut calls = 0;
+        let r = refine(&grid(), 1, 0.02, |area| {
+            calls += 1;
+            let index = grid().iter().position(|&a| a == area).ok_or(TuneError::EmptyGrid)?;
+            Ok(curve[index])
+        })
+        .expect("refine");
+        assert_eq!(r.chosen_index, 2);
+        assert_eq!(r.chosen_energy, 10.1);
+        // Measured 0 (reference), 1 (start), 2 (accepted), 3 (rejected).
+        assert_eq!(calls, 4);
+        assert_eq!(r.steps.len(), 4);
+    }
+
+    #[test]
+    fn refine_backs_off_from_an_aggressive_prediction() {
+        let curve = [10.0, 10.1, 11.5, 13.0];
+        let r = refine(&grid(), 3, 0.02, |area| {
+            let index = grid().iter().position(|&a| a == area).ok_or(TuneError::EmptyGrid)?;
+            Ok(curve[index])
+        })
+        .expect("refine");
+        assert_eq!(r.chosen_index, 1, "backs off to the 768-byte area");
+        // Start index past the grid end clamps instead of panicking.
+        let clamped = refine(&grid(), 99, 0.02, |_| Ok(1.0)).expect("refine");
+        assert_eq!(clamped.chosen_index, grid().len() - 1);
+    }
+
+    #[test]
+    fn refine_propagates_measurement_errors() {
+        let err = refine(&grid(), 0, 0.02, |_| {
+            Err(TuneError::Measure { message: "sim exploded".into() })
+        })
+        .unwrap_err();
+        assert!(matches!(err, TuneError::Measure { .. }));
+        assert_eq!(refine(&[], 0, 0.02, |_| Ok(1.0)), Err(TuneError::EmptyGrid));
+    }
+}

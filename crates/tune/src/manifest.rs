@@ -1,0 +1,231 @@
+//! Parsing the user-facing inputs: area lists (`--areas 16K,8K,1024`),
+//! threshold tokens, and the `BENCH_tuned_areas.json` manifest that
+//! the `tune` binary emits and `fig5 --areas` validates.
+
+use wp_trace::Json;
+
+use crate::error::TuneError;
+
+/// Schema tag the tuned-areas manifest carries.
+pub const TUNED_SCHEMA: &str = "tuned_areas/v1";
+
+/// Parses one area token: plain bytes (`4096`) or kilobytes with a
+/// `K`/`KB` suffix (`16K`, `8kb`). Must be a positive integer.
+///
+/// # Errors
+///
+/// [`TuneError::BadArea`] on anything else.
+pub fn parse_area(token: &str) -> Result<u32, TuneError> {
+    let trimmed = token.trim();
+    let bad = || TuneError::BadArea { token: trimmed.to_string() };
+    let upper = trimmed.to_ascii_uppercase();
+    let (digits, multiplier) = if let Some(stripped) = upper.strip_suffix("KB") {
+        (stripped, 1024u32)
+    } else if let Some(stripped) = upper.strip_suffix('K') {
+        (stripped, 1024u32)
+    } else {
+        (upper.as_str(), 1u32)
+    };
+    let value: u32 = digits.parse().map_err(|_| bad())?;
+    let bytes = value.checked_mul(multiplier).ok_or_else(bad)?;
+    if bytes == 0 {
+        return Err(bad());
+    }
+    Ok(bytes)
+}
+
+/// Parses a comma-separated area list into a descending, deduplicated
+/// grid — the order every knee computation assumes.
+///
+/// # Errors
+///
+/// [`TuneError::BadArea`] on a bad token, [`TuneError::EmptyGrid`] on
+/// an empty list.
+pub fn parse_area_list(spec: &str) -> Result<Vec<u32>, TuneError> {
+    let mut areas = spec
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(parse_area)
+        .collect::<Result<Vec<u32>, TuneError>>()?;
+    if areas.is_empty() {
+        return Err(TuneError::EmptyGrid);
+    }
+    areas.sort_unstable_by(|a, b| b.cmp(a));
+    areas.dedup();
+    Ok(areas)
+}
+
+/// Parses a threshold/tolerance token: a finite, non-negative number.
+///
+/// # Errors
+///
+/// [`TuneError::BadThreshold`] otherwise.
+pub fn parse_threshold(token: &str) -> Result<f64, TuneError> {
+    let bad = || TuneError::BadThreshold { token: token.trim().to_string() };
+    let value: f64 = token.trim().parse().map_err(|_| bad())?;
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(bad())
+    }
+}
+
+/// One benchmark's entry in a parsed tuned-areas manifest.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TunedEntry {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The area the autotuner chose, bytes.
+    pub area_bytes: u32,
+}
+
+/// The subset of `BENCH_tuned_areas.json` the validator needs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TunedManifest {
+    /// The knee tolerance the tuner ran with.
+    pub tolerance: f64,
+    /// Per-benchmark chosen areas, in manifest order.
+    pub entries: Vec<TunedEntry>,
+}
+
+impl TunedManifest {
+    /// Parses manifest text; `source` labels errors.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::Json`] / [`TuneError::MissingField`] /
+    /// [`TuneError::BadArea`] on malformed content.
+    pub fn parse(text: &str, source: &str) -> Result<TunedManifest, TuneError> {
+        let missing = |field: &str| TuneError::MissingField {
+            source: source.to_string(),
+            field: field.to_string(),
+        };
+        let document = Json::parse(text)
+            .map_err(|message| TuneError::Json { source: source.to_string(), message })?;
+        if document.get("schema").and_then(Json::as_str) != Some(TUNED_SCHEMA) {
+            return Err(missing("schema"));
+        }
+        let tolerance = document
+            .get("tolerance")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| missing("tolerance"))?;
+        let benchmarks = document
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("benchmarks"))?;
+        let mut entries = Vec::with_capacity(benchmarks.len());
+        for entry in benchmarks {
+            let benchmark = entry
+                .get("benchmark")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("benchmark"))?
+                .to_string();
+            let area = entry
+                .get("chosen_area_bytes")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("chosen_area_bytes"))?;
+            let area_bytes =
+                u32::try_from(area).map_err(|_| TuneError::BadArea { token: area.to_string() })?;
+            entries.push(TunedEntry { benchmark, area_bytes });
+        }
+        Ok(TunedManifest { tolerance, entries })
+    }
+
+    /// Loads and parses a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::Io`] on read failure, plus everything
+    /// [`TunedManifest::parse`] raises.
+    pub fn load(path: &std::path::Path) -> Result<TunedManifest, TuneError> {
+        let text = std::fs::read_to_string(path).map_err(|e| TuneError::io(path, &e))?;
+        TunedManifest::parse(&text, &path.display().to_string())
+    }
+
+    /// The chosen area for `benchmark`, if present.
+    #[must_use]
+    pub fn area_for(&self, benchmark: &str) -> Option<u32> {
+        self.entries.iter().find(|e| e.benchmark == benchmark).map(|e| e.area_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_tokens_parse_bytes_and_kilobytes() {
+        assert_eq!(parse_area("4096").expect("bytes"), 4096);
+        assert_eq!(parse_area("16K").expect("K"), 16 * 1024);
+        assert_eq!(parse_area(" 8kb ").expect("kb"), 8 * 1024);
+        assert_eq!(parse_area("1k").expect("k"), 1024);
+        for bad in ["", "0", "0K", "-4", "4.5", "12q", "99999999K"] {
+            assert!(matches!(parse_area(bad), Err(TuneError::BadArea { .. })), "{bad}");
+        }
+    }
+
+    #[test]
+    fn area_lists_sort_descending_and_dedupe() {
+        assert_eq!(
+            parse_area_list("1024,16K,8K,16384").expect("list"),
+            vec![16 * 1024, 8 * 1024, 1024]
+        );
+        assert_eq!(parse_area_list(" , ,"), Err(TuneError::EmptyGrid));
+        assert!(matches!(parse_area_list("4K,oops"), Err(TuneError::BadArea { .. })));
+    }
+
+    #[test]
+    fn thresholds_reject_non_finite_and_negative() {
+        assert_eq!(parse_threshold("0.02").expect("ok"), 0.02);
+        assert_eq!(parse_threshold(" 0 ").expect("zero"), 0.0);
+        for bad in ["", "-0.1", "nan", "inf", "x"] {
+            assert!(matches!(parse_threshold(bad), Err(TuneError::BadThreshold { .. })), "{bad}");
+        }
+    }
+
+    #[test]
+    fn tuned_manifest_round_trips() {
+        let text = Json::obj([
+            ("schema", Json::from(TUNED_SCHEMA)),
+            ("tolerance", Json::from(0.02)),
+            (
+                "benchmarks",
+                Json::arr([
+                    Json::obj([
+                        ("benchmark", Json::from("crc")),
+                        ("chosen_area_bytes", Json::from(2048u64)),
+                    ]),
+                    Json::obj([
+                        ("benchmark", Json::from("sha")),
+                        ("chosen_area_bytes", Json::from(4096u64)),
+                    ]),
+                ]),
+            ),
+        ])
+        .to_pretty();
+        let manifest = TunedManifest::parse(&text, "t.json").expect("parses");
+        assert_eq!(manifest.tolerance, 0.02);
+        assert_eq!(manifest.area_for("crc"), Some(2048));
+        assert_eq!(manifest.area_for("sha"), Some(4096));
+        assert_eq!(manifest.area_for("nope"), None);
+    }
+
+    #[test]
+    fn tuned_manifest_rejects_wrong_schema_and_missing_fields() {
+        assert!(matches!(
+            TunedManifest::parse("{}", "t.json"),
+            Err(TuneError::MissingField { field, .. }) if field == "schema"
+        ));
+        let wrong = Json::obj([("schema", Json::from("other/v1"))]).to_compact();
+        assert!(matches!(
+            TunedManifest::parse(&wrong, "t.json"),
+            Err(TuneError::MissingField { field, .. }) if field == "schema"
+        ));
+        let no_tol = Json::obj([("schema", Json::from(TUNED_SCHEMA))]).to_compact();
+        assert!(matches!(
+            TunedManifest::parse(&no_tol, "t.json"),
+            Err(TuneError::MissingField { field, .. }) if field == "tolerance"
+        ));
+        assert!(matches!(TunedManifest::parse("nope", "t.json"), Err(TuneError::Json { .. })));
+    }
+}

@@ -53,6 +53,33 @@ if [[ "$quick" -eq 0 ]]; then
         exit 1
     fi
 
+    echo "== autotune smoke (deterministic tuned-areas manifest) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin tune -- --quick
+    if [[ ! -s "$smoke_dir/BENCH_tuned_areas.json" ]]; then
+        echo "missing manifest: BENCH_tuned_areas.json" >&2
+        exit 1
+    fi
+
+    echo "== trace_diff smoke (self-diff exit 0, perturbed exit 1) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin trace_diff -- \
+        "$smoke_dir/BENCH_trace_report.json" "$smoke_dir/BENCH_trace_report.json"
+    # Perturb the first icache_pj value by an order of magnitude; the
+    # differ must flag it and gate with exit code 1.
+    sed '0,/"icache_pj": /s/"icache_pj": /"icache_pj": 9/' \
+        "$smoke_dir/BENCH_trace_report.json" >"$smoke_dir/BENCH_trace_report_perturbed.json"
+    diff_code=0
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin trace_diff -- \
+        "$smoke_dir/BENCH_trace_report.json" "$smoke_dir/BENCH_trace_report_perturbed.json" \
+        || diff_code=$?
+    if [[ "$diff_code" -ne 1 ]]; then
+        echo "trace_diff on a perturbed manifest: expected exit 1, got $diff_code" >&2
+        exit 1
+    fi
+    if [[ ! -s "$smoke_dir/BENCH_trace_diff.json" ]]; then
+        echo "missing manifest: BENCH_trace_diff.json" >&2
+        exit 1
+    fi
+
     echo "== checkpoint/resume round trip =="
     cargo test -q -p wp-bench --test resilience checkpoint
 fi
