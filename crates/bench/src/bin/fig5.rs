@@ -51,7 +51,21 @@ fn parse_mode() -> Mode {
                 let spec = iter.next().unwrap_or_else(|| usage());
                 if Path::new(spec).is_file() {
                     match TunedManifest::load(Path::new(spec)) {
-                        Ok(manifest) => mode = Mode::Validate(manifest),
+                        Ok(manifest) => {
+                            // A tuned manifest from a different grid
+                            // would be checked against the wrong
+                            // neighbors: "within one grid step" only
+                            // means anything on the sweep's own grid.
+                            if manifest.grid != FIGURE5_AREAS {
+                                eprintln!(
+                                    "fig5: tuned manifest grid {:?} does not match the sweep \
+                                     grid {:?}; re-run tune on the sweep grid before validating",
+                                    manifest.grid, FIGURE5_AREAS
+                                );
+                                std::process::exit(2);
+                            }
+                            mode = Mode::Validate(manifest);
+                        }
                         Err(error) => {
                             eprintln!("fig5: {error}");
                             std::process::exit(2);
@@ -127,6 +141,41 @@ fn validate(manifest: &TunedManifest, rows: &[wp_bench::SuiteRow], grid: &[u32])
     (section, all_ok)
 }
 
+/// Places each tuned area *on* the sweep curve: the `tuned` series of
+/// `BENCH_fig5.json`, one `(benchmark, area, energy, ED)` point per
+/// tuned benchmark, read off the sweep measurements at the tuned
+/// area's grid column — so a plot of the sweep can overlay where the
+/// autotuner landed instead of only reporting a pass/fail verdict.
+fn tuned_series(manifest: &TunedManifest, rows: &[wp_bench::SuiteRow], grid: &[u32]) -> Json {
+    let mut points = Vec::new();
+    println!();
+    println!("== Tuned points on the sweep curve ==");
+    for entry in &manifest.entries {
+        let row = rows.iter().find(|r| r.benchmark.name() == entry.benchmark);
+        let index = grid.iter().position(|&a| a == entry.area_bytes);
+        let (Some(row), Some(index)) = (row, index) else {
+            // validate() already reports the miss; nothing to plot.
+            continue;
+        };
+        // values[0] is way-memoization; area i sits at i+1.
+        let (_, energy, ed) = &row.values[index + 1];
+        println!(
+            "{:<10} {:>5} B | {:>9.1}% | {:>6.3}",
+            entry.benchmark,
+            entry.area_bytes,
+            energy * 100.0,
+            ed
+        );
+        points.push(Json::obj([
+            ("benchmark", Json::from(entry.benchmark.as_str())),
+            ("area_bytes", Json::from(entry.area_bytes)),
+            ("energy", Json::from(*energy)),
+            ("ed", Json::from(*ed)),
+        ]));
+    }
+    Json::Arr(points)
+}
+
 fn main() {
     let mode = parse_mode();
     let geom = CacheGeometry::xscale_icache();
@@ -182,6 +231,7 @@ fn main() {
     if let Mode::Validate(tuned) = &mode {
         let (section, ok) = validate(tuned, &rows, &grid);
         manifest.push("validation", section);
+        manifest.push("tuned", tuned_series(tuned, &rows, &grid));
         validation_failed = !ok;
     }
     manifest.push("suite", report.json());

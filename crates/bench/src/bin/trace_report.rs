@@ -23,13 +23,14 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use wp_bench::baseline::hot_chains_json;
 use wp_bench::engine::Engine;
 use wp_bench::{manifest_path, write_manifest, Json};
 use wp_core::{measure_traced, MeasureOptions, Scheme, Workbench};
 use wp_energy::CacheEnergyModel;
 use wp_mem::{CacheGeometry, FetchStats};
 use wp_sim::{simulate, simulate_traced, NullSink, SimConfig};
-use wp_trace::{export, ChainAttribution, TraceRecorder};
+use wp_trace::{export, TraceRecorder};
 use wp_workloads::{Benchmark, InputSet};
 
 /// Hottest chains reported per run.
@@ -55,33 +56,6 @@ struct RunReport {
     ok: bool,
     track: (String, Vec<wp_trace::IntervalSample>),
     jsonl_name: String,
-}
-
-fn hot_chains_json(attribution: &ChainAttribution, model: &CacheEnergyModel) -> Vec<Json> {
-    let total_fetches = attribution.total().fetches.max(1);
-    attribution
-        .ranked()
-        .into_iter()
-        .take(TOP_K)
-        .map(|id| {
-            let row = &attribution.rows()[id as usize];
-            let info = &attribution.map().chains()[id as usize];
-            let energy_pj = model.fetch_energy(&FetchStats::from(&row.to_counters())).total_pj();
-            Json::obj([
-                ("chain", Json::from(id)),
-                ("label", Json::from(info.label.as_str())),
-                ("weight", Json::Uint(info.weight)),
-                ("insns", Json::from(info.insns)),
-                ("fetches", Json::Uint(row.fetches)),
-                ("fetch_share", Json::from(row.fetches as f64 / total_fetches as f64)),
-                (
-                    "tags_per_fetch",
-                    Json::from(row.tag_comparisons as f64 / row.fetches.max(1) as f64),
-                ),
-                ("energy_pj", Json::from(energy_pj)),
-            ])
-        })
-        .collect()
 }
 
 /// Runs one (benchmark, scheme) pair traced and verifies every roll-up
@@ -168,7 +142,7 @@ fn trace_run(
         ("intervals", Json::from(recorder.intervals().len())),
         ("interval_fetches", Json::Uint(interval_fetches)),
         ("chains", Json::from(attribution.rows().len())),
-        ("hot_chains", Json::Arr(hot_chains_json(attribution, &model))),
+        ("hot_chains", Json::Arr(hot_chains_json(attribution, &model, TOP_K))),
         (
             "reconciled",
             Json::obj([

@@ -9,13 +9,20 @@
 //! only as many grid points as the prediction error requires.
 //!
 //! Writes the deterministic `BENCH_tuned_areas.json` manifest — the
-//! input to `fig5 --areas` validation and `trace_diff`-style gating.
+//! input to `fig5 --areas` validation and the stored-baseline gate.
 //!
-//! Usage: `tune [--quick] [--tolerance T] [--areas CSV]`
+//! Usage: `tune [--quick | --all] [--tolerance T] [--areas CSV]`
 //!
-//! `--quick` shrinks to one benchmark on the small input set for CI;
-//! `--tolerance` sets the knee criterion (default 0.02: within 2% of
-//! the best measured energy); `--areas` overrides the candidate grid.
+//! The default tunes the crc/sha/bitcount set on the large inputs;
+//! `--all` extends to the whole 23-benchmark suite (what `bless`
+//! freezes into `baselines/`); `--quick` shrinks to one benchmark on
+//! the small input set for CI; `--tolerance` sets the knee criterion
+//! (default 0.02: within 2% of the best measured energy); `--areas`
+//! overrides the candidate grid.
+//!
+//! Exit codes: `0` tuned, `1` pipeline/tuning failure, `2` usage
+//! error — the same convention as `trace_diff` and `gate`, so CI can
+//! tell a broken invocation from a genuinely failing run.
 
 use wp_bench::autotune::tune_suite;
 use wp_bench::{write_manifest, FIGURE5_AREAS};
@@ -24,33 +31,40 @@ use wp_tune::{parse_area_list, parse_threshold, TuneError, DEFAULT_TOLERANCE};
 use wp_workloads::{Benchmark, InputSet};
 
 fn usage() -> ! {
-    eprintln!("usage: tune [--quick] [--tolerance T] [--areas CSV]");
+    eprintln!("usage: tune [--quick | --all] [--tolerance T] [--areas CSV]");
     std::process::exit(2);
 }
 
 fn run() -> Result<(), TuneError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut all = false;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut grid: Vec<u32> = FIGURE5_AREAS.to_vec();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--all" => all = true,
             "--tolerance" => tolerance = parse_threshold(iter.next().unwrap_or_else(|| usage()))?,
             "--areas" => grid = parse_area_list(iter.next().unwrap_or_else(|| usage()))?,
             _ => usage(),
         }
     }
+    if quick && all {
+        usage();
+    }
 
-    let (benchmarks, set): (&[Benchmark], InputSet) = if quick {
-        (&[Benchmark::Crc], InputSet::Small)
+    let (benchmarks, set): (Vec<Benchmark>, InputSet) = if quick {
+        (vec![Benchmark::Crc], InputSet::Small)
+    } else if all {
+        (Benchmark::ALL.to_vec(), InputSet::Large)
     } else {
-        (&[Benchmark::Crc, Benchmark::Sha, Benchmark::Bitcount], InputSet::Large)
+        (vec![Benchmark::Crc, Benchmark::Sha, Benchmark::Bitcount], InputSet::Large)
     };
     let icache = CacheGeometry::xscale_icache();
 
-    let (tunings, manifest) = tune_suite(benchmarks, icache, &grid, tolerance, set)?;
+    let (tunings, manifest) = tune_suite(&benchmarks, icache, &grid, tolerance, set)?;
     for t in &tunings {
         println!(
             "{:<10} chosen {:>5} B (predicted knee {:>5} B), {:.3e} pJ measured, \
@@ -74,6 +88,8 @@ fn run() -> Result<(), TuneError> {
 fn main() {
     if let Err(error) = run() {
         eprintln!("tune: {error}");
-        std::process::exit(2);
+        // Usage mistakes (bad --areas/--tolerance tokens) exit 2;
+        // pipeline and tuning failures exit 1.
+        std::process::exit(error.exit_code());
     }
 }

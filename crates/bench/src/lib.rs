@@ -23,6 +23,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod autotune;
+pub mod baseline;
 pub mod engine;
 pub mod timing;
 

@@ -75,6 +75,66 @@ fn tuned_area_is_within_one_grid_step_of_sweep_optimal() {
 }
 
 #[test]
+fn tune_binary_exit_codes_distinguish_usage_from_failure() {
+    use std::process::Command;
+    // A malformed argument is a usage mistake: exit 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_tune"))
+        .args(["--tolerance", "nope"])
+        .output()
+        .expect("run tune");
+    assert_eq!(out.status.code(), Some(2), "bad threshold token must exit 2");
+    let out = Command::new(env!("CARGO_BIN_EXE_tune"))
+        .args(["--quick", "--all"])
+        .output()
+        .expect("run tune");
+    assert_eq!(out.status.code(), Some(2), "conflicting flags must exit 2");
+    // A pipeline failure (here: the manifest directory cannot be
+    // created because a file is in the way) is a genuine tuning-run
+    // failure: exit 1, not the old blanket 2.
+    let blocker = std::env::temp_dir().join(format!("wp-tune-notadir-{}", std::process::id()));
+    std::fs::write(&blocker, b"in the way").expect("write blocker");
+    let out = Command::new(env!("CARGO_BIN_EXE_tune"))
+        .arg("--quick")
+        .env("WP_BENCH_DIR", blocker.join("sub"))
+        .output()
+        .expect("run tune");
+    let _ = std::fs::remove_file(&blocker);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "pipeline failure must exit 1; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn fig5_rejects_tuned_manifest_with_mismatched_grid() {
+    use std::process::Command;
+    // A tuned manifest from a non-sweep grid must be refused before
+    // the sweep even starts — checking "within one grid step" against
+    // the wrong neighbors proves nothing.
+    let manifest = r#"{
+  "schema": "tuned_areas/v1",
+  "tolerance": 0.02,
+  "grid": [4096, 2048],
+  "benchmarks": [{"benchmark": "crc", "chosen_area_bytes": 2048, "measured_pj": 1.0}]
+}"#;
+    let path = std::env::temp_dir().join(format!("wp-fig5-badgrid-{}.json", std::process::id()));
+    std::fs::write(&path, manifest).expect("write manifest");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5"))
+        .args(["--areas", &path.display().to_string()])
+        .output()
+        .expect("run fig5");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2), "mismatched grid must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("[4096, 2048]") && stderr.contains("32768"),
+        "error must name both grids: {stderr}"
+    );
+}
+
+#[test]
 fn emitted_manifest_round_trips_into_the_validator() {
     let geom = CacheGeometry::xscale_icache();
     let (tunings, manifest) =

@@ -47,6 +47,16 @@ pub enum TuneError {
         /// The field that was expected.
         field: String,
     },
+    /// A record parsed but is structurally malformed beyond a single
+    /// missing field — e.g. a chain record carrying neither a label
+    /// nor a chain id, which would otherwise silently alias with any
+    /// other id-less chain under the join's dedup suffixes.
+    Malformed {
+        /// Where the record came from.
+        source: String,
+        /// What is wrong with it.
+        message: String,
+    },
     /// A measurement callback failed during the refinement search.
     Measure {
         /// The underlying failure, stringified by the caller.
@@ -68,6 +78,9 @@ impl fmt::Display for TuneError {
             TuneError::MissingField { source, field } => {
                 write!(f, "{source}: missing field '{field}'")
             }
+            TuneError::Malformed { source, message } => {
+                write!(f, "{source}: malformed record: {message}")
+            }
             TuneError::Measure { message } => write!(f, "measurement failed: {message}"),
         }
     }
@@ -80,6 +93,30 @@ impl TuneError {
     #[must_use]
     pub fn io(path: &std::path::Path, error: &std::io::Error) -> TuneError {
         TuneError::Io { path: path.display().to_string(), message: error.to_string() }
+    }
+
+    /// Whether the error is a *usage* mistake (a malformed argument
+    /// the caller typed) rather than a pipeline failure. The binaries
+    /// share one exit-code convention: `1` for pipeline/tuning/diff
+    /// failures, `2` for usage errors, so CI can tell a broken
+    /// invocation from a genuinely failing run.
+    #[must_use]
+    pub fn is_usage(&self) -> bool {
+        matches!(
+            self,
+            TuneError::BadArea { .. } | TuneError::BadThreshold { .. } | TuneError::EmptyGrid
+        )
+    }
+
+    /// The process exit code the shared convention assigns this error:
+    /// `2` for usage mistakes, `1` for everything else.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        if self.is_usage() {
+            2
+        } else {
+            1
+        }
     }
 }
 
@@ -96,5 +133,32 @@ mod tests {
         assert!(TuneError::MissingField { source: "m.json".into(), field: "runs".into() }
             .to_string()
             .contains("runs"));
+        let malformed =
+            TuneError::Malformed { source: "m.json:3".into(), message: "no chain id".into() };
+        assert!(malformed.to_string().contains("m.json:3"));
+        assert!(malformed.to_string().contains("no chain id"));
+    }
+
+    #[test]
+    fn usage_errors_exit_2_pipeline_errors_exit_1() {
+        for usage in [
+            TuneError::BadArea { token: "12q".into() },
+            TuneError::BadThreshold { token: "nan".into() },
+            TuneError::EmptyGrid,
+        ] {
+            assert!(usage.is_usage(), "{usage}");
+            assert_eq!(usage.exit_code(), 2, "{usage}");
+        }
+        for pipeline in [
+            TuneError::EmptyAttribution,
+            TuneError::Io { path: "/nope".into(), message: "denied".into() },
+            TuneError::Json { source: "m.json".into(), message: "bad".into() },
+            TuneError::MissingField { source: "m.json".into(), field: "runs".into() },
+            TuneError::Malformed { source: "m.json".into(), message: "id-less chain".into() },
+            TuneError::Measure { message: "sim exploded".into() },
+        ] {
+            assert!(!pipeline.is_usage(), "{pipeline}");
+            assert_eq!(pipeline.exit_code(), 1, "{pipeline}");
+        }
     }
 }

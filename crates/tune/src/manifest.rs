@@ -84,6 +84,11 @@ pub struct TunedEntry {
 pub struct TunedManifest {
     /// The knee tolerance the tuner ran with.
     pub tolerance: f64,
+    /// The candidate area grid the tuner swept, bytes, largest first.
+    /// A validator must refuse to compare chosen areas against a sweep
+    /// run on a *different* grid — "within one grid step" is
+    /// meaningless across grids.
+    pub grid: Vec<u32>,
     /// Per-benchmark chosen areas, in manifest order.
     pub entries: Vec<TunedEntry>,
 }
@@ -109,6 +114,16 @@ impl TunedManifest {
             .get("tolerance")
             .and_then(Json::as_f64)
             .ok_or_else(|| missing("tolerance"))?;
+        let grid = document
+            .get("grid")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("grid"))?
+            .iter()
+            .map(|area| {
+                let value = area.as_u64().ok_or_else(|| missing("grid"))?;
+                u32::try_from(value).map_err(|_| TuneError::BadArea { token: value.to_string() })
+            })
+            .collect::<Result<Vec<u32>, TuneError>>()?;
         let benchmarks = document
             .get("benchmarks")
             .and_then(Json::as_array)
@@ -128,7 +143,7 @@ impl TunedManifest {
                 u32::try_from(area).map_err(|_| TuneError::BadArea { token: area.to_string() })?;
             entries.push(TunedEntry { benchmark, area_bytes });
         }
-        Ok(TunedManifest { tolerance, entries })
+        Ok(TunedManifest { tolerance, grid, entries })
     }
 
     /// Loads and parses a manifest file.
@@ -188,6 +203,7 @@ mod tests {
         let text = Json::obj([
             ("schema", Json::from(TUNED_SCHEMA)),
             ("tolerance", Json::from(0.02)),
+            ("grid", Json::arr([Json::from(4096u32), Json::from(2048u32)])),
             (
                 "benchmarks",
                 Json::arr([
@@ -205,6 +221,7 @@ mod tests {
         .to_pretty();
         let manifest = TunedManifest::parse(&text, "t.json").expect("parses");
         assert_eq!(manifest.tolerance, 0.02);
+        assert_eq!(manifest.grid, vec![4096, 2048]);
         assert_eq!(manifest.area_for("crc"), Some(2048));
         assert_eq!(manifest.area_for("sha"), Some(4096));
         assert_eq!(manifest.area_for("nope"), None);
@@ -225,6 +242,13 @@ mod tests {
         assert!(matches!(
             TunedManifest::parse(&no_tol, "t.json"),
             Err(TuneError::MissingField { field, .. }) if field == "tolerance"
+        ));
+        let no_grid =
+            Json::obj([("schema", Json::from(TUNED_SCHEMA)), ("tolerance", Json::from(0.02))])
+                .to_compact();
+        assert!(matches!(
+            TunedManifest::parse(&no_grid, "t.json"),
+            Err(TuneError::MissingField { field, .. }) if field == "grid"
         ));
         assert!(matches!(TunedManifest::parse("nope", "t.json"), Err(TuneError::Json { .. })));
     }

@@ -18,6 +18,25 @@ cargo fmt --all -- --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+if [[ "$quick" -eq 1 ]]; then
+    echo "== stored-baseline smoke (self-bless + gate + perturbed) =="
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    cargo run -q --bin bless -- --quick --dir "$smoke_dir/baselines"
+    WP_BENCH_DIR="$smoke_dir" cargo run -q --bin gate -- --quick --dir "$smoke_dir/baselines"
+    # Perturb one blessed chain energy by ~10x; the gate must flag it
+    # and exit with code exactly 1 (2 would mean a broken invocation).
+    sed -i '0,/"energy_pj": /s/"energy_pj": /"energy_pj": 9/' \
+        "$smoke_dir/baselines/BENCH_trace_report.json"
+    gate_code=0
+    WP_BENCH_DIR="$smoke_dir" cargo run -q --bin gate -- --quick --dir "$smoke_dir/baselines" \
+        || gate_code=$?
+    if [[ "$gate_code" -ne 1 ]]; then
+        echo "gate on a perturbed baseline: expected exit 1, got $gate_code" >&2
+        exit 1
+    fi
+fi
+
 if [[ "$quick" -eq 0 ]]; then
     echo "== tier-1 gate: release build =="
     cargo build --release
@@ -79,6 +98,17 @@ if [[ "$quick" -eq 0 ]]; then
         echo "missing manifest: BENCH_trace_diff.json" >&2
         exit 1
     fi
+
+    echo "== stored-baseline gate (committed baselines/) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin gate -- --dir baselines
+    if [[ ! -s "$smoke_dir/BENCH_gate.json" ]]; then
+        echo "missing manifest: BENCH_gate.json" >&2
+        exit 1
+    fi
+
+    echo "== tuned-areas validation (fig5 --areas vs committed baseline) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin fig5 -- \
+        --areas baselines/BENCH_tuned_areas.json >/dev/null
 
     echo "== checkpoint/resume round trip =="
     cargo test -q -p wp-bench --test resilience checkpoint
