@@ -31,6 +31,7 @@ use wp_workloads::{Benchmark, InputSet};
 
 use crate::autotune::tune_suite;
 use crate::engine::Engine;
+use crate::perf;
 use crate::{Json, FIGURE5_AREAS};
 
 /// Schema tag the blessed trace-report baseline carries.
@@ -38,8 +39,15 @@ pub const BASELINE_SCHEMA: &str = "baseline/v1";
 /// The default committed baselines directory, relative to the repo
 /// root (where CI runs).
 pub const DEFAULT_BASELINE_DIR: &str = "baselines";
-/// The manifests a baseline set consists of, in bless/gate order.
+/// The **byte-deterministic** manifests a baseline set consists of, in
+/// bless/gate order. Two bless runs over the same tree produce these
+/// byte-identically.
 pub const BASELINE_FILES: [&str; 2] = ["BENCH_trace_report.json", "BENCH_tuned_areas.json"];
+/// The wall-clock fetch-core throughput manifest blessed *alongside*
+/// the canonical pair. Deliberately not in [`BASELINE_FILES`]:
+/// throughput is measured, not derived, so byte-identity cannot apply;
+/// the gate diffs it under [`perf_thresholds`] instead.
+pub const PERF_BASELINE_FILE: &str = "BENCH_perf_fetch.json";
 /// Hottest chains recorded per traced run (mirrors `trace_report`).
 pub const TOP_K: usize = 5;
 /// Relative tolerance when reconciling per-chain picojoule sums.
@@ -227,20 +235,36 @@ pub fn build_tuned_baseline(quick: bool) -> Result<Json, TuneError> {
     Ok(manifest)
 }
 
-/// Runs both pipelines and writes their canonical manifests into
-/// `dir` (created if missing), returning the written paths in
-/// [`BASELINE_FILES`] order. Two bless runs over the same tree are
-/// byte-identical.
+/// Gates for the throughput manifest: deliberately generous, because
+/// the Mfetch/s columns are wall-clock (they shift with the host),
+/// while the speedup-vs-reference column (the energy metric slot) is
+/// same-machine/same-process and only large, real fetch-core
+/// slowdowns move it past a 75% relative shift.
+#[must_use]
+pub fn perf_thresholds() -> DiffThresholds {
+    DiffThresholds { rel: 0.75, abs_fetches: 5.0, abs_energy: 1.0 }
+}
+
+/// Runs all three pipelines and writes their manifests into `dir`
+/// (created if missing), returning the written paths: the
+/// byte-deterministic [`BASELINE_FILES`] in order, then
+/// [`PERF_BASELINE_FILE`].
 ///
 /// # Errors
 ///
-/// [`TuneError::Io`] on write failure, plus any pipeline failure.
+/// [`TuneError::Io`] on write failure, plus any pipeline failure —
+/// including the perf tripwire, which refuses to bless a throughput
+/// number from fetch cores that disagree.
 pub fn bless(dir: &Path, quick: bool) -> Result<Vec<PathBuf>, TuneError> {
     let trace = build_trace_baseline(quick)?;
     let tuned = build_tuned_baseline(quick)?;
+    let perf = perf::measure(quick)
+        .map_err(|message| pipeline_error("perf_fetch", &message))?
+        .json();
     std::fs::create_dir_all(dir).map_err(|e| TuneError::io(dir, &e))?;
-    let mut paths = Vec::with_capacity(BASELINE_FILES.len());
-    for (name, manifest) in BASELINE_FILES.iter().zip([&trace, &tuned]) {
+    let mut paths = Vec::with_capacity(BASELINE_FILES.len() + 1);
+    let names = BASELINE_FILES.iter().copied().chain([PERF_BASELINE_FILE]);
+    for (name, manifest) in names.zip([&trace, &tuned, &perf]) {
         let path = dir.join(name);
         std::fs::write(&path, manifest.to_pretty()).map_err(|e| TuneError::io(&path, &e))?;
         paths.push(path);
@@ -256,7 +280,8 @@ pub struct GateReport {
     pub blessed_dir: PathBuf,
     /// The scratch directory the fresh manifests were written to.
     pub fresh_dir: PathBuf,
-    /// Per-manifest comparisons, in [`BASELINE_FILES`] order.
+    /// Per-manifest comparisons: [`BASELINE_FILES`] in order, then
+    /// [`PERF_BASELINE_FILE`] under [`perf_thresholds`].
     pub diffs: Vec<(String, TraceDiff)>,
 }
 
@@ -318,11 +343,16 @@ pub fn gate(
     thresholds: DiffThresholds,
 ) -> Result<GateReport, TuneError> {
     bless(fresh_dir, quick)?;
-    let mut diffs = Vec::with_capacity(BASELINE_FILES.len());
-    for name in BASELINE_FILES {
+    let mut diffs = Vec::with_capacity(BASELINE_FILES.len() + 1);
+    let gates = BASELINE_FILES
+        .iter()
+        .copied()
+        .map(|name| (name, thresholds))
+        .chain([(PERF_BASELINE_FILE, perf_thresholds())]);
+    for (name, gates) in gates {
         let blessed = TraceSet::load(&blessed_dir.join(name))?;
         let fresh = TraceSet::load(&fresh_dir.join(name))?;
-        diffs.push((name.to_string(), TraceDiff::compute(&blessed, &fresh, thresholds)));
+        diffs.push((name.to_string(), TraceDiff::compute(&blessed, &fresh, gates)));
     }
     Ok(GateReport {
         blessed_dir: blessed_dir.to_path_buf(),

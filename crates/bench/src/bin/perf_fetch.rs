@@ -1,0 +1,68 @@
+//! `perf_fetch` — fetch-core throughput benchmark and speedup check.
+//!
+//! Times the per-line reference model, the structure-of-arrays core
+//! and the batched `fetch_block` path over the straight and loopy
+//! scenarios (see `wp_bench::perf`), after an untimed equivalence
+//! tripwire per configuration, and writes `BENCH_perf_fetch.json`.
+//!
+//! Usage: `perf_fetch [--quick]`
+//!
+//! `--quick` is the CI smoke shape: a shorter stream, fewer
+//! iterations, the same tripwire. Exit codes: `0` when the headline
+//! speedup (straight scenario, `soa-block` vs `per-line-ref`) meets
+//! the target, `1` when it misses or the tripwire fires, `2` usage or
+//! I/O error.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use wp_bench::perf::{measure, HEADLINE, TARGET_SPEEDUP};
+use wp_bench::write_manifest;
+
+fn usage() -> ! {
+    eprintln!("usage: perf_fetch [--quick]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+
+    let report = match measure(quick) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("perf_fetch: equivalence tripwire fired: {message}");
+            std::process::exit(1);
+        }
+    };
+
+    println!();
+    println!("{:<22} {:>12} {:>14}", "scenario/core", "Mfetch/s", "speedup vs ref");
+    for row in &report.rows {
+        println!(
+            "{:<22} {:>12.2} {:>13.2}x",
+            format!("{}/{}", row.scenario, row.core),
+            row.mfetch_per_s,
+            row.speedup_vs_ref
+        );
+    }
+    let speedup = report.headline_speedup();
+    let verdict = if speedup >= TARGET_SPEEDUP { "ok" } else { "MISSED" };
+    println!(
+        "headline ({}/{}): {speedup:.2}x vs target {TARGET_SPEEDUP:.1}x — {verdict}",
+        HEADLINE.0, HEADLINE.1
+    );
+
+    match write_manifest("perf_fetch", &report.json()) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => {
+            eprintln!("perf_fetch: failed to write BENCH_perf_fetch.json: {e}");
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(i32::from(speedup < TARGET_SPEEDUP));
+}

@@ -25,6 +25,7 @@
 pub mod autotune;
 pub mod baseline;
 pub mod engine;
+pub mod perf;
 pub mod timing;
 
 /// The serde-free JSON module now lives in `wp-trace` (telemetry needs

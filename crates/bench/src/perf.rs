@@ -1,0 +1,355 @@
+//! `perf_fetch` — in-repo fetch-core throughput measurement.
+//!
+//! Times the three ways the repository can drive an instruction-fetch
+//! stream — the frozen per-line reference model
+//! ([`wp_mem::refmodel`]), the structure-of-arrays core fetch-by-fetch,
+//! and the SoA core through the batched
+//! [`MemorySystem::fetch_block`] entry point — over two synthetic
+//! scenarios:
+//!
+//! * **straight**: long line-bounded straight-line runs under the
+//!   way-placement scheme, the shape the batched path amortises;
+//! * **loopy**: one-to-four-word runs with frequent branches under the
+//!   baseline scheme, where batching can barely help and the per-fetch
+//!   cost dominates.
+//!
+//! Every timed configuration first passes an *untimed* equivalence
+//! tripwire: all three drivers must produce identical total cycles and
+//! identical [`FetchStats`], so a throughput number can never be bought
+//! with a behaviour change. The statistic is min-of-N (see
+//! [`bench_min`]) — the least host-noise-sensitive estimate for a
+//! short deterministic kernel.
+//!
+//! The manifest (`BENCH_perf_fetch.json`, schema [`PERF_SCHEMA`]) is
+//! shaped so `wp_tune::TraceSet` parses it like a trace report: each
+//! scenario × driver pair is a run whose *fetch* metric carries the
+//! throughput in Mfetch/s and whose *energy* metric carries the
+//! speedup over the reference driver — the latter is same-machine,
+//! same-process, and therefore the robust number the stored-baseline
+//! gate leans on.
+
+use wp_mem::refmodel::RefMemorySystem;
+use wp_mem::rng::SplitMix64;
+use wp_mem::{CacheGeometry, FetchStats, MemoryConfig, MemorySystem};
+
+use crate::timing::bench_min;
+use crate::Json;
+
+/// Schema tag of the `BENCH_perf_fetch.json` manifest.
+pub const PERF_SCHEMA: &str = "perf_fetch/v1";
+/// The headline target: the batched SoA core must beat the per-line
+/// reference model by at least this factor on the straight scenario.
+pub const TARGET_SPEEDUP: f64 = 5.0;
+/// The scenario and driver the headline speedup is read from.
+pub const HEADLINE: (&str, &str) = ("straight", "soa-block");
+
+/// One fetch workload: a memory configuration plus a pre-expanded
+/// stream of line-bounded `(addr, words)` runs.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (`straight` / `loopy`).
+    pub name: &'static str,
+    /// The hierarchy configuration every driver instantiates.
+    pub config: MemoryConfig,
+    /// Line-bounded runs; the per-fetch drivers expand each run into
+    /// `words` sequential fetches.
+    pub blocks: Vec<(u32, u32)>,
+    /// Total fetched words (the throughput denominator).
+    pub words: u64,
+}
+
+/// Expands a seeded branchy program shape into line-bounded runs:
+/// straight-line stretches of `min_run..=max_run` words split at cache
+/// line boundaries, ending in a mostly-backward branch with occasional
+/// far jumps, all within `span` bytes.
+fn build_blocks(
+    seed: u64,
+    span: u32,
+    total_words: u64,
+    min_run: u64,
+    max_run: u64,
+    line_words: u32,
+) -> Vec<(u32, u32)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut blocks = Vec::new();
+    let mut words = 0u64;
+    let mut pc: u32 = 0;
+    while words < total_words {
+        let mut left = rng.range_u64(min_run, max_run);
+        while left > 0 && words < total_words {
+            pc %= span;
+            let line_left = u64::from(line_words - (pc / 4) % line_words);
+            let chunk = line_left.min(left).min(total_words - words);
+            blocks.push((pc, chunk as u32));
+            pc = pc.wrapping_add(chunk as u32 * 4);
+            words += chunk;
+            left -= chunk;
+        }
+        pc = if rng.below(4) == 0 {
+            (rng.below(u64::from(span / 4)) as u32) * 4
+        } else {
+            pc.saturating_sub(rng.range_u64(0, 64) as u32 * 4)
+        };
+    }
+    blocks
+}
+
+/// The two timed scenarios over `total_words` fetches each.
+#[must_use]
+pub fn scenarios(total_words: u64) -> Vec<Scenario> {
+    let geom = CacheGeometry::xscale_icache();
+    let line_words = geom.words_per_line();
+    // Straight: long runs in a working set the cache holds, under the
+    // paper's scheme — the batched path's best case and the shape the
+    // simulator's straight-line batching produces.
+    let straight = Scenario {
+        name: "straight",
+        config: MemoryConfig::way_placement(geom, 0, 32 * 1024),
+        blocks: build_blocks(0x9e3f_0001, 24 * 1024, total_words, 16, 64, line_words),
+        words: total_words,
+    };
+    // Loopy: short runs over 1.5x the cache size under the baseline
+    // full search — misses, conflict churn, nothing to amortise.
+    let loopy = Scenario {
+        name: "loopy",
+        config: MemoryConfig::baseline(geom),
+        blocks: build_blocks(0x9e3f_0002, 48 * 1024, total_words, 1, 4, line_words),
+        words: total_words,
+    };
+    vec![straight, loopy]
+}
+
+/// A driver: one pass of a scenario's stream through one fetch core,
+/// returning total cycles and the final counters.
+type Driver = fn(MemoryConfig, &[(u32, u32)]) -> (u64, FetchStats);
+
+/// Drives the per-line reference model fetch-by-fetch.
+fn drive_ref(config: MemoryConfig, blocks: &[(u32, u32)]) -> (u64, FetchStats) {
+    let mut mem = RefMemorySystem::new(config);
+    let mut cycles = 0u64;
+    for &(addr, words) in blocks {
+        for i in 0..words {
+            cycles += u64::from(mem.fetch(addr + 4 * i).cycles);
+        }
+    }
+    (cycles, *mem.fetch_stats())
+}
+
+/// Drives the SoA core fetch-by-fetch.
+fn drive_soa_fetch(config: MemoryConfig, blocks: &[(u32, u32)]) -> (u64, FetchStats) {
+    let mut mem = MemorySystem::new(config);
+    let mut cycles = 0u64;
+    for &(addr, words) in blocks {
+        for i in 0..words {
+            cycles += u64::from(mem.fetch(addr + 4 * i).cycles);
+        }
+    }
+    (cycles, *mem.fetch_stats())
+}
+
+/// Drives the SoA core through the batched block entry point.
+fn drive_soa_block(config: MemoryConfig, blocks: &[(u32, u32)]) -> (u64, FetchStats) {
+    let mut mem = MemorySystem::new(config);
+    let mut cycles = 0u64;
+    for &(addr, words) in blocks {
+        cycles += u64::from(mem.fetch_block(addr, words).cycles);
+    }
+    (cycles, *mem.fetch_stats())
+}
+
+/// The untimed tripwire: all three drivers over one scenario must
+/// agree on total cycles and every fetch counter.
+///
+/// # Errors
+///
+/// A description of the first divergence.
+pub fn verify_equivalence(scenario: &Scenario) -> Result<(), String> {
+    let reference = drive_ref(scenario.config, &scenario.blocks);
+    for (core, result) in [
+        ("soa-fetch", drive_soa_fetch(scenario.config, &scenario.blocks)),
+        ("soa-block", drive_soa_block(scenario.config, &scenario.blocks)),
+    ] {
+        if result.0 != reference.0 {
+            return Err(format!(
+                "{}/{core}: {} cycles, reference model says {}",
+                scenario.name, result.0, reference.0
+            ));
+        }
+        if result.1 != reference.1 {
+            return Err(format!(
+                "{}/{core}: fetch counters diverged from the reference model",
+                scenario.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One timed scenario × driver result.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfRow {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Driver name (`per-line-ref` / `soa-fetch` / `soa-block`).
+    pub core: &'static str,
+    /// Min-of-N nanoseconds for one pass over the stream.
+    pub ns: f64,
+    /// Simulated-fetch throughput, million fetches per second.
+    pub mfetch_per_s: f64,
+    /// This driver's speedup over `per-line-ref` on the same scenario,
+    /// same process, same machine.
+    pub speedup_vs_ref: f64,
+}
+
+/// A full measurement: every row plus the parameters that shaped it.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Scenario × driver rows, scenario-major, reference driver first.
+    pub rows: Vec<PerfRow>,
+    /// Fetched words per pass.
+    pub words: u64,
+    /// Timed iterations per driver (after one warmup pass).
+    pub iters: u32,
+    /// Whether this was the quick (CI smoke) shape.
+    pub quick: bool,
+}
+
+impl PerfReport {
+    /// The headline speedup: [`HEADLINE`]'s row, `0.0` if missing.
+    #[must_use]
+    pub fn headline_speedup(&self) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| (r.scenario, r.core) == HEADLINE)
+            .map_or(0.0, |r| r.speedup_vs_ref)
+    }
+
+    /// Renders the `BENCH_perf_fetch.json` manifest body — parseable
+    /// by `wp_tune::TraceSet` (fetches = Mfetch/s, icache_pj =
+    /// speedup over the reference driver).
+    #[must_use]
+    pub fn json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from(PERF_SCHEMA)),
+            (
+                "provenance",
+                Json::obj([
+                    ("quick", Json::from(self.quick)),
+                    ("words", Json::Uint(self.words)),
+                    ("iters", Json::from(self.iters)),
+                    ("statistic", Json::from("min")),
+                    ("target_speedup", Json::from(TARGET_SPEEDUP)),
+                ]),
+            ),
+            (
+                "runs",
+                Json::arr(self.rows.iter().map(|row| {
+                    Json::obj([
+                        ("benchmark", Json::from(row.scenario)),
+                        ("scheme", Json::from(row.core)),
+                        ("fetches", Json::from(row.mfetch_per_s)),
+                        ("icache_pj", Json::from(row.speedup_vs_ref)),
+                        ("ns_per_pass", Json::from(row.ns)),
+                    ])
+                })),
+            ),
+            ("speedup", Json::from(self.headline_speedup())),
+        ])
+    }
+}
+
+/// Runs the whole measurement: tripwire, then min-of-N timing of every
+/// scenario × driver pair. Quick mode trims the stream and iteration
+/// count to CI-smoke size.
+///
+/// # Errors
+///
+/// The tripwire's divergence description, should the cores ever
+/// disagree.
+pub fn measure(quick: bool) -> Result<PerfReport, String> {
+    let (words, iters) = if quick { (40_000, 3) } else { (400_000, 7) };
+    let mut rows = Vec::new();
+    for scenario in scenarios(words) {
+        verify_equivalence(&scenario)?;
+        let drivers: [(&'static str, Driver); 3] = [
+            ("per-line-ref", drive_ref),
+            ("soa-fetch", drive_soa_fetch),
+            ("soa-block", drive_soa_block),
+        ];
+        let mut ref_ns = f64::NAN;
+        for (core, drive) in drivers {
+            let label = format!("{}/{core}", scenario.name);
+            let ns = bench_min(&label, 1, iters, || drive(scenario.config, &scenario.blocks));
+            if core == "per-line-ref" {
+                ref_ns = ns;
+            }
+            rows.push(PerfRow {
+                scenario: scenario.name,
+                core,
+                ns,
+                mfetch_per_s: scenario.words as f64 / ns * 1e3,
+                speedup_vs_ref: ref_ns / ns,
+            });
+        }
+    }
+    Ok(PerfReport { rows, words, iters, quick })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_tune::TraceSet;
+
+    #[test]
+    fn scenarios_are_line_bounded_and_sized() {
+        for scenario in scenarios(5_000) {
+            let line = scenario.config.icache.geometry.line_bytes();
+            let total: u64 = scenario.blocks.iter().map(|&(_, w)| u64::from(w)).sum();
+            assert_eq!(total, scenario.words, "{}", scenario.name);
+            for &(addr, words) in &scenario.blocks {
+                assert!(words >= 1);
+                let last = addr + 4 * (words - 1);
+                assert_eq!(addr / line, last / line, "{}: run straddles a line", scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn drivers_agree_on_small_streams() {
+        for scenario in scenarios(3_000) {
+            verify_equivalence(&scenario).expect("tripwire");
+        }
+    }
+
+    #[test]
+    fn manifest_parses_as_a_trace_set() {
+        let report = PerfReport {
+            rows: vec![
+                PerfRow {
+                    scenario: "straight",
+                    core: "per-line-ref",
+                    ns: 100.0,
+                    mfetch_per_s: 10.0,
+                    speedup_vs_ref: 1.0,
+                },
+                PerfRow {
+                    scenario: "straight",
+                    core: "soa-block",
+                    ns: 10.0,
+                    mfetch_per_s: 100.0,
+                    speedup_vs_ref: 10.0,
+                },
+            ],
+            words: 1_000,
+            iters: 3,
+            quick: true,
+        };
+        assert_eq!(report.headline_speedup(), 10.0);
+        let text = report.json().to_pretty();
+        let set = TraceSet::parse(&text, "perf", "perf").expect("parses");
+        assert_eq!(set.runs.len(), 2);
+        assert_eq!(set.runs[0].key, "straight/per-line-ref");
+        assert_eq!(set.runs[1].fetches, 100.0);
+        assert_eq!(set.runs[1].energy, 10.0);
+    }
+}

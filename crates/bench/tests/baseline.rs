@@ -4,7 +4,7 @@
 
 use std::path::PathBuf;
 
-use wp_bench::baseline::{bless, gate, BASELINE_FILES};
+use wp_bench::baseline::{bless, gate, BASELINE_FILES, PERF_BASELINE_FILE};
 use wp_tune::DiffThresholds;
 
 /// A fresh scratch directory under the system temp dir; any leftover
@@ -19,7 +19,8 @@ fn scratch(name: &str) -> PathBuf {
 fn bless_gate_round_trip_and_perturbation() {
     let blessed = scratch("blessed");
     let paths = bless(&blessed, true).expect("bless");
-    assert_eq!(paths.len(), BASELINE_FILES.len());
+    assert_eq!(paths.len(), BASELINE_FILES.len() + 1, "canonical pair + perf manifest");
+    assert!(paths[BASELINE_FILES.len()].ends_with(PERF_BASELINE_FILE));
     for path in &paths {
         assert!(path.is_file(), "{} missing", path.display());
     }
@@ -50,6 +51,37 @@ fn bless_gate_round_trip_and_perturbation() {
     assert_eq!(report.diffs[1].1.regressions(), 0);
 
     for dir in [blessed, scratch("fresh-clean"), scratch("fresh-perturbed")] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn perf_speedup_drift_gates_under_generous_thresholds() {
+    let blessed = scratch("perf-blessed");
+    bless(&blessed, true).expect("bless");
+
+    // Scale every blessed speedup (the icache_pj metric slot) roughly
+    // tenfold by prepending a digit: far past even the generous 75%
+    // relative gate and the 1.0 absolute speedup floor. The honest
+    // wall-clock wobble of the fresh re-measurement must NOT flag; the
+    // fabricated speedup shift must.
+    let path = blessed.join(PERF_BASELINE_FILE);
+    let text = std::fs::read_to_string(&path).expect("read perf baseline");
+    let perturbed = text.replace("\"icache_pj\": ", "\"icache_pj\": 9");
+    assert_ne!(text, perturbed, "no speedup field found to perturb");
+    std::fs::write(&path, perturbed).expect("write perturbed perf baseline");
+
+    let report =
+        gate(&blessed, &scratch("perf-fresh"), true, DiffThresholds::default()).expect("gate");
+    let (name, perf_diff) = &report.diffs[BASELINE_FILES.len()];
+    assert_eq!(name, PERF_BASELINE_FILE);
+    assert!(perf_diff.regressions() > 0, "tenfold speedup shift must flag");
+    assert_eq!(report.exit_code(), 1);
+    // The byte-deterministic manifests are untouched and stay clean.
+    assert_eq!(report.diffs[0].1.regressions(), 0);
+    assert_eq!(report.diffs[1].1.regressions(), 0);
+
+    for dir in [blessed, scratch("perf-fresh")] {
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -5,7 +5,20 @@
 //! slot. Data contents live in the functional simulator's flat memory;
 //! splitting the two keeps the cache model reusable for timing and
 //! energy studies, which is exactly how XTREM structures its caches.
+//!
+//! Storage is structure-of-arrays, mirroring the parallel
+//! tag/valid/data RAMs of a hardware cache (and of the SNIPPETS
+//! Verilog models): one contiguous `tags` slab, one `valid` bitset and
+//! one `dirty` bitset, all indexed `set * ways + way`. A set's ways
+//! are consecutive slab entries, so a full CAM search touches one or
+//! two cache lines of host memory instead of chasing per-line structs,
+//! and the valid bits of a whole set land in a single `u64` word
+//! (ways is a power of two ≤ 64 per set-word by construction of the
+//! bitset indexing). The per-line behaviour is bit-identical to the
+//! reference model in [`crate::refmodel`]; the differential harness
+//! holds the two together.
 
+use crate::geometry::GeometryShifts;
 use crate::rng::SplitMix64;
 use crate::CacheGeometry;
 
@@ -24,14 +37,6 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct LineState {
-    valid: bool,
-    tag: u32,
-    dirty: bool,
-    last_use: u64,
-}
-
 /// The outcome of a fill: which way was used and which line (by base
 /// address) was evicted, if any.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -44,15 +49,28 @@ pub struct FillOutcome {
     pub evicted_dirty: bool,
 }
 
-/// A set-associative tag array.
+/// A set-associative tag array in structure-of-arrays layout.
 #[derive(Clone, Debug)]
 pub struct CamArray {
     geom: CacheGeometry,
+    shifts: GeometryShifts,
     policy: ReplacementPolicy,
-    lines: Vec<LineState>,
+    /// Stored tags, indexed `set * ways + way`.
+    tags: Vec<u32>,
+    /// Valid bits, one per slot, packed 64 to a word.
+    valid: Vec<u64>,
+    /// Dirty bits, one per slot, packed 64 to a word.
+    dirty: Vec<u64>,
+    /// LRU timestamps, indexed `set * ways + way`.
+    last_use: Vec<u64>,
     round_robin: Vec<u32>,
     rng: SplitMix64,
     tick: u64,
+}
+
+#[inline]
+fn bitset_words(slots: usize) -> usize {
+    slots.div_ceil(64)
 }
 
 impl CamArray {
@@ -63,8 +81,12 @@ impl CamArray {
         let slots = (geom.sets() * geom.ways()) as usize;
         CamArray {
             geom,
+            shifts: geom.shifts(),
             policy,
-            lines: vec![LineState::default(); slots],
+            tags: vec![0; slots],
+            valid: vec![0; bitset_words(slots)],
+            dirty: vec![0; bitset_words(slots)],
+            last_use: vec![0; slots],
             round_robin: vec![0; geom.sets() as usize],
             rng: SplitMix64::new(seed),
             tick: 0,
@@ -77,53 +99,125 @@ impl CamArray {
         self.geom
     }
 
+    #[inline]
     fn slot(&self, set: u32, way: u32) -> usize {
-        (set * self.geom.ways() + way) as usize
+        (set * self.shifts.ways + way) as usize
+    }
+
+    #[inline]
+    fn is_valid(&self, slot: usize) -> bool {
+        self.valid[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    #[inline]
+    fn set_valid(&mut self, slot: usize) {
+        self.valid[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    #[inline]
+    fn is_dirty(&self, slot: usize) -> bool {
+        self.dirty[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    #[inline]
+    fn set_dirty_bit(&mut self, slot: usize) {
+        self.dirty[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    #[inline]
+    fn clear_dirty_bit(&mut self, slot: usize) {
+        self.dirty[slot >> 6] &= !(1u64 << (slot & 63));
+    }
+
+    /// The valid bits of `set`'s ways as the low bits of a word.
+    ///
+    /// A set's `ways` slots start at `set * ways`; because `ways` is a
+    /// power of two, for `ways <= 64` that aligned run never straddles
+    /// a bitset word, and for wider sets the caller-visible semantics
+    /// fall back to per-slot tests.
+    #[inline]
+    fn set_valid_bits(&self, set: u32) -> u64 {
+        let base = self.slot(set, 0);
+        let ways = self.shifts.ways;
+        if ways <= 64 {
+            let word = self.valid[base >> 6];
+            let lane = (base & 63) as u32;
+            let mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+            (word >> lane) & mask
+        } else {
+            // Degenerate ultra-wide sets: assemble the mask slot by slot.
+            (0..ways).fold(0u64, |acc, w| {
+                acc | (u64::from(self.is_valid(base + w as usize)) << w.min(63))
+            })
+        }
     }
 
     /// Searches the set for `addr`'s tag; returns the way on a hit.
     /// Pure lookup — does not touch recency state.
     #[must_use]
     pub fn lookup(&self, addr: u32) -> Option<u32> {
-        let set = self.geom.set_of(addr);
-        let tag = self.geom.tag_of(addr);
-        (0..self.geom.ways()).find(|&way| {
-            let line = &self.lines[self.slot(set, way)];
-            line.valid && line.tag == tag
-        })
+        let set = self.shifts.set_of(addr);
+        let tag = self.shifts.tag_of(addr);
+        let base = self.slot(set, 0);
+        if self.shifts.ways <= 64 {
+            // Scan only the valid ways, lowest way first — identical
+            // first-way-wins order to a sequential probe.
+            let mut live = self.set_valid_bits(set);
+            while live != 0 {
+                let way = live.trailing_zeros();
+                if self.tags[base + way as usize] == tag {
+                    return Some(way);
+                }
+                live &= live - 1;
+            }
+            None
+        } else {
+            (0..self.shifts.ways).find(|&way| {
+                self.is_valid(base + way as usize) && self.tags[base + way as usize] == tag
+            })
+        }
     }
 
     /// Whether `addr`'s specific way holds `addr`'s line — the one-tag
     /// probe a way-placement access performs.
     #[must_use]
     pub fn probe_way(&self, addr: u32, way: u32) -> bool {
-        let set = self.geom.set_of(addr);
-        let line = &self.lines[self.slot(set, way)];
-        line.valid && line.tag == self.geom.tag_of(addr)
+        let set = self.shifts.set_of(addr);
+        let slot = self.slot(set, way);
+        self.is_valid(slot) && self.tags[slot] == self.shifts.tag_of(addr)
     }
 
     /// Records a use of (set, way) for LRU bookkeeping.
     pub fn touch(&mut self, addr: u32, way: u32) {
         self.tick += 1;
-        let set = self.geom.set_of(addr);
+        let set = self.shifts.set_of(addr);
         let slot = self.slot(set, way);
-        self.lines[slot].last_use = self.tick;
+        self.last_use[slot] = self.tick;
     }
 
     /// Marks the line holding `addr` in `way` dirty (write-back caches).
     pub fn mark_dirty(&mut self, addr: u32, way: u32) {
-        let set = self.geom.set_of(addr);
+        let set = self.shifts.set_of(addr);
         let slot = self.slot(set, way);
-        self.lines[slot].dirty = true;
+        self.set_dirty_bit(slot);
     }
 
     /// Picks a victim way in `addr`'s set according to the policy,
     /// preferring invalid ways.
     pub fn pick_victim(&mut self, addr: u32) -> u32 {
-        let set = self.geom.set_of(addr);
-        let ways = self.geom.ways();
-        if let Some(way) = (0..ways).find(|&w| !self.lines[self.slot(set, w)].valid) {
-            return way;
+        let set = self.shifts.set_of(addr);
+        let ways = self.shifts.ways;
+        if ways <= 64 {
+            let mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+            let free = !self.set_valid_bits(set) & mask;
+            if free != 0 {
+                return free.trailing_zeros();
+            }
+        } else {
+            let base = self.slot(set, 0);
+            if let Some(way) = (0..ways).find(|&w| !self.is_valid(base + w as usize)) {
+                return way;
+            }
         }
         match self.policy {
             ReplacementPolicy::RoundRobin => {
@@ -132,7 +226,8 @@ impl CamArray {
                 way
             }
             ReplacementPolicy::Lru => {
-                (0..ways).min_by_key(|&w| self.lines[self.slot(set, w)].last_use).unwrap_or(0)
+                let base = self.slot(set, 0);
+                (0..ways).min_by_key(|&w| self.last_use[base + w as usize]).unwrap_or(0)
             }
             ReplacementPolicy::Random => self.rng.below(u64::from(ways)) as u32,
         }
@@ -141,17 +236,16 @@ impl CamArray {
     /// Installs `addr`'s line into `way`, returning what was evicted.
     pub fn fill(&mut self, addr: u32, way: u32) -> FillOutcome {
         self.tick += 1;
-        let set = self.geom.set_of(addr);
+        let set = self.shifts.set_of(addr);
         let slot = self.slot(set, way);
-        let old = self.lines[slot];
-        let evicted = old.valid.then(|| self.geom.addr_of(old.tag, set));
-        self.lines[slot] = LineState {
-            valid: true,
-            tag: self.geom.tag_of(addr),
-            dirty: false,
-            last_use: self.tick,
-        };
-        FillOutcome { way, evicted, evicted_dirty: old.valid && old.dirty }
+        let was_valid = self.is_valid(slot);
+        let evicted = was_valid.then(|| self.geom.addr_of(self.tags[slot], set));
+        let evicted_dirty = was_valid && self.is_dirty(slot);
+        self.tags[slot] = self.shifts.tag_of(addr);
+        self.set_valid(slot);
+        self.clear_dirty_bit(slot);
+        self.last_use[slot] = self.tick;
+        FillOutcome { way, evicted, evicted_dirty }
     }
 
     /// Flips one bit of the tag stored at (`set`, `way`) — the fault
@@ -159,39 +253,47 @@ impl CamArray {
     /// was actually corrupted; invalid slots are left untouched (there
     /// is no tag to corrupt).
     pub fn flip_tag_bit(&mut self, set: u32, way: u32, bit: u32) -> bool {
-        let slot = self.slot(set % self.geom.sets(), way % self.geom.ways());
-        let line = &mut self.lines[slot];
-        if !line.valid {
+        let slot = self.slot(set % self.shifts.sets, way % self.shifts.ways);
+        if !self.is_valid(slot) {
             return false;
         }
-        line.tag ^= 1 << (bit % self.geom.tag_bits());
+        self.tags[slot] ^= 1 << (bit % self.shifts.tag_bits);
         true
     }
 
     /// Invalidates every line (e.g. between benchmark runs).
     pub fn invalidate_all(&mut self) {
-        for line in &mut self.lines {
-            *line = LineState::default();
-        }
+        self.tags.fill(0);
+        self.valid.fill(0);
+        self.dirty.fill(0);
+        self.last_use.fill(0);
         self.round_robin.fill(0);
         self.tick = 0;
     }
 
-    /// Number of currently valid lines.
+    /// Number of currently valid lines (a popcount over the bitset).
     #[must_use]
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid_popcount()
+    }
+
+    /// Popcount of the valid bitset — by construction equal to
+    /// [`valid_lines`](CamArray::valid_lines); exposed separately so
+    /// invariant tests can compare it against an enumeration.
+    #[must_use]
+    pub fn valid_popcount(&self) -> usize {
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Iterates over the base addresses of all resident lines, with
     /// their (set, way) position — used by invariant checks.
     pub fn resident_lines(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
         let geom = self.geom;
-        let ways = geom.ways();
-        self.lines.iter().enumerate().filter(|(_, l)| l.valid).map(move |(i, l)| {
-            let set = i as u32 / ways;
-            let way = i as u32 % ways;
-            (geom.addr_of(l.tag, set), set, way)
+        let ways = self.shifts.ways;
+        (0..self.tags.len()).filter(|&slot| self.is_valid(slot)).map(move |slot| {
+            let set = slot as u32 / ways;
+            let way = slot as u32 % ways;
+            (geom.addr_of(self.tags[slot], set), set, way)
         })
     }
 }
@@ -309,5 +411,34 @@ mod tests {
         let mut lines: Vec<(u32, u32, u32)> = cam.resident_lines().collect();
         lines.sort_unstable();
         assert_eq!(lines, vec![(0x1000, 0, 1), (0x1020, 1, 2)]);
+    }
+
+    #[test]
+    fn popcount_tracks_enumeration() {
+        let mut cam = CamArray::new(CacheGeometry::xscale_icache(), ReplacementPolicy::Lru, 3);
+        let mut rng = SplitMix64::new(0x50a);
+        for _ in 0..2000 {
+            let addr = (rng.next_u32() >> 4) & !3;
+            let way = cam.lookup(addr).unwrap_or_else(|| cam.pick_victim(addr));
+            cam.fill(addr, way);
+            assert_eq!(cam.valid_popcount(), cam.resident_lines().count());
+        }
+    }
+
+    #[test]
+    fn sixty_four_way_set_valid_bits() {
+        // ways == 64 exercises the full-word mask path.
+        let geom = CacheGeometry::new(64 * 32, 64, 32);
+        let mut cam = CamArray::new(geom, ReplacementPolicy::RoundRobin, 0);
+        for i in 0..64u32 {
+            let addr = i * geom.way_span_bytes();
+            let way = cam.pick_victim(addr);
+            assert_eq!(way, i);
+            cam.fill(addr, way);
+        }
+        assert_eq!(cam.valid_lines(), 64);
+        for i in 0..64u32 {
+            assert_eq!(cam.lookup(i * geom.way_span_bytes()), Some(i));
+        }
     }
 }

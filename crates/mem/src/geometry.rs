@@ -142,6 +142,87 @@ impl CacheGeometry {
     pub fn addr_of(self, tag: u32, set: u32) -> u32 {
         (tag << (self.offset_bits() + self.index_bits())) | (set << self.offset_bits())
     }
+
+    /// Precomputes the address-slicing constants for a hot loop.
+    ///
+    /// Every accessor on [`CacheGeometry`] re-derives its shift or mask
+    /// (including a division for [`sets`](CacheGeometry::sets)); the
+    /// fetch cores instead hoist this struct once at construction so
+    /// the per-fetch path is pure shift/mask arithmetic.
+    #[must_use]
+    pub fn shifts(self) -> GeometryShifts {
+        GeometryShifts {
+            offset_bits: self.offset_bits(),
+            tag_shift: self.offset_bits() + self.index_bits(),
+            set_mask: self.sets() - 1,
+            line_mask: !(self.line_bytes - 1),
+            way_mask: self.ways - 1,
+            ways: self.ways,
+            sets: self.sets(),
+            tag_bits: self.tag_bits(),
+        }
+    }
+}
+
+/// Precomputed address-slicing constants (see [`CacheGeometry::shifts`]).
+///
+/// All fields are derived; the struct exists so the per-fetch hot path
+/// never recomputes a shift, mask or set count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GeometryShifts {
+    /// log2 of the line size.
+    pub offset_bits: u32,
+    /// Right-shift that yields the tag (`offset_bits + index_bits`).
+    pub tag_shift: u32,
+    /// `sets - 1` (sets are a power of two).
+    pub set_mask: u32,
+    /// AND-mask that yields the line base address.
+    pub line_mask: u32,
+    /// `ways - 1` (the placement-way mask of figure 3).
+    pub way_mask: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Number of sets.
+    pub sets: u32,
+    /// Width of the stored tag.
+    pub tag_bits: u32,
+}
+
+impl GeometryShifts {
+    /// The set index of an address.
+    #[inline]
+    #[must_use]
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr >> self.offset_bits) & self.set_mask
+    }
+
+    /// The tag of an address.
+    #[inline]
+    #[must_use]
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr >> self.tag_shift
+    }
+
+    /// The line-aligned base address.
+    #[inline]
+    #[must_use]
+    pub fn line_addr(&self, addr: u32) -> u32 {
+        addr & self.line_mask
+    }
+
+    /// The way-placement way of an address (low tag bits, figure 3).
+    #[inline]
+    #[must_use]
+    pub fn placement_way(&self, addr: u32) -> u32 {
+        self.tag_of(addr) & self.way_mask
+    }
+
+    /// The flat slab index of a (set, way) slot.
+    #[inline]
+    #[must_use]
+    pub fn slab_index(&self, set: u32, way: u32) -> usize {
+        (set * self.ways + way) as usize
+    }
 }
 
 impl fmt::Display for CacheGeometry {
@@ -209,6 +290,27 @@ mod tests {
             addr += g.line_bytes();
         }
         assert_eq!(seen.len() as u32, g.sets() * g.ways());
+    }
+
+    #[test]
+    fn shifts_agree_with_accessors() {
+        for geom in [
+            CacheGeometry::xscale_icache(),
+            CacheGeometry::new(16 * 1024, 8, 32),
+            CacheGeometry::new(64 * 1024, 32, 64),
+            CacheGeometry::new(256, 4, 32),
+        ] {
+            let s = geom.shifts();
+            assert_eq!(s.ways, geom.ways());
+            assert_eq!(s.sets, geom.sets());
+            assert_eq!(s.tag_bits, geom.tag_bits());
+            for addr in [0u32, 0x04, 0x1234_5678, 0xFFFF_FFFC, 0x8000] {
+                assert_eq!(s.set_of(addr), geom.set_of(addr), "{geom} set_of {addr:#x}");
+                assert_eq!(s.tag_of(addr), geom.tag_of(addr), "{geom} tag_of {addr:#x}");
+                assert_eq!(s.line_addr(addr), geom.line_addr(addr));
+                assert_eq!(s.placement_way(addr), geom.placement_way(addr));
+            }
+        }
     }
 
     #[test]

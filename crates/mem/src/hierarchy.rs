@@ -160,13 +160,23 @@ impl MemorySystem {
         tlb
     }
 
+    /// Folds an I-cache outcome and the parallel I-TLB outcome into one
+    /// timing result — the single place the TLB-fill stall is charged,
+    /// shared by [`fetch`](MemorySystem::fetch),
+    /// [`fetch_traced`](MemorySystem::fetch_traced) and
+    /// [`fetch_block`](MemorySystem::fetch_block) so the accounting
+    /// cannot drift between them.
+    fn compose_timing(fetch: crate::FetchOutcome, tlb: crate::TlbOutcome) -> FetchTiming {
+        FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }
+    }
+
     /// Fetches the instruction at `addr`: I-TLB and I-cache are accessed
     /// in parallel (§4.1), so a TLB hit adds no cycles; a TLB miss
     /// stalls for the fill.
     pub fn fetch(&mut self, addr: u32) -> FetchTiming {
         let tlb = self.pre_fetch(addr);
         let fetch = self.icache.fetch(addr, tlb.wp);
-        FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }
+        MemorySystem::compose_timing(fetch, tlb)
     }
 
     /// [`fetch`](MemorySystem::fetch) plus a classified telemetry
@@ -175,7 +185,51 @@ impl MemorySystem {
     pub fn fetch_traced(&mut self, addr: u32) -> (FetchTiming, FetchEvent) {
         let tlb = self.pre_fetch(addr);
         let (fetch, event) = self.icache.fetch_traced(addr, tlb.wp);
-        (FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }, event)
+        (MemorySystem::compose_timing(fetch, tlb), event)
+    }
+
+    /// Fetches `words` consecutive instruction words starting at
+    /// `addr`, all within one cache line: exactly equivalent — counter
+    /// for counter, cycle for cycle — to `words` sequential calls to
+    /// [`fetch`](MemorySystem::fetch), but the trailing same-line
+    /// elided fetches are accounted in bulk instead of one at a time.
+    ///
+    /// The returned timing sums the cycles of every fetch in the run;
+    /// `hit` is the conjunction of the per-fetch hits (in the batched
+    /// path only the leading fetch can miss).
+    ///
+    /// The bulk path requires same-line elision (after the leading
+    /// fetch establishes the line, the rest elide by construction), no
+    /// fault injector (its PRNG stream must advance once per fetch),
+    /// and the run not to straddle a page. Anything else falls back to
+    /// the per-fetch loop.
+    pub fn fetch_block(&mut self, addr: u32, words: u32) -> FetchTiming {
+        let line_mask = !(self.config.icache.geometry.line_bytes() - 1);
+        let last = addr + 4 * words.saturating_sub(1);
+        debug_assert!(words >= 1, "fetch_block needs at least one word");
+        debug_assert_eq!(addr & line_mask, last & line_mask, "run must stay within one line");
+        let page_mask = !(self.config.itlb.page_bytes - 1);
+        let batchable = words > 1
+            && self.fault.is_none()
+            && self.config.icache.same_line_elision
+            && (addr & page_mask) == (last & page_mask);
+        if !batchable {
+            let mut timing = self.fetch(addr);
+            for i in 1..words {
+                let next = self.fetch(addr + 4 * i);
+                timing.cycles += next.cycles;
+                timing.hit = timing.hit && next.hit;
+            }
+            return timing;
+        }
+        let first = self.fetch(addr);
+        let rest = u64::from(words - 1);
+        // The leading fetch resolved (and if necessary filled) the TLB
+        // entry and established `last_line`; the remaining same-line,
+        // same-page fetches are elided hits of one cycle each.
+        self.itlb.note_repeat_hits(rest);
+        self.icache.elide_run(last, rest);
+        FetchTiming { hit: first.hit, cycles: first.cycles + words - 1 }
     }
 
     /// A data load at `addr` during pipeline cycle `now`; returns stall
@@ -342,6 +396,94 @@ mod tests {
             mem.fetch(0x8000 + (i % 32) * 4);
         }
         assert_eq!(mem.fault_stats(), first, "reset replays the same stream");
+    }
+
+    fn stream(seed: u64, len: usize) -> Vec<u32> {
+        // A loopy, multi-page fetch stream with sequential runs.
+        let mut rng = crate::rng::SplitMix64::new(seed);
+        let mut pc = 0x8000u32;
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let run = rng.range_u64(1, 12) as u32;
+            for i in 0..run {
+                out.push(pc + 4 * i);
+            }
+            pc = if rng.below(3) == 0 {
+                0x8000 + (rng.next_u32() & 0x3FFF & !3)
+            } else {
+                pc + 4 * run
+            };
+        }
+        out.truncate(len);
+        out
+    }
+
+    /// Satellite: the traced and untraced paths share one accounting
+    /// helper — equal streams must produce equal `FetchStats`, TLB
+    /// stats and timings.
+    #[test]
+    fn traced_and_untraced_fetch_cannot_drift() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        for config in [
+            MemoryConfig::baseline(geom),
+            MemoryConfig::way_placement(geom, 0x8000, 2048),
+            MemoryConfig::way_memoization(geom),
+            MemoryConfig::way_prediction(geom),
+        ] {
+            let mut plain = MemorySystem::new(config);
+            let mut traced = MemorySystem::new(config);
+            for addr in stream(0xD1FF, 4000) {
+                let untraced = plain.fetch(addr);
+                let (timing, event) = traced.fetch_traced(addr);
+                assert_eq!(timing, untraced, "addr {addr:#x}");
+                assert_eq!(event.pc, addr);
+                assert_eq!(event.hit, timing.hit);
+            }
+            assert_eq!(plain.fetch_stats(), traced.fetch_stats());
+            assert_eq!(plain.itlb_stats(), traced.itlb_stats());
+        }
+    }
+
+    /// `fetch_block` is cycle- and counter-identical to the per-fetch
+    /// loop for every scheme, including the baseline fallback (no
+    /// elision) and the faulted fallback (PRNG stream per fetch).
+    #[test]
+    fn fetch_block_matches_sequential_fetches() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let faulted =
+            MemoryConfig::way_placement(geom, 0x8000, 2048).with_fault(FaultConfig::all(3, 80_000));
+        for config in [
+            MemoryConfig::baseline(geom),
+            MemoryConfig::way_placement(geom, 0x8000, 2048),
+            MemoryConfig::way_memoization(geom),
+            MemoryConfig::way_prediction(geom),
+            faulted,
+        ] {
+            let mut looped = MemorySystem::new(config);
+            let mut blocked = MemorySystem::new(config);
+            let mut rng = crate::rng::SplitMix64::new(0xB10C);
+            let mut pc = 0x8000u32;
+            for _ in 0..3000 {
+                let words_left = (geom.line_bytes() - (pc & (geom.line_bytes() - 1))) / 4;
+                let words = rng.range_u64(1, u64::from(words_left)) as u32;
+                let mut loop_timing = looped.fetch(pc);
+                for i in 1..words {
+                    let t = looped.fetch(pc + 4 * i);
+                    loop_timing.cycles += t.cycles;
+                    loop_timing.hit = loop_timing.hit && t.hit;
+                }
+                let block_timing = blocked.fetch_block(pc, words);
+                assert_eq!(block_timing, loop_timing, "pc {pc:#x} words {words}");
+                pc = if rng.below(4) == 0 {
+                    0x8000 + (rng.next_u32() & 0x7FFF & !3)
+                } else {
+                    pc + 4 * words
+                };
+            }
+            assert_eq!(looped.fetch_stats(), blocked.fetch_stats());
+            assert_eq!(looped.itlb_stats(), blocked.itlb_stats());
+            assert_eq!(looped.fault_stats(), blocked.fault_stats());
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! recorded in [`FetchStats`].
 
 use crate::cam::{CamArray, ReplacementPolicy};
+use crate::geometry::GeometryShifts;
 use crate::{CacheGeometry, FetchStats};
 use wp_trace::{AccessKind, FetchEvent};
 
@@ -123,19 +124,6 @@ pub struct FetchOutcome {
     pub cycles: u32,
 }
 
-/// A memoization link: "the next fetch after this slot went to this way
-/// of this line".
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct Link {
-    target_line: u32,
-    way: u32,
-}
-
-/// Per-line link storage: one link per instruction slot plus the
-/// next-sequential-line link (8 + 1 = 9 links on a 32-byte line, exactly
-/// the paper's accounting).
-type LineLinks = Vec<Option<Link>>;
-
 #[derive(Clone, Copy, Debug)]
 struct PrevFetch {
     addr: u32,
@@ -145,9 +133,19 @@ struct PrevFetch {
 }
 
 /// The instruction cache.
+///
+/// All per-line state lives in flat structure-of-arrays slabs: the tag
+/// array is the SoA [`CamArray`], the way-memoization links are three
+/// parallel slabs (`link_target` / `link_way` / a validity bitset)
+/// indexed `(set * ways + way) * links_per_line + slot`, and the MRU
+/// way-prediction table is a `u8` slab. The fetch scheme is resolved
+/// to a function pointer at construction, so the per-fetch hot path
+/// never matches on the scheme enum.
 #[derive(Clone, Debug)]
 pub struct InstructionCache {
     config: ICacheConfig,
+    /// Precomputed address-slicing constants (hot path).
+    shifts: GeometryShifts,
     array: CamArray,
     stats: FetchStats,
     /// Line base of the previous fetch, for same-line elision. Cleared
@@ -156,29 +154,61 @@ pub struct InstructionCache {
     /// The global way-hint bit (§4.1): was the previous fetch a
     /// way-placement access?
     way_hint: bool,
-    /// Way-memoization link storage, indexed `set * ways + way`.
-    links: Vec<LineLinks>,
+    /// Way-memoization link targets (line base addresses), indexed
+    /// `(set * ways + way) * links_per_line + slot`.
+    link_target: Vec<u32>,
+    /// Way-memoization link ways, parallel to `link_target`.
+    link_way: Vec<u8>,
+    /// Link validity bits, packed 64 to a word, parallel to the slabs.
+    link_valid: Vec<u64>,
+    /// Links per line (`words_per_line + 1`), hoisted for indexing.
+    links_per_line: u32,
     prev_fetch: Option<PrevFetch>,
-    /// Way-prediction MRU table: predicted way per set.
-    mru_way: Vec<u32>,
+    /// Way-prediction MRU table: predicted way per set (the way-hint
+    /// slab — one `u8` per set, always `< ways`).
+    mru_way: Vec<u8>,
+    /// Scheme dispatch, resolved once at construction.
+    scheme_fetch: fn(&mut InstructionCache, u32, bool) -> FetchOutcome,
+    /// Whether `record_prev` has work to do (way-memoization only).
+    track_prev: bool,
 }
 
 impl InstructionCache {
     /// Creates an empty instruction cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 256 ways — the `u8` way
+    /// slabs cover every geometry the paper, fig6 and the autotuner
+    /// sweep (max 32 ways), with 8× headroom.
     #[must_use]
     pub fn new(config: ICacheConfig) -> InstructionCache {
         let geom = config.geometry;
+        assert!(geom.ways() <= 256, "u8 way slabs support at most 256 ways");
         let slots = (geom.sets() * geom.ways()) as usize;
-        let links_per_line = geom.words_per_line() as usize + 1;
+        let links_per_line = geom.words_per_line() + 1;
+        let link_slots = slots * links_per_line as usize;
+        let scheme_fetch = match config.scheme {
+            FetchScheme::Baseline => Self::fetch_baseline_dispatch,
+            FetchScheme::WayPlacement => Self::fetch_way_placement,
+            FetchScheme::WayMemoization => Self::fetch_way_memoization_dispatch,
+            FetchScheme::WayPrediction => Self::fetch_way_prediction_dispatch,
+        };
         InstructionCache {
             config,
+            shifts: geom.shifts(),
             array: CamArray::new(geom, config.replacement, 0x1cac4e),
             stats: FetchStats::new(),
             last_line: None,
             way_hint: false,
-            links: vec![vec![None; links_per_line]; slots],
+            link_target: vec![0; link_slots],
+            link_way: vec![0; link_slots],
+            link_valid: vec![0; link_slots.div_ceil(64)],
+            links_per_line,
             prev_fetch: None,
             mru_way: vec![0; geom.sets() as usize],
+            scheme_fetch,
+            track_prev: config.scheme == FetchScheme::WayMemoization,
         }
     }
 
@@ -207,9 +237,7 @@ impl InstructionCache {
         self.stats = FetchStats::new();
         self.last_line = None;
         self.way_hint = false;
-        for line in &mut self.links {
-            line.fill(None);
-        }
+        self.link_valid.fill(0);
         self.prev_fetch = None;
         self.mru_way.fill(0);
     }
@@ -219,9 +247,8 @@ impl InstructionCache {
     /// parallel-access constraint of §4.1, is only available *after* the
     /// cache access, which is why the way-hint bit exists.
     pub fn fetch(&mut self, addr: u32, wp_page: bool) -> FetchOutcome {
-        let geom = self.config.geometry;
         self.stats.fetches += 1;
-        let line = geom.line_addr(addr);
+        let line = self.shifts.line_addr(addr);
 
         // Same-line elision: no tag check at all when fetching from the
         // line the previous fetch used (§4.2, shared with [12]).
@@ -235,15 +262,27 @@ impl InstructionCache {
             return FetchOutcome { hit: true, cycles: 1 };
         }
 
-        let outcome = match self.config.scheme {
-            FetchScheme::Baseline => self.fetch_baseline(addr),
-            FetchScheme::WayPlacement => self.fetch_way_placement(addr, wp_page),
-            FetchScheme::WayMemoization => self.fetch_way_memoization(addr),
-            FetchScheme::WayPrediction => self.fetch_way_prediction(addr),
-        };
+        let outcome = (self.scheme_fetch)(self, addr, wp_page);
         self.last_line = Some(line);
         self.record_prev(addr);
         outcome
+    }
+
+    /// Records `count` additional same-line elided fetches after a
+    /// fetch of an earlier word of the same line — the bulk half of
+    /// `MemorySystem::fetch_block`. `last_addr` is the final fetched
+    /// address; counter-for-counter this equals `count` sequential
+    /// calls to [`fetch`](InstructionCache::fetch) that all take the
+    /// elision path (intermediate `prev_fetch` values are overwritten
+    /// before anything can observe them).
+    pub(crate) fn elide_run(&mut self, last_addr: u32, count: u64) {
+        debug_assert!(self.config.same_line_elision);
+        debug_assert_eq!(self.last_line, Some(self.shifts.line_addr(last_addr)));
+        self.stats.fetches += count;
+        self.stats.same_line_elisions += count;
+        self.stats.hits += count;
+        self.stats.data_reads += count;
+        self.record_prev(last_addr);
     }
 
     /// [`fetch`](InstructionCache::fetch) plus a fully-classified
@@ -283,7 +322,7 @@ impl InstructionCache {
     fn record_prev(&mut self, addr: u32) {
         // Only way-memoization consults the previous fetch's position;
         // skip the bookkeeping (and its way scan) for the other schemes.
-        if self.config.scheme != FetchScheme::WayMemoization {
+        if !self.track_prev {
             return;
         }
         let geom = self.config.geometry;
@@ -295,10 +334,14 @@ impl InstructionCache {
     // ----- baseline ---------------------------------------------------
 
     fn full_search(&mut self, addr: u32) -> Option<u32> {
-        let ways = self.config.geometry.ways() as u64;
+        let ways = u64::from(self.shifts.ways);
         self.stats.tag_comparisons += ways;
         self.stats.matchline_precharges += ways;
         self.array.lookup(addr)
+    }
+
+    fn fetch_baseline_dispatch(&mut self, addr: u32, _wp_page: bool) -> FetchOutcome {
+        self.fetch_baseline(addr)
     }
 
     fn fetch_baseline(&mut self, addr: u32) -> FetchOutcome {
@@ -330,10 +373,9 @@ impl InstructionCache {
         // A fill resets the filled line's links and conceptually sweeps
         // links that pointed at the evicted line (the invalidation cost
         // way-memoization pays; see DESIGN.md §4).
-        if self.config.scheme == FetchScheme::WayMemoization {
-            let slot =
-                (self.config.geometry.set_of(addr) * self.config.geometry.ways() + way) as usize;
-            self.links[slot].fill(None);
+        if self.track_prev {
+            let slot = self.shifts.slab_index(self.shifts.set_of(addr), way);
+            self.clear_line_links(slot);
             if outcome.evicted.is_some() {
                 self.stats.link_invalidations += 1;
             }
@@ -346,7 +388,6 @@ impl InstructionCache {
     // ----- way-placement ------------------------------------------------
 
     fn fetch_way_placement(&mut self, addr: u32, wp_page: bool) -> FetchOutcome {
-        let geom = self.config.geometry;
         let hint_wp = self.way_hint;
         self.way_hint = wp_page;
 
@@ -354,7 +395,7 @@ impl InstructionCache {
             // Predicted way-placement: arm exactly one way.
             self.stats.tag_comparisons += 1;
             self.stats.matchline_precharges += 1;
-            let way = geom.placement_way(addr);
+            let way = self.shifts.placement_way(addr);
             if wp_page {
                 self.stats.wp_accesses += 1;
                 if self.array.probe_way(addr, way) {
@@ -404,7 +445,7 @@ impl InstructionCache {
                     // invariant that way-placed lines only ever occupy
                     // their mapped way.
                     let way = if wp_page {
-                        geom.placement_way(addr)
+                        self.shifts.placement_way(addr)
                     } else {
                         self.array.pick_victim(addr)
                     };
@@ -417,39 +458,66 @@ impl InstructionCache {
 
     // ----- way-memoization ----------------------------------------------
 
-    fn link_index(&self, set: u32, way: u32) -> usize {
-        (set * self.config.geometry.ways() + way) as usize
+    /// The flat slab index of one link: line slot `(set, way)`, link
+    /// slot `slot` within that line.
+    #[inline]
+    fn link_index(&self, set: u32, way: u32, slot: u32) -> usize {
+        (self.shifts.slab_index(set, way) as u32 * self.links_per_line + slot) as usize
+    }
+
+    #[inline]
+    fn link_is_valid(&self, index: usize) -> bool {
+        self.link_valid[index >> 6] & (1u64 << (index & 63)) != 0
+    }
+
+    #[inline]
+    fn set_link(&mut self, index: usize, target_line: u32, way: u32) {
+        self.link_target[index] = target_line;
+        self.link_way[index] = way.min(u32::from(u8::MAX)) as u8;
+        self.link_valid[index >> 6] |= 1u64 << (index & 63);
+    }
+
+    /// Clears every link of the line at slab slot `slot`.
+    fn clear_line_links(&mut self, slot: usize) {
+        let base = slot * self.links_per_line as usize;
+        for index in base..base + self.links_per_line as usize {
+            self.link_valid[index >> 6] &= !(1u64 << (index & 63));
+        }
     }
 
     /// The link the previous fetch latched for this transition: the
     /// next-line link for sequential line crossings, the instruction's
     /// own link otherwise.
-    fn latched_link(&self, prev: &PrevFetch, addr: u32) -> (usize, usize) {
+    fn latched_link(&self, prev: &PrevFetch, addr: u32) -> usize {
         let sequential = addr == prev.addr.wrapping_add(4);
         let slot = if sequential {
-            self.config.geometry.words_per_line() as usize // next-line link
+            self.config.geometry.words_per_line() // next-line link
         } else {
-            prev.slot as usize
+            prev.slot
         };
-        (self.link_index(prev.set, prev.way), slot)
+        self.link_index(prev.set, prev.way, slot)
+    }
+
+    fn fetch_way_memoization_dispatch(&mut self, addr: u32, _wp_page: bool) -> FetchOutcome {
+        self.fetch_way_memoization(addr)
     }
 
     fn fetch_way_memoization(&mut self, addr: u32) -> FetchOutcome {
-        let geom = self.config.geometry;
-        let line = geom.line_addr(addr);
+        let line = self.shifts.line_addr(addr);
 
         // Try the link latched by the previous fetch.
         if let Some(prev) = self.prev_fetch {
             // The link is only meaningful if the previous line is still
             // resident where we read it from (fills clear links).
             if self.array.probe_way(prev.addr, prev.way) {
-                let (index, slot) = self.latched_link(&prev, addr);
-                if let Some(link) = self.links[index][slot] {
+                let index = self.latched_link(&prev, addr);
+                if self.link_is_valid(index) {
+                    let link_way = u32::from(self.link_way[index]);
                     // The stored valid bit is cleared on eviction: model
                     // by checking the target still holds the line.
-                    if link.target_line == line && self.array.probe_way(addr, link.way) {
+                    if self.link_target[index] == line && self.array.probe_way(addr, link_way) {
                         self.stats.link_hits += 1;
-                        self.hit(addr, link.way);
+                        self.hit(addr, link_way);
                         return FetchOutcome { hit: true, cycles: 1 };
                     }
                 }
@@ -470,8 +538,8 @@ impl InstructionCache {
         };
         if let Some(prev) = self.prev_fetch {
             if self.array.probe_way(prev.addr, prev.way) {
-                let (index, slot) = self.latched_link(&prev, addr);
-                self.links[index][slot] = Some(Link { target_line: line, way });
+                let index = self.latched_link(&prev, addr);
+                self.set_link(index, line, way);
                 self.stats.link_updates += 1;
             }
         }
@@ -484,9 +552,13 @@ impl InstructionCache {
     /// first. A hit there costs one tag comparison; a miss re-issues a
     /// full-width access with a cycle penalty (the recovery cost §7 of
     /// the paper attributes to prediction schemes).
+    fn fetch_way_prediction_dispatch(&mut self, addr: u32, _wp_page: bool) -> FetchOutcome {
+        self.fetch_way_prediction(addr)
+    }
+
     fn fetch_way_prediction(&mut self, addr: u32) -> FetchOutcome {
-        let set = self.config.geometry.set_of(addr) as usize;
-        let predicted = self.mru_way[set];
+        let set = self.shifts.set_of(addr) as usize;
+        let predicted = u32::from(self.mru_way[set]);
         self.stats.tag_comparisons += 1;
         self.stats.matchline_precharges += 1;
         if self.array.probe_way(addr, predicted) {
@@ -499,14 +571,14 @@ impl InstructionCache {
         self.stats.penalty_cycles += 1;
         let mut outcome = match self.full_search(addr) {
             Some(way) => {
-                self.mru_way[set] = way;
+                self.mru_way[set] = way.min(u32::from(u8::MAX)) as u8;
                 self.hit(addr, way);
                 FetchOutcome { hit: true, cycles: 1 }
             }
             None => {
                 let way = self.array.pick_victim(addr);
                 self.miss_fill(addr, way);
-                self.mru_way[set] = way;
+                self.mru_way[set] = way.min(u32::from(u8::MAX)) as u8;
                 FetchOutcome { hit: false, cycles: 1 + self.config.miss_latency }
             }
         };
@@ -530,6 +602,14 @@ impl InstructionCache {
     #[must_use]
     pub fn array(&self) -> &CamArray {
         &self.array
+    }
+
+    /// The way-hint slab: the per-set MRU predicted way. Every entry is
+    /// `< ways` by construction — the invariant `tests/properties.rs`
+    /// checks.
+    #[must_use]
+    pub fn way_hint_slab(&self) -> &[u8] {
+        &self.mru_way
     }
 
     /// Toggles the global way-hint bit (fault injection: an upset of

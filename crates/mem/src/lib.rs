@@ -53,6 +53,7 @@ mod fault;
 mod geometry;
 mod hierarchy;
 mod icache;
+pub mod refmodel;
 pub mod rng;
 mod stats;
 mod tlb;
@@ -60,7 +61,7 @@ mod tlb;
 pub use cam::{CamArray, FillOutcome, ReplacementPolicy};
 pub use dcache::{DCacheConfig, DataCache, DataOutcome};
 pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
-pub use geometry::CacheGeometry;
+pub use geometry::{CacheGeometry, GeometryShifts};
 pub use hierarchy::{FetchTiming, MemoryConfig, MemorySystem};
 pub use icache::{FetchOutcome, FetchScheme, ICacheConfig, InstructionCache};
 pub use stats::{DCacheStats, FetchStats, TlbStats};

@@ -1,0 +1,787 @@
+//! The per-line reference fetch core, frozen for one PR.
+//!
+//! The live hierarchy ([`crate::MemorySystem`]) stores its cache and
+//! TLB state in flat structure-of-arrays slabs for speed. This module
+//! keeps the previous per-line-struct implementation alive, verbatim,
+//! so the differential-equivalence harness
+//! (`crates/mem/tests/soa_equivalence.rs`, `tests/fault_injection.rs`)
+//! can drive both cores lock-step and assert bit-identical
+//! [`FetchOutcome`]s, [`FetchStats`], energy and trace events across
+//! every scheme, geometry and fault weave.
+//!
+//! **Lifetime: one PR.** Once the SoA core has shipped with a blessed
+//! baseline regenerated on top of it, this module and the tests that
+//! name it should be deleted; it is a migration scaffold, not an API.
+//! It is `pub` (not `#[cfg(test)]`) only because integration tests and
+//! the `perf_fetch` benchmark live outside the crate and cannot see
+//! test-gated items.
+
+use crate::fault::{FaultInjector, FaultKind, FaultStats};
+use crate::icache::{FetchOutcome, FetchScheme, ICacheConfig};
+use crate::rng::SplitMix64;
+use crate::tlb::{TlbConfig, TlbOutcome};
+use crate::{CacheGeometry, FetchStats, FetchTiming, MemoryConfig, ReplacementPolicy, TlbStats};
+use wp_trace::{AccessKind, FetchEvent};
+
+// ----- per-line CAM array (pre-SoA CamArray) ---------------------------
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LineState {
+    valid: bool,
+    tag: u32,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// Outcome of a reference-model fill (mirrors [`crate::FillOutcome`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RefFillOutcome {
+    /// The way the new line was placed in.
+    pub way: u32,
+    /// Base address of the evicted line, if a valid line was displaced.
+    pub evicted: Option<u32>,
+    /// Whether the evicted line was dirty.
+    pub evicted_dirty: bool,
+}
+
+/// The pre-SoA tag array: one `LineState` struct per (set, way) slot.
+#[derive(Clone, Debug)]
+pub struct RefCamArray {
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    lines: Vec<LineState>,
+    round_robin: Vec<u32>,
+    rng: SplitMix64,
+    tick: u64,
+}
+
+impl RefCamArray {
+    /// Creates an empty array; `seed` only matters for
+    /// [`ReplacementPolicy::Random`].
+    #[must_use]
+    pub fn new(geom: CacheGeometry, policy: ReplacementPolicy, seed: u64) -> RefCamArray {
+        let slots = (geom.sets() * geom.ways()) as usize;
+        RefCamArray {
+            geom,
+            policy,
+            lines: vec![LineState::default(); slots],
+            round_robin: vec![0; geom.sets() as usize],
+            rng: SplitMix64::new(seed),
+            tick: 0,
+        }
+    }
+
+    /// The geometry this array was built with.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.geom.ways() + way) as usize
+    }
+
+    /// First-way-wins tag search; pure, no recency side effects.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<u32> {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        (0..self.geom.ways()).find(|&way| {
+            let line = &self.lines[self.slot(set, way)];
+            line.valid && line.tag == tag
+        })
+    }
+
+    /// Single-way probe: does `way` hold `addr`'s line?
+    #[must_use]
+    pub fn probe_way(&self, addr: u32, way: u32) -> bool {
+        let set = self.geom.set_of(addr);
+        let line = &self.lines[self.slot(set, way)];
+        line.valid && line.tag == self.geom.tag_of(addr)
+    }
+
+    /// Records a use of (set, way) for LRU bookkeeping.
+    pub fn touch(&mut self, addr: u32, way: u32) {
+        self.tick += 1;
+        let set = self.geom.set_of(addr);
+        let slot = self.slot(set, way);
+        self.lines[slot].last_use = self.tick;
+    }
+
+    /// Marks the line holding `addr` in `way` dirty.
+    pub fn mark_dirty(&mut self, addr: u32, way: u32) {
+        let set = self.geom.set_of(addr);
+        let slot = self.slot(set, way);
+        self.lines[slot].dirty = true;
+    }
+
+    /// Picks a victim way in `addr`'s set, preferring invalid ways.
+    pub fn pick_victim(&mut self, addr: u32) -> u32 {
+        let set = self.geom.set_of(addr);
+        let ways = self.geom.ways();
+        if let Some(way) = (0..ways).find(|&w| !self.lines[self.slot(set, w)].valid) {
+            return way;
+        }
+        match self.policy {
+            ReplacementPolicy::RoundRobin => {
+                let way = self.round_robin[set as usize];
+                self.round_robin[set as usize] = (way + 1) % ways;
+                way
+            }
+            ReplacementPolicy::Lru => {
+                (0..ways).min_by_key(|&w| self.lines[self.slot(set, w)].last_use).unwrap_or(0)
+            }
+            ReplacementPolicy::Random => self.rng.below(u64::from(ways)) as u32,
+        }
+    }
+
+    /// Installs `addr`'s line into `way`, returning what was evicted.
+    pub fn fill(&mut self, addr: u32, way: u32) -> RefFillOutcome {
+        self.tick += 1;
+        let set = self.geom.set_of(addr);
+        let slot = self.slot(set, way);
+        let old = self.lines[slot];
+        let evicted = old.valid.then(|| self.geom.addr_of(old.tag, set));
+        self.lines[slot] = LineState {
+            valid: true,
+            tag: self.geom.tag_of(addr),
+            dirty: false,
+            last_use: self.tick,
+        };
+        RefFillOutcome { way, evicted, evicted_dirty: old.valid && old.dirty }
+    }
+
+    /// Flips one stored tag bit; `true` when a valid line was corrupted.
+    pub fn flip_tag_bit(&mut self, set: u32, way: u32, bit: u32) -> bool {
+        let slot = self.slot(set % self.geom.sets(), way % self.geom.ways());
+        let line = &mut self.lines[slot];
+        if !line.valid {
+            return false;
+        }
+        line.tag ^= 1 << (bit % self.geom.tag_bits());
+        true
+    }
+
+    /// Invalidates every line.
+    pub fn invalidate_all(&mut self) {
+        for line in &mut self.lines {
+            *line = LineState::default();
+        }
+        self.round_robin.fill(0);
+        self.tick = 0;
+    }
+
+    /// Number of currently valid lines.
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Base address and (set, way) of every resident line.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        let geom = self.geom;
+        let ways = geom.ways();
+        self.lines.iter().enumerate().filter(|(_, l)| l.valid).map(move |(i, l)| {
+            let set = i as u32 / ways;
+            let way = i as u32 % ways;
+            (geom.addr_of(l.tag, set), set, way)
+        })
+    }
+}
+
+// ----- per-line instruction cache (pre-SoA InstructionCache) -----------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Link {
+    target_line: u32,
+    way: u32,
+}
+
+type LineLinks = Vec<Option<Link>>;
+
+#[derive(Clone, Copy, Debug)]
+struct PrevFetch {
+    addr: u32,
+    set: u32,
+    way: u32,
+    slot: u32,
+}
+
+/// The pre-SoA instruction cache: nested `Vec<Vec<Option<Link>>>` link
+/// storage and per-line structs in the tag array.
+#[derive(Clone, Debug)]
+pub struct RefInstructionCache {
+    config: ICacheConfig,
+    array: RefCamArray,
+    stats: FetchStats,
+    last_line: Option<u32>,
+    way_hint: bool,
+    links: Vec<LineLinks>,
+    prev_fetch: Option<PrevFetch>,
+    mru_way: Vec<u32>,
+}
+
+impl RefInstructionCache {
+    /// Creates an empty reference instruction cache.
+    #[must_use]
+    pub fn new(config: ICacheConfig) -> RefInstructionCache {
+        let geom = config.geometry;
+        let slots = (geom.sets() * geom.ways()) as usize;
+        let links_per_line = geom.words_per_line() as usize + 1;
+        RefInstructionCache {
+            config,
+            array: RefCamArray::new(geom, config.replacement, 0x1cac4e),
+            stats: FetchStats::new(),
+            last_line: None,
+            way_hint: false,
+            links: vec![vec![None; links_per_line]; slots],
+            prev_fetch: None,
+            mru_way: vec![0; geom.sets() as usize],
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ICacheConfig {
+        &self.config
+    }
+
+    /// Accumulated event counters.
+    #[must_use]
+    pub fn stats(&self) -> &FetchStats {
+        &self.stats
+    }
+
+    /// Resets all state (tags, links, hint, stats).
+    pub fn reset(&mut self) {
+        self.array.invalidate_all();
+        self.stats = FetchStats::new();
+        self.last_line = None;
+        self.way_hint = false;
+        for line in &mut self.links {
+            line.fill(None);
+        }
+        self.prev_fetch = None;
+        self.mru_way.fill(0);
+    }
+
+    /// Fetches the instruction at `addr` (see
+    /// [`crate::InstructionCache::fetch`]).
+    pub fn fetch(&mut self, addr: u32, wp_page: bool) -> FetchOutcome {
+        let geom = self.config.geometry;
+        self.stats.fetches += 1;
+        let line = geom.line_addr(addr);
+
+        if self.config.same_line_elision && self.last_line == Some(line) {
+            self.stats.same_line_elisions += 1;
+            self.stats.hits += 1;
+            self.stats.data_reads += 1;
+            self.record_prev(addr);
+            return FetchOutcome { hit: true, cycles: 1 };
+        }
+
+        let outcome = match self.config.scheme {
+            FetchScheme::Baseline => self.fetch_baseline(addr),
+            FetchScheme::WayPlacement => self.fetch_way_placement(addr, wp_page),
+            FetchScheme::WayMemoization => self.fetch_way_memoization(addr),
+            FetchScheme::WayPrediction => self.fetch_way_prediction(addr),
+        };
+        self.last_line = Some(line);
+        self.record_prev(addr);
+        outcome
+    }
+
+    /// [`fetch`](RefInstructionCache::fetch) plus the classified event.
+    pub fn fetch_traced(&mut self, addr: u32, wp_page: bool) -> (FetchOutcome, FetchEvent) {
+        let before = self.stats;
+        let outcome = self.fetch(addr, wp_page);
+        let delta = self.stats.delta(&before);
+        let event = FetchEvent {
+            pc: addr,
+            cycle: 0,
+            kind: ref_access_kind_of(&delta),
+            way: self.resolved_way(addr),
+            hit: outcome.hit,
+            tags: delta.tag_comparisons.min(u64::from(u16::MAX)) as u16,
+            fill: delta.line_fills > 0,
+            link_update: delta.link_updates > 0,
+            link_invalidation: delta.link_invalidations > 0,
+        };
+        (outcome, event)
+    }
+
+    /// The way `addr`'s line currently resides in, if resident.
+    #[must_use]
+    pub fn resolved_way(&self, addr: u32) -> Option<u8> {
+        self.array.lookup(addr).map(|way| way.min(u32::from(u8::MAX)) as u8)
+    }
+
+    fn record_prev(&mut self, addr: u32) {
+        if self.config.scheme != FetchScheme::WayMemoization {
+            return;
+        }
+        let geom = self.config.geometry;
+        let way = self.array.lookup(addr).unwrap_or(0);
+        self.prev_fetch =
+            Some(PrevFetch { addr, set: geom.set_of(addr), way, slot: geom.slot_of(addr) });
+    }
+
+    fn full_search(&mut self, addr: u32) -> Option<u32> {
+        let ways = self.config.geometry.ways() as u64;
+        self.stats.tag_comparisons += ways;
+        self.stats.matchline_precharges += ways;
+        self.array.lookup(addr)
+    }
+
+    fn fetch_baseline(&mut self, addr: u32) -> FetchOutcome {
+        match self.full_search(addr) {
+            Some(way) => {
+                self.hit(addr, way);
+                FetchOutcome { hit: true, cycles: 1 }
+            }
+            None => {
+                let way = self.array.pick_victim(addr);
+                self.miss_fill(addr, way);
+                FetchOutcome { hit: false, cycles: 1 + self.config.miss_latency }
+            }
+        }
+    }
+
+    fn hit(&mut self, addr: u32, way: u32) {
+        self.stats.hits += 1;
+        self.stats.data_reads += 1;
+        self.array.touch(addr, way);
+    }
+
+    fn miss_fill(&mut self, addr: u32, way: u32) {
+        self.stats.misses += 1;
+        self.stats.line_fills += 1;
+        self.stats.data_reads += 1;
+        self.stats.miss_stall_cycles += u64::from(self.config.miss_latency);
+        let outcome = self.array.fill(addr, way);
+        if self.config.scheme == FetchScheme::WayMemoization {
+            let slot =
+                (self.config.geometry.set_of(addr) * self.config.geometry.ways() + way) as usize;
+            self.links[slot].fill(None);
+            if outcome.evicted.is_some() {
+                self.stats.link_invalidations += 1;
+            }
+        }
+        self.last_line = None;
+    }
+
+    fn fetch_way_placement(&mut self, addr: u32, wp_page: bool) -> FetchOutcome {
+        let geom = self.config.geometry;
+        let hint_wp = self.way_hint;
+        self.way_hint = wp_page;
+
+        if hint_wp {
+            self.stats.tag_comparisons += 1;
+            self.stats.matchline_precharges += 1;
+            let way = geom.placement_way(addr);
+            if wp_page {
+                self.stats.wp_accesses += 1;
+                if self.array.probe_way(addr, way) {
+                    self.hit(addr, way);
+                    FetchOutcome { hit: true, cycles: 1 }
+                } else {
+                    self.miss_fill(addr, way);
+                    FetchOutcome { hit: false, cycles: 1 + self.config.miss_latency }
+                }
+            } else {
+                self.stats.hint_false_wp += 1;
+                self.stats.penalty_cycles += 1;
+                let mut outcome = match self.full_search(addr) {
+                    Some(way) => {
+                        self.hit(addr, way);
+                        FetchOutcome { hit: true, cycles: 1 }
+                    }
+                    None => {
+                        let way = self.array.pick_victim(addr);
+                        self.miss_fill(addr, way);
+                        FetchOutcome { hit: false, cycles: 1 + self.config.miss_latency }
+                    }
+                };
+                outcome.cycles += 1;
+                outcome
+            }
+        } else {
+            if wp_page {
+                self.stats.hint_false_normal += 1;
+            }
+            match self.full_search(addr) {
+                Some(way) => {
+                    self.hit(addr, way);
+                    FetchOutcome { hit: true, cycles: 1 }
+                }
+                None => {
+                    let way = if wp_page {
+                        geom.placement_way(addr)
+                    } else {
+                        self.array.pick_victim(addr)
+                    };
+                    self.miss_fill(addr, way);
+                    FetchOutcome { hit: false, cycles: 1 + self.config.miss_latency }
+                }
+            }
+        }
+    }
+
+    fn link_index(&self, set: u32, way: u32) -> usize {
+        (set * self.config.geometry.ways() + way) as usize
+    }
+
+    fn latched_link(&self, prev: &PrevFetch, addr: u32) -> (usize, usize) {
+        let sequential = addr == prev.addr.wrapping_add(4);
+        let slot = if sequential {
+            self.config.geometry.words_per_line() as usize
+        } else {
+            prev.slot as usize
+        };
+        (self.link_index(prev.set, prev.way), slot)
+    }
+
+    fn fetch_way_memoization(&mut self, addr: u32) -> FetchOutcome {
+        let geom = self.config.geometry;
+        let line = geom.line_addr(addr);
+
+        if let Some(prev) = self.prev_fetch {
+            if self.array.probe_way(prev.addr, prev.way) {
+                let (index, slot) = self.latched_link(&prev, addr);
+                if let Some(link) = self.links[index][slot] {
+                    if link.target_line == line && self.array.probe_way(addr, link.way) {
+                        self.stats.link_hits += 1;
+                        self.hit(addr, link.way);
+                        return FetchOutcome { hit: true, cycles: 1 };
+                    }
+                }
+            }
+        }
+
+        let (hit, way, cycles) = match self.full_search(addr) {
+            Some(way) => {
+                self.hit(addr, way);
+                (true, way, 1)
+            }
+            None => {
+                let way = self.array.pick_victim(addr);
+                self.miss_fill(addr, way);
+                (false, way, 1 + self.config.miss_latency)
+            }
+        };
+        if let Some(prev) = self.prev_fetch {
+            if self.array.probe_way(prev.addr, prev.way) {
+                let (index, slot) = self.latched_link(&prev, addr);
+                self.links[index][slot] = Some(Link { target_line: line, way });
+                self.stats.link_updates += 1;
+            }
+        }
+        FetchOutcome { hit, cycles }
+    }
+
+    fn fetch_way_prediction(&mut self, addr: u32) -> FetchOutcome {
+        let set = self.config.geometry.set_of(addr) as usize;
+        let predicted = self.mru_way[set];
+        self.stats.tag_comparisons += 1;
+        self.stats.matchline_precharges += 1;
+        if self.array.probe_way(addr, predicted) {
+            self.stats.wp_accesses += 1;
+            self.hit(addr, predicted);
+            return FetchOutcome { hit: true, cycles: 1 };
+        }
+        self.stats.hint_false_wp += 1;
+        self.stats.penalty_cycles += 1;
+        let mut outcome = match self.full_search(addr) {
+            Some(way) => {
+                self.mru_way[set] = way;
+                self.hit(addr, way);
+                FetchOutcome { hit: true, cycles: 1 }
+            }
+            None => {
+                let way = self.array.pick_victim(addr);
+                self.miss_fill(addr, way);
+                self.mru_way[set] = way;
+                FetchOutcome { hit: false, cycles: 1 + self.config.miss_latency }
+            }
+        };
+        outcome.cycles += 1;
+        outcome
+    }
+
+    /// Way-placement residency invariant (tests).
+    #[must_use]
+    pub fn way_placement_invariant_holds(&self, wp_limit: u32) -> bool {
+        let geom = self.config.geometry;
+        self.array
+            .resident_lines()
+            .filter(|&(addr, _, _)| addr < wp_limit)
+            .all(|(addr, _, way)| geom.placement_way(addr) == way)
+    }
+
+    /// Read-only view of the tag array.
+    #[must_use]
+    pub fn array(&self) -> &RefCamArray {
+        &self.array
+    }
+
+    /// Toggles the global way-hint bit (fault injection).
+    pub fn invert_way_hint(&mut self) {
+        self.way_hint = !self.way_hint;
+    }
+
+    /// Flips one stored tag bit (fault injection); also forgets the
+    /// same-line shortcut and the memoization anchor.
+    pub fn corrupt_tag_bit(&mut self, set: u32, way: u32, bit: u32) -> bool {
+        let corrupted = self.array.flip_tag_bit(set, way, bit);
+        if corrupted {
+            self.last_line = None;
+            self.prev_fetch = None;
+        }
+        corrupted
+    }
+}
+
+fn ref_access_kind_of(delta: &FetchStats) -> AccessKind {
+    if delta.same_line_elisions > 0 {
+        AccessKind::SameLine
+    } else if delta.link_hits > 0 {
+        AccessKind::LinkHit
+    } else if delta.hint_false_wp > 0 {
+        AccessKind::HintMispredict
+    } else if delta.wp_accesses > 0 {
+        AccessKind::Wp
+    } else {
+        AccessKind::Full
+    }
+}
+
+// ----- per-line TLB (pre-SoA Tlb) --------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct RefTlbEntry {
+    vpn: u32,
+    wp: bool,
+}
+
+/// The pre-SoA fully-associative TLB: `Vec<Option<Entry>>` storage with
+/// a linear scan per lookup.
+#[derive(Clone, Debug)]
+pub struct RefTlb {
+    config: TlbConfig,
+    entries: Vec<Option<RefTlbEntry>>,
+    next_victim: usize,
+    wp_limit: u32,
+    stats: TlbStats,
+}
+
+impl RefTlb {
+    /// Creates an empty TLB; see [`crate::Tlb::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wp_limit` is not page-aligned.
+    #[must_use]
+    pub fn new(config: TlbConfig, wp_limit: u32) -> RefTlb {
+        assert!(
+            wp_limit.is_multiple_of(config.page_bytes),
+            "way-placement limit {wp_limit:#x} is not page-aligned"
+        );
+        RefTlb {
+            config,
+            entries: vec![None; config.entries as usize],
+            next_victim: 0,
+            wp_limit,
+            stats: TlbStats::new(),
+        }
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Flushes all entries.
+    pub fn flush(&mut self) {
+        self.entries.fill(None);
+        self.next_victim = 0;
+    }
+
+    /// Resets entries and counters.
+    pub fn reset(&mut self) {
+        self.flush();
+        self.stats = TlbStats::new();
+    }
+
+    /// Looks up `addr`, filling on a miss.
+    pub fn lookup(&mut self, addr: u32) -> TlbOutcome {
+        self.stats.lookups += 1;
+        let vpn = addr >> self.config.page_bits();
+        if let Some(entry) = self.entries.iter().flatten().find(|e| e.vpn == vpn) {
+            return TlbOutcome { wp: entry.wp, miss: false, stall_cycles: 0 };
+        }
+        self.stats.misses += 1;
+        self.stats.miss_stall_cycles += u64::from(self.config.miss_penalty);
+        let page_base = vpn << self.config.page_bits();
+        let wp = page_base.saturating_add(self.config.page_bytes) <= self.wp_limit;
+        let victim = self.next_victim;
+        self.next_victim = (self.next_victim + 1) % self.entries.len();
+        self.entries[victim] = Some(RefTlbEntry { vpn, wp });
+        TlbOutcome { wp, miss: true, stall_cycles: self.config.miss_penalty }
+    }
+}
+
+// ----- fetch-side hierarchy (pre-SoA MemorySystem) ---------------------
+
+/// The fetch side of the pre-SoA [`crate::MemorySystem`]: I-cache,
+/// I-TLB and the fault weave, with the same `fetch` / `fetch_traced`
+/// accounting. The data side is untouched by the SoA rewrite's fetch
+/// path and is not mirrored here.
+#[derive(Clone, Debug)]
+pub struct RefMemorySystem {
+    config: MemoryConfig,
+    icache: RefInstructionCache,
+    itlb: RefTlb,
+    fault: Option<FaultInjector>,
+}
+
+impl RefMemorySystem {
+    /// Builds the reference fetch hierarchy from a configuration.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> RefMemorySystem {
+        let wp_limit =
+            if config.icache.scheme == FetchScheme::WayPlacement { config.wp_limit } else { 0 };
+        RefMemorySystem {
+            config,
+            icache: RefInstructionCache::new(config.icache),
+            itlb: RefTlb::new(config.itlb, wp_limit),
+            fault: config.fault.map(FaultInjector::new),
+        }
+    }
+
+    /// The fault-injection and I-TLB half of a fetch — the exact weave
+    /// order of the live core's `pre_fetch`.
+    fn pre_fetch(&mut self, addr: u32) -> TlbOutcome {
+        if let Some(injector) = self.fault.as_mut() {
+            if injector.fires(FaultKind::TagBitFlip) {
+                let geom = self.icache.config().geometry;
+                let set = injector.draw(geom.sets());
+                let way = injector.draw(geom.ways());
+                let bit = injector.draw(geom.tag_bits());
+                if self.icache.corrupt_tag_bit(set, way, bit) {
+                    injector.note_tag_bit_flip();
+                }
+            }
+            if injector.fires(FaultKind::HintInversion) {
+                self.icache.invert_way_hint();
+                injector.note_hint_inversion();
+            }
+        }
+        let mut tlb = self.itlb.lookup(addr);
+        if let Some(injector) = self.fault.as_mut() {
+            if injector.fires(FaultKind::StaleWpBit) {
+                tlb.wp = !tlb.wp;
+                injector.note_wp_bit_flip();
+            }
+        }
+        tlb
+    }
+
+    /// Fetches the instruction at `addr` (see
+    /// [`crate::MemorySystem::fetch`]).
+    pub fn fetch(&mut self, addr: u32) -> FetchTiming {
+        let tlb = self.pre_fetch(addr);
+        let fetch = self.icache.fetch(addr, tlb.wp);
+        FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }
+    }
+
+    /// [`fetch`](RefMemorySystem::fetch) plus a classified event.
+    pub fn fetch_traced(&mut self, addr: u32) -> (FetchTiming, FetchEvent) {
+        let tlb = self.pre_fetch(addr);
+        let (fetch, event) = self.icache.fetch_traced(addr, tlb.wp);
+        (FetchTiming { hit: fetch.hit, cycles: fetch.cycles + tlb.stall_cycles }, event)
+    }
+
+    /// Instruction-fetch counters.
+    #[must_use]
+    pub fn fetch_stats(&self) -> &FetchStats {
+        self.icache.stats()
+    }
+
+    /// I-TLB counters.
+    #[must_use]
+    pub fn itlb_stats(&self) -> &TlbStats {
+        self.itlb.stats()
+    }
+
+    /// Injected-fault counters.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| *f.stats()).unwrap_or_default()
+    }
+
+    /// The reference instruction cache (invariant checks).
+    #[must_use]
+    pub fn icache(&self) -> &RefInstructionCache {
+        &self.icache
+    }
+
+    /// Resets all fetch-side state, counters and the fault stream.
+    pub fn reset(&mut self) {
+        self.icache.reset();
+        self.itlb.reset();
+        self.fault = self.config.fault.map(FaultInjector::new);
+    }
+}
+
+// Keep the frozen core honest: the unit tests below pin the handful of
+// behaviours the differential harness leans on hardest.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+
+    #[test]
+    fn ref_core_matches_paper_figure_1_counts() {
+        let geom = CacheGeometry::new(256, 4, 32);
+        let mut cache = RefInstructionCache::new(ICacheConfig::baseline(geom));
+        for addr in [0x04, 0x08, 0x20] {
+            cache.fetch(addr, false);
+        }
+        let warm = cache.stats().tag_comparisons;
+        for addr in [0x04, 0x08, 0x20] {
+            cache.fetch(addr, false);
+        }
+        assert_eq!(cache.stats().tag_comparisons - warm, 12);
+    }
+
+    #[test]
+    fn ref_fetch_charges_tlb_fill_once() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let mut mem = RefMemorySystem::new(MemoryConfig::baseline(geom));
+        let first = mem.fetch(0x8000);
+        assert!(!first.hit);
+        assert!(first.cycles > 50);
+        let second = mem.fetch(0x8000);
+        assert!(second.hit);
+        assert_eq!(second.cycles, 1);
+        assert_eq!(mem.itlb_stats().misses, 1);
+    }
+
+    #[test]
+    fn ref_fault_stream_is_deterministic() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let run = || {
+            let cfg = MemoryConfig::way_placement(geom, 0x8000, 2048)
+                .with_fault(FaultConfig::all(7, 100_000));
+            let mut mem = RefMemorySystem::new(cfg);
+            let mut cycles = 0u64;
+            for i in 0..2000u32 {
+                cycles += u64::from(mem.fetch(0x8000 + (i % 64) * 4).cycles);
+            }
+            (cycles, mem.fault_stats())
+        };
+        assert_eq!(run(), run());
+        assert!(run().1.total() > 0);
+    }
+}

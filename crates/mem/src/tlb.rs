@@ -10,6 +10,15 @@
 //! size" yet evaluates 1 KB and 2 KB areas; we reconcile this with 1 KB
 //! pages (common in embedded MMUs) — see DESIGN.md §3 for the
 //! substitution note.
+//!
+//! Storage is structure-of-arrays: a contiguous `vpns` slab plus
+//! `present` and `wp` bitsets (the WP bits in a parallel slab, one bit
+//! per entry), with a last-hit index checked before the CAM scan.
+//! Because a fill only ever happens after a whole-TLB miss, present
+//! VPNs are unique, so answering from the last-hit entry — or scanning
+//! in any order — returns exactly what the per-line reference model
+//! ([`crate::refmodel::RefTlb`]) returns, and the hit path carries no
+//! recency state to update.
 
 use crate::TlbStats;
 
@@ -38,13 +47,6 @@ impl TlbConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct TlbEntry {
-    vpn: u32,
-    /// The way-placement bit, stored with the page permissions.
-    wp: bool,
-}
-
 /// Result of a TLB lookup.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TlbOutcome {
@@ -66,7 +68,16 @@ pub struct TlbOutcome {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    entries: Vec<Option<TlbEntry>>,
+    page_bits: u32,
+    /// Stored virtual page numbers, indexed by entry.
+    vpns: Vec<u32>,
+    /// Presence bits, one per entry, packed 64 to a word.
+    present: Vec<u64>,
+    /// Way-placement bits, one per entry, in a parallel slab.
+    wp: Vec<u64>,
+    /// The entry the last hit resolved to — fetch streams are heavily
+    /// page-local, so this answers most lookups without a scan.
+    last_hit: usize,
     next_victim: usize,
     wp_limit: u32,
     stats: TlbStats,
@@ -86,9 +97,14 @@ impl Tlb {
             wp_limit.is_multiple_of(config.page_bytes),
             "way-placement limit {wp_limit:#x} is not page-aligned"
         );
+        let words = (config.entries as usize).div_ceil(64);
         Tlb {
             config,
-            entries: vec![None; config.entries as usize],
+            page_bits: config.page_bits(),
+            vpns: vec![0; config.entries as usize],
+            present: vec![0; words],
+            wp: vec![0; words],
+            last_hit: 0,
             next_victim: 0,
             wp_limit,
             stats: TlbStats::new(),
@@ -115,7 +131,9 @@ impl Tlb {
 
     /// Flushes all entries (e.g. when the OS resizes the area).
     pub fn flush(&mut self) {
-        self.entries.fill(None);
+        self.present.fill(0);
+        self.wp.fill(0);
+        self.last_hit = 0;
         self.next_victim = 0;
     }
 
@@ -125,23 +143,58 @@ impl Tlb {
         self.stats = TlbStats::new();
     }
 
+    #[inline]
+    fn is_present(&self, entry: usize) -> bool {
+        self.present[entry >> 6] & (1u64 << (entry & 63)) != 0
+    }
+
+    #[inline]
+    fn wp_bit(&self, entry: usize) -> bool {
+        self.wp[entry >> 6] & (1u64 << (entry & 63)) != 0
+    }
+
     /// Looks up `addr`, filling on a miss.
     pub fn lookup(&mut self, addr: u32) -> TlbOutcome {
         self.stats.lookups += 1;
-        let vpn = addr >> self.config.page_bits();
-        if let Some(entry) = self.entries.iter().flatten().find(|e| e.vpn == vpn) {
-            return TlbOutcome { wp: entry.wp, miss: false, stall_cycles: 0 };
+        let vpn = addr >> self.page_bits;
+        // Same-page fast path: no scan when the last hit still matches.
+        let last = self.last_hit;
+        if self.vpns[last] == vpn && self.is_present(last) {
+            return TlbOutcome { wp: self.wp_bit(last), miss: false, stall_cycles: 0 };
+        }
+        if let Some(entry) =
+            (0..self.vpns.len()).find(|&e| self.is_present(e) && self.vpns[e] == vpn)
+        {
+            self.last_hit = entry;
+            return TlbOutcome { wp: self.wp_bit(entry), miss: false, stall_cycles: 0 };
         }
         // Miss: the OS writes the entry, deriving the way-placement bit
         // from the page's position relative to the configured area.
         self.stats.misses += 1;
         self.stats.miss_stall_cycles += u64::from(self.config.miss_penalty);
-        let page_base = vpn << self.config.page_bits();
+        let page_base = vpn << self.page_bits;
         let wp = page_base.saturating_add(self.config.page_bytes) <= self.wp_limit;
         let victim = self.next_victim;
-        self.next_victim = (self.next_victim + 1) % self.entries.len();
-        self.entries[victim] = Some(TlbEntry { vpn, wp });
+        self.next_victim = (self.next_victim + 1) % self.vpns.len();
+        self.vpns[victim] = vpn;
+        self.present[victim >> 6] |= 1u64 << (victim & 63);
+        if wp {
+            self.wp[victim >> 6] |= 1u64 << (victim & 63);
+        } else {
+            self.wp[victim >> 6] &= !(1u64 << (victim & 63));
+        }
+        self.last_hit = victim;
         TlbOutcome { wp, miss: true, stall_cycles: self.config.miss_penalty }
+    }
+
+    /// Records `count` additional lookups that are guaranteed hits on
+    /// the page the immediately preceding lookup resolved (the batched
+    /// same-line path of `MemorySystem::fetch_block`). Pure counter
+    /// bulk-update: per-fetch lookups of a resident page have no other
+    /// side effects.
+    pub fn note_repeat_hits(&mut self, count: u64) {
+        debug_assert!(self.is_present(self.last_hit), "repeat hits need a resident page");
+        self.stats.lookups += count;
     }
 }
 
@@ -215,5 +268,35 @@ mod tests {
         t.reset();
         assert_eq!(t.stats().lookups, 0);
         assert!(t.lookup(0).miss);
+    }
+
+    #[test]
+    fn last_hit_survives_unrelated_evictions() {
+        let mut t = tlb(0x0400);
+        // Fill all 4 entries; keep hitting page 3 while pages rotate in.
+        for page in 0..4u32 {
+            t.lookup(page * 1024);
+        }
+        assert!(!t.lookup(3 * 1024).miss);
+        // Entry 0 (page 0) is the round-robin victim for page 4; page 3
+        // must still hit afterwards with the correct wp bit.
+        assert!(t.lookup(4 * 1024).miss);
+        let out = t.lookup(3 * 1024);
+        assert!(!out.miss);
+        assert!(!out.wp);
+        let out = t.lookup(0x0000);
+        assert!(out.miss, "page 0 evicted");
+        assert!(out.wp, "page 0 is inside the 1 KB area");
+    }
+
+    #[test]
+    fn note_repeat_hits_only_bumps_lookups() {
+        let mut t = tlb(0);
+        t.lookup(0x8000);
+        let misses = t.stats().misses;
+        t.note_repeat_hits(7);
+        assert_eq!(t.stats().lookups, 8);
+        assert_eq!(t.stats().misses, misses);
+        assert!(!t.lookup(0x8004).miss);
     }
 }

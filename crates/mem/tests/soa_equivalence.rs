@@ -1,0 +1,174 @@
+//! Differential equivalence: the structure-of-arrays fetch core against
+//! the frozen per-line reference model ([`wp_mem::refmodel`]).
+//!
+//! Both cores are driven lock-step over the same address streams —
+//! seeded synthetic streams, real benchmark fetch traces, and
+//! fault-injected runs — across every fetch scheme and every figure-6
+//! geometry, asserting identical timing, trace events, counters and
+//! priced energy *per fetch*. Any SoA rewrite bug that changes a hit,
+//! a way, a penalty cycle or a counter shows up here with the exact
+//! fetch index that diverged.
+//!
+//! Set `WP_QUICK=1` to run a trimmed sweep (CI's quick lane).
+
+use wp_core::wp_isa::Image;
+use wp_core::wp_linker::{Layout, Linker, Profile};
+use wp_core::wp_sim::{simulate_traced, SimConfig};
+use wp_core::wp_trace::TraceRecorder;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_energy::CacheEnergyModel;
+use wp_mem::refmodel::RefMemorySystem;
+use wp_mem::rng::SplitMix64;
+use wp_mem::{CacheGeometry, FaultConfig, MemoryConfig, MemorySystem};
+
+fn quick() -> bool {
+    std::env::var_os("WP_QUICK").is_some()
+}
+
+/// The figure-6 geometry grid (16/32/64 KB × 8/16/32 ways, 32 B lines).
+fn figure6_geometries() -> Vec<CacheGeometry> {
+    let mut geometries = Vec::new();
+    for size_kb in [16u32, 32, 64] {
+        for ways in [8u32, 16, 32] {
+            geometries.push(CacheGeometry::new(size_kb * 1024, ways, 32));
+        }
+    }
+    geometries
+}
+
+/// All four fetch schemes around one geometry. The way-placement area
+/// is half the cache rounded to pages, anchored at `base`.
+fn scheme_configs(geom: CacheGeometry, base: u32) -> Vec<(&'static str, MemoryConfig)> {
+    let area = (geom.size_bytes() / 2) & !1023;
+    vec![
+        ("baseline", MemoryConfig::baseline(geom)),
+        ("way-placement", MemoryConfig::way_placement(geom, base, area.max(1024))),
+        ("way-memoization", MemoryConfig::way_memoization(geom)),
+        ("way-prediction", MemoryConfig::way_prediction(geom)),
+    ]
+}
+
+/// Drives both cores lock-step over `addrs`, asserting equality per
+/// fetch and over the final counters and priced energy.
+fn assert_lockstep(scheme: &str, config: MemoryConfig, addrs: &[u32]) {
+    let mut live = MemorySystem::new(config);
+    let mut reference = RefMemorySystem::new(config);
+    for (i, &addr) in addrs.iter().enumerate() {
+        let (live_timing, live_event) = live.fetch_traced(addr);
+        let (ref_timing, ref_event) = reference.fetch_traced(addr);
+        assert_eq!(
+            live_timing, ref_timing,
+            "{scheme} {}: timing diverged at fetch {i} ({addr:#x})",
+            config.icache.geometry
+        );
+        assert_eq!(
+            live_event, ref_event,
+            "{scheme} {}: event diverged at fetch {i} ({addr:#x})",
+            config.icache.geometry
+        );
+    }
+    assert_eq!(live.fetch_stats(), reference.fetch_stats(), "{scheme}: fetch stats");
+    assert_eq!(live.itlb_stats(), reference.itlb_stats(), "{scheme}: I-TLB stats");
+    assert_eq!(live.fault_stats(), reference.fault_stats(), "{scheme}: fault stats");
+    let model = CacheEnergyModel::for_scheme(config.icache.geometry, config.icache.scheme);
+    let live_pj = model.fetch_energy(live.fetch_stats()).total_pj();
+    let ref_pj = model.fetch_energy(reference.fetch_stats()).total_pj();
+    assert_eq!(live_pj.to_bits(), ref_pj.to_bits(), "{scheme}: priced energy");
+}
+
+/// A loopy instruction-like address stream: straight-line runs broken
+/// by mostly-backward branches with occasional far jumps, spanning
+/// several pages so the I-TLB churns too.
+fn synthetic_stream(seed: u64, len: usize, span: u32) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    let mut addrs = Vec::with_capacity(len);
+    let mut pc = (rng.below(u64::from(span / 4)) as u32) * 4;
+    while addrs.len() < len {
+        for _ in 0..rng.range_u64(1, 24) {
+            addrs.push(pc % span);
+            pc = pc.wrapping_add(4);
+        }
+        pc = if rng.below(4) == 0 {
+            (rng.below(u64::from(span / 4)) as u32) * 4
+        } else {
+            pc.wrapping_sub(rng.range_u64(0, 64) as u32 * 4) % span
+        };
+    }
+    addrs.truncate(len);
+    addrs
+}
+
+/// Captures the fetch-pc stream of a benchmark's natural-layout binary
+/// on the small input (run capped, stream capped at `cap` fetches).
+fn capture_fetch_pcs(benchmark: Benchmark, cap: usize) -> Vec<u32> {
+    let linked = Linker::new()
+        .with_modules(benchmark.modules(InputSet::Small))
+        .link(Layout::Natural, &Profile::empty())
+        .expect("link");
+    let mut config = SimConfig::new(MemoryConfig::baseline(CacheGeometry::xscale_icache()));
+    config.max_instructions = 40_000;
+    let mut recorder = TraceRecorder::new().with_capacity(cap);
+    // InstructionLimit on long benchmarks is expected: the recorded
+    // prefix is the stream under test either way.
+    let _ = simulate_traced(&linked.image, &config, &mut recorder);
+    recorder.events().iter().map(|e| e.pc).collect()
+}
+
+#[test]
+fn synthetic_streams_agree_across_schemes_and_geometries() {
+    let len = if quick() { 4_000 } else { 30_000 };
+    for geom in figure6_geometries() {
+        // A span a little past the cache size exercises conflict misses
+        // and way-placement wrap-around; several pages exercise the TLB.
+        let span = geom.size_bytes() + geom.size_bytes() / 2;
+        for (i, (scheme, config)) in scheme_configs(geom, 0).into_iter().enumerate() {
+            let seed = 0x50a0_0000 + u64::from(geom.size_bytes()) + i as u64;
+            assert_lockstep(scheme, config, &synthetic_stream(seed, len, span));
+        }
+    }
+}
+
+#[test]
+fn benchmark_fetch_streams_agree_across_schemes() {
+    let (benchmarks, cap): (&[Benchmark], usize) =
+        if quick() { (&Benchmark::ALL[..4], 2_048) } else { (&Benchmark::ALL, 8_192) };
+    let geom = CacheGeometry::xscale_icache();
+    for &benchmark in benchmarks {
+        let pcs = capture_fetch_pcs(benchmark, cap);
+        assert!(!pcs.is_empty(), "{benchmark}: captured no fetches");
+        for (scheme, config) in scheme_configs(geom, Image::TEXT_BASE) {
+            assert_lockstep(scheme, config, &pcs);
+        }
+    }
+}
+
+#[test]
+fn fault_injected_streams_agree_across_schemes() {
+    let len = if quick() { 4_000 } else { 20_000 };
+    let geom = CacheGeometry::xscale_icache();
+    for (i, (scheme, config)) in scheme_configs(geom, 0).into_iter().enumerate() {
+        // A hot rate so every weave point (stale WP bits, hint
+        // inversions, CAM tag flips) fires many times in the stream.
+        let config = config.with_fault(FaultConfig::all(0xFA_017 + i as u64, 50_000));
+        let stream = synthetic_stream(0xDEAD_0000 + i as u64, len, 96 * 1024);
+        assert_lockstep(scheme, config, &stream);
+    }
+}
+
+#[test]
+fn small_geometries_agree_too() {
+    // Below-figure-6 corners: minimum sets, high associativity relative
+    // to size, and the 64-way single-word valid-mask edge.
+    for geom in [
+        CacheGeometry::new(2 * 1024, 4, 32),
+        CacheGeometry::new(4 * 1024, 32, 32),
+        CacheGeometry::new(64 * 1024, 64, 32),
+    ] {
+        let len = if quick() { 2_000 } else { 10_000 };
+        for (i, (scheme, config)) in scheme_configs(geom, 0).into_iter().enumerate() {
+            let seed = 0x5311_0000 + u64::from(geom.ways()) + i as u64;
+            let stream = synthetic_stream(seed, len, geom.size_bytes() * 2);
+            assert_lockstep(scheme, config, &stream);
+        }
+    }
+}

@@ -292,6 +292,20 @@ pub fn simulate_traced<S: TraceSink>(
     let mut sample_period = sink.interval_cycles();
     let mut sample_start: u64 = 0;
     let mut sample_snapshot = FetchStats::new();
+    // Straight-line batching: a per-slot map of instructions whose step
+    // is `Control::Next` with unit issue, no data access and no slow
+    // result whichever way the condition resolves. Runs of those fetch
+    // through `MemorySystem::fetch_block`, amortising the I-TLB lookup
+    // and same-line bookkeeping over the cache line, cycle-exactly.
+    // Tracing and interval sampling need per-fetch visibility, so
+    // batching only arms on the plain path.
+    let simple: Vec<bool> = text.iter().map(|&insn| straight_line_simple(insn)).collect();
+    let line_words = config.mem.icache.geometry.words_per_line();
+    let batching = !sink.enabled() && sample_period.is_none();
+    // Upper bound on every scoreboard entry, maintained where slow
+    // results publish so the batch guard can prove "no stall possible
+    // inside this run" without scanning `ready`.
+    let mut ready_bound: u64 = 0;
 
     loop {
         if instructions >= config.max_instructions {
@@ -310,6 +324,43 @@ pub fn simulate_traced<S: TraceSink>(
             return Err(SimError::FetchOutOfText { pc });
         }
         let insn = text[index as usize];
+
+        // Batched straight-line fetch. Safe exactly when no scoreboard
+        // stall can fire inside the run (`cycles >= ready_bound` and no
+        // batched instruction publishes a slow result), so the per-
+        // instruction loop would only have added fetch cycles plus the
+        // one issue cycle the fetch already accounts — which is what
+        // `fetch_block` charges. The run is clamped to the cache line,
+        // the text section, the instruction budget and the next
+        // watchdog sampling point, so every skipped loop-top check is
+        // one that could not have fired.
+        if batching && cycles >= ready_bound && simple[index as usize] {
+            let line_left = line_words - (pc / Insn::SIZE) % line_words;
+            let limit = u64::from(line_left.min(text_len - index))
+                .min(config.max_instructions - instructions)
+                .min(0x4000 - (instructions & 0x3FFF)) as u32;
+            let mut run = 1u32;
+            while run < limit && simple[(index + run) as usize] {
+                run += 1;
+            }
+            if run > 1 {
+                let timing = mem.fetch_block(pc, run);
+                cycles += u64::from(timing.cycles);
+                for k in 0..run {
+                    let slot = (index + k) as usize;
+                    if let Some(counts) = insn_counts.as_mut() {
+                        counts[slot] += 1;
+                    }
+                    let outcome = step(&mut machine, text[slot], pc.wrapping_add(k * 4))?;
+                    debug_assert_eq!(outcome.control, Control::Next);
+                    debug_assert!(outcome.slow_dest.is_none() && outcome.mem_len == 0);
+                    debug_assert!(matches!(outcome.class, InsnClass::Alu | InsnClass::Nop));
+                    instructions += 1;
+                }
+                machine.pc = pc.wrapping_add(run * 4);
+                continue;
+            }
+        }
 
         // Fetch: I-TLB + I-cache (stalls include miss fills and
         // way-hint penalties).
@@ -374,6 +425,7 @@ pub fn simulate_traced<S: TraceSink>(
                 _ => 0,
             };
             ready[dest.index()] = cycles + u64::from(latency);
+            ready_bound = ready_bound.max(ready[dest.index()]);
         }
 
         // Data memory: blocking cache; stalls add directly.
@@ -470,6 +522,20 @@ fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Whether `insn` is statically *straight-line simple*: whichever way
+/// its condition resolves, `step` yields [`Control::Next`], one issue
+/// cycle, no data accesses and no slow result. Runs of such
+/// instructions are eligible for the batched-fetch fast path.
+fn straight_line_simple(insn: Insn) -> bool {
+    use wp_isa::{Op, Operand, ShiftAmount};
+    match insn.op {
+        Op::Nop | Op::Mov16 { .. } => true,
+        Op::Alu { op2: Operand::Reg { amount: ShiftAmount::Reg(_), .. }, .. } => false,
+        Op::Alu { .. } => true,
+        _ => false,
+    }
 }
 
 /// Returns whether the instruction reads any registers and the latest
@@ -793,6 +859,53 @@ mod tests {
         assert_eq!(sampled, plain.fetch.fetches, "intervals cover the whole run");
         let last = recorder.intervals().last().expect("samples exist");
         assert_eq!(last.end_cycle, plain.cycles, "final flush reaches exit");
+    }
+
+    #[test]
+    fn batched_straight_line_runs_match_per_fetch_timing() {
+        // A long straight-line block (crossing I-cache lines) sits
+        // between a load-use producer and the loop branch, so the batch
+        // path must respect the scoreboard guard, the line clamp and
+        // elision accounting. The traced run disables batching, so
+        // equality proves the batch path is cycle-exact — not merely
+        // checksum-preserving — under every fetch scheme.
+        let body: String =
+            (0..20).map(|i| format!("                add r0, r0, #{}\n", i + 1)).collect();
+        let src = format!(
+            "_start:
+                mov r4, #200
+                ldr r5, =v
+                mov r0, #0
+            .Ll:
+                ldr r1, [r5]
+                add r0, r0, r1
+{body}                subs r4, r4, #1
+                bne .Ll
+                swi #2
+                mov r0, #0
+                swi #0
+            .data
+            v: .word 3"
+        );
+        let image = link(&src);
+        let geom = CacheGeometry::new(2048, 4, 32);
+        for mem in [
+            MemoryConfig::baseline(geom),
+            MemoryConfig::way_placement(geom, Image::TEXT_BASE, 1024),
+            MemoryConfig::way_memoization(geom),
+            MemoryConfig::way_prediction(geom),
+        ] {
+            let cfg = SimConfig::new(mem).with_profile();
+            let plain = simulate(&image, &cfg).expect("untraced");
+            let mut recorder = wp_trace::TraceRecorder::new().with_capacity(1 << 16);
+            let traced = simulate_traced(&image, &cfg, &mut recorder).expect("traced");
+            assert_eq!(plain.cycles, traced.cycles, "{:?}", mem.icache.scheme);
+            assert_eq!(plain.checksum, traced.checksum);
+            assert_eq!(plain.instructions, traced.instructions);
+            assert_eq!(plain.fetch, traced.fetch, "{:?}", mem.icache.scheme);
+            assert_eq!(plain.itlb, traced.itlb);
+            assert_eq!(plain.insn_counts, traced.insn_counts);
+        }
     }
 
     #[test]

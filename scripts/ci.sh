@@ -19,6 +19,14 @@ echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [[ "$quick" -eq 1 ]]; then
+    echo "== SoA/per-line differential equivalence (quick sweep) =="
+    WP_QUICK=1 cargo test -q -p wp-mem --test soa_equivalence
+
+    echo "== fetch-core throughput smoke (tripwire + >=5x speedup) =="
+    smoke_perf_dir="$(mktemp -d)"
+    WP_BENCH_DIR="$smoke_perf_dir" cargo run --release -q --bin perf_fetch -- --quick
+    rm -rf "$smoke_perf_dir"
+
     echo "== stored-baseline smoke (self-bless + gate + perturbed) =="
     smoke_dir="$(mktemp -d)"
     trap 'rm -rf "$smoke_dir"' EXIT
@@ -96,6 +104,13 @@ if [[ "$quick" -eq 0 ]]; then
     fi
     if [[ ! -s "$smoke_dir/BENCH_trace_diff.json" ]]; then
         echo "missing manifest: BENCH_trace_diff.json" >&2
+        exit 1
+    fi
+
+    echo "== fetch-core throughput (tripwire + >=5x speedup gate) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin perf_fetch
+    if [[ ! -s "$smoke_dir/BENCH_perf_fetch.json" ]]; then
+        echo "missing manifest: BENCH_perf_fetch.json" >&2
         exit 1
     fi
 

@@ -10,7 +10,9 @@
 //! degradation or a typed error, never silent corruption.
 
 use wp_core::wp_linker::LinkError;
-use wp_core::wp_mem::{CacheGeometry, FaultConfig};
+use wp_core::wp_mem::refmodel::RefMemorySystem;
+use wp_core::wp_mem::rng::SplitMix64;
+use wp_core::wp_mem::{CacheGeometry, FaultConfig, MemoryConfig, MemorySystem};
 use wp_core::wp_sim::SimError;
 use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::{
@@ -91,6 +93,50 @@ fn fault_trials_are_deterministic_per_seed() {
             assert_eq!(e1.to_bits(), e2.to_bits());
         }
         (a, b) => panic!("expected two graceful runs, got {a:?} / {b:?}"),
+    }
+}
+
+/// Twin run: the same fault seed drives the SoA fetch core and the
+/// per-line reference model over one stream. Every weave point —
+/// stale WP bits, inverted way hints, CAM tag-bit flips — must land
+/// on the same (set, way) slot of both state layouts, which the
+/// per-fetch event equality, the final counters and a structural
+/// diff of the resident lines all witness.
+#[test]
+fn fault_weave_points_land_identically_in_soa_and_per_line_models() {
+    let geometry = CacheGeometry::xscale_icache();
+    for (seed, config) in [
+        (21u64, MemoryConfig::way_placement(geometry, 0, 32 * 1024)),
+        (22, MemoryConfig::way_memoization(geometry)),
+        (23, MemoryConfig::baseline(geometry)),
+    ] {
+        let config = config.with_fault(FaultConfig::all(seed, 100_000));
+        let mut live = MemorySystem::new(config);
+        let mut reference = RefMemorySystem::new(config);
+        let mut rng = SplitMix64::new(0xFA_0000 + seed);
+        let mut pc: u32 = 0;
+        for i in 0..30_000 {
+            // Loopy fetch stream: short straight runs, mostly-local jumps.
+            pc = if rng.below(6) == 0 {
+                (rng.below(48 * 1024) as u32) & !3
+            } else {
+                pc.wrapping_add(4) % (48 * 1024)
+            };
+            let (live_timing, live_event) = live.fetch_traced(pc);
+            let (ref_timing, ref_event) = reference.fetch_traced(pc);
+            assert_eq!(live_timing, ref_timing, "seed {seed}: timing diverged at fetch {i}");
+            assert_eq!(live_event, ref_event, "seed {seed}: event diverged at fetch {i}");
+        }
+        let faults = live.fault_stats();
+        assert_eq!(faults, reference.fault_stats(), "seed {seed}: fault counters");
+        assert!(faults.total() > 0, "seed {seed}: faults must land at 10%/kind");
+        assert_eq!(live.fetch_stats(), reference.fetch_stats(), "seed {seed}: fetch stats");
+        assert_eq!(live.itlb_stats(), reference.itlb_stats(), "seed {seed}: I-TLB stats");
+        // Structural diff: corrupted tags included, both models hold
+        // exactly the same lines in the same (set, way) slots.
+        let live_lines: Vec<_> = live.icache().array().resident_lines().collect();
+        let ref_lines: Vec<_> = reference.icache().array().resident_lines().collect();
+        assert_eq!(live_lines, ref_lines, "seed {seed}: resident lines diverged");
     }
 }
 

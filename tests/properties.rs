@@ -1,12 +1,20 @@
-//! Property tests for the end-to-end API surface: `align_area`
-//! arithmetic and the layout-invariance of `Workbench::link`.
+//! Property tests for the end-to-end API surface (`align_area`
+//! arithmetic, layout-invariance of `Workbench::link`) and for the
+//! structure-of-arrays fetch-core invariants: the valid bitset's
+//! popcount matches the resident-line enumeration, no set holds two
+//! valid lines with one tag, way-hint slab entries stay below the
+//! associativity, and LRU eviction follows true recency order.
 //!
 //! Runs on the dependency-free seeded sampler (`wp_mem::rng`) because
 //! `proptest` is unavailable offline; the seeds are fixed so every run
-//! exercises identical cases.
+//! exercises identical cases. Failures shrink: the failing op sequence
+//! is greedily delta-reduced and the minimal repro is printed.
+
+use std::collections::HashSet;
 
 use wp_core::wp_linker::Layout;
 use wp_core::wp_mem::rng::SplitMix64;
+use wp_core::wp_mem::{CacheGeometry, CamArray, ICacheConfig, InstructionCache, ReplacementPolicy};
 use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::{align_area, Workbench};
 
@@ -40,6 +48,225 @@ fn align_area_is_monotone() {
             align_area(lo, page) <= align_area(hi, page),
             "align({lo}, {page}) > align({hi}, {page})"
         );
+    }
+}
+
+/// One operation against a [`CamArray`] under test.
+#[derive(Clone, Copy, Debug)]
+enum CamOp {
+    /// Fill `addr` into its victim way (skipped when already resident,
+    /// matching how the fetch cores only fill on a miss).
+    Fill(u32),
+    /// Touch `addr`'s way if resident (an LRU-visible hit).
+    Touch(u32),
+    /// A pure lookup.
+    Lookup(u32),
+    /// Invalidate the whole array.
+    InvalidateAll,
+    /// A fault-injection tag corruption.
+    FlipTagBit { set: u32, way: u32, bit: u32 },
+}
+
+/// Runs `check` on `ops`; on failure, greedily delta-reduces the
+/// sequence while it still fails and panics with the minimal repro.
+fn assert_shrunk(ops: Vec<CamOp>, check: impl Fn(&[CamOp]) -> Result<(), String>) {
+    let Err(first) = check(&ops) else { return };
+    let mut minimal = ops;
+    let mut i = 0;
+    while i < minimal.len() {
+        let mut candidate = minimal.clone();
+        candidate.remove(i);
+        if check(&candidate).is_err() {
+            minimal = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    let message = check(&minimal).err().unwrap_or(first);
+    panic!("property failed: {message}\nminimal repro ({} ops): {minimal:?}", minimal.len());
+}
+
+/// Samples an op sequence; `faults` admits tag-bit corruptions.
+fn sample_cam_ops(
+    rng: &mut SplitMix64,
+    geom: CacheGeometry,
+    len: usize,
+    faults: bool,
+) -> Vec<CamOp> {
+    let span = u64::from(geom.size_bytes()) * 2;
+    let addr = move |rng: &mut SplitMix64| (rng.below(span) as u32) & !3;
+    (0..len)
+        .map(|_| match rng.below(if faults { 16 } else { 14 }) {
+            0..=6 => CamOp::Fill(addr(rng)),
+            7..=10 => CamOp::Touch(addr(rng)),
+            11..=12 => CamOp::Lookup(addr(rng)),
+            13 => CamOp::InvalidateAll,
+            _ => CamOp::FlipTagBit {
+                set: rng.below(u64::from(geom.sets())) as u32,
+                way: rng.below(u64::from(geom.ways())) as u32,
+                bit: rng.below(u64::from(geom.tag_bits())) as u32,
+            },
+        })
+        .collect()
+}
+
+/// Replays `ops` against a fresh array, checking the bitset-popcount
+/// invariant after every op and (for fault-free streams) per-set tag
+/// uniqueness.
+fn check_cam_invariants(
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    ops: &[CamOp],
+    check_tags: bool,
+) -> Result<(), String> {
+    let mut cam = CamArray::new(geom, policy, 0x9e37_79b9);
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            CamOp::Fill(addr) => {
+                if cam.lookup(addr).is_none() {
+                    let way = cam.pick_victim(addr);
+                    cam.fill(addr, way);
+                }
+            }
+            CamOp::Touch(addr) => {
+                if let Some(way) = cam.lookup(addr) {
+                    cam.touch(addr, way);
+                }
+            }
+            CamOp::Lookup(addr) => {
+                let _ = cam.lookup(addr);
+            }
+            CamOp::InvalidateAll => cam.invalidate_all(),
+            CamOp::FlipTagBit { set, way, bit } => {
+                let _ = cam.flip_tag_bit(set, way, bit);
+            }
+        }
+        let popcount = cam.valid_popcount();
+        let resident = cam.resident_lines().count();
+        if popcount != resident {
+            return Err(format!(
+                "{geom} after op {i} ({op:?}): popcount {popcount} != {resident} resident lines"
+            ));
+        }
+        if popcount > (geom.sets() * geom.ways()) as usize {
+            return Err(format!("{geom} after op {i}: popcount {popcount} exceeds capacity"));
+        }
+        if check_tags {
+            let mut seen = HashSet::new();
+            for (addr, set, _) in cam.resident_lines() {
+                if !seen.insert((set, geom.tag_of(addr))) {
+                    return Err(format!(
+                        "{geom} after op {i} ({op:?}): duplicate tag {:#x} in set {set}",
+                        geom.tag_of(addr)
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Valid-bitset popcount equals the resident-line enumeration — under
+/// every replacement policy, with fault corruptions woven in.
+#[test]
+fn cam_popcount_matches_resident_enumeration() {
+    let mut rng = SplitMix64::new(0x50a0_0001);
+    for geom in [CacheGeometry::new(256, 4, 32), CacheGeometry::new(8 * 1024, 16, 32)] {
+        for policy in
+            [ReplacementPolicy::Lru, ReplacementPolicy::RoundRobin, ReplacementPolicy::Random]
+        {
+            let ops = sample_cam_ops(&mut rng, geom, 1_500, true);
+            assert_shrunk(ops, |ops| check_cam_invariants(geom, policy, ops, false));
+        }
+    }
+}
+
+/// No two valid lines in one set carry the same tag (fault-free
+/// streams: tag corruption may legitimately collide tags).
+#[test]
+fn cam_resident_tags_unique_per_set() {
+    let mut rng = SplitMix64::new(0x50a0_0002);
+    for geom in [CacheGeometry::new(256, 4, 32), CacheGeometry::new(4 * 1024, 32, 32)] {
+        let ops = sample_cam_ops(&mut rng, geom, 1_500, false);
+        assert_shrunk(ops, |ops| check_cam_invariants(geom, ReplacementPolicy::Lru, ops, true));
+    }
+}
+
+/// LRU eviction follows true recency: when a full set must evict, the
+/// victim is exactly the least recently filled-or-touched way.
+#[test]
+fn cam_lru_eviction_preserves_recency_order() {
+    let geom = CacheGeometry::new(512, 4, 32);
+    let mut rng = SplitMix64::new(0x50a0_0003);
+    let ops = sample_cam_ops(&mut rng, geom, 2_000, false);
+    assert_shrunk(ops, |ops| {
+        let mut cam = CamArray::new(geom, ReplacementPolicy::Lru, 1);
+        // Oracle: per-set recency order, front = least recent.
+        let mut order: Vec<Vec<u32>> = vec![Vec::new(); geom.sets() as usize];
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                CamOp::Fill(addr) => {
+                    if cam.lookup(addr).is_some() {
+                        continue;
+                    }
+                    let set = geom.set_of(addr) as usize;
+                    let victim = cam.pick_victim(addr);
+                    if order[set].len() == geom.ways() as usize {
+                        let expected = order[set][0];
+                        if victim != expected {
+                            return Err(format!(
+                                "op {i} ({op:?}): evicted way {victim}, LRU way is {expected}"
+                            ));
+                        }
+                    }
+                    cam.fill(addr, victim);
+                    order[set].retain(|&w| w != victim);
+                    order[set].push(victim);
+                }
+                CamOp::Touch(addr) => {
+                    if let Some(way) = cam.lookup(addr) {
+                        cam.touch(addr, way);
+                        let set = geom.set_of(addr) as usize;
+                        order[set].retain(|&w| w != way);
+                        order[set].push(way);
+                    }
+                }
+                CamOp::Lookup(addr) => {
+                    let _ = cam.lookup(addr);
+                }
+                CamOp::InvalidateAll => {
+                    cam.invalidate_all();
+                    order.iter_mut().for_each(Vec::clear);
+                }
+                CamOp::FlipTagBit { .. } => {}
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Every way-hint slab entry stays below the associativity, whichever
+/// scheme is driving it and whatever the fetch stream does.
+#[test]
+fn way_hint_slab_entries_stay_below_associativity() {
+    let mut rng = SplitMix64::new(0x50a0_0004);
+    for geom in [CacheGeometry::new(2 * 1024, 4, 32), CacheGeometry::new(8 * 1024, 16, 32)] {
+        for config in [ICacheConfig::way_prediction(geom), ICacheConfig::way_placement(geom)] {
+            let mut icache = InstructionCache::new(config);
+            for i in 0..20_000u32 {
+                let addr = (rng.below(u64::from(geom.size_bytes()) * 2) as u32) & !3;
+                let wp_page = rng.below(2) == 0;
+                let _ = icache.fetch(addr, wp_page);
+                if let Some(&entry) =
+                    icache.way_hint_slab().iter().find(|&&e| u32::from(e) >= geom.ways())
+                {
+                    panic!(
+                        "{geom}: hint entry {entry} >= {} ways after fetch {i} ({addr:#x})",
+                        geom.ways()
+                    );
+                }
+            }
+        }
     }
 }
 
