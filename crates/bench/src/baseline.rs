@@ -1,9 +1,10 @@
 //! Stored-baseline blessing and gating.
 //!
-//! The reproduction's central artefacts — the traced-run report and
-//! the autotuned WP-area manifest — must stay stable as the simulator
-//! grows: silent drift in either scheme's counters invalidates every
-//! number the paper comparison rests on. This module freezes them:
+//! The reproduction's central artefacts — the traced-run report, the
+//! autotuned WP-area manifest and the chaos-campaign resilience
+//! manifest — must stay stable as the simulator grows: silent drift in
+//! any scheme's counters invalidates every number the paper comparison
+//! rests on. This module freezes them:
 //!
 //! * [`bless`] runs the trace-report and tuned-areas pipelines and
 //!   writes **canonical** manifests (deterministic: no wall-clock
@@ -42,7 +43,8 @@ pub const DEFAULT_BASELINE_DIR: &str = "baselines";
 /// The **byte-deterministic** manifests a baseline set consists of, in
 /// bless/gate order. Two bless runs over the same tree produce these
 /// byte-identically.
-pub const BASELINE_FILES: [&str; 2] = ["BENCH_trace_report.json", "BENCH_tuned_areas.json"];
+pub const BASELINE_FILES: [&str; 3] =
+    ["BENCH_trace_report.json", "BENCH_tuned_areas.json", "BENCH_chaos_campaign.json"];
 /// The wall-clock fetch-core throughput manifest blessed *alongside*
 /// the canonical pair. Deliberately not in [`BASELINE_FILES`]:
 /// throughput is measured, not derived, so byte-identity cannot apply;
@@ -245,7 +247,7 @@ pub fn perf_thresholds() -> DiffThresholds {
     DiffThresholds { rel: 0.75, abs_fetches: 5.0, abs_energy: 1.0 }
 }
 
-/// Runs all three pipelines and writes their manifests into `dir`
+/// Runs all four pipelines and writes their manifests into `dir`
 /// (created if missing), returning the written paths: the
 /// byte-deterministic [`BASELINE_FILES`] in order, then
 /// [`PERF_BASELINE_FILE`].
@@ -254,17 +256,20 @@ pub fn perf_thresholds() -> DiffThresholds {
 ///
 /// [`TuneError::Io`] on write failure, plus any pipeline failure —
 /// including the perf tripwire, which refuses to bless a throughput
-/// number from fetch cores that disagree.
+/// number from fetch cores that disagree, and the chaos campaign,
+/// which refuses to bless a tree whose resilience invariants fail.
 pub fn bless(dir: &Path, quick: bool) -> Result<Vec<PathBuf>, TuneError> {
     let trace = build_trace_baseline(quick)?;
     let tuned = build_tuned_baseline(quick)?;
+    let chaos = crate::chaos::build_chaos_baseline(quick)
+        .map_err(|message| pipeline_error("chaos_campaign", &message))?;
     let perf = perf::measure(quick)
         .map_err(|message| pipeline_error("perf_fetch", &message))?
         .json();
     std::fs::create_dir_all(dir).map_err(|e| TuneError::io(dir, &e))?;
     let mut paths = Vec::with_capacity(BASELINE_FILES.len() + 1);
     let names = BASELINE_FILES.iter().copied().chain([PERF_BASELINE_FILE]);
-    for (name, manifest) in names.zip([&trace, &tuned, &perf]) {
+    for (name, manifest) in names.zip([&trace, &tuned, &chaos, &perf]) {
         let path = dir.join(name);
         std::fs::write(&path, manifest.to_pretty()).map_err(|e| TuneError::io(&path, &e))?;
         paths.push(path);

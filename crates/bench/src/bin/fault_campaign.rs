@@ -11,6 +11,14 @@
 //! any silent corruption** — a run that completed with a wrong
 //! architectural checksum.
 //!
+//! Since the detection layer landed, hardware trials run with the
+//! fetch core's parity/duplication checks armed, and the campaign
+//! additionally asserts *coverage*: every graceful trial that landed
+//! faults either caught at least one of them (priced recovery), or
+//! burned no extra energy (the fault was absorbed by a refill before
+//! any access could observe it). An energy-burning fault the checks
+//! never saw fails the run.
+//!
 //!   fault_campaign [--quick]
 //!
 //! `--quick` restricts to three benchmarks (the CI smoke
@@ -20,7 +28,7 @@
 use wp_bench::{write_manifest, Engine, Json};
 use wp_core::wp_mem::{CacheGeometry, FaultConfig};
 use wp_core::wp_workloads::{Benchmark, InputSet};
-use wp_core::{fault_trial, FaultOutcome, FaultSpec, FaultTrial, Scheme};
+use wp_core::{fault_trial_with, FaultOutcome, FaultSpec, FaultTrial, MeasureOptions, Scheme};
 
 /// Hardware fault rates swept, in faults per million fetches.
 const RATES_PPM: [u32; 3] = [1_000, 10_000, 100_000];
@@ -51,6 +59,8 @@ fn trial_json(benchmark: Benchmark, scheme: Scheme, trial: &FaultTrial) -> Json 
             json.push("cycle_ratio", Json::from(*cycle_ratio));
             json.push("energy_ratio", Json::from(*energy_ratio));
             json.push("faults_injected", Json::from(*faults_injected));
+            json.push("faults_detected", Json::from(trial.detection.total_detected()));
+            json.push("recovery_cycles", Json::from(trial.detection.recovery_cycles));
         }
         FaultOutcome::Detected { error } => json.push("error", Json::from(error.clone())),
         FaultOutcome::SilentCorruption { expected, actual } => {
@@ -103,7 +113,14 @@ fn main() {
         Ok(specs(seed)
             .into_iter()
             .map(|spec| {
-                let trial = fault_trial(&workbench, geometry, scheme, set, spec, &clean);
+                // Hardware trials run with the detection layer armed;
+                // compiler-side faults perturb the binary, where there
+                // is nothing for the fetch-time checks to see.
+                let mut options = MeasureOptions::new(set).with_fault(spec);
+                if matches!(spec, FaultSpec::Hardware(_)) {
+                    options = options.with_detection();
+                }
+                let trial = fault_trial_with(&workbench, geometry, scheme, options, &clean);
                 (benchmark, scheme, trial)
             })
             .collect::<Vec<_>>())
@@ -125,6 +142,35 @@ fn main() {
     let detected = trials.iter().filter(|(_, _, t)| t.outcome.label() == "detected").count();
     let silent: Vec<_> =
         trials.iter().filter(|(_, _, t)| t.outcome.is_silent_corruption()).collect();
+
+    // Coverage: a graceful hardware trial that landed faults must have
+    // either caught at least one (priced recovery) or burned no extra
+    // energy — a fault can be absorbed when a refill overwrites the
+    // corrupted slot before any access arms it, which is free. What
+    // may not happen is an *energy-burning* fault the checks never
+    // saw. The 2% slack covers second-order timing noise in the
+    // energy ratio.
+    let uncovered: Vec<_> = trials
+        .iter()
+        .filter(|(_, _, t)| matches!(t.spec, FaultSpec::Hardware(_)))
+        .filter(|(_, _, t)| match t.outcome {
+            FaultOutcome::Graceful { energy_ratio, faults_injected, .. } => {
+                faults_injected > 0
+                    && t.detection.total_detected() == 0
+                    && t.demotions == 0
+                    && energy_ratio > 1.02
+            }
+            _ => false,
+        })
+        .collect();
+    for (benchmark, scheme, trial) in &uncovered {
+        eprintln!(
+            "UNDETECTED ENERGY BURN: {benchmark} under {} at {} ppm ({:?})",
+            scheme.label(),
+            trial.spec.rate_ppm(),
+            trial.outcome,
+        );
+    }
 
     // Per-rate degradation: mean/max cycle and energy ratios of the
     // graceful hardware trials at that injection rate.
@@ -181,9 +227,10 @@ fn main() {
             trial.spec.label(),
         );
     }
-    if silent.is_empty() && infrastructure_errors == 0 {
+    if silent.is_empty() && infrastructure_errors == 0 && uncovered.is_empty() {
         println!("invariant holds: faults inside the way-placement trust boundary never corrupt");
-        println!("architectural state (paper §4) — they only cost cycles and energy.");
+        println!("architectural state (paper §4) — they only cost cycles and energy, and every");
+        println!("energy-burning fault was caught by the detection layer and recovered.");
     }
 
     let manifest = Json::obj([
@@ -201,6 +248,7 @@ fn main() {
                 ("graceful", Json::from(graceful)),
                 ("detected", Json::from(detected)),
                 ("silent_corruptions", Json::from(silent.len())),
+                ("undetected_energy_burners", Json::from(uncovered.len())),
                 ("infrastructure_errors", Json::from(infrastructure_errors)),
             ]),
         ),
@@ -210,6 +258,6 @@ fn main() {
         Err(e) => eprintln!("manifest: failed to write BENCH_fault_campaign.json: {e}"),
     }
     eprintln!("{}", engine.stats());
-    let failed = !silent.is_empty() || infrastructure_errors > 0;
+    let failed = !silent.is_empty() || infrastructure_errors > 0 || !uncovered.is_empty();
     std::process::exit(i32::from(failed));
 }

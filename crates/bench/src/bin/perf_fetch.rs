@@ -1,17 +1,18 @@
 //! `perf_fetch` — fetch-core throughput benchmark and speedup check.
 //!
-//! Times the per-line reference model, the structure-of-arrays core
-//! and the batched `fetch_block` path over the straight and loopy
-//! scenarios (see `wp_bench::perf`), after an untimed equivalence
-//! tripwire per configuration, and writes `BENCH_perf_fetch.json`.
+//! Times the structure-of-arrays core fetch-by-fetch and the batched
+//! `fetch_block` path over the straight and loopy scenarios (see
+//! `wp_bench::perf`), after an untimed equivalence tripwire per
+//! configuration (clean and detection-armed), and writes
+//! `BENCH_perf_fetch.json`.
 //!
 //! Usage: `perf_fetch [--quick]`
 //!
 //! `--quick` is the CI smoke shape: a shorter stream, fewer
 //! iterations, the same tripwire. Exit codes: `0` when the headline
-//! speedup (straight scenario, `soa-block` vs `per-line-ref`) meets
-//! the target, `1` when it misses or the tripwire fires, `2` usage or
-//! I/O error.
+//! speedup (straight scenario, `soa-block` vs `soa-fetch`) meets the
+//! target, `1` when it misses or the tripwire fires, `2` usage or I/O
+//! error.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 

@@ -26,6 +26,7 @@ fn activity(m: &Measurement) -> SystemActivity {
         dtlb: m.run.dtlb,
         cycles: m.run.cycles,
         instructions: m.run.instructions,
+        detection: m.run.detection,
     }
 }
 

@@ -1,0 +1,469 @@
+//! The chaos/soak campaign: detection + degradation under escalating
+//! fault pressure, plus a seeded kill/resume drill.
+//!
+//! The fault campaign (`fault_campaign`) established the paper's §4
+//! *passive* claim: faults inside the way-placement trust boundary
+//! never corrupt architectural state. This campaign exercises the
+//! *active* stack that PR 7 added on top — parity/duplication checks
+//! in the fetch core, priced recovery, and the degradation controller
+//! that walks a faulting machine down the scheme ladder — and holds it
+//! to three falsifiable invariants:
+//!
+//! 1. **No silent corruption**, at any injection rate, ever.
+//! 2. **No undetected energy burn**: a graceful trial that landed
+//!    faults either saw the detection layer catch at least one, or the
+//!    controller demote the scheme, or the faults were absorbed for
+//!    free (energy ratio within noise of the clean twin).
+//! 3. **Bounded clean-run overhead**: with detection and degradation
+//!    armed but *zero* faults injected, total fetch-side energy
+//!    (I-cache + recovery checks) stays within
+//!    [`CLEAN_OVERHEAD_LIMIT`] of the unarmed clean twin.
+//!
+//! A seeded kill/resume drill rides along: a checkpointed campaign is
+//! killed at a pseudorandomly chosen job, its checkpoint's final JSONL
+//! line is torn mid-write, and the resumed run must still produce a
+//! report byte-identical to an uninterrupted one.
+//!
+//! [`build_chaos_baseline`] renders the whole campaign as a
+//! byte-deterministic manifest whose `runs` rows are joinable by
+//! `wp_tune::TraceSet`, so the blessed copy rides the same bless/gate
+//! workflow as the trace-report and tuned-areas baselines.
+
+use std::path::Path;
+
+use wp_core::wp_mem::rng::SplitMix64;
+use wp_core::wp_mem::{CacheGeometry, FaultConfig};
+use wp_core::wp_sim::DegradationPolicy;
+use wp_core::wp_workloads::{Benchmark, InputSet};
+use wp_core::{fault_trial_with, FaultOutcome, FaultSpec, FaultTrial, MeasureOptions, Scheme};
+
+use crate::engine::{Engine, Experiment};
+use crate::Json;
+
+/// The escalating hardware fault ladder, in faults per million
+/// fetches. Rate 0 is the armed-but-clean rung that prices the
+/// detection overhead itself.
+pub const CHAOS_RATES_PPM: [u32; 4] = [0, 1_000, 10_000, 100_000];
+
+/// Invariant 3's bound: armed-but-clean total fetch-side energy
+/// (I-cache + recovery checks) within 5% of the unarmed twin.
+pub const CLEAN_OVERHEAD_LIMIT: f64 = 1.05;
+
+/// Invariant 2's noise floor: an energy ratio at or below this counts
+/// as "absorbed for free" (second-order timing effects move the ratio
+/// a little even when every fault was overwritten before use).
+pub const ENERGY_BURN_SLACK: f64 = 1.02;
+
+/// The campaign matrix: quick is the CI smoke shape, full soaks the
+/// whole suite. Both run small inputs — the ladder multiplies trials,
+/// not input sizes.
+#[must_use]
+pub fn chaos_benchmarks(quick: bool) -> (&'static [Benchmark], InputSet) {
+    if quick {
+        (&[Benchmark::Crc, Benchmark::Sha, Benchmark::Bitcount], InputSet::Small)
+    } else {
+        (&Benchmark::ALL, InputSet::Small)
+    }
+}
+
+/// The degradation policy the campaign arms: small windows so even the
+/// quick benchmarks close enough of them for the controller to act at
+/// the higher rungs of the ladder.
+#[must_use]
+pub fn chaos_policy() -> DegradationPolicy {
+    DegradationPolicy { window_fetches: 4096, demote_faults: 4, promote_windows: 4 }
+}
+
+/// One classified campaign trial.
+#[derive(Clone, Debug)]
+pub struct ChaosTrial {
+    /// The benchmark the trial ran.
+    pub benchmark: Benchmark,
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// The injection rate of this rung.
+    pub rate_ppm: u32,
+    /// The classified trial, with detection/recovery counters.
+    pub trial: FaultTrial,
+}
+
+impl ChaosTrial {
+    /// The manifest row key's scheme column: `label@rate` keeps every
+    /// (benchmark, scheme, rate) row structurally distinct under the
+    /// differ's `benchmark/scheme` join.
+    #[must_use]
+    pub fn scheme_key(&self) -> String {
+        format!("{}@{}ppm", self.scheme.label(), self.rate_ppm)
+    }
+
+    /// Whether this trial violates invariant 2: an energy-burning
+    /// graceful run whose faults nobody detected and nobody reacted to.
+    #[must_use]
+    pub fn is_undetected_burn(&self) -> bool {
+        match self.trial.outcome {
+            FaultOutcome::Graceful { energy_ratio, faults_injected, .. } => {
+                self.rate_ppm > 0
+                    && faults_injected > 0
+                    && self.trial.detection.total_detected() == 0
+                    && self.trial.demotions == 0
+                    && energy_ratio > ENERGY_BURN_SLACK
+            }
+            _ => false,
+        }
+    }
+
+    /// The armed-but-clean overhead of a rate-0 trial: total fetch-side
+    /// energy (I-cache + recovery checks) over the unarmed clean twin's
+    /// I-cache energy. `None` for faulted rungs or errored runs.
+    #[must_use]
+    pub fn clean_overhead(&self, clean_icache_pj: f64) -> Option<f64> {
+        match self.trial.outcome {
+            FaultOutcome::Graceful { .. } if self.rate_ppm == 0 && clean_icache_pj > 0.0 => {
+                Some((self.trial.icache_pj + self.trial.recovery_pj) / clean_icache_pj)
+            }
+            _ => None,
+        }
+    }
+
+    fn json(&self, clean_icache_pj: f64) -> Json {
+        let mut json = Json::obj([
+            ("benchmark", Json::from(self.benchmark.name())),
+            ("scheme", Json::from(self.scheme_key().as_str())),
+            ("rate_ppm", Json::from(self.rate_ppm)),
+            ("fetches", Json::Uint(self.trial.fetches)),
+            ("icache_pj", Json::from(self.trial.icache_pj + self.trial.recovery_pj)),
+            ("recovery_pj", Json::from(self.trial.recovery_pj)),
+            ("outcome", Json::from(self.trial.outcome.label())),
+            ("faults_detected", Json::from(self.trial.detection.total_detected())),
+            ("recovery_cycles", Json::from(self.trial.detection.recovery_cycles)),
+            ("demotions", Json::from(self.trial.demotions)),
+            ("promotions", Json::from(self.trial.promotions)),
+            (
+                "final_scheme",
+                match self.trial.final_scheme {
+                    Some(scheme) => Json::from(scheme.label()),
+                    None => Json::Null,
+                },
+            ),
+        ]);
+        if let FaultOutcome::Graceful { cycle_ratio, energy_ratio, faults_injected } =
+            self.trial.outcome
+        {
+            json.push("cycle_ratio", Json::from(cycle_ratio));
+            json.push("energy_ratio", Json::from(energy_ratio));
+            json.push("faults_injected", Json::from(faults_injected));
+        }
+        if let Some(overhead) = self.clean_overhead(clean_icache_pj) {
+            json.push("clean_overhead", Json::from(overhead));
+        }
+        json
+    }
+}
+
+/// The finished campaign: every trial, the violation lists the binary
+/// and [`build_chaos_baseline`] fail on, and the kill/resume drill's
+/// verdict.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// Whether this was the quick (CI smoke) shape.
+    pub quick: bool,
+    /// The geometry the campaign ran on.
+    pub geometry: CacheGeometry,
+    /// Every trial with its unarmed clean twin's I-cache energy.
+    pub trials: Vec<(ChaosTrial, f64)>,
+    /// Invariant 1 violations: silent corruptions, described.
+    pub silent: Vec<String>,
+    /// Invariant 2 violations: undetected energy burners, described.
+    pub undetected: Vec<String>,
+    /// Invariant 3 violations: rate-0 overhead past the limit.
+    pub overhead: Vec<String>,
+    /// Infrastructure failures (workbench/clean-twin build errors).
+    pub errors: Vec<String>,
+    /// The kill/resume drill's manifest fragment.
+    pub kill_resume: Json,
+    /// Whether the drill resumed to a byte-identical report.
+    pub kill_resume_ok: bool,
+}
+
+impl ChaosOutcome {
+    /// Whether any invariant was violated (the campaign's exit gate).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        !self.silent.is_empty()
+            || !self.undetected.is_empty()
+            || !self.overhead.is_empty()
+            || !self.errors.is_empty()
+            || !self.kill_resume_ok
+    }
+
+    /// Graceful / detected / silent trial counts.
+    #[must_use]
+    pub fn outcome_counts(&self) -> (usize, usize, usize) {
+        let count = |label: &str| {
+            self.trials.iter().filter(|(t, _)| t.trial.outcome.label() == label).count()
+        };
+        (count("graceful"), count("detected"), count("silent-corruption"))
+    }
+
+    /// Renders the byte-deterministic campaign manifest. The `runs`
+    /// array is `wp_tune::TraceSet`-joinable (benchmark/scheme keys,
+    /// `fetches` + `icache_pj` metrics), so the blessed copy gates
+    /// drift in fetch counts and recovery-inclusive energy per rung.
+    #[must_use]
+    pub fn manifest(&self) -> Json {
+        let (graceful, detected, silent) = self.outcome_counts();
+        let (benchmarks, set) = chaos_benchmarks(self.quick);
+        let policy = chaos_policy();
+        Json::obj([
+            ("schema", Json::from("wp-bench/chaos-campaign-v1")),
+            ("kind", Json::from("chaos_campaign")),
+            (
+                "provenance",
+                Json::obj([
+                    ("quick", Json::from(self.quick)),
+                    ("geometry", Json::from(self.geometry.to_string())),
+                    (
+                        "input_set",
+                        Json::from(match set {
+                            InputSet::Small => "small",
+                            InputSet::Large => "large",
+                        }),
+                    ),
+                    ("rates_ppm", Json::arr(CHAOS_RATES_PPM.iter().map(|&r| Json::from(r)))),
+                    ("benchmarks", Json::arr(benchmarks.iter().map(|b| Json::from(b.name())))),
+                    (
+                        "degradation",
+                        Json::obj([
+                            ("window_fetches", Json::from(policy.window_fetches)),
+                            ("demote_faults", Json::from(policy.demote_faults)),
+                            ("promote_windows", Json::from(policy.promote_windows)),
+                        ]),
+                    ),
+                    ("clean_overhead_limit", Json::from(CLEAN_OVERHEAD_LIMIT)),
+                ]),
+            ),
+            ("runs", Json::arr(self.trials.iter().map(|(t, clean_pj)| t.json(*clean_pj)))),
+            ("kill_resume", self.kill_resume.clone()),
+            (
+                "summary",
+                Json::obj([
+                    ("trials", Json::from(self.trials.len())),
+                    ("graceful", Json::from(graceful)),
+                    ("detected", Json::from(detected)),
+                    ("silent_corruptions", Json::from(silent)),
+                    ("undetected_energy_burners", Json::from(self.undetected.len())),
+                    ("clean_overhead_violations", Json::from(self.overhead.len())),
+                    ("infrastructure_errors", Json::from(self.errors.len())),
+                    ("kill_resume_ok", Json::from(self.kill_resume_ok)),
+                    ("ok", Json::from(!self.failed())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs the full campaign on the process-wide engine: every
+/// `(benchmark, scheme)` pair measures its unarmed clean twin once,
+/// then climbs the rate ladder with detection + degradation armed.
+#[must_use]
+pub fn run_campaign(quick: bool) -> ChaosOutcome {
+    let geometry = CacheGeometry::xscale_icache();
+    let (benchmarks, set) = chaos_benchmarks(quick);
+    let schemes = [Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization];
+    let policy = chaos_policy();
+    let engine = Engine::global();
+
+    let jobs: Vec<(usize, Benchmark, Scheme)> = benchmarks
+        .iter()
+        .flat_map(|&b| schemes.iter().map(move |&s| (b, s)))
+        .enumerate()
+        .map(|(i, (b, s))| (i, b, s))
+        .collect();
+
+    let results = engine.execute(&jobs, |&(index, benchmark, scheme)| {
+        let workbench = match engine.workbench(benchmark) {
+            Ok(workbench) => workbench,
+            Err(e) => return Err(format!("{benchmark}: workbench failed: {e}")),
+        };
+        let clean = match engine.measure(benchmark, geometry, scheme, set) {
+            Ok(clean) => clean,
+            Err(e) => return Err(format!("{benchmark}: clean measurement failed: {e}")),
+        };
+        // Deterministic per-job seed, independent of worker count.
+        let seed = (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xC0A5);
+        Ok(CHAOS_RATES_PPM
+            .iter()
+            .map(|&rate| {
+                let spec = FaultSpec::Hardware(FaultConfig::all(seed, rate));
+                let options = MeasureOptions::new(set).with_fault(spec).with_degradation(policy);
+                let trial = fault_trial_with(&workbench, geometry, scheme, options, &clean);
+                (ChaosTrial { benchmark, scheme, rate_ppm: rate, trial }, clean.energy.icache_pj())
+            })
+            .collect::<Vec<_>>())
+    });
+
+    let mut trials = Vec::new();
+    let mut errors = Vec::new();
+    for result in results {
+        match result {
+            Ok(batch) => trials.extend(batch),
+            Err(message) => errors.push(message),
+        }
+    }
+
+    let silent = trials
+        .iter()
+        .filter(|(t, _)| t.trial.outcome.is_silent_corruption())
+        .map(|(t, _)| format!("{} under {} at {} ppm", t.benchmark, t.scheme_key(), t.rate_ppm))
+        .collect();
+    let undetected = trials
+        .iter()
+        .filter(|(t, _)| t.is_undetected_burn())
+        .map(|(t, _)| {
+            format!("{} under {}: energy burn with zero detections", t.benchmark, t.scheme_key())
+        })
+        .collect();
+    let overhead = trials
+        .iter()
+        .filter_map(|(t, clean_pj)| {
+            let ratio = t.clean_overhead(*clean_pj)?;
+            (ratio > CLEAN_OVERHEAD_LIMIT).then(|| {
+                format!(
+                    "{} under {}: armed clean overhead {ratio:.4} > {CLEAN_OVERHEAD_LIMIT}",
+                    t.benchmark,
+                    t.scheme_key(),
+                )
+            })
+        })
+        .collect();
+
+    let scratch = std::env::temp_dir()
+        .join(format!("wp-chaos-{}", std::process::id()))
+        .join("kill_resume.jsonl");
+    let (kill_resume, kill_resume_ok) = match kill_resume_drill(0x50AC, &scratch) {
+        Ok(json) => (json, true),
+        Err(message) => (Json::obj([("error", Json::from(message.as_str()))]), false),
+    };
+    if let Some(dir) = scratch.parent() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    ChaosOutcome {
+        quick,
+        geometry,
+        trials,
+        silent,
+        undetected,
+        overhead,
+        errors,
+        kill_resume,
+        kill_resume_ok,
+    }
+}
+
+/// The seeded kill/resume drill: run a checkpointed mini-campaign, kill
+/// it at a pseudorandomly chosen job, tear the checkpoint's final JSONL
+/// line mid-write, resume, and demand a report byte-identical to an
+/// uninterrupted run. Returns the deterministic manifest fragment.
+///
+/// # Errors
+///
+/// A description of the first step that broke the contract.
+pub fn kill_resume_drill(seed: u64, checkpoint: &Path) -> Result<Json, String> {
+    let mut rng = SplitMix64::new(seed);
+    let experiment = Experiment::new(
+        [Benchmark::Crc, Benchmark::Sha],
+        [CacheGeometry::xscale_icache()],
+        [Scheme::WayMemoization, Scheme::WayPlacement { area_bytes: 8 * 1024 }],
+    )
+    .with_input_set(InputSet::Small);
+    let jobs = experiment.job_count();
+    let _ = std::fs::remove_file(checkpoint);
+
+    // The uninterrupted reference. Fresh engines throughout: the drill
+    // measures resume behaviour, not the process-wide caches.
+    let reference = Engine::with_workers(2).run(&experiment);
+    if !reference.is_complete() {
+        return Err(format!("reference run failed: {:?}", reference.failures));
+    }
+
+    // Kill: fail one seeded job so the checkpoint holds the others.
+    let victim = rng.index(jobs);
+    let (vb, vs) = (
+        experiment.benchmarks[victim / experiment.schemes.len()],
+        experiment.schemes[victim % experiment.schemes.len()],
+    );
+    let killed = Engine::with_workers(2).with_fault(move |benchmark, _geometry, scheme| {
+        (benchmark == vb && scheme == vs).then(|| wp_core::CoreError::Io {
+            context: "chaos kill/resume drill".to_string(),
+            message: "injected mid-campaign kill".to_string(),
+        })
+    });
+    let partial = killed.run_checkpointed(&experiment, checkpoint);
+    if partial.failures.len() != 1 {
+        return Err(format!("kill should fail exactly one job: {:?}", partial.failures));
+    }
+
+    // Torn write: chop a seeded number of bytes off the final line, as
+    // a crash mid-`writeln` would.
+    let text = std::fs::read_to_string(checkpoint)
+        .map_err(|e| format!("checkpoint unreadable after kill: {e}"))?;
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() != jobs - 1 {
+        return Err(format!("expected {} checkpoint lines, found {}", jobs - 1, lines.len()));
+    }
+    let last = lines[lines.len() - 1];
+    let torn_bytes = 1 + rng.index(last.len());
+    let keep = text.len() - 1 - torn_bytes;
+    std::fs::write(checkpoint, &text.as_bytes()[..keep])
+        .map_err(|e| format!("torn rewrite failed: {e}"))?;
+
+    // Resume: the torn line is skipped (re-executed), the intact lines
+    // replay from disk, and the report must match the reference byte
+    // for byte.
+    let resumed = Engine::with_workers(2).run_checkpointed(&experiment, checkpoint);
+    if !resumed.is_complete() {
+        return Err(format!("resume failed: {:?}", resumed.failures));
+    }
+    let replayed = resumed.stats.checkpoint_hits;
+    if replayed != (jobs - 2) as u64 {
+        return Err(format!("expected {} replayed jobs, got {replayed}", jobs - 2));
+    }
+    if checkpoint.exists() {
+        return Err("checkpoint not removed after a complete resume".to_string());
+    }
+    if resumed.results_json().to_pretty() != reference.results_json().to_pretty() {
+        return Err("resumed report diverged from the uninterrupted reference".to_string());
+    }
+
+    Ok(Json::obj([
+        ("jobs", Json::from(jobs)),
+        ("killed_job", Json::from(format!("{}/{}", vb.name(), vs.label()))),
+        ("torn_bytes", Json::from(torn_bytes)),
+        ("replayed_jobs", Json::from(replayed)),
+        ("byte_identical", Json::from(true)),
+    ]))
+}
+
+/// Runs the campaign and renders the blessed manifest, refusing —
+/// like the perf tripwire — to bless a tree whose resilience
+/// invariants do not hold.
+///
+/// # Errors
+///
+/// A description of the violated invariant(s).
+pub fn build_chaos_baseline(quick: bool) -> Result<Json, String> {
+    let outcome = run_campaign(quick);
+    if outcome.failed() {
+        let mut reasons = Vec::new();
+        reasons.extend(outcome.silent.iter().cloned());
+        reasons.extend(outcome.undetected.iter().cloned());
+        reasons.extend(outcome.overhead.iter().cloned());
+        reasons.extend(outcome.errors.iter().cloned());
+        if !outcome.kill_resume_ok {
+            reasons.push(format!("kill/resume drill failed: {}", outcome.kill_resume.to_compact()));
+        }
+        return Err(format!("chaos campaign invariants violated: {}", reasons.join("; ")));
+    }
+    Ok(outcome.manifest())
+}

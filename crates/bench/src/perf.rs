@@ -1,11 +1,9 @@
 //! `perf_fetch` — in-repo fetch-core throughput measurement.
 //!
-//! Times the three ways the repository can drive an instruction-fetch
-//! stream — the frozen per-line reference model
-//! ([`wp_mem::refmodel`]), the structure-of-arrays core fetch-by-fetch,
-//! and the SoA core through the batched
-//! [`MemorySystem::fetch_block`] entry point — over two synthetic
-//! scenarios:
+//! Times the two ways the repository can drive an instruction-fetch
+//! stream through the structure-of-arrays core — fetch-by-fetch, and
+//! through the batched [`MemorySystem::fetch_block`] entry point —
+//! over two synthetic scenarios:
 //!
 //! * **straight**: long line-bounded straight-line runs under the
 //!   way-placement scheme, the shape the batched path amortises;
@@ -14,21 +12,21 @@
 //!   cost dominates.
 //!
 //! Every timed configuration first passes an *untimed* equivalence
-//! tripwire: all three drivers must produce identical total cycles and
-//! identical [`FetchStats`], so a throughput number can never be bought
-//! with a behaviour change. The statistic is min-of-N (see
-//! [`bench_min`]) — the least host-noise-sensitive estimate for a
-//! short deterministic kernel.
+//! tripwire: both drivers must produce identical total cycles and
+//! identical [`FetchStats`], with and without the fault-detection
+//! checks armed, so a throughput number can never be bought with a
+//! behaviour change. The statistic is min-of-N (see [`bench_min`]) —
+//! the least host-noise-sensitive estimate for a short deterministic
+//! kernel.
 //!
 //! The manifest (`BENCH_perf_fetch.json`, schema [`PERF_SCHEMA`]) is
 //! shaped so `wp_tune::TraceSet` parses it like a trace report: each
 //! scenario × driver pair is a run whose *fetch* metric carries the
 //! throughput in Mfetch/s and whose *energy* metric carries the
-//! speedup over the reference driver — the latter is same-machine,
+//! speedup over the per-fetch driver — the latter is same-machine,
 //! same-process, and therefore the robust number the stored-baseline
 //! gate leans on.
 
-use wp_mem::refmodel::RefMemorySystem;
 use wp_mem::rng::SplitMix64;
 use wp_mem::{CacheGeometry, FetchStats, MemoryConfig, MemorySystem};
 
@@ -37,9 +35,12 @@ use crate::Json;
 
 /// Schema tag of the `BENCH_perf_fetch.json` manifest.
 pub const PERF_SCHEMA: &str = "perf_fetch/v1";
-/// The headline target: the batched SoA core must beat the per-line
-/// reference model by at least this factor on the straight scenario.
-pub const TARGET_SPEEDUP: f64 = 5.0;
+/// The headline target: the batched entry point must beat the
+/// per-fetch loop over the same core by at least this factor on the
+/// straight scenario (measured ~3.2x on the reference host; 2x leaves
+/// headroom for slower machines while still catching a real loss of
+/// the batching win).
+pub const TARGET_SPEEDUP: f64 = 2.0;
 /// The scenario and driver the headline speedup is read from.
 pub const HEADLINE: (&str, &str) = ("straight", "soa-block");
 
@@ -123,18 +124,6 @@ pub fn scenarios(total_words: u64) -> Vec<Scenario> {
 /// returning total cycles and the final counters.
 type Driver = fn(MemoryConfig, &[(u32, u32)]) -> (u64, FetchStats);
 
-/// Drives the per-line reference model fetch-by-fetch.
-fn drive_ref(config: MemoryConfig, blocks: &[(u32, u32)]) -> (u64, FetchStats) {
-    let mut mem = RefMemorySystem::new(config);
-    let mut cycles = 0u64;
-    for &(addr, words) in blocks {
-        for i in 0..words {
-            cycles += u64::from(mem.fetch(addr + 4 * i).cycles);
-        }
-    }
-    (cycles, *mem.fetch_stats())
-}
-
 /// Drives the SoA core fetch-by-fetch.
 fn drive_soa_fetch(config: MemoryConfig, blocks: &[(u32, u32)]) -> (u64, FetchStats) {
     let mut mem = MemorySystem::new(config);
@@ -157,27 +146,34 @@ fn drive_soa_block(config: MemoryConfig, blocks: &[(u32, u32)]) -> (u64, FetchSt
     (cycles, *mem.fetch_stats())
 }
 
-/// The untimed tripwire: all three drivers over one scenario must
-/// agree on total cycles and every fetch counter.
+/// The untimed tripwire: the batched driver must agree with the
+/// per-fetch driver on total cycles and every fetch counter — with the
+/// fault-detection checks off *and* armed (on a clean stream the armed
+/// twin must be observation-only).
 ///
 /// # Errors
 ///
 /// A description of the first divergence.
 pub fn verify_equivalence(scenario: &Scenario) -> Result<(), String> {
-    let reference = drive_ref(scenario.config, &scenario.blocks);
-    for (core, result) in [
-        ("soa-fetch", drive_soa_fetch(scenario.config, &scenario.blocks)),
-        ("soa-block", drive_soa_block(scenario.config, &scenario.blocks)),
-    ] {
+    let plain = drive_soa_fetch(scenario.config, &scenario.blocks);
+    for (mode, config) in [("", scenario.config), ("+detect", scenario.config.with_detection())] {
+        let reference = drive_soa_fetch(config, &scenario.blocks);
+        if reference != plain {
+            return Err(format!(
+                "{}{mode}/soa-fetch: armed detection changed a clean run",
+                scenario.name
+            ));
+        }
+        let result = drive_soa_block(config, &scenario.blocks);
         if result.0 != reference.0 {
             return Err(format!(
-                "{}/{core}: {} cycles, reference model says {}",
+                "{}{mode}/soa-block: {} cycles, per-fetch driver says {}",
                 scenario.name, result.0, reference.0
             ));
         }
         if result.1 != reference.1 {
             return Err(format!(
-                "{}/{core}: fetch counters diverged from the reference model",
+                "{}{mode}/soa-block: fetch counters diverged from the per-fetch driver",
                 scenario.name
             ));
         }
@@ -190,13 +186,13 @@ pub fn verify_equivalence(scenario: &Scenario) -> Result<(), String> {
 pub struct PerfRow {
     /// Scenario name.
     pub scenario: &'static str,
-    /// Driver name (`per-line-ref` / `soa-fetch` / `soa-block`).
+    /// Driver name (`soa-fetch` / `soa-block`).
     pub core: &'static str,
     /// Min-of-N nanoseconds for one pass over the stream.
     pub ns: f64,
     /// Simulated-fetch throughput, million fetches per second.
     pub mfetch_per_s: f64,
-    /// This driver's speedup over `per-line-ref` on the same scenario,
+    /// This driver's speedup over `soa-fetch` on the same scenario,
     /// same process, same machine.
     pub speedup_vs_ref: f64,
 }
@@ -204,7 +200,7 @@ pub struct PerfRow {
 /// A full measurement: every row plus the parameters that shaped it.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
-    /// Scenario × driver rows, scenario-major, reference driver first.
+    /// Scenario × driver rows, scenario-major, per-fetch driver first.
     pub rows: Vec<PerfRow>,
     /// Fetched words per pass.
     pub words: u64,
@@ -226,7 +222,7 @@ impl PerfReport {
 
     /// Renders the `BENCH_perf_fetch.json` manifest body — parseable
     /// by `wp_tune::TraceSet` (fetches = Mfetch/s, icache_pj =
-    /// speedup over the reference driver).
+    /// speedup over the per-fetch driver).
     #[must_use]
     pub fn json(&self) -> Json {
         Json::obj([
@@ -271,16 +267,13 @@ pub fn measure(quick: bool) -> Result<PerfReport, String> {
     let mut rows = Vec::new();
     for scenario in scenarios(words) {
         verify_equivalence(&scenario)?;
-        let drivers: [(&'static str, Driver); 3] = [
-            ("per-line-ref", drive_ref),
-            ("soa-fetch", drive_soa_fetch),
-            ("soa-block", drive_soa_block),
-        ];
+        let drivers: [(&'static str, Driver); 2] =
+            [("soa-fetch", drive_soa_fetch), ("soa-block", drive_soa_block)];
         let mut ref_ns = f64::NAN;
         for (core, drive) in drivers {
             let label = format!("{}/{core}", scenario.name);
             let ns = bench_min(&label, 1, iters, || drive(scenario.config, &scenario.blocks));
-            if core == "per-line-ref" {
+            if core == "soa-fetch" {
                 ref_ns = ns;
             }
             rows.push(PerfRow {
@@ -327,7 +320,7 @@ mod tests {
             rows: vec![
                 PerfRow {
                     scenario: "straight",
-                    core: "per-line-ref",
+                    core: "soa-fetch",
                     ns: 100.0,
                     mfetch_per_s: 10.0,
                     speedup_vs_ref: 1.0,
@@ -348,7 +341,7 @@ mod tests {
         let text = report.json().to_pretty();
         let set = TraceSet::parse(&text, "perf", "perf").expect("parses");
         assert_eq!(set.runs.len(), 2);
-        assert_eq!(set.runs[0].key, "straight/per-line-ref");
+        assert_eq!(set.runs[0].key, "straight/soa-fetch");
         assert_eq!(set.runs[1].fetches, 100.0);
         assert_eq!(set.runs[1].energy, 10.0);
     }

@@ -64,6 +64,10 @@ fn describe_golden() {
             branch_mispredicts: 0,
             insn_counts: None,
             faults: Default::default(),
+            detection: Default::default(),
+            demotions: 0,
+            promotions: 0,
+            final_scheme: wp_core::wp_mem::FetchScheme::WayMemoization,
         },
         energy: EnergyReport {
             icache: Default::default(),
@@ -71,6 +75,7 @@ fn describe_golden() {
             dcache_pj: 0.0,
             dtlb_pj: 0.0,
             core_pj: 0.0,
+            recovery_pj: 0.0,
             cycles: 1500,
         },
     };

@@ -177,6 +177,59 @@ fn checkpoint_resume_replays_completed_jobs_from_disk() {
     );
 }
 
+/// Torn-write recovery: a run killed mid-campaign leaves a checkpoint
+/// whose final JSONL record is then truncated mid-line (as a crash
+/// inside `writeln!` would). Resuming must skip the torn record,
+/// replay the intact ones, re-execute the rest, and produce a report
+/// byte-identical to an uninterrupted run.
+#[test]
+fn torn_checkpoint_write_resumes_byte_identical() {
+    let path = scratch_path("torn.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let experiment = experiment([Benchmark::Crc, Benchmark::Sha]);
+    let reference = Engine::with_workers(2).run(&experiment);
+    assert!(reference.is_complete(), "failures: {:?}", reference.failures);
+
+    // Kill the last job; the checkpoint holds the other three rows.
+    let killed = Engine::with_workers(2).with_fault(|benchmark, _geometry, scheme| {
+        (benchmark == Benchmark::Sha && !matches!(scheme, Scheme::WayMemoization)).then(|| {
+            CoreError::Io {
+                context: "injected kill".to_string(),
+                message: "simulated crash".to_string(),
+            }
+        })
+    });
+    let partial = killed.run_checkpointed(&experiment, &path);
+    assert_eq!(partial.failures.len(), 1);
+
+    // Tear the final record: drop the trailing newline plus the last
+    // few bytes of the line, leaving unparseable JSON.
+    let text = std::fs::read_to_string(&path).expect("checkpoint after kill");
+    assert_eq!(text.lines().count(), 3);
+    std::fs::write(&path, &text.as_bytes()[..text.len() - 5]).expect("torn rewrite");
+
+    let resumed = Engine::with_workers(2).run_checkpointed(&experiment, &path);
+    assert!(resumed.is_complete(), "failures: {:?}", resumed.failures);
+    assert_eq!(resumed.stats.checkpoint_hits, 2, "two intact lines replay; the torn one reruns");
+    assert!(!path.exists(), "checkpoint removed after the complete resume");
+    assert_eq!(
+        resumed.results_json().to_pretty(),
+        reference.results_json().to_pretty(),
+        "a torn-checkpoint resume must reproduce the uninterrupted report byte for byte"
+    );
+
+    // The seeded drill the chaos campaign ships wraps exactly this
+    // round trip; it must agree.
+    let drill_path = scratch_path("drill.jsonl");
+    let fragment = wp_bench::chaos::kill_resume_drill(0xD1BB, &drill_path).expect("drill");
+    assert_eq!(
+        fragment.get("byte_identical").and_then(wp_bench::Json::as_bool),
+        Some(true),
+        "{}",
+        fragment.to_compact()
+    );
+}
+
 /// Corrupt checkpoint lines (torn writes, wrong schema) are skipped:
 /// the run executes everything fresh and still completes.
 #[test]

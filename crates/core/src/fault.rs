@@ -18,7 +18,7 @@
 
 use wp_linker::Profile;
 use wp_mem::rng::SplitMix64;
-use wp_mem::{CacheGeometry, FaultConfig};
+use wp_mem::{CacheGeometry, DetectionStats, FaultConfig, FetchScheme};
 use wp_workloads::InputSet;
 
 use crate::measure::{measure_with, MeasureOptions, Measurement};
@@ -140,6 +140,24 @@ pub struct FaultTrial {
     pub spec: FaultSpec,
     /// How the run ended.
     pub outcome: FaultOutcome,
+    /// Detection/recovery counters of the faulted run — all zero when
+    /// the trial ran without the detection layer, or when the run
+    /// ended in a typed error before completing.
+    pub detection: DetectionStats,
+    /// Scheme demotions the degradation controller took (0 without a
+    /// policy).
+    pub demotions: u64,
+    /// Scheme promotions back up the ladder.
+    pub promotions: u64,
+    /// The fetch scheme the run ended on.
+    pub final_scheme: Option<FetchScheme>,
+    /// Fetches the faulted run issued (0 when it ended in a typed
+    /// error).
+    pub fetches: u64,
+    /// Absolute I-cache energy of the faulted run, in pJ.
+    pub icache_pj: f64,
+    /// Absolute detection/recovery energy of the faulted run, in pJ.
+    pub recovery_pj: f64,
 }
 
 /// Runs `scheme` on `workbench` with `spec` injected and classifies
@@ -154,23 +172,67 @@ pub fn fault_trial(
     spec: FaultSpec,
     clean: &Measurement,
 ) -> FaultTrial {
-    let options = MeasureOptions::new(set).with_fault(spec);
-    let outcome = match measure_with(workbench, icache, scheme, options) {
-        Ok((faulted, _)) => FaultOutcome::Graceful {
-            cycle_ratio: if clean.run.cycles == 0 {
-                1.0
-            } else {
-                faulted.run.cycles as f64 / clean.run.cycles as f64
+    fault_trial_with(workbench, icache, scheme, MeasureOptions::new(set).with_fault(spec), clean)
+}
+
+/// [`fault_trial`] with full [`MeasureOptions`] control: arming
+/// detection and/or a degradation policy turns the trial from a
+/// passive §4 check into an active detect-and-recover run, and the
+/// returned [`FaultTrial`] carries the detection counters and any
+/// scheme transitions the controller took.
+#[must_use]
+pub fn fault_trial_with(
+    workbench: &Workbench,
+    icache: CacheGeometry,
+    scheme: Scheme,
+    options: MeasureOptions,
+    clean: &Measurement,
+) -> FaultTrial {
+    let spec = options.fault.unwrap_or(FaultSpec::Hardware(FaultConfig::all(0, 0)));
+    let (outcome, resilience) = match measure_with(workbench, icache, scheme, options) {
+        Ok((faulted, _)) => (
+            FaultOutcome::Graceful {
+                cycle_ratio: if clean.run.cycles == 0 {
+                    1.0
+                } else {
+                    faulted.run.cycles as f64 / clean.run.cycles as f64
+                },
+                energy_ratio: faulted.normalized_icache_energy(clean),
+                faults_injected: faulted.run.faults.total(),
             },
-            energy_ratio: faulted.normalized_icache_energy(clean),
-            faults_injected: faulted.run.faults.total(),
-        },
+            Some((
+                faulted.run.detection,
+                faulted.run.demotions,
+                faulted.run.promotions,
+                faulted.run.final_scheme,
+                faulted.run.fetch.fetches,
+                faulted.energy.icache_pj(),
+                faulted.energy.recovery_pj,
+            )),
+        ),
         Err(CoreError::ChecksumMismatch { expected, actual, .. }) => {
-            FaultOutcome::SilentCorruption { expected, actual }
+            (FaultOutcome::SilentCorruption { expected, actual }, None)
         }
-        Err(error) => FaultOutcome::Detected { error: error.to_string() },
+        Err(error) => (FaultOutcome::Detected { error: error.to_string() }, None),
     };
-    FaultTrial { spec, outcome }
+    let (detection, demotions, promotions, final_scheme, fetches, icache_pj, recovery_pj) =
+        match resilience {
+            Some((d, dem, pro, scheme, fetches, icache_pj, recovery_pj)) => {
+                (d, dem, pro, Some(scheme), fetches, icache_pj, recovery_pj)
+            }
+            None => (DetectionStats::new(), 0, 0, None, 0, 0.0, 0.0),
+        };
+    FaultTrial {
+        spec,
+        outcome,
+        detection,
+        demotions,
+        promotions,
+        final_scheme,
+        fetches,
+        icache_pj,
+        recovery_pj,
+    }
 }
 
 #[cfg(test)]

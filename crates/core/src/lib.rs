@@ -53,7 +53,9 @@ mod measure;
 mod scheme;
 mod workbench;
 
-pub use fault::{corrupt_profile, fault_trial, FaultOutcome, FaultSpec, FaultTrial};
+pub use fault::{
+    corrupt_profile, fault_trial, fault_trial_with, FaultOutcome, FaultSpec, FaultTrial,
+};
 pub use measure::{
     measure, measure_on, measure_on_timed, measure_traced, measure_with, Comparison,
     MeasureOptions, MeasureTiming, Measurement,

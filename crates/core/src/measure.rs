@@ -87,7 +87,8 @@ pub struct MeasureTiming {
 }
 
 /// Options modifying a measurement run: input set, wall-clock
-/// watchdog, and fault injection.
+/// watchdog, fault injection, and the resilience layer (detection /
+/// graceful degradation).
 #[derive(Clone, Copy, Debug)]
 pub struct MeasureOptions {
     /// Which input set to run.
@@ -96,13 +97,19 @@ pub struct MeasureOptions {
     pub time_limit: Option<Duration>,
     /// Fault to inject (`None` = clean run).
     pub fault: Option<FaultSpec>,
+    /// Arm the fetch core's fault-detection checks (parity, WP-bit
+    /// duplication, way-hint shadow); recovery energy is priced into
+    /// the report.
+    pub detection: bool,
+    /// Graceful scheme degradation policy (implies `detection`).
+    pub degradation: Option<wp_sim::DegradationPolicy>,
 }
 
 impl MeasureOptions {
     /// Clean, unlimited options for `set`.
     #[must_use]
     pub fn new(set: InputSet) -> MeasureOptions {
-        MeasureOptions { set, time_limit: None, fault: None }
+        MeasureOptions { set, time_limit: None, fault: None, detection: false, degradation: None }
     }
 
     /// The same options with `fault` injected.
@@ -116,6 +123,22 @@ impl MeasureOptions {
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> MeasureOptions {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// The same options with detection armed.
+    #[must_use]
+    pub fn with_detection(mut self) -> MeasureOptions {
+        self.detection = true;
+        self
+    }
+
+    /// The same options with graceful degradation (and detection)
+    /// armed.
+    #[must_use]
+    pub fn with_degradation(mut self, policy: wp_sim::DegradationPolicy) -> MeasureOptions {
+        self.degradation = Some(policy);
+        self.detection = true;
         self
     }
 }
@@ -216,8 +239,10 @@ pub fn measure_traced<S: TraceSink>(
     if let Some(FaultSpec::Hardware(config)) = options.fault {
         mem.fault = Some(config);
     }
+    mem.detection = options.detection || options.degradation.is_some();
     let mut sim_config = SimConfig::new(mem);
     sim_config.time_limit = options.time_limit;
+    sim_config.degradation = options.degradation;
     let run = simulate_traced(&output.image, &sim_config, sink)?;
     verify(workbench.benchmark(), set, run.checksum)?;
     let simulate = start.elapsed();
@@ -230,6 +255,7 @@ pub fn measure_traced<S: TraceSink>(
         dtlb: run.dtlb,
         cycles: run.cycles,
         instructions: run.instructions,
+        detection: run.detection,
     };
     let energy = EnergyModel::new().price(&mem, &activity);
     let price = start.elapsed();

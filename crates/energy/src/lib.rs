@@ -25,7 +25,7 @@
 //!
 //! ```
 //! use wp_energy::{EnergyModel, SystemActivity};
-//! use wp_mem::{CacheGeometry, FetchStats, DCacheStats, TlbStats, MemoryConfig};
+//! use wp_mem::{CacheGeometry, FetchStats, DCacheStats, DetectionStats, TlbStats, MemoryConfig};
 //!
 //! let geom = CacheGeometry::xscale_icache();
 //! let activity = SystemActivity {
@@ -37,6 +37,7 @@
 //!     dtlb: TlbStats::new(),
 //!     cycles: 1500,
 //!     instructions: 1000,
+//!     detection: DetectionStats::new(),
 //! };
 //! let report = EnergyModel::new().price(&MemoryConfig::baseline(geom), &activity);
 //! assert!(report.icache_share() > 0.05);
@@ -50,6 +51,6 @@ mod model;
 mod report;
 mod tech;
 
-pub use model::{CacheEnergyModel, FetchEnergy, TlbEnergyModel};
+pub use model::{CacheEnergyModel, FetchEnergy, RecoveryCosts, TlbEnergyModel};
 pub use report::{ratio, EnergyModel, EnergyReport, SystemActivity};
 pub use tech::{CoreEnergyParams, TechnologyParams};

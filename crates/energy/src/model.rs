@@ -1,7 +1,7 @@
 //! Per-structure energy models: pricing the event counters recorded by
 //! `wp-mem` into picojoules.
 
-use wp_mem::{CacheGeometry, DCacheStats, FetchScheme, FetchStats, TlbStats};
+use wp_mem::{CacheGeometry, DCacheStats, DetectionStats, FetchScheme, FetchStats, TlbStats};
 
 use crate::tech::TechnologyParams;
 
@@ -188,6 +188,63 @@ impl CacheEnergyModel {
     }
 }
 
+/// Energy prices of the fetch core's fault-detection checks and
+/// recovery actions, in picojoules per event.
+///
+/// Detection is deliberately cheap per event — a parity bit rides the
+/// tag compare that was happening anyway, the duplicate WP bit rides
+/// the I-TLB payload read — while recovery actions (scrubbing a line,
+/// re-deriving a WP bit through a modeled refill) cost real work.
+/// [`RecoveryCosts::recovery_pj`] prices a run's [`DetectionStats`]
+/// so resilience overhead lands in the energy report instead of being
+/// silently free.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RecoveryCosts {
+    /// One tag-parity check: a single extra CAM bit compared alongside
+    /// the armed way's tag.
+    pub parity_check_pj: f64,
+    /// One WP-bit cross-check: reading the duplicate payload bit.
+    pub wp_check_pj: f64,
+    /// Scrubbing one corrupted line: clearing its valid/dirty/parity
+    /// bits (the refill itself is priced by the normal miss path).
+    pub line_invalidate_pj: f64,
+    /// Resetting the global way-hint bit from its shadow.
+    pub hint_reset_pj: f64,
+    /// Re-deriving a corrupted WP bit via a modeled I-TLB refill.
+    pub wp_rederive_pj: f64,
+}
+
+impl RecoveryCosts {
+    /// Derives the costs from the cache and I-TLB models the run is
+    /// priced with.
+    #[must_use]
+    pub fn derive(cache: &CacheEnergyModel, itlb: &TlbEnergyModel) -> RecoveryCosts {
+        // One parity bit alongside the `tag_bits`-wide compare.
+        let parity_check_pj = cache.tag_search_pj(1) / f64::from(cache.geom.tag_bits());
+        RecoveryCosts {
+            parity_check_pj,
+            // Same class of event as the TLB's WP payload-bit read.
+            wp_check_pj: 0.02,
+            // Clearing three state bits of one slot.
+            line_invalidate_pj: 3.0 * cache.tech.bitline_write_pj,
+            // One hint-bit write.
+            hint_reset_pj: cache.tech.way_hint_pj,
+            // The fill write of a TLB miss.
+            wp_rederive_pj: 2.0 * itlb.lookup_pj(),
+        }
+    }
+
+    /// Prices a run's detection/recovery counters.
+    #[must_use]
+    pub fn recovery_pj(&self, detect: &DetectionStats) -> f64 {
+        detect.parity_checks as f64 * self.parity_check_pj
+            + detect.wp_bit_checks as f64 * self.wp_check_pj
+            + detect.lines_invalidated as f64 * self.line_invalidate_pj
+            + detect.hint_resets as f64 * self.hint_reset_pj
+            + detect.wp_rederivations as f64 * self.wp_rederive_pj
+    }
+}
+
 /// Energy model of a fully-associative TLB.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct TlbEnergyModel {
@@ -357,6 +414,41 @@ mod tests {
         ] {
             assert!(model.fetch_energy(&bump).total_pj() > total, "{bump:?} should cost more");
         }
+    }
+
+    #[test]
+    fn detection_checks_are_cheap_and_recovery_is_priced() {
+        let cache = CacheEnergyModel::for_scheme(xscale(), FetchScheme::WayPlacement);
+        let itlb = TlbEnergyModel::new(32, 1024, true);
+        let costs = RecoveryCosts::derive(&cache, &itlb);
+        // A parity check rides the tag compare: well under one
+        // single-way probe.
+        assert!(costs.parity_check_pj < cache.tag_search_pj(1) / 4.0);
+        assert!(costs.parity_check_pj > 0.0);
+        // Recovery actions cost more than the checks that trigger them.
+        assert!(costs.wp_rederive_pj > costs.wp_check_pj);
+        assert!(costs.line_invalidate_pj > 0.0 && costs.hint_reset_pj > 0.0);
+        // Pricing is linear in the counters and zero on a zero run.
+        assert_eq!(costs.recovery_pj(&DetectionStats::new()), 0.0);
+        let detect = DetectionStats {
+            parity_checks: 1_000,
+            wp_bit_checks: 1_000,
+            lines_invalidated: 3,
+            hint_resets: 2,
+            wp_rederivations: 1,
+            ..DetectionStats::new()
+        };
+        let pj = costs.recovery_pj(&detect);
+        assert!(pj > 0.0);
+        let double = DetectionStats {
+            parity_checks: 2_000,
+            wp_bit_checks: 2_000,
+            lines_invalidated: 6,
+            hint_resets: 4,
+            wp_rederivations: 2,
+            ..DetectionStats::new()
+        };
+        assert!((costs.recovery_pj(&double) - 2.0 * pj).abs() < 1e-9);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Whole-run energy assembly and the paper's two headline metrics:
 //! normalised instruction-cache energy and the energy-delay product.
 
-use wp_mem::{DCacheStats, FetchScheme, FetchStats, MemoryConfig, TlbStats};
+use wp_mem::{DCacheStats, DetectionStats, FetchScheme, FetchStats, MemoryConfig, TlbStats};
 
-use crate::model::{CacheEnergyModel, FetchEnergy, TlbEnergyModel};
+use crate::model::{CacheEnergyModel, FetchEnergy, RecoveryCosts, TlbEnergyModel};
 use crate::tech::{CoreEnergyParams, TechnologyParams};
 
 /// Everything a simulation run produces that the energy model needs.
@@ -21,6 +21,8 @@ pub struct SystemActivity {
     pub cycles: u64,
     /// Instructions committed.
     pub instructions: u64,
+    /// Detection/recovery counters (all zero with detection off).
+    pub detection: DetectionStats,
 }
 
 /// A priced run: per-structure picojoules plus the cycle count.
@@ -36,6 +38,9 @@ pub struct EnergyReport {
     pub dtlb_pj: f64,
     /// Rest-of-core energy (per-instruction + per-cycle).
     pub core_pj: f64,
+    /// Fault-detection checks and recovery actions (zero with
+    /// detection off).
+    pub recovery_pj: f64,
     /// Cycles the run took.
     pub cycles: u64,
 }
@@ -50,7 +55,12 @@ impl EnergyReport {
     /// Total processor energy.
     #[must_use]
     pub fn total_pj(&self) -> f64 {
-        self.icache_pj() + self.itlb_pj + self.dcache_pj + self.dtlb_pj + self.core_pj
+        self.icache_pj()
+            + self.itlb_pj
+            + self.dcache_pj
+            + self.dtlb_pj
+            + self.core_pj
+            + self.recovery_pj
     }
 
     /// The instruction cache's share of total energy; `0.0` for an
@@ -155,6 +165,7 @@ impl EnergyModel {
             config.icache.scheme == FetchScheme::WayPlacement,
         );
         let dtlb_model = TlbEnergyModel::new(config.dtlb.entries, config.dtlb.page_bytes, false);
+        let recovery = RecoveryCosts::derive(&icache_model, &itlb_model);
         EnergyReport {
             icache: icache_model.fetch_energy(&activity.fetch),
             itlb_pj: itlb_model.energy_pj(&activity.itlb),
@@ -162,6 +173,7 @@ impl EnergyModel {
             dtlb_pj: dtlb_model.energy_pj(&activity.dtlb),
             core_pj: activity.instructions as f64 * self.core.per_instruction_pj
                 + activity.cycles as f64 * self.core.per_cycle_pj,
+            recovery_pj: recovery.recovery_pj(&activity.detection),
             cycles: activity.cycles,
         }
     }
@@ -205,6 +217,7 @@ mod tests {
             dtlb: TlbStats { lookups: fetches / 3, misses: 30, ..TlbStats::new() },
             cycles: fetches * 3 / 2,
             instructions: fetches,
+            detection: DetectionStats::new(),
         }
     }
 
@@ -255,6 +268,7 @@ mod tests {
             dcache_pj: 0.0,
             dtlb_pj: 0.0,
             core_pj: 0.0,
+            recovery_pj: 0.0,
             cycles: 0,
         };
         // An idle run against an idle baseline: equal, not NaN.
@@ -281,8 +295,37 @@ mod tests {
             + report.itlb_pj
             + report.dcache_pj
             + report.dtlb_pj
-            + report.core_pj;
+            + report.core_pj
+            + report.recovery_pj;
         assert!((report.total_pj() - sum).abs() < 1e-6);
         assert!(report.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn detection_overhead_is_priced_and_bounded() {
+        let geom = CacheGeometry::xscale_icache();
+        let config = MemoryConfig::way_placement(geom, 0x8000, 32 * 1024);
+        let model = EnergyModel::new();
+        let clean = model.price(&config, &activity(1));
+        assert_eq!(clean.recovery_pj, 0.0, "no detection, no recovery energy");
+        // An armed clean run: one parity check and one WP check per
+        // fetch, nothing detected. The overhead must stay marginal —
+        // the chaos campaign's ≤5% clean-run bound starts here.
+        let mut armed = activity(1);
+        armed.detection = DetectionStats {
+            parity_checks: armed.fetch.fetches,
+            wp_bit_checks: armed.fetch.fetches,
+            ..DetectionStats::new()
+        };
+        let priced = model.price(&config, &armed);
+        assert!(priced.recovery_pj > 0.0);
+        let overhead = priced.total_pj() / clean.total_pj();
+        assert!(overhead < 1.05, "clean-run detection overhead {overhead:.4}");
+        // Actual recoveries add real energy on top.
+        let mut recovering = armed;
+        recovering.detection.lines_invalidated = 500;
+        recovering.detection.hint_resets = 500;
+        recovering.detection.wp_rederivations = 500;
+        assert!(model.price(&config, &recovering).recovery_pj > priced.recovery_pj);
     }
 }

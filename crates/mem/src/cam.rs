@@ -14,9 +14,13 @@
 //! two cache lines of host memory instead of chasing per-line structs,
 //! and the valid bits of a whole set land in a single `u64` word
 //! (ways is a power of two ≤ 64 per set-word by construction of the
-//! bitset indexing). The per-line behaviour is bit-identical to the
-//! reference model in [`crate::refmodel`]; the differential harness
-//! holds the two together.
+//! bitset indexing).
+//!
+//! Each slot also carries a **tag parity bit**, written on every fill.
+//! The fault injector's [`flip_tag_bit`](CamArray::flip_tag_bit)
+//! deliberately leaves the parity bit stale, so a single-bit tag flip
+//! is always caught by [`tag_parity_ok`](CamArray::tag_parity_ok) the
+//! next time a protected access scrubs the way it is about to trust.
 
 use crate::geometry::GeometryShifts;
 use crate::rng::SplitMix64;
@@ -61,6 +65,8 @@ pub struct CamArray {
     valid: Vec<u64>,
     /// Dirty bits, one per slot, packed 64 to a word.
     dirty: Vec<u64>,
+    /// Tag parity check bits, one per slot, written at fill time.
+    parity: Vec<u64>,
     /// LRU timestamps, indexed `set * ways + way`.
     last_use: Vec<u64>,
     round_robin: Vec<u32>,
@@ -86,6 +92,7 @@ impl CamArray {
             tags: vec![0; slots],
             valid: vec![0; bitset_words(slots)],
             dirty: vec![0; bitset_words(slots)],
+            parity: vec![0; bitset_words(slots)],
             last_use: vec![0; slots],
             round_robin: vec![0; geom.sets() as usize],
             rng: SplitMix64::new(seed),
@@ -241,11 +248,51 @@ impl CamArray {
         let was_valid = self.is_valid(slot);
         let evicted = was_valid.then(|| self.geom.addr_of(self.tags[slot], set));
         let evicted_dirty = was_valid && self.is_dirty(slot);
-        self.tags[slot] = self.shifts.tag_of(addr);
+        let tag = self.shifts.tag_of(addr);
+        self.tags[slot] = tag;
         self.set_valid(slot);
         self.clear_dirty_bit(slot);
+        self.write_parity_bit(slot, tag);
         self.last_use[slot] = self.tick;
         FillOutcome { way, evicted, evicted_dirty }
+    }
+
+    #[inline]
+    fn write_parity_bit(&mut self, slot: usize, tag: u32) {
+        let bit = u64::from(tag.count_ones() & 1);
+        let word = &mut self.parity[slot >> 6];
+        *word = (*word & !(1u64 << (slot & 63))) | (bit << (slot & 63));
+    }
+
+    #[inline]
+    fn parity_bit(&self, slot: usize) -> bool {
+        self.parity[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    /// Compares the stored parity check bit of (`set`, `way`) against
+    /// the parity of the stored tag. Returns `None` for invalid slots
+    /// (nothing to check), `Some(true)` when the check passes and
+    /// `Some(false)` on a mismatch — i.e. the tag was corrupted after
+    /// its fill.
+    #[must_use]
+    pub fn tag_parity_ok(&self, set: u32, way: u32) -> Option<bool> {
+        let slot = self.slot(set, way);
+        if !self.is_valid(slot) {
+            return None;
+        }
+        Some(self.parity_bit(slot) == (self.tags[slot].count_ones() & 1 == 1))
+    }
+
+    /// Invalidates a single slot — the recovery action for a detected
+    /// tag-parity fault. The line refills through the normal miss path
+    /// on its next access, which is what prices the recovery honestly.
+    pub fn invalidate_slot(&mut self, set: u32, way: u32) {
+        let slot = self.slot(set, way);
+        self.valid[slot >> 6] &= !(1u64 << (slot & 63));
+        self.dirty[slot >> 6] &= !(1u64 << (slot & 63));
+        self.parity[slot >> 6] &= !(1u64 << (slot & 63));
+        self.tags[slot] = 0;
+        self.last_use[slot] = 0;
     }
 
     /// Flips one bit of the tag stored at (`set`, `way`) — the fault
@@ -266,6 +313,7 @@ impl CamArray {
         self.tags.fill(0);
         self.valid.fill(0);
         self.dirty.fill(0);
+        self.parity.fill(0);
         self.last_use.fill(0);
         self.round_robin.fill(0);
         self.tick = 0;
@@ -423,6 +471,47 @@ mod tests {
             cam.fill(addr, way);
             assert_eq!(cam.valid_popcount(), cam.resident_lines().count());
         }
+    }
+
+    #[test]
+    fn parity_catches_any_single_bit_flip() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 2);
+        assert_eq!(cam.tag_parity_ok(0, 2), Some(true));
+        assert_eq!(cam.tag_parity_ok(0, 0), None, "invalid slot has no check");
+        for bit in 0..tiny().tag_bits() {
+            assert!(cam.flip_tag_bit(0, 2, bit));
+            assert_eq!(cam.tag_parity_ok(0, 2), Some(false), "bit {bit}");
+            assert!(cam.flip_tag_bit(0, 2, bit), "flip back");
+            assert_eq!(cam.tag_parity_ok(0, 2), Some(true));
+        }
+    }
+
+    #[test]
+    fn refill_restores_parity() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 1);
+        cam.flip_tag_bit(0, 1, 3);
+        assert_eq!(cam.tag_parity_ok(0, 1), Some(false));
+        cam.fill(0x3000, 1);
+        assert_eq!(cam.tag_parity_ok(0, 1), Some(true), "fill rewrites the check bit");
+    }
+
+    #[test]
+    fn invalidate_slot_clears_one_line() {
+        let mut cam = CamArray::new(tiny(), ReplacementPolicy::RoundRobin, 0);
+        cam.fill(0x1000, 1);
+        cam.fill(0x1020, 2);
+        cam.mark_dirty(0x1000, 1);
+        cam.invalidate_slot(0, 1);
+        assert_eq!(cam.lookup(0x1000), None);
+        assert_eq!(cam.lookup(0x1020), Some(2), "other set untouched");
+        assert_eq!(cam.valid_lines(), 1);
+        assert_eq!(cam.tag_parity_ok(0, 1), None);
+        // Refilling the invalidated slot reports no (stale dirty) eviction.
+        let out = cam.fill(0x2000, 1);
+        assert_eq!(out.evicted, None);
+        assert!(!out.evicted_dirty);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Typed fault-detection events and counters for the protected fetch
+//! core.
+//!
+//! PR 2's injector flips real state — stored tags, the latched way
+//! hint, cached I-TLB WP bits — and until now those flips were only
+//! *classified* after the run by comparing against a clean twin. This
+//! module is the vocabulary for catching them **at fetch time**: the
+//! slabs carry check bits (per-slot tag parity in [`crate::CamArray`],
+//! a duplicated WP bitset in [`crate::Tlb`], a shadow copy of the
+//! way-placement hint in [`crate::InstructionCache`]), every armed
+//! access scrubs the state it is about to trust, and a mismatch
+//! surfaces as a [`DetectedFault`] plus a priced recovery action.
+//!
+//! Detection is opt-in (`MemoryConfig::detection`); with the flag off
+//! the protected paths compile to the exact pre-existing behaviour, so
+//! blessed baselines stay byte-identical.
+
+/// A fault caught by an in-array check at fetch time.
+///
+/// Each variant corresponds to one protected structure and names the
+/// recovery action its handler performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DetectedFault {
+    /// A stored tag failed its parity check; the slot is invalidated
+    /// and the line refills on the next natural miss.
+    TagParity {
+        /// Set holding the poisoned slot.
+        set: u32,
+        /// Way holding the poisoned slot.
+        way: u32,
+    },
+    /// The latched way-placement hint disagreed with its shadow copy;
+    /// the hint is reset from the shadow.
+    WayHintMismatch,
+    /// A cached I-TLB WP bit disagreed with its duplicate; the entry
+    /// is re-derived from the OS way-placement boundary (a modeled
+    /// refill).
+    WpBitMismatch {
+        /// Virtual page number of the repaired entry.
+        vpn: u32,
+    },
+    /// An MRU way predictor entry pointed outside the set's ways; the
+    /// predictor is reset to way 0.
+    WayHintBounds {
+        /// Set whose predictor entry was out of range.
+        set: u32,
+    },
+}
+
+impl DetectedFault {
+    /// Stable label for reports and manifests.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectedFault::TagParity { .. } => "tag-parity",
+            DetectedFault::WayHintMismatch => "way-hint-mismatch",
+            DetectedFault::WpBitMismatch { .. } => "wp-bit-mismatch",
+            DetectedFault::WayHintBounds { .. } => "way-hint-bounds",
+        }
+    }
+}
+
+/// Counters for the detection-and-recovery subsystem.
+///
+/// Deliberately separate from [`crate::FetchStats`]: the fetch counters
+/// mirror `wp_trace::FetchCounters` field-for-field and feed blessed
+/// manifests, while these exist only when detection is armed. Recovery
+/// *cycles* flow into fetch/TLB outcome timing; recovery *energy* is
+/// priced from these counts by `wp-energy`'s `RecoveryCosts`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DetectionStats {
+    /// Tag-parity comparisons performed (one per scrubbed way).
+    pub parity_checks: u64,
+    /// WP-bit duplicate comparisons performed.
+    pub wp_bit_checks: u64,
+    /// Tag-parity mismatches detected.
+    pub tag_parity_faults: u64,
+    /// Way-hint shadow mismatches detected.
+    pub hint_mismatches: u64,
+    /// WP-bit duplicate mismatches detected.
+    pub wp_bit_mismatches: u64,
+    /// Out-of-range MRU predictor entries detected.
+    pub hint_bounds_faults: u64,
+    /// Lines invalidated to recover from tag-parity faults.
+    pub lines_invalidated: u64,
+    /// Way-hint resets performed.
+    pub hint_resets: u64,
+    /// WP-bit re-derivations (modeled I-TLB refills) performed.
+    pub wp_rederivations: u64,
+    /// Total stall cycles charged to recovery actions.
+    pub recovery_cycles: u64,
+}
+
+impl DetectionStats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> DetectionStats {
+        DetectionStats::default()
+    }
+
+    /// Total faults detected across all check kinds.
+    #[must_use]
+    pub fn total_detected(&self) -> u64 {
+        self.tag_parity_faults
+            + self.hint_mismatches
+            + self.wp_bit_mismatches
+            + self.hint_bounds_faults
+    }
+
+    /// Accumulates `other` into `self` (worker-shard merging).
+    pub fn merge(&mut self, other: &DetectionStats) {
+        self.parity_checks += other.parity_checks;
+        self.wp_bit_checks += other.wp_bit_checks;
+        self.tag_parity_faults += other.tag_parity_faults;
+        self.hint_mismatches += other.hint_mismatches;
+        self.wp_bit_mismatches += other.wp_bit_mismatches;
+        self.hint_bounds_faults += other.hint_bounds_faults;
+        self.lines_invalidated += other.lines_invalidated;
+        self.hint_resets += other.hint_resets;
+        self.wp_rederivations += other.wp_rederivations;
+        self.recovery_cycles += other.recovery_cycles;
+    }
+
+    /// Bumps the detection counter matching `fault`.
+    pub fn record(&mut self, fault: DetectedFault) {
+        match fault {
+            DetectedFault::TagParity { .. } => self.tag_parity_faults += 1,
+            DetectedFault::WayHintMismatch => self.hint_mismatches += 1,
+            DetectedFault::WpBitMismatch { .. } => self.wp_bit_mismatches += 1,
+            DetectedFault::WayHintBounds { .. } => self.hint_bounds_faults += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_to_matching_counter() {
+        let mut stats = DetectionStats::new();
+        stats.record(DetectedFault::TagParity { set: 1, way: 2 });
+        stats.record(DetectedFault::WayHintMismatch);
+        stats.record(DetectedFault::WpBitMismatch { vpn: 9 });
+        stats.record(DetectedFault::WayHintBounds { set: 3 });
+        stats.record(DetectedFault::WayHintMismatch);
+        assert_eq!(stats.tag_parity_faults, 1);
+        assert_eq!(stats.hint_mismatches, 2);
+        assert_eq!(stats.wp_bit_mismatches, 1);
+        assert_eq!(stats.hint_bounds_faults, 1);
+        assert_eq!(stats.total_detected(), 5);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = DetectionStats {
+            parity_checks: 1,
+            wp_bit_checks: 2,
+            tag_parity_faults: 3,
+            hint_mismatches: 4,
+            wp_bit_mismatches: 5,
+            hint_bounds_faults: 6,
+            lines_invalidated: 7,
+            hint_resets: 8,
+            wp_rederivations: 9,
+            recovery_cycles: 10,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.parity_checks, 2);
+        assert_eq!(a.wp_bit_checks, 4);
+        assert_eq!(a.tag_parity_faults, 6);
+        assert_eq!(a.hint_mismatches, 8);
+        assert_eq!(a.wp_bit_mismatches, 10);
+        assert_eq!(a.hint_bounds_faults, 12);
+        assert_eq!(a.lines_invalidated, 14);
+        assert_eq!(a.hint_resets, 16);
+        assert_eq!(a.wp_rederivations, 18);
+        assert_eq!(a.recovery_cycles, 20);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DetectedFault::TagParity { set: 0, way: 0 }.label(), "tag-parity");
+        assert_eq!(DetectedFault::WayHintMismatch.label(), "way-hint-mismatch");
+        assert_eq!(DetectedFault::WpBitMismatch { vpn: 0 }.label(), "wp-bit-mismatch");
+        assert_eq!(DetectedFault::WayHintBounds { set: 0 }.label(), "way-hint-bounds");
+    }
+}

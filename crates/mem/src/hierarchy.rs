@@ -3,6 +3,7 @@
 //! pipeline talks to.
 
 use crate::dcache::{DCacheConfig, DataCache};
+use crate::detect::{DetectedFault, DetectionStats};
 use crate::fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 use crate::icache::{FetchScheme, ICacheConfig, InstructionCache};
 use crate::tlb::{Tlb, TlbConfig};
@@ -27,6 +28,11 @@ pub struct MemoryConfig {
     pub wp_limit: u32,
     /// Optional hardware fault injection (`None` = fault-free machine).
     pub fault: Option<FaultConfig>,
+    /// Arm the in-array detection-and-recovery checks (tag parity,
+    /// way-hint shadow, WP-bit duplication). Off by default: the
+    /// unprotected hierarchy behaves byte-identically to the
+    /// pre-detection core.
+    pub detection: bool,
 }
 
 impl MemoryConfig {
@@ -40,6 +46,7 @@ impl MemoryConfig {
             dtlb: TlbConfig::default_itlb(),
             wp_limit: 0,
             fault: None,
+            detection: false,
         }
     }
 
@@ -47,6 +54,12 @@ impl MemoryConfig {
     #[must_use]
     pub fn with_fault(self, fault: FaultConfig) -> MemoryConfig {
         MemoryConfig { fault: Some(fault), ..self }
+    }
+
+    /// The same configuration with detection-and-recovery armed.
+    #[must_use]
+    pub fn with_detection(self) -> MemoryConfig {
+        MemoryConfig { detection: true, ..self }
     }
 
     /// A way-placement configuration: `wp_area_bytes` of code starting
@@ -105,6 +118,8 @@ pub struct MemorySystem {
     itlb: Tlb,
     dtlb: Tlb,
     fault: Option<FaultInjector>,
+    /// TLB-side detection counters (the I-cache keeps its own).
+    detect: DetectionStats,
 }
 
 impl MemorySystem {
@@ -113,14 +128,43 @@ impl MemorySystem {
     pub fn new(config: MemoryConfig) -> MemorySystem {
         let wp_limit =
             if config.icache.scheme == FetchScheme::WayPlacement { config.wp_limit } else { 0 };
+        let mut icache = InstructionCache::new(config.icache);
+        icache.set_detection(config.detection);
         MemorySystem {
             config,
-            icache: InstructionCache::new(config.icache),
+            icache,
             dcache: DataCache::new(config.dcache),
             itlb: Tlb::new(config.itlb, wp_limit),
             dtlb: Tlb::new(config.dtlb, 0),
             fault: config.fault.map(FaultInjector::new),
+            detect: DetectionStats::new(),
         }
+    }
+
+    /// Switches the fetch scheme at run time (the degradation
+    /// controller's lever); see
+    /// [`InstructionCache::set_scheme`] for the flush semantics. The
+    /// constructed `config` keeps the *preferred* scheme;
+    /// [`current_scheme`](MemorySystem::current_scheme) reports what is
+    /// actually running.
+    pub fn set_fetch_scheme(&mut self, scheme: FetchScheme) {
+        self.icache.set_scheme(scheme);
+    }
+
+    /// The fetch scheme currently running (differs from the configured
+    /// scheme only after a runtime switch).
+    #[must_use]
+    pub fn current_scheme(&self) -> FetchScheme {
+        self.icache.config().scheme
+    }
+
+    /// Merged detection-and-recovery counters from the I-cache checks
+    /// and the I-TLB WP-bit scrubber. All zero when detection is off.
+    #[must_use]
+    pub fn detection_stats(&self) -> DetectionStats {
+        let mut stats = self.detect;
+        stats.merge(self.icache.detect_stats());
+        stats
     }
 
     /// The configuration.
@@ -153,8 +197,33 @@ impl MemorySystem {
         let mut tlb = self.itlb.lookup(addr);
         if let Some(injector) = self.fault.as_mut() {
             if injector.fires(FaultKind::StaleWpBit) {
-                tlb.wp = !tlb.wp;
+                if self.config.detection {
+                    // Against protected state the fault corrupts the
+                    // *stored* entry (the lookup just made it
+                    // resident), leaving the duplicate stale; the
+                    // scrub below is what decides the delivered bit.
+                    self.itlb.corrupt_wp_bit(addr);
+                } else {
+                    tlb.wp = !tlb.wp;
+                }
                 injector.note_wp_bit_flip();
+            }
+        }
+        if self.config.detection {
+            // Cross-check the WP bit the cache is about to trust; a
+            // mismatch is repaired by a modeled I-TLB refill, priced
+            // at the miss penalty.
+            if let Some((repaired, wp)) = self.itlb.scrub_wp(addr) {
+                self.detect.wp_bit_checks += 1;
+                if repaired {
+                    let vpn = addr >> self.config.itlb.page_bits();
+                    self.detect.record(DetectedFault::WpBitMismatch { vpn });
+                    self.detect.wp_rederivations += 1;
+                    let stall = self.config.itlb.miss_penalty;
+                    self.detect.recovery_cycles += u64::from(stall);
+                    tlb.stall_cycles += stall;
+                }
+                tlb.wp = wp;
             }
         }
         tlb
@@ -199,19 +268,25 @@ impl MemorySystem {
     /// path only the leading fetch can miss).
     ///
     /// The bulk path requires same-line elision (after the leading
-    /// fetch establishes the line, the rest elide by construction), no
-    /// fault injector (its PRNG stream must advance once per fetch),
-    /// and the run not to straddle a page. Anything else falls back to
-    /// the per-fetch loop.
+    /// fetch establishes the line, the rest elide by construction) and
+    /// the run not to straddle a page. An armed fault injector no
+    /// longer forces per-fetch fallback: the leading fetch runs its
+    /// weave points normally, then
+    /// [`FaultInjector::try_clean_run`] evaluates the elided
+    /// remainder's firing decisions in bulk — only a run that *would*
+    /// fire is replayed fetch-by-fetch, so the fault lands exactly
+    /// where it would unbatched.
     pub fn fetch_block(&mut self, addr: u32, words: u32) -> FetchTiming {
         let line_mask = !(self.config.icache.geometry.line_bytes() - 1);
         let last = addr + 4 * words.saturating_sub(1);
         debug_assert!(words >= 1, "fetch_block needs at least one word");
         debug_assert_eq!(addr & line_mask, last & line_mask, "run must stay within one line");
         let page_mask = !(self.config.itlb.page_bytes - 1);
+        // The *live* icache config, not the preferred one: a degraded
+        // scheme (runtime `set_fetch_scheme`) may have elision off
+        // while `self.config` still records the configured scheme.
         let batchable = words > 1
-            && self.fault.is_none()
-            && self.config.icache.same_line_elision
+            && self.icache.config().same_line_elision
             && (addr & page_mask) == (last & page_mask);
         if !batchable {
             let mut timing = self.fetch(addr);
@@ -222,12 +297,30 @@ impl MemorySystem {
             }
             return timing;
         }
-        let first = self.fetch(addr);
+        let mut first = self.fetch(addr);
         let rest = u64::from(words - 1);
+        if let Some(injector) = self.fault.as_mut() {
+            if !injector.try_clean_run(rest) {
+                // A weave point lands inside the run: replay the
+                // remainder per-fetch against the rewound PRNG.
+                for i in 1..words {
+                    let next = self.fetch(addr + 4 * i);
+                    first.cycles += next.cycles;
+                    first.hit = first.hit && next.hit;
+                }
+                return first;
+            }
+        }
         // The leading fetch resolved (and if necessary filled) the TLB
         // entry and established `last_line`; the remaining same-line,
         // same-page fetches are elided hits of one cycle each.
         self.itlb.note_repeat_hits(rest);
+        if self.config.detection {
+            // Per-fetch, each elided fetch would still scrub the WP
+            // bit; no fault fired in the run, so the checks are pure
+            // counts (they feed the energy pricing of detection).
+            self.detect.wp_bit_checks += rest;
+        }
         self.icache.elide_run(last, rest);
         FetchTiming { hit: first.hit, cycles: first.cycles + words - 1 }
     }
@@ -285,13 +378,20 @@ impl MemorySystem {
     }
 
     /// Resets all state and counters, including the fault injector's
-    /// PRNG stream.
+    /// PRNG stream, and restores the configured fetch scheme if a
+    /// runtime switch had demoted it.
     pub fn reset(&mut self) {
-        self.icache.reset();
+        if self.icache.config() != &self.config.icache {
+            self.icache = InstructionCache::new(self.config.icache);
+            self.icache.set_detection(self.config.detection);
+        } else {
+            self.icache.reset();
+        }
         self.dcache.reset();
         self.itlb.reset();
         self.dtlb.reset();
         self.fault = self.config.fault.map(FaultInjector::new);
+        self.detect = DetectionStats::new();
     }
 }
 
@@ -446,7 +546,9 @@ mod tests {
 
     /// `fetch_block` is cycle- and counter-identical to the per-fetch
     /// loop for every scheme, including the baseline fallback (no
-    /// elision) and the faulted fallback (PRNG stream per fetch).
+    /// elision) and armed fault injectors — batched clean runs and the
+    /// rewind-and-replay fallback must both reproduce the sequential
+    /// stream exactly, with and without detection armed.
     #[test]
     fn fetch_block_matches_sequential_fetches() {
         let geom = CacheGeometry::new(2048, 4, 32);
@@ -458,6 +560,7 @@ mod tests {
             MemoryConfig::way_memoization(geom),
             MemoryConfig::way_prediction(geom),
             faulted,
+            faulted.with_detection(),
         ] {
             let mut looped = MemorySystem::new(config);
             let mut blocked = MemorySystem::new(config);
@@ -483,7 +586,102 @@ mod tests {
             assert_eq!(looped.fetch_stats(), blocked.fetch_stats());
             assert_eq!(looped.itlb_stats(), blocked.itlb_stats());
             assert_eq!(looped.fault_stats(), blocked.fault_stats());
+            assert_eq!(looped.detection_stats(), blocked.detection_stats());
+            if config.fault.is_some() {
+                assert!(looped.fault_stats().total() > 0, "faults must land in this stream");
+            }
         }
+    }
+
+    /// Each injected fault kind is caught by its matching check: hint
+    /// inversions and stale WP bits immediately (shadow copies are
+    /// scrubbed on the very next fetch), tag flips when the poisoned
+    /// way is next armed (some are absorbed by unrelated refills
+    /// first — never more detections than injections).
+    #[test]
+    fn detection_catches_and_recovers_injected_faults() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let config = MemoryConfig::way_placement(geom, 0x8000, 2048)
+            .with_fault(FaultConfig::all(0xDE7EC7, 30_000))
+            .with_detection();
+        let mut mem = MemorySystem::new(config);
+        for addr in stream(0x5EED, 6000) {
+            mem.fetch(0x8000 + (addr & 0x3FFF));
+        }
+        let faults = mem.fault_stats();
+        let detect = mem.detection_stats();
+        assert!(faults.total() > 0, "faults must land: {faults:?}");
+        assert_eq!(detect.hint_mismatches, faults.hint_inversions, "hint inversions: {detect:?}");
+        assert_eq!(detect.hint_resets, faults.hint_inversions);
+        assert_eq!(detect.wp_bit_mismatches, faults.wp_bit_flips, "stale WP bits: {detect:?}");
+        assert_eq!(detect.wp_rederivations, faults.wp_bit_flips);
+        assert!(detect.tag_parity_faults <= faults.tag_bit_flips, "{detect:?} vs {faults:?}");
+        assert_eq!(detect.lines_invalidated, detect.tag_parity_faults);
+        assert!(detect.recovery_cycles > 0);
+        assert!(detect.parity_checks > 0 && detect.wp_bit_checks > 0);
+
+        // The repaired machine keeps its way-placement invariant.
+        assert!(mem.icache().way_placement_invariant_holds(0x8000 + 2048));
+    }
+
+    /// Detection on a fault-free machine is free: identical counters
+    /// and cycles, zero detections, zero recovery.
+    #[test]
+    fn detection_is_observation_only_when_clean() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let base = MemoryConfig::way_placement(geom, 0x8000, 2048);
+        let mut off = MemorySystem::new(base);
+        let mut on = MemorySystem::new(base.with_detection());
+        let mut off_cycles = 0u64;
+        let mut on_cycles = 0u64;
+        for addr in stream(0xC1EA2, 4000) {
+            off_cycles += u64::from(off.fetch(addr).cycles);
+            on_cycles += u64::from(on.fetch(addr).cycles);
+        }
+        assert_eq!(on_cycles, off_cycles);
+        assert_eq!(on.fetch_stats(), off.fetch_stats());
+        assert_eq!(off.detection_stats(), DetectionStats::new(), "disarmed counts nothing");
+        let detect = on.detection_stats();
+        assert_eq!(detect.total_detected(), 0);
+        assert_eq!(detect.recovery_cycles, 0);
+        assert!(detect.parity_checks > 0, "checks must actually run: {detect:?}");
+        assert!(detect.wp_bit_checks > 0);
+    }
+
+    /// Runtime scheme switching (the degradation controller's lever)
+    /// flushes the array so the new scheme starts invariant-clean, and
+    /// `reset` restores the configured scheme.
+    #[test]
+    fn runtime_scheme_switch_flushes_and_reset_restores() {
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let mut mem = MemorySystem::new(MemoryConfig::way_placement(geom, 0x8000, 2048));
+        for i in 0..64u32 {
+            mem.fetch(0x8000 + i * 4);
+        }
+        assert!(mem.icache().array().valid_lines() > 0);
+        assert_eq!(mem.current_scheme(), FetchScheme::WayPlacement);
+
+        mem.set_fetch_scheme(FetchScheme::WayMemoization);
+        assert_eq!(mem.current_scheme(), FetchScheme::WayMemoization);
+        assert_eq!(mem.icache().array().valid_lines(), 0, "switch flushes the array");
+        for i in 0..64u32 {
+            assert!(mem.fetch(0x8000 + i * 4).cycles >= 1);
+        }
+
+        // Demote further to the serial full-CAM probe, then promote
+        // back; the way-placement invariant must hold on refilled state.
+        mem.set_fetch_scheme(FetchScheme::Baseline);
+        assert_eq!(mem.current_scheme(), FetchScheme::Baseline);
+        mem.set_fetch_scheme(FetchScheme::WayPlacement);
+        for i in 0..64u32 {
+            mem.fetch(0x8000 + i * 4);
+        }
+        assert!(mem.icache().way_placement_invariant_holds(0x8000 + 2048));
+
+        mem.set_fetch_scheme(FetchScheme::Baseline);
+        mem.reset();
+        assert_eq!(mem.current_scheme(), FetchScheme::WayPlacement, "reset restores config");
+        assert_eq!(mem.fetch_stats().fetches, 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! recorded in [`FetchStats`].
 
 use crate::cam::{CamArray, ReplacementPolicy};
+use crate::detect::{DetectedFault, DetectionStats};
 use crate::geometry::GeometryShifts;
 use crate::{CacheGeometry, FetchStats};
 use wp_trace::{AccessKind, FetchEvent};
@@ -154,6 +155,22 @@ pub struct InstructionCache {
     /// The global way-hint bit (§4.1): was the previous fetch a
     /// way-placement access?
     way_hint: bool,
+    /// Shadow copy of the way-hint bit, written on every normal hint
+    /// update but not by fault injection; with detection on, a
+    /// disagreement at the top of [`fetch`](InstructionCache::fetch)
+    /// is a detected hint inversion, recovered by a reset from the
+    /// shadow.
+    way_hint_check: bool,
+    /// Whether in-array checks (tag parity, hint shadow, MRU bounds)
+    /// are armed. Off by default: the unprotected paths are
+    /// byte-identical to the pre-detection core.
+    detection: bool,
+    /// Detection/recovery counters (separate from `FetchStats`, which
+    /// mirrors `wp_trace::FetchCounters` field-for-field).
+    detect: DetectionStats,
+    /// Recovery stall cycles accrued by scrubs during the current
+    /// fetch, drained into the outcome's cycle count.
+    pending_recovery_cycles: u32,
     /// Way-memoization link targets (line base addresses), indexed
     /// `(set * ways + way) * links_per_line + slot`.
     link_target: Vec<u32>,
@@ -188,12 +205,6 @@ impl InstructionCache {
         let slots = (geom.sets() * geom.ways()) as usize;
         let links_per_line = geom.words_per_line() + 1;
         let link_slots = slots * links_per_line as usize;
-        let scheme_fetch = match config.scheme {
-            FetchScheme::Baseline => Self::fetch_baseline_dispatch,
-            FetchScheme::WayPlacement => Self::fetch_way_placement,
-            FetchScheme::WayMemoization => Self::fetch_way_memoization_dispatch,
-            FetchScheme::WayPrediction => Self::fetch_way_prediction_dispatch,
-        };
         InstructionCache {
             config,
             shifts: geom.shifts(),
@@ -201,15 +212,71 @@ impl InstructionCache {
             stats: FetchStats::new(),
             last_line: None,
             way_hint: false,
+            way_hint_check: false,
+            detection: false,
+            detect: DetectionStats::new(),
+            pending_recovery_cycles: 0,
             link_target: vec![0; link_slots],
             link_way: vec![0; link_slots],
             link_valid: vec![0; link_slots.div_ceil(64)],
             links_per_line,
             prev_fetch: None,
             mru_way: vec![0; geom.sets() as usize],
-            scheme_fetch,
+            scheme_fetch: Self::dispatch_for(config.scheme),
             track_prev: config.scheme == FetchScheme::WayMemoization,
         }
+    }
+
+    fn dispatch_for(scheme: FetchScheme) -> fn(&mut InstructionCache, u32, bool) -> FetchOutcome {
+        match scheme {
+            FetchScheme::Baseline => Self::fetch_baseline_dispatch,
+            FetchScheme::WayPlacement => Self::fetch_way_placement,
+            FetchScheme::WayMemoization => Self::fetch_way_memoization_dispatch,
+            FetchScheme::WayPrediction => Self::fetch_way_prediction_dispatch,
+        }
+    }
+
+    /// Switches the fetch scheme at run time — the degradation
+    /// controller's demote/promote lever. The tag array and all
+    /// scheme-private state (links, hints, MRU table) are flushed so
+    /// the new scheme starts from invariant-clean state: lines filled
+    /// under a demoted scheme may violate the way-placement invariant,
+    /// and the refill cost of the flush is exactly the honest price of
+    /// a mode switch. Elision follows the scheme's canonical setting
+    /// (off for the baseline full-CAM probe). Counters persist; a
+    /// no-op when `scheme` is already active.
+    pub fn set_scheme(&mut self, scheme: FetchScheme) {
+        if scheme == self.config.scheme {
+            return;
+        }
+        self.config.scheme = scheme;
+        self.config.same_line_elision = scheme != FetchScheme::Baseline;
+        self.scheme_fetch = Self::dispatch_for(scheme);
+        self.track_prev = scheme == FetchScheme::WayMemoization;
+        self.array.invalidate_all();
+        self.link_valid.fill(0);
+        self.last_line = None;
+        self.way_hint = false;
+        self.way_hint_check = false;
+        self.prev_fetch = None;
+        self.mru_way.fill(0);
+    }
+
+    /// Arms or disarms the in-array detection checks.
+    pub fn set_detection(&mut self, on: bool) {
+        self.detection = on;
+    }
+
+    /// Whether detection checks are armed.
+    #[must_use]
+    pub fn detection(&self) -> bool {
+        self.detection
+    }
+
+    /// Detection and recovery counters.
+    #[must_use]
+    pub fn detect_stats(&self) -> &DetectionStats {
+        &self.detect
     }
 
     /// The configuration.
@@ -237,6 +304,9 @@ impl InstructionCache {
         self.stats = FetchStats::new();
         self.last_line = None;
         self.way_hint = false;
+        self.way_hint_check = false;
+        self.detect = DetectionStats::new();
+        self.pending_recovery_cycles = 0;
         self.link_valid.fill(0);
         self.prev_fetch = None;
         self.mru_way.fill(0);
@@ -248,6 +318,15 @@ impl InstructionCache {
     /// cache access, which is why the way-hint bit exists.
     pub fn fetch(&mut self, addr: u32, wp_page: bool) -> FetchOutcome {
         self.stats.fetches += 1;
+        // Scrub the way-hint bit before anything trusts it — including
+        // the elision shortcut, so an inversion injected before this
+        // fetch is caught on this very fetch.
+        if self.detection && self.way_hint != self.way_hint_check {
+            self.detect.record(DetectedFault::WayHintMismatch);
+            self.detect.hint_resets += 1;
+            self.way_hint = self.way_hint_check;
+            self.pending_recovery_cycles += 1;
+        }
         let line = self.shifts.line_addr(addr);
 
         // Same-line elision: no tag check at all when fetching from the
@@ -259,13 +338,51 @@ impl InstructionCache {
             // The hint tracks the *previous access*; a same-line fetch
             // keeps it unchanged (same page, same answer).
             self.record_prev(addr);
-            return FetchOutcome { hit: true, cycles: 1 };
+            return FetchOutcome { hit: true, cycles: 1 + self.take_recovery_cycles() };
         }
 
-        let outcome = (self.scheme_fetch)(self, addr, wp_page);
+        let mut outcome = (self.scheme_fetch)(self, addr, wp_page);
+        outcome.cycles += self.take_recovery_cycles();
         self.last_line = Some(line);
         self.record_prev(addr);
         outcome
+    }
+
+    /// Drains the recovery stall cycles accrued during this fetch into
+    /// the outcome, recording them in the detection counters. Always 0
+    /// with detection off.
+    #[inline]
+    fn take_recovery_cycles(&mut self) -> u32 {
+        let cycles = self.pending_recovery_cycles;
+        if cycles != 0 {
+            self.pending_recovery_cycles = 0;
+            self.detect.recovery_cycles += u64::from(cycles);
+        }
+        cycles
+    }
+
+    /// Parity-scrubs one way of `addr`'s set before an access arms it.
+    /// A mismatch invalidates the slot (the line refills through the
+    /// normal miss path) and charges one recovery cycle.
+    #[inline]
+    fn scrub_tag_way(&mut self, addr: u32, way: u32) {
+        let set = self.shifts.set_of(addr);
+        if let Some(ok) = self.array.tag_parity_ok(set, way) {
+            self.detect.parity_checks += 1;
+            if !ok {
+                self.detect.record(DetectedFault::TagParity { set, way });
+                self.detect.lines_invalidated += 1;
+                self.array.invalidate_slot(set, way);
+                self.pending_recovery_cycles += 1;
+            }
+        }
+    }
+
+    /// Parity-scrubs every way a full-width search is about to arm.
+    fn scrub_full_set(&mut self, addr: u32) {
+        for way in 0..self.shifts.ways {
+            self.scrub_tag_way(addr, way);
+        }
     }
 
     /// Records `count` additional same-line elided fetches after a
@@ -334,6 +451,9 @@ impl InstructionCache {
     // ----- baseline ---------------------------------------------------
 
     fn full_search(&mut self, addr: u32) -> Option<u32> {
+        if self.detection {
+            self.scrub_full_set(addr);
+        }
         let ways = u64::from(self.shifts.ways);
         self.stats.tag_comparisons += ways;
         self.stats.matchline_precharges += ways;
@@ -390,12 +510,16 @@ impl InstructionCache {
     fn fetch_way_placement(&mut self, addr: u32, wp_page: bool) -> FetchOutcome {
         let hint_wp = self.way_hint;
         self.way_hint = wp_page;
+        self.way_hint_check = wp_page;
 
         if hint_wp {
             // Predicted way-placement: arm exactly one way.
             self.stats.tag_comparisons += 1;
             self.stats.matchline_precharges += 1;
             let way = self.shifts.placement_way(addr);
+            if self.detection {
+                self.scrub_tag_way(addr, way);
+            }
             if wp_page {
                 self.stats.wp_accesses += 1;
                 if self.array.probe_way(addr, way) {
@@ -509,10 +633,16 @@ impl InstructionCache {
         if let Some(prev) = self.prev_fetch {
             // The link is only meaningful if the previous line is still
             // resident where we read it from (fills clear links).
+            if self.detection {
+                self.scrub_tag_way(prev.addr, prev.way);
+            }
             if self.array.probe_way(prev.addr, prev.way) {
                 let index = self.latched_link(&prev, addr);
                 if self.link_is_valid(index) {
                     let link_way = u32::from(self.link_way[index]);
+                    if self.detection {
+                        self.scrub_tag_way(addr, link_way);
+                    }
                     // The stored valid bit is cleared on eviction: model
                     // by checking the target still holds the line.
                     if self.link_target[index] == line && self.array.probe_way(addr, link_way) {
@@ -558,6 +688,17 @@ impl InstructionCache {
 
     fn fetch_way_prediction(&mut self, addr: u32) -> FetchOutcome {
         let set = self.shifts.set_of(addr) as usize;
+        if self.detection {
+            // Bounds-check the MRU slab entry before trusting it as a
+            // way index — pure armor (no injector targets it today).
+            if u32::from(self.mru_way[set]) >= self.shifts.ways {
+                self.detect.record(DetectedFault::WayHintBounds { set: set as u32 });
+                self.detect.hint_resets += 1;
+                self.mru_way[set] = 0;
+                self.pending_recovery_cycles += 1;
+            }
+            self.scrub_tag_way(addr, u32::from(self.mru_way[set]));
+        }
         let predicted = u32::from(self.mru_way[set]);
         self.stats.tag_comparisons += 1;
         self.stats.matchline_precharges += 1;

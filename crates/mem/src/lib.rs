@@ -49,17 +49,18 @@
 
 mod cam;
 mod dcache;
+mod detect;
 mod fault;
 mod geometry;
 mod hierarchy;
 mod icache;
-pub mod refmodel;
 pub mod rng;
 mod stats;
 mod tlb;
 
 pub use cam::{CamArray, FillOutcome, ReplacementPolicy};
 pub use dcache::{DCacheConfig, DataCache, DataOutcome};
+pub use detect::{DetectedFault, DetectionStats};
 pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 pub use geometry::{CacheGeometry, GeometryShifts};
 pub use hierarchy::{FetchTiming, MemoryConfig, MemorySystem};

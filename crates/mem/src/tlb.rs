@@ -16,9 +16,15 @@
 //! per entry), with a last-hit index checked before the CAM scan.
 //! Because a fill only ever happens after a whole-TLB miss, present
 //! VPNs are unique, so answering from the last-hit entry — or scanning
-//! in any order — returns exactly what the per-line reference model
-//! ([`crate::refmodel::RefTlb`]) returns, and the hit path carries no
-//! recency state to update.
+//! in any order — is equivalent to a full sequential probe, and the
+//! hit path carries no recency state to update.
+//!
+//! The WP bit is the single most safety-critical bit in the design — a
+//! stale 1 sends fetches down the unchecked way-placement path — so it
+//! is stored twice: the `wp_check` bitset duplicates every bit written
+//! at fill time. [`scrub_wp`](Tlb::scrub_wp) compares the copies and,
+//! on a mismatch, re-derives the bit from the OS boundary exactly as a
+//! fill would (a modeled I-TLB refill, priced at the miss penalty).
 
 use crate::TlbStats;
 
@@ -75,6 +81,9 @@ pub struct Tlb {
     present: Vec<u64>,
     /// Way-placement bits, one per entry, in a parallel slab.
     wp: Vec<u64>,
+    /// Duplicate WP bits written at fill time; [`Tlb::scrub_wp`]
+    /// cross-checks them against `wp` to catch stale-bit faults.
+    wp_check: Vec<u64>,
     /// The entry the last hit resolved to — fetch streams are heavily
     /// page-local, so this answers most lookups without a scan.
     last_hit: usize,
@@ -104,6 +113,7 @@ impl Tlb {
             vpns: vec![0; config.entries as usize],
             present: vec![0; words],
             wp: vec![0; words],
+            wp_check: vec![0; words],
             last_hit: 0,
             next_victim: 0,
             wp_limit,
@@ -133,6 +143,7 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.present.fill(0);
         self.wp.fill(0);
+        self.wp_check.fill(0);
         self.last_hit = 0;
         self.next_victim = 0;
     }
@@ -178,13 +189,68 @@ impl Tlb {
         self.next_victim = (self.next_victim + 1) % self.vpns.len();
         self.vpns[victim] = vpn;
         self.present[victim >> 6] |= 1u64 << (victim & 63);
-        if wp {
-            self.wp[victim >> 6] |= 1u64 << (victim & 63);
-        } else {
-            self.wp[victim >> 6] &= !(1u64 << (victim & 63));
-        }
+        self.write_wp_bits(victim, wp);
         self.last_hit = victim;
         TlbOutcome { wp, miss: true, stall_cycles: self.config.miss_penalty }
+    }
+
+    /// Writes both copies of an entry's WP bit (a fill or a repair).
+    #[inline]
+    fn write_wp_bits(&mut self, entry: usize, wp: bool) {
+        let mask = 1u64 << (entry & 63);
+        if wp {
+            self.wp[entry >> 6] |= mask;
+            self.wp_check[entry >> 6] |= mask;
+        } else {
+            self.wp[entry >> 6] &= !mask;
+            self.wp_check[entry >> 6] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn wp_check_bit(&self, entry: usize) -> bool {
+        self.wp_check[entry >> 6] & (1u64 << (entry & 63)) != 0
+    }
+
+    #[inline]
+    fn entry_of(&self, addr: u32) -> Option<usize> {
+        let vpn = addr >> self.page_bits;
+        let last = self.last_hit;
+        if self.vpns[last] == vpn && self.is_present(last) {
+            return Some(last);
+        }
+        (0..self.vpns.len()).find(|&e| self.is_present(e) && self.vpns[e] == vpn)
+    }
+
+    /// Flips the *primary* WP bit of `addr`'s entry, leaving the
+    /// duplicate untouched — the fault injector's stale-WP-bit model
+    /// against protected state. Returns `false` when the page is not
+    /// resident (nothing to corrupt).
+    pub fn corrupt_wp_bit(&mut self, addr: u32) -> bool {
+        match self.entry_of(addr) {
+            Some(entry) => {
+                self.wp[entry >> 6] ^= 1u64 << (entry & 63);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cross-checks the two copies of `addr`'s WP bit and repairs a
+    /// mismatch by re-deriving the bit from the OS boundary, exactly as
+    /// a fill would. Returns `None` when the page is not resident, and
+    /// otherwise `(repaired, wp)` where `wp` is the (now trustworthy)
+    /// way-placement bit. Pure check on the match path; a repair is a
+    /// modeled refill the caller prices at the miss penalty.
+    pub fn scrub_wp(&mut self, addr: u32) -> Option<(bool, bool)> {
+        let entry = self.entry_of(addr)?;
+        if self.wp_bit(entry) == self.wp_check_bit(entry) {
+            return Some((false, self.wp_bit(entry)));
+        }
+        let page_base = (addr >> self.page_bits) << self.page_bits;
+        let wp = page_base.saturating_add(self.config.page_bytes) <= self.wp_limit;
+        self.write_wp_bits(entry, wp);
+        Some((true, wp))
     }
 
     /// Records `count` additional lookups that are guaranteed hits on
@@ -287,6 +353,34 @@ mod tests {
         let out = t.lookup(0x0000);
         assert!(out.miss, "page 0 evicted");
         assert!(out.wp, "page 0 is inside the 1 KB area");
+    }
+
+    #[test]
+    fn scrub_detects_and_rederives_corrupt_wp_bit() {
+        let mut t = tlb(0x0400);
+        assert!(t.lookup(0x0000).wp);
+        assert!(!t.lookup(0x0800).wp);
+        // Clean entries scrub clean.
+        assert_eq!(t.scrub_wp(0x0000), Some((false, true)));
+        assert_eq!(t.scrub_wp(0x0800), Some((false, false)));
+        assert_eq!(t.scrub_wp(0x4000), None, "page not resident");
+        // Corrupt both directions; scrub must re-derive the OS truth.
+        assert!(t.corrupt_wp_bit(0x0000));
+        assert!(t.corrupt_wp_bit(0x0800));
+        assert_eq!(t.scrub_wp(0x0123), Some((true, true)));
+        assert_eq!(t.scrub_wp(0x0933), Some((true, false)));
+        // Repair is durable: the next lookup hits with the right bit.
+        assert!(t.lookup(0x0000).wp);
+        assert!(!t.lookup(0x0800).wp);
+        assert_eq!(t.scrub_wp(0x0000), Some((false, true)));
+    }
+
+    #[test]
+    fn corrupt_wp_bit_misses_nonresident_pages() {
+        let mut t = tlb(0);
+        assert!(!t.corrupt_wp_bit(0x8000));
+        t.lookup(0x8000);
+        assert!(t.corrupt_wp_bit(0x8000));
     }
 
     #[test]

@@ -1,15 +1,22 @@
-//! Differential equivalence: the structure-of-arrays fetch core against
-//! the frozen per-line reference model ([`wp_mem::refmodel`]).
+//! Cross-scheme and golden-stream invariants of the SoA fetch core.
 //!
-//! Both cores are driven lock-step over the same address streams —
-//! seeded synthetic streams, real benchmark fetch traces, and
-//! fault-injected runs — across every fetch scheme and every figure-6
-//! geometry, asserting identical timing, trace events, counters and
-//! priced energy *per fetch*. Any SoA rewrite bug that changes a hit,
-//! a way, a penalty cycle or a counter shows up here with the exact
-//! fetch index that diverged.
+//! The per-line reference model that held the PR-6 rewrite together is
+//! gone (its evidence served); these checks replace it with oracles the
+//! core carries within itself:
 //!
-//! Set `WP_QUICK=1` to run a trimmed sweep (CI's quick lane).
+//! * **traced twin** — `fetch_traced` must be counter- and
+//!   timing-identical to `fetch` on every stream;
+//! * **detection twin** — arming the detection checks on a fault-free
+//!   run must not change a single fetch counter or cycle (protection is
+//!   observation-only until something is actually wrong);
+//! * **batch twin** — `fetch_block` must equal the per-fetch loop,
+//!   including under an armed fault injector (the bulk PRNG path);
+//! * **golden fingerprints** — fixed seeded streams over the XScale
+//!   geometry must reproduce baked-in counter/energy fingerprints
+//!   bit-for-bit, pinning the core's behaviour against silent drift.
+//!
+//! All of it runs across every fetch scheme and every figure-6
+//! geometry. Set `WP_QUICK=1` to run a trimmed sweep (CI's quick lane).
 
 use wp_core::wp_isa::Image;
 use wp_core::wp_linker::{Layout, Linker, Profile};
@@ -17,7 +24,6 @@ use wp_core::wp_sim::{simulate_traced, SimConfig};
 use wp_core::wp_trace::TraceRecorder;
 use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_energy::CacheEnergyModel;
-use wp_mem::refmodel::RefMemorySystem;
 use wp_mem::rng::SplitMix64;
 use wp_mem::{CacheGeometry, FaultConfig, MemoryConfig, MemorySystem};
 
@@ -48,32 +54,83 @@ fn scheme_configs(geom: CacheGeometry, base: u32) -> Vec<(&'static str, MemoryCo
     ]
 }
 
-/// Drives both cores lock-step over `addrs`, asserting equality per
-/// fetch and over the final counters and priced energy.
-fn assert_lockstep(scheme: &str, config: MemoryConfig, addrs: &[u32]) {
-    let mut live = MemorySystem::new(config);
-    let mut reference = RefMemorySystem::new(config);
+/// A compact, order-sensitive digest of a run: total cycles plus the
+/// energy-relevant counters and the priced energy, fold-mixed so any
+/// single-counter drift changes the value.
+fn fingerprint(mem: &MemorySystem, cycles: u64) -> u64 {
+    let s = mem.fetch_stats();
+    let model =
+        CacheEnergyModel::for_scheme(mem.config().icache.geometry, mem.config().icache.scheme);
+    let pj_bits = model.fetch_energy(s).total_pj().to_bits();
+    [
+        cycles,
+        s.fetches,
+        s.hits,
+        s.misses,
+        s.tag_comparisons,
+        s.matchline_precharges,
+        s.data_reads,
+        s.line_fills,
+        s.same_line_elisions,
+        s.wp_accesses,
+        s.hint_false_wp,
+        s.hint_false_normal,
+        s.link_hits,
+        s.link_updates,
+        s.link_invalidations,
+        s.penalty_cycles,
+        mem.itlb_stats().lookups,
+        mem.itlb_stats().misses,
+        pj_bits,
+    ]
+    .iter()
+    .fold(0xcbf2_9ce4_8422_2325u64, |acc, &v| (acc ^ v).wrapping_mul(0x0000_0100_0000_01b3))
+}
+
+/// Drives one config over `addrs` four ways — per-fetch untraced,
+/// per-fetch traced, detection-armed, and (fault-free only) asserting
+/// the detection twin changes nothing — and returns the untraced run's
+/// fingerprint.
+fn assert_invariants(scheme: &str, config: MemoryConfig, addrs: &[u32]) -> u64 {
+    let mut plain = MemorySystem::new(config);
+    let mut traced = MemorySystem::new(config);
+    let mut cycles = 0u64;
     for (i, &addr) in addrs.iter().enumerate() {
-        let (live_timing, live_event) = live.fetch_traced(addr);
-        let (ref_timing, ref_event) = reference.fetch_traced(addr);
+        let untraced = plain.fetch(addr);
+        let (timing, event) = traced.fetch_traced(addr);
         assert_eq!(
-            live_timing, ref_timing,
-            "{scheme} {}: timing diverged at fetch {i} ({addr:#x})",
+            timing, untraced,
+            "{scheme} {}: traced timing diverged at fetch {i} ({addr:#x})",
             config.icache.geometry
         );
-        assert_eq!(
-            live_event, ref_event,
-            "{scheme} {}: event diverged at fetch {i} ({addr:#x})",
-            config.icache.geometry
+        assert_eq!(event.pc, addr);
+        assert_eq!(event.hit, timing.hit);
+        cycles += u64::from(untraced.cycles);
+    }
+    assert_eq!(plain.fetch_stats(), traced.fetch_stats(), "{scheme}: fetch stats");
+    assert_eq!(plain.itlb_stats(), traced.itlb_stats(), "{scheme}: I-TLB stats");
+    assert_eq!(plain.fault_stats(), traced.fault_stats(), "{scheme}: fault stats");
+
+    if config.fault.is_none() {
+        // Protection must be observation-only on a clean machine.
+        let mut armed = MemorySystem::new(config.with_detection());
+        let mut armed_cycles = 0u64;
+        for &addr in addrs {
+            armed_cycles += u64::from(armed.fetch(addr).cycles);
+        }
+        assert_eq!(armed_cycles, cycles, "{scheme}: detection twin cycles");
+        assert_eq!(armed.fetch_stats(), plain.fetch_stats(), "{scheme}: detection twin stats");
+        let detect = armed.detection_stats();
+        assert_eq!(detect.total_detected(), 0, "{scheme}: clean run detected faults: {detect:?}");
+        assert_eq!(detect.recovery_cycles, 0, "{scheme}: clean run charged recovery");
+        assert!(
+            detect.parity_checks > 0
+                || config.icache.scheme == wp_mem::FetchScheme::Baseline
+                || detect.wp_bit_checks > 0
         );
     }
-    assert_eq!(live.fetch_stats(), reference.fetch_stats(), "{scheme}: fetch stats");
-    assert_eq!(live.itlb_stats(), reference.itlb_stats(), "{scheme}: I-TLB stats");
-    assert_eq!(live.fault_stats(), reference.fault_stats(), "{scheme}: fault stats");
-    let model = CacheEnergyModel::for_scheme(config.icache.geometry, config.icache.scheme);
-    let live_pj = model.fetch_energy(live.fetch_stats()).total_pj();
-    let ref_pj = model.fetch_energy(reference.fetch_stats()).total_pj();
-    assert_eq!(live_pj.to_bits(), ref_pj.to_bits(), "{scheme}: priced energy");
+
+    fingerprint(&plain, cycles)
 }
 
 /// A loopy instruction-like address stream: straight-line runs broken
@@ -123,7 +180,7 @@ fn synthetic_streams_agree_across_schemes_and_geometries() {
         let span = geom.size_bytes() + geom.size_bytes() / 2;
         for (i, (scheme, config)) in scheme_configs(geom, 0).into_iter().enumerate() {
             let seed = 0x50a0_0000 + u64::from(geom.size_bytes()) + i as u64;
-            assert_lockstep(scheme, config, &synthetic_stream(seed, len, span));
+            assert_invariants(scheme, config, &synthetic_stream(seed, len, span));
         }
     }
 }
@@ -137,7 +194,7 @@ fn benchmark_fetch_streams_agree_across_schemes() {
         let pcs = capture_fetch_pcs(benchmark, cap);
         assert!(!pcs.is_empty(), "{benchmark}: captured no fetches");
         for (scheme, config) in scheme_configs(geom, Image::TEXT_BASE) {
-            assert_lockstep(scheme, config, &pcs);
+            assert_invariants(scheme, config, &pcs);
         }
     }
 }
@@ -151,7 +208,7 @@ fn fault_injected_streams_agree_across_schemes() {
         // inversions, CAM tag flips) fires many times in the stream.
         let config = config.with_fault(FaultConfig::all(0xFA_017 + i as u64, 50_000));
         let stream = synthetic_stream(0xDEAD_0000 + i as u64, len, 96 * 1024);
-        assert_lockstep(scheme, config, &stream);
+        assert_invariants(scheme, config, &stream);
     }
 }
 
@@ -168,7 +225,40 @@ fn small_geometries_agree_too() {
         for (i, (scheme, config)) in scheme_configs(geom, 0).into_iter().enumerate() {
             let seed = 0x5311_0000 + u64::from(geom.ways()) + i as u64;
             let stream = synthetic_stream(seed, len, geom.size_bytes() * 2);
-            assert_lockstep(scheme, config, &stream);
+            assert_invariants(scheme, config, &stream);
         }
+    }
+}
+
+/// Golden-stream pinning: the XScale geometry driven over one fixed
+/// seeded stream must reproduce these fingerprints bit-for-bit. Any
+/// intentional change to fetch semantics, counter accounting or energy
+/// pricing shows up here as a fingerprint mismatch and must be
+/// re-blessed consciously (regenerate with `WP_PRINT_GOLDEN=1`).
+#[test]
+fn golden_stream_fingerprints_are_stable() {
+    let geom = CacheGeometry::xscale_icache();
+    let stream = synthetic_stream(0x601D, 12_000, geom.size_bytes() + geom.size_bytes() / 2);
+    let mut got = Vec::new();
+    for (scheme, config) in scheme_configs(geom, 0) {
+        got.push((scheme, assert_invariants(scheme, config, &stream)));
+    }
+    if std::env::var_os("WP_PRINT_GOLDEN").is_some() {
+        for (scheme, print) in &got {
+            println!("    (\"{scheme}\", {print:#018x}),");
+        }
+    }
+    let golden: [(&str, u64); 4] = [
+        ("baseline", 0x348c7991bb70af30),
+        ("way-placement", 0x497cf6d386703d27),
+        ("way-memoization", 0xccf21bc007589521),
+        ("way-prediction", 0xe672da2e59ee6edf),
+    ];
+    for ((scheme, got), (gscheme, want)) in got.iter().zip(golden.iter()) {
+        assert_eq!(scheme, gscheme);
+        assert_eq!(
+            got, want,
+            "{scheme}: golden fingerprint drifted (run with WP_PRINT_GOLDEN=1 to regenerate)"
+        );
     }
 }

@@ -1,0 +1,205 @@
+//! Graceful scheme degradation under sustained faults.
+//!
+//! The paper's §4 argument makes way-placement state *safe* to lose;
+//! the detection layer in `wp-mem` makes losing it *visible*. This
+//! module closes the loop: a [`DegradationController`] watches the
+//! windowed detected-fault rate and walks the fetch scheme down a
+//! ladder of decreasing speculation — way-placement, then
+//! way-memoization, then the serial full-CAM baseline — when faults
+//! keep arriving, and back up once the machine has been quiet for a
+//! while. Each rung trades energy savings for exposure: the baseline
+//! full search keeps no way state at all, so nothing is left for a
+//! fault to corrupt.
+//!
+//! The controller is pure bookkeeping — the simulator samples it at
+//! window boundaries and applies any scheme switch through
+//! [`wp_mem::MemorySystem::set_fetch_scheme`], which flushes the
+//! speculative state as a real mode change would.
+
+use wp_mem::FetchScheme;
+
+/// When and how aggressively to demote the fetch scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DegradationPolicy {
+    /// Fetches per observation window.
+    pub window_fetches: u64,
+    /// Detected faults within one window that trigger a demotion.
+    pub demote_faults: u64,
+    /// Consecutive clean windows before promoting one rung back up.
+    pub promote_windows: u32,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> DegradationPolicy {
+        DegradationPolicy { window_fetches: 8192, demote_faults: 4, promote_windows: 4 }
+    }
+}
+
+/// The demotion ladder anchored at `scheme`: each rung keeps less
+/// speculative way state than the one above it, ending at the serial
+/// full-CAM baseline which keeps none.
+fn ladder_for(scheme: FetchScheme) -> Vec<FetchScheme> {
+    match scheme {
+        FetchScheme::WayPlacement => {
+            vec![FetchScheme::WayPlacement, FetchScheme::WayMemoization, FetchScheme::Baseline]
+        }
+        FetchScheme::WayMemoization => {
+            vec![FetchScheme::WayMemoization, FetchScheme::Baseline]
+        }
+        FetchScheme::WayPrediction => {
+            vec![FetchScheme::WayPrediction, FetchScheme::Baseline]
+        }
+        FetchScheme::Baseline => vec![FetchScheme::Baseline],
+    }
+}
+
+/// Tracks the windowed detected-fault rate and decides which rung of
+/// the scheme ladder the fetch engine should run on.
+#[derive(Clone, Debug)]
+pub struct DegradationController {
+    policy: DegradationPolicy,
+    ladder: Vec<FetchScheme>,
+    level: usize,
+    clean_windows: u32,
+    demotions: u64,
+    promotions: u64,
+    last_detected: u64,
+    next_boundary: u64,
+}
+
+impl DegradationController {
+    /// A controller for a machine configured to run `scheme`.
+    #[must_use]
+    pub fn new(policy: DegradationPolicy, scheme: FetchScheme) -> DegradationController {
+        DegradationController {
+            policy,
+            ladder: ladder_for(scheme),
+            level: 0,
+            clean_windows: 0,
+            demotions: 0,
+            promotions: 0,
+            last_detected: 0,
+            next_boundary: policy.window_fetches.max(1),
+        }
+    }
+
+    /// The scheme the current rung calls for.
+    #[must_use]
+    pub fn current(&self) -> FetchScheme {
+        self.ladder[self.level]
+    }
+
+    /// The fetch count at which the next window closes; callers only
+    /// need to consult [`observe`](Self::observe) once cumulative
+    /// fetches reach this (a cheap hot-loop guard).
+    #[must_use]
+    pub fn next_boundary(&self) -> u64 {
+        self.next_boundary
+    }
+
+    /// Demotions taken so far.
+    #[must_use]
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Promotions taken so far.
+    #[must_use]
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Closes every window `fetches` has passed, fed with the
+    /// cumulative detected-fault count, and returns the scheme to
+    /// switch to when the rung changed.
+    pub fn observe(&mut self, fetches: u64, detected: u64) -> Option<FetchScheme> {
+        let before = self.level;
+        while fetches >= self.next_boundary {
+            self.next_boundary += self.policy.window_fetches.max(1);
+            let delta = detected.saturating_sub(self.last_detected);
+            self.last_detected = detected;
+            if delta >= self.policy.demote_faults {
+                self.clean_windows = 0;
+                if self.level + 1 < self.ladder.len() {
+                    self.level += 1;
+                    self.demotions += 1;
+                }
+            } else if delta == 0 {
+                self.clean_windows += 1;
+                if self.clean_windows >= self.policy.promote_windows && self.level > 0 {
+                    self.level -= 1;
+                    self.promotions += 1;
+                    self.clean_windows = 0;
+                }
+            } else {
+                // Sub-threshold noise: neither direction, but it does
+                // reset the promotion streak.
+                self.clean_windows = 0;
+            }
+        }
+        (self.level != before).then(|| self.current())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DegradationPolicy {
+        DegradationPolicy { window_fetches: 100, demote_faults: 4, promote_windows: 2 }
+    }
+
+    #[test]
+    fn demotes_down_the_ladder_under_sustained_faults() {
+        let mut ctrl = DegradationController::new(policy(), FetchScheme::WayPlacement);
+        assert_eq!(ctrl.current(), FetchScheme::WayPlacement);
+        assert_eq!(ctrl.observe(100, 4), Some(FetchScheme::WayMemoization));
+        assert_eq!(ctrl.observe(200, 8), Some(FetchScheme::Baseline));
+        // Bottom rung: more faults change nothing.
+        assert_eq!(ctrl.observe(300, 20), None);
+        assert_eq!(ctrl.demotions(), 2);
+    }
+
+    #[test]
+    fn promotes_back_after_quiet_windows() {
+        let mut ctrl = DegradationController::new(policy(), FetchScheme::WayPlacement);
+        ctrl.observe(100, 4);
+        assert_eq!(ctrl.current(), FetchScheme::WayMemoization);
+        assert_eq!(ctrl.observe(200, 4), None, "one quiet window is not enough");
+        assert_eq!(ctrl.observe(300, 4), Some(FetchScheme::WayPlacement));
+        assert_eq!(ctrl.promotions(), 1);
+    }
+
+    #[test]
+    fn subthreshold_faults_reset_the_promotion_streak() {
+        let mut ctrl = DegradationController::new(policy(), FetchScheme::WayPlacement);
+        ctrl.observe(100, 4);
+        ctrl.observe(200, 4); // quiet
+        ctrl.observe(300, 5); // one fault: below demote, above quiet
+        assert_eq!(ctrl.current(), FetchScheme::WayMemoization);
+        ctrl.observe(400, 5);
+        assert_eq!(ctrl.observe(500, 5), Some(FetchScheme::WayPlacement));
+    }
+
+    #[test]
+    fn batched_progress_closes_every_skipped_window() {
+        // 5 windows pass in one observation: the fault burst lands in
+        // the first closed window (demote), the remaining four are
+        // quiet (promote back after two). Net: no rung change, both
+        // transitions on the books, boundary advanced past `fetches`.
+        let mut ctrl = DegradationController::new(policy(), FetchScheme::WayPlacement);
+        assert_eq!(ctrl.observe(500, 4), None);
+        assert_eq!(ctrl.current(), FetchScheme::WayPlacement);
+        assert_eq!(ctrl.demotions(), 1);
+        assert_eq!(ctrl.promotions(), 1);
+        assert_eq!(ctrl.next_boundary(), 600);
+    }
+
+    #[test]
+    fn baseline_has_nowhere_to_go() {
+        let mut ctrl = DegradationController::new(policy(), FetchScheme::Baseline);
+        assert_eq!(ctrl.observe(100, 100), None);
+        assert_eq!(ctrl.current(), FetchScheme::Baseline);
+        assert_eq!(ctrl.demotions(), 0);
+    }
+}

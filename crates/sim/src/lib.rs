@@ -63,10 +63,12 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod degrade;
 mod exec;
 mod machine;
 mod simulator;
 
+pub use degrade::{DegradationController, DegradationPolicy};
 pub use exec::{Control, ExecError, InsnClass, Step};
 pub use machine::{Machine, MemFault, MEMORY_BYTES};
 pub use simulator::{

@@ -13,9 +13,13 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use wp_isa::{Image, Insn, Reg};
-use wp_mem::{DCacheStats, FaultStats, FetchStats, MemoryConfig, MemorySystem, TlbStats};
+use wp_mem::{
+    DCacheStats, DetectionStats, FaultStats, FetchScheme, FetchStats, MemoryConfig, MemorySystem,
+    TlbStats,
+};
 use wp_trace::{FetchCounters, IntervalSample, NullSink, TraceSink};
 
+use crate::degrade::{DegradationController, DegradationPolicy};
 use crate::exec::{step, Control, ExecError, InsnClass};
 use crate::machine::Machine;
 
@@ -52,6 +56,11 @@ pub struct SimConfig {
     /// run has been executing this long (`None` disables it). Checked
     /// every few thousand instructions, so overshoot is bounded.
     pub time_limit: Option<Duration>,
+    /// Graceful scheme degradation: when set (and the memory config
+    /// arms detection), a [`DegradationController`] samples the
+    /// windowed detected-fault rate and walks the fetch scheme down
+    /// to less speculative rungs under sustained faults.
+    pub degradation: Option<DegradationPolicy>,
 }
 
 impl SimConfig {
@@ -68,6 +77,7 @@ impl SimConfig {
             load_latency: 2,
             mul_latency: 2,
             time_limit: None,
+            degradation: None,
         }
     }
 
@@ -82,6 +92,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> SimConfig {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// Arms graceful scheme degradation (and, implicitly, the fetch
+    /// core's fault-detection checks it feeds on).
+    #[must_use]
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> SimConfig {
+        self.degradation = Some(policy);
+        self.mem.detection = true;
         self
     }
 }
@@ -174,6 +193,16 @@ pub struct RunResult {
     pub insn_counts: Option<Vec<u64>>,
     /// Injected-fault counters (all zero on a fault-free run).
     pub faults: FaultStats,
+    /// Detected-fault and recovery counters (all zero with detection
+    /// off).
+    pub detection: DetectionStats,
+    /// Scheme demotions the degradation controller took.
+    pub demotions: u64,
+    /// Scheme promotions back up the ladder.
+    pub promotions: u64,
+    /// The fetch scheme the run ended on (differs from the configured
+    /// scheme only when degradation demoted it).
+    pub final_scheme: FetchScheme,
 }
 
 impl RunResult {
@@ -269,6 +298,9 @@ pub fn simulate_traced<S: TraceSink>(
 ) -> Result<RunResult, SimError> {
     let mut machine = Machine::boot(image);
     let mut mem = MemorySystem::new(config.mem);
+    let mut degrade = config
+        .degradation
+        .map(|p| DegradationController::new(p, config.mem.icache.scheme));
     let mut btb = Btb::new(config.btb_entries);
     let mut insn_counts = config.collect_profile.then(|| vec![0u64; image.text.len()]);
 
@@ -346,6 +378,7 @@ pub fn simulate_traced<S: TraceSink>(
             if run > 1 {
                 let timing = mem.fetch_block(pc, run);
                 cycles += u64::from(timing.cycles);
+                degrade_window(&mut degrade, &mut mem);
                 for k in 0..run {
                     let slot = (index + k) as usize;
                     if let Some(counts) = insn_counts.as_mut() {
@@ -373,6 +406,7 @@ pub fn simulate_traced<S: TraceSink>(
             mem.fetch(pc)
         };
         cycles += u64::from(fetch.cycles);
+        degrade_window(&mut degrade, &mut mem);
 
         if let Some(period) = sample_period {
             if cycles - sample_start >= period {
@@ -479,6 +513,12 @@ pub fn simulate_traced<S: TraceSink>(
                             branch_mispredicts: mispredicts,
                             insn_counts,
                             faults: mem.fault_stats(),
+                            detection: mem.detection_stats(),
+                            demotions: degrade.as_ref().map_or(0, DegradationController::demotions),
+                            promotions: degrade
+                                .as_ref()
+                                .map_or(0, DegradationController::promotions),
+                            final_scheme: mem.current_scheme(),
                         });
                     }
                     syscall::PUTC => output.push(arg as u8),
@@ -488,6 +528,22 @@ pub fn simulate_traced<S: TraceSink>(
                     }
                     _ => return Err(SimError::UnknownSyscall { number, addr: pc }),
                 }
+            }
+        }
+    }
+}
+
+/// Closes any degradation windows the fetch counter has passed and
+/// applies the controller's scheme decision. The `next_boundary` guard
+/// keeps this to one branch per fetch on the hot path.
+#[inline]
+fn degrade_window(degrade: &mut Option<DegradationController>, mem: &mut MemorySystem) {
+    if let Some(ctrl) = degrade.as_mut() {
+        let fetches = mem.fetch_stats().fetches;
+        if fetches >= ctrl.next_boundary() {
+            let detected = mem.detection_stats().total_detected();
+            if let Some(scheme) = ctrl.observe(fetches, detected) {
+                mem.set_fetch_scheme(scheme);
             }
         }
     }
@@ -676,6 +732,64 @@ mod tests {
         assert_eq!(faulted.checksum, clean.checksum);
         assert_eq!(faulted.exit_code, clean.exit_code);
         assert_eq!(faulted.instructions, clean.instructions);
+    }
+
+    #[test]
+    fn degradation_demotes_under_sustained_faults_and_preserves_architecture() {
+        let image = link(
+            "_start:
+                mov r4, #2000
+                mov r0, #0
+            .Ll: add r0, r0, r4
+                subs r4, r4, #1
+                bne .Ll
+                swi #2
+                mov r0, #0
+                swi #0",
+        );
+        let clean = simulate(&image, &config()).expect("clean run");
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let faulted_mem = MemoryConfig::way_placement(geom, 0x8000, 2048)
+            .with_fault(wp_mem::FaultConfig::all(0xDE6, 200_000));
+        let policy =
+            crate::DegradationPolicy { window_fetches: 256, demote_faults: 2, promote_windows: 4 };
+        let cfg = SimConfig::new(faulted_mem).with_degradation(policy);
+        let result = simulate(&image, &cfg).expect("degraded run");
+        // At 20%/kind the fault rate saturates every window: the
+        // controller must walk all the way down to the baseline.
+        assert!(result.detection.total_detected() > 0, "{:?}", result.detection);
+        assert!(result.demotions >= 2, "demotions: {}", result.demotions);
+        assert_eq!(result.final_scheme, wp_mem::FetchScheme::Baseline);
+        // Degradation is still §4-safe: architecture is untouched.
+        assert_eq!(result.checksum, clean.checksum);
+        assert_eq!(result.exit_code, clean.exit_code);
+        assert_eq!(result.instructions, clean.instructions);
+    }
+
+    #[test]
+    fn degradation_is_inert_on_a_clean_machine() {
+        let image = link(
+            "_start:
+                mov r4, #2000
+                mov r0, #0
+            .Ll: add r0, r0, r4
+                subs r4, r4, #1
+                bne .Ll
+                swi #2
+                mov r0, #0
+                swi #0",
+        );
+        let geom = CacheGeometry::new(2048, 4, 32);
+        let mem = MemoryConfig::way_placement(geom, 0x8000, 2048);
+        let plain = simulate(&image, &SimConfig::new(mem)).expect("plain");
+        let policy = crate::DegradationPolicy::default();
+        let armed = simulate(&image, &SimConfig::new(mem).with_degradation(policy)).expect("armed");
+        assert_eq!(armed.cycles, plain.cycles, "observation must be free when clean");
+        assert_eq!(armed.fetch, plain.fetch);
+        assert_eq!(armed.demotions, 0);
+        assert_eq!(armed.promotions, 0);
+        assert_eq!(armed.final_scheme, wp_mem::FetchScheme::WayPlacement);
+        assert_eq!(armed.detection.total_detected(), 0);
     }
 
     #[test]

@@ -22,10 +22,19 @@ if [[ "$quick" -eq 1 ]]; then
     echo "== SoA/per-line differential equivalence (quick sweep) =="
     WP_QUICK=1 cargo test -q -p wp-mem --test soa_equivalence
 
-    echo "== fetch-core throughput smoke (tripwire + >=5x speedup) =="
+    echo "== fetch-core throughput smoke (tripwire + >=2x speedup) =="
     smoke_perf_dir="$(mktemp -d)"
     WP_BENCH_DIR="$smoke_perf_dir" cargo run --release -q --bin perf_fetch -- --quick
     rm -rf "$smoke_perf_dir"
+
+    echo "== chaos-campaign smoke (detection, degradation, kill/resume) =="
+    smoke_chaos_dir="$(mktemp -d)"
+    WP_BENCH_DIR="$smoke_chaos_dir" cargo run --release -q --bin chaos_campaign -- --quick
+    if [[ ! -s "$smoke_chaos_dir/BENCH_chaos_campaign.json" ]]; then
+        echo "missing manifest: BENCH_chaos_campaign.json" >&2
+        exit 1
+    fi
+    rm -rf "$smoke_chaos_dir"
 
     echo "== stored-baseline smoke (self-bless + gate + perturbed) =="
     smoke_dir="$(mktemp -d)"
@@ -72,6 +81,13 @@ if [[ "$quick" -eq 0 ]]; then
         exit 1
     fi
 
+    echo "== chaos-campaign soak (full suite, escalating fault ladder) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin chaos_campaign
+    if [[ ! -s "$smoke_dir/BENCH_chaos_campaign.json" ]]; then
+        echo "missing manifest: BENCH_chaos_campaign.json" >&2
+        exit 1
+    fi
+
     echo "== trace telemetry smoke (reconcile + manifest re-check) =="
     WP_TRACE=1 WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin trace_report -- --quick
     WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin trace_report -- --check
@@ -107,7 +123,7 @@ if [[ "$quick" -eq 0 ]]; then
         exit 1
     fi
 
-    echo "== fetch-core throughput (tripwire + >=5x speedup gate) =="
+    echo "== fetch-core throughput (tripwire + >=2x speedup gate) =="
     WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin perf_fetch
     if [[ ! -s "$smoke_dir/BENCH_perf_fetch.json" ]]; then
         echo "missing manifest: BENCH_perf_fetch.json" >&2

@@ -10,7 +10,6 @@
 //! degradation or a typed error, never silent corruption.
 
 use wp_core::wp_linker::LinkError;
-use wp_core::wp_mem::refmodel::RefMemorySystem;
 use wp_core::wp_mem::rng::SplitMix64;
 use wp_core::wp_mem::{CacheGeometry, FaultConfig, MemoryConfig, MemorySystem};
 use wp_core::wp_sim::SimError;
@@ -96,47 +95,62 @@ fn fault_trials_are_deterministic_per_seed() {
     }
 }
 
-/// Twin run: the same fault seed drives the SoA fetch core and the
-/// per-line reference model over one stream. Every weave point —
-/// stale WP bits, inverted way hints, CAM tag-bit flips — must land
-/// on the same (set, way) slot of both state layouts, which the
-/// per-fetch event equality, the final counters and a structural
-/// diff of the resident lines all witness.
+/// Detection coverage at the weave points: with the parity/duplication
+/// checks armed, every injected way-hint inversion and WP-bit flip is
+/// caught exactly (counter-for-counter against the injector), tag
+/// flips are caught unless a refill silently absorbed the corrupted
+/// line first, and every detection is paired with a priced recovery.
+/// Two armed runs on the same seed agree bit-for-bit, so any coverage
+/// gap this ever finds is replayable.
 #[test]
-fn fault_weave_points_land_identically_in_soa_and_per_line_models() {
+fn fault_weave_points_are_detected_and_recovered() {
     let geometry = CacheGeometry::xscale_icache();
     for (seed, config) in [
         (21u64, MemoryConfig::way_placement(geometry, 0, 32 * 1024)),
         (22, MemoryConfig::way_memoization(geometry)),
         (23, MemoryConfig::baseline(geometry)),
     ] {
-        let config = config.with_fault(FaultConfig::all(seed, 100_000));
-        let mut live = MemorySystem::new(config);
-        let mut reference = RefMemorySystem::new(config);
-        let mut rng = SplitMix64::new(0xFA_0000 + seed);
-        let mut pc: u32 = 0;
-        for i in 0..30_000 {
-            // Loopy fetch stream: short straight runs, mostly-local jumps.
-            pc = if rng.below(6) == 0 {
-                (rng.below(48 * 1024) as u32) & !3
-            } else {
-                pc.wrapping_add(4) % (48 * 1024)
-            };
-            let (live_timing, live_event) = live.fetch_traced(pc);
-            let (ref_timing, ref_event) = reference.fetch_traced(pc);
-            assert_eq!(live_timing, ref_timing, "seed {seed}: timing diverged at fetch {i}");
-            assert_eq!(live_event, ref_event, "seed {seed}: event diverged at fetch {i}");
-        }
-        let faults = live.fault_stats();
-        assert_eq!(faults, reference.fault_stats(), "seed {seed}: fault counters");
+        let config = config.with_fault(FaultConfig::all(seed, 100_000)).with_detection();
+        let run = || {
+            let mut armed = MemorySystem::new(config);
+            let mut rng = SplitMix64::new(0xFA_0000 + seed);
+            let mut pc: u32 = 0;
+            for _ in 0..30_000 {
+                // Loopy fetch stream: short straight runs, local jumps.
+                pc = if rng.below(6) == 0 {
+                    (rng.below(48 * 1024) as u32) & !3
+                } else {
+                    pc.wrapping_add(4) % (48 * 1024)
+                };
+                armed.fetch(pc);
+            }
+            (armed.fault_stats(), armed.detection_stats(), *armed.fetch_stats())
+        };
+        let (faults, detect, fetch) = run();
         assert!(faults.total() > 0, "seed {seed}: faults must land at 10%/kind");
-        assert_eq!(live.fetch_stats(), reference.fetch_stats(), "seed {seed}: fetch stats");
-        assert_eq!(live.itlb_stats(), reference.itlb_stats(), "seed {seed}: I-TLB stats");
-        // Structural diff: corrupted tags included, both models hold
-        // exactly the same lines in the same (set, way) slots.
-        let live_lines: Vec<_> = live.icache().array().resident_lines().collect();
-        let ref_lines: Vec<_> = reference.icache().array().resident_lines().collect();
-        assert_eq!(live_lines, ref_lines, "seed {seed}: resident lines diverged");
+        assert_eq!(
+            detect.hint_mismatches, faults.hint_inversions,
+            "seed {seed}: every hint inversion is caught at the next fetch"
+        );
+        assert_eq!(
+            detect.wp_bit_mismatches, faults.wp_bit_flips,
+            "seed {seed}: every WP-bit flip is caught by the duplicate bit"
+        );
+        assert!(
+            detect.tag_parity_faults <= faults.tag_bit_flips,
+            "seed {seed}: parity can't detect more flips than were injected"
+        );
+        assert_eq!(
+            detect.lines_invalidated, detect.tag_parity_faults,
+            "seed {seed}: every parity hit is scrubbed by invalidate-and-refill"
+        );
+        if detect.total_detected() > 0 {
+            assert!(detect.recovery_cycles > 0, "seed {seed}: recovery is never free");
+        }
+        let (faults2, detect2, fetch2) = run();
+        assert_eq!(faults, faults2, "seed {seed}: fault counters not deterministic");
+        assert_eq!(detect, detect2, "seed {seed}: detection not deterministic");
+        assert_eq!(fetch, fetch2, "seed {seed}: fetch counters not deterministic");
     }
 }
 
