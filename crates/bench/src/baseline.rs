@@ -1,8 +1,9 @@
 //! Stored-baseline blessing and gating.
 //!
 //! The reproduction's central artefacts — the traced-run report, the
-//! autotuned WP-area manifest and the chaos-campaign resilience
-//! manifest — must stay stable as the simulator grows: silent drift in
+//! autotuned WP-area manifest, the chaos-campaign resilience manifest
+//! and the obs-report reconciliation manifest — must stay stable as
+//! the simulator grows: silent drift in
 //! any scheme's counters invalidates every number the paper comparison
 //! rests on. This module freezes them:
 //!
@@ -43,8 +44,12 @@ pub const DEFAULT_BASELINE_DIR: &str = "baselines";
 /// The **byte-deterministic** manifests a baseline set consists of, in
 /// bless/gate order. Two bless runs over the same tree produce these
 /// byte-identically.
-pub const BASELINE_FILES: [&str; 3] =
-    ["BENCH_trace_report.json", "BENCH_tuned_areas.json", "BENCH_chaos_campaign.json"];
+pub const BASELINE_FILES: [&str; 4] = [
+    "BENCH_trace_report.json",
+    "BENCH_tuned_areas.json",
+    "BENCH_chaos_campaign.json",
+    "BENCH_obs_report.json",
+];
 /// The wall-clock fetch-core throughput manifest blessed *alongside*
 /// the canonical pair. Deliberately not in [`BASELINE_FILES`]:
 /// throughput is measured, not derived, so byte-identity cannot apply;
@@ -247,7 +252,7 @@ pub fn perf_thresholds() -> DiffThresholds {
     DiffThresholds { rel: 0.75, abs_fetches: 5.0, abs_energy: 1.0 }
 }
 
-/// Runs all four pipelines and writes their manifests into `dir`
+/// Runs all five pipelines and writes their manifests into `dir`
 /// (created if missing), returning the written paths: the
 /// byte-deterministic [`BASELINE_FILES`] in order, then
 /// [`PERF_BASELINE_FILE`].
@@ -256,20 +261,24 @@ pub fn perf_thresholds() -> DiffThresholds {
 ///
 /// [`TuneError::Io`] on write failure, plus any pipeline failure —
 /// including the perf tripwire, which refuses to bless a throughput
-/// number from fetch cores that disagree, and the chaos campaign,
-/// which refuses to bless a tree whose resilience invariants fail.
+/// number from fetch cores that disagree, the chaos campaign, which
+/// refuses to bless a tree whose resilience invariants fail, and the
+/// obs_report pipeline, which refuses to bless a tree whose metrics do
+/// not reconcile with ground truth.
 pub fn bless(dir: &Path, quick: bool) -> Result<Vec<PathBuf>, TuneError> {
     let trace = build_trace_baseline(quick)?;
     let tuned = build_tuned_baseline(quick)?;
     let chaos = crate::chaos::build_chaos_baseline(quick)
         .map_err(|message| pipeline_error("chaos_campaign", &message))?;
+    let obs = crate::obs::build_obs_baseline(quick)
+        .map_err(|message| pipeline_error("obs_report", &message))?;
     let perf = perf::measure(quick)
         .map_err(|message| pipeline_error("perf_fetch", &message))?
         .json();
     std::fs::create_dir_all(dir).map_err(|e| TuneError::io(dir, &e))?;
     let mut paths = Vec::with_capacity(BASELINE_FILES.len() + 1);
     let names = BASELINE_FILES.iter().copied().chain([PERF_BASELINE_FILE]);
-    for (name, manifest) in names.zip([&trace, &tuned, &chaos, &perf]) {
+    for (name, manifest) in names.zip([&trace, &tuned, &chaos, &obs, &perf]) {
         let path = dir.join(name);
         std::fs::write(&path, manifest.to_pretty()).map_err(|e| TuneError::io(&path, &e))?;
         paths.push(path);

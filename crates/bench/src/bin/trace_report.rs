@@ -41,7 +41,7 @@ const OVERHEAD_LIMIT_PCT: f64 = 2.0;
 const ENERGY_REL_TOL: f64 = 1e-6;
 
 fn bench_dir() -> PathBuf {
-    std::env::var_os("WP_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+    wp_core::env::bench_dir()
 }
 
 fn scheme_file_tag(scheme: Scheme) -> String {

@@ -30,12 +30,16 @@
 //! workflow as the trace-report and tuned-areas baselines.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use wp_core::wp_mem::rng::SplitMix64;
 use wp_core::wp_mem::{CacheGeometry, FaultConfig};
 use wp_core::wp_sim::DegradationPolicy;
 use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::{fault_trial_with, FaultOutcome, FaultSpec, FaultTrial, MeasureOptions, Scheme};
+use wp_obs::account::Usage;
+use wp_obs::metrics::Counter;
+use wp_obs::Obs;
 
 use crate::engine::{Engine, Experiment};
 use crate::Json;
@@ -262,16 +266,128 @@ impl ChaosOutcome {
     }
 }
 
+/// Observability handles for one campaign run: pre-registered counters
+/// plus the journal group base allocated before the pool fans out, so
+/// event ordering stays seed-deterministic under any worker count.
+struct ChaosObs {
+    obs: Arc<Obs>,
+    base: u64,
+    jobs: u64,
+    graceful: Counter,
+    detected: Counter,
+    silent: Counter,
+    demotions: Counter,
+    promotions: Counter,
+}
+
+impl ChaosObs {
+    fn new(obs: Arc<Obs>, job_count: usize, quick: bool) -> ChaosObs {
+        let base = obs.journal.alloc_groups(job_count as u64 + 2);
+        obs.journal.scope(base).emit(
+            "campaign_start",
+            vec![
+                ("jobs", job_count.to_string()),
+                ("rates", CHAOS_RATES_PPM.len().to_string()),
+                ("quick", quick.to_string()),
+            ],
+        );
+        let c = |name: &str, help: &str| obs.metrics.counter(name, help);
+        ChaosObs {
+            base,
+            jobs: job_count as u64,
+            graceful: c("wp_chaos_trials_graceful_total", "chaos trials classified graceful"),
+            detected: c("wp_chaos_trials_detected_total", "chaos trials classified detected"),
+            silent: c("wp_chaos_trials_silent_total", "chaos trials classified silent-corruption"),
+            demotions: c("wp_demotions_total", "scheme ladder demotions across chaos trials"),
+            promotions: c("wp_promotions_total", "scheme ladder promotions across chaos trials"),
+            obs,
+        }
+    }
+
+    /// Records one classified trial into the journal (group `base + 1 +
+    /// job_index`), the counters, and the per-phase accounts.
+    fn record_trial(&self, job_index: usize, trial: &ChaosTrial) {
+        let scope = self.obs.journal.scope(self.base + 1 + job_index as u64);
+        scope.emit(
+            "chaos_trial",
+            vec![
+                ("benchmark", trial.benchmark.name().to_string()),
+                ("scheme", trial.scheme_key()),
+                ("rate_ppm", trial.rate_ppm.to_string()),
+                ("outcome", trial.trial.outcome.label().to_string()),
+                ("fetches", trial.trial.fetches.to_string()),
+                ("demotions", trial.trial.demotions.to_string()),
+                ("promotions", trial.trial.promotions.to_string()),
+            ],
+        );
+        for transition in &trial.trial.transitions {
+            let kind =
+                if transition.is_demotion() { "scheme_demotion" } else { "scheme_promotion" };
+            scope.emit(
+                kind,
+                vec![
+                    ("benchmark", trial.benchmark.name().to_string()),
+                    ("scheme", trial.scheme_key()),
+                    ("boundary", transition.boundary.to_string()),
+                    ("from", transition.from.label().to_string()),
+                    ("to", transition.to.label().to_string()),
+                    ("window_faults", transition.window_faults.to_string()),
+                ],
+            );
+        }
+        match trial.trial.outcome.label() {
+            "graceful" => self.graceful.inc(),
+            "detected" => self.detected.inc(),
+            _ => self.silent.inc(),
+        }
+        self.demotions.add(trial.trial.demotions);
+        self.promotions.add(trial.trial.promotions);
+        self.obs.accounts.charge(
+            trial.benchmark.name(),
+            &trial.scheme_key(),
+            "chaos",
+            Usage {
+                fetches: trial.trial.fetches,
+                energy_pj: trial.trial.icache_pj + trial.trial.recovery_pj,
+                ..Usage::default()
+            },
+        );
+    }
+
+    fn finish(&self, outcome: &ChaosOutcome) {
+        self.obs.journal.scope(self.base + self.jobs + 1).emit(
+            "campaign_finish",
+            vec![
+                ("trials", outcome.trials.len().to_string()),
+                ("silent", outcome.silent.len().to_string()),
+                ("undetected", outcome.undetected.len().to_string()),
+                ("overhead", outcome.overhead.len().to_string()),
+                ("errors", outcome.errors.len().to_string()),
+                ("kill_resume_ok", outcome.kill_resume_ok.to_string()),
+            ],
+        );
+    }
+}
+
 /// Runs the full campaign on the process-wide engine: every
 /// `(benchmark, scheme)` pair measures its unarmed clean twin once,
 /// then climbs the rate ladder with detection + degradation armed.
 #[must_use]
 pub fn run_campaign(quick: bool) -> ChaosOutcome {
+    run_campaign_on(Engine::global(), quick)
+}
+
+/// [`run_campaign`] on a caller-supplied engine. When the engine
+/// carries an [`Obs`] handle, the campaign journals every classified
+/// trial and ladder transition, bumps the chaos counters, and charges
+/// the `chaos` phase accounts; with observability disarmed the
+/// behaviour — and the manifest — is bit-identical to before.
+#[must_use]
+pub fn run_campaign_on(engine: &Engine, quick: bool) -> ChaosOutcome {
     let geometry = CacheGeometry::xscale_icache();
     let (benchmarks, set) = chaos_benchmarks(quick);
     let schemes = [Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization];
     let policy = chaos_policy();
-    let engine = Engine::global();
 
     let jobs: Vec<(usize, Benchmark, Scheme)> = benchmarks
         .iter()
@@ -279,6 +395,7 @@ pub fn run_campaign(quick: bool) -> ChaosOutcome {
         .enumerate()
         .map(|(i, (b, s))| (i, b, s))
         .collect();
+    let chaos_obs = engine.obs().map(|obs| ChaosObs::new(Arc::clone(obs), jobs.len(), quick));
 
     let results = engine.execute(&jobs, |&(index, benchmark, scheme)| {
         let workbench = match engine.workbench(benchmark) {
@@ -291,7 +408,7 @@ pub fn run_campaign(quick: bool) -> ChaosOutcome {
         };
         // Deterministic per-job seed, independent of worker count.
         let seed = (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xC0A5);
-        Ok(CHAOS_RATES_PPM
+        let batch: Vec<_> = CHAOS_RATES_PPM
             .iter()
             .map(|&rate| {
                 let spec = FaultSpec::Hardware(FaultConfig::all(seed, rate));
@@ -299,7 +416,13 @@ pub fn run_campaign(quick: bool) -> ChaosOutcome {
                 let trial = fault_trial_with(&workbench, geometry, scheme, options, &clean);
                 (ChaosTrial { benchmark, scheme, rate_ppm: rate, trial }, clean.energy.icache_pj())
             })
-            .collect::<Vec<_>>())
+            .collect();
+        if let Some(chaos_obs) = &chaos_obs {
+            for (trial, _) in &batch {
+                chaos_obs.record_trial(index, trial);
+            }
+        }
+        Ok(batch)
     });
 
     let mut trials = Vec::new();
@@ -337,8 +460,12 @@ pub fn run_campaign(quick: bool) -> ChaosOutcome {
         })
         .collect();
 
+    // Unique per invocation, not just per process: tests run concurrent
+    // campaigns inside one binary.
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let invocation = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let scratch = std::env::temp_dir()
-        .join(format!("wp-chaos-{}", std::process::id()))
+        .join(format!("wp-chaos-{}-{invocation}", std::process::id()))
         .join("kill_resume.jsonl");
     let (kill_resume, kill_resume_ok) = match kill_resume_drill(0x50AC, &scratch) {
         Ok(json) => (json, true),
@@ -348,7 +475,7 @@ pub fn run_campaign(quick: bool) -> ChaosOutcome {
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    ChaosOutcome {
+    let outcome = ChaosOutcome {
         quick,
         geometry,
         trials,
@@ -358,7 +485,11 @@ pub fn run_campaign(quick: bool) -> ChaosOutcome {
         errors,
         kill_resume,
         kill_resume_ok,
+    };
+    if let Some(chaos_obs) = &chaos_obs {
+        chaos_obs.finish(&outcome);
     }
+    outcome
 }
 
 /// The seeded kill/resume drill: run a checkpointed mini-campaign, kill

@@ -50,6 +50,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
+use wp_obs::account::Usage;
+use wp_obs::journal::Scope as JournalScope;
+use wp_obs::metrics::{Counter as ObsCounter, Gauge as ObsGauge, Histogram as ObsHistogram};
+use wp_obs::Obs;
 use wp_trace::SpanCollector;
 
 use wp_core::wp_mem::CacheGeometry;
@@ -197,6 +201,9 @@ pub struct JobRow {
     pub cycles: u64,
     /// Instructions the run committed.
     pub instructions: u64,
+    /// Instruction fetches the run issued (the ground truth the
+    /// `obs_report` cross-check reconciles histograms against).
+    pub fetches: u64,
 }
 
 impl JobRow {
@@ -209,6 +216,7 @@ impl JobRow {
             ("ed", Json::from(self.ed)),
             ("cycles", Json::from(self.cycles)),
             ("instructions", Json::from(self.instructions)),
+            ("fetches", Json::from(self.fetches)),
         ])
     }
 }
@@ -501,6 +509,7 @@ struct CheckpointRow {
     ed: f64,
     cycles: u64,
     instructions: u64,
+    fetches: u64,
 }
 
 fn checkpoint_key(
@@ -533,6 +542,7 @@ fn load_checkpoint(path: &Path) -> HashMap<String, CheckpointRow> {
                     ed: json.get("ed")?.as_f64()?,
                     cycles: json.get("cycles")?.as_u64()?,
                     instructions: json.get("instructions")?.as_u64()?,
+                    fetches: json.get("fetches")?.as_u64()?,
                 },
             ))
         });
@@ -553,6 +563,7 @@ fn checkpoint_line(key: &str, row: &JobRow) -> String {
         ("ed", Json::from(row.ed)),
         ("cycles", Json::from(row.cycles)),
         ("instructions", Json::from(row.instructions)),
+        ("fetches", Json::from(row.fetches)),
     ])
     .to_compact()
 }
@@ -564,6 +575,94 @@ enum JobOutcome {
     Fresh(JobRow),
     /// Failed (after any retries).
     Failed(JobFailure),
+}
+
+/// Pre-registered handles into the armed [`Obs`] registry, so the hot
+/// path never takes the registry lock.
+struct EngineMetrics {
+    jobs_ok: ObsCounter,
+    jobs_failed: ObsCounter,
+    retries: ObsCounter,
+    panics: ObsCounter,
+    timeouts: ObsCounter,
+    checkpoint_hits: ObsCounter,
+    checkpoint_writes: ObsCounter,
+    workbench_builds: ObsCounter,
+    baseline_builds: ObsCounter,
+    queue_depth: ObsGauge,
+    running: ObsGauge,
+    job_fetches: ObsHistogram,
+    job_cycles: ObsHistogram,
+    job_wall_us: ObsHistogram,
+}
+
+impl EngineMetrics {
+    fn new(obs: &Obs) -> EngineMetrics {
+        let m = &obs.metrics;
+        EngineMetrics {
+            jobs_ok: m.counter("wp_engine_jobs_ok_total", "Jobs that produced a row"),
+            jobs_failed: m.counter("wp_engine_jobs_failed_total", "Jobs that produced a failure"),
+            retries: m
+                .counter("wp_engine_retries_total", "Job attempts re-run after a transient error"),
+            panics: m.counter("wp_engine_panics_total", "Panics caught at the job boundary"),
+            timeouts: m
+                .counter("wp_engine_timeouts_total", "Wall-clock watchdog timeouts observed"),
+            checkpoint_hits: m
+                .counter("wp_engine_checkpoint_hits_total", "Jobs replayed from a checkpoint"),
+            checkpoint_writes: m
+                .counter("wp_engine_checkpoint_writes_total", "Rows appended to a checkpoint"),
+            workbench_builds: m
+                .counter("wp_engine_workbench_builds_total", "Workbenches assembled and profiled"),
+            baseline_builds: m
+                .counter("wp_engine_baseline_builds_total", "Baseline measurements run"),
+            queue_depth: m.gauge("wp_pool_queue_depth", "Jobs waiting for a worker"),
+            running: m.gauge("wp_pool_running", "Jobs currently executing"),
+            job_fetches: m.histogram("wp_job_fetches", "Instruction fetches per completed job"),
+            job_cycles: m.histogram("wp_job_cycles", "Simulated cycles per completed job"),
+            job_wall_us: m.histogram("wp_job_wall_us", "Host wall microseconds per fresh job"),
+        }
+    }
+}
+
+/// Live worker-pool state, maintained by [`Engine::execute`] whether or
+/// not metrics are armed (the atomics cost nothing measurable).
+struct PoolMonitor {
+    queued: AtomicUsize,
+    running: AtomicUsize,
+    busy_ns: Vec<AtomicU64>,
+}
+
+impl PoolMonitor {
+    fn new(workers: usize) -> PoolMonitor {
+        PoolMonitor {
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// A point-in-time view of the worker pool: how deep the queue is, how
+/// many jobs are executing, and how much wall time each worker slot has
+/// spent busy since the engine was built.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// The pool bound ([`Engine::workers`]).
+    pub workers: usize,
+    /// Jobs submitted but not yet picked up.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Cumulative busy nanoseconds per worker slot.
+    pub busy_ns: Vec<u64>,
+}
+
+impl PoolSnapshot {
+    /// Total busy nanoseconds across all worker slots.
+    #[must_use]
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().sum()
+    }
 }
 
 /// The shared experiment engine. See the module docs for the contract.
@@ -581,6 +680,15 @@ pub struct Engine {
     /// (see [`SpanCollector::from_env`]); `None` costs one branch per
     /// recording site.
     spans: Option<Arc<SpanCollector>>,
+    /// Metrics + journal + accounts, armed by `$WP_OBS` at construction
+    /// (see [`Obs::from_env`]) or injected via [`Engine::with_obs`];
+    /// same compile-out discipline as `spans`.
+    obs: Option<Arc<Obs>>,
+    /// Pre-registered metric handles (present iff `obs` is).
+    metrics: Option<EngineMetrics>,
+    /// Live pool state (always maintained; reads are test/`--watch`
+    /// support via [`Engine::pool_snapshot`]).
+    pool: PoolMonitor,
 }
 
 impl std::fmt::Debug for Engine {
@@ -613,8 +721,11 @@ impl Engine {
     /// An engine with an explicit worker-pool bound (≥ 1).
     #[must_use]
     pub fn with_workers(workers: usize) -> Engine {
+        let workers = workers.max(1);
+        let obs = Obs::from_env();
+        let metrics = obs.as_deref().map(EngineMetrics::new);
         Engine {
-            workers: workers.max(1),
+            workers,
             workbenches: Mutex::new(HashMap::new()),
             baselines: Mutex::new(HashMap::new()),
             counters: Counters::default(),
@@ -624,6 +735,9 @@ impl Engine {
             build_fault: None,
             build_attempts: Mutex::new(HashMap::new()),
             spans: SpanCollector::from_env(),
+            obs,
+            metrics,
+            pool: PoolMonitor::new(workers),
         }
     }
 
@@ -632,6 +746,35 @@ impl Engine {
     #[must_use]
     pub fn span_collector(&self) -> Option<&Arc<SpanCollector>> {
         self.spans.as_ref()
+    }
+
+    /// Arms metrics, journal and accounts on an explicit [`Obs`]
+    /// handle, independent of `$WP_OBS` — how `obs_report` and the
+    /// determinism tests arm observability without mutating the process
+    /// environment.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Engine {
+        self.metrics = Some(EngineMetrics::new(&obs));
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The armed observability context, if any.
+    #[must_use]
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// Live worker-pool state: queue depth, running jobs, per-worker
+    /// busy time.
+    #[must_use]
+    pub fn pool_snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            workers: self.workers,
+            queued: self.pool.queued.load(Ordering::Relaxed),
+            running: self.pool.running.load(Ordering::Relaxed),
+            busy_ns: self.pool.busy_ns.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        }
     }
 
     /// Installs a retry policy for transient job failures.
@@ -712,6 +855,15 @@ impl Engine {
         }
     }
 
+    /// Mirrors the pool atomics into the armed gauges (no-op when
+    /// metrics are off).
+    fn sync_pool_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(self.pool.queued.load(Ordering::Relaxed) as i64);
+            m.running.set(self.pool.running.load(Ordering::Relaxed) as i64);
+        }
+    }
+
     fn add_measure_timing(&self, timing: &MeasureTiming) {
         let add = |a: &AtomicU64, d: std::time::Duration| {
             a.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -736,6 +888,9 @@ impl Engine {
             Ok(result) => result,
             Err(payload) => {
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.panics.inc();
+                }
                 let message = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
@@ -795,6 +950,18 @@ impl Engine {
                     self.counters
                         .profiling_ns
                         .fetch_add(timing.profiling.as_nanos() as u64, Ordering::Relaxed);
+                    if let (Some(obs), Some(m)) = (&self.obs, &self.metrics) {
+                        m.workbench_builds.inc();
+                        obs.accounts.charge(
+                            benchmark.name(),
+                            "-",
+                            "workbench",
+                            Usage {
+                                wall_ns: (timing.assemble + timing.profiling).as_nanos() as u64,
+                                ..Usage::default()
+                            },
+                        );
+                    }
                     Ok(Arc::new(workbench))
                 }
                 Err(e) => Err(Arc::new(e)),
@@ -844,6 +1011,22 @@ impl Engine {
             match measured {
                 Ok((measurement, timing)) => {
                     self.add_measure_timing(&timing);
+                    if let (Some(obs), Some(m)) = (&self.obs, &self.metrics) {
+                        m.baseline_builds.inc();
+                        obs.accounts.charge(
+                            benchmark.name(),
+                            &Scheme::Baseline.label(),
+                            "baseline",
+                            Usage {
+                                wall_ns: (timing.link + timing.simulate + timing.price).as_nanos()
+                                    as u64,
+                                cycles: measurement.run.cycles,
+                                fetches: measurement.run.fetch.fetches,
+                                energy_pj: measurement.energy.icache_pj(),
+                                ..Usage::default()
+                            },
+                        );
+                    }
                     Ok(Arc::new(measurement))
                 }
                 Err(e) => Err(Arc::new(e)),
@@ -939,8 +1122,9 @@ impl Engine {
 
     fn run_with_checkpoint(&self, experiment: &Experiment, path: Option<&Path>) -> SuiteReport {
         // Flattened deterministic job order: benchmark-major, then
-        // geometry, then scheme — the order rows are reported in.
-        let jobs: Vec<(Benchmark, CacheGeometry, Scheme)> = experiment
+        // geometry, then scheme — the order rows are reported in. The
+        // index is the job's deterministic journal-ordering group.
+        let jobs: Vec<(usize, Benchmark, CacheGeometry, Scheme)> = experiment
             .benchmarks
             .iter()
             .flat_map(|&b| {
@@ -949,7 +1133,27 @@ impl Engine {
                     .iter()
                     .flat_map(move |&g| experiment.schemes.iter().map(move |&s| (b, g, s)))
             })
+            .enumerate()
+            .map(|(i, (b, g, s))| (i, b, g, s))
             .collect();
+
+        // Journal group allocation happens here, on the single thread
+        // that starts the run: group `base` bookends the suite, groups
+        // `base + 1 + index` belong to the jobs. Allocation order is
+        // deterministic, emission order inside a group is single-job
+        // monotone, so the exported journal is run-reproducible.
+        let journal_base = self.obs.as_ref().map(|obs| {
+            let base = obs.journal.alloc_groups(jobs.len() as u64 + 2);
+            obs.journal.scope(base).emit(
+                "suite_start",
+                vec![
+                    ("jobs", jobs.len().to_string()),
+                    ("input_set", set_name(experiment.input_set).to_string()),
+                    ("checkpointed", path.is_some().to_string()),
+                ],
+            );
+            base
+        });
 
         let completed = path.map(load_checkpoint).unwrap_or_default();
         let writer = path.and_then(|path| {
@@ -966,12 +1170,44 @@ impl Engine {
         });
 
         let set = experiment.input_set;
-        let outcomes = self.execute(&jobs, |&(benchmark, geometry, scheme)| {
+        let outcomes = self.execute(&jobs, |&(index, benchmark, geometry, scheme)| {
+            let jscope = self.obs.as_ref().zip(journal_base).map(|(obs, base)| {
+                let scope = obs.journal.scope(base + 1 + index as u64);
+                scope.emit(
+                    "job_start",
+                    vec![
+                        ("benchmark", benchmark.name().to_string()),
+                        ("geometry", geometry.to_string()),
+                        ("scheme", scheme.label()),
+                    ],
+                );
+                scope
+            });
             let key = checkpoint_key(benchmark, geometry, scheme, set);
             if let Some(saved) = completed.get(&key) {
                 self.counters.checkpoint_hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(spans) = &self.spans {
                     spans.instant(format!("checkpoint:{key}"), "checkpoint", Vec::new());
+                }
+                if let (Some(obs), Some(m)) = (&self.obs, &self.metrics) {
+                    m.checkpoint_hits.inc();
+                    obs.accounts.charge(
+                        benchmark.name(),
+                        &scheme.label(),
+                        "checkpoint",
+                        Usage { cycles: saved.cycles, fetches: saved.fetches, ..Usage::default() },
+                    );
+                }
+                if let Some(s) = &jscope {
+                    s.emit("checkpoint_hit", vec![("key", key.clone())]);
+                    s.emit(
+                        "job_finish",
+                        vec![
+                            ("outcome", "cached".to_string()),
+                            ("fetches", saved.fetches.to_string()),
+                            ("cycles", saved.cycles.to_string()),
+                        ],
+                    );
                 }
                 return JobOutcome::Cached(JobRow {
                     benchmark,
@@ -982,20 +1218,59 @@ impl Engine {
                     ed: saved.ed,
                     cycles: saved.cycles,
                     instructions: saved.instructions,
+                    fetches: saved.fetches,
                 });
             }
-            match self.run_job(benchmark, geometry, scheme, set) {
+            let started = Instant::now();
+            match self.run_job(benchmark, geometry, scheme, set, jscope.as_ref()) {
                 Ok(row) => {
+                    if let Some(m) = &self.metrics {
+                        m.job_wall_us
+                            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(0));
+                    }
                     if let Some(writer) = &writer {
                         let line = checkpoint_line(&key, &row);
                         let mut file = lock(writer);
-                        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
-                            eprintln!("checkpoint write failed (continuing): {e}");
+                        let wrote = writeln!(file, "{line}").and_then(|()| file.flush());
+                        drop(file);
+                        match wrote {
+                            Ok(()) => {
+                                if let Some(m) = &self.metrics {
+                                    m.checkpoint_writes.inc();
+                                }
+                                if let Some(s) = &jscope {
+                                    s.emit("checkpoint_write", vec![("key", key.clone())]);
+                                }
+                            }
+                            Err(e) => eprintln!("checkpoint write failed (continuing): {e}"),
                         }
+                    }
+                    if let Some(s) = &jscope {
+                        s.emit(
+                            "job_finish",
+                            vec![
+                                ("outcome", "ok".to_string()),
+                                ("fetches", row.fetches.to_string()),
+                                ("cycles", row.cycles.to_string()),
+                            ],
+                        );
                     }
                     JobOutcome::Fresh(row)
                 }
-                Err(failure) => JobOutcome::Failed(failure),
+                Err(failure) => {
+                    if let Some(s) = &jscope {
+                        s.emit(
+                            "job_finish",
+                            vec![
+                                ("outcome", "failed".to_string()),
+                                ("phase", failure.phase.name().to_string()),
+                                ("attempts", failure.attempts.to_string()),
+                                ("error", failure.error.to_string()),
+                            ],
+                        );
+                    }
+                    JobOutcome::Failed(failure)
+                }
             }
         });
 
@@ -1006,12 +1281,27 @@ impl Engine {
                 JobOutcome::Cached(row) => rows.push(row),
                 JobOutcome::Fresh(row) => {
                     self.counters.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.jobs_ok.inc();
+                    }
                     rows.push(row);
                 }
                 JobOutcome::Failed(failure) => {
                     self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.jobs_failed.inc();
+                    }
                     failures.push(failure);
                 }
+            }
+        }
+        // Row histograms cover every completed row — fresh and
+        // checkpoint-replayed alike — so their totals reconcile against
+        // the report's rows, not against what happened to be executed.
+        if let Some(m) = &self.metrics {
+            for row in &rows {
+                m.job_fetches.record(row.fetches);
+                m.job_cycles.record(row.cycles);
             }
         }
         if let Some(path) = path {
@@ -1022,6 +1312,12 @@ impl Engine {
                     }
                 }
             }
+        }
+        if let (Some(obs), Some(base)) = (&self.obs, journal_base) {
+            obs.journal.scope(base + jobs.len() as u64 + 1).emit(
+                "suite_finish",
+                vec![("rows", rows.len().to_string()), ("failures", failures.len().to_string())],
+            );
         }
         SuiteReport { experiment: experiment.clone(), rows, failures, stats: self.stats() }
     }
@@ -1037,6 +1333,7 @@ impl Engine {
         geometry: CacheGeometry,
         scheme: Scheme,
         set: InputSet,
+        jscope: Option<&JournalScope>,
     ) -> Result<JobRow, JobFailure> {
         let mut attempt = 1;
         loop {
@@ -1045,6 +1342,12 @@ impl Engine {
                 Err(failure) => {
                     if matches!(&*failure.error, CoreError::Sim(SimError::Timeout { .. })) {
                         self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = &self.metrics {
+                            m.timeouts.inc();
+                        }
+                        if let Some(s) = jscope {
+                            s.emit("job_timeout", vec![("attempt", attempt.to_string())]);
+                        }
                         if let Some(spans) = &self.spans {
                             spans.instant(
                                 format!("timeout:{}", benchmark.name()),
@@ -1053,8 +1356,37 @@ impl Engine {
                             );
                         }
                     }
+                    if matches!(&*failure.error, CoreError::Panic { .. }) {
+                        if let Some(s) = jscope {
+                            s.emit(
+                                "job_panic",
+                                vec![
+                                    ("attempt", attempt.to_string()),
+                                    ("error", failure.error.to_string()),
+                                ],
+                            );
+                        }
+                    }
                     if attempt < self.retry.max_attempts && failure.error.is_transient() {
                         self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        if let (Some(obs), Some(m)) = (&self.obs, &self.metrics) {
+                            m.retries.inc();
+                            obs.accounts.charge(
+                                benchmark.name(),
+                                &scheme.label(),
+                                "measure",
+                                Usage { retries: 1, ..Usage::default() },
+                            );
+                        }
+                        if let Some(s) = jscope {
+                            s.emit(
+                                "job_retry",
+                                vec![
+                                    ("attempt", attempt.to_string()),
+                                    ("error", failure.error.to_string()),
+                                ],
+                            );
+                        }
                         if let Some(spans) = &self.spans {
                             spans.instant(
                                 format!("retry:{}", benchmark.name()),
@@ -1108,6 +1440,25 @@ impl Engine {
                 self.measure(benchmark, geometry, scheme, set)
             })
             .map_err(|e| fail(JobPhase::Measure, e))?;
+        if let Some(obs) = &self.obs {
+            // Baseline rows resolve through the shared baseline cell,
+            // which already charged its build to the `baseline` phase;
+            // charging it again here would double-count the shared
+            // measurement once per scheme that reuses it.
+            if scheme != Scheme::Baseline {
+                obs.accounts.charge(
+                    benchmark.name(),
+                    &scheme.label(),
+                    "measure",
+                    Usage {
+                        cycles: measurement.run.cycles,
+                        fetches: measurement.run.fetch.fetches,
+                        energy_pj: measurement.energy.icache_pj(),
+                        ..Usage::default()
+                    },
+                );
+            }
+        }
         Ok(JobRow {
             benchmark,
             geometry,
@@ -1117,6 +1468,7 @@ impl Engine {
             ed: measurement.ed_product(&baseline),
             cycles: measurement.run.cycles,
             instructions: measurement.run.instructions,
+            fetches: measurement.run.fetch.fetches,
         })
     }
 
@@ -1134,17 +1486,28 @@ impl Engine {
         let slots = Mutex::new(slots);
         let next = AtomicUsize::new(0);
         let workers = self.workers.min(jobs.len());
+        self.pool.queued.fetch_add(jobs.len(), Ordering::Relaxed);
+        self.sync_pool_gauges();
+        let (next, slots, job) = (&next, &slots, &job);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker in 0..workers {
+                scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(input) = jobs.get(index) else { break };
+                    self.pool.queued.fetch_sub(1, Ordering::Relaxed);
+                    self.pool.running.fetch_add(1, Ordering::Relaxed);
+                    self.sync_pool_gauges();
+                    let started = Instant::now();
                     let result = job(input);
-                    lock(&slots)[index] = Some(result);
+                    self.pool.busy_ns[worker]
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.pool.running.fetch_sub(1, Ordering::Relaxed);
+                    self.sync_pool_gauges();
+                    lock(slots)[index] = Some(result);
                 });
             }
         });
-        let results = lock(&slots)
+        let results = lock(slots)
             .drain(..)
             .map(|slot| slot.unwrap_or_else(|| unreachable!("every job index filled")))
             .collect();
@@ -1206,6 +1569,7 @@ mod tests {
             ed: 0.93,
             cycles: 123_456,
             instructions: 654_321,
+            fetches: 222_333,
         };
         let key = checkpoint_key(row.benchmark, row.geometry, row.scheme, InputSet::Small);
         let line = checkpoint_line(&key, &row);

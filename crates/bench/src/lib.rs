@@ -26,6 +26,7 @@ pub mod autotune;
 pub mod baseline;
 pub mod chaos;
 pub mod engine;
+pub mod obs;
 pub mod perf;
 pub mod timing;
 
@@ -41,8 +42,8 @@ use wp_core::wp_workloads::{Benchmark, InputSet};
 use wp_core::{Measurement, Scheme};
 
 pub use engine::{
-    Engine, EngineStats, Experiment, JobFailure, JobPhase, JobRow, RetryPolicy, SharedError,
-    SuiteReport,
+    Engine, EngineStats, Experiment, JobFailure, JobPhase, JobRow, PoolSnapshot, RetryPolicy,
+    SharedError, SuiteReport,
 };
 pub use json::Json;
 
@@ -169,8 +170,7 @@ pub const FIGURE5_AREAS: [u32; 6] = [32 * 1024, 16 * 1024, 8 * 1024, 4 * 1024, 2
 /// directory.
 #[must_use]
 pub fn manifest_path(fig: &str) -> PathBuf {
-    let dir = std::env::var_os("WP_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
-    dir.join(format!("BENCH_{fig}.json"))
+    wp_core::env::bench_dir().join(format!("BENCH_{fig}.json"))
 }
 
 /// Where a figure's JSONL checkpoint lives (next to its manifest):
@@ -179,8 +179,7 @@ pub fn manifest_path(fig: &str) -> PathBuf {
 /// incomplete; removed once every job has succeeded.
 #[must_use]
 pub fn checkpoint_path(fig: &str) -> PathBuf {
-    let dir = std::env::var_os("WP_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
-    dir.join(format!("BENCH_{fig}.checkpoint.jsonl"))
+    wp_core::env::bench_dir().join(format!("BENCH_{fig}.checkpoint.jsonl"))
 }
 
 /// [`run_suite`] with checkpoint/resume: completed rows stream to

@@ -68,6 +68,7 @@ fn describe_golden() {
             demotions: 0,
             promotions: 0,
             final_scheme: wp_core::wp_mem::FetchScheme::WayMemoization,
+            transitions: Vec::new(),
         },
         energy: EnergyReport {
             icache: Default::default(),

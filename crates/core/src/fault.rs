@@ -158,6 +158,10 @@ pub struct FaultTrial {
     pub icache_pj: f64,
     /// Absolute detection/recovery energy of the faulted run, in pJ.
     pub recovery_pj: f64,
+    /// Every ladder move the degradation controller took, in window
+    /// order (empty without a policy or when the run ended in a typed
+    /// error).
+    pub transitions: Vec<wp_sim::SchemeTransition>,
 }
 
 /// Runs `scheme` on `workbench` with `spec` injected and classifies
@@ -189,7 +193,7 @@ pub fn fault_trial_with(
     clean: &Measurement,
 ) -> FaultTrial {
     let spec = options.fault.unwrap_or(FaultSpec::Hardware(FaultConfig::all(0, 0)));
-    let (outcome, resilience) = match measure_with(workbench, icache, scheme, options) {
+    let (outcome, faulted) = match measure_with(workbench, icache, scheme, options) {
         Ok((faulted, _)) => (
             FaultOutcome::Graceful {
                 cycle_ratio: if clean.run.cycles == 0 {
@@ -200,38 +204,38 @@ pub fn fault_trial_with(
                 energy_ratio: faulted.normalized_icache_energy(clean),
                 faults_injected: faulted.run.faults.total(),
             },
-            Some((
-                faulted.run.detection,
-                faulted.run.demotions,
-                faulted.run.promotions,
-                faulted.run.final_scheme,
-                faulted.run.fetch.fetches,
-                faulted.energy.icache_pj(),
-                faulted.energy.recovery_pj,
-            )),
+            Some(faulted),
         ),
         Err(CoreError::ChecksumMismatch { expected, actual, .. }) => {
             (FaultOutcome::SilentCorruption { expected, actual }, None)
         }
         Err(error) => (FaultOutcome::Detected { error: error.to_string() }, None),
     };
-    let (detection, demotions, promotions, final_scheme, fetches, icache_pj, recovery_pj) =
-        match resilience {
-            Some((d, dem, pro, scheme, fetches, icache_pj, recovery_pj)) => {
-                (d, dem, pro, Some(scheme), fetches, icache_pj, recovery_pj)
-            }
-            None => (DetectionStats::new(), 0, 0, None, 0, 0.0, 0.0),
-        };
-    FaultTrial {
-        spec,
-        outcome,
-        detection,
-        demotions,
-        promotions,
-        final_scheme,
-        fetches,
-        icache_pj,
-        recovery_pj,
+    match faulted {
+        Some(m) => FaultTrial {
+            spec,
+            outcome,
+            detection: m.run.detection,
+            demotions: m.run.demotions,
+            promotions: m.run.promotions,
+            final_scheme: Some(m.run.final_scheme),
+            fetches: m.run.fetch.fetches,
+            icache_pj: m.energy.icache_pj(),
+            recovery_pj: m.energy.recovery_pj,
+            transitions: m.run.transitions,
+        },
+        None => FaultTrial {
+            spec,
+            outcome,
+            detection: DetectionStats::new(),
+            demotions: 0,
+            promotions: 0,
+            final_scheme: None,
+            fetches: 0,
+            icache_pj: 0.0,
+            recovery_pj: 0.0,
+            transitions: Vec::new(),
+        },
     }
 }
 

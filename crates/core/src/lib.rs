@@ -69,6 +69,12 @@ pub use wp_energy;
 pub use wp_isa;
 pub use wp_linker;
 pub use wp_mem;
+pub use wp_obs;
 pub use wp_sim;
 pub use wp_trace;
 pub use wp_workloads;
+
+/// The unified `WP_*` environment gate (documented home:
+/// `wp_core::env`, implemented in the bottom-of-stack `wp-obs` crate
+/// so `wp-trace` can share it without a dependency cycle).
+pub use wp_obs::env;

@@ -28,7 +28,8 @@ use wp_mem::rng::SplitMix64;
 use wp_mem::{CacheGeometry, FaultConfig, MemoryConfig, MemorySystem};
 
 fn quick() -> bool {
-    std::env::var_os("WP_QUICK").is_some()
+    // The unified env gate: WP_QUICK set, non-empty and not "0".
+    wp_core::env::quick()
 }
 
 /// The figure-6 geometry grid (16/32/64 KB × 8/16/32 ways, 32 B lines).
@@ -243,7 +244,7 @@ fn golden_stream_fingerprints_are_stable() {
     for (scheme, config) in scheme_configs(geom, 0) {
         got.push((scheme, assert_invariants(scheme, config, &stream)));
     }
-    if std::env::var_os("WP_PRINT_GOLDEN").is_some() {
+    if wp_core::env::print_golden() {
         for (scheme, print) in &got {
             println!("    (\"{scheme}\", {print:#018x}),");
         }

@@ -1,0 +1,276 @@
+//! Structured, seed-deterministic event journal.
+//!
+//! The worker pool delivers events in a racy physical order, so raw
+//! emission order cannot be compared across runs. Every event instead
+//! carries a deterministic sort key: a *group* (allocated sequentially
+//! by whoever owns a unit of work — one group per engine job, plus
+//! reserved groups for run-level bookends) and a *local* index
+//! (monotone within the group, assigned by the single thread that runs
+//! that job). Export stable-sorts by `(group, local)` and only then
+//! assigns the monotone `seq` numbers, so two runs of the same seeded
+//! workload serialise to byte-identical JSONL no matter how the pool
+//! interleaved them.
+//!
+//! Events also carry a wall-clock arrival stamp for live rendering
+//! (`--watch` sparklines); it is deliberately *not* serialised.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One journal event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Deterministic ordering group (see module docs).
+    pub group: u64,
+    /// Monotone index within the group.
+    pub local: u32,
+    /// Event kind, e.g. `job_start`, `job_retry`, `demotion`.
+    pub kind: &'static str,
+    /// Sorted attribute list; values are pre-rendered strings.
+    pub attrs: Vec<(&'static str, String)>,
+    /// Wall-clock arrival in microseconds since the journal was
+    /// created. Live-display only; excluded from serialisation.
+    pub wall_us: u64,
+}
+
+/// Append-only event journal. Cheap to clone an `Arc` of; emission is
+/// one mutex push.
+pub struct Journal {
+    events: Mutex<Vec<Event>>,
+    next_group: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal {
+            events: Mutex::new(Vec::new()),
+            next_group: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Journal {
+    /// Fresh, empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve `n` consecutive ordering groups and return the first.
+    /// Callers must allocate from a deterministic point (e.g. the
+    /// single-threaded start of a suite run) for exports to be
+    /// reproducible.
+    pub fn alloc_groups(&self, n: u64) -> u64 {
+        self.next_group.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// A scoped emitter bound to one group, handing out `local`
+    /// indices monotonically.
+    #[must_use]
+    pub fn scope(self: &Arc<Self>, group: u64) -> Scope {
+        Scope { journal: Arc::clone(self), group, local: AtomicU32::new(0) }
+    }
+
+    fn push(&self, event: Event) {
+        let mut events = match self.events.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        events.push(event);
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self.events.lock() {
+            Ok(g) => g.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the events in deterministic `(group, local)` order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut events = match self.events.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        events.sort_by_key(|e| (e.group, e.local));
+        events
+    }
+
+    /// Serialise the journal as JSONL: one object per line, sorted by
+    /// `(group, local)`, with monotone `seq` numbers assigned at export
+    /// time. Wall-clock stamps are excluded, so the output is
+    /// byte-identical across runs of the same seeded workload.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, e) in self.snapshot().iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"seq\":{seq},\"group\":{},\"local\":{},\"kind\":\"{}\"",
+                e.group,
+                e.local,
+                escape(e.kind)
+            ));
+            for (k, v) in &e.attrs {
+                out.push_str(&format!(",\"{}\":\"{}\"", escape(k), escape(v)));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Count events of one kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: &str) -> u64 {
+        let events = match self.events.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        events.iter().filter(|e| e.kind == kind).count() as u64
+    }
+
+    /// Count events of one kind where attribute `key` equals `value`.
+    #[must_use]
+    pub fn count_kind_attr(&self, kind: &str, key: &str, value: &str) -> u64 {
+        let events = match self.events.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        events
+            .iter()
+            .filter(|e| e.kind == kind && e.attrs.iter().any(|(k, v)| *k == key && v == value))
+            .count() as u64
+    }
+
+    /// Microseconds since the journal was created (live display).
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Emitter bound to one ordering group.
+pub struct Scope {
+    journal: Arc<Journal>,
+    group: u64,
+    local: AtomicU32,
+}
+
+impl Scope {
+    /// Emit an event in this group. Attribute values are rendered
+    /// strings; keep them free of wall-clock content if the journal is
+    /// to stay run-deterministic.
+    pub fn emit(&self, kind: &'static str, attrs: Vec<(&'static str, String)>) {
+        let local = self.local.fetch_add(1, Ordering::Relaxed);
+        let wall_us = self.journal.now_us();
+        self.journal.push(Event { group: self.group, local, kind, attrs, wall_us });
+    }
+
+    /// The group this scope emits into.
+    #[must_use]
+    pub fn group(&self) -> u64 {
+        self.group
+    }
+}
+
+/// Minimal JSON string escaping (backslash, quote, control bytes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn export_is_emission_order_independent() {
+        // Two journals, same logical events, opposite physical order.
+        let a = Arc::new(Journal::new());
+        let b = Arc::new(Journal::new());
+        for j in [&a, &b] {
+            j.alloc_groups(3);
+        }
+        let (s0a, s1a) = (a.scope(0), a.scope(1));
+        s0a.emit("start", vec![("job", "x".into())]);
+        s1a.emit("start", vec![("job", "y".into())]);
+        let (s0b, s1b) = (b.scope(0), b.scope(1));
+        s1b.emit("start", vec![("job", "y".into())]);
+        s0b.emit("start", vec![("job", "x".into())]);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn seq_numbers_are_monotone_and_dense() {
+        let j = Arc::new(Journal::new());
+        j.alloc_groups(4);
+        for g in (0..4).rev() {
+            let s = j.scope(g);
+            s.emit("e", vec![]);
+            s.emit("e", vec![]);
+        }
+        let text = j.to_jsonl();
+        for (i, line) in text.lines().enumerate() {
+            assert!(line.starts_with(&format!("{{\"seq\":{i},")), "line {i}: {line}");
+        }
+        assert_eq!(text.lines().count(), 8);
+    }
+
+    #[test]
+    fn concurrent_emission_is_deterministic() {
+        let render = || {
+            let j = Arc::new(Journal::new());
+            j.alloc_groups(8);
+            thread::scope(|scope| {
+                for g in 0..8u64 {
+                    let j = Arc::clone(&j);
+                    scope.spawn(move || {
+                        let s = j.scope(g);
+                        for i in 0..5 {
+                            s.emit("tick", vec![("i", i.to_string())]);
+                        }
+                    });
+                }
+            });
+            j.to_jsonl()
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn escaping_and_counts() {
+        let j = Arc::new(Journal::new());
+        j.alloc_groups(1);
+        let s = j.scope(0);
+        s.emit("odd", vec![("msg", "a\"b\\c\nd".into())]);
+        s.emit("odd", vec![("msg", "plain".into())]);
+        s.emit("even", vec![]);
+        assert_eq!(j.count_kind("odd"), 2);
+        assert_eq!(j.count_kind_attr("odd", "msg", "plain"), 1);
+        let text = j.to_jsonl();
+        assert!(text.contains("a\\\"b\\\\c\\nd"), "bad escape: {text}");
+    }
+}

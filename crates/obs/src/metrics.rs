@@ -1,0 +1,578 @@
+//! Process-wide metrics: atomic counters and gauges plus log-bucketed
+//! histograms with a deterministic quantile readout.
+//!
+//! Everything here is lock-free on the hot path (a `record` is one or
+//! two `fetch_add`s); the registry itself is a mutex-guarded `BTreeMap`
+//! touched only at registration and export time. Histograms use a
+//! log-linear bucket layout (16 exact linear buckets, then four
+//! sub-buckets per power of two), so quantile readout is deterministic:
+//! the same multiset of samples always reports the same quantiles, in
+//! whatever order the worker pool delivered them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotone event counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (also what the registry
+    /// hands back on a name/kind conflict, so callers never panic).
+    #[must_use]
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depth, running workers).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    #[must_use]
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: values 0..15 get exact linear buckets,
+/// then four sub-buckets per power of two up to `u64::MAX`.
+pub const BUCKETS: usize = 16 + 60 * 4;
+
+/// Bucket index for a sample. Exact below 16; above, the bucket is
+/// identified by the sample's top three significant bits.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (msb - 2)) & 0b11) as usize;
+        16 + (msb - 4) * 4 + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket — the deterministic representative
+/// value reported for any sample that landed in it.
+#[must_use]
+pub fn bucket_upper(index: usize) -> u64 {
+    if index < 16 {
+        index as u64
+    } else {
+        let oct = (index - 16) / 4;
+        let sub = (index - 16) % 4;
+        let msb = oct + 4;
+        let upper = ((4 + sub as u128 + 1) << (msb - 2)) - 1;
+        u64::try_from(upper).unwrap_or(u64::MAX)
+    }
+}
+
+struct HistCore {
+    buckets: Vec<AtomicU64>, // BUCKETS entries
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64, // u64::MAX until first sample
+    max: AtomicU64,
+}
+
+/// Log-bucketed histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistCore {
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    #[must_use]
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed); // wraps only past 2^64 total
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Taken while writers are quiescent the
+    /// snapshot is exact; taken mid-flight the per-field reads are each
+    /// atomic but not mutually consistent (fine for live display).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        HistogramSnapshot {
+            buckets: c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+            min: c.min.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable histogram state: the unit of quantile readout and merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: vec![0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping past `2^64`).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket sample counts (length [`BUCKETS`]).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Deterministic quantile readout: the representative (inclusive
+    /// upper bound, clamped to the observed `[min, max]`) of the bucket
+    /// holding the sample of rank `ceil(q * count)`. `quantile(0.0)` is
+    /// the min, `quantile(1.0)` the max; an empty histogram reads 0
+    /// everywhere.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge two snapshots. Exact on counts and buckets; the sum wraps
+    /// like the live histogram's. Associative and commutative, which
+    /// the property suite exercises.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self.buckets.iter().zip(&other.buckets).map(|(a, b)| a + b).collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// An exported view of one metric, for Prometheus rendering and
+/// manifest building.
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Help string.
+        help: String,
+        /// Current value.
+        value: u64,
+    },
+    /// Gauge level.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Help string.
+        help: String,
+        /// Current level.
+        value: i64,
+    },
+    /// Histogram state.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Help string.
+        help: String,
+        /// Snapshot of the distribution.
+        snapshot: HistogramSnapshot,
+    },
+}
+
+/// Named registry of metrics. Registration is get-or-create by name; a
+/// name registered twice with different kinds yields a detached metric
+/// (recorded but never exported) rather than a panic, and bumps
+/// [`Registry::kind_conflicts`].
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, (String, Metric)>>,
+    conflicts: AtomicU64,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_entry<T>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl FnOnce(&Metric) -> Option<T>,
+        detached: impl FnOnce() -> T,
+    ) -> T {
+        let mut map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let (_, metric) = map.entry(name.to_string()).or_insert_with(|| (help.to_string(), make()));
+        pick(metric).unwrap_or_else(|| {
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            detached()
+        })
+    }
+
+    /// Get or register a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.with_entry(
+            name,
+            help,
+            || Metric::Counter(Counter::default()),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            Counter::detached,
+        )
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.with_entry(
+            name,
+            help,
+            || Metric::Gauge(Gauge::default()),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            Gauge::detached,
+        )
+    }
+
+    /// Get or register a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.with_entry(
+            name,
+            help,
+            || Metric::Histogram(Histogram::default()),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            Histogram::detached,
+        )
+    }
+
+    /// How many registrations hit an existing name with a different kind.
+    #[must_use]
+    pub fn kind_conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Current value of a registered counter.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match map.get(name) {
+            Some((_, Metric::Counter(c))) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Current level of a registered gauge.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        let map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match map.get(name) {
+            Some((_, Metric::Gauge(g))) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of a registered histogram.
+    #[must_use]
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match map.get(name) {
+            Some((_, Metric::Histogram(h))) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Export every registered metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        map.iter()
+            .map(|(name, (help, metric))| match metric {
+                Metric::Counter(c) => MetricSnapshot::Counter {
+                    name: name.clone(),
+                    help: help.clone(),
+                    value: c.get(),
+                },
+                Metric::Gauge(g) => {
+                    MetricSnapshot::Gauge { name: name.clone(), help: help.clone(), value: g.get() }
+                }
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    name: name.clone(),
+                    help: help.clone(),
+                    snapshot: h.snapshot(),
+                },
+            })
+            .collect()
+    }
+
+    /// Render the whole registry in the Prometheus text exposition
+    /// format (sorted by name; histogram buckets are cumulative with
+    /// only occupied boundaries emitted, plus `+Inf`).
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for snap in self.snapshot() {
+            match snap {
+                MetricSnapshot::Counter { name, help, value } => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+                    ));
+                }
+                MetricSnapshot::Gauge { name, help, value } => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+                    ));
+                }
+                MetricSnapshot::Histogram { name, help, snapshot } => {
+                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (i, n) in snapshot.buckets().iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        cum += n;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_upper(i)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        snapshot.count(),
+                        snapshot.sum(),
+                        snapshot.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_upper_agree() {
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 63, 100, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_upper(i) >= v, "upper({i})={} < {v}", bucket_upper(i));
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "sample {v} fits an earlier bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_buckets_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let h = Histogram::default();
+        for v in [3u64, 900, 901, 902, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 3 + 900 + 901 + 902 + 7);
+        assert_eq!(s.min(), 3);
+        assert_eq!(s.max(), 902);
+        assert_eq!(s.quantile(0.0), 3);
+        assert_eq!(s.quantile(1.0), 902);
+        assert!(s.quantile(0.5) >= 3 && s.quantile(0.5) <= 902);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count(), s.sum(), s.min(), s.max(), s.quantile(0.5)), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn registry_get_or_create_and_conflicts() {
+        let r = Registry::new();
+        let a = r.counter("wp_x_total", "x");
+        let b = r.counter("wp_x_total", "x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("wp_x_total"), Some(3));
+        // Same name, different kind: detached, not a panic.
+        let g = r.gauge("wp_x_total", "x");
+        g.set(99);
+        assert_eq!(r.counter_value("wp_x_total"), Some(3));
+        assert_eq!(r.kind_conflicts(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let r = Registry::new();
+        r.counter("wp_jobs_total", "jobs").add(4);
+        r.gauge("wp_queue_depth", "depth").set(2);
+        let h = r.histogram("wp_fetches", "per-job fetches");
+        h.record(10);
+        h.record(5000);
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE wp_jobs_total counter"));
+        assert!(text.contains("wp_jobs_total 4"));
+        assert!(text.contains("wp_queue_depth 2"));
+        assert!(text.contains("# TYPE wp_fetches histogram"));
+        assert!(text.contains("wp_fetches_count 2"));
+        assert!(text.contains("wp_fetches_sum 5010"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+    }
+}

@@ -53,6 +53,37 @@ fn ladder_for(scheme: FetchScheme) -> Vec<FetchScheme> {
     }
 }
 
+/// One ladder move, recorded for post-run observability: which window
+/// boundary closed, which rung the controller left and entered, and
+/// the detected-fault delta that drove the decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SchemeTransition {
+    /// Cumulative fetch count at which the deciding window closed.
+    pub boundary: u64,
+    /// Rung the controller was on.
+    pub from: FetchScheme,
+    /// Rung it moved to.
+    pub to: FetchScheme,
+    /// Detected faults inside the closing window.
+    pub window_faults: u64,
+}
+
+impl SchemeTransition {
+    /// True when this move went *down* the ladder (toward less
+    /// speculative way state).
+    #[must_use]
+    pub fn is_demotion(&self) -> bool {
+        fn rank(s: FetchScheme) -> u8 {
+            match s {
+                FetchScheme::WayPlacement => 3,
+                FetchScheme::WayMemoization | FetchScheme::WayPrediction => 2,
+                FetchScheme::Baseline => 0,
+            }
+        }
+        rank(self.to) < rank(self.from)
+    }
+}
+
 /// Tracks the windowed detected-fault rate and decides which rung of
 /// the scheme ladder the fetch engine should run on.
 #[derive(Clone, Debug)]
@@ -65,6 +96,9 @@ pub struct DegradationController {
     promotions: u64,
     last_detected: u64,
     next_boundary: u64,
+    windows_closed: u64,
+    faulty_windows: u64,
+    transitions: Vec<SchemeTransition>,
 }
 
 impl DegradationController {
@@ -80,6 +114,9 @@ impl DegradationController {
             promotions: 0,
             last_detected: 0,
             next_boundary: policy.window_fetches.max(1),
+            windows_closed: 0,
+            faulty_windows: 0,
+            transitions: Vec::new(),
         }
     }
 
@@ -109,24 +146,60 @@ impl DegradationController {
         self.promotions
     }
 
+    /// Observation windows closed so far.
+    #[must_use]
+    pub fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// Closed windows whose detected-fault delta met the demotion
+    /// threshold (the numerator of the windowed fault rate).
+    #[must_use]
+    pub fn faulty_windows(&self) -> u64 {
+        self.faulty_windows
+    }
+
+    /// Every ladder move taken, in window order. The length always
+    /// equals [`demotions`](Self::demotions) +
+    /// [`promotions`](Self::promotions).
+    #[must_use]
+    pub fn transitions(&self) -> &[SchemeTransition] {
+        &self.transitions
+    }
+
     /// Closes every window `fetches` has passed, fed with the
     /// cumulative detected-fault count, and returns the scheme to
     /// switch to when the rung changed.
     pub fn observe(&mut self, fetches: u64, detected: u64) -> Option<FetchScheme> {
         let before = self.level;
         while fetches >= self.next_boundary {
+            let boundary = self.next_boundary;
             self.next_boundary += self.policy.window_fetches.max(1);
             let delta = detected.saturating_sub(self.last_detected);
             self.last_detected = detected;
+            self.windows_closed += 1;
             if delta >= self.policy.demote_faults {
+                self.faulty_windows += 1;
                 self.clean_windows = 0;
                 if self.level + 1 < self.ladder.len() {
+                    self.transitions.push(SchemeTransition {
+                        boundary,
+                        from: self.ladder[self.level],
+                        to: self.ladder[self.level + 1],
+                        window_faults: delta,
+                    });
                     self.level += 1;
                     self.demotions += 1;
                 }
             } else if delta == 0 {
                 self.clean_windows += 1;
                 if self.clean_windows >= self.policy.promote_windows && self.level > 0 {
+                    self.transitions.push(SchemeTransition {
+                        boundary,
+                        from: self.ladder[self.level],
+                        to: self.ladder[self.level - 1],
+                        window_faults: 0,
+                    });
                     self.level -= 1;
                     self.promotions += 1;
                     self.clean_windows = 0;
@@ -193,6 +266,27 @@ mod tests {
         assert_eq!(ctrl.demotions(), 1);
         assert_eq!(ctrl.promotions(), 1);
         assert_eq!(ctrl.next_boundary(), 600);
+    }
+
+    #[test]
+    fn transitions_record_every_ladder_move() {
+        let mut ctrl = DegradationController::new(policy(), FetchScheme::WayPlacement);
+        ctrl.observe(100, 4); // demote
+        ctrl.observe(200, 8); // demote
+        ctrl.observe(300, 8); // quiet
+        ctrl.observe(400, 8); // quiet -> promote
+        let t = ctrl.transitions();
+        assert_eq!(t.len() as u64, ctrl.demotions() + ctrl.promotions());
+        assert_eq!(t.len(), 3);
+        assert!(t[0].is_demotion() && t[1].is_demotion() && !t[2].is_demotion());
+        assert_eq!(t[0].boundary, 100);
+        assert_eq!(t[0].window_faults, 4);
+        assert_eq!(
+            (t[2].from, t[2].to, t[2].boundary, t[2].window_faults),
+            (FetchScheme::Baseline, FetchScheme::WayMemoization, 400, 0)
+        );
+        assert_eq!(ctrl.windows_closed(), 4);
+        assert_eq!(ctrl.faulty_windows(), 2);
     }
 
     #[test]

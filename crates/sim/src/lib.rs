@@ -68,7 +68,7 @@ mod exec;
 mod machine;
 mod simulator;
 
-pub use degrade::{DegradationController, DegradationPolicy};
+pub use degrade::{DegradationController, DegradationPolicy, SchemeTransition};
 pub use exec::{Control, ExecError, InsnClass, Step};
 pub use machine::{Machine, MemFault, MEMORY_BYTES};
 pub use simulator::{

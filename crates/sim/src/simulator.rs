@@ -203,6 +203,9 @@ pub struct RunResult {
     /// The fetch scheme the run ended on (differs from the configured
     /// scheme only when degradation demoted it).
     pub final_scheme: FetchScheme,
+    /// Every ladder move the degradation controller took, in window
+    /// order (empty with degradation off).
+    pub transitions: Vec<crate::SchemeTransition>,
 }
 
 impl RunResult {
@@ -519,6 +522,9 @@ pub fn simulate_traced<S: TraceSink>(
                                 .as_ref()
                                 .map_or(0, DegradationController::promotions),
                             final_scheme: mem.current_scheme(),
+                            transitions: degrade
+                                .as_ref()
+                                .map_or_else(Vec::new, |c| c.transitions().to_vec()),
                         });
                     }
                     syscall::PUTC => output.push(arg as u8),

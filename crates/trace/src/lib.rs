@@ -74,8 +74,9 @@ pub use span::{SpanCollector, SpanEvent};
 
 /// Whether `$WP_TRACE` requests tracing: set and neither empty nor
 /// `"0"`. The construction-time gate the harness uses; the simulator
-/// itself is gated by the sink type, not the environment.
+/// itself is gated by the sink type, not the environment. Delegates to
+/// [`wp_obs::env`], the one place that reads `WP_*` variables.
 #[must_use]
 pub fn trace_enabled() -> bool {
-    std::env::var_os("WP_TRACE").is_some_and(|v| !v.is_empty() && v != *"0")
+    wp_obs::env::trace_enabled()
 }

@@ -36,6 +36,27 @@ if [[ "$quick" -eq 1 ]]; then
     fi
     rm -rf "$smoke_chaos_dir"
 
+    echo "== obs_report smoke (reconcile + journal determinism + sabotage) =="
+    obs_dir_a="$(mktemp -d)"
+    obs_dir_b="$(mktemp -d)"
+    WP_BENCH_DIR="$obs_dir_a" cargo run --release -q --bin obs_report -- --quick
+    WP_BENCH_DIR="$obs_dir_b" cargo run --release -q --bin obs_report -- --quick >/dev/null
+    # Two armed runs must serialise to byte-identical journals.
+    if ! cmp -s "$obs_dir_a/OBS_journal.jsonl" "$obs_dir_b/OBS_journal.jsonl"; then
+        echo "armed journals diverged across identical runs" >&2
+        exit 1
+    fi
+    # An injected metric mismatch must fail the cross-checks with exit
+    # code exactly 1.
+    obs_code=0
+    WP_BENCH_DIR="$obs_dir_a" cargo run --release -q --bin obs_report -- --quick --sabotage \
+        >/dev/null || obs_code=$?
+    if [[ "$obs_code" -ne 1 ]]; then
+        echo "obs_report --sabotage: expected exit 1, got $obs_code" >&2
+        exit 1
+    fi
+    rm -rf "$obs_dir_a" "$obs_dir_b"
+
     echo "== stored-baseline smoke (self-bless + gate + perturbed) =="
     smoke_dir="$(mktemp -d)"
     trap 'rm -rf "$smoke_dir"' EXIT
@@ -120,6 +141,13 @@ if [[ "$quick" -eq 0 ]]; then
     fi
     if [[ ! -s "$smoke_dir/BENCH_trace_diff.json" ]]; then
         echo "missing manifest: BENCH_trace_diff.json" >&2
+        exit 1
+    fi
+
+    echo "== obs_report (full reconciliation + armed overhead bound) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin obs_report
+    if [[ ! -s "$smoke_dir/BENCH_obs_report.json" ]]; then
+        echo "missing manifest: BENCH_obs_report.json" >&2
         exit 1
     fi
 

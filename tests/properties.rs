@@ -1,9 +1,12 @@
 //! Property tests for the end-to-end API surface (`align_area`
-//! arithmetic, layout-invariance of `Workbench::link`) and for the
+//! arithmetic, layout-invariance of `Workbench::link`), for the
 //! structure-of-arrays fetch-core invariants: the valid bitset's
 //! popcount matches the resident-line enumeration, no set holds two
 //! valid lines with one tag, way-hint slab entries stay below the
-//! associativity, and LRU eviction follows true recency order.
+//! associativity, and LRU eviction follows true recency order — and
+//! for the `wp-obs` histogram (bucket totals partition the sample
+//! count, quantile readout is monotone and brackets the exact sample,
+//! merge is associative/commutative and agrees with concatenation).
 //!
 //! Runs on the dependency-free seeded sampler (`wp_mem::rng`) because
 //! `proptest` is unavailable offline; the seeds are fixed so every run
@@ -267,6 +270,142 @@ fn way_hint_slab_entries_stay_below_associativity() {
                 }
             }
         }
+    }
+}
+
+/// Runs `check` on `samples`; on failure, greedily delta-reduces the
+/// stream while it still fails and panics with the minimal repro
+/// (mirrors [`assert_shrunk`] for histogram sample streams).
+fn assert_shrunk_samples(samples: Vec<u64>, check: impl Fn(&[u64]) -> Result<(), String>) {
+    let Err(first) = check(&samples) else { return };
+    let mut minimal = samples;
+    let mut i = 0;
+    while i < minimal.len() {
+        let mut candidate = minimal.clone();
+        candidate.remove(i);
+        if check(&candidate).is_err() {
+            minimal = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    let message = check(&minimal).err().unwrap_or(first);
+    panic!("property failed: {message}\nminimal repro ({} samples): {minimal:?}", minimal.len());
+}
+
+/// Log-uniform sample stream: right-shifting by a sampled amount walks
+/// every bucket regime (linear, log-linear, near-`u64::MAX`).
+fn sample_stream(rng: &mut SplitMix64, len: usize) -> Vec<u64> {
+    (0..len).map(|_| rng.next_u64() >> rng.below(64)).collect()
+}
+
+fn snapshot_of(samples: &[u64]) -> wp_core::wp_obs::metrics::HistogramSnapshot {
+    let h = wp_core::wp_obs::metrics::Histogram::detached();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Bucket totals partition the stream: the per-bucket counts sum to the
+/// sample count, every sample lands in the bucket whose bounds admit
+/// it, and count/sum/min/max agree with the stream.
+#[test]
+fn histogram_bucket_totals_match_sample_count() {
+    use wp_core::wp_obs::metrics::{bucket_index, bucket_upper};
+    let mut rng = SplitMix64::new(0x0b50_0001);
+    for _ in 0..8 {
+        let samples = sample_stream(&mut rng, 800);
+        assert_shrunk_samples(samples, |samples| {
+            let s = snapshot_of(samples);
+            let bucket_total: u64 = s.buckets().iter().sum();
+            if bucket_total != samples.len() as u64 || s.count() != samples.len() as u64 {
+                return Err(format!(
+                    "buckets sum to {bucket_total}, count reads {}, stream has {}",
+                    s.count(),
+                    samples.len()
+                ));
+            }
+            let mut sum = 0u64;
+            for &v in samples {
+                sum = sum.wrapping_add(v);
+                let i = bucket_index(v);
+                if bucket_upper(i) < v || (i > 0 && bucket_upper(i - 1) >= v) {
+                    return Err(format!("sample {v} misfiled into bucket {i}"));
+                }
+            }
+            if s.sum() != sum {
+                return Err(format!("sum reads {}, stream wraps to {sum}", s.sum()));
+            }
+            let (min, max) = (samples.iter().min(), samples.iter().max());
+            if Some(&s.min()) != min.or(Some(&0)) || Some(&s.max()) != max.or(Some(&0)) {
+                return Err(format!("min/max read {}/{}", s.min(), s.max()));
+            }
+            Ok(())
+        });
+    }
+}
+
+/// Quantile readout is monotone in `q`, stays inside the observed
+/// range, and brackets the exact rank-order sample: the estimate is at
+/// least the true sample of that rank and at most its bucket's upper
+/// bound.
+#[test]
+fn histogram_quantiles_are_monotone_and_bracket_exact() {
+    use wp_core::wp_obs::metrics::{bucket_index, bucket_upper};
+    let mut rng = SplitMix64::new(0x0b50_0002);
+    for _ in 0..8 {
+        let samples = sample_stream(&mut rng, 600);
+        assert_shrunk_samples(samples, |samples| {
+            if samples.is_empty() {
+                return Ok(());
+            }
+            let s = snapshot_of(samples);
+            let mut sorted = samples.to_vec();
+            sorted.sort_unstable();
+            let mut previous = 0u64;
+            for step in 0..=20 {
+                let q = step as f64 / 20.0;
+                let estimate = s.quantile(q);
+                if estimate < previous {
+                    return Err(format!("quantile({q}) = {estimate} < {previous}"));
+                }
+                if estimate < s.min() || estimate > s.max() {
+                    return Err(format!("quantile({q}) = {estimate} outside observed range"));
+                }
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                if estimate < exact || estimate > bucket_upper(bucket_index(exact)).max(exact) {
+                    return Err(format!(
+                        "quantile({q}) = {estimate} does not bracket exact sample {exact}"
+                    ));
+                }
+                previous = estimate;
+            }
+            Ok(())
+        });
+    }
+}
+
+/// Merge is associative and commutative, the empty snapshot is its
+/// identity, and merging two streams equals recording their
+/// concatenation.
+#[test]
+fn histogram_merge_is_associative_commutative_and_exact() {
+    use wp_core::wp_obs::metrics::HistogramSnapshot;
+    let mut rng = SplitMix64::new(0x0b50_0003);
+    for round in 0..8 {
+        let (x, y, z) = (
+            sample_stream(&mut rng, 200 + round),
+            sample_stream(&mut rng, 300),
+            sample_stream(&mut rng, 100),
+        );
+        let (a, b, c) = (snapshot_of(&x), snapshot_of(&y), snapshot_of(&z));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)), "associativity");
+        assert_eq!(a.merge(&b), b.merge(&a), "commutativity");
+        assert_eq!(a.merge(&HistogramSnapshot::default()), a, "identity");
+        let concat: Vec<u64> = x.iter().chain(&y).copied().collect();
+        assert_eq!(a.merge(&b), snapshot_of(&concat), "merge == concatenation");
     }
 }
 
