@@ -44,7 +44,9 @@ impl BenchmarkTuning {
         wp_energy::ratio(self.predicted_pj, self.measured_pj)
     }
 
-    fn json(&self) -> Json {
+    /// One manifest row. `pub(crate)` so a campaign tune node can
+    /// publish exactly the bytes the tuned manifest will embed.
+    pub(crate) fn json(&self) -> Json {
         let chosen = self.refinement.chosen_index;
         Json::obj([
             ("benchmark", Json::from(self.benchmark.name())),
@@ -104,8 +106,20 @@ pub fn tune_benchmark(
     tolerance: f64,
     set: InputSet,
 ) -> Result<BenchmarkTuning, TuneError> {
+    tune_benchmark_on(Engine::global(), benchmark, icache, grid, tolerance, set)
+}
+
+/// [`tune_benchmark`] on an explicit engine, so a campaign tune node
+/// runs on the campaign's own pool instead of the process-global one.
+pub(crate) fn tune_benchmark_on(
+    engine: &Engine,
+    benchmark: Benchmark,
+    icache: CacheGeometry,
+    grid: &[u32],
+    tolerance: f64,
+    set: InputSet,
+) -> Result<BenchmarkTuning, TuneError> {
     let full = *grid.first().ok_or(TuneError::EmptyGrid)?;
-    let engine = Engine::global();
     let workbench = engine.workbench(benchmark).map_err(|e| measure_error(benchmark, &e))?;
 
     // One traced run at full coverage: every chain's measured tag cost
@@ -158,7 +172,34 @@ pub fn tune_suite(
         .iter()
         .map(|&benchmark| tune_benchmark(benchmark, icache, grid, tolerance, set))
         .collect::<Result<Vec<BenchmarkTuning>, TuneError>>()?;
-    let manifest = Json::obj([
+    let task_key = crate::campaign::keys::tuned_manifest(
+        benchmarks,
+        icache,
+        grid,
+        tolerance,
+        set,
+        &crate::campaign::InputTags::default(),
+    );
+    let rows = tunings.iter().map(BenchmarkTuning::json).collect();
+    let manifest = tuned_manifest_from(rows, icache, grid, tolerance, set, &task_key);
+    Ok((tunings, manifest))
+}
+
+/// Assembles the `tuned_areas/v1` manifest body from already-rendered
+/// per-benchmark tuning rows. Split from [`tune_suite`] so a campaign
+/// manifest node can build byte-identical output from stored tune
+/// payloads; `task_key` lands in a trailing provenance block
+/// (display-only — `fig5 --areas` and the diff gate ignore it).
+#[must_use]
+pub fn tuned_manifest_from(
+    rows: Vec<Json>,
+    icache: CacheGeometry,
+    grid: &[u32],
+    tolerance: f64,
+    set: InputSet,
+    task_key: &wp_campaign::TaskKey,
+) -> Json {
+    Json::obj([
         ("schema", Json::from(TUNED_SCHEMA)),
         ("tolerance", Json::from(tolerance)),
         ("geometry", Json::from(icache.to_string())),
@@ -170,7 +211,7 @@ pub fn tune_suite(
             }),
         ),
         ("grid", Json::arr(grid.iter().map(|&a| Json::from(a)))),
-        ("benchmarks", Json::arr(tunings.iter().map(BenchmarkTuning::json))),
-    ]);
-    Ok((tunings, manifest))
+        ("benchmarks", Json::Arr(rows)),
+        ("provenance", Json::obj([("task_key", Json::from(task_key.hex().as_str()))])),
+    ])
 }

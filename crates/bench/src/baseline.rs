@@ -23,10 +23,13 @@
 //! cheap.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use wp_campaign::{Store, TaskKey};
 use wp_core::{measure_traced, MeasureOptions, Scheme};
 use wp_energy::CacheEnergyModel;
 use wp_mem::{CacheGeometry, FetchStats};
+use wp_obs::Obs;
 use wp_trace::{ChainAttribution, TraceRecorder};
 use wp_tune::{DiffThresholds, TraceDiff, TraceSet, TuneError, DEFAULT_TOLERANCE};
 use wp_workloads::{Benchmark, InputSet};
@@ -134,8 +137,20 @@ fn canonical_run(
     scheme: Scheme,
     set: InputSet,
 ) -> Result<Json, TuneError> {
+    canonical_run_on(Engine::global(), benchmark, icache, scheme, set)
+}
+
+/// [`canonical_run`] on an explicit engine, so a campaign trace-run
+/// node executes on the campaign's own pool (with its retry policy and
+/// armed [`wp_obs::Obs`]) instead of the process-global engine.
+pub(crate) fn canonical_run_on(
+    engine: &Engine,
+    benchmark: Benchmark,
+    icache: CacheGeometry,
+    scheme: Scheme,
+    set: InputSet,
+) -> Result<Json, TuneError> {
     let tag = format!("{}/{}", benchmark.name(), scheme.label());
-    let engine = Engine::global();
     let workbench = engine.workbench(benchmark).map_err(|e| pipeline_error(&tag, &e))?;
     let map = workbench
         .link(scheme.layout(), set)
@@ -181,11 +196,48 @@ fn canonical_run(
     ]))
 }
 
-fn input_set_name(set: InputSet) -> &'static str {
+pub(crate) fn input_set_name(set: InputSet) -> &'static str {
     match set {
         InputSet::Small => "small",
         InputSet::Large => "large",
     }
+}
+
+/// The two way-aware schemes every trace-report run covers, in manifest
+/// order. Shared with the campaign planner so its per-run task keys
+/// describe exactly the runs [`build_trace_baseline`] performs.
+#[must_use]
+pub fn trace_schemes() -> [Scheme; 2] {
+    [Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization]
+}
+
+/// Assembles the trace-report baseline manifest from already-rendered
+/// canonical run objects. Split from [`build_trace_baseline`] so a
+/// campaign manifest node can build byte-identical output from stored
+/// run payloads without re-simulating; `task_key` lands in the
+/// provenance block (display-only — the diff gate never joins on it).
+#[must_use]
+pub fn trace_manifest_from_runs(quick: bool, runs: Vec<Json>, task_key: &TaskKey) -> Json {
+    let icache = CacheGeometry::xscale_icache();
+    let (benchmarks, set) = trace_benchmarks(quick);
+    let schemes = trace_schemes();
+    Json::obj([
+        ("schema", Json::from(BASELINE_SCHEMA)),
+        ("kind", Json::from("trace_report")),
+        (
+            "provenance",
+            Json::obj([
+                ("quick", Json::from(quick)),
+                ("input_set", Json::from(input_set_name(set))),
+                ("geometry", Json::from(icache.to_string())),
+                ("schemes", Json::arr(schemes.iter().map(|s| Json::from(s.label().as_str())))),
+                ("benchmarks", Json::arr(benchmarks.iter().map(|b| Json::from(b.name())))),
+                ("hot_chains", Json::from(TOP_K)),
+                ("task_key", Json::from(task_key.hex().as_str())),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+    ])
 }
 
 /// Builds the canonical trace-report baseline: both way-aware schemes
@@ -199,29 +251,16 @@ fn input_set_name(set: InputSet) -> &'static str {
 pub fn build_trace_baseline(quick: bool) -> Result<Json, TuneError> {
     let icache = CacheGeometry::xscale_icache();
     let (benchmarks, set) = trace_benchmarks(quick);
-    let schemes = [Scheme::WayPlacement { area_bytes: 32 * 1024 }, Scheme::WayMemoization];
+    let schemes = trace_schemes();
     let mut runs = Vec::with_capacity(benchmarks.len() * schemes.len());
     for &benchmark in benchmarks {
         for &scheme in &schemes {
             runs.push(canonical_run(benchmark, icache, scheme, set)?);
         }
     }
-    Ok(Json::obj([
-        ("schema", Json::from(BASELINE_SCHEMA)),
-        ("kind", Json::from("trace_report")),
-        (
-            "provenance",
-            Json::obj([
-                ("quick", Json::from(quick)),
-                ("input_set", Json::from(input_set_name(set))),
-                ("geometry", Json::from(icache.to_string())),
-                ("schemes", Json::arr(schemes.iter().map(|s| Json::from(s.label().as_str())))),
-                ("benchmarks", Json::arr(benchmarks.iter().map(|b| Json::from(b.name())))),
-                ("hot_chains", Json::from(TOP_K)),
-            ]),
-        ),
-        ("runs", Json::Arr(runs)),
-    ]))
+    let task_key =
+        crate::campaign::keys::trace_manifest(quick, &crate::campaign::InputTags::default());
+    Ok(trace_manifest_from_runs(quick, runs, &task_key))
 }
 
 /// Builds the canonical tuned-areas baseline: [`tune_suite`] over the
@@ -371,6 +410,67 @@ pub fn gate(
     Ok(GateReport {
         blessed_dir: blessed_dir.to_path_buf(),
         fresh_dir: fresh_dir.to_path_buf(),
+        diffs,
+    })
+}
+
+/// [`gate`] with the fresh side produced through the campaign store
+/// instead of a temp-dir re-simulation: the five baseline pipelines run
+/// as a content-addressed DAG rooted at `store`, so a warm store (e.g.
+/// right after a clean bless through the campaign) serves every
+/// manifest as a pure hit and the gate costs seconds, while a cold
+/// store computes exactly what [`gate`] would have. The diffed bytes
+/// are identical either way.
+///
+/// # Errors
+///
+/// Blessed-manifest load failures, plus any pipeline failure inside the
+/// campaign run (reported with the failing node labels). Regressions
+/// are *not* errors.
+pub fn gate_via_store(
+    blessed_dir: &Path,
+    store: &Store,
+    quick: bool,
+    thresholds: DiffThresholds,
+    obs: Option<&Arc<Obs>>,
+) -> Result<GateReport, TuneError> {
+    use crate::campaign::{self, Group};
+
+    let config = campaign::CampaignConfig::new(quick, Group::BASELINE.to_vec());
+    let run = campaign::run(&config, store, obs);
+    if !run.report.ok() {
+        let failures: Vec<String> = run
+            .report
+            .failures()
+            .iter()
+            .map(|(label, error)| format!("{label}: {error}"))
+            .collect();
+        return Err(TuneError::Measure {
+            message: format!("campaign pipelines failed: {}", failures.join("; ")),
+        });
+    }
+
+    let mut diffs = Vec::with_capacity(BASELINE_FILES.len() + 1);
+    let gates = [Group::Trace, Group::Tune, Group::Chaos, Group::Obs]
+        .into_iter()
+        .map(|group| (group, thresholds))
+        .chain([(Group::Perf, perf_thresholds())]);
+    for (group, gates) in gates {
+        let name = format!("BENCH_{}.json", group.manifest_name());
+        let blessed = TraceSet::load(&blessed_dir.join(&name))?;
+        let bytes = run.manifest(group).ok_or_else(|| TuneError::Measure {
+            message: format!("campaign produced no payload for {name}"),
+        })?;
+        let text = String::from_utf8(bytes.to_vec()).map_err(|e| TuneError::Measure {
+            message: format!("{name}: stored payload is not UTF-8: {e}"),
+        })?;
+        let stem = name.trim_start_matches("BENCH_").trim_end_matches(".json").to_string();
+        let fresh = TraceSet::parse(&text, &format!("store:{name}"), &stem)?;
+        diffs.push((name, TraceDiff::compute(&blessed, &fresh, gates)));
+    }
+    Ok(GateReport {
+        blessed_dir: blessed_dir.to_path_buf(),
+        fresh_dir: store.root().to_path_buf(),
         diffs,
     })
 }

@@ -1,45 +1,20 @@
 //! Figure 1 reproduction: three instruction fetches (`add`, `br`,
 //! `mul`) on a 2-set, 4-way cache cost 12 tag comparisons under the
 //! baseline and 3 under way-placement. The counts also land in
-//! `BENCH_fig1.json`.
+//! `BENCH_fig1.json` — via the same builder the campaign DAG uses, so
+//! both paths emit identical bytes.
 
-use wp_bench::{write_manifest, Json};
-use wp_core::wp_mem::{CacheGeometry, FetchStats, ICacheConfig, InstructionCache};
-
-fn warm_and_count(cache: &mut InstructionCache, wp: bool) -> FetchStats {
-    let addrs = [0x04u32, 0x08, 0x20];
-    for addr in addrs {
-        cache.fetch(addr, wp); // warm: fills + hint training
-    }
-    let before = *cache.stats();
-    for addr in addrs {
-        cache.fetch(addr, wp);
-    }
-    let after = *cache.stats();
-    FetchStats {
-        fetches: after.fetches - before.fetches,
-        tag_comparisons: after.tag_comparisons - before.tag_comparisons,
-        ..FetchStats::new()
-    }
-}
+use wp_bench::campaign::{fig1_data, fig1_manifest, keys};
+use wp_bench::write_manifest;
 
 fn main() {
-    // The figure's cache: 2 sets x 4 ways x 32 B lines.
-    let geom = CacheGeometry::new(256, 4, 32);
-    println!("== Figure 1: {geom}, fetching add@0x04, br@0x08, mul@0x20 ==");
-
-    let mut baseline = InstructionCache::new(ICacheConfig::baseline(geom));
-    let b = warm_and_count(&mut baseline, false);
+    let data = fig1_data();
+    println!("== Figure 1: {}, fetching add@0x04, br@0x08, mul@0x20 ==", data.geometry);
+    let (b, w) = (data.baseline, data.way_placement);
     println!(
         "baseline:      {} fetches -> {} tag comparisons (paper: 12)",
         b.fetches, b.tag_comparisons
     );
-
-    let mut wp = InstructionCache::new(ICacheConfig {
-        same_line_elision: false, // the figure isolates the way effect
-        ..ICacheConfig::way_placement(geom)
-    });
-    let w = warm_and_count(&mut wp, true);
     println!(
         "way-placement: {} fetches -> {} tag comparisons (paper: 3)",
         w.fetches, w.tag_comparisons
@@ -47,17 +22,7 @@ fn main() {
     let saving = 100.0 * (1.0 - w.tag_comparisons as f64 / b.tag_comparisons as f64);
     println!("tag-comparison saving: {saving:.0}% (paper: 75%)");
 
-    let manifest = Json::obj([
-        ("figure", Json::from("fig1")),
-        ("geometry", Json::from(geom.to_string())),
-        ("baseline_fetches", Json::from(b.fetches)),
-        ("baseline_tag_comparisons", Json::from(b.tag_comparisons)),
-        ("way_placement_fetches", Json::from(w.fetches)),
-        ("way_placement_tag_comparisons", Json::from(w.tag_comparisons)),
-        ("tag_saving_fraction", Json::from(saving / 100.0)),
-        ("paper_baseline_tag_comparisons", Json::from(12u32)),
-        ("paper_way_placement_tag_comparisons", Json::from(3u32)),
-    ]);
+    let manifest = fig1_manifest(&data, &keys::fig1());
     match write_manifest("fig1", &manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("manifest: failed to write BENCH_fig1.json: {e}"),

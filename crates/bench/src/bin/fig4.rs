@@ -8,7 +8,8 @@
 //! ≈ 68% for way-memoization), way-placement wins on every benchmark,
 //! average ED ≈ 0.93 with a couple of benchmarks below 0.9.
 
-use wp_bench::{finish, mean_ed, mean_energy, run_suite_checkpointed, Json};
+use wp_bench::campaign::{keys, provenance_json, InputTags};
+use wp_bench::{finish, mean_ed, mean_energy, run_suite_checkpointed, Experiment, Json};
 use wp_core::wp_mem::CacheGeometry;
 use wp_core::wp_workloads::Benchmark;
 use wp_core::Scheme;
@@ -36,7 +37,12 @@ fn main() {
         println!("way-placement beats way-memoization on {wins}/{} benchmarks", rows.len());
     }
 
+    // The deterministic manifest subset plus the campaign task key:
+    // byte-identical to what a warm `wp-campaign run` assembles.
+    let experiment = Experiment::new(Benchmark::ALL, [geom], schemes);
+    let key = keys::fig_manifest("fig4", &experiment, &InputTags::default());
     let mut manifest = Json::obj([("figure", Json::from("fig4"))]);
-    manifest.push("suite", report.json());
+    manifest.push("suite", report.results_json());
+    manifest.push("provenance", provenance_json(&key));
     std::process::exit(finish("fig4", &report, &manifest));
 }

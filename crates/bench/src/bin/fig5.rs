@@ -22,7 +22,10 @@
 
 use std::path::Path;
 
-use wp_bench::{finish, mean_ed, mean_energy, run_suite_checkpointed, Json, FIGURE5_AREAS};
+use wp_bench::campaign::{keys, provenance_json, InputTags};
+use wp_bench::{
+    finish, mean_ed, mean_energy, run_suite_checkpointed, Experiment, Json, FIGURE5_AREAS,
+};
 use wp_core::wp_mem::CacheGeometry;
 use wp_core::wp_workloads::Benchmark;
 use wp_core::Scheme;
@@ -234,7 +237,12 @@ fn main() {
         manifest.push("tuned", tuned_series(tuned, &rows, &grid));
         validation_failed = !ok;
     }
-    manifest.push("suite", report.json());
+    manifest.push("suite", report.results_json());
+    // The task key of the experiment actually swept (an overridden
+    // --areas grid keys differently from the standard campaign node).
+    let experiment = Experiment::new(benchmarks, [geom], schemes);
+    let key = keys::fig_manifest("fig5", &experiment, &InputTags::default());
+    manifest.push("provenance", provenance_json(&key));
     let code = finish("fig5", &report, &manifest);
     std::process::exit(if validation_failed { 1 } else { code });
 }

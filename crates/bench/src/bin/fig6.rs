@@ -12,6 +12,7 @@
 //! all benchmarks): each benchmark is assembled and profiled exactly
 //! once for all nine cache points.
 
+use wp_bench::campaign::{keys, provenance_json, InputTags};
 use wp_bench::{
     checkpoint_path, figure6_geometries, finish, mean_ed, mean_energy, Engine, Experiment, Json,
 };
@@ -60,7 +61,11 @@ fn main() {
     println!("paper: way-placement saves energy at every point; >=59% saving at 64KB/32-way;");
     println!("       way-memoization's advantage collapses at low associativity.");
 
+    // The deterministic manifest subset plus the campaign task key:
+    // byte-identical to what a warm `wp-campaign run` assembles.
+    let key = keys::fig_manifest("fig6", &experiment, &InputTags::default());
     let mut manifest = Json::obj([("figure", Json::from("fig6"))]);
-    manifest.push("suite", report.json());
+    manifest.push("suite", report.results_json());
+    manifest.push("provenance", provenance_json(&key));
     std::process::exit(finish("fig6", &report, &manifest));
 }

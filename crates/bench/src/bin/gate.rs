@@ -8,13 +8,20 @@
 //! changed grid, a renamed chain. The comparison is written to
 //! `BENCH_gate.json`.
 //!
-//! Usage: `gate [--quick] [--dir DIR] [--bless] [--rel T]
-//! [--abs-fetches N] [--abs-energy N]`
+//! Usage: `gate [--quick] [--dir DIR] [--store DIR] [--bless]
+//! [--rel T] [--abs-fetches N] [--abs-energy N]`
 //!
 //! `--quick` gates the CI smoke shape against a `bless --quick`
 //! directory; `--bless` refreshes the blessed manifests in place
 //! instead of gating — use it after an intentional change, then
 //! commit the result.
+//!
+//! With `--store DIR` (or `$WP_STORE_DIR` set) the fresh side runs
+//! through the wp-campaign content-addressed store instead of a
+//! temp-dir re-simulation: a warm store (e.g. right after a clean
+//! campaign run) serves every manifest as a pure hit and the gate
+//! costs seconds; a cold store computes exactly what the store-less
+//! path would. The diffed bytes are identical either way.
 //!
 //! Exit codes: `0` clean, `1` gated shift, structural regression or
 //! pipeline failure during the re-run, `2` usage or I/O error (a
@@ -25,13 +32,15 @@
 
 use std::path::PathBuf;
 
-use wp_bench::baseline::{bless, gate, DEFAULT_BASELINE_DIR};
+use wp_bench::baseline::{bless, gate, gate_via_store, DEFAULT_BASELINE_DIR};
 use wp_bench::write_manifest;
+use wp_campaign::Store;
 use wp_tune::{parse_threshold, DiffThresholds, TuneError};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gate [--quick] [--dir DIR] [--bless] [--rel T] [--abs-fetches N] [--abs-energy N]"
+        "usage: gate [--quick] [--dir DIR] [--store DIR] [--bless] [--rel T] [--abs-fetches N] \
+         [--abs-energy N]"
     );
     std::process::exit(2);
 }
@@ -55,6 +64,7 @@ fn run() -> Result<i32, TuneError> {
     let mut quick = false;
     let mut refresh = false;
     let mut dir = PathBuf::from(DEFAULT_BASELINE_DIR);
+    let mut store_root = wp_core::env::store_dir();
     let mut thresholds = DiffThresholds::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -62,6 +72,7 @@ fn run() -> Result<i32, TuneError> {
             "--quick" => quick = true,
             "--bless" => refresh = true,
             "--dir" => dir = PathBuf::from(iter.next().unwrap_or_else(|| usage())),
+            "--store" => store_root = Some(PathBuf::from(iter.next().unwrap_or_else(|| usage()))),
             "--rel" => thresholds.rel = parse_threshold(iter.next().unwrap_or_else(|| usage()))?,
             "--abs-fetches" => {
                 thresholds.abs_fetches = parse_threshold(iter.next().unwrap_or_else(|| usage()))?;
@@ -80,11 +91,16 @@ fn run() -> Result<i32, TuneError> {
         return Ok(0);
     }
 
-    let fresh_dir = std::env::temp_dir().join(format!("wp-gate-{}", std::process::id()));
-    let report = gate(&dir, &fresh_dir, quick, thresholds);
-    // The scratch manifests have served their purpose either way.
-    let _ = std::fs::remove_dir_all(&fresh_dir);
-    let report = report?;
+    let report = if let Some(root) = store_root {
+        eprintln!("gate: fresh side via campaign store at {}", root.display());
+        gate_via_store(&dir, &Store::new(root), quick, thresholds, None)?
+    } else {
+        let fresh_dir = std::env::temp_dir().join(format!("wp-gate-{}", std::process::id()));
+        let report = gate(&dir, &fresh_dir, quick, thresholds);
+        // The scratch manifests have served their purpose either way.
+        let _ = std::fs::remove_dir_all(&fresh_dir);
+        report?
+    };
 
     for (name, diff) in &report.diffs {
         let flags = diff.regressions();

@@ -3,7 +3,8 @@
 //! and written to `BENCH_table1.json` so downstream tooling can diff
 //! the configuration mechanically.
 
-use wp_bench::{write_manifest, Json};
+use wp_bench::campaign::{keys, table1_manifest};
+use wp_bench::write_manifest;
 use wp_core::wp_mem::{CacheGeometry, MemoryConfig};
 use wp_core::wp_sim::SimConfig;
 
@@ -38,21 +39,9 @@ fn main() {
         "Result latencies", sim.load_latency, sim.mul_latency
     );
 
-    let manifest = Json::obj([
-        ("figure", Json::from("table1")),
-        ("memory_bus_bits", Json::from(32u32)),
-        ("memory_latency_cycles", Json::from(mem.icache.miss_latency)),
-        ("tlb_entries", Json::from(mem.itlb.entries)),
-        ("tlb_page_bytes", Json::from(mem.itlb.page_bytes)),
-        ("icache", Json::from(geom.to_string())),
-        ("dcache", Json::from(mem.dcache.geometry.to_string())),
-        ("write_buffer_entries", Json::from(mem.dcache.write_buffer_entries)),
-        ("writeback_latency_cycles", Json::from(mem.dcache.writeback_latency)),
-        ("btb_entries", Json::from(sim.btb_entries)),
-        ("branch_penalty_cycles", Json::from(sim.branch_penalty)),
-        ("load_latency_cycles", Json::from(sim.load_latency)),
-        ("mul_latency_cycles", Json::from(sim.mul_latency)),
-    ]);
+    // The same builder the campaign DAG uses, so both paths emit
+    // identical bytes.
+    let manifest = table1_manifest(&keys::table1());
     match write_manifest("table1", &manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("manifest: failed to write BENCH_table1.json: {e}"),

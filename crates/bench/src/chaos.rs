@@ -215,6 +215,15 @@ impl ChaosOutcome {
     /// drift in fetch counts and recovery-inclusive energy per rung.
     #[must_use]
     pub fn manifest(&self) -> Json {
+        let key = crate::campaign::keys::chaos(self.quick, &crate::campaign::InputTags::default());
+        self.manifest_with_key(&key)
+    }
+
+    /// [`CampaignOutcome::manifest`] with an explicit provenance task
+    /// key, so the campaign DAG can stamp the key of the node that
+    /// produced these bytes.
+    #[must_use]
+    pub fn manifest_with_key(&self, task_key: &wp_campaign::TaskKey) -> Json {
         let (graceful, detected, silent) = self.outcome_counts();
         let (benchmarks, set) = chaos_benchmarks(self.quick);
         let policy = chaos_policy();
@@ -244,6 +253,7 @@ impl ChaosOutcome {
                         ]),
                     ),
                     ("clean_overhead_limit", Json::from(CLEAN_OVERHEAD_LIMIT)),
+                    ("task_key", Json::from(task_key.hex().as_str())),
                 ]),
             ),
             ("runs", Json::arr(self.trials.iter().map(|(t, clean_pj)| t.json(*clean_pj)))),
@@ -584,6 +594,20 @@ pub fn kill_resume_drill(seed: u64, checkpoint: &Path) -> Result<Json, String> {
 ///
 /// A description of the violated invariant(s).
 pub fn build_chaos_baseline(quick: bool) -> Result<Json, String> {
+    let key = crate::campaign::keys::chaos(quick, &crate::campaign::InputTags::default());
+    build_chaos_baseline_with_key(quick, &key)
+}
+
+/// [`build_chaos_baseline`] with an explicit provenance task key (the
+/// campaign DAG passes the key of the chaos node).
+///
+/// # Errors
+///
+/// A description of the violated invariant(s).
+pub fn build_chaos_baseline_with_key(
+    quick: bool,
+    task_key: &wp_campaign::TaskKey,
+) -> Result<Json, String> {
     let outcome = run_campaign(quick);
     if outcome.failed() {
         let mut reasons = Vec::new();
@@ -596,5 +620,5 @@ pub fn build_chaos_baseline(quick: bool) -> Result<Json, String> {
         }
         return Err(format!("chaos campaign invariants violated: {}", reasons.join("; ")));
     }
-    Ok(outcome.manifest())
+    Ok(outcome.manifest_with_key(task_key))
 }

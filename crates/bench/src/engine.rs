@@ -78,7 +78,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn set_name(set: InputSet) -> &'static str {
+pub(crate) fn set_name(set: InputSet) -> &'static str {
     match set {
         InputSet::Small => "small",
         InputSet::Large => "large",
@@ -129,7 +129,10 @@ impl Experiment {
         self.benchmarks.len() * self.geometries.len() * self.schemes.len()
     }
 
-    fn json(&self) -> Json {
+    /// The manifest's `experiment` section. `pub(crate)` so the
+    /// campaign's manifest-assembly node can render the identical
+    /// section without re-running the suite.
+    pub(crate) fn json(&self) -> Json {
         Json::obj([
             ("benchmarks", Json::arr(self.benchmarks.iter().map(|b| Json::from(b.name())))),
             ("geometries", Json::arr(self.geometries.iter().map(|g| Json::from(g.to_string())))),
@@ -207,7 +210,9 @@ pub struct JobRow {
 }
 
 impl JobRow {
-    fn json(&self) -> Json {
+    /// One manifest row. `pub(crate)` so a campaign measure node can
+    /// publish exactly the bytes the suite manifest will embed.
+    pub(crate) fn json(&self) -> Json {
         Json::obj([
             ("benchmark", Json::from(self.benchmark.name())),
             ("geometry", Json::from(self.geometry.to_string())),

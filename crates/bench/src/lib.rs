@@ -24,6 +24,7 @@
 
 pub mod autotune;
 pub mod baseline;
+pub mod campaign;
 pub mod chaos;
 pub mod engine;
 pub mod obs;

@@ -139,6 +139,15 @@ impl ObsReport {
     /// the deterministic metric values, and every check verdict.
     #[must_use]
     pub fn canonical_manifest(&self) -> Json {
+        let key = crate::campaign::keys::obs(self.quick, &crate::campaign::InputTags::default());
+        self.canonical_manifest_with_key(&key)
+    }
+
+    /// [`ObsReport::canonical_manifest`] with an explicit provenance
+    /// task key, so the campaign DAG can stamp the key of the node
+    /// that produced these bytes.
+    #[must_use]
+    pub fn canonical_manifest_with_key(&self, task_key: &wp_campaign::TaskKey) -> Json {
         let runs: Vec<Json> = self
             .obs
             .accounts
@@ -213,6 +222,7 @@ impl ObsReport {
                     ),
                     ("jobs", Json::from(self.experiment.job_count())),
                     ("mini_campaign_quick", Json::from(true)),
+                    ("task_key", Json::from(task_key.hex().as_str())),
                 ]),
             ),
             ("runs", Json::Arr(runs)),
@@ -490,6 +500,20 @@ fn reconcile(
 ///
 /// A description of the failed check(s) or infrastructure failure.
 pub fn build_obs_baseline(quick: bool) -> Result<Json, String> {
+    let key = crate::campaign::keys::obs(quick, &crate::campaign::InputTags::default());
+    build_obs_baseline_with_key(quick, &key)
+}
+
+/// [`build_obs_baseline`] with an explicit provenance task key (the
+/// campaign DAG passes the key of the obs node).
+///
+/// # Errors
+///
+/// A description of the failed check(s) or infrastructure failure.
+pub fn build_obs_baseline_with_key(
+    quick: bool,
+    task_key: &wp_campaign::TaskKey,
+) -> Result<Json, String> {
     let obs = Obs::new();
     let report = run_pipeline(&obs, quick, false)?;
     if !report.ok() {
@@ -500,7 +524,7 @@ pub fn build_obs_baseline(quick: bool) -> Result<Json, String> {
             .collect();
         return Err(format!("obs_report checks failed: {}", failed.join("; ")));
     }
-    Ok(report.canonical_manifest())
+    Ok(report.canonical_manifest_with_key(task_key))
 }
 
 /// Measures the cost of armed observability: interleaved min-of-N

@@ -225,6 +225,14 @@ impl PerfReport {
     /// speedup over the per-fetch driver).
     #[must_use]
     pub fn json(&self) -> Json {
+        self.json_with_key(&crate::campaign::keys::perf(self.quick))
+    }
+
+    /// [`PerfReport::json`] with an explicit provenance task key (the
+    /// campaign DAG passes the key of the perf node; the default is
+    /// the same key, since throughput has no per-benchmark inputs).
+    #[must_use]
+    pub fn json_with_key(&self, task_key: &wp_campaign::TaskKey) -> Json {
         Json::obj([
             ("schema", Json::from(PERF_SCHEMA)),
             (
@@ -235,6 +243,7 @@ impl PerfReport {
                     ("iters", Json::from(self.iters)),
                     ("statistic", Json::from("min")),
                     ("target_speedup", Json::from(TARGET_SPEEDUP)),
+                    ("task_key", Json::from(task_key.hex().as_str())),
                 ]),
             ),
             (

@@ -1,0 +1,133 @@
+//! A 128-bit FNV-1a digest, built from the standard library only.
+//!
+//! Two independent 64-bit FNV-1a streams run over the same bytes with
+//! different offset bases; their concatenation is the digest. FNV-1a
+//! is not cryptographic, but task keys only need to make accidental
+//! collisions vanishingly unlikely across the few thousand entries a
+//! store ever holds, and 128 bits of two decorrelated streams is far
+//! beyond that bar. Determinism is the property that matters: the
+//! digest of a byte string is identical across platforms, processes
+//! and runs, which is what lets a key computed today name an entry
+//! published last week.
+
+/// The FNV-1a 64-bit offset basis (primary stream).
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, decorrelated offset basis (the primary basis hashed with
+/// one zero byte) so the two streams disagree from the first byte.
+const OFFSET_B: u64 = 0xaf63_bd4c_8601_b7df;
+/// The FNV 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental 128-bit FNV-1a hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv128 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv128 {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Fnv128 {
+        Fnv128 { a: OFFSET_A, b: OFFSET_B }
+    }
+
+    /// Feeds `bytes` into both streams.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds a length-prefixed field: `len(bytes)` as 8 little-endian
+    /// bytes, then the bytes. Prefixing makes the digest injective
+    /// over field *sequences* — `["ab","c"]` and `["a","bc"]` hash
+    /// differently.
+    pub fn update_field(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes);
+    }
+
+    /// The 128-bit digest: primary stream big-endian, then secondary.
+    #[must_use]
+    pub fn finish(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.a.to_be_bytes());
+        out[8..].copy_from_slice(&self.b.to_be_bytes());
+        out
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+/// One-shot digest of a byte string.
+#[must_use]
+pub fn digest(bytes: &[u8]) -> [u8; 16] {
+    let mut h = Fnv128::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Lowercase hex of a digest.
+#[must_use]
+pub fn to_hex(digest: &[u8; 16]) -> String {
+    let mut out = String::with_capacity(32);
+    for byte in digest {
+        let hi = byte >> 4;
+        let lo = byte & 0xf;
+        for nibble in [hi, lo] {
+            out.push(char::from_digit(u32::from(nibble), 16).unwrap_or('0'));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        assert_eq!(digest(b"crc/way-placement"), digest(b"crc/way-placement"));
+        assert_ne!(digest(b"crc/way-placement"), digest(b"crc/way-memoization"));
+        assert_ne!(digest(b""), digest(b"\0"));
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let d = digest(b"abc");
+        assert_ne!(&d[..8], &d[8..], "both halves agreeing would halve the digest width");
+    }
+
+    #[test]
+    fn field_prefixing_separates_boundaries() {
+        let mut left = Fnv128::new();
+        left.update_field(b"ab");
+        left.update_field(b"c");
+        let mut right = Fnv128::new();
+        right.update_field(b"a");
+        right.update_field(b"bc");
+        assert_ne!(left.finish(), right.finish());
+    }
+
+    #[test]
+    fn hex_is_32_lowercase_digits() {
+        let hex = to_hex(&digest(b"x"));
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn known_fnv1a_vector() {
+        // FNV-1a 64 of "a" is 0xaf63dc4c8601ec8c; the primary stream
+        // must reproduce it exactly (the offset/prime are standard).
+        let mut h = Fnv128::new();
+        h.update(b"a");
+        assert_eq!(&h.finish()[..8], &0xaf63_dc4c_8601_ec8cu64.to_be_bytes());
+    }
+}

@@ -1,0 +1,110 @@
+//! Content-addressed task keys.
+//!
+//! A key is the [`crate::hash`] digest of a node's *identity*: its
+//! ordered string parts (pipeline name, benchmark, scheme, geometry,
+//! input set, pass configuration — whatever the embedder deems
+//! identity-bearing) followed by the keys of its dependencies, in edge
+//! order. Because dependency keys are themselves digests of *their*
+//! identity and dependencies, a key commits to the whole subtree
+//! Merkle-style: two nodes share a key exactly when every input that
+//! could influence their payload is identical. That is what makes a
+//! store hit sufficient to skip not just the node but its entire
+//! dependency cone — nothing below an unchanged key can have changed.
+//!
+//! Keys are computed *statically*, before anything runs: the pipelines
+//! are deterministic functions of their configuration, so identity
+//! never needs to include payload bytes.
+
+use crate::hash::{to_hex, Fnv128};
+
+/// A 128-bit content-addressed task key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskKey(pub [u8; 16]);
+
+impl TaskKey {
+    /// Derives a key from identity parts and dependency keys.
+    ///
+    /// Every part and every dependency key is fed length-prefixed, and
+    /// the part/dependency sections are separated by their counts, so
+    /// moving a string between sections or across a boundary always
+    /// changes the digest.
+    #[must_use]
+    pub fn derive<S: AsRef<str>>(parts: &[S], deps: &[TaskKey]) -> TaskKey {
+        let mut h = Fnv128::new();
+        h.update(&(parts.len() as u64).to_le_bytes());
+        for part in parts {
+            h.update_field(part.as_ref().as_bytes());
+        }
+        h.update(&(deps.len() as u64).to_le_bytes());
+        for dep in deps {
+            h.update_field(&dep.0);
+        }
+        TaskKey(h.finish())
+    }
+
+    /// The 32-digit lowercase hex form (store filename, manifest
+    /// `provenance.task_key` value).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        to_hex(&self.0)
+    }
+
+    /// Parses the 32-digit hex form back into a key.
+    #[must_use]
+    pub fn from_hex(hex: &str) -> Option<TaskKey> {
+        let bytes = hex.as_bytes();
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(TaskKey(out))
+    }
+}
+
+impl std::fmt::Display for TaskKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_parts_and_deps_both_matter() {
+        let base = TaskKey::derive(&["measure", "crc", "small"], &[]);
+        assert_eq!(base, TaskKey::derive(&["measure", "crc", "small"], &[]));
+        assert_ne!(base, TaskKey::derive(&["measure", "crc", "large"], &[]));
+        assert_ne!(base, TaskKey::derive(&["measure", "crc", "small"], &[base]));
+    }
+
+    #[test]
+    fn merkle_composition_propagates_leaf_changes() {
+        let leaf_v1 = TaskKey::derive(&["leaf", "v1"], &[]);
+        let leaf_v2 = TaskKey::derive(&["leaf", "v2"], &[]);
+        let root_v1 = TaskKey::derive(&["root"], &[leaf_v1]);
+        let root_v2 = TaskKey::derive(&["root"], &[leaf_v2]);
+        assert_ne!(root_v1, root_v2, "a changed leaf must change every ancestor key");
+    }
+
+    #[test]
+    fn part_dep_boundary_is_unambiguous() {
+        let as_part = TaskKey::derive(&["a", "b"], &[]);
+        let as_dep = TaskKey::derive(&["a"], &[TaskKey::derive(&["b"], &[])]);
+        assert_ne!(as_part, as_dep);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let key = TaskKey::derive(&["round", "trip"], &[]);
+        assert_eq!(TaskKey::from_hex(&key.hex()), Some(key));
+        assert_eq!(TaskKey::from_hex("zz"), None);
+        assert_eq!(TaskKey::from_hex(&"0".repeat(31)), None);
+    }
+}

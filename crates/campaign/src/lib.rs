@@ -1,0 +1,43 @@
+//! # wp-campaign — content-addressed experiment orchestration
+//!
+//! The repo's binaries each re-drive the bench engine independently, so
+//! a full CI pass re-simulates work an earlier stage already did. This
+//! crate makes every experiment a node in one resumable graph:
+//!
+//! * [`hash`] — an in-repo FNV-1a–based 128-bit digest (no external
+//!   dependencies, stable across platforms and runs);
+//! * [`key`] — the content-addressed task key: a digest over a node's
+//!   identity parts (pipeline name, benchmark, scheme, geometry, input
+//!   set, pass configuration) composed Merkle-style with the keys of
+//!   its dependencies, so a key names the *entire subtree* that
+//!   produced a payload;
+//! * [`store`] — the on-disk store under `$WP_STORE_DIR`: atomic
+//!   write-rename publishing, hash-verified reads (corrupt, truncated
+//!   or tampered entries are misses), and a pinned-aware `gc`;
+//! * [`dag`] — the DAG builder and scheduler: typed task nodes with
+//!   explicit data edges, hit-pruned demand-driven scheduling (a store
+//!   hit skips the node *and* its entire dependency subtree), executed
+//!   on a deterministic worker pool with per-worker deques and work
+//!   stealing;
+//! * [`monitor`] — the observer trait the embedding harness implements
+//!   to count `store_hits`/`store_misses` and per-node wall time
+//!   (wp-bench bridges it onto `wp_obs::Obs`; this crate stays
+//!   dependency-free).
+//!
+//! The crate knows nothing about caches, benchmarks or manifests — a
+//! node is a label, identity parts, dependency edges and a closure from
+//! dependency payloads to a payload. `wp_bench::campaign` supplies the
+//! experiment semantics.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod dag;
+pub mod hash;
+pub mod key;
+pub mod monitor;
+pub mod store;
+
+pub use dag::{Dag, NodeOutcome, Outcome, RunReport, TaskCtx, TaskId};
+pub use key::TaskKey;
+pub use monitor::{Monitor, NullMonitor};
+pub use store::{GcReport, Store};

@@ -1,0 +1,39 @@
+//! The observer the embedding harness plugs into a DAG run.
+//!
+//! `wp-campaign` has no dependencies, so it cannot talk to
+//! `wp_obs::Obs` directly; instead the scheduler reports hits, misses
+//! and per-node outcomes through this trait and the harness bridges
+//! them onto whatever metrics registry it runs (wp-bench registers
+//! `wp_campaign_store_hits_total`, `wp_campaign_store_misses_total`
+//! and a per-node wall-time histogram).
+
+use std::time::Duration;
+
+use crate::key::TaskKey;
+
+/// Callbacks the scheduler fires as nodes resolve. All methods default
+/// to no-ops so an embedder only implements what it observes.
+pub trait Monitor: Sync {
+    /// `label`'s payload was served from the store; the node (and any
+    /// part of its dependency cone not needed elsewhere) will not run.
+    fn store_hit(&self, label: &str, key: &TaskKey) {
+        let _ = (label, key);
+    }
+
+    /// `label` was not in the store and has been scheduled to run.
+    fn store_miss(&self, label: &str, key: &TaskKey) {
+        let _ = (label, key);
+    }
+
+    /// `label` finished executing (`ok`) or failed (`!ok`) after
+    /// `wall` of work on a pool worker.
+    fn node_done(&self, label: &str, key: &TaskKey, wall: Duration, ok: bool) {
+        let _ = (label, key, wall, ok);
+    }
+}
+
+/// Observes nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}

@@ -1,0 +1,135 @@
+//! Store robustness: the four failure modes the campaign store must
+//! absorb without ever serving a wrong payload — truncation, write
+//! races, tampering, and gc racing a pending plan.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wp_campaign::{Dag, NullMonitor, Store, TaskKey};
+
+fn temp_store(tag: &str) -> Store {
+    let root = std::env::temp_dir().join(format!("wp-store-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    Store::new(root)
+}
+
+fn entry_path(store: &Store, key: &TaskKey) -> std::path::PathBuf {
+    let hex = key.hex();
+    store.root().join("objects").join(&hex[..2]).join(hex)
+}
+
+#[test]
+fn truncated_entry_is_a_miss_and_recomputes() {
+    let store = temp_store("truncate");
+    let counter = Arc::new(AtomicUsize::new(0));
+    let build = |counter: Arc<AtomicUsize>| {
+        let mut dag = Dag::new();
+        dag.add("node", &["robust", "truncate"], &[], move |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Ok(b"a payload long enough to truncate meaningfully".to_vec())
+        });
+        dag
+    };
+
+    let dag = build(Arc::clone(&counter));
+    assert!(dag.run(&store, &[], 1, &NullMonitor).ok());
+    assert_eq!(counter.load(Ordering::Relaxed), 1);
+
+    // Tear the entry mid-payload, as a crashed host would.
+    let path = entry_path(&store, &dag.key(0));
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let rerun = build(Arc::clone(&counter)).run(&store, &[], 1, &NullMonitor);
+    assert!(rerun.ok());
+    assert_eq!(rerun.misses(), 1, "truncated entry must read as a miss");
+    assert_eq!(counter.load(Ordering::Relaxed), 2, "and the node must recompute");
+
+    // The recompute republished a valid entry.
+    assert_eq!(
+        store.get(&dag.key(0)).as_deref(),
+        Some(&b"a payload long enough to truncate meaningfully"[..])
+    );
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn tampered_payload_is_detected_by_hash_verification() {
+    let store = temp_store("tamper");
+    let key = TaskKey::derive(&["robust", "tamper"], &[]);
+    store.put(&key, "tamper", b"authentic-payload").unwrap();
+
+    // Flip one payload byte without touching the length: only the
+    // digest check can catch this.
+    let path = entry_path(&store, &key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    assert!(store.get(&key).is_none(), "tampered content must miss");
+    assert!(!path.exists(), "the tampered corpse must be swept");
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn concurrent_writers_on_one_key_publish_exactly_one_valid_entry() {
+    let store = Arc::new(temp_store("race"));
+    let key = TaskKey::derive(&["robust", "race"], &[]);
+    // Content-addressed writers by construction write the same bytes.
+    let payload = b"the one true payload for this key".to_vec();
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let store = Arc::clone(&store);
+            let payload = payload.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    store.put(&key, "race", &payload).unwrap();
+                }
+            });
+        }
+    });
+
+    // Exactly one entry file exists and it verifies.
+    let entries = store.entries().unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].key, key);
+    assert_eq!(store.get(&key).as_deref(), Some(payload.as_slice()));
+    // No temp litter left behind.
+    let tmp: Vec<_> = std::fs::read_dir(store.root().join("tmp")).unwrap().collect();
+    assert!(tmp.is_empty(), "every racing temp file must have been renamed away");
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn gc_never_deletes_entries_a_pending_plan_needs() {
+    let store = temp_store("gc-pending");
+
+    // A plan mid-flight: its leaf already published, the rest pending.
+    let mut dag = Dag::new();
+    let leaf = dag.add("leaf", &["gc", "leaf"], &[], |_| Ok(b"leaf".to_vec()));
+    let _root = dag.add("root", &["gc", "root"], &[leaf], |_| Ok(b"root".to_vec()));
+    assert!(dag.run(&store, &[leaf], 1, &NullMonitor).ok());
+
+    // Stale entries from an older epoch that nothing pins.
+    for i in 0..5 {
+        let stale = TaskKey::derive(&["gc", "stale", &i.to_string()], &[]);
+        store.put(&stale, "stale", b"old").unwrap();
+    }
+
+    // The campaign binary pins every key of the plan it is about to
+    // run; even keep_last=0 must then preserve the leaf the pending
+    // root still needs.
+    let report = store.gc(0, &dag.all_keys()).unwrap();
+    assert_eq!(report.deleted, 5);
+    assert!(store.contains(&dag.key(leaf)));
+
+    // The pending root now completes from the preserved leaf without
+    // recomputing it.
+    let resume = dag.run(&store, &[], 1, &NullMonitor);
+    assert!(resume.ok());
+    assert_eq!(resume.hits(), 1, "leaf must be served from the store");
+    assert_eq!(resume.misses(), 1, "only the root still runs");
+    let _ = std::fs::remove_dir_all(store.root());
+}

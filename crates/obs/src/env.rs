@@ -16,6 +16,7 @@
 //! | `WP_BENCH_DIR`  | [`bench_dir`]     | directory for `BENCH_*.json` manifests and checkpoints (default: cwd) |
 //! | `WP_QUICK`      | [`quick`]         | shrink long differential/soak sweeps to a quick subset |
 //! | `WP_PRINT_GOLDEN` | [`print_golden`] | print refreshed golden vectors instead of asserting them |
+//! | `WP_STORE_DIR`  | [`store_dir`]     | root of the wp-campaign content-addressed task store (unset: no store) |
 //!
 //! Flag semantics are uniform: a flag is *on* when the variable is set
 //! to a non-empty value other than `"0"`. (`WP_TRACE=` and `WP_TRACE=0`
@@ -26,8 +27,8 @@ use std::sync::OnceLock;
 
 /// Every variable this workspace understands. [`warn_unknown`] treats
 /// any other `WP_*` name in the environment as a probable typo.
-pub const KNOWN_VARS: [&str; 5] =
-    ["WP_TRACE", "WP_OBS", "WP_BENCH_DIR", "WP_QUICK", "WP_PRINT_GOLDEN"];
+pub const KNOWN_VARS: [&str; 6] =
+    ["WP_TRACE", "WP_OBS", "WP_BENCH_DIR", "WP_QUICK", "WP_PRINT_GOLDEN", "WP_STORE_DIR"];
 
 fn flag(name: &str) -> bool {
     warn_unknown();
@@ -67,6 +68,17 @@ pub fn print_golden() -> bool {
 pub fn bench_dir() -> PathBuf {
     warn_unknown();
     std::env::var_os("WP_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// `$WP_STORE_DIR`: the root of the wp-campaign content-addressed
+/// task store. Unlike [`bench_dir`] there is no default: an unset
+/// variable means "no store", and store-aware tools (the campaign
+/// binary, the store-backed `gate` path) fall back to their
+/// store-less behaviour.
+#[must_use]
+pub fn store_dir() -> Option<PathBuf> {
+    warn_unknown();
+    std::env::var_os("WP_STORE_DIR").filter(|v| !v.is_empty()).map(PathBuf::from)
 }
 
 /// Pure core of the typo check: which of `names` look like `WP_*`
@@ -114,6 +126,16 @@ mod tests {
             .map(String::from)
             .to_vec();
         assert_eq!(unknown_in(names), vec!["WP_TARCE".to_string(), "WP_ZZZ".to_string()]);
+    }
+
+    #[test]
+    fn store_dir_is_known_and_optional() {
+        assert!(KNOWN_VARS.contains(&"WP_STORE_DIR"), "campaign store root must not warn");
+        // Mutating the process env would race other tests; assert the
+        // unset default only when the harness did not set it.
+        if std::env::var_os("WP_STORE_DIR").is_none() {
+            assert_eq!(store_dir(), None);
+        }
     }
 
     #[test]

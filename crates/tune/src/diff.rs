@@ -124,6 +124,13 @@ pub struct TraceSet {
     pub kind: &'static str,
     /// The unit of every `energy` field in this capture.
     pub energy_unit: &'static str,
+    /// The capture's `provenance.task_key`, when the manifest carries
+    /// one (campaign-produced manifests name the content-addressed
+    /// store entry they came from). Carried for provenance display
+    /// only — never joined on, never gated on: two byte-identical
+    /// result sets produced by different pipeline configurations must
+    /// still diff clean.
+    pub task_key: Option<String>,
     /// The runs, in capture order.
     pub runs: Vec<RunTrace>,
 }
@@ -139,6 +146,15 @@ fn unique_key(base: String, taken: &mut Vec<String>) -> String {
     }
     taken.push(key.clone());
     key
+}
+
+/// The optional `provenance.task_key` field of a manifest document.
+fn provenance_task_key(document: &Json) -> Option<String> {
+    document
+        .get("provenance")
+        .and_then(|p| p.get("task_key"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
 }
 
 fn require_str(value: &Json, field: &str, source: &str) -> Result<String, TuneError> {
@@ -232,7 +248,13 @@ impl TraceSet {
                 chains,
             });
         }
-        Ok(TraceSet { source: source.to_string(), kind: "manifest", energy_unit: "pJ", runs: out })
+        Ok(TraceSet {
+            source: source.to_string(),
+            kind: "manifest",
+            energy_unit: "pJ",
+            task_key: provenance_task_key(document),
+            runs: out,
+        })
     }
 
     /// A raw JSONL stream carries no priced energy, so tag comparisons
@@ -291,6 +313,7 @@ impl TraceSet {
             source: source.to_string(),
             kind: "jsonl",
             energy_unit: "tag_comparisons",
+            task_key: None,
             runs: vec![RunTrace { key: stem.to_string(), fetches, energy: tags, chains }],
         })
     }
@@ -334,7 +357,13 @@ impl TraceSet {
                 chains,
             });
         }
-        Ok(TraceSet { source: source.to_string(), kind: "tuned", energy_unit: "pJ", runs })
+        Ok(TraceSet {
+            source: source.to_string(),
+            kind: "tuned",
+            energy_unit: "pJ",
+            task_key: provenance_task_key(document),
+            runs,
+        })
     }
 }
 
@@ -442,6 +471,11 @@ pub struct TraceDiff {
     pub right: String,
     /// The unit of the energy metric that was compared.
     pub energy_unit: &'static str,
+    /// The baseline capture's `provenance.task_key`, carried through
+    /// for display — never part of any gate.
+    pub left_task_key: Option<String>,
+    /// The candidate capture's `provenance.task_key`, same caveat.
+    pub right_task_key: Option<String>,
     /// The gates used.
     pub thresholds: DiffThresholds,
     /// Per-run comparisons: left order, right-only runs appended.
@@ -481,6 +515,8 @@ impl TraceDiff {
             left: left.source.clone(),
             right: right.source.clone(),
             energy_unit: left.energy_unit,
+            left_task_key: left.task_key.clone(),
+            right_task_key: right.task_key.clone(),
             thresholds,
             runs,
         }
@@ -539,10 +575,20 @@ impl TraceDiff {
                 obj
             })
             .collect();
-        Json::obj([
+        let mut manifest = Json::obj([
             ("schema", Json::from("trace_diff/v1")),
             ("left", Json::from(self.left.as_str())),
             ("right", Json::from(self.right.as_str())),
+        ]);
+        // Carried, not gated: the keys identify the store entries the
+        // captures came from, and are absent for pre-campaign files.
+        if let Some(key) = &self.left_task_key {
+            manifest.push("left_task_key", Json::from(key.as_str()));
+        }
+        if let Some(key) = &self.right_task_key {
+            manifest.push("right_task_key", Json::from(key.as_str()));
+        }
+        for (name, value) in [
             ("energy_unit", Json::from(self.energy_unit)),
             (
                 "thresholds",
@@ -555,7 +601,10 @@ impl TraceDiff {
             ("runs", Json::Arr(runs)),
             ("regressions", Json::from(self.regressions())),
             ("ok", Json::from(self.is_clean())),
-        ])
+        ] {
+            manifest.push(name, value);
+        }
+        manifest
     }
 }
 
@@ -645,6 +694,31 @@ mod tests {
         assert_eq!(diff.exit_code(), 0);
         assert_eq!(diff.runs.len(), 2);
         assert_eq!(diff.json().get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn task_key_is_carried_but_never_gated() {
+        let body = manifest(&[("crc", "way-placement/32KB", 4096, 2048.0, &[])]);
+        let mut with_key = Json::parse(&body).expect("manifest parses");
+        with_key.push(
+            "provenance",
+            Json::obj([("task_key", Json::from("deadbeefdeadbeefdeadbeefdeadbeef"))]),
+        );
+        let keyed = set(&with_key.to_pretty(), "keyed");
+        assert_eq!(keyed.task_key.as_deref(), Some("deadbeefdeadbeefdeadbeefdeadbeef"));
+        let bare = set(&body, "bare");
+        assert_eq!(bare.task_key, None);
+
+        // Identical results under different (or missing) task keys
+        // must still diff clean: the key is provenance, not a metric.
+        let diff = TraceDiff::compute(&keyed, &bare, DiffThresholds::default());
+        assert!(diff.is_clean());
+        let rendered = diff.json();
+        assert_eq!(
+            rendered.get("left_task_key").and_then(Json::as_str),
+            Some("deadbeefdeadbeefdeadbeefdeadbeef")
+        );
+        assert_eq!(rendered.get("right_task_key"), None);
     }
 
     #[test]

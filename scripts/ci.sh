@@ -73,6 +73,28 @@ if [[ "$quick" -eq 1 ]]; then
         echo "gate on a perturbed baseline: expected exit 1, got $gate_code" >&2
         exit 1
     fi
+
+    echo "== campaign DAG smoke (cold run, then warm zero-miss rerun) =="
+    camp_store="$(mktemp -d)"
+    camp_a="$(mktemp -d)"
+    camp_b="$(mktemp -d)"
+    WP_BENCH_DIR="$camp_a" WP_STORE_DIR="$camp_store" cargo run --release -q \
+        --bin wp-campaign -- run --all --quick | tee "$camp_a/summary.txt"
+    WP_BENCH_DIR="$camp_b" WP_STORE_DIR="$camp_store" cargo run --release -q \
+        --bin wp-campaign -- run --all --quick | tee "$camp_b/summary.txt"
+    # The second run against the same store must resolve every root
+    # from cache: zero misses, and byte-identical manifests.
+    if ! grep -qF ' 0 miss(es),' "$camp_b/summary.txt"; then
+        echo "warm campaign rerun re-computed nodes (expected 0 misses)" >&2
+        exit 1
+    fi
+    for manifest in "$camp_a"/BENCH_*.json; do
+        if ! cmp -s "$manifest" "$camp_b/$(basename "$manifest")"; then
+            echo "warm campaign manifest diverged: $(basename "$manifest")" >&2
+            exit 1
+        fi
+    done
+    rm -rf "$camp_store" "$camp_a" "$camp_b"
 fi
 
 if [[ "$quick" -eq 0 ]]; then
@@ -158,8 +180,15 @@ if [[ "$quick" -eq 0 ]]; then
         exit 1
     fi
 
-    echo "== stored-baseline gate (committed baselines/) =="
-    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin gate -- --dir baselines
+    echo "== stored-baseline gate (committed baselines/, via campaign store) =="
+    gate_store="$(mktemp -d)"
+    # The cold pass computes and populates the store; the second pass
+    # must serve every fresh manifest as a pure hit and cost seconds.
+    WP_BENCH_DIR="$smoke_dir" WP_STORE_DIR="$gate_store" cargo run --release -q \
+        --bin gate -- --dir baselines
+    WP_BENCH_DIR="$smoke_dir" WP_STORE_DIR="$gate_store" cargo run --release -q \
+        --bin gate -- --dir baselines
+    rm -rf "$gate_store"
     if [[ ! -s "$smoke_dir/BENCH_gate.json" ]]; then
         echo "missing manifest: BENCH_gate.json" >&2
         exit 1
