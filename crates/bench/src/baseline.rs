@@ -47,11 +47,12 @@ pub const DEFAULT_BASELINE_DIR: &str = "baselines";
 /// The **byte-deterministic** manifests a baseline set consists of, in
 /// bless/gate order. Two bless runs over the same tree produce these
 /// byte-identically.
-pub const BASELINE_FILES: [&str; 4] = [
+pub const BASELINE_FILES: [&str; 5] = [
     "BENCH_trace_report.json",
     "BENCH_tuned_areas.json",
     "BENCH_chaos_campaign.json",
     "BENCH_obs_report.json",
+    "BENCH_layout_compare.json",
 ];
 /// The wall-clock fetch-core throughput manifest blessed *alongside*
 /// the canonical pair. Deliberately not in [`BASELINE_FILES`]:
@@ -291,7 +292,7 @@ pub fn perf_thresholds() -> DiffThresholds {
     DiffThresholds { rel: 0.75, abs_fetches: 5.0, abs_energy: 1.0 }
 }
 
-/// Runs all five pipelines and writes their manifests into `dir`
+/// Runs all six pipelines and writes their manifests into `dir`
 /// (created if missing), returning the written paths: the
 /// byte-deterministic [`BASELINE_FILES`] in order, then
 /// [`PERF_BASELINE_FILE`].
@@ -311,13 +312,14 @@ pub fn bless(dir: &Path, quick: bool) -> Result<Vec<PathBuf>, TuneError> {
         .map_err(|message| pipeline_error("chaos_campaign", &message))?;
     let obs = crate::obs::build_obs_baseline(quick)
         .map_err(|message| pipeline_error("obs_report", &message))?;
+    let layout = crate::layout_compare::build_layout_baseline(quick)?;
     let perf = perf::measure(quick)
         .map_err(|message| pipeline_error("perf_fetch", &message))?
         .json();
     std::fs::create_dir_all(dir).map_err(|e| TuneError::io(dir, &e))?;
     let mut paths = Vec::with_capacity(BASELINE_FILES.len() + 1);
     let names = BASELINE_FILES.iter().copied().chain([PERF_BASELINE_FILE]);
-    for (name, manifest) in names.zip([&trace, &tuned, &chaos, &obs, &perf]) {
+    for (name, manifest) in names.zip([&trace, &tuned, &chaos, &obs, &layout, &perf]) {
         let path = dir.join(name);
         std::fs::write(&path, manifest.to_pretty()).map_err(|e| TuneError::io(&path, &e))?;
         paths.push(path);
@@ -415,7 +417,7 @@ pub fn gate(
 }
 
 /// [`gate`] with the fresh side produced through the campaign store
-/// instead of a temp-dir re-simulation: the five baseline pipelines run
+/// instead of a temp-dir re-simulation: the six baseline pipelines run
 /// as a content-addressed DAG rooted at `store`, so a warm store (e.g.
 /// right after a clean bless through the campaign) serves every
 /// manifest as a pure hit and the gate costs seconds, while a cold
@@ -451,7 +453,7 @@ pub fn gate_via_store(
     }
 
     let mut diffs = Vec::with_capacity(BASELINE_FILES.len() + 1);
-    let gates = [Group::Trace, Group::Tune, Group::Chaos, Group::Obs]
+    let gates = [Group::Trace, Group::Tune, Group::Chaos, Group::Obs, Group::LayoutCompare]
         .into_iter()
         .map(|group| (group, thresholds))
         .chain([(Group::Perf, perf_thresholds())]);

@@ -1,0 +1,67 @@
+//! `layout_compare` — the layout competition report.
+//!
+//! Links every benchmark under all six layout passes (the four
+//! original chain sorts plus ext-TSP and Codestitcher), runs both
+//! way-aware schemes per layout, and emits `BENCH_layout_compare.json`
+//! reporting per `(benchmark, layout)`:
+//!
+//! * static 1 KB WP-area coverage under the training profile;
+//! * the measured fetch share the 1 KB prefix covered on the
+//!   evaluation inputs;
+//! * the tuned knee (via the `wp-tune` prediction sweep) and its
+//!   predicted energy;
+//! * measured I-cache energy under `way-placement/1KB` and way
+//!   memoization.
+//!
+//! The manifest is the sixth blessed baseline (see `bless`/`gate`) and
+//! is also produced by the `wp-campaign` DAG from per-benchmark nodes.
+//!
+//! Usage: `layout_compare [--quick]`
+//!
+//! `--quick` shrinks the competition to the CI smoke shape (one
+//! benchmark, small inputs). Exit codes: `0` written, `1` pipeline
+//! failure.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use wp_bench::engine::Engine;
+use wp_bench::layout_compare::build_layout_baseline;
+use wp_bench::{write_manifest, Json};
+
+fn run(quick: bool) -> Result<i32, String> {
+    let manifest = build_layout_baseline(quick).map_err(|e| e.to_string())?;
+    let runs = manifest.get("runs").and_then(Json::as_array).unwrap_or(&[]);
+    println!(
+        "{:<12} {:<14} {:>10} {:>10} {:>10} {:>12}",
+        "benchmark", "layout", "cov@1K", "share@1K", "knee", "wp-1K pJ"
+    );
+    for row in runs {
+        // Only the way-placement rows carry the coverage columns.
+        let Some(coverage) = row.get("coverage_1k").and_then(Json::as_f64) else { continue };
+        println!(
+            "{:<12} {:<14} {:>10.4} {:>10.4} {:>10} {:>12.1}",
+            row.get("benchmark").and_then(Json::as_str).unwrap_or("?"),
+            row.get("layout").and_then(Json::as_str).unwrap_or("?"),
+            coverage,
+            row.get("covered_fetch_share_1k").and_then(Json::as_f64).unwrap_or(0.0),
+            row.get("knee_area_bytes").and_then(Json::as_u64).unwrap_or(0),
+            row.get("icache_pj").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
+    eprintln!("{}", Engine::global().stats());
+    let path = write_manifest("layout_compare", &manifest)
+        .map_err(|e| format!("writing manifest: {e}"))?;
+    eprintln!("manifest: {}", path.display());
+    Ok(0)
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    match run(quick) {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("layout_compare: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -347,6 +347,58 @@ pub mod keys {
     pub fn perf(quick: bool) -> TaskKey {
         TaskKey::derive(&perf_parts(quick), &[])
     }
+
+    pub(crate) fn layout_run_parts(
+        benchmark: Benchmark,
+        geometry: CacheGeometry,
+        set: InputSet,
+        tags: &InputTags,
+    ) -> Vec<String> {
+        let grid: Vec<String> = super::FIGURE5_AREAS.iter().map(u32::to_string).collect();
+        let mut parts = vec![
+            "layout-run".to_string(),
+            CAMPAIGN_EPOCH.to_string(),
+            benchmark.name().to_string(),
+            tags.tag(benchmark).to_string(),
+            geometry.to_string(),
+            set_name(set).to_string(),
+            crate::layout_compare::COMPARE_AREA_BYTES.to_string(),
+            grid.join(","),
+            super::DEFAULT_TOLERANCE.to_string(),
+            crate::layout_compare::RANDOM_SEED.to_string(),
+        ];
+        parts
+            .extend(crate::layout_compare::compare_layouts().iter().map(|l| l.label().to_string()));
+        parts
+    }
+
+    /// One benchmark's layout competition: every pass linked, traced
+    /// and priced under both way-aware schemes.
+    #[must_use]
+    pub fn layout_run(
+        benchmark: Benchmark,
+        geometry: CacheGeometry,
+        set: InputSet,
+        tags: &InputTags,
+    ) -> TaskKey {
+        TaskKey::derive(&layout_run_parts(benchmark, geometry, set, tags), &[])
+    }
+
+    pub(crate) fn layout_manifest_parts(quick: bool) -> Vec<String> {
+        vec!["layout-manifest".to_string(), CAMPAIGN_EPOCH.to_string(), quick.to_string()]
+    }
+
+    /// The layout-compare manifest: Merkle over its per-benchmark
+    /// competition keys (which already commit to the pass roster, grid
+    /// and compare area).
+    #[must_use]
+    pub fn layout_manifest(quick: bool, tags: &InputTags) -> TaskKey {
+        let icache = CacheGeometry::xscale_icache();
+        let (benchmarks, set) = crate::layout_compare::layout_benchmarks(quick);
+        let deps: Vec<TaskKey> =
+            benchmarks.iter().map(|&b| layout_run(b, icache, set, tags)).collect();
+        TaskKey::derive(&layout_manifest_parts(quick), &deps)
+    }
 }
 
 /// One schedulable pipeline family of the campaign.
@@ -370,13 +422,15 @@ pub enum Group {
     Chaos,
     /// The obs-report reconciliation pipeline.
     Obs,
+    /// The layout-compare competition pipeline.
+    LayoutCompare,
     /// The fetch-core throughput pipeline.
     Perf,
 }
 
 impl Group {
     /// Every group, in planning order.
-    pub const ALL: [Group; 10] = [
+    pub const ALL: [Group; 11] = [
         Group::Fig1,
         Group::Table1,
         Group::Fig4,
@@ -386,15 +440,16 @@ impl Group {
         Group::Tune,
         Group::Chaos,
         Group::Obs,
+        Group::LayoutCompare,
         Group::Perf,
     ];
     /// The figure/table groups (`run --only fig`).
     pub const FIGURES: [Group; 5] =
         [Group::Fig1, Group::Table1, Group::Fig4, Group::Fig5, Group::Fig6];
-    /// The five blessed-baseline groups, in [`baseline::BASELINE_FILES`]
+    /// The six blessed-baseline groups, in [`baseline::BASELINE_FILES`]
     /// + perf order — what the store-backed gate runs.
-    pub const BASELINE: [Group; 5] =
-        [Group::Trace, Group::Tune, Group::Chaos, Group::Obs, Group::Perf];
+    pub const BASELINE: [Group; 6] =
+        [Group::Trace, Group::Tune, Group::Chaos, Group::Obs, Group::LayoutCompare, Group::Perf];
 
     /// The `BENCH_<name>.json` stem this group's manifest is written
     /// to — identical to the standalone binary's output path.
@@ -410,6 +465,7 @@ impl Group {
             Group::Tune => "tuned_areas",
             Group::Chaos => "chaos_campaign",
             Group::Obs => "obs_report",
+            Group::LayoutCompare => "layout_compare",
             Group::Perf => "perf_fetch",
         }
     }
@@ -432,6 +488,7 @@ impl Group {
             "tune" | "tuned_areas" => Some(vec![Group::Tune]),
             "chaos" | "chaos_campaign" => Some(vec![Group::Chaos]),
             "obs" | "obs_report" => Some(vec![Group::Obs]),
+            "layout" | "layout_compare" => Some(vec![Group::LayoutCompare]),
             "perf" | "perf_fetch" => Some(vec![Group::Perf]),
             _ => None,
         }
@@ -810,6 +867,41 @@ fn plan_tune(dag: &mut Dag, config: &CampaignConfig, engine: &Arc<Engine>) -> Ta
     })
 }
 
+fn plan_layout(dag: &mut Dag, config: &CampaignConfig, engine: &Arc<Engine>) -> TaskId {
+    let quick = config.quick;
+    let icache = CacheGeometry::xscale_icache();
+    let (benchmarks, set) = crate::layout_compare::layout_benchmarks(quick);
+    let mut dep_ids = Vec::with_capacity(benchmarks.len());
+    for &benchmark in &benchmarks {
+        let parts = keys::layout_run_parts(benchmark, icache, set, &config.tags);
+        let engine = Arc::clone(engine);
+        dep_ids.push(add_node(
+            dag,
+            format!("layout/{}", benchmark.name()),
+            &parts,
+            &[],
+            move |_| {
+                crate::layout_compare::layout_run_payload(&engine, benchmark, icache, set)
+                    .map(|rows| rows.to_compact().into_bytes())
+                    .map_err(|e| e.to_string())
+            },
+        ));
+    }
+    let key = keys::layout_manifest(quick, &config.tags);
+    add_node(
+        dag,
+        "layout_compare".to_string(),
+        &keys::layout_manifest_parts(quick),
+        &dep_ids,
+        move |ctx| {
+            let per_benchmark = parse_dep_payloads(ctx)?;
+            crate::layout_compare::layout_manifest_from_runs(quick, per_benchmark, &key)
+                .map(|m| m.to_pretty().into_bytes())
+                .map_err(|e| e.to_string())
+        },
+    )
+}
+
 /// Plans the whole campaign over `config.groups`. Shared sub-nodes
 /// (e.g. a measure job appearing in both the fig5 grid and fig4)
 /// deduplicate by key inside the DAG.
@@ -838,6 +930,7 @@ pub fn plan(config: &CampaignConfig, engine: &Arc<Engine>) -> Plan {
             }
             Group::Trace => plan_trace(&mut dag, config, engine),
             Group::Tune => plan_tune(&mut dag, config, engine),
+            Group::LayoutCompare => plan_layout(&mut dag, config, engine),
             Group::Chaos => {
                 let key = keys::chaos(quick, &config.tags);
                 add_node(
@@ -1084,6 +1177,7 @@ mod tests {
                 }
                 Group::Chaos => keys::chaos(quick, &config.tags),
                 Group::Obs => keys::obs(quick, &config.tags),
+                Group::LayoutCompare => keys::layout_manifest(quick, &config.tags),
                 Group::Perf => keys::perf(quick),
             };
             assert_eq!(
@@ -1119,6 +1213,7 @@ mod tests {
             assert_ne!(keys::trace_manifest(quick, &base), keys::trace_manifest(quick, &flipped));
             assert_ne!(keys::chaos(quick, &base), keys::chaos(quick, &flipped));
             assert_ne!(keys::obs(quick, &base), keys::obs(quick, &flipped));
+            assert_ne!(keys::layout_manifest(quick, &base), keys::layout_manifest(quick, &flipped));
         }
 
         // …while the input-independent nodes stand still.
@@ -1149,8 +1244,8 @@ mod tests {
             assert_eq!(Group::parse(group.manifest_name()), Some(vec![group]));
         }
         assert_eq!(Group::parse("fig").map(|g| g.len()), Some(5));
-        assert_eq!(Group::parse("gate").map(|g| g.len()), Some(5));
-        assert_eq!(Group::parse("all").map(|g| g.len()), Some(10));
+        assert_eq!(Group::parse("gate").map(|g| g.len()), Some(6));
+        assert_eq!(Group::parse("all").map(|g| g.len()), Some(11));
         assert_eq!(Group::parse("nope"), None);
     }
 }

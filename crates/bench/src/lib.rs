@@ -27,6 +27,7 @@ pub mod baseline;
 pub mod campaign;
 pub mod chaos;
 pub mod engine;
+pub mod layout_compare;
 pub mod obs;
 pub mod perf;
 pub mod timing;

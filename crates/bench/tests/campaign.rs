@@ -124,7 +124,11 @@ fn gate_via_store_is_pure_hits_against_a_warm_store() {
     assert!(report.is_clean(), "warm gate flagged: {:?}", report.json().to_compact());
     assert_eq!(report.exit_code(), 0);
     assert_eq!(misses(&obs), 0, "a warm gate re-simulates nothing");
-    assert_eq!(hits(&obs), 5, "every fresh manifest resolves from the store");
+    assert_eq!(
+        hits(&obs),
+        Group::BASELINE.len() as u64,
+        "every fresh manifest resolves from the store"
+    );
 
     let _ = std::fs::remove_dir_all(store.root());
     let _ = std::fs::remove_dir_all(blessed);

@@ -1,0 +1,110 @@
+//! Layout-equivalence property suite: every [`Layout`] pass must be a
+//! pure reordering of the natural program.
+//!
+//! For each benchmark × pass in the layout competition roster:
+//!
+//! * **permutation** — the emitted block order is a permutation of the
+//!   natural block ids (nothing dropped, nothing duplicated);
+//! * **chain contiguity** — each chain's blocks stay adjacent and in
+//!   chain order (fall-through and call/return glue survives the
+//!   reorder), so the binary is valid for any WP area size;
+//! * **relocations resolve** — the link succeeds and the emitted image
+//!   has exactly the natural text length;
+//! * **architectural digest** — the relaid program computes the same
+//!   checksum as the natural layout (the reorder touches *where* code
+//!   sits, never *what* it computes).
+//!
+//! Set `WP_QUICK=1` to trim the sweep to the CI smoke subset.
+
+use wp_bench::engine::Engine;
+use wp_bench::layout_compare::compare_layouts;
+use wp_core::{measure_with, MeasureOptions, Scheme};
+use wp_mem::CacheGeometry;
+use wp_workloads::{Benchmark, InputSet};
+
+fn sweep_benchmarks() -> &'static [Benchmark] {
+    if wp_core::env::quick() {
+        &[Benchmark::Crc, Benchmark::Sha, Benchmark::Bitcount]
+    } else {
+        &Benchmark::ALL
+    }
+}
+
+#[test]
+fn every_pass_is_a_chain_contiguous_permutation() {
+    let engine = Engine::global();
+    for &benchmark in sweep_benchmarks() {
+        let workbench = engine.workbench(benchmark).expect("workbench");
+        let natural = workbench
+            .link(wp_linker::Layout::Natural, InputSet::Small)
+            .expect("natural link");
+        for layout in compare_layouts() {
+            let tag = format!("{}/{}", benchmark.name(), layout.label());
+            let output = workbench.link(layout, InputSet::Small).expect("link");
+
+            // Relocations resolved into a text of unchanged size.
+            assert_eq!(
+                output.image.text.len(),
+                natural.image.text.len(),
+                "{tag}: text length changed"
+            );
+
+            // The block order is a permutation of the natural ids.
+            let n = output.icfg.len();
+            assert_eq!(output.block_order.len(), n, "{tag}: block count changed");
+            let mut seen = vec![false; n];
+            for &id in &output.block_order {
+                assert!(!seen[id], "{tag}: block {id} emitted twice");
+                seen[id] = true;
+            }
+
+            // Chains stay contiguous and in order: each chain's block
+            // list appears as a consecutive slice of the emitted order.
+            let mut position = vec![0usize; n];
+            for (at, &id) in output.block_order.iter().enumerate() {
+                position[id] = at;
+            }
+            for (c, chain) in output.chains.iter().enumerate() {
+                for pair in chain.blocks.windows(2) {
+                    assert_eq!(
+                        position[pair[1]],
+                        position[pair[0]] + 1,
+                        "{tag}: chain {c} split between blocks {} and {}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Running the relaid binary must reproduce the natural layout's
+/// architectural checksum — `measure_with` additionally verifies every
+/// run against the benchmark's golden reference, so a pass that broke
+/// control flow fails twice over.
+#[test]
+fn every_pass_preserves_the_architectural_digest() {
+    let engine = Engine::global();
+    let icache = CacheGeometry::xscale_icache();
+    let scheme = Scheme::WayPlacement { area_bytes: 1024 };
+    for &benchmark in sweep_benchmarks() {
+        let workbench = engine.workbench(benchmark).expect("workbench");
+        let mut checksums = Vec::new();
+        for layout in compare_layouts() {
+            let options = MeasureOptions::new(InputSet::Small).with_layout(layout);
+            let (m, _) = measure_with(&workbench, icache, scheme, options)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", benchmark.name(), layout.label()));
+            checksums.push((layout.label(), m.run.checksum));
+        }
+        let (_, natural) = checksums[0];
+        for (label, checksum) in &checksums {
+            assert_eq!(
+                *checksum,
+                natural,
+                "{}/{label}: architectural digest diverged from natural",
+                benchmark.name()
+            );
+        }
+    }
+}

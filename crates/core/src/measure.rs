@@ -103,13 +103,24 @@ pub struct MeasureOptions {
     pub detection: bool,
     /// Graceful scheme degradation policy (implies `detection`).
     pub degradation: Option<wp_sim::DegradationPolicy>,
+    /// Link-time layout override (`None` = the scheme's own layout).
+    /// Layout studies use this to measure a scheme under an alternative
+    /// pass; [`FaultSpec::PermuteChains`] still wins over it.
+    pub layout: Option<Layout>,
 }
 
 impl MeasureOptions {
     /// Clean, unlimited options for `set`.
     #[must_use]
     pub fn new(set: InputSet) -> MeasureOptions {
-        MeasureOptions { set, time_limit: None, fault: None, detection: false, degradation: None }
+        MeasureOptions {
+            set,
+            time_limit: None,
+            fault: None,
+            detection: false,
+            degradation: None,
+            layout: None,
+        }
     }
 
     /// The same options with `fault` injected.
@@ -139,6 +150,14 @@ impl MeasureOptions {
     pub fn with_degradation(mut self, policy: wp_sim::DegradationPolicy) -> MeasureOptions {
         self.degradation = Some(policy);
         self.detection = true;
+        self
+    }
+
+    /// The same options linking under `layout` instead of the scheme's
+    /// own layout.
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> MeasureOptions {
+        self.layout = Some(layout);
         self
     }
 }
@@ -224,13 +243,14 @@ pub fn measure_traced<S: TraceSink>(
 ) -> Result<(Measurement, MeasureTiming), CoreError> {
     let set = options.set;
     let start = Instant::now();
+    let layout = options.layout.unwrap_or_else(|| scheme.layout());
     let output = match options.fault {
         Some(FaultSpec::CorruptProfile { seed, flips }) => {
             let corrupted = corrupt_profile(workbench.profile(), seed, flips);
-            workbench.link_with(scheme.layout(), set, &corrupted)?
+            workbench.link_with(layout, set, &corrupted)?
         }
         Some(FaultSpec::PermuteChains { seed }) => workbench.link(Layout::Random(seed), set)?,
-        Some(FaultSpec::Hardware(_)) | None => workbench.link(scheme.layout(), set)?,
+        Some(FaultSpec::Hardware(_)) | None => workbench.link(layout, set)?,
     };
     let link = start.elapsed();
 

@@ -50,8 +50,11 @@ pub fn build_chains(icfg: &Icfg, profile: &Profile) -> Vec<Chain> {
     while i < blocks.len() {
         let start = i;
         // Extend while the current block is glued to its natural
-        // successor (fall-through or call/return).
-        while blocks[i].glue_to_next.is_some() {
+        // successor (fall-through or call/return). A final block with
+        // glue set has no successor to glue to — `Icfg::build` never
+        // produces that shape, but `from_blocks` callers can — so the
+        // bound check comes first.
+        while i + 1 < blocks.len() && blocks[i].glue_to_next.is_some() {
             i += 1;
         }
         i += 1;
@@ -63,6 +66,10 @@ pub fn build_chains(icfg: &Icfg, profile: &Profile) -> Vec<Chain> {
 }
 
 /// The code-layout strategies the linker offers.
+///
+/// Each variant is a [`crate::LayoutPass`]; the first four are the
+/// original chain-sorting passes, the last two delegate to the
+/// literature passes in [`crate::passes`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Layout {
     /// Original (object concatenation) order — what an ordinary linker
@@ -77,6 +84,12 @@ pub enum Layout {
     /// Chains sorted lightest-first — the adversarial layout, putting
     /// the coldest code in the way-placement area.
     Pessimal,
+    /// Newell & Pupyrev's ext-TSP pass with default parameters
+    /// ([`crate::ExtTsp`]).
+    ExtTsp,
+    /// Lavaee et al.'s Codestitcher pass with default budgets
+    /// ([`crate::Codestitcher`]).
+    Codestitcher,
 }
 
 impl Layout {
@@ -88,13 +101,17 @@ impl Layout {
             Layout::WayPlacement => "way-placement",
             Layout::Random(_) => "random",
             Layout::Pessimal => "pessimal",
+            Layout::ExtTsp => "ext-tsp",
+            Layout::Codestitcher => "codestitcher",
         }
     }
 
     /// Orders chains according to the strategy, returning the block
-    /// order for the final binary.
+    /// order for the final binary. The four chain-sorting passes ignore
+    /// `icfg` and `profile`; the graph-aware passes need both.
     #[must_use]
-    pub fn order(&self, mut chains: Vec<Chain>) -> Vec<usize> {
+    pub fn order(&self, icfg: &Icfg, profile: &Profile, mut chains: Vec<Chain>) -> Vec<usize> {
+        use crate::passes::LayoutPass;
         match self {
             Layout::Natural => {}
             Layout::WayPlacement => {
@@ -107,6 +124,12 @@ impl Layout {
             }
             Layout::Pessimal => {
                 chains.sort_by_key(|a| a.weight);
+            }
+            Layout::ExtTsp => {
+                return crate::passes::ExtTsp::default().order(icfg, profile, chains);
+            }
+            Layout::Codestitcher => {
+                return crate::passes::Codestitcher::default().order(icfg, profile, chains);
             }
         }
         chains.into_iter().flat_map(|c| c.blocks).collect()
@@ -167,6 +190,12 @@ mod tests {
         assert_eq!(chains[1].weight, 5 * 4);
     }
 
+    /// The chain-sorting passes ignore the graph and profile, so tests
+    /// can hand them empty ones.
+    fn sort_only(layout: Layout, chains: Vec<Chain>) -> Vec<usize> {
+        layout.order(&icfg_of(Vec::new()), &Profile::empty(), chains)
+    }
+
     #[test]
     fn way_placement_orders_heaviest_first() {
         let chains = vec![
@@ -174,12 +203,12 @@ mod tests {
             Chain { blocks: vec![1, 2], weight: 100 },
             Chain { blocks: vec![3], weight: 50 },
         ];
-        assert_eq!(Layout::WayPlacement.order(chains.clone()), vec![1, 2, 3, 0]);
-        assert_eq!(Layout::Natural.order(chains.clone()), vec![0, 1, 2, 3]);
-        assert_eq!(Layout::Pessimal.order(chains.clone()), vec![0, 3, 1, 2]);
+        assert_eq!(sort_only(Layout::WayPlacement, chains.clone()), vec![1, 2, 3, 0]);
+        assert_eq!(sort_only(Layout::Natural, chains.clone()), vec![0, 1, 2, 3]);
+        assert_eq!(sort_only(Layout::Pessimal, chains.clone()), vec![0, 3, 1, 2]);
         // Random is deterministic per seed and preserves chain unity.
-        let a = Layout::Random(9).order(chains.clone());
-        let b = Layout::Random(9).order(chains);
+        let a = sort_only(Layout::Random(9), chains.clone());
+        let b = sort_only(Layout::Random(9), chains);
         assert_eq!(a, b);
         let pos1 = a.iter().position(|&x| x == 1).unwrap();
         assert_eq!(a[pos1 + 1], 2, "chain [1,2] stays contiguous");
@@ -192,12 +221,32 @@ mod tests {
             Chain { blocks: vec![1], weight: 7 },
             Chain { blocks: vec![2], weight: 7 },
         ];
-        assert_eq!(Layout::WayPlacement.order(chains), vec![0, 1, 2]);
+        assert_eq!(sort_only(Layout::WayPlacement, chains), vec![0, 1, 2]);
     }
 
     #[test]
     fn labels() {
         assert_eq!(Layout::WayPlacement.label(), "way-placement");
         assert_eq!(Layout::Random(3).label(), "random");
+        assert_eq!(Layout::ExtTsp.label(), "ext-tsp");
+        assert_eq!(Layout::Codestitcher.label(), "codestitcher");
+    }
+
+    /// Regression: a final block carrying `glue_to_next: Some(_)` used
+    /// to walk `blocks[i]` past the end of the slice. `Icfg::build`
+    /// never emits that shape, but `from_blocks` callers can; the glued
+    /// tail block must simply close the last chain.
+    #[test]
+    fn trailing_glued_block_does_not_overrun() {
+        let g = icfg_of(vec![
+            block(0, 2, None),
+            block(1, 3, Some(GlueKind::FallThrough)),
+            block(2, 1, Some(GlueKind::CallReturn)),
+        ]);
+        let chains = build_chains(&g, &Profile::from_counts(vec![1, 2, 3]));
+        let members: Vec<Vec<usize>> = chains.iter().map(|c| c.blocks.clone()).collect();
+        assert_eq!(members, vec![vec![0], vec![1, 2]]);
+        // count 2 × len 3 for block 1, count 3 × len 1 for block 2.
+        assert_eq!(chains[1].weight, 2 * 3 + 3);
     }
 }

@@ -83,8 +83,13 @@ impl Icfg {
         }
         for (i, merged) in text.iter().enumerate() {
             let insn = merged.entry.insn;
+            // Defence in depth: the linker validates effective branch
+            // targets before building the graph, but `Icfg::build` must
+            // not index past the text if handed a malformed entry.
             if let Some(target) = merged.branch_target {
-                leaders.insert(target);
+                if target < n {
+                    leaders.insert(target);
+                }
             }
             // Any control-flow instruction ends a block; `bl` also ends
             // one because its return site must stay adjacent.
@@ -113,7 +118,9 @@ impl Icfg {
                 natural_id: id,
                 start,
                 len: end - start,
-                branch_target: last.branch_target,
+                // Same guard as the leader pass: an out-of-range target
+                // cannot be converted to a block id below.
+                branch_target: last.branch_target.filter(|&t| t < n),
                 glue_to_next,
                 labels: labels.get(&start).cloned().unwrap_or_default(),
             });
@@ -177,6 +184,12 @@ fn is_call(insn: &Insn) -> bool {
 
 /// Extracts the branch-target natural index for a text entry, given a
 /// resolver from symbol names to natural instruction indices.
+///
+/// Returns `None` for misaligned or out-of-range arithmetic: a Branch24
+/// addend that is not a whole number of instructions, or an effective
+/// index that would be negative. The linker rejects both shapes with a
+/// typed error before the ICFG is built; this keeps the extraction
+/// itself panic-free.
 pub(crate) fn branch_target_index(
     entry: &TextEntry,
     resolve: impl Fn(&str) -> Option<usize>,
@@ -185,9 +198,12 @@ pub(crate) fn branch_target_index(
     if reloc.kind != RelocKind::Branch24 {
         return None;
     }
+    if reloc.addend % i64::from(Insn::SIZE) != 0 {
+        return None;
+    }
     let base = resolve(&reloc.symbol)?;
     let addend_insns = reloc.addend / i64::from(Insn::SIZE);
-    Some((base as i64 + addend_insns) as usize)
+    usize::try_from(base as i64 + addend_insns).ok()
 }
 
 #[cfg(test)]
@@ -289,6 +305,37 @@ mod tests {
         assert_eq!(g.block_of(0).natural_id, 0);
         assert_eq!(g.block_of(1).natural_id, 1);
         assert_eq!(g.block_of(2).natural_id, 1);
+    }
+
+    /// Defence in depth: `Icfg::build` handed a merged entry whose
+    /// branch target points past the text must drop the target, not
+    /// panic in the leader pass or the block-id conversion.
+    #[test]
+    fn out_of_range_branch_target_is_dropped() {
+        let module = assemble("t", "f: mov r0, #1\nb f").expect("asm");
+        let merged: Vec<MergedEntry<'_>> = module
+            .text
+            .iter()
+            .map(|entry| MergedEntry { entry, branch_target: Some(99) })
+            .collect();
+        let g = Icfg::build(&merged, &BTreeMap::new());
+        assert!(g.blocks().iter().all(|b| b.branch_target.is_none()));
+    }
+
+    /// A Branch24 addend that is not a whole number of instructions
+    /// used to silently round toward zero and retarget the wrong
+    /// instruction; a negative effective index used to wrap through
+    /// `as usize`. Both now yield no target.
+    #[test]
+    fn misaligned_or_negative_addends_yield_no_target() {
+        let mut module = assemble("t", "f: b f").expect("asm");
+        let mut with_addend = |addend: i64| {
+            module.text[0].reloc.as_mut().expect("branch reloc").addend = addend;
+            branch_target_index(&module.text[0], |_| Some(0))
+        };
+        assert_eq!(with_addend(2), None, "half an instruction");
+        assert_eq!(with_addend(-8), None, "two instructions before index 0");
+        assert_eq!(with_addend(4), Some(1), "one whole instruction resolves");
     }
 
     #[test]

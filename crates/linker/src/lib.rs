@@ -21,6 +21,15 @@
 //! [`Layout::Natural`], [`Layout::Random`] and [`Layout::Pessimal`]
 //! baselines are provided for the layout ablation in `wp-bench`.
 //!
+//! The ordering step is pluggable: every strategy implements
+//! [`LayoutPass`] (the [`Layout`] enum's variants are the built-in
+//! passes), and two passes from the later code-layout literature
+//! compete with the paper's hottest-chain-first sort — [`ExtTsp`]
+//! (Newell & Pupyrev, arxiv 1809.04676) and [`Codestitcher`]
+//! (Lavaee et al., arxiv 1810.00905). All passes merge and reorder
+//! whole chains only, so the any-area-size property above holds for
+//! every layout the linker can emit.
+//!
 //! ## Example
 //!
 //! ```
@@ -58,11 +67,13 @@
 mod chain;
 mod icfg;
 mod link;
+mod passes;
 mod profile;
 
 pub use chain::{build_chains, Chain, Layout};
 pub use icfg::{Block, GlueKind, Icfg};
 pub use link::{LinkError, LinkOutput, Linker};
+pub use passes::{Codestitcher, ExtTsp, LayoutPass};
 pub use profile::Profile;
 // Telemetry join types produced by [`LinkOutput::layout_map`].
 pub use wp_trace::{ChainInfo, LayoutMap};

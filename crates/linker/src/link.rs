@@ -14,6 +14,7 @@ use wp_isa::{Image, Insn, Module, Op, RelocKind, SymbolSection, TextEntry};
 
 use crate::chain::{build_chains, Chain, Layout};
 use crate::icfg::{branch_target_index, Icfg, MergedEntry};
+use crate::passes::LayoutPass;
 use crate::profile::Profile;
 
 /// Errors the linker can raise.
@@ -120,13 +121,30 @@ impl Linker {
         self
     }
 
-    /// Links the collected modules.
+    /// Links the collected modules under one of the built-in
+    /// [`Layout`] strategies.
     ///
     /// # Errors
     ///
     /// Returns a [`LinkError`] for duplicate or undefined symbols,
     /// branches into data, or a missing entry point.
     pub fn link(&self, layout: Layout, profile: &Profile) -> Result<LinkOutput, LinkError> {
+        self.link_with_pass(&layout, profile)
+    }
+
+    /// Links the collected modules under an arbitrary [`LayoutPass`] —
+    /// the built-in [`Layout`] variants or a caller-provided pass such
+    /// as a parameterised [`crate::ExtTsp`] / [`crate::Codestitcher`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] for duplicate or undefined symbols,
+    /// branches into data, or a missing entry point.
+    pub fn link_with_pass(
+        &self,
+        pass: &dyn LayoutPass,
+        profile: &Profile,
+    ) -> Result<LinkOutput, LinkError> {
         if self.modules.is_empty() {
             return Err(LinkError::NoModules);
         }
@@ -234,12 +252,26 @@ impl Linker {
                 };
                 if reloc.kind == RelocKind::Branch24 {
                     match value {
-                        SymValue::Text(idx) if *idx < text.len() => {}
-                        SymValue::Text(_) => {
-                            return Err(LinkError::MalformedModule(format!(
-                                "branch to out-of-range text symbol `{}`",
-                                reloc.symbol
-                            )));
+                        SymValue::Text(base) => {
+                            // The *effective* target is base + addend
+                            // (in instructions); validating only the
+                            // symbol would let a wild addend reach
+                            // `Icfg::build` and panic there.
+                            if reloc.addend % i64::from(Insn::SIZE) != 0 {
+                                return Err(LinkError::MalformedModule(format!(
+                                    "branch to `{}`: addend {} is not a whole number of \
+                                     instructions",
+                                    reloc.symbol, reloc.addend
+                                )));
+                            }
+                            let effective = *base as i64 + reloc.addend / i64::from(Insn::SIZE);
+                            if effective < 0 || effective >= text.len() as i64 {
+                                return Err(LinkError::MalformedModule(format!(
+                                    "branch to `{}` with addend {} resolves outside the \
+                                     text section",
+                                    reloc.symbol, reloc.addend
+                                )));
+                            }
                         }
                         SymValue::Addr(_) => {
                             return Err(LinkError::BranchToData(reloc.symbol.clone()));
@@ -269,7 +301,7 @@ impl Linker {
 
         // ---- layout ---------------------------------------------------
         let chains = build_chains(&icfg, profile);
-        let block_order = layout.order(chains.clone());
+        let block_order = pass.order(&icfg, profile, chains.clone());
 
         let mut natural_of_final = Vec::with_capacity(text.len());
         for &block_id in &block_order {
@@ -693,6 +725,86 @@ mod tests {
         let m = module("m", "_start: b v\nswi #0\n.data\nv: .word 0");
         let err = Linker::new().with_module(m).link(Layout::Natural, &Profile::empty());
         assert_eq!(err.unwrap_err(), LinkError::BranchToData("v".into()));
+    }
+
+    /// Mutates the addend of the first Branch24 relocation in a
+    /// two-instruction program (`_start: b lbl` / `lbl: swi #0`).
+    fn branch_with_addend(addend: i64) -> Module {
+        let mut m = module("m", "_start: b lbl\nlbl: swi #0");
+        m.text[0].reloc.as_mut().expect("branch reloc").addend = addend;
+        m
+    }
+
+    fn expect_malformed(m: Module) -> String {
+        match Linker::new().with_module(m).link(Layout::Natural, &Profile::empty()) {
+            Err(LinkError::MalformedModule(detail)) => detail,
+            other => panic!("expected MalformedModule, got {other:?}"),
+        }
+    }
+
+    /// Regression: a Branch24 addend pointing past the end of the text
+    /// used to pass symbol validation (the *symbol* is in range) and
+    /// panic inside `Icfg::build`.
+    #[test]
+    fn malformed_branch_addend_past_text_is_a_typed_error() {
+        let detail = expect_malformed(branch_with_addend(400));
+        assert!(detail.contains("lbl") && detail.contains("400"), "{detail}");
+    }
+
+    /// Regression: a negative addend used to wrap through `as usize`
+    /// into a wild index instead of erroring.
+    #[test]
+    fn malformed_negative_branch_addend_is_a_typed_error() {
+        let detail = expect_malformed(branch_with_addend(-400));
+        assert!(detail.contains("lbl") && detail.contains("-400"), "{detail}");
+    }
+
+    /// Regression: a non-word-aligned addend used to round toward zero
+    /// and silently retarget the wrong instruction.
+    #[test]
+    fn malformed_misaligned_branch_addend_is_a_typed_error() {
+        let detail = expect_malformed(branch_with_addend(2));
+        assert!(detail.contains("whole number of instructions"), "{detail}");
+    }
+
+    /// A branch relocation against a data symbol stays `BranchToData`
+    /// regardless of the addend.
+    #[test]
+    fn malformed_branch_addend_on_data_symbol_is_rejected() {
+        let mut m = module("m", "_start: b v\nswi #0\n.data\nv: .word 0");
+        m.text[0].reloc.as_mut().expect("branch reloc").addend = 64;
+        let err = Linker::new().with_module(m).link(Layout::Natural, &Profile::empty());
+        assert_eq!(err.unwrap_err(), LinkError::BranchToData("v".into()));
+    }
+
+    /// An in-range addend keeps resolving: `b lbl+(-4)` targets
+    /// `_start` itself.
+    #[test]
+    fn in_range_branch_addend_still_links() {
+        let out = Linker::new()
+            .with_module(branch_with_addend(-4))
+            .link(Layout::Natural, &Profile::empty())
+            .expect("link");
+        // The branch sits at `_start` and targets `_start`: zero bytes
+        // of displacement.
+        assert_eq!(out.image.text[0].branch_displacement(), Some(0));
+    }
+
+    /// `link_with_pass` accepts the literature passes and produces a
+    /// valid permutation of the same instructions.
+    #[test]
+    fn link_with_pass_runs_literature_passes() {
+        use crate::passes::{Codestitcher, ExtTsp};
+        let linker = Linker::new().with_module(simple_program());
+        let natural = linker.link(Layout::Natural, &Profile::empty()).unwrap();
+        let profile = Profile::from_counts(vec![7; natural.icfg.len()]);
+        for pass in [&ExtTsp::default() as &dyn LayoutPass, &Codestitcher::default()] {
+            let out = linker.link_with_pass(pass, &profile).expect("link");
+            assert_eq!(out.image.text.len(), natural.image.text.len());
+            for (f, &n) in out.natural_of_final.iter().enumerate() {
+                assert_eq!(out.final_of_natural[n], f);
+            }
+        }
     }
 
     #[test]

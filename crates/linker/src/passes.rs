@@ -1,0 +1,511 @@
+//! Pluggable layout passes: the [`LayoutPass`] trait plus the two
+//! literature passes that compete with the paper's hottest-chain-first
+//! ordering.
+//!
+//! The paper's §3 pass ([`Layout::WayPlacement`]) sorts chains by total
+//! dynamic weight. That is the weakest layout algorithm in the related
+//! work: it ignores *which* chains call or jump into which, and it
+//! ranks a long lukewarm chain above a short white-hot one. The two
+//! passes here fix both, while keeping the linker's correctness
+//! invariant — chains are atomic (a fall-through edge has no branch to
+//! rewrite), so every pass reorders or concatenates whole chains and
+//! never splits one:
+//!
+//! * [`ExtTsp`] — Newell & Pupyrev's extended-TSP heuristic
+//!   (arxiv 1809.04676): a weighted adjacency score over branch edges
+//!   with a forward-jump window bonus, maximised by greedy chain
+//!   merging, final order by weight density.
+//! * [`Codestitcher`] — Lavaee et al.'s hierarchical collocation
+//!   (arxiv 1810.00905): intra-function fall-through layering (already
+//!   provided by chain construction), then call-graph-driven
+//!   inter-procedural merging at successively coarser distance budgets
+//!   (cache line, then I-TLB page), final order by weight density.
+//!
+//! Both passes place their merged chains hottest-density-first, so the
+//! front of the text section — the way-placement area — packs the most
+//! dynamic instructions per byte.
+
+use crate::chain::{Chain, Layout};
+use crate::icfg::{GlueKind, Icfg};
+use crate::profile::Profile;
+
+/// A code-layout strategy the linker can apply at link time.
+///
+/// Implementations receive the natural-order ICFG, the training
+/// profile and the freshly built chains, and return the natural block
+/// ids in emission order. The returned order must be a permutation of
+/// every block id that keeps each chain's blocks consecutive and in
+/// chain order — fall-through edges have no branch instruction, so
+/// splitting a chain would change the program.
+pub trait LayoutPass {
+    /// Short label used in reports and manifests.
+    fn label(&self) -> &'static str;
+
+    /// Orders the blocks of the final binary.
+    fn order(&self, icfg: &Icfg, profile: &Profile, chains: Vec<Chain>) -> Vec<usize>;
+}
+
+impl LayoutPass for Layout {
+    fn label(&self) -> &'static str {
+        Layout::label(self)
+    }
+
+    fn order(&self, icfg: &Icfg, profile: &Profile, chains: Vec<Chain>) -> Vec<usize> {
+        Layout::order(self, icfg, profile, chains)
+    }
+}
+
+/// One weighted inter-chain control-flow edge, in natural block ids.
+struct Edge {
+    /// Source block (the branch lives at its end).
+    src: usize,
+    /// Target block (a chain head or an interior leader).
+    dst: usize,
+    /// Execution-count weight (min of the endpoint block counts).
+    weight: u64,
+}
+
+/// The merge arena both passes share: chains are concatenated whole,
+/// and block byte offsets inside the evolving merged chains stay
+/// queryable so edge distances can be scored.
+struct Arena<'a> {
+    chains: &'a [Chain],
+    /// Byte offset of each block within its *original* chain.
+    block_off: Vec<u64>,
+    /// Byte size of each block.
+    block_bytes: Vec<u64>,
+    /// Original chain index owning each block.
+    chain_of_block: Vec<usize>,
+    /// Per original chain: the merged group it currently belongs to and
+    /// its byte offset inside that group.
+    position: Vec<(usize, u64)>,
+    /// Merged groups: ordered member (original chain) lists; empty when
+    /// the group was absorbed into another.
+    members: Vec<Vec<usize>>,
+    /// Per group: total bytes and total weight.
+    group_bytes: Vec<u64>,
+    group_weight: Vec<u64>,
+}
+
+impl<'a> Arena<'a> {
+    fn new(icfg: &Icfg, chains: &'a [Chain]) -> Arena<'a> {
+        let n_blocks = icfg.len();
+        let mut block_off = vec![0u64; n_blocks];
+        let mut block_bytes = vec![0u64; n_blocks];
+        let mut chain_of_block = vec![0usize; n_blocks];
+        for block in icfg.blocks() {
+            block_bytes[block.natural_id] = block.len as u64 * 4;
+        }
+        let mut position = Vec::with_capacity(chains.len());
+        let mut members = Vec::with_capacity(chains.len());
+        let mut group_bytes = Vec::with_capacity(chains.len());
+        let mut group_weight = Vec::with_capacity(chains.len());
+        for (chain_id, chain) in chains.iter().enumerate() {
+            let mut off = 0u64;
+            for &block in &chain.blocks {
+                block_off[block] = off;
+                chain_of_block[block] = chain_id;
+                off += block_bytes[block];
+            }
+            position.push((chain_id, 0));
+            members.push(vec![chain_id]);
+            group_bytes.push(off);
+            group_weight.push(chain.weight);
+        }
+        Arena {
+            chains,
+            block_off,
+            block_bytes,
+            chain_of_block,
+            position,
+            members,
+            group_bytes,
+            group_weight,
+        }
+    }
+
+    /// The merged group currently holding `block`.
+    fn group_of(&self, block: usize) -> usize {
+        self.position[self.chain_of_block[block]].0
+    }
+
+    /// Byte offset of `block` inside its merged group.
+    fn offset_of(&self, block: usize) -> u64 {
+        self.position[self.chain_of_block[block]].1 + self.block_off[block]
+    }
+
+    /// Concatenates group `b` after group `a` (group `b` dies).
+    fn merge(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        let base = self.group_bytes[a];
+        let absorbed = std::mem::take(&mut self.members[b]);
+        for &chain in &absorbed {
+            self.position[chain] = (a, base + self.position[chain].1);
+        }
+        self.members[a].extend(absorbed);
+        self.group_bytes[a] += self.group_bytes[b];
+        self.group_weight[a] += self.group_weight[b];
+        self.group_bytes[b] = 0;
+        self.group_weight[b] = 0;
+    }
+
+    /// Flattens the surviving groups into a block order, hottest weight
+    /// density first (ties keep the natural group order, making the
+    /// passes deterministic).
+    fn density_order(self) -> Vec<usize> {
+        let mut alive: Vec<usize> =
+            (0..self.members.len()).filter(|&g| !self.members[g].is_empty()).collect();
+        alive.sort_by(|&a, &b| {
+            let da = self.group_weight[a] as f64 / self.group_bytes[a].max(1) as f64;
+            let db = self.group_weight[b] as f64 / self.group_bytes[b].max(1) as f64;
+            db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        alive
+            .into_iter()
+            .flat_map(|g| self.members[g].iter().flat_map(|&c| self.chains[c].blocks.clone()))
+            .collect()
+    }
+}
+
+/// Weighted branch edges whose endpoints live in different chains.
+/// Edges with a zero-count endpoint carry no layout signal and are
+/// dropped.
+fn inter_chain_edges(
+    icfg: &Icfg,
+    profile: &Profile,
+    arena: &Arena<'_>,
+    calls_only: bool,
+) -> Vec<Edge> {
+    icfg.blocks()
+        .iter()
+        .filter_map(|block| {
+            let dst = block.branch_target?;
+            if calls_only && block.glue_to_next != Some(GlueKind::CallReturn) {
+                return None;
+            }
+            let src = block.natural_id;
+            if arena.chain_of_block[src] == arena.chain_of_block[dst] {
+                return None;
+            }
+            let weight = profile.count(src).min(profile.count(dst));
+            (weight > 0).then_some(Edge { src, dst, weight })
+        })
+        .collect()
+}
+
+/// Newell & Pupyrev's ext-TSP pass (arxiv 1809.04676), applied at
+/// chain granularity: the score of placing the jump target at byte
+/// distance `d` after the jump is `w` for adjacency, a linearly
+/// decaying fraction of `w` inside the forward window, a smaller
+/// decaying fraction inside the backward window, zero beyond. Greedy
+/// chain merging maximises the total score; the merged chains are then
+/// laid out hottest-density-first.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ExtTsp {
+    /// Forward-jump bonus window, bytes (the paper's 1024).
+    pub forward_window: u32,
+    /// Backward-jump bonus window, bytes (the paper's 640).
+    pub backward_window: u32,
+    /// Weight factor for a forward jump inside the window.
+    pub forward_factor: f64,
+    /// Weight factor for a backward jump inside the window.
+    pub backward_factor: f64,
+}
+
+impl Default for ExtTsp {
+    fn default() -> ExtTsp {
+        ExtTsp {
+            forward_window: 1024,
+            backward_window: 640,
+            forward_factor: 0.1,
+            backward_factor: 0.1,
+        }
+    }
+}
+
+impl ExtTsp {
+    /// The ext-TSP contribution of one realised jump: from the branch
+    /// at the end of a block to a target `gap` bytes further on
+    /// (`gap = 0` means the target is the next instruction).
+    fn jump_score(&self, weight: u64, gap: i64) -> f64 {
+        let w = weight as f64;
+        if gap == 0 {
+            w
+        } else if gap > 0 && gap <= i64::from(self.forward_window) {
+            self.forward_factor * w * (1.0 - gap as f64 / f64::from(self.forward_window))
+        } else if gap < 0 && -gap <= i64::from(self.backward_window) {
+            self.backward_factor * w * (1.0 - (-gap) as f64 / f64::from(self.backward_window))
+        } else {
+            0.0
+        }
+    }
+
+    /// Score gained by concatenating group `b` directly after group `a`.
+    /// Only the edges crossing between the two groups change: before the
+    /// merge their relative placement is undefined (score 0), and
+    /// intra-group byte distances are unaffected by concatenation.
+    fn concat_gain(&self, arena: &Arena<'_>, edges: &[Edge], a: usize, b: usize) -> f64 {
+        let mut gain = 0.0;
+        for edge in edges {
+            let (ga, gb) = (arena.group_of(edge.src), arena.group_of(edge.dst));
+            if !((ga == a && gb == b) || (ga == b && gb == a)) {
+                continue;
+            }
+            // Offsets relative to the start of the concatenated pair: a
+            // block in `a` keeps its group offset, a block in `b` shifts
+            // by `a`'s size. The gap is measured from the instruction
+            // after the branch (the end of `src`) to the target.
+            let local = |g: usize, off: u64| if g == a { off } else { arena.group_bytes[a] + off };
+            let src_end = local(ga, arena.offset_of(edge.src) + arena.block_bytes[edge.src]);
+            let dst_start = local(gb, arena.offset_of(edge.dst));
+            gain += self.jump_score(edge.weight, dst_start as i64 - src_end as i64);
+        }
+        gain
+    }
+}
+
+impl LayoutPass for ExtTsp {
+    fn label(&self) -> &'static str {
+        "ext-tsp"
+    }
+
+    fn order(&self, icfg: &Icfg, profile: &Profile, chains: Vec<Chain>) -> Vec<usize> {
+        let mut arena = Arena::new(icfg, &chains);
+        let edges = inter_chain_edges(icfg, profile, &arena, false);
+
+        // Greedy pair merging: each round scores every group pair that
+        // shares at least one edge, in both orientations, and commits
+        // the best strictly-positive gain. Ties break on the smaller
+        // (first, second) group pair, keeping the pass deterministic.
+        loop {
+            let mut candidates: std::collections::BTreeSet<(usize, usize)> =
+                std::collections::BTreeSet::new();
+            for edge in &edges {
+                let (a, b) = (arena.group_of(edge.src), arena.group_of(edge.dst));
+                if a != b {
+                    candidates.insert((a.min(b), a.max(b)));
+                    candidates.insert((a.max(b), a.min(b)));
+                }
+            }
+            let mut best: Option<(f64, usize, usize)> = None;
+            for &(a, b) in &candidates {
+                let gain = self.concat_gain(&arena, &edges, a, b);
+                if gain > 1e-9 && best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, a, b));
+                }
+            }
+            match best {
+                Some((_, a, b)) => arena.merge(a, b),
+                None => break,
+            }
+        }
+        arena.density_order()
+    }
+}
+
+/// Lavaee et al.'s Codestitcher pass (arxiv 1810.00905), applied at
+/// chain granularity. The first collocation layer — keeping
+/// fall-through successors adjacent inside a function — is exactly what
+/// chain construction already guarantees, so the pass starts from the
+/// chains and runs the *inter-procedural* layers: call edges are
+/// processed hottest-first in rounds of growing distance budget (cache
+/// line, then I-TLB page), concatenating the callee's chain after the
+/// caller's whenever the call site would land within the budget of the
+/// callee's entry. Merged chains are laid out hottest-density-first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Codestitcher {
+    /// First-level distance budget: a cache line (32 B here).
+    pub line_bytes: u32,
+    /// Second-level distance budget: an I-TLB page (1 KB here).
+    pub page_bytes: u32,
+}
+
+impl Default for Codestitcher {
+    fn default() -> Codestitcher {
+        Codestitcher { line_bytes: 32, page_bytes: 1024 }
+    }
+}
+
+impl LayoutPass for Codestitcher {
+    fn label(&self) -> &'static str {
+        "codestitcher"
+    }
+
+    fn order(&self, icfg: &Icfg, profile: &Profile, chains: Vec<Chain>) -> Vec<usize> {
+        let mut arena = Arena::new(icfg, &chains);
+        let mut edges = inter_chain_edges(icfg, profile, &arena, true);
+        // Hottest call edges first; ties keep natural (source block)
+        // order for determinism.
+        edges.sort_by(|x, y| y.weight.cmp(&x.weight).then(x.src.cmp(&y.src)));
+
+        for budget in [u64::from(self.line_bytes), u64::from(self.page_bytes)] {
+            for edge in &edges {
+                let caller = arena.group_of(edge.src);
+                let callee = arena.group_of(edge.dst);
+                if caller == callee {
+                    continue;
+                }
+                // Distance from the call site to the callee's entry if
+                // the callee group is stitched directly after the
+                // caller group.
+                let call_site = arena.offset_of(edge.src) + arena.block_bytes[edge.src];
+                let entry = arena.group_bytes[caller] + arena.offset_of(edge.dst);
+                if entry - call_site <= budget {
+                    arena.merge(caller, callee);
+                }
+            }
+        }
+        arena.density_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::build_chains;
+    use crate::icfg::Block;
+
+    fn block(id: usize, len: usize, target: Option<usize>, glue: Option<GlueKind>) -> Block {
+        Block {
+            natural_id: id,
+            start: 0,
+            len,
+            branch_target: target,
+            glue_to_next: glue,
+            labels: Vec::new(),
+        }
+    }
+
+    fn icfg_of(mut blocks: Vec<Block>) -> Icfg {
+        let mut start = 0;
+        for b in &mut blocks {
+            b.start = start;
+            start += b.len;
+        }
+        Icfg::from_blocks(blocks)
+    }
+
+    fn assert_chain_contiguous(order: &[usize], chains: &[Chain]) {
+        let pos: std::collections::HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        for chain in chains {
+            for pair in chain.blocks.windows(2) {
+                assert_eq!(pos[&pair[1]], pos[&pair[0]] + 1, "chain split: {chain:?}");
+            }
+        }
+    }
+
+    /// Three single-block chains: 0 jumps to 2 often, 1 is cold. Both
+    /// context passes must pull 2 next to 0 and leave the cold chain
+    /// last; the classic weight sort would interleave by weight only.
+    #[test]
+    fn ext_tsp_merges_hot_jump_pairs() {
+        let icfg = icfg_of(vec![
+            block(0, 2, Some(2), None),
+            block(1, 8, None, None),
+            block(2, 2, None, None),
+        ]);
+        let profile = Profile::from_counts(vec![100, 2, 100]);
+        let chains = build_chains(&icfg, &profile);
+        assert_eq!(chains.len(), 3);
+        let order = ExtTsp::default().order(&icfg, &profile, chains.clone());
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_chain_contiguous(&order, &chains);
+    }
+
+    /// The adjacency score must dominate the windowed bonus: placing
+    /// the target immediately after the jump scores full weight.
+    #[test]
+    fn ext_tsp_jump_score_shape() {
+        let pass = ExtTsp::default();
+        assert_eq!(pass.jump_score(10, 0), 10.0);
+        let near = pass.jump_score(10, 64);
+        let far = pass.jump_score(10, 512);
+        assert!(near > far && far > 0.0, "{near} vs {far}");
+        assert_eq!(pass.jump_score(10, 2048), 0.0);
+        let back = pass.jump_score(10, -64);
+        assert!(back > 0.0 && back < near);
+        assert_eq!(pass.jump_score(10, -4096), 0.0);
+    }
+
+    /// A call edge within the line budget stitches callee after caller;
+    /// a cold callee stays put.
+    #[test]
+    fn codestitcher_stitches_hot_callee() {
+        // Block 0 calls block 2 (CallReturn glue to its return site 1);
+        // chain [0,1] and chains [2], [3].
+        let icfg = icfg_of(vec![
+            block(0, 1, Some(2), Some(GlueKind::CallReturn)),
+            block(1, 1, None, None),
+            block(2, 1, None, None),
+            block(3, 6, None, None),
+        ]);
+        let profile = Profile::from_counts(vec![50, 50, 50, 3]);
+        let chains = build_chains(&icfg, &profile);
+        assert_eq!(chains.len(), 3);
+        let order = Codestitcher::default().order(&icfg, &profile, chains.clone());
+        // Callee chain [2] lands right after the caller chain [0,1].
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_chain_contiguous(&order, &chains);
+    }
+
+    /// A callee whose entry would land beyond every budget is not
+    /// stitched, but density ordering still applies.
+    #[test]
+    fn codestitcher_respects_distance_budget() {
+        // Caller chain is larger than the page budget, so the callee
+        // entry cannot land within 1024 bytes of the call site.
+        let icfg = icfg_of(vec![
+            block(0, 1, Some(2), Some(GlueKind::CallReturn)),
+            block(1, 400, None, None), // 1600 bytes of return-site code
+            block(2, 1, None, None),
+        ]);
+        let profile = Profile::from_counts(vec![10, 10, 20]);
+        let chains = build_chains(&icfg, &profile);
+        let order = Codestitcher::default().order(&icfg, &profile, chains.clone());
+        assert_chain_contiguous(&order, &chains);
+        // No merge: the two groups order by density (callee's short
+        // chain is denser than the caller's long one).
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    /// Both passes are permutations preserving chain contiguity on a
+    /// denser graph, and repeat runs are identical.
+    #[test]
+    fn passes_are_deterministic_permutations() {
+        let icfg = icfg_of(vec![
+            block(0, 2, Some(4), Some(GlueKind::FallThrough)),
+            block(1, 3, Some(6), None),
+            block(2, 1, None, Some(GlueKind::CallReturn)),
+            block(3, 2, Some(0), None),
+            block(4, 1, Some(2), None),
+            block(5, 2, None, Some(GlueKind::FallThrough)),
+            block(6, 4, None, None),
+        ]);
+        let profile = Profile::from_counts(vec![9, 9, 40, 40, 17, 3, 3]);
+        let chains = build_chains(&icfg, &profile);
+        for pass in [&ExtTsp::default() as &dyn LayoutPass, &Codestitcher::default()] {
+            let order = pass.order(&icfg, &profile, chains.clone());
+            let again = pass.order(&icfg, &profile, chains.clone());
+            assert_eq!(order, again, "{} non-deterministic", pass.label());
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>(), "{} not a permutation", pass.label());
+            assert_chain_contiguous(&order, &chains);
+        }
+    }
+
+    /// Empty and single-chain inputs survive every pass.
+    #[test]
+    fn degenerate_inputs() {
+        let icfg = icfg_of(vec![block(0, 2, None, None)]);
+        let profile = Profile::from_counts(vec![5]);
+        let chains = build_chains(&icfg, &profile);
+        assert_eq!(ExtTsp::default().order(&icfg, &profile, chains.clone()), vec![0]);
+        assert_eq!(Codestitcher::default().order(&icfg, &profile, chains), vec![0]);
+        let empty = icfg_of(Vec::new());
+        let none = build_chains(&empty, &Profile::empty());
+        assert!(ExtTsp::default().order(&empty, &Profile::empty(), none.clone()).is_empty());
+        assert!(Codestitcher::default().order(&empty, &Profile::empty(), none).is_empty());
+    }
+}

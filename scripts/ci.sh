@@ -22,6 +22,21 @@ if [[ "$quick" -eq 1 ]]; then
     echo "== SoA/per-line differential equivalence (quick sweep) =="
     WP_QUICK=1 cargo test -q -p wp-mem --test soa_equivalence
 
+    echo "== linker branch-target validation regressions =="
+    cargo test -q -p wp-linker malformed
+
+    echo "== layout-equivalence properties (quick sweep) =="
+    WP_QUICK=1 cargo test -q -p wp-bench --test layout_equivalence
+
+    echo "== layout competition smoke (six passes, both schemes) =="
+    lc_dir="$(mktemp -d)"
+    WP_BENCH_DIR="$lc_dir" cargo run --release -q --bin layout_compare -- --quick
+    if [[ ! -s "$lc_dir/BENCH_layout_compare.json" ]]; then
+        echo "missing manifest: BENCH_layout_compare.json" >&2
+        exit 1
+    fi
+    rm -rf "$lc_dir"
+
     echo "== fetch-core throughput smoke (tripwire + >=2x speedup) =="
     smoke_perf_dir="$(mktemp -d)"
     WP_BENCH_DIR="$smoke_perf_dir" cargo run --release -q --bin perf_fetch -- --quick
@@ -170,6 +185,13 @@ if [[ "$quick" -eq 0 ]]; then
     WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin obs_report
     if [[ ! -s "$smoke_dir/BENCH_obs_report.json" ]]; then
         echo "missing manifest: BENCH_obs_report.json" >&2
+        exit 1
+    fi
+
+    echo "== layout competition (full matrix, sixth baseline manifest) =="
+    WP_BENCH_DIR="$smoke_dir" cargo run --release -q --bin layout_compare
+    if [[ ! -s "$smoke_dir/BENCH_layout_compare.json" ]]; then
+        echo "missing manifest: BENCH_layout_compare.json" >&2
         exit 1
     fi
 
